@@ -1,0 +1,42 @@
+// Shared setup for the experiment benches. Every bench builds (or loads
+// from the disk cache) the same lab environment the paper's evaluation
+// fixes: the synthetic world, SCADS with ImageNet-21k-S installed, the
+// two pretrained backbones, and the ZSL-KG engine. Knobs:
+//   TAGLETS_SEEDS   training seeds per cell (default 3, as in the paper)
+//   TAGLETS_FAST=1  shrink every training schedule to ~1/3
+//   TAGLETS_SPLITS  comma-free highest split index for the split benches
+#pragma once
+
+#include <iostream>
+
+#include "eval/harness.hpp"
+#include "eval/lab.hpp"
+#include "eval/reporting.hpp"
+#include "util/env.hpp"
+#include "util/timer.hpp"
+
+namespace taglets::bench {
+
+inline eval::Lab& shared_lab() {
+  static eval::Lab lab;
+  return lab;
+}
+
+inline eval::Harness make_harness() {
+  return eval::Harness(shared_lab());
+}
+
+/// Banner with configuration so recorded outputs are self-describing.
+inline void print_banner(const std::string& name) {
+  std::cout << "##### " << name << " #####\n"
+            << "seeds=" << util::env_long("TAGLETS_SEEDS", 3)
+            << " fast=" << (util::env_flag("TAGLETS_FAST") ? 1 : 0) << "\n"
+            << std::flush;
+}
+
+inline void print_elapsed(const util::Timer& timer) {
+  std::cout << "[bench] elapsed " << timer.elapsed_seconds() << "s\n"
+            << std::flush;
+}
+
+}  // namespace taglets::bench

@@ -1,0 +1,27 @@
+// Figures 11-13: the Figure 5 ensemble / end-model gain analysis on
+// OfficeHome-Clipart, FlickrMaterial, and GroceryStore for splits 0-2.
+#include "bench_common.hpp"
+
+int main() {
+  using namespace taglets;
+  util::Timer timer;
+  bench::print_banner("Figures 11-13: ensemble gains, remaining datasets");
+
+  const std::size_t split_count = static_cast<std::size_t>(
+      util::env_long("TAGLETS_SPLITS", 3));
+  eval::Harness harness = bench::make_harness();
+  const std::vector<synth::TaskSpec> datasets{
+      synth::officehome_clipart_spec(), synth::fmd_spec(),
+      synth::grocery_spec()};
+  for (std::size_t split = 0; split < split_count; ++split) {
+    std::cout << "----- Figure " << 11 + split << " (split " << split
+              << ") -----\n";
+    for (const auto& spec : datasets) {
+      std::cout << eval::render_ensemble_gain_figure(harness, spec, split)
+                << "\n"
+                << std::flush;
+    }
+  }
+  bench::print_elapsed(timer);
+  return 0;
+}

@@ -1,0 +1,19 @@
+// Figure 4: accuracy of each individual module at pruning levels
+// none/0/1 for 1/5/20 labeled examples on OfficeHome-Product (ResNet-50
+// backbone). The paper's findings: modules benefit from task-related
+// auxiliary data, with diminishing gains as labels grow, and the ZSL-KG
+// module is invariant to pruning (it is not re-trained).
+#include "bench_common.hpp"
+
+int main() {
+  using namespace taglets;
+  util::Timer timer;
+  bench::print_banner("Figure 4: per-module accuracy vs pruning (OH-Product)");
+
+  eval::Harness harness = bench::make_harness();
+  std::cout << eval::render_module_pruning_figure(
+                   harness, synth::officehome_product_spec(), /*split=*/0)
+            << "\n";
+  bench::print_elapsed(timer);
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Figure 6: distribution of the change in ensemble accuracy when one
+// module is removed from TAGLETS, over all datasets and both backbones
+// in the 1- and 5-shot settings (split 0). The paper's finding: cutting
+// any module reduces accuracy in at least half of the cases.
+#include <map>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "util/stats.hpp"
+#include "util/string_util.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace taglets;
+  util::Timer timer;
+  bench::print_banner("Figure 6: leave-one-module-out ablation");
+
+  eval::Harness harness = bench::make_harness();
+  std::map<std::string, std::vector<double>> deltas;
+
+  const std::vector<synth::TaskSpec> datasets = synth::all_task_specs();
+  const std::vector<backbone::Kind> backbones{backbone::Kind::kRn50S,
+                                              backbone::Kind::kBitS};
+  for (const auto& spec : datasets) {
+    for (std::size_t shots : {1u, 5u}) {
+      for (backbone::Kind kind : backbones) {
+        for (std::size_t seed = 0; seed < harness.seeds(); ++seed) {
+          auto result = harness.run_leave_one_out(spec, shots, 0, kind, seed);
+          for (const auto& [module, delta] : result) {
+            deltas[module].push_back(delta);
+          }
+        }
+      }
+    }
+  }
+
+  util::TextTable table({"Module removed", "Mean delta (pts)", "Median",
+                         "Hurts in (%)", "Samples"});
+  for (const auto& [module, values] : deltas) {
+    std::size_t hurt = 0;
+    for (double d : values) {
+      if (d < 0.0) ++hurt;
+    }
+    table.add_row(
+        {module, util::format_fixed(util::mean(values), 2),
+         util::format_fixed(util::median(values), 2),
+         util::format_fixed(100.0 * static_cast<double>(hurt) /
+                                static_cast<double>(values.size()),
+                            1),
+         std::to_string(values.size())});
+  }
+  std::cout << "=== Figure 6: ensemble accuracy delta when removing a module "
+               "(all datasets x backbones, 1- and 5-shot, split 0) ===\n"
+            << table.render() << "\n"
+            << "Paper's finding to check: every module hurts (delta < 0) in "
+               ">= 50% of cases when removed.\n";
+  bench::print_elapsed(timer);
+  return 0;
+}

@@ -1,0 +1,28 @@
+// Figures 8-10: the Figure 4 per-module pruning analysis repeated on
+// OfficeHome-Clipart, FlickrMaterial, and GroceryStore for splits 0-2.
+// TAGLETS_SPLITS bounds the split count (default all 3).
+#include "bench_common.hpp"
+
+int main() {
+  using namespace taglets;
+  util::Timer timer;
+  bench::print_banner("Figures 8-10: per-module pruning, remaining datasets");
+
+  const std::size_t split_count = static_cast<std::size_t>(
+      util::env_long("TAGLETS_SPLITS", 3));
+  eval::Harness harness = bench::make_harness();
+  const std::vector<synth::TaskSpec> datasets{
+      synth::officehome_clipart_spec(), synth::fmd_spec(),
+      synth::grocery_spec()};
+  for (std::size_t split = 0; split < split_count; ++split) {
+    std::cout << "----- Figure " << 8 + split << " (split " << split
+              << ") -----\n";
+    for (const auto& spec : datasets) {
+      std::cout << eval::render_module_pruning_figure(harness, spec, split)
+                << "\n"
+                << std::flush;
+    }
+  }
+  bench::print_elapsed(timer);
+  return 0;
+}

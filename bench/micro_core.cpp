@@ -1,0 +1,176 @@
+// Systems microbenches (google-benchmark) backing the paper's
+// systems-level arguments:
+//  * SCADS graph-based selection vs. pairwise visual-similarity
+//    selection (Section 3.1: "visual pairwise-comparisons become
+//    intractable ... our approach is efficient and scales well"),
+//  * single servable end-model inference vs. serving the whole taglet
+//    ensemble (challenge 3: SLAs need a single compact model),
+//  * core tensor/retrofit kernels.
+#include <benchmark/benchmark.h>
+
+#include "graph/retrofit.hpp"
+#include "nn/classifier.hpp"
+#include "nn/sequential.hpp"
+#include "scads/scads.hpp"
+#include "scads/selection.hpp"
+#include "synth/split.hpp"
+#include "synth/tasks.hpp"
+#include "tensor/ops.hpp"
+
+namespace {
+
+using namespace taglets;
+
+synth::World& bench_world() {
+  static synth::World world(synth::default_world_config(7));
+  return world;
+}
+
+scads::Scads& bench_scads() {
+  static std::unique_ptr<scads::Scads> instance = [] {
+    auto& world = bench_world();
+    auto s = std::make_unique<scads::Scads>(world.graph(), world.taxonomy(),
+                                            world.scads_embeddings());
+    util::Rng rng(1);
+    s->install_dataset(
+        world.make_auxiliary_corpus(world.auxiliary_concepts(), 8, rng));
+    return s;
+  }();
+  return *instance;
+}
+
+synth::FewShotTask& bench_task() {
+  static synth::FewShotTask task = [] {
+    synth::Dataset pool = synth::build_task_pool(
+        bench_world(), synth::officehome_product_spec(), 11);
+    return synth::make_few_shot_task(pool, 1, 10, 101);
+  }();
+  return task;
+}
+
+// ---------------------------------------------------------- tensor core
+
+void BM_Matmul(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  util::Rng rng(3);
+  tensor::Tensor a = tensor::Tensor::zeros(n, n);
+  tensor::Tensor b = tensor::Tensor::zeros(n, n);
+  for (float& x : a.data()) x = static_cast<float>(rng.normal());
+  for (float& x : b.data()) x = static_cast<float>(rng.normal());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tensor::matmul(a, b));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(2 * n * n * n));
+}
+BENCHMARK(BM_Matmul)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_SoftmaxRows(benchmark::State& state) {
+  util::Rng rng(3);
+  tensor::Tensor logits = tensor::Tensor::zeros(256, 65);
+  for (float& x : logits.data()) x = static_cast<float>(rng.normal());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tensor::softmax(logits));
+  }
+}
+BENCHMARK(BM_SoftmaxRows);
+
+// ------------------------------------------------- auxiliary selection
+
+void BM_ScadsGraphSelection(benchmark::State& state) {
+  auto& task = bench_task();
+  scads::SelectionConfig config;
+  config.seed = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        scads::select_auxiliary(bench_scads(), task, config));
+  }
+}
+BENCHMARK(BM_ScadsGraphSelection);
+
+/// The alternative SCADS argues against: score every auxiliary example
+/// by visual similarity to the labeled shots, then take the top images.
+void BM_VisualSimilaritySelection(benchmark::State& state) {
+  auto& task = bench_task();
+  auto& s = bench_scads();
+  const auto concepts = s.concepts_with_data();
+  for (auto _ : state) {
+    std::vector<std::pair<float, scads::ExampleRef>> scored;
+    util::Rng rng(1);
+    for (graph::NodeId c : concepts) {
+      for (const auto& ref : s.sample_examples(c, 8, rng)) {
+        auto pixels = s.example_pixels(ref);
+        float best = -2.0f;
+        for (std::size_t i = 0; i < task.labeled_inputs.rows(); ++i) {
+          best = std::max(best, tensor::cosine_similarity(
+                                    pixels, task.labeled_inputs.row(i)));
+        }
+        scored.emplace_back(best, ref);
+      }
+    }
+    std::partial_sort(scored.begin(),
+                      scored.begin() + std::min<std::size_t>(1560, scored.size()),
+                      scored.end(),
+                      [](const auto& a, const auto& b) { return a.first > b.first; });
+    benchmark::DoNotOptimize(scored);
+  }
+}
+BENCHMARK(BM_VisualSimilaritySelection);
+
+// ------------------------------------------------------------ retrofit
+
+void BM_RetrofitEmbeddings(benchmark::State& state) {
+  auto& world = bench_world();
+  graph::RetrofitConfig config;
+  config.iterations = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(graph::retrofit_embeddings(
+        world.graph(), world.word_vectors(), config));
+  }
+}
+BENCHMARK(BM_RetrofitEmbeddings)->Arg(5)->Arg(15);
+
+// ------------------------------------------------------------- serving
+
+nn::Classifier make_serving_model(std::size_t classes) {
+  util::Rng rng(9);
+  auto& world = bench_world();
+  nn::Sequential encoder = nn::make_mlp({world.pixel_dim(), 160, 32}, rng);
+  encoder.add(std::make_unique<nn::ReLU>());
+  return nn::Classifier(encoder, 32, classes, rng);
+}
+
+void BM_ServeEndModel(benchmark::State& state) {
+  nn::Classifier model = make_serving_model(65);
+  util::Rng rng(4);
+  tensor::Tensor example =
+      bench_world().sample_image(10, synth::Domain::kProduct, rng);
+  tensor::Tensor batch = example.reshape(1, example.size());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.predict_proba(batch));
+  }
+}
+BENCHMARK(BM_ServeEndModel);
+
+void BM_ServeFullEnsemble(benchmark::State& state) {
+  std::vector<nn::Classifier> ensemble;
+  for (int i = 0; i < 4; ++i) ensemble.push_back(make_serving_model(65));
+  util::Rng rng(4);
+  tensor::Tensor example =
+      bench_world().sample_image(10, synth::Domain::kProduct, rng);
+  tensor::Tensor batch = example.reshape(1, example.size());
+  for (auto _ : state) {
+    tensor::Tensor sum;
+    for (auto& model : ensemble) {
+      tensor::Tensor p = model.predict_proba(batch);
+      if (sum.empty()) sum = std::move(p);
+      else tensor::add_scaled_inplace(sum, p, 1.0f);
+    }
+    benchmark::DoNotOptimize(sum);
+  }
+}
+BENCHMARK(BM_ServeFullEnsemble);
+
+}  // namespace
+
+BENCHMARK_MAIN();

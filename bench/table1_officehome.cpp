@@ -1,0 +1,23 @@
+// Table 1: accuracy of TAGLETS and baselines on OfficeHome-Product and
+// OfficeHome-Clipart (split 0) at 1/5/20 shots, on both backbones, with
+// TAGLETS pruning rows. Prints the paper-format table plus a shape
+// check of TAGLETS minus the best baseline per column.
+#include "bench_common.hpp"
+
+int main() {
+  using namespace taglets;
+  util::Timer timer;
+  bench::print_banner("Table 1: OfficeHome-Product / OfficeHome-Clipart (split 0)");
+
+  eval::Harness harness = bench::make_harness();
+  eval::TableRequest request;
+  request.title = "Table 1";
+  request.datasets = {synth::officehome_product_spec(),
+                      synth::officehome_clipart_spec()};
+  request.shots = {1, 5, 20};
+  request.split = 0;
+  request.rows = eval::standard_table_rows();
+  std::cout << eval::render_accuracy_table(harness, request) << "\n";
+  bench::print_elapsed(timer);
+  return 0;
+}

@@ -1,0 +1,20 @@
+// Table 2: accuracy on GroceryStore (1/5-shot; the dataset's smallest
+// class forbids 20 shots) and Flickr Material (1/5/20-shot), split 0.
+#include "bench_common.hpp"
+
+int main() {
+  using namespace taglets;
+  util::Timer timer;
+  bench::print_banner("Table 2: GroceryStore / FlickrMaterial (split 0)");
+
+  eval::Harness harness = bench::make_harness();
+  eval::TableRequest request;
+  request.title = "Table 2";
+  request.datasets = {synth::grocery_spec(), synth::fmd_spec()};
+  request.shots = {1, 5, 20};
+  request.split = 0;
+  request.rows = eval::standard_table_rows();
+  std::cout << eval::render_accuracy_table(harness, request) << "\n";
+  bench::print_elapsed(timer);
+  return 0;
+}

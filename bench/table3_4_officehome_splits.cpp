@@ -1,0 +1,25 @@
+// Tables 3 and 4: the OfficeHome experiments repeated on splits 1 and 2
+// (Appendix A.6). The paper's finding is that the split-0 trends are
+// consistent across splits.
+#include "bench_common.hpp"
+
+int main() {
+  using namespace taglets;
+  util::Timer timer;
+  bench::print_banner("Tables 3-4: OfficeHome splits 1 and 2");
+
+  eval::Harness harness = bench::make_harness();
+  for (std::size_t split : {1u, 2u}) {
+    eval::TableRequest request;
+    request.title = split == 1 ? "Table 3 (split 1)" : "Table 4 (split 2)";
+    request.datasets = {synth::officehome_product_spec(),
+                        synth::officehome_clipart_spec()};
+    request.shots = {1, 5, 20};
+    request.split = split;
+    request.rows = eval::standard_table_rows();
+    std::cout << eval::render_accuracy_table(harness, request) << "\n"
+              << std::flush;
+  }
+  bench::print_elapsed(timer);
+  return 0;
+}

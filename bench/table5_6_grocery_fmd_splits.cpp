@@ -1,0 +1,23 @@
+// Tables 5 and 6: the GroceryStore / FlickrMaterial experiments on
+// splits 1 and 2 (Appendix A.6).
+#include "bench_common.hpp"
+
+int main() {
+  using namespace taglets;
+  util::Timer timer;
+  bench::print_banner("Tables 5-6: GroceryStore / FlickrMaterial splits 1 and 2");
+
+  eval::Harness harness = bench::make_harness();
+  for (std::size_t split : {1u, 2u}) {
+    eval::TableRequest request;
+    request.title = split == 1 ? "Table 5 (split 1)" : "Table 6 (split 2)";
+    request.datasets = {synth::grocery_spec(), synth::fmd_spec()};
+    request.shots = {1, 5, 20};
+    request.split = split;
+    request.rows = eval::standard_table_rows();
+    std::cout << eval::render_accuracy_table(harness, request) << "\n"
+              << std::flush;
+  }
+  bench::print_elapsed(timer);
+  return 0;
+}

@@ -1,0 +1,89 @@
+// Grocery-store assistive classifier (Section 4.1's fourth task): build
+// a 42-class grocery recognizer with one labeled photo per class.
+// Demonstrates the SCADS extensibility path from Example A.1: two target
+// classes — oatghurt and soyghurt — do not exist in the knowledge graph,
+// so the user adds novel concepts linked to existing ones (yoghurt,
+// oat/soy milk) before running the system.
+//
+//   ./examples/grocery_store
+#include <iostream>
+
+#include "eval/lab.hpp"
+#include "nn/trainer.hpp"
+#include "scads/selection.hpp"
+#include "tensor/ops.hpp"
+#include "taglets/controller.hpp"
+
+using namespace taglets;
+
+int main() {
+  // The lab already performs the novel-concept registration below when
+  // it builds SCADS; rebuild a raw SCADS here to show the explicit flow.
+  eval::Lab lab;
+  synth::World& world = lab.world();
+
+  scads::Scads scads(world.graph(), world.taxonomy(),
+                     world.scads_embeddings());
+  util::Rng aux_rng(99);
+  scads.install_dataset(world.make_auxiliary_corpus(
+      world.auxiliary_concepts(), 28, aux_rng));
+  std::cout << "[scads] installed ImageNet-21k-S: " << scads.total_examples()
+            << " examples over " << scads.concepts_with_data().size()
+            << " concepts\n";
+
+  // The grocery label set includes classes missing from the graph.
+  for (const std::string& name : synth::grocery_oov_class_names()) {
+    std::cout << "[scads] '" << name << "' in knowledge graph? "
+              << (scads.find_concept(name) ? "yes" : "no") << "\n";
+  }
+
+  // Example A.1: create the new nodes and link them to characterizing
+  // concepts; SCADS approximates their embeddings from the links.
+  using graph::Relation;
+  scads.add_novel_concept("oatghurt", {{"yoghurt", Relation::kRelatedTo},
+                                       {"oat_milk", Relation::kRelatedTo},
+                                       {"milk", Relation::kIsA}});
+  scads.add_novel_concept("soyghurt", {{"yoghurt", Relation::kRelatedTo},
+                                       {"soy_milk", Relation::kRelatedTo},
+                                       {"milk", Relation::kIsA}});
+  std::cout << "[scads] novel concepts added and linked\n";
+
+  // What does SCADS consider related to oatghurt now?
+  auto hits = scads::related_concepts(scads, "oatghurt", 3, {});
+  std::cout << "[scads] top related concepts for 'oatghurt':";
+  for (const auto& hit : hits) {
+    std::cout << " " << scads.graph().name(hit.node) << " ("
+              << hit.similarity << ")";
+  }
+  std::cout << "\n";
+
+  // Build the 1-shot task and run the full system.
+  synth::FewShotTask task = lab.task(synth::grocery_spec(), /*shots=*/1,
+                                     /*split=*/0);
+  Controller controller(&scads, &lab.zoo(), &lab.zsl_engine());
+  SystemConfig config;
+  config.train_seed = 7;
+  SystemResult result = controller.run(task, config);
+
+  tensor::Tensor logits =
+      result.end_model.model().logits(task.test_inputs, false);
+  std::cout << "[result] 1-shot grocery accuracy: "
+            << 100.0 * nn::accuracy(logits, task.test_labels) << "% over "
+            << task.num_classes() << " classes (chance "
+            << 100.0 / task.num_classes() << "%)\n";
+
+  // Accuracy on just the graph-missing classes, to show the novel
+  // concepts are genuinely served.
+  std::size_t oov_total = 0, oov_correct = 0;
+  const auto predictions = tensor::argmax_rows(logits);
+  for (std::size_t i = 0; i < task.test_labels.size(); ++i) {
+    const std::string& name = task.class_names[task.test_labels[i]];
+    if (name == "oatghurt" || name == "soyghurt") {
+      ++oov_total;
+      if (predictions[i] == task.test_labels[i]) ++oov_correct;
+    }
+  }
+  std::cout << "[result] accuracy on the two graph-missing classes: "
+            << oov_correct << "/" << oov_total << "\n";
+  return 0;
+}

@@ -1,0 +1,21 @@
+#!/bin/bash
+# Regenerates every paper table and figure (see DESIGN.md experiment
+# index). Environment knobs:
+#   TAGLETS_SEEDS  (default 3; the recorded bench_output.txt used 2)
+#   TAGLETS_SPLITS (default 3; the recorded run used 1 for figs 8-13)
+#   TAGLETS_FAST=1 to shrink all training schedules ~3x
+# On a single core a full-fidelity run takes a few hours; the recorded
+# run used seeds=2 and FAST mode for the split-table tail (Tables 3-6,
+# Figures 8-13), as documented in EXPERIMENTS.md.
+cd "$(dirname "$0")"
+for b in build/bench/table1_officehome build/bench/table2_grocery_fmd \
+         build/bench/fig4_module_pruning build/bench/fig5_ensemble_gain \
+         build/bench/fig6_module_ablation build/bench/fig7_pruning_retrieval \
+         build/bench/micro_core build/bench/ablation_design \
+         build/bench/ablation_budget \
+         build/bench/table3_4_officehome_splits \
+         build/bench/table5_6_grocery_fmd_splits \
+         build/bench/fig8_10_module_pruning_all \
+         build/bench/fig11_13_ensemble_gain_all; do
+  $b
+done

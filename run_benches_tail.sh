@@ -1,0 +1,14 @@
+#!/bin/bash
+# Remaining paper artifacts: Figure 7 + budget ablation at full fidelity,
+# split-tables 3-6 and figures 8-13 in FAST mode (single-core wall-clock;
+# see EXPERIMENTS.md).
+cd /root/repo
+export TAGLETS_SEEDS=2
+./build/bench/fig7_pruning_retrieval
+./build/bench/ablation_budget
+export TAGLETS_FAST=1
+export TAGLETS_SPLITS=1
+./build/bench/table3_4_officehome_splits
+./build/bench/table5_6_grocery_fmd_splits
+./build/bench/fig8_10_module_pruning_all
+./build/bench/fig11_13_ensemble_gain_all

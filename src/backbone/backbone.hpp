@@ -1,0 +1,64 @@
+// Pretrained backbone simulation. The paper's experiments vary the
+// encoder phi between BiT (pretrained on ImageNet-21k) and ResNet-50
+// (pretrained on ImageNet-1k). Here a backbone is an MLP encoder
+// genuinely pretrained on the synthetic auxiliary corpus: "BiT-S" sees
+// every auxiliary concept, "RN50-S" only a fraction — reproducing the
+// paper's axis of how much auxiliary knowledge the backbone embeds.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "nn/classifier.hpp"
+#include "nn/sequential.hpp"
+#include "synth/world.hpp"
+
+namespace taglets::backbone {
+
+enum class Kind {
+  kBitS,   // "BiT (ImageNet-21k)" analogue
+  kRn50S,  // "ResNet-50 (ImageNet-1k)" analogue
+};
+
+const char* kind_name(Kind kind);
+
+struct PretrainConfig {
+  std::size_t hidden_dim = 160;
+  std::size_t feature_dim = 32;
+  std::size_t images_per_class = 24;
+  std::size_t epochs = 40;
+  std::size_t batch_size = 128;
+  double lr = 0.05;
+  double momentum = 0.9;
+  /// Fraction of the auxiliary concept pool RN50-S is pretrained on.
+  double rn50_fraction = 0.25;
+};
+
+struct Pretrained {
+  Kind kind = Kind::kRn50S;
+  nn::Sequential encoder;  // pixel -> feature, ReLU output
+  std::size_t feature_dim = 0;
+  std::vector<graph::NodeId> pretrain_concepts;
+  double final_train_accuracy = 0.0;
+};
+
+/// Train an encoder on an auxiliary corpus drawn from `concepts`.
+/// Deterministic given (world, config, kind).
+Pretrained pretrain_backbone(const synth::World& world, Kind kind,
+                             const PretrainConfig& config);
+
+/// Linear classifier over *frozen* backbone features for the given
+/// concepts — the stand-in for the torchvision ResNet classifier whose
+/// fully-connected weights supervise ZSL-KG pretraining (Appendix A.5).
+struct ReferenceHead {
+  std::vector<graph::NodeId> concepts;   // row i <-> concepts[i]
+  tensor::Tensor weights;                // (n_concepts, feature_dim)
+  tensor::Tensor biases;                 // (n_concepts)
+};
+
+ReferenceHead train_reference_head(const synth::World& world,
+                                   Pretrained& backbone,
+                                   std::span<const graph::NodeId> concepts,
+                                   const PretrainConfig& config);
+
+}  // namespace taglets::backbone

@@ -1,0 +1,115 @@
+#include "backbone/zoo.hpp"
+
+#include <filesystem>
+#include <fstream>
+
+#include "util/env.hpp"
+#include "util/logging.hpp"
+
+namespace taglets::backbone {
+
+namespace {
+
+/// Cache key mixing every input that affects pretraining output.
+std::uint64_t config_fingerprint(const synth::WorldConfig& wc,
+                                 const PretrainConfig& pc, Kind kind) {
+  return util::combine_seeds({
+      wc.seed, wc.concept_count, wc.latent_dim, wc.pixel_dim, wc.word_dim,
+      wc.render_hidden_dim, wc.render_regions, wc.style_dim,
+      static_cast<std::uint64_t>(wc.style_scale * 1e6),
+      static_cast<std::uint64_t>(wc.render_gain * 1e6),
+      static_cast<std::uint64_t>(wc.intra_class_noise * 1e6),
+      static_cast<std::uint64_t>(wc.pixel_noise * 1e6),
+      static_cast<std::uint64_t>(wc.tree_step * 1e6),
+      static_cast<std::uint64_t>(wc.domain_shift * 1e6),
+      pc.hidden_dim, pc.feature_dim, pc.images_per_class, pc.epochs,
+      pc.batch_size, static_cast<std::uint64_t>(pc.lr * 1e9),
+      static_cast<std::uint64_t>(pc.rn50_fraction * 1e6),
+      static_cast<std::uint64_t>(kind),
+  });
+}
+
+}  // namespace
+
+Zoo::Zoo(const synth::World* world, PretrainConfig config,
+         std::optional<std::string> cache_dir)
+    : world_(world), config_(config) {
+  if (world_ == nullptr) throw std::invalid_argument("Zoo: null world");
+  cache_dir_ =
+      cache_dir.value_or(util::env_string("TAGLETS_CACHE", ".taglets_cache"));
+}
+
+std::string Zoo::cache_path(Kind kind) const {
+  if (cache_dir_.empty()) return {};
+  const std::uint64_t fp = config_fingerprint(world_->config(), config_, kind);
+  return cache_dir_ + "/backbone_" + std::to_string(fp) + ".bin";
+}
+
+std::optional<Pretrained> Zoo::load_cached(Kind kind) const {
+  const std::string path = cache_path(kind);
+  if (path.empty()) return std::nullopt;
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return std::nullopt;
+  try {
+    Pretrained p;
+    p.kind = kind;
+    p.feature_dim = config_.feature_dim;
+    util::Rng rng(0);
+    p.encoder = nn::Sequential::load(in, rng);
+    std::uint64_t n = 0;
+    in.read(reinterpret_cast<char*>(&n), sizeof(n));
+    p.pretrain_concepts.resize(n);
+    for (auto& c : p.pretrain_concepts) {
+      std::uint64_t v = 0;
+      in.read(reinterpret_cast<char*>(&v), sizeof(v));
+      c = static_cast<graph::NodeId>(v);
+    }
+    in.read(reinterpret_cast<char*>(&p.final_train_accuracy),
+            sizeof(p.final_train_accuracy));
+    if (!in) return std::nullopt;
+    TAGLETS_LOG(kInfo) << "loaded cached backbone " << kind_name(kind);
+    return p;
+  } catch (const std::exception&) {
+    return std::nullopt;
+  }
+}
+
+void Zoo::store_cached(Kind kind, const Pretrained& backbone) const {
+  const std::string path = cache_path(kind);
+  if (path.empty()) return;
+  std::error_code ec;
+  std::filesystem::create_directories(cache_dir_, ec);
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return;
+  backbone.encoder.save(out);
+  const std::uint64_t n = backbone.pretrain_concepts.size();
+  out.write(reinterpret_cast<const char*>(&n), sizeof(n));
+  for (graph::NodeId c : backbone.pretrain_concepts) {
+    const std::uint64_t v = c;
+    out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+  }
+  out.write(reinterpret_cast<const char*>(&backbone.final_train_accuracy),
+            sizeof(backbone.final_train_accuracy));
+}
+
+Pretrained& Zoo::get(Kind kind) {
+  auto it = backbones_.find(kind);
+  if (it != backbones_.end()) return it->second;
+  if (auto cached = load_cached(kind)) {
+    return backbones_.emplace(kind, std::move(*cached)).first->second;
+  }
+  Pretrained fresh = pretrain_backbone(*world_, kind, config_);
+  store_cached(kind, fresh);
+  return backbones_.emplace(kind, std::move(fresh)).first->second;
+}
+
+const ReferenceHead& Zoo::zsl_reference() {
+  if (!zsl_reference_) {
+    Pretrained& rn50 = get(Kind::kRn50S);
+    zsl_reference_ = train_reference_head(*world_, rn50,
+                                          rn50.pretrain_concepts, config_);
+  }
+  return *zsl_reference_;
+}
+
+}  // namespace taglets::backbone

@@ -1,0 +1,44 @@
+// Backbone zoo: lazily pretrains and memoizes the two simulated
+// backbones for a world, with an optional on-disk cache so repeated
+// bench invocations skip pretraining. Thread-compatible: the zoo is
+// filled before module training fans out.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+
+#include "backbone/backbone.hpp"
+
+namespace taglets::backbone {
+
+class Zoo {
+ public:
+  /// `cache_dir` empty disables the disk cache. The default picks up the
+  /// TAGLETS_CACHE environment variable (empty default = no disk cache).
+  explicit Zoo(const synth::World* world, PretrainConfig config = {},
+               std::optional<std::string> cache_dir = std::nullopt);
+
+  const synth::World& world() const { return *world_; }
+  const PretrainConfig& config() const { return config_; }
+
+  /// Pretrained backbone for `kind` (trains on first use).
+  Pretrained& get(Kind kind);
+
+  /// Frozen-feature reference head over the ImageNet-1k-S concepts,
+  /// computed against the RN50-S backbone (ZSL-KG supervision).
+  const ReferenceHead& zsl_reference();
+
+ private:
+  std::string cache_path(Kind kind) const;
+  std::optional<Pretrained> load_cached(Kind kind) const;
+  void store_cached(Kind kind, const Pretrained& backbone) const;
+
+  const synth::World* world_;
+  PretrainConfig config_;
+  std::string cache_dir_;
+  std::map<Kind, Pretrained> backbones_;
+  std::optional<ReferenceHead> zsl_reference_;
+};
+
+}  // namespace taglets::backbone

@@ -1,0 +1,18 @@
+#include "baselines/baseline.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace taglets::baselines {
+
+util::Rng baseline_rng(std::uint64_t seed, const std::string& name) {
+  return util::Rng(
+      util::combine_seeds({seed, std::hash<std::string>{}(name)}));
+}
+
+std::size_t scale_epochs(std::size_t epochs, double scale) {
+  return static_cast<std::size_t>(
+      std::max(1.0, std::floor(static_cast<double>(epochs) * scale)));
+}
+
+}  // namespace taglets::baselines

@@ -1,0 +1,35 @@
+// Baseline interface (Section 4.2): the transfer- and semi-supervised-
+// learning methods TAGLETS is compared against. Every baseline consumes
+// the same FewShotTask and a pretrained backbone, and returns a single
+// classifier — no SCADS access, which is exactly the axis the comparison
+// isolates.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "backbone/backbone.hpp"
+#include "nn/classifier.hpp"
+#include "synth/split.hpp"
+
+namespace taglets::baselines {
+
+class Baseline {
+ public:
+  virtual ~Baseline() = default;
+  virtual std::string name() const = 0;
+  /// Train on the task starting from `backbone`. `epoch_scale` shrinks
+  /// schedules for tests (1.0 = full recipe).
+  virtual nn::Classifier train(const synth::FewShotTask& task,
+                               const backbone::Pretrained& backbone,
+                               std::uint64_t seed,
+                               double epoch_scale) const = 0;
+};
+
+/// RNG helper shared by baseline implementations.
+util::Rng baseline_rng(std::uint64_t seed, const std::string& name);
+
+/// Epoch scaling helper (min 1).
+std::size_t scale_epochs(std::size_t epochs, double scale);
+
+}  // namespace taglets::baselines

@@ -1,0 +1,62 @@
+#include "baselines/finetune.hpp"
+
+#include "ensemble/distill.hpp"
+#include "nn/trainer.hpp"
+
+namespace taglets::baselines {
+
+using tensor::Tensor;
+
+namespace {
+
+nn::Classifier run_fine_tune(const synth::FewShotTask& task,
+                             const backbone::Pretrained& backbone,
+                             const FineTuneConfig& config, util::Rng& rng,
+                             double epoch_scale) {
+  nn::Classifier model(backbone.encoder, backbone.feature_dim,
+                       task.num_classes(), rng);
+  nn::FitConfig fit;
+  fit.epochs = scale_epochs(config.epochs, epoch_scale);
+  fit.batch_size = config.batch_size;
+  fit.sgd.lr = config.lr;
+  fit.sgd.momentum = config.momentum;
+  fit.min_steps = static_cast<std::size_t>(
+      static_cast<double>(config.min_steps) * epoch_scale);
+  fit.schedule = std::make_shared<nn::StepDecayLr>(config.lr, config.milestones);
+  nn::fit_hard(model, task.labeled_inputs, task.labeled_labels, fit, rng);
+  return model;
+}
+
+}  // namespace
+
+nn::Classifier FineTune::train(const synth::FewShotTask& task,
+                               const backbone::Pretrained& backbone,
+                               std::uint64_t seed, double epoch_scale) const {
+  util::Rng rng = baseline_rng(seed, name());
+  return run_fine_tune(task, backbone, config_, rng, epoch_scale);
+}
+
+nn::Classifier DistilledFineTune::train(const synth::FewShotTask& task,
+                                        const backbone::Pretrained& backbone,
+                                        std::uint64_t seed,
+                                        double epoch_scale) const {
+  util::Rng rng = baseline_rng(seed, name());
+  // Stage 1: plain fine-tuning on the labeled data.
+  nn::Classifier teacher =
+      run_fine_tune(task, backbone, config_.fine_tune, rng, epoch_scale);
+
+  // Stage 2: pseudo-label U with the fine-tuned model, then re-train a
+  // fresh head on pseudo-labeled + labeled data (soft distillation).
+  if (task.unlabeled_inputs.rows() == 0) return teacher;
+  Tensor pseudo = teacher.predict_proba(task.unlabeled_inputs);
+
+  ensemble::EndModelConfig distill;
+  distill.epochs = config_.distill_epochs;
+  distill.lr = config_.distill_lr;
+  distill.weight_decay = config_.weight_decay;
+  return ensemble::train_end_model(task, pseudo, backbone.encoder,
+                                   backbone.feature_dim, distill, rng,
+                                   epoch_scale);
+}
+
+}  // namespace taglets::baselines

@@ -1,0 +1,53 @@
+// Fine-tuning baselines (Section 4.2): plain fine-tuning of a pretrained
+// backbone on the labeled examples, and its distilled variant which
+// additionally pseudo-labels the unlabeled pool with the fine-tuned
+// model and re-trains on pseudo-labeled + labeled data.
+#pragma once
+
+#include "baselines/baseline.hpp"
+
+namespace taglets::baselines {
+
+struct FineTuneConfig {
+  std::size_t epochs = 30;  // paper: 40 epochs, decay at 20/30
+  std::size_t batch_size = 64;
+  double lr = 0.003;  // paper's fine-tuning learning rate
+  double momentum = 0.9;
+  /// Step floor so 1-shot tasks get enough optimizer updates.
+  std::size_t min_steps = 800;
+  std::vector<double> milestones{0.5, 0.75};
+};
+
+class FineTune : public Baseline {
+ public:
+  explicit FineTune(FineTuneConfig config = {}) : config_(config) {}
+  std::string name() const override { return "fine-tuning"; }
+  nn::Classifier train(const synth::FewShotTask& task,
+                       const backbone::Pretrained& backbone,
+                       std::uint64_t seed, double epoch_scale) const override;
+
+ private:
+  FineTuneConfig config_;
+};
+
+struct DistilledFineTuneConfig {
+  FineTuneConfig fine_tune{};
+  std::size_t distill_epochs = 30;
+  double distill_lr = 5e-4;
+  double weight_decay = 1e-4;
+};
+
+class DistilledFineTune : public Baseline {
+ public:
+  explicit DistilledFineTune(DistilledFineTuneConfig config = {})
+      : config_(config) {}
+  std::string name() const override { return "fine-tuning (distilled)"; }
+  nn::Classifier train(const synth::FewShotTask& task,
+                       const backbone::Pretrained& backbone,
+                       std::uint64_t seed, double epoch_scale) const override;
+
+ private:
+  DistilledFineTuneConfig config_;
+};
+
+}  // namespace taglets::baselines

@@ -1,0 +1,14 @@
+#include "baselines/fixmatch_baseline.hpp"
+
+namespace taglets::baselines {
+
+nn::Classifier FixMatchBaseline::train(const synth::FewShotTask& task,
+                                       const backbone::Pretrained& backbone,
+                                       std::uint64_t seed,
+                                       double epoch_scale) const {
+  util::Rng rng = baseline_rng(seed, name());
+  return modules::fixmatch_train(task, backbone.encoder, backbone.feature_dim,
+                                 config_, rng, epoch_scale);
+}
+
+}  // namespace taglets::baselines

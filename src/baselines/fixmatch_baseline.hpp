@@ -1,0 +1,24 @@
+// FixMatch baseline (Section 4.2): the same consistency + pseudo-label
+// SSL loop as the TAGLETS FixMatch module, but initialized directly from
+// the pretrained backbone — no SCADS auxiliary fine-tuning phase.
+#pragma once
+
+#include "baselines/baseline.hpp"
+#include "modules/fixmatch.hpp"
+
+namespace taglets::baselines {
+
+class FixMatchBaseline : public Baseline {
+ public:
+  explicit FixMatchBaseline(modules::FixMatchConfig config = {})
+      : config_(config) {}
+  std::string name() const override { return "fixmatch"; }
+  nn::Classifier train(const synth::FewShotTask& task,
+                       const backbone::Pretrained& backbone,
+                       std::uint64_t seed, double epoch_scale) const override;
+
+ private:
+  modules::FixMatchConfig config_;
+};
+
+}  // namespace taglets::baselines

@@ -1,0 +1,129 @@
+#include "baselines/meta_pseudo_labels.hpp"
+
+#include <algorithm>
+
+#include "nn/trainer.hpp"
+#include "tensor/ops.hpp"
+
+namespace taglets::baselines {
+
+using tensor::Tensor;
+
+nn::Classifier MetaPseudoLabels::train(const synth::FewShotTask& task,
+                                       const backbone::Pretrained& backbone,
+                                       std::uint64_t seed,
+                                       double epoch_scale) const {
+  util::Rng rng = baseline_rng(seed, name());
+  const backbone::Pretrained& student_bb =
+      student_backbone_ != nullptr ? *student_backbone_ : backbone;
+
+  nn::Classifier teacher(backbone.encoder, backbone.feature_dim,
+                         task.num_classes(), rng);
+  nn::Classifier student(student_bb.encoder, student_bb.feature_dim,
+                         task.num_classes(), rng);
+
+  nn::Sgd::Config tcfg;
+  tcfg.lr = config_.teacher_lr;
+  tcfg.momentum = config_.momentum;
+  nn::Sgd teacher_opt(teacher.parameters(), tcfg);
+  nn::Sgd::Config scfg;
+  scfg.lr = config_.student_lr;
+  scfg.momentum = config_.momentum;
+  nn::Sgd student_opt(student.parameters(), scfg);
+
+  // Warm the teacher on the labeled data so its first pseudo labels are
+  // better than chance (the official recipe trains teacher on labeled
+  // batches throughout; we fold that in below too).
+  {
+    nn::FitConfig warm;
+    warm.epochs = scale_epochs(4, epoch_scale);
+    warm.batch_size = config_.batch_size;
+    warm.sgd = tcfg;
+    nn::fit_hard(teacher, task.labeled_inputs, task.labeled_labels, warm, rng);
+  }
+
+  const std::size_t n_unlabeled = task.unlabeled_inputs.rows();
+  const std::size_t n_labeled = task.labeled_labels.size();
+  nn::HalfCosineLr schedule(config_.teacher_lr);  // eta/2 (1 + cos(pi k/K))
+
+  if (n_unlabeled > 0) {
+    const std::size_t epochs = scale_epochs(config_.steps_epochs, epoch_scale);
+    const std::size_t steps_per_epoch =
+        (n_unlabeled + config_.batch_size - 1) / config_.batch_size;
+    const std::size_t total_steps = steps_per_epoch * epochs;
+    std::size_t step = 0;
+
+    auto labeled_loss = [&]() {
+      Tensor logits = student.logits(task.labeled_inputs, /*training=*/false);
+      return nn::cross_entropy(logits, task.labeled_labels).loss;
+    };
+
+    for (std::size_t epoch = 0; epoch < epochs; ++epoch) {
+      for (const auto& u_batch :
+           nn::make_batches(n_unlabeled, config_.batch_size, rng)) {
+        teacher_opt.set_learning_rate(schedule.rate(step, total_steps));
+        student_opt.set_learning_rate(
+            schedule.rate(step, total_steps) * config_.student_lr /
+            config_.teacher_lr);
+
+        Tensor u = task.unlabeled_inputs.gather_rows(u_batch);
+
+        // Teacher pseudo-labels the batch.
+        Tensor t_proba = teacher.predict_proba(u);
+        std::vector<std::size_t> pseudo = tensor::argmax_rows(t_proba);
+
+        // Student update on the pseudo-labeled batch; measure held-out
+        // improvement h = L_before - L_after on the labeled data.
+        const double before = labeled_loss();
+        {
+          Tensor logits = student.logits(u, /*training=*/true);
+          auto loss = nn::cross_entropy(logits, pseudo);
+          student.backward(loss.grad_logits);
+          student_opt.step();
+        }
+        const double after = labeled_loss();
+        const double h = before - after;
+
+        // Teacher feedback (first-order MPL): reinforce / penalize the
+        // pseudo labels proportionally to the student's improvement, and
+        // mix in the teacher's own supervised loss.
+        {
+          Tensor logits = teacher.logits(u, /*training=*/true);
+          auto loss = nn::cross_entropy(logits, pseudo);
+          Tensor grad = tensor::scale(
+              loss.grad_logits,
+              static_cast<float>(std::clamp(h, -1.0, 1.0)));
+          teacher.backward(grad);
+        }
+        {
+          const std::size_t nb = std::min(config_.batch_size, n_labeled);
+          std::vector<std::size_t> idx =
+              rng.sample_without_replacement(n_labeled, nb);
+          Tensor x = task.labeled_inputs.gather_rows(idx);
+          std::vector<std::size_t> y(nb);
+          for (std::size_t i = 0; i < nb; ++i) {
+            y[i] = task.labeled_labels[idx[i]];
+          }
+          Tensor logits = teacher.logits(x, /*training=*/true);
+          auto loss = nn::cross_entropy(logits, y);
+          teacher.backward(loss.grad_logits);
+        }
+        teacher_opt.step();
+        ++step;
+      }
+    }
+  }
+
+  // Final student fine-tuning on labeled data (confirmation-bias fix).
+  nn::FitConfig fit;
+  fit.epochs = scale_epochs(config_.finetune_epochs, epoch_scale);
+  fit.batch_size = config_.batch_size;
+  fit.sgd.lr = config_.finetune_lr;
+  fit.sgd.momentum = config_.momentum;
+  fit.min_steps = static_cast<std::size_t>(
+      static_cast<double>(config_.finetune_min_steps) * epoch_scale);
+  nn::fit_hard(student, task.labeled_inputs, task.labeled_labels, fit, rng);
+  return student;
+}
+
+}  // namespace taglets::baselines

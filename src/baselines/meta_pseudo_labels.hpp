@@ -1,0 +1,46 @@
+// Meta Pseudo Labels baseline (Pham et al. 2021; Section 4.2 and
+// Appendix A.5). A teacher pseudo-labels unlabeled batches for a
+// student; the student's improvement on labeled data feeds back into the
+// teacher (here via the standard first-order / REINFORCE-style
+// approximation of the meta gradient: the teacher's pseudo-label
+// cross-entropy is scaled by the student's held-out improvement).
+// Afterwards the student is fine-tuned on the labeled data to reduce
+// confirmation bias. Per Appendix A.5, the student always uses the
+// ResNet-50 backbone even when the teacher uses BiT; callers pass the
+// student backbone separately.
+#pragma once
+
+#include "baselines/baseline.hpp"
+
+namespace taglets::baselines {
+
+struct MplConfig {
+  std::size_t steps_epochs = 12;   // teacher-student epochs over U
+  std::size_t batch_size = 64;
+  double teacher_lr = 2e-3;
+  double student_lr = 3e-3;
+  double momentum = 0.9;
+  std::size_t finetune_epochs = 15;  // paper: 30 epochs at lr 0.003
+  double finetune_lr = 0.003;
+  std::size_t finetune_min_steps = 800;
+};
+
+class MetaPseudoLabels : public Baseline {
+ public:
+  /// `student_backbone` may differ from the teacher backbone passed to
+  /// train(); when null the teacher backbone is reused for the student.
+  explicit MetaPseudoLabels(const backbone::Pretrained* student_backbone =
+                                nullptr,
+                            MplConfig config = {})
+      : student_backbone_(student_backbone), config_(config) {}
+  std::string name() const override { return "meta pseudo labels"; }
+  nn::Classifier train(const synth::FewShotTask& task,
+                       const backbone::Pretrained& backbone,
+                       std::uint64_t seed, double epoch_scale) const override;
+
+ private:
+  const backbone::Pretrained* student_backbone_;
+  MplConfig config_;
+};
+
+}  // namespace taglets::baselines

@@ -1,0 +1,51 @@
+// SimCLRv2-lite baseline (Chen et al. 2020; Section 4.2). Contrastive
+// (NT-Xent) pretraining of an encoder from scratch on the task's
+// unlabeled pool, followed by supervised fine-tuning on the labeled
+// shots. The paper reports that this approach "deteriorates
+// significantly when trained on smaller datasets" and excludes it from
+// the result tables; we implement it anyway so that claim is testable
+// (see tests/baselines_test and the ablation bench).
+#pragma once
+
+#include "baselines/baseline.hpp"
+#include "synth/augment.hpp"
+
+namespace taglets::baselines {
+
+struct SimClrConfig {
+  std::size_t pretrain_epochs = 10;
+  std::size_t batch_size = 64;
+  double temperature = 0.5;
+  double pretrain_lr = 0.01;
+  double momentum = 0.9;
+  std::size_t finetune_epochs = 30;
+  double finetune_lr = 0.003;
+  std::size_t finetune_min_steps = 800;
+  std::size_t hidden_dim = 96;   // encoder width (matches the backbones)
+  std::size_t feature_dim = 32;
+  synth::AugmentConfig augment{};
+};
+
+/// NT-Xent loss and feature gradient for a batch of 2B feature rows in
+/// which rows (i, i+B) are positive pairs. Exposed for unit testing.
+struct ContrastiveResult {
+  double loss = 0.0;
+  tensor::Tensor grad_features;  // dL/d(raw features), same shape
+};
+ContrastiveResult nt_xent(const tensor::Tensor& features, double temperature);
+
+class SimClr : public Baseline {
+ public:
+  explicit SimClr(SimClrConfig config = {}) : config_(config) {}
+  std::string name() const override { return "simclrv2"; }
+  /// Note: `backbone` is used only for its dimensions — SimCLRv2
+  /// pretrains its encoder from scratch on the unlabeled data.
+  nn::Classifier train(const synth::FewShotTask& task,
+                       const backbone::Pretrained& backbone,
+                       std::uint64_t seed, double epoch_scale) const override;
+
+ private:
+  SimClrConfig config_;
+};
+
+}  // namespace taglets::baselines

@@ -1,0 +1,77 @@
+#include "ensemble/distill.hpp"
+
+#include <stdexcept>
+
+#include "nn/trainer.hpp"
+#include "tensor/ops.hpp"
+
+namespace taglets::ensemble {
+
+using tensor::Tensor;
+
+Tensor one_hot(std::span<const std::size_t> labels, std::size_t num_classes) {
+  Tensor out = Tensor::zeros(labels.size(), num_classes);
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    if (labels[i] >= num_classes) throw std::out_of_range("one_hot: label");
+    out.at(i, labels[i]) = 1.0f;
+  }
+  return out;
+}
+
+Tensor harden(const Tensor& proba) {
+  Tensor out = Tensor::zeros(proba.rows(), proba.cols());
+  for (std::size_t i = 0; i < proba.rows(); ++i) {
+    out.at(i, tensor::argmax(proba.row(i))) = 1.0f;
+  }
+  return out;
+}
+
+nn::Classifier train_end_model(const synth::FewShotTask& task,
+                               const Tensor& pseudo_labels,
+                               const nn::Sequential& encoder,
+                               std::size_t feature_dim,
+                               const EndModelConfig& config, util::Rng& rng,
+                               double epoch_scale) {
+  const std::size_t n_unlabeled = task.unlabeled_inputs.rows();
+  if (pseudo_labels.rows() != n_unlabeled) {
+    throw std::invalid_argument("train_end_model: pseudo label rows mismatch");
+  }
+  const std::size_t c = task.num_classes();
+
+  // Assemble P (union) X with soft targets (Eq. 7).
+  Tensor unlabeled_targets =
+      config.soft_targets ? pseudo_labels : harden(pseudo_labels);
+  Tensor labeled_targets = one_hot(task.labeled_labels, c);
+
+  const std::size_t total = n_unlabeled + task.labeled_labels.size();
+  Tensor inputs = Tensor::zeros(total, task.labeled_inputs.cols());
+  Tensor targets = Tensor::zeros(total, c);
+  for (std::size_t i = 0; i < n_unlabeled; ++i) {
+    auto xs = task.unlabeled_inputs.row(i);
+    std::copy(xs.begin(), xs.end(), inputs.row(i).begin());
+    auto ts = unlabeled_targets.row(i);
+    std::copy(ts.begin(), ts.end(), targets.row(i).begin());
+  }
+  for (std::size_t i = 0; i < task.labeled_labels.size(); ++i) {
+    auto xs = task.labeled_inputs.row(i);
+    std::copy(xs.begin(), xs.end(), inputs.row(n_unlabeled + i).begin());
+    auto ts = labeled_targets.row(i);
+    std::copy(ts.begin(), ts.end(), targets.row(n_unlabeled + i).begin());
+  }
+
+  nn::Classifier model(encoder, feature_dim, c, rng);
+  nn::FitConfig fit;
+  fit.epochs = std::max<std::size_t>(
+      1, static_cast<std::size_t>(config.epochs * epoch_scale));
+  fit.batch_size = config.batch_size;
+  fit.min_steps = static_cast<std::size_t>(
+      static_cast<double>(config.min_steps) * epoch_scale);
+  fit.optimizer = nn::FitConfig::Opt::kAdam;
+  fit.adam.lr = config.lr;
+  fit.adam.weight_decay = config.weight_decay;
+  fit.schedule = std::make_shared<nn::StepDecayLr>(config.lr, config.milestones);
+  nn::fit_soft(model, inputs, targets, fit, rng);
+  return model;
+}
+
+}  // namespace taglets::ensemble

@@ -1,0 +1,44 @@
+// Distillation stage (Section 3.3): train the single servable end model
+// h on the pseudo-labeled unlabeled data P plus the labeled data X by
+// minimizing the soft cross-entropy of Eq. 7. Appendix A.5 (ResNet-50
+// flavour): Adam, lr 5e-4, weight decay 1e-4, decay 0.1 at 20/30 epochs.
+#pragma once
+
+#include "nn/classifier.hpp"
+#include "nn/sequential.hpp"
+#include "synth/split.hpp"
+#include "tensor/tensor.hpp"
+#include "util/rng.hpp"
+
+namespace taglets::ensemble {
+
+struct EndModelConfig {
+  std::size_t epochs = 40;
+  std::size_t batch_size = 64;
+  std::size_t min_steps = 1500;  // floor for small unlabeled pools
+  double lr = 2e-3;
+  double weight_decay = 1e-4;
+  std::vector<double> milestones{2.0 / 3.0};  // paper: decay at epoch 20/30
+  /// Ablation knob: when false, pseudo labels are hardened to one-hot
+  /// before distillation (the paper distills soft labels).
+  bool soft_targets = true;
+};
+
+/// Train the end model from a pretrained encoder. `pseudo_labels` rows
+/// correspond to task.unlabeled_inputs rows (Eq. 6 output). Labeled
+/// examples contribute one-hot targets.
+nn::Classifier train_end_model(const synth::FewShotTask& task,
+                               const tensor::Tensor& pseudo_labels,
+                               const nn::Sequential& encoder,
+                               std::size_t feature_dim,
+                               const EndModelConfig& config, util::Rng& rng,
+                               double epoch_scale = 1.0);
+
+/// One-hot (n, C) target matrix from hard labels.
+tensor::Tensor one_hot(std::span<const std::size_t> labels,
+                       std::size_t num_classes);
+
+/// Harden a row-stochastic matrix to one-hot argmax rows.
+tensor::Tensor harden(const tensor::Tensor& proba);
+
+}  // namespace taglets::ensemble

@@ -1,0 +1,111 @@
+#include "ensemble/ensemble.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "tensor/ops.hpp"
+
+namespace taglets::ensemble {
+
+using tensor::Tensor;
+
+Tensor vote_matrix(std::vector<modules::Taglet>& taglets,
+                   const Tensor& example) {
+  if (taglets.empty()) throw std::invalid_argument("vote_matrix: no taglets");
+  if (!example.is_vector()) {
+    throw std::invalid_argument("vote_matrix: single example expected");
+  }
+  Tensor batch = example.reshape(1, example.size());
+  Tensor votes;
+  for (std::size_t t = 0; t < taglets.size(); ++t) {
+    Tensor proba = taglets[t].predict_proba(batch);
+    if (t == 0) votes = Tensor::zeros(taglets.size(), proba.cols());
+    auto src = proba.row(0);
+    auto dst = votes.row(t);
+    std::copy(src.begin(), src.end(), dst.begin());
+  }
+  return votes;
+}
+
+Tensor ensemble_proba(std::vector<modules::Taglet>& taglets,
+                      const Tensor& inputs) {
+  if (taglets.empty()) throw std::invalid_argument("ensemble_proba: no taglets");
+  Tensor sum;
+  for (auto& taglet : taglets) {
+    Tensor proba = taglet.predict_proba(inputs);
+    if (sum.empty()) {
+      sum = std::move(proba);
+    } else {
+      tensor::add_scaled_inplace(sum, proba, 1.0f);
+    }
+  }
+  return tensor::scale(sum, 1.0f / static_cast<float>(taglets.size()));
+}
+
+std::vector<std::size_t> ensemble_predict(std::vector<modules::Taglet>& taglets,
+                                          const Tensor& inputs) {
+  return tensor::argmax_rows(ensemble_proba(taglets, inputs));
+}
+
+double ensemble_accuracy(std::vector<modules::Taglet>& taglets,
+                         const Tensor& inputs,
+                         std::span<const std::size_t> labels) {
+  const auto predictions = ensemble_predict(taglets, inputs);
+  if (predictions.size() != labels.size()) {
+    throw std::invalid_argument("ensemble_accuracy: size mismatch");
+  }
+  if (labels.empty()) return 0.0;
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    if (predictions[i] == labels[i]) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(labels.size());
+}
+
+PseudoLabelStats pseudo_label_stats(std::vector<modules::Taglet>& taglets,
+                                    const Tensor& inputs) {
+  if (taglets.empty() || inputs.rows() == 0) {
+    throw std::invalid_argument("pseudo_label_stats: empty input");
+  }
+  PseudoLabelStats stats;
+
+  Tensor proba = ensemble_proba(taglets, inputs);
+  double entropy = 0.0, confidence = 0.0;
+  for (std::size_t i = 0; i < proba.rows(); ++i) {
+    double h = 0.0;
+    float top = 0.0f;
+    for (float p : proba.row(i)) {
+      if (p > 0.0f) h -= static_cast<double>(p) * std::log(p);
+      top = std::max(top, p);
+    }
+    entropy += h;
+    confidence += top;
+  }
+  stats.mean_entropy = entropy / static_cast<double>(proba.rows());
+  stats.mean_confidence = confidence / static_cast<double>(proba.rows());
+
+  // Pairwise argmax agreement across taglets.
+  std::vector<std::vector<std::size_t>> votes;
+  votes.reserve(taglets.size());
+  for (auto& taglet : taglets) votes.push_back(taglet.predict(inputs));
+  if (taglets.size() > 1) {
+    double agree = 0.0;
+    std::size_t pairs = 0;
+    for (std::size_t a = 0; a < votes.size(); ++a) {
+      for (std::size_t b = a + 1; b < votes.size(); ++b) {
+        std::size_t same = 0;
+        for (std::size_t i = 0; i < votes[a].size(); ++i) {
+          if (votes[a][i] == votes[b][i]) ++same;
+        }
+        agree += static_cast<double>(same) /
+                 static_cast<double>(votes[a].size());
+        ++pairs;
+      }
+    }
+    stats.inter_taglet_agreement = agree / static_cast<double>(pairs);
+  }
+  return stats;
+}
+
+}  // namespace taglets::ensemble

@@ -1,0 +1,48 @@
+// Taglet ensembling (Section 3.3). Each taglet returns a probability
+// vector per example; the vote matrix V stacks them, and the soft pseudo
+// label is the row-mean p_x = (1/|T|) sum_t V_t (Eq. 6).
+#pragma once
+
+#include <vector>
+
+#include "modules/module.hpp"
+#include "tensor/tensor.hpp"
+
+namespace taglets::ensemble {
+
+/// Vote matrix for a single example: rows = taglets, cols = classes.
+tensor::Tensor vote_matrix(std::vector<modules::Taglet>& taglets,
+                           const tensor::Tensor& example);
+
+/// Soft pseudo labels for a batch: (n, C) row-stochastic matrix obtained
+/// by averaging the taglets' probability outputs (Eq. 6).
+tensor::Tensor ensemble_proba(std::vector<modules::Taglet>& taglets,
+                              const tensor::Tensor& inputs);
+
+/// Hard labels from the ensemble (argmax of Eq. 6).
+std::vector<std::size_t> ensemble_predict(std::vector<modules::Taglet>& taglets,
+                                          const tensor::Tensor& inputs);
+
+/// Accuracy of the ensembled prediction against ground truth.
+double ensemble_accuracy(std::vector<modules::Taglet>& taglets,
+                         const tensor::Tensor& inputs,
+                         std::span<const std::size_t> labels);
+
+/// Diagnostics on the ensemble's pseudo labels — the quantities that
+/// determine how much signal the distillation stage receives.
+struct PseudoLabelStats {
+  /// Mean Shannon entropy of the soft pseudo labels (nats); log(C) for
+  /// a completely uninformative ensemble, 0 for a fully confident one.
+  double mean_entropy = 0.0;
+  /// Mean top-class probability of the soft pseudo labels.
+  double mean_confidence = 0.0;
+  /// Mean pairwise agreement of the taglets' argmax predictions; 1.0
+  /// when all taglets vote identically (no diversity), near 1/C for
+  /// independent random voters.
+  double inter_taglet_agreement = 1.0;
+};
+
+PseudoLabelStats pseudo_label_stats(std::vector<modules::Taglet>& taglets,
+                                    const tensor::Tensor& inputs);
+
+}  // namespace taglets::ensemble

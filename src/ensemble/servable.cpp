@@ -1,0 +1,73 @@
+#include "ensemble/servable.hpp"
+
+#include <cstdint>
+#include <fstream>
+#include <stdexcept>
+
+#include "tensor/ops.hpp"
+
+namespace taglets::ensemble {
+
+using tensor::Tensor;
+
+ServableModel::ServableModel(nn::Classifier model,
+                             std::vector<std::string> class_names)
+    : model_(std::move(model)), class_names_(std::move(class_names)) {
+  if (class_names_.size() != model_.num_classes()) {
+    throw std::invalid_argument("ServableModel: class name count mismatch");
+  }
+}
+
+std::size_t ServableModel::predict(const Tensor& example) {
+  util::Timer timer;
+  Tensor batch = example.is_vector() ? example.reshape(1, example.size())
+                                     : example;
+  const auto labels = model_.predict(batch);
+  latency_.record_ms(timer.elapsed_ms());
+  return labels.at(0);
+}
+
+const std::string& ServableModel::predict_name(const Tensor& example) {
+  return class_names_.at(predict(example));
+}
+
+Tensor ServableModel::predict_proba(const Tensor& inputs) {
+  util::Timer timer;
+  Tensor proba = model_.predict_proba(inputs);
+  latency_.record_ms(timer.elapsed_ms());
+  return proba;
+}
+
+void ServableModel::save(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("ServableModel::save: cannot open " + path);
+  const std::uint32_t n = static_cast<std::uint32_t>(class_names_.size());
+  out.write(reinterpret_cast<const char*>(&n), sizeof(n));
+  for (const std::string& name : class_names_) {
+    const std::uint32_t len = static_cast<std::uint32_t>(name.size());
+    out.write(reinterpret_cast<const char*>(&len), sizeof(len));
+    out.write(name.data(), len);
+  }
+  model_.save(out);
+}
+
+ServableModel ServableModel::load(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("ServableModel::load: cannot open " + path);
+  std::uint32_t n = 0;
+  in.read(reinterpret_cast<char*>(&n), sizeof(n));
+  if (!in) throw std::runtime_error("ServableModel::load: truncated");
+  std::vector<std::string> names(n);
+  for (auto& name : names) {
+    std::uint32_t len = 0;
+    in.read(reinterpret_cast<char*>(&len), sizeof(len));
+    if (!in) throw std::runtime_error("ServableModel::load: truncated");
+    name.resize(len);
+    in.read(name.data(), len);
+  }
+  util::Rng rng(0);
+  nn::Classifier model = nn::Classifier::load(in, rng);
+  return ServableModel(std::move(model), std::move(names));
+}
+
+}  // namespace taglets::ensemble

@@ -1,0 +1,44 @@
+// Servable end model (design principle 3 / challenge 3: low-latency
+// serving under SLAs). Wraps a single distilled classifier, records
+// per-call latency, and serializes to a compact binary file — in
+// contrast to serving the whole taglet ensemble, whose cost grows with
+// the number of modules.
+#pragma once
+
+#include <string>
+
+#include "nn/classifier.hpp"
+#include "util/timer.hpp"
+
+namespace taglets::ensemble {
+
+class ServableModel {
+ public:
+  ServableModel(nn::Classifier model, std::vector<std::string> class_names);
+
+  const std::vector<std::string>& class_names() const { return class_names_; }
+  std::size_t num_classes() const { return class_names_.size(); }
+  /// Trainable scalar count — the "model size" serving cares about.
+  std::size_t parameter_count() { return model_.parameter_count(); }
+
+  /// Predict the class index of one example (records latency).
+  std::size_t predict(const tensor::Tensor& example);
+  /// Predict class name of one example.
+  const std::string& predict_name(const tensor::Tensor& example);
+  /// Batch probabilities (records one latency sample for the batch).
+  tensor::Tensor predict_proba(const tensor::Tensor& inputs);
+
+  const util::LatencyRecorder& latency() const { return latency_; }
+
+  nn::Classifier& model() { return model_; }
+
+  void save(const std::string& path) const;
+  static ServableModel load(const std::string& path);
+
+ private:
+  nn::Classifier model_;
+  std::vector<std::string> class_names_;
+  util::LatencyRecorder latency_;
+};
+
+}  // namespace taglets::ensemble

@@ -1,0 +1,60 @@
+#include "eval/lab.hpp"
+
+#include "util/logging.hpp"
+
+namespace taglets::eval {
+
+Lab::Lab(LabConfig config) : config_(std::move(config)) {
+  world_ = std::make_unique<synth::World>(
+      synth::default_world_config(config_.world_seed));
+  zoo_ = std::make_unique<backbone::Zoo>(world_.get(), config_.pretrain,
+                                         config_.cache_dir);
+  scads_ = std::make_unique<scads::Scads>(world_->graph(), world_->taxonomy(),
+                                          world_->scads_embeddings());
+  // Install "ImageNet-21k-S": every non-root concept, K images each.
+  util::Rng rng(util::combine_seeds({config_.world_seed, 0x21AAULL}));
+  auto concepts = world_->auxiliary_concepts();
+  synth::Dataset aux = world_->make_auxiliary_corpus(
+      concepts, config_.aux_images_per_concept, rng);
+  aux.name = "imagenet-21k-s";
+  scads_->install_dataset(std::move(aux));
+  add_grocery_novel_concepts();
+  TAGLETS_LOG(kInfo) << "lab ready: " << scads_->total_examples()
+                     << " auxiliary examples installed";
+}
+
+void Lab::add_grocery_novel_concepts() {
+  using graph::Relation;
+  if (!scads_->find_concept("oatghurt")) {
+    scads_->add_novel_concept("oatghurt", {{"yoghurt", Relation::kRelatedTo},
+                                           {"oat_milk", Relation::kRelatedTo},
+                                           {"milk", Relation::kIsA}});
+  }
+  if (!scads_->find_concept("soyghurt")) {
+    scads_->add_novel_concept("soyghurt", {{"yoghurt", Relation::kRelatedTo},
+                                           {"soy_milk", Relation::kRelatedTo},
+                                           {"milk", Relation::kIsA}});
+  }
+}
+
+modules::ZslKgEngine& Lab::zsl_engine() {
+  if (!zsl_engine_) {
+    zsl_engine_ = std::make_unique<modules::ZslKgEngine>(*zoo_, config_.zsl);
+  }
+  return *zsl_engine_;
+}
+
+const synth::Dataset& Lab::task_pool(const synth::TaskSpec& spec) {
+  auto it = pools_.find(spec.name);
+  if (it != pools_.end()) return it->second;
+  synth::Dataset pool = synth::build_task_pool(*world_, spec, /*sample_seed=*/11);
+  return pools_.emplace(spec.name, std::move(pool)).first->second;
+}
+
+synth::FewShotTask Lab::task(const synth::TaskSpec& spec, std::size_t shots,
+                             std::size_t split) {
+  return synth::make_few_shot_task(task_pool(spec), shots, spec.test_per_class,
+                                   /*split_seed=*/split + 101);
+}
+
+}  // namespace taglets::eval

@@ -1,0 +1,192 @@
+#include "eval/reporting.hpp"
+
+#include <map>
+#include <sstream>
+
+#include "eval/results_log.hpp"
+#include "util/env.hpp"
+#include "util/stats.hpp"
+#include "util/string_util.hpp"
+#include "util/table.hpp"
+
+namespace taglets::eval {
+
+namespace {
+
+std::string backbone_label(backbone::Kind kind) {
+  return kind == backbone::Kind::kBitS ? "BiT (IN-21k-S)" : "RN50 (IN-1k-S)";
+}
+
+std::string row_label(const Cell& cell) {
+  std::string label = cell.method;
+  if (cell.method == kTaglets && cell.prune_level >= 0) {
+    label += " prune-level " + std::to_string(cell.prune_level);
+  }
+  return label;
+}
+
+}  // namespace
+
+std::vector<Cell> standard_table_rows() {
+  using backbone::Kind;
+  std::vector<Cell> rows;
+  for (Kind kind : {Kind::kBitS, Kind::kRn50S}) {
+    rows.push_back(Cell{kFineTuning, kind, -1});
+    rows.push_back(Cell{kFineTuningDistilled, kind, -1});
+    rows.push_back(Cell{kFixMatch, kind, -1});
+    rows.push_back(Cell{kMetaPseudoLabels, kind, -1});
+    rows.push_back(Cell{kTaglets, kind, -1});
+  }
+  rows.push_back(Cell{kTaglets, backbone::Kind::kRn50S, 0});
+  rows.push_back(Cell{kTaglets, backbone::Kind::kRn50S, 1});
+  return rows;
+}
+
+std::string render_accuracy_table(Harness& harness,
+                                  const TableRequest& request) {
+  std::vector<std::string> header{"Method", "Backbone"};
+  for (const auto& spec : request.datasets) {
+    for (std::size_t shots : request.shots) {
+      if (shots == 20 && !spec.supports_20_shot) continue;
+      header.push_back(spec.name + " " + std::to_string(shots) + "-shot");
+    }
+  }
+  util::TextTable table(header);
+  ResultsLog results;
+
+  // accuracy[dataset][shots][row index]
+  std::map<std::string, std::map<std::size_t, std::vector<double>>> means;
+
+  backbone::Kind last_backbone = request.rows.empty()
+                                     ? backbone::Kind::kBitS
+                                     : request.rows.front().backbone;
+  for (const Cell& cell : request.rows) {
+    if (cell.backbone != last_backbone) {
+      table.add_rule();
+      last_backbone = cell.backbone;
+    }
+    std::vector<std::string> row{row_label(cell), backbone_label(cell.backbone)};
+    for (const auto& spec : request.datasets) {
+      for (std::size_t shots : request.shots) {
+        if (shots == 20 && !spec.supports_20_shot) continue;
+        const util::MeanCi summary =
+            harness.run_cell(spec, shots, request.split, cell);
+        row.push_back(summary.to_string());
+        means[spec.name][shots].push_back(summary.mean);
+        results.add(ResultRow{request.title, spec.name, shots, request.split,
+                              cell.method, backbone_label(cell.backbone),
+                              cell.prune_level, summary.mean, summary.ci,
+                              harness.seeds()});
+      }
+    }
+    table.add_row(std::move(row));
+  }
+
+  std::ostringstream out;
+  out << "=== " << request.title << " (split " << request.split << ", "
+      << harness.seeds() << " seeds) ===\n";
+  out << table.render();
+
+  // Shape check: TAGLETS (unpruned) vs best non-TAGLETS row, per column.
+  out << "\nShape check (TAGLETS minus best baseline, percentage points):\n";
+  for (const auto& spec : request.datasets) {
+    for (std::size_t shots : request.shots) {
+      if (shots == 20 && !spec.supports_20_shot) continue;
+      double best_baseline = -1.0;
+      double best_taglets = -1.0;
+      for (std::size_t r = 0; r < request.rows.size(); ++r) {
+        const Cell& cell = request.rows[r];
+        const double mean = means[spec.name][shots][r];
+        if (cell.method == kTaglets && cell.prune_level < 0) {
+          best_taglets = std::max(best_taglets, mean);
+        } else if (cell.method != kTaglets) {
+          best_baseline = std::max(best_baseline, mean);
+        }
+      }
+      out << "  " << spec.name << " " << shots << "-shot: "
+          << util::format_fixed(best_taglets - best_baseline, 2) << "\n";
+    }
+  }
+
+  // Optional machine-readable sink for cross-run diffs / plotting.
+  const std::string csv_path = util::env_string("TAGLETS_RESULTS_CSV", "");
+  if (!csv_path.empty()) {
+    results.write_csv(csv_path);
+    out << "(cells appended to " << csv_path << ")\n";
+  }
+  return out.str();
+}
+
+std::string render_module_pruning_figure(Harness& harness,
+                                         const synth::TaskSpec& spec,
+                                         std::size_t split) {
+  const std::vector<std::size_t> shot_options =
+      spec.supports_20_shot ? std::vector<std::size_t>{1, 5, 20}
+                            : std::vector<std::size_t>{1, 5};
+  const std::vector<int> prune_levels{-1, 0, 1};
+
+  util::TextTable table({"Module", "Prune", "Shots", "Accuracy (%)"});
+  std::ostringstream out;
+  out << "=== Module accuracy vs pruning, " << spec.name << " (split "
+      << split << ", RN50 backbone, " << harness.seeds() << " seeds) ===\n";
+
+  for (int prune : prune_levels) {
+    for (std::size_t shots : shot_options) {
+      // Aggregate each module over seeds.
+      std::map<std::string, std::vector<double>> per_module;
+      for (std::size_t seed = 0; seed < harness.seeds(); ++seed) {
+        auto diag = harness.run_modules(spec, shots, split,
+                                        backbone::Kind::kRn50S, prune, seed);
+        for (const auto& [name, acc] : diag.module_accuracy) {
+          per_module[name].push_back(acc);
+        }
+      }
+      for (const auto& [name, accs] : per_module) {
+        table.add_row({name,
+                       prune < 0 ? "none" : std::to_string(prune),
+                       std::to_string(shots),
+                       util::summarize(accs).to_string()});
+      }
+    }
+  }
+  out << table.render();
+  return out.str();
+}
+
+std::string render_ensemble_gain_figure(Harness& harness,
+                                        const synth::TaskSpec& spec,
+                                        std::size_t split) {
+  const std::vector<std::size_t> shot_options =
+      spec.supports_20_shot ? std::vector<std::size_t>{1, 5, 20}
+                            : std::vector<std::size_t>{1, 5};
+  const std::vector<int> prune_levels{-1, 0, 1};
+
+  util::TextTable table({"Shots", "Prune", "Module mean (%)",
+                         "Ensemble gain", "End-model gain"});
+  std::ostringstream out;
+  out << "=== Ensemble / end-model improvement over mean module accuracy, "
+      << spec.name << " (split " << split << ", RN50 backbone, "
+      << harness.seeds() << " seeds) ===\n";
+
+  for (std::size_t shots : shot_options) {
+    for (int prune : prune_levels) {
+      std::vector<double> base, ens_gain, end_gain;
+      for (std::size_t seed = 0; seed < harness.seeds(); ++seed) {
+        auto diag = harness.run_modules(spec, shots, split,
+                                        backbone::Kind::kRn50S, prune, seed);
+        base.push_back(diag.module_mean);
+        ens_gain.push_back(diag.ensemble - diag.module_mean);
+        end_gain.push_back(diag.end_model - diag.module_mean);
+      }
+      table.add_row({std::to_string(shots),
+                     prune < 0 ? "none" : std::to_string(prune),
+                     util::summarize(base).to_string(),
+                     util::summarize(ens_gain).to_string(),
+                     util::summarize(end_gain).to_string()});
+    }
+  }
+  out << table.render();
+  return out.str();
+}
+
+}  // namespace taglets::eval

@@ -1,0 +1,42 @@
+// Table / figure-series rendering in the paper's format: one row per
+// (method, backbone), one "mean ± ci" cell per (dataset, shots), plus
+// shape-check summaries comparing TAGLETS against the best baseline.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "eval/harness.hpp"
+
+namespace taglets::eval {
+
+struct TableRequest {
+  std::string title;
+  std::vector<synth::TaskSpec> datasets;
+  std::vector<std::size_t> shots{1, 5, 20};
+  std::size_t split = 0;
+  std::vector<Cell> rows;
+};
+
+/// The paper's standard row line-up: five methods on BiT, then five plus
+/// two pruned-TAGLETS rows on ResNet-50 (Tables 1-6).
+std::vector<Cell> standard_table_rows();
+
+/// Runs every cell and renders the table plus a shape-check block (who
+/// wins per shots setting and by how much).
+std::string render_accuracy_table(Harness& harness,
+                                  const TableRequest& request);
+
+/// Figure 4 / 8-10 series: per-module accuracy for shots x prune levels
+/// on one dataset (ResNet-50 backbone), averaged over seeds.
+std::string render_module_pruning_figure(Harness& harness,
+                                         const synth::TaskSpec& spec,
+                                         std::size_t split);
+
+/// Figure 5 / 11-13 series: ensemble and end-model improvement over the
+/// mean module accuracy, for shots x prune levels.
+std::string render_ensemble_gain_figure(Harness& harness,
+                                        const synth::TaskSpec& spec,
+                                        std::size_t split);
+
+}  // namespace taglets::eval

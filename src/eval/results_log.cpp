@@ -1,0 +1,106 @@
+#include "eval/results_log.hpp"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/csv.hpp"
+#include "util/string_util.hpp"
+
+namespace taglets::eval {
+
+namespace {
+const std::vector<std::string> kHeader = {
+    "experiment", "dataset", "shots",  "split", "method",
+    "backbone",   "prune",   "mean",   "ci95",  "seeds"};
+}  // namespace
+
+void ResultsLog::add(ResultRow row) { rows_.push_back(std::move(row)); }
+
+std::vector<ResultRow> ResultsLog::filter(const std::string& experiment,
+                                          const std::string& dataset,
+                                          const std::string& method) const {
+  std::vector<ResultRow> out;
+  for (const ResultRow& row : rows_) {
+    if (!experiment.empty() && row.experiment != experiment) continue;
+    if (!dataset.empty() && row.dataset != dataset) continue;
+    if (!method.empty() && row.method != method) continue;
+    out.push_back(row);
+  }
+  return out;
+}
+
+std::optional<double> ResultsLog::best_mean(
+    const std::string& dataset, std::size_t shots,
+    const std::string& exclude_method) const {
+  std::optional<double> best;
+  for (const ResultRow& row : rows_) {
+    if (row.dataset != dataset || row.shots != shots) continue;
+    if (row.method == exclude_method) continue;
+    if (!best || row.mean > *best) best = row.mean;
+  }
+  return best;
+}
+
+std::string ResultsLog::to_csv() const {
+  std::ostringstream out;
+  util::CsvWriter writer(out, kHeader);
+  for (const ResultRow& row : rows_) {
+    writer.write_row({row.experiment, row.dataset, std::to_string(row.shots),
+                      std::to_string(row.split), row.method, row.backbone,
+                      std::to_string(row.prune_level),
+                      util::format_fixed(row.mean, 4),
+                      util::format_fixed(row.ci95, 4),
+                      std::to_string(row.seeds)});
+  }
+  return out.str();
+}
+
+void ResultsLog::write_csv(const std::string& path) const {
+  const bool exists = std::filesystem::exists(path);
+  std::ofstream out(path, std::ios::app);
+  if (!out) throw std::runtime_error("ResultsLog: cannot open " + path);
+  const std::string csv = to_csv();
+  if (exists) {
+    // Skip the header line when appending to an existing file.
+    const auto newline = csv.find('\n');
+    out << csv.substr(newline + 1);
+  } else {
+    out << csv;
+  }
+}
+
+ResultsLog ResultsLog::from_csv(const std::string& text) {
+  ResultsLog log;
+  std::istringstream in(text);
+  std::string line;
+  bool first = true;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    if (first && util::starts_with(line, "experiment,")) {
+      first = false;
+      continue;
+    }
+    first = false;
+    const auto cells = util::split(line, ',');
+    if (cells.size() != kHeader.size()) {
+      throw std::runtime_error("ResultsLog::from_csv: bad row: " + line);
+    }
+    ResultRow row;
+    row.experiment = cells[0];
+    row.dataset = cells[1];
+    row.shots = static_cast<std::size_t>(std::stoul(cells[2]));
+    row.split = static_cast<std::size_t>(std::stoul(cells[3]));
+    row.method = cells[4];
+    row.backbone = cells[5];
+    row.prune_level = std::stoi(cells[6]);
+    row.mean = std::stod(cells[7]);
+    row.ci95 = std::stod(cells[8]);
+    row.seeds = static_cast<std::size_t>(std::stoul(cells[9]));
+    log.add(std::move(row));
+  }
+  return log;
+}
+
+}  // namespace taglets::eval

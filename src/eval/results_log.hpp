@@ -1,0 +1,59 @@
+// Machine-readable results sink. Benches print human tables; this log
+// accumulates the same cells as structured rows and writes RFC-4180 CSV
+// so results can be diffed / plotted across runs. Enabled in benches by
+// setting TAGLETS_RESULTS_CSV=<path>.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/stats.hpp"
+
+namespace taglets::eval {
+
+struct ResultRow {
+  std::string experiment;  // e.g. "table1"
+  std::string dataset;
+  std::size_t shots = 0;
+  std::size_t split = 0;
+  std::string method;
+  std::string backbone;
+  int prune_level = -1;
+  double mean = 0.0;
+  double ci95 = 0.0;
+  std::size_t seeds = 0;
+};
+
+class ResultsLog {
+ public:
+  void add(ResultRow row);
+  std::size_t size() const { return rows_.size(); }
+  const std::vector<ResultRow>& rows() const { return rows_; }
+
+  /// All rows matching a predicate-ish filter (empty string = any).
+  std::vector<ResultRow> filter(const std::string& experiment,
+                                const std::string& dataset = "",
+                                const std::string& method = "") const;
+
+  /// Best mean among rows of a (dataset, shots) cell, restricted to
+  /// methods whose name differs from `exclude_method`.
+  std::optional<double> best_mean(const std::string& dataset,
+                                  std::size_t shots,
+                                  const std::string& exclude_method) const;
+
+  /// Serialize to CSV (header + one line per row).
+  std::string to_csv() const;
+  /// Append-write to a file path; creates the file with a header when
+  /// it does not exist.
+  void write_csv(const std::string& path) const;
+
+  /// Parse rows back from CSV text (inverse of to_csv, tolerant of a
+  /// leading header line). Throws std::runtime_error on malformed rows.
+  static ResultsLog from_csv(const std::string& text);
+
+ private:
+  std::vector<ResultRow> rows_;
+};
+
+}  // namespace taglets::eval

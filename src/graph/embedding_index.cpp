@@ -1,0 +1,96 @@
+#include "graph/embedding_index.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "tensor/ops.hpp"
+#include "util/string_util.hpp"
+
+namespace taglets::graph {
+
+using tensor::Tensor;
+
+EmbeddingIndex::EmbeddingIndex(const KnowledgeGraph* graph, Tensor embeddings)
+    : graph_(graph), embeddings_(std::move(embeddings)) {
+  if (graph_ == nullptr) throw std::invalid_argument("EmbeddingIndex: null graph");
+  if (!embeddings_.is_matrix() ||
+      embeddings_.rows() != graph_->node_count()) {
+    throw std::invalid_argument("EmbeddingIndex: embedding shape mismatch");
+  }
+}
+
+std::span<const float> EmbeddingIndex::vector(NodeId id) const {
+  if (id >= embeddings_.rows()) throw std::out_of_range("EmbeddingIndex::vector");
+  return embeddings_.row(id);
+}
+
+std::vector<EmbeddingIndex::Hit> EmbeddingIndex::top_k(
+    std::span<const float> query, std::span<const NodeId> candidates,
+    std::size_t k) const {
+  if (query.size() != dim()) {
+    throw std::invalid_argument("EmbeddingIndex::top_k: query dim mismatch");
+  }
+  std::vector<float> sims(candidates.size());
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    sims[i] = tensor::cosine_similarity(query, vector(candidates[i]));
+  }
+  const auto order = tensor::top_k_indices(sims, k);
+  std::vector<Hit> hits;
+  hits.reserve(order.size());
+  for (std::size_t i : order) hits.push_back(Hit{candidates[i], sims[i]});
+  return hits;
+}
+
+Tensor EmbeddingIndex::approximate_embedding(const std::string& name,
+                                             std::size_t min_prefix) const {
+  // Find the longest shared prefix length over all named concepts, then
+  // average the embeddings of concepts achieving it, weighted by prefix
+  // length (here all equal, so a plain mean).
+  // Only nodes that already have embedding rows can contribute (the
+  // graph may contain freshly added nodes whose rows are not set yet —
+  // including, during add_novel_concept, the queried node itself).
+  const NodeId known = std::min<NodeId>(graph_->node_count(), embeddings_.rows());
+  std::size_t best = 0;
+  for (NodeId id = 0; id < known; ++id) {
+    best = std::max(best, util::common_prefix_length(name, graph_->name(id)));
+  }
+  Tensor out = Tensor::zeros(dim());
+  if (best < min_prefix) return out;
+  std::size_t count = 0;
+  for (NodeId id = 0; id < known; ++id) {
+    if (util::common_prefix_length(name, graph_->name(id)) == best) {
+      auto src = vector(id);
+      for (std::size_t d = 0; d < dim(); ++d) out[d] += src[d];
+      ++count;
+    }
+  }
+  if (count > 0) {
+    for (std::size_t d = 0; d < dim(); ++d) {
+      out[d] /= static_cast<float>(count);
+    }
+    tensor::normalize_rows(out);
+  }
+  return out;
+}
+
+void EmbeddingIndex::set_vector(NodeId id, const Tensor& embedding) {
+  if (!embedding.is_vector() || embedding.size() != dim()) {
+    throw std::invalid_argument("EmbeddingIndex::set_vector: dim mismatch");
+  }
+  if (id >= embeddings_.rows()) {
+    // Extend the table with zero rows up to and including `id` (novel
+    // concepts are appended to the graph after initial construction).
+    Tensor grown = Tensor::zeros(id + 1, dim());
+    for (std::size_t r = 0; r < embeddings_.rows(); ++r) {
+      auto src = embeddings_.row(r);
+      auto dst = grown.row(r);
+      std::copy(src.begin(), src.end(), dst.begin());
+    }
+    embeddings_ = std::move(grown);
+  }
+  auto dst = embeddings_.row(id);
+  auto src = embedding.data();
+  std::copy(src.begin(), src.end(), dst.begin());
+}
+
+}  // namespace taglets::graph

@@ -1,0 +1,55 @@
+// Cosine-similarity search over SCADS embeddings (Example 3.1: "use the
+// cosine similarity to find the top-N closest concepts in Q"). Also
+// implements the Appendix A.2 prefix-based approximation for concepts
+// missing from the embedding table.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "graph/knowledge_graph.hpp"
+#include "tensor/tensor.hpp"
+
+namespace taglets::graph {
+
+class EmbeddingIndex {
+ public:
+  /// `embeddings` rows are indexed by KnowledgeGraph NodeId.
+  EmbeddingIndex(const KnowledgeGraph* graph, tensor::Tensor embeddings);
+
+  std::size_t dim() const { return embeddings_.cols(); }
+  const tensor::Tensor& embeddings() const { return embeddings_; }
+
+  /// Embedding row for a node.
+  std::span<const float> vector(NodeId id) const;
+
+  struct Hit {
+    NodeId node;
+    float similarity;
+  };
+
+  /// Top-k most cosine-similar candidates to `query`. `candidates`
+  /// restricts the search (e.g. to concepts with installed auxiliary
+  /// data); pass the full node list for an unrestricted search.
+  std::vector<Hit> top_k(std::span<const float> query,
+                         std::span<const NodeId> candidates,
+                         std::size_t k) const;
+
+  /// Appendix A.2: approximate embedding for a name that is not in the
+  /// table, as a weighted sum of embeddings of concepts sharing the
+  /// longest possible name prefix. Returns a zero vector when nothing
+  /// shares a prefix of at least `min_prefix` characters.
+  tensor::Tensor approximate_embedding(const std::string& name,
+                                       std::size_t min_prefix = 3) const;
+
+  /// Overwrite / extend the row for `id` (used when novel concepts are
+  /// added to SCADS after construction).
+  void set_vector(NodeId id, const tensor::Tensor& embedding);
+
+ private:
+  const KnowledgeGraph* graph_;
+  tensor::Tensor embeddings_;
+};
+
+}  // namespace taglets::graph

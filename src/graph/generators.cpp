@@ -1,0 +1,94 @@
+#include "graph/generators.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace taglets::graph {
+
+std::vector<std::size_t> random_tree_parents(const TreeSpec& spec,
+                                             util::Rng& rng) {
+  if (spec.node_count == 0) throw std::invalid_argument("random_tree: empty");
+  if (spec.min_children == 0 || spec.min_children > spec.max_children) {
+    throw std::invalid_argument("random_tree: bad children range");
+  }
+  std::vector<std::size_t> parent(spec.node_count);
+  parent[0] = 0;  // root
+  // Frontier-based generation: pop a node, give it a random number of
+  // children from the unassigned pool.
+  std::size_t next = 1;
+  std::vector<std::size_t> frontier{0};
+  std::size_t cursor = 0;
+  while (next < spec.node_count) {
+    // If the frontier is exhausted (all nodes got 0 remaining budget),
+    // attach stragglers to random existing nodes.
+    const std::size_t u =
+        cursor < frontier.size() ? frontier[cursor++] : rng.uniform_index(next);
+    const std::size_t want = static_cast<std::size_t>(
+        rng.uniform_int(static_cast<long>(spec.min_children),
+                        static_cast<long>(spec.max_children)));
+    for (std::size_t c = 0; c < want && next < spec.node_count; ++c) {
+      parent[next] = u;
+      frontier.push_back(next);
+      ++next;
+    }
+  }
+  return parent;
+}
+
+std::vector<std::string> make_concept_names(std::size_t count,
+                                            const std::string& prefix) {
+  std::vector<std::string> names;
+  names.reserve(count);
+  char buf[32];
+  for (std::size_t i = 0; i < count; ++i) {
+    std::snprintf(buf, sizeof(buf), "_%05zu", i);
+    names.push_back(prefix + buf);
+  }
+  return names;
+}
+
+KnowledgeGraph graph_from_taxonomy(const Taxonomy& taxonomy,
+                                   const std::vector<std::string>& names) {
+  if (names.size() != taxonomy.size()) {
+    throw std::invalid_argument("graph_from_taxonomy: name count mismatch");
+  }
+  KnowledgeGraph graph;
+  for (const std::string& name : names) graph.add_node(name);
+  if (graph.node_count() != taxonomy.size()) {
+    throw std::invalid_argument("graph_from_taxonomy: duplicate names");
+  }
+  for (std::size_t i = 0; i < taxonomy.size(); ++i) {
+    if (!taxonomy.is_root(i)) {
+      graph.add_edge(i, taxonomy.parent(i), Relation::kIsA, 1.0f);
+    }
+  }
+  return graph;
+}
+
+void add_random_cross_edges(KnowledgeGraph& graph, const Taxonomy& taxonomy,
+                            std::size_t count, double locality,
+                            util::Rng& rng) {
+  const std::size_t n = taxonomy.size();
+  if (n < 2) return;
+  std::size_t added = 0;
+  std::size_t attempts = 0;
+  const std::size_t max_attempts = count * 50 + 100;
+  while (added < count && attempts < max_attempts) {
+    ++attempts;
+    const std::size_t a = rng.uniform_index(n);
+    const std::size_t b = rng.uniform_index(n);
+    if (a == b) continue;
+    if (locality > 0.0) {
+      const double d = static_cast<double>(taxonomy.tree_distance(a, b));
+      if (!rng.bernoulli(std::exp(-d / locality))) continue;
+    }
+    const Relation rels[] = {Relation::kRelatedTo, Relation::kAtLocation,
+                             Relation::kUsedFor, Relation::kMadeOf};
+    graph.add_edge(a, b, rels[rng.uniform_index(4)],
+                   static_cast<float>(rng.uniform(0.5, 1.0)));
+    ++added;
+  }
+}
+
+}  // namespace taglets::graph

@@ -1,0 +1,47 @@
+// Random graph generators used to synthesize the ConceptNet/WordNet
+// stand-ins (see DESIGN.md substitution table). A taxonomy tree gives
+// the IsA backbone; extra cross edges of other relation types give the
+// graph the non-hierarchical texture of a common-sense KG.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "graph/knowledge_graph.hpp"
+#include "graph/taxonomy.hpp"
+#include "util/rng.hpp"
+
+namespace taglets::graph {
+
+struct TreeSpec {
+  std::size_t node_count = 100;
+  /// Children per internal node are drawn uniformly from this range.
+  std::size_t min_children = 2;
+  std::size_t max_children = 5;
+};
+
+/// Random parent array for a tree with the given fanout statistics.
+/// Node 0 is the root; children always have larger ids than parents so
+/// the array is trivially acyclic.
+std::vector<std::size_t> random_tree_parents(const TreeSpec& spec,
+                                             util::Rng& rng);
+
+/// "concept_0000"-style names.
+std::vector<std::string> make_concept_names(std::size_t count,
+                                            const std::string& prefix);
+
+/// Builds a KnowledgeGraph whose first `taxonomy.size()` nodes mirror the
+/// taxonomy (IsA edges child->parent) with the given names.
+KnowledgeGraph graph_from_taxonomy(const Taxonomy& taxonomy,
+                                   const std::vector<std::string>& names);
+
+/// Adds `count` random RelatedTo-style cross edges between distinct
+/// nodes, biased toward pairs that are close in the taxonomy when
+/// `locality > 0` (probability of accepting a pair decays with tree
+/// distance ~ exp(-distance / locality)). Duplicate pairs are allowed;
+/// self loops are not.
+void add_random_cross_edges(KnowledgeGraph& graph, const Taxonomy& taxonomy,
+                            std::size_t count, double locality,
+                            util::Rng& rng);
+
+}  // namespace taglets::graph

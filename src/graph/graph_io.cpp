@@ -1,0 +1,79 @@
+#include "graph/graph_io.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace taglets::graph {
+
+std::string relation_to_string(Relation relation) {
+  return relation_name(relation);
+}
+
+Relation relation_from_string(const std::string& text) {
+  for (Relation r : {Relation::kRelatedTo, Relation::kIsA, Relation::kPartOf,
+                     Relation::kAtLocation, Relation::kUsedFor,
+                     Relation::kSynonym, Relation::kMadeOf}) {
+    if (text == relation_name(r)) return r;
+  }
+  throw std::runtime_error("relation_from_string: unknown relation " + text);
+}
+
+void write_graph(std::ostream& out, const KnowledgeGraph& graph) {
+  out << "taglets-kg v1\n";
+  for (NodeId id = 0; id < graph.node_count(); ++id) {
+    out << "node " << graph.name(id) << "\n";
+  }
+  for (const Edge& edge : graph.edges()) {
+    out << "edge " << edge.from << " " << edge.to << " "
+        << relation_to_string(edge.relation) << " " << edge.weight << "\n";
+  }
+  if (!out) throw std::runtime_error("write_graph: stream failure");
+}
+
+KnowledgeGraph read_graph(std::istream& in) {
+  std::string header;
+  std::getline(in, header);
+  if (header != "taglets-kg v1") {
+    throw std::runtime_error("read_graph: bad header");
+  }
+  KnowledgeGraph graph;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::istringstream row(line);
+    std::string kind;
+    row >> kind;
+    if (kind == "node") {
+      // Node names may contain spaces in principle; take the rest of the
+      // line after "node ".
+      const std::string name = line.substr(5);
+      if (name.empty()) throw std::runtime_error("read_graph: empty node");
+      graph.add_node(name);
+    } else if (kind == "edge") {
+      NodeId from = 0, to = 0;
+      std::string relation;
+      float weight = 0.0f;
+      row >> from >> to >> relation >> weight;
+      if (!row) throw std::runtime_error("read_graph: malformed edge");
+      graph.add_edge(from, to, relation_from_string(relation), weight);
+    } else {
+      throw std::runtime_error("read_graph: unknown record " + kind);
+    }
+  }
+  return graph;
+}
+
+void save_graph(const std::string& path, const KnowledgeGraph& graph) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("save_graph: cannot open " + path);
+  write_graph(out, graph);
+}
+
+KnowledgeGraph load_graph(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("load_graph: cannot open " + path);
+  return read_graph(in);
+}
+
+}  // namespace taglets::graph

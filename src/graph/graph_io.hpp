@@ -1,0 +1,29 @@
+// Knowledge-graph (de)serialization. A SCADS installation is a
+// long-lived artifact in the paper's workflow ("a one-time labor cost"),
+// so the graph — including user-added novel concepts and their edges —
+// must survive process restarts. Simple line-oriented text format:
+//   taglets-kg v1
+//   node <name>
+//   edge <from-id> <to-id> <relation> <weight>
+#pragma once
+
+#include <istream>
+#include <ostream>
+#include <string>
+
+#include "graph/knowledge_graph.hpp"
+
+namespace taglets::graph {
+
+void write_graph(std::ostream& out, const KnowledgeGraph& graph);
+/// Throws std::runtime_error on malformed input.
+KnowledgeGraph read_graph(std::istream& in);
+
+void save_graph(const std::string& path, const KnowledgeGraph& graph);
+KnowledgeGraph load_graph(const std::string& path);
+
+/// Relation <-> string helpers used by the format (round-trip exact).
+std::string relation_to_string(Relation relation);
+Relation relation_from_string(const std::string& text);
+
+}  // namespace taglets::graph

@@ -1,0 +1,117 @@
+#include "graph/knowledge_graph.hpp"
+
+#include <deque>
+#include <stdexcept>
+
+namespace taglets::graph {
+
+const char* relation_name(Relation r) {
+  switch (r) {
+    case Relation::kRelatedTo: return "RelatedTo";
+    case Relation::kIsA: return "IsA";
+    case Relation::kPartOf: return "PartOf";
+    case Relation::kAtLocation: return "AtLocation";
+    case Relation::kUsedFor: return "UsedFor";
+    case Relation::kSynonym: return "Synonym";
+    case Relation::kMadeOf: return "MadeOf";
+  }
+  return "?";
+}
+
+NodeId KnowledgeGraph::add_node(const std::string& name) {
+  auto it = index_.find(name);
+  if (it != index_.end()) return it->second;
+  const NodeId id = names_.size();
+  names_.push_back(name);
+  index_.emplace(name, id);
+  adjacency_.emplace_back();
+  return id;
+}
+
+void KnowledgeGraph::add_edge(NodeId a, NodeId b, Relation relation,
+                              float weight) {
+  if (a >= names_.size() || b >= names_.size()) {
+    throw std::out_of_range("KnowledgeGraph::add_edge: bad node id");
+  }
+  if (a == b) throw std::invalid_argument("KnowledgeGraph::add_edge: self loop");
+  edges_.push_back(Edge{a, b, relation, weight});
+  adjacency_[a].push_back(Neighbor{b, relation, weight});
+  adjacency_[b].push_back(Neighbor{a, relation, weight});
+}
+
+void KnowledgeGraph::add_edge(const std::string& a, const std::string& b,
+                              Relation relation, float weight) {
+  const auto ia = find(a), ib = find(b);
+  if (!ia || !ib) {
+    throw std::invalid_argument("KnowledgeGraph::add_edge: unknown concept");
+  }
+  add_edge(*ia, *ib, relation, weight);
+}
+
+const std::string& KnowledgeGraph::name(NodeId id) const {
+  return names_.at(id);
+}
+
+std::optional<NodeId> KnowledgeGraph::find(const std::string& name) const {
+  auto it = index_.find(name);
+  if (it == index_.end()) return std::nullopt;
+  return it->second;
+}
+
+const std::vector<KnowledgeGraph::Neighbor>& KnowledgeGraph::neighbors(
+    NodeId id) const {
+  return adjacency_.at(id);
+}
+
+std::vector<NodeId> KnowledgeGraph::all_nodes() const {
+  std::vector<NodeId> out(names_.size());
+  for (NodeId i = 0; i < names_.size(); ++i) out[i] = i;
+  return out;
+}
+
+std::optional<std::size_t> KnowledgeGraph::hop_distance(NodeId a,
+                                                        NodeId b) const {
+  if (a >= names_.size() || b >= names_.size()) {
+    throw std::out_of_range("hop_distance: bad node id");
+  }
+  if (a == b) return 0;
+  std::vector<std::size_t> dist(names_.size(), SIZE_MAX);
+  std::deque<NodeId> queue{a};
+  dist[a] = 0;
+  while (!queue.empty()) {
+    const NodeId u = queue.front();
+    queue.pop_front();
+    for (const Neighbor& nb : adjacency_[u]) {
+      if (dist[nb.node] != SIZE_MAX) continue;
+      dist[nb.node] = dist[u] + 1;
+      if (nb.node == b) return dist[nb.node];
+      queue.push_back(nb.node);
+    }
+  }
+  return std::nullopt;
+}
+
+std::vector<NodeId> KnowledgeGraph::neighborhood(NodeId center,
+                                                 std::size_t radius) const {
+  if (center >= names_.size()) {
+    throw std::out_of_range("neighborhood: bad node id");
+  }
+  std::vector<std::size_t> dist(names_.size(), SIZE_MAX);
+  std::deque<NodeId> queue{center};
+  dist[center] = 0;
+  std::vector<NodeId> out{center};
+  while (!queue.empty()) {
+    const NodeId u = queue.front();
+    queue.pop_front();
+    if (dist[u] == radius) continue;
+    for (const Neighbor& nb : adjacency_[u]) {
+      if (dist[nb.node] != SIZE_MAX) continue;
+      dist[nb.node] = dist[u] + 1;
+      out.push_back(nb.node);
+      queue.push_back(nb.node);
+    }
+  }
+  return out;
+}
+
+}  // namespace taglets::graph

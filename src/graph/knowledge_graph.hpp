@@ -1,0 +1,79 @@
+// Common-sense knowledge graph substrate (the role ConceptNet plays in
+// the paper, Section 3.1). Nodes are named concepts; edges carry a
+// relation type and weight. SCADS is built by joining annotated datasets
+// onto this graph, and the ZSL-KG module runs its graph neural network
+// over it.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace taglets::graph {
+
+using NodeId = std::size_t;
+
+/// Relation vocabulary, a small subset of ConceptNet's.
+enum class Relation {
+  kRelatedTo,
+  kIsA,
+  kPartOf,
+  kAtLocation,
+  kUsedFor,
+  kSynonym,
+  kMadeOf,
+};
+
+const char* relation_name(Relation r);
+
+struct Edge {
+  NodeId from;
+  NodeId to;
+  Relation relation;
+  float weight = 1.0f;
+};
+
+class KnowledgeGraph {
+ public:
+  /// Adds a concept; names are unique, re-adding returns the existing id.
+  NodeId add_node(const std::string& name);
+  /// Adds an undirected edge (stored once, visible from both endpoints).
+  void add_edge(NodeId a, NodeId b, Relation relation, float weight = 1.0f);
+  void add_edge(const std::string& a, const std::string& b, Relation relation,
+                float weight = 1.0f);
+
+  std::size_t node_count() const { return names_.size(); }
+  std::size_t edge_count() const { return edges_.size(); }
+
+  const std::string& name(NodeId id) const;
+  std::optional<NodeId> find(const std::string& name) const;
+  bool has_node(const std::string& name) const { return find(name).has_value(); }
+
+  /// Neighbor (node, relation, weight) triples of `id`.
+  struct Neighbor {
+    NodeId node;
+    Relation relation;
+    float weight;
+  };
+  const std::vector<Neighbor>& neighbors(NodeId id) const;
+
+  const std::vector<Edge>& edges() const { return edges_; }
+  std::vector<NodeId> all_nodes() const;
+
+  /// Unweighted shortest-path hop count; nullopt when disconnected.
+  std::optional<std::size_t> hop_distance(NodeId a, NodeId b) const;
+
+  /// Nodes within `radius` hops of `center` (including it) — the
+  /// subgraph neighbourhood ZSL-KG aggregates over.
+  std::vector<NodeId> neighborhood(NodeId center, std::size_t radius) const;
+
+ private:
+  std::vector<std::string> names_;
+  std::unordered_map<std::string, NodeId> index_;
+  std::vector<Edge> edges_;
+  std::vector<std::vector<Neighbor>> adjacency_;
+};
+
+}  // namespace taglets::graph

@@ -1,0 +1,86 @@
+#include "graph/retrofit.hpp"
+
+#include <stdexcept>
+
+#include "tensor/ops.hpp"
+
+namespace taglets::graph {
+
+using tensor::Tensor;
+
+Tensor retrofit_embeddings(
+    const KnowledgeGraph& graph,
+    const std::vector<std::optional<Tensor>>& word_vectors,
+    const RetrofitConfig& config) {
+  const std::size_t n = graph.node_count();
+  if (word_vectors.size() != n) {
+    throw std::invalid_argument("retrofit: word_vectors size mismatch");
+  }
+  std::size_t dim = 0;
+  for (const auto& wv : word_vectors) {
+    if (wv.has_value()) {
+      if (!wv->is_vector()) {
+        throw std::invalid_argument("retrofit: word vectors must be rank-1");
+      }
+      if (dim == 0) dim = wv->size();
+      if (wv->size() != dim) {
+        throw std::invalid_argument("retrofit: inconsistent dims");
+      }
+    }
+  }
+  if (dim == 0) throw std::invalid_argument("retrofit: all vectors missing");
+
+  // Initialize: in-vocab nodes start at their word vector, OOV at zero.
+  Tensor current = Tensor::zeros(n, dim);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (word_vectors[i]) {
+      auto dst = current.row(i);
+      auto src = word_vectors[i]->data();
+      std::copy(src.begin(), src.end(), dst.begin());
+    }
+  }
+
+  for (std::size_t iter = 0; iter < config.iterations; ++iter) {
+    Tensor next = Tensor::zeros(n, dim);
+    for (std::size_t i = 0; i < n; ++i) {
+      const double alpha_i = word_vectors[i] ? config.alpha : 0.0;
+      double denom = alpha_i;
+      auto dst = next.row(i);
+      if (word_vectors[i]) {
+        auto wv = word_vectors[i]->data();
+        for (std::size_t d = 0; d < dim; ++d) {
+          dst[d] += static_cast<float>(alpha_i) * wv[d];
+        }
+      }
+      double degree_norm = 1.0;
+      if (config.normalize_neighbor_weights) {
+        double total = 0.0;
+        for (const auto& nb : graph.neighbors(i)) total += nb.weight;
+        if (total > 0.0) degree_norm = total;
+      }
+      for (const auto& nb : graph.neighbors(i)) {
+        const float w = static_cast<float>(nb.weight / degree_norm);
+        denom += w;
+        auto src = current.row(nb.node);
+        for (std::size_t d = 0; d < dim; ++d) dst[d] += w * src[d];
+      }
+      if (denom > 0.0) {
+        const float inv = static_cast<float>(1.0 / denom);
+        for (std::size_t d = 0; d < dim; ++d) dst[d] *= inv;
+      }
+    }
+    current = std::move(next);
+  }
+
+  if (config.center) {
+    Tensor mean = tensor::row_mean(current);
+    for (std::size_t i = 0; i < n; ++i) {
+      auto row = current.row(i);
+      for (std::size_t d = 0; d < dim; ++d) row[d] -= mean[d];
+    }
+  }
+  if (config.normalize) tensor::normalize_rows(current);
+  return current;
+}
+
+}  // namespace taglets::graph

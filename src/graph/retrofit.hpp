@@ -1,0 +1,48 @@
+// Expanded retrofitting (Appendix A.1, Eq. 8): learn a SCADS embedding
+// e_hat_q for every concept q that stays close to its original word
+// vector e_q (weight alpha_q) and to its graph neighbours (weights
+// beta_ij). The closed-form coordinate update
+//    e_hat_i = (alpha_i e_i + sum_j beta_ij e_hat_j) / (alpha_i + sum_j beta_ij)
+// is iterated to convergence (Jacobi style). Following the paper
+// ("we set alpha = 0 to handle out-of-vocabulary concepts"), concepts
+// with no word vector participate with alpha_i = 0 and inherit purely
+// graph-propagated embeddings.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "graph/knowledge_graph.hpp"
+#include "tensor/tensor.hpp"
+
+namespace taglets::graph {
+
+struct RetrofitConfig {
+  /// Attachment strength to the original word vector for in-vocabulary
+  /// concepts. (OOV concepts always get alpha = 0.)
+  double alpha = 1.0;
+  /// Iterations of the Jacobi update; retrofitting converges fast.
+  std::size_t iterations = 15;
+  /// Subtract the mean embedding before normalizing (the usual
+  /// "remove the common component" step; without it, cosine similarity
+  /// between any two concepts saturates near 1 because every embedding
+  /// shares the corpus-wide mean direction).
+  bool center = true;
+  /// L2-normalize rows of the result (ConceptNet Numberbatch does).
+  bool normalize = true;
+  /// Divide each node's beta_ij by its degree so the graph term and the
+  /// word-vector term have comparable weight; without this, high-degree
+  /// graphs collapse all embeddings toward the global mean.
+  bool normalize_neighbor_weights = true;
+};
+
+/// `word_vectors[i]` is the original embedding of node i, or nullopt for
+/// out-of-vocabulary concepts. Edge weights in the graph act as beta_ij.
+/// Returns a (node_count x dim) matrix of SCADS embeddings. Rows of
+/// concepts disconnected from every in-vocabulary concept are zero.
+tensor::Tensor retrofit_embeddings(
+    const KnowledgeGraph& graph,
+    const std::vector<std::optional<tensor::Tensor>>& word_vectors,
+    const RetrofitConfig& config = {});
+
+}  // namespace taglets::graph

@@ -1,0 +1,104 @@
+#include "graph/taxonomy.hpp"
+
+#include <stdexcept>
+
+namespace taglets::graph {
+
+Taxonomy::Taxonomy(std::vector<std::size_t> parent)
+    : parent_(std::move(parent)) {
+  const std::size_t n = parent_.size();
+  if (n == 0) throw std::invalid_argument("Taxonomy: empty");
+  children_.resize(n);
+  bool root_found = false;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (parent_[i] >= n) throw std::invalid_argument("Taxonomy: bad parent id");
+    if (parent_[i] == i) {
+      if (root_found) throw std::invalid_argument("Taxonomy: multiple roots");
+      root_ = i;
+      root_found = true;
+    } else {
+      children_[parent_[i]].push_back(i);
+    }
+  }
+  if (!root_found) throw std::invalid_argument("Taxonomy: no root");
+
+  // Compute depths iteratively (also validates acyclicity: a cycle would
+  // leave some depth unset after the BFS from the root).
+  depth_.assign(n, SIZE_MAX);
+  depth_[root_] = 0;
+  std::vector<std::size_t> stack{root_};
+  std::size_t visited = 1;
+  while (!stack.empty()) {
+    const std::size_t u = stack.back();
+    stack.pop_back();
+    for (std::size_t c : children_[u]) {
+      depth_[c] = depth_[u] + 1;
+      stack.push_back(c);
+      ++visited;
+    }
+  }
+  if (visited != n) throw std::invalid_argument("Taxonomy: cycle/forest");
+}
+
+std::size_t Taxonomy::parent(std::size_t node) const {
+  if (node >= parent_.size()) throw std::out_of_range("Taxonomy::parent");
+  return parent_[node];
+}
+
+const std::vector<std::size_t>& Taxonomy::children(std::size_t node) const {
+  if (node >= children_.size()) throw std::out_of_range("Taxonomy::children");
+  return children_[node];
+}
+
+std::size_t Taxonomy::depth(std::size_t node) const {
+  if (node >= depth_.size()) throw std::out_of_range("Taxonomy::depth");
+  return depth_[node];
+}
+
+std::vector<std::size_t> Taxonomy::subtree(std::size_t node) const {
+  if (node >= parent_.size()) throw std::out_of_range("Taxonomy::subtree");
+  std::vector<std::size_t> out;
+  std::vector<std::size_t> stack{node};
+  while (!stack.empty()) {
+    const std::size_t u = stack.back();
+    stack.pop_back();
+    out.push_back(u);
+    for (std::size_t c : children_[u]) stack.push_back(c);
+  }
+  return out;
+}
+
+bool Taxonomy::is_ancestor_or_self(std::size_t ancestor,
+                                   std::size_t descendant) const {
+  std::size_t u = descendant;
+  for (;;) {
+    if (u == ancestor) return true;
+    if (u == root_) return false;
+    u = parent_[u];
+  }
+}
+
+std::size_t Taxonomy::lca(std::size_t a, std::size_t b) const {
+  while (depth(a) > depth(b)) a = parent_[a];
+  while (depth(b) > depth(a)) b = parent_[b];
+  while (a != b) {
+    a = parent_[a];
+    b = parent_[b];
+  }
+  return a;
+}
+
+std::size_t Taxonomy::tree_distance(std::size_t a, std::size_t b) const {
+  const std::size_t anc = lca(a, b);
+  return (depth(a) - depth(anc)) + (depth(b) - depth(anc));
+}
+
+std::vector<std::size_t> Taxonomy::pruned_set(std::size_t node,
+                                              int prune_level) const {
+  if (prune_level < 0) return {};
+  std::size_t top = node;
+  for (int l = 0; l < prune_level && top != root_; ++l) top = parent_[top];
+  return subtree(top);
+}
+
+}  // namespace taglets::graph

@@ -1,0 +1,55 @@
+// Semantic tree over concepts — the role the WordNet hierarchy plays in
+// the paper's pruning protocol (Section 4.3): prune-level 0 removes a
+// target class and all its descendants from the auxiliary pool;
+// prune-level 1 additionally removes the parent and the parent's whole
+// subtree.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+namespace taglets::graph {
+
+class Taxonomy {
+ public:
+  /// `parent[i]` is the parent of node i; the root has parent == itself.
+  /// Node ids are positions in the vector; they are expected to coincide
+  /// with KnowledgeGraph node ids for the taxonomy-backed subset.
+  explicit Taxonomy(std::vector<std::size_t> parent);
+
+  std::size_t size() const { return parent_.size(); }
+  std::size_t root() const { return root_; }
+  std::size_t parent(std::size_t node) const;
+  const std::vector<std::size_t>& children(std::size_t node) const;
+  bool is_root(std::size_t node) const { return node == root_; }
+
+  /// Depth of node (root = 0).
+  std::size_t depth(std::size_t node) const;
+
+  /// Node plus all transitive descendants.
+  std::vector<std::size_t> subtree(std::size_t node) const;
+
+  /// True when `descendant` is inside subtree(`ancestor`) (inclusive).
+  bool is_ancestor_or_self(std::size_t ancestor, std::size_t descendant) const;
+
+  /// Lowest common ancestor.
+  std::size_t lca(std::size_t a, std::size_t b) const;
+
+  /// Tree hop distance (via the LCA).
+  std::size_t tree_distance(std::size_t a, std::size_t b) const;
+
+  /// The set removed by the paper's pruning procedure for target `node`:
+  ///   level 0 -> subtree(node)
+  ///   level 1 -> subtree(parent(node))
+  /// Levels beyond 1 generalize by walking further up.
+  std::vector<std::size_t> pruned_set(std::size_t node, int prune_level) const;
+
+ private:
+  std::vector<std::size_t> parent_;
+  std::vector<std::vector<std::size_t>> children_;
+  std::vector<std::size_t> depth_;
+  std::size_t root_ = 0;
+};
+
+}  // namespace taglets::graph

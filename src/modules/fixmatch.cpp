@@ -1,0 +1,137 @@
+#include "modules/fixmatch.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "nn/trainer.hpp"
+#include "tensor/ops.hpp"
+
+namespace taglets::modules {
+
+using tensor::Tensor;
+
+nn::Classifier fixmatch_train(const synth::FewShotTask& task,
+                              const nn::Sequential& encoder,
+                              std::size_t feature_dim,
+                              const FixMatchConfig& config, util::Rng& rng,
+                              double epoch_scale) {
+  nn::Classifier model(encoder, feature_dim, task.num_classes(), rng);
+
+  auto params = model.parameters();
+  nn::Sgd::Config sgd;
+  sgd.lr = config.lr;
+  sgd.momentum = config.momentum;
+  sgd.nesterov = true;
+  nn::Sgd optimizer(params, sgd);
+  nn::FixMatchCosineLr schedule(config.lr);
+
+  std::size_t epochs = std::max<std::size_t>(
+      1, static_cast<std::size_t>(config.ssl_epochs * epoch_scale));
+  const std::size_t n_unlabeled = task.unlabeled_inputs.rows();
+  const std::size_t n_labeled = task.labeled_labels.size();
+  const std::size_t driver_n = std::max<std::size_t>(n_unlabeled, n_labeled);
+  const std::size_t steps_per_epoch =
+      (driver_n + config.batch_size - 1) / config.batch_size;
+  const std::size_t min_steps = static_cast<std::size_t>(
+      static_cast<double>(config.ssl_min_steps) * epoch_scale);
+  if (min_steps > 0 && steps_per_epoch * epochs < min_steps) {
+    epochs = (min_steps + steps_per_epoch - 1) / steps_per_epoch;
+  }
+  const std::size_t total_steps = steps_per_epoch * epochs;
+
+  std::size_t step = 0;
+  for (std::size_t epoch = 0; epoch < epochs; ++epoch) {
+    for (const auto& u_batch :
+         nn::make_batches(driver_n, config.batch_size, rng)) {
+      optimizer.set_learning_rate(schedule.rate(step, total_steps));
+
+      // Supervised branch: weakly augmented labeled batch.
+      {
+        const std::size_t nb = std::min(config.batch_size, n_labeled);
+        std::vector<std::size_t> idx =
+            rng.sample_without_replacement(n_labeled, nb);
+        Tensor x = synth::weak_augment(task.labeled_inputs.gather_rows(idx),
+                                       rng, config.augment);
+        std::vector<std::size_t> y(nb);
+        for (std::size_t i = 0; i < nb; ++i) y[i] = task.labeled_labels[idx[i]];
+        Tensor logits = model.logits(x, /*training=*/true);
+        auto loss = nn::cross_entropy(logits, y);
+        model.backward(loss.grad_logits);
+      }
+
+      // Unsupervised branch: confidence-thresholded pseudo labels from
+      // the weak view supervise the strong view.
+      if (n_unlabeled > 0) {
+        std::vector<std::size_t> idx;
+        idx.reserve(u_batch.size());
+        for (std::size_t i : u_batch) idx.push_back(i % n_unlabeled);
+        Tensor u = task.unlabeled_inputs.gather_rows(idx);
+        Tensor weak = synth::weak_augment(u, rng, config.augment);
+        Tensor weak_proba = model.predict_proba(weak);  // no grad path
+
+        std::vector<std::size_t> confident_rows;
+        std::vector<std::size_t> pseudo;
+        for (std::size_t i = 0; i < weak_proba.rows(); ++i) {
+          auto row = weak_proba.row(i);
+          const std::size_t arg = tensor::argmax(row);
+          if (row[arg] >= static_cast<float>(config.tau)) {
+            confident_rows.push_back(i);
+            pseudo.push_back(arg);
+          }
+        }
+        if (!confident_rows.empty()) {
+          Tensor strong = synth::strong_augment(u.gather_rows(confident_rows),
+                                                rng, config.augment);
+          Tensor logits = model.logits(strong, /*training=*/true);
+          auto loss = nn::cross_entropy(logits, pseudo);
+          // FixMatch normalizes by the full unlabeled batch size, not by
+          // the confident subset; cross_entropy averaged over the subset,
+          // so rescale by |subset| / |batch| * lambda_u.
+          const float rescale = static_cast<float>(
+              config.lambda_u * static_cast<double>(confident_rows.size()) /
+              static_cast<double>(u_batch.size()));
+          Tensor grad = tensor::scale(loss.grad_logits, rescale);
+          model.backward(grad);
+        }
+      }
+
+      optimizer.step();
+      ++step;
+    }
+  }
+  return model;
+}
+
+Taglet FixMatchModule::train(const ModuleContext& context) const {
+  if (context.task == nullptr || context.backbone == nullptr ||
+      context.selection == nullptr) {
+    throw std::invalid_argument("FixMatchModule: incomplete context");
+  }
+  util::Rng rng = module_rng(context, name());
+
+  // SCADS phase: fine-tune the backbone on R before SSL (the module's
+  // confirmation-bias mitigation).
+  nn::Sequential encoder = context.backbone->encoder;
+  const auto& aux = context.selection->data;
+  if (aux.size() > 0) {
+    nn::Classifier aux_model(encoder, context.backbone->feature_dim,
+                             context.selection->intermediate_classes(), rng);
+    nn::FitConfig fit;
+    fit.epochs = scaled_epochs(config_.pretrain_epochs, context);
+    fit.batch_size = config_.batch_size;
+    fit.sgd.lr = config_.pretrain_lr;
+    fit.sgd.momentum = config_.momentum;
+    fit.min_steps = static_cast<std::size_t>(
+        static_cast<double>(config_.pretrain_min_steps) * context.epoch_scale);
+    nn::fit_hard(aux_model, aux.inputs, aux.labels, fit, rng);
+    encoder = aux_model.encoder();
+  }
+
+  nn::Classifier model =
+      fixmatch_train(*context.task, encoder, context.backbone->feature_dim,
+                     config_, rng, context.epoch_scale);
+  return Taglet(name(), std::move(model));
+}
+
+}  // namespace taglets::modules

@@ -1,0 +1,47 @@
+// FixMatch module (Section 3.2.3): inductive semi-supervised learning
+// with pseudo-labeling + consistency regularization. To curb
+// confirmation bias under very limited labels, the module first
+// fine-tunes the pretrained backbone on the SCADS-selected auxiliary
+// data R, then runs FixMatch over X and U. The SSL core is shared with
+// the FixMatch *baseline* (Section 4.2), which skips the SCADS phase.
+#pragma once
+
+#include "modules/module.hpp"
+#include "synth/augment.hpp"
+
+namespace taglets::modules {
+
+struct FixMatchConfig {
+  std::size_t pretrain_epochs = 5;  // on R (paper: five epochs)
+  double pretrain_lr = 0.003;
+  std::size_t pretrain_min_steps = 800;
+  std::size_t ssl_epochs = 15;  // labeled+unlabeled phase
+  std::size_t ssl_min_steps = 800;
+  std::size_t batch_size = 64;
+  double lr = 0.003;
+  double momentum = 0.9;  // Nesterov (paper uses Nesterov momentum)
+  double tau = 0.80;      // pseudo-label confidence threshold
+  double lambda_u = 1.0;  // unlabeled loss weight
+  synth::AugmentConfig augment{};
+};
+
+/// The FixMatch SSL loop itself, starting from `encoder`. Used by both
+/// the TAGLETS module and the baseline. Applies the paper's
+/// eta*cos(7*pi*k/16K) learning-rate decay.
+nn::Classifier fixmatch_train(const synth::FewShotTask& task,
+                              const nn::Sequential& encoder,
+                              std::size_t feature_dim,
+                              const FixMatchConfig& config, util::Rng& rng,
+                              double epoch_scale = 1.0);
+
+class FixMatchModule : public Module {
+ public:
+  explicit FixMatchModule(FixMatchConfig config = {}) : config_(config) {}
+  std::string name() const override { return "fixmatch"; }
+  Taglet train(const ModuleContext& context) const override;
+
+ private:
+  FixMatchConfig config_;
+};
+
+}  // namespace taglets::modules

@@ -1,0 +1,19 @@
+#include "modules/module.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace taglets::modules {
+
+std::size_t scaled_epochs(std::size_t epochs, const ModuleContext& context) {
+  const double scaled = std::max(1.0, std::floor(static_cast<double>(epochs) *
+                                                 context.epoch_scale));
+  return static_cast<std::size_t>(scaled);
+}
+
+util::Rng module_rng(const ModuleContext& context, const std::string& name) {
+  return util::Rng(util::combine_seeds(
+      {context.train_seed, std::hash<std::string>{}(name)}));
+}
+
+}  // namespace taglets::modules

@@ -1,0 +1,78 @@
+// Module / Taglet abstractions (Section 3.2). A module m consumes any of
+// the labeled target data X, the unlabeled data U, and the SCADS-selected
+// auxiliary data R, and returns a *taglet*: a trained classifier mapping
+// an example to a probability vector over the target classes. Modules
+// are trained independently and their taglets ensembled in the
+// distillation stage.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "backbone/zoo.hpp"
+#include "nn/classifier.hpp"
+#include "scads/selection.hpp"
+#include "synth/split.hpp"
+
+namespace taglets::modules {
+
+/// A trained pseudo-labeler over the target label space.
+class Taglet {
+ public:
+  Taglet(std::string name, nn::Classifier model)
+      : name_(std::move(name)), model_(std::move(model)) {}
+
+  const std::string& name() const { return name_; }
+
+  /// Probability vectors, one row per input (rows sum to 1) — the
+  /// t_m : x -> [0,1]^|Y_T| of Section 3.2.
+  tensor::Tensor predict_proba(const tensor::Tensor& inputs) {
+    return model_.predict_proba(inputs);
+  }
+  std::vector<std::size_t> predict(const tensor::Tensor& inputs) {
+    return model_.predict(inputs);
+  }
+
+  nn::Classifier& model() { return model_; }
+  const nn::Classifier& model() const { return model_; }
+
+ private:
+  std::string name_;
+  nn::Classifier model_;
+};
+
+class ZslKgEngine;  // forward declaration (zsl_kg.hpp)
+
+/// Everything a module may read while training. Pointers are non-owning
+/// and must outlive the train() call.
+struct ModuleContext {
+  const synth::FewShotTask* task = nullptr;
+  const scads::Scads* scads = nullptr;
+  /// Pre-computed auxiliary selection R shared by all modules.
+  const scads::Selection* selection = nullptr;
+  /// The backbone phi this run uses.
+  const backbone::Pretrained* backbone = nullptr;
+  /// Pretrained zero-shot engine (may be null; the ZSL-KG module then
+  /// throws, and the controller skips it).
+  ZslKgEngine* zsl_engine = nullptr;
+  /// Seed controlling head init, shuffling, and augmentation.
+  std::uint64_t train_seed = 0;
+  /// Global scale on training epochs (tests use < 1 for speed).
+  double epoch_scale = 1.0;
+};
+
+/// A training method tailored to exploit SCADS (Section 3.2).
+class Module {
+ public:
+  virtual ~Module() = default;
+  virtual std::string name() const = 0;
+  virtual Taglet train(const ModuleContext& context) const = 0;
+};
+
+/// Epoch count after applying the context's scale (min 1).
+std::size_t scaled_epochs(std::size_t epochs, const ModuleContext& context);
+
+/// Fresh RNG for a module, decorrelated across modules by name.
+util::Rng module_rng(const ModuleContext& context, const std::string& name);
+
+}  // namespace taglets::modules

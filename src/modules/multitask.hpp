@@ -1,0 +1,30 @@
+// Multi-task module (Section 3.2.2): jointly learns the target task on X
+// and the auxiliary (N*C)-way task on R with a shared encoder and two
+// heads, optimizing L_joint = L_target + lambda * L_aux (Eqs. 3-5).
+#pragma once
+
+#include "modules/module.hpp"
+
+namespace taglets::modules {
+
+struct MultiTaskConfig {
+  std::size_t epochs = 8;  // paper: 8 epochs, decay at 4 and 6
+  std::size_t batch_size = 64;
+  double lr = 0.003;
+  double momentum = 0.9;
+  double lambda = 1.0;  // influence of the auxiliary task (Eq. 3)
+  std::size_t min_steps = 800;  // floor on joint updates
+  std::vector<double> milestones{0.5, 0.75};
+};
+
+class MultiTaskModule : public Module {
+ public:
+  explicit MultiTaskModule(MultiTaskConfig config = {}) : config_(config) {}
+  std::string name() const override { return "multitask"; }
+  Taglet train(const ModuleContext& context) const override;
+
+ private:
+  MultiTaskConfig config_;
+};
+
+}  // namespace taglets::modules

@@ -1,0 +1,68 @@
+#include "modules/prototype.hpp"
+
+#include <stdexcept>
+
+#include "tensor/ops.hpp"
+
+namespace taglets::modules {
+
+using tensor::Tensor;
+
+Taglet PrototypeModule::train(const ModuleContext& context) const {
+  if (context.task == nullptr || context.backbone == nullptr ||
+      context.selection == nullptr) {
+    throw std::invalid_argument("PrototypeModule: incomplete context");
+  }
+  const auto& task = *context.task;
+  const auto& backbone = *context.backbone;
+  nn::Sequential encoder = backbone.encoder;
+
+  // Weighted feature sums per class: labeled shots...
+  Tensor sums = Tensor::zeros(task.num_classes(), backbone.feature_dim);
+  std::vector<double> weights(task.num_classes(), 0.0);
+  Tensor labeled_features = encoder.forward(task.labeled_inputs, false);
+  for (std::size_t i = 0; i < task.labeled_labels.size(); ++i) {
+    auto src = labeled_features.row(i);
+    auto dst = sums.row(task.labeled_labels[i]);
+    for (std::size_t d = 0; d < dst.size(); ++d) dst[d] += src[d];
+    weights[task.labeled_labels[i]] += 1.0;
+  }
+  // ...plus the selected auxiliary images, attributed to the target
+  // class whose relatedness query chose their concept.
+  const auto& selection = *context.selection;
+  if (selection.data.size() > 0 && config_.aux_weight > 0.0) {
+    const float w = static_cast<float>(config_.aux_weight);
+    Tensor aux_features = encoder.forward(selection.data.inputs, false);
+    for (std::size_t i = 0; i < selection.data.labels.size(); ++i) {
+      const std::size_t target_class =
+          selection.source_target_class[selection.data.labels[i]];
+      auto src = aux_features.row(i);
+      auto dst = sums.row(target_class);
+      for (std::size_t d = 0; d < dst.size(); ++d) dst[d] += w * src[d];
+      weights[target_class] += config_.aux_weight;
+    }
+  }
+
+  // Nearest-prototype head: logits_c = 2 p_c . x - |p_c|^2, the affine
+  // form of negative squared distance (the |x|^2 term is constant
+  // across classes and drops out of the softmax).
+  Tensor weight = Tensor::zeros(backbone.feature_dim, task.num_classes());
+  Tensor bias = Tensor::zeros(task.num_classes());
+  for (std::size_t c = 0; c < task.num_classes(); ++c) {
+    auto proto = sums.row(c);
+    const float inv =
+        weights[c] > 0.0 ? static_cast<float>(1.0 / weights[c]) : 0.0f;
+    float sq = 0.0f;
+    for (std::size_t d = 0; d < proto.size(); ++d) {
+      const float p = proto[d] * inv;
+      weight.at(d, c) = 2.0f * p;
+      sq += p * p;
+    }
+    bias[c] = -sq;
+  }
+  return Taglet(name(),
+                nn::Classifier(encoder, nn::Linear(std::move(weight),
+                                                   std::move(bias))));
+}
+
+}  // namespace taglets::modules

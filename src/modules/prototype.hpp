@@ -1,0 +1,32 @@
+// Prototype module: a training-free taglet in the spirit of
+// Prototypical Networks (Snell et al. 2017, cited by the paper among
+// few-shot approaches). Class prototypes are mean backbone features of
+// the labeled shots plus the SCADS-selected auxiliary images of each
+// class's related concepts; the classification head scores examples by
+// (negative squared) distance to the prototypes. Registered in the
+// module registry as "prototype" but not part of the paper's default
+// four-module line-up — it demonstrates the Section 3.2 extension point
+// and serves as a cheap fifth ensemble member.
+#pragma once
+
+#include "modules/module.hpp"
+
+namespace taglets::modules {
+
+struct PrototypeConfig {
+  /// Weight of auxiliary feature vectors relative to labeled ones when
+  /// averaging into the prototype (labeled shots count 1.0 each).
+  double aux_weight = 1.0;
+};
+
+class PrototypeModule : public Module {
+ public:
+  explicit PrototypeModule(PrototypeConfig config = {}) : config_(config) {}
+  std::string name() const override { return "prototype"; }
+  Taglet train(const ModuleContext& context) const override;
+
+ private:
+  PrototypeConfig config_;
+};
+
+}  // namespace taglets::modules

@@ -1,0 +1,74 @@
+#include "modules/registry.hpp"
+
+#include <stdexcept>
+
+#include "modules/fixmatch.hpp"
+#include "modules/multitask.hpp"
+#include "modules/prototype.hpp"
+#include "modules/transfer.hpp"
+#include "modules/zsl_kg.hpp"
+
+namespace taglets::modules {
+
+namespace {
+
+void register_builtins(ModuleRegistry& registry) {
+  registry.register_module(
+      "transfer", [] { return std::make_unique<TransferModule>(); });
+  registry.register_module(
+      "multitask", [] { return std::make_unique<MultiTaskModule>(); });
+  registry.register_module(
+      "fixmatch", [] { return std::make_unique<FixMatchModule>(); });
+  registry.register_module("zsl-kg",
+                           [] { return std::make_unique<ZslKgModule>(); });
+  // Not in the paper's default line-up; available as a cheap fifth
+  // ensemble member (see modules/prototype.hpp).
+  registry.register_module(
+      "prototype", [] { return std::make_unique<PrototypeModule>(); });
+}
+
+}  // namespace
+
+ModuleRegistry& ModuleRegistry::global() {
+  static ModuleRegistry registry = with_builtins();
+  return registry;
+}
+
+ModuleRegistry ModuleRegistry::with_builtins() {
+  ModuleRegistry registry;
+  register_builtins(registry);
+  return registry;
+}
+
+void ModuleRegistry::register_module(const std::string& name,
+                                     ModuleFactory factory) {
+  if (!factory) throw std::invalid_argument("register_module: null factory");
+  factories_[name] = std::move(factory);
+}
+
+bool ModuleRegistry::contains(const std::string& name) const {
+  return factories_.count(name) > 0;
+}
+
+std::unique_ptr<Module> ModuleRegistry::create(const std::string& name) const {
+  auto it = factories_.find(name);
+  if (it == factories_.end()) {
+    throw std::invalid_argument("ModuleRegistry: unknown module " + name);
+  }
+  return it->second();
+}
+
+std::vector<std::string> ModuleRegistry::available() const {
+  std::vector<std::string> out;
+  out.reserve(factories_.size());
+  for (const auto& [name, factory] : factories_) out.push_back(name);
+  return out;
+}
+
+const std::vector<std::string>& ModuleRegistry::default_lineup() {
+  static const std::vector<std::string> lineup = {"transfer", "multitask",
+                                                  "fixmatch", "zsl-kg"};
+  return lineup;
+}
+
+}  // namespace taglets::modules

@@ -1,0 +1,40 @@
+// Module registry — the extensibility hook Section 3.2 promises ("other
+// methods can be incorporated on top of the ones we develop here").
+// The four built-in modules are pre-registered; users add their own by
+// name (see examples/custom_module.cpp).
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "modules/module.hpp"
+
+namespace taglets::modules {
+
+using ModuleFactory = std::function<std::unique_ptr<Module>()>;
+
+class ModuleRegistry {
+ public:
+  /// Process-wide registry with the built-ins pre-registered.
+  static ModuleRegistry& global();
+
+  /// Fresh registry containing only the built-ins (for isolated tests).
+  static ModuleRegistry with_builtins();
+
+  /// Registers (or replaces) a factory under `name`.
+  void register_module(const std::string& name, ModuleFactory factory);
+  bool contains(const std::string& name) const;
+  std::unique_ptr<Module> create(const std::string& name) const;
+  std::vector<std::string> available() const;
+
+  /// The default TAGLETS line-up: transfer, multitask, fixmatch, zsl-kg.
+  static const std::vector<std::string>& default_lineup();
+
+ private:
+  std::map<std::string, ModuleFactory> factories_;
+};
+
+}  // namespace taglets::modules

@@ -1,0 +1,53 @@
+#include "modules/transfer.hpp"
+
+#include <stdexcept>
+
+#include "nn/trainer.hpp"
+
+namespace taglets::modules {
+
+Taglet TransferModule::train(const ModuleContext& context) const {
+  if (context.task == nullptr || context.backbone == nullptr ||
+      context.selection == nullptr) {
+    throw std::invalid_argument("TransferModule: incomplete context");
+  }
+  const auto& task = *context.task;
+  const auto& selection = *context.selection;
+  util::Rng rng = module_rng(context, name());
+
+  // Intermediate phase (Eq. 1): (N*C)-way task over the selected
+  // auxiliary data, starting from the pretrained backbone.
+  nn::Sequential encoder = context.backbone->encoder;
+  if (selection.data.size() > 0) {
+    nn::Classifier aux_model(encoder, context.backbone->feature_dim,
+                             selection.intermediate_classes(), rng);
+    nn::FitConfig fit;
+    fit.epochs = scaled_epochs(config_.aux_epochs, context);
+    fit.batch_size = config_.batch_size;
+    fit.sgd.lr = config_.aux_lr;
+    fit.sgd.momentum = config_.momentum;
+    fit.min_steps = static_cast<std::size_t>(
+        static_cast<double>(config_.aux_min_steps) * context.epoch_scale);
+    nn::fit_hard(aux_model, selection.data.inputs, selection.data.labels, fit,
+                 rng);
+    encoder = aux_model.encoder();  // keep theta', drop the aux head
+  }
+
+  // Target phase (Eq. 2): fresh C-way head, fine-tune on X.
+  nn::Classifier model(encoder, context.backbone->feature_dim,
+                       task.num_classes(), rng);
+  nn::FitConfig fit;
+  fit.epochs = scaled_epochs(config_.target_epochs, context);
+  fit.batch_size = config_.batch_size;
+  fit.sgd.lr = config_.target_lr;
+  fit.sgd.momentum = config_.momentum;
+  fit.min_steps = static_cast<std::size_t>(
+      static_cast<double>(config_.target_min_steps) * context.epoch_scale);
+  fit.schedule = std::make_shared<nn::StepDecayLr>(config_.target_lr,
+                                                   config_.target_milestones);
+  nn::fit_hard(model, task.labeled_inputs, task.labeled_labels, fit, rng);
+
+  return Taglet(name(), std::move(model));
+}
+
+}  // namespace taglets::modules

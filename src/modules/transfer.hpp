@@ -1,0 +1,37 @@
+// Transfer module (Section 3.2.1): sequential fine-tuning. First the
+// backbone is fine-tuned on the SCADS-selected auxiliary set R as an
+// (N*C)-way classification task (Eq. 1, the intermediate phase), then
+// the resulting encoder is fine-tuned on the labeled target examples X
+// with a fresh C-way head (Eq. 2).
+#pragma once
+
+#include "modules/module.hpp"
+
+namespace taglets::modules {
+
+struct TransferConfig {
+  std::size_t aux_epochs = 5;      // intermediate phase (paper: 5 epochs)
+  std::size_t target_epochs = 30;  // target phase (paper: 40 w/ decay 20,30)
+  std::size_t batch_size = 64;
+  double aux_lr = 0.003;
+  double target_lr = 0.003;  // paper's fine-tuning learning rate
+  double momentum = 0.9;
+  /// Step floors so 1-shot tasks still get enough optimizer updates.
+  std::size_t aux_min_steps = 1200;
+  std::size_t target_min_steps = 800;
+  /// Step-decay milestones for the target phase, as fractions of total
+  /// steps (the paper decays at epochs 20 and 30 of 40).
+  std::vector<double> target_milestones{0.5, 0.75};
+};
+
+class TransferModule : public Module {
+ public:
+  explicit TransferModule(TransferConfig config = {}) : config_(config) {}
+  std::string name() const override { return "transfer"; }
+  Taglet train(const ModuleContext& context) const override;
+
+ private:
+  TransferConfig config_;
+};
+
+}  // namespace taglets::modules

@@ -1,0 +1,59 @@
+#include "nn/grad_check.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace taglets::nn {
+
+namespace {
+
+double relative_error(double analytic, double numeric) {
+  const double denom =
+      std::max({std::abs(analytic), std::abs(numeric), 1e-8});
+  return std::abs(analytic - numeric) / denom;
+}
+
+}  // namespace
+
+double max_param_grad_error(std::span<Parameter* const> params,
+                            const std::function<double()>& loss_fn,
+                            double epsilon) {
+  double worst = 0.0;
+  for (Parameter* p : params) {
+    auto values = p->value.data();
+    auto grads = p->grad.data();
+    for (std::size_t i = 0; i < values.size(); ++i) {
+      const float saved = values[i];
+      values[i] = saved + static_cast<float>(epsilon);
+      const double plus = loss_fn();
+      values[i] = saved - static_cast<float>(epsilon);
+      const double minus = loss_fn();
+      values[i] = saved;
+      const double numeric = (plus - minus) / (2.0 * epsilon);
+      worst = std::max(worst, relative_error(grads[i], numeric));
+    }
+  }
+  return worst;
+}
+
+double max_input_grad_error(tensor::Tensor& input,
+                            const tensor::Tensor& analytic_grad,
+                            const std::function<double()>& loss_fn,
+                            double epsilon) {
+  double worst = 0.0;
+  auto values = input.data();
+  auto grads = analytic_grad.data();
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    const float saved = values[i];
+    values[i] = saved + static_cast<float>(epsilon);
+    const double plus = loss_fn();
+    values[i] = saved - static_cast<float>(epsilon);
+    const double minus = loss_fn();
+    values[i] = saved;
+    const double numeric = (plus - minus) / (2.0 * epsilon);
+    worst = std::max(worst, relative_error(grads[i], numeric));
+  }
+  return worst;
+}
+
+}  // namespace taglets::nn

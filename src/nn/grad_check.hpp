@@ -1,0 +1,26 @@
+// Numerical gradient checking used by the test suite to validate the
+// hand-written backprop in every layer and loss.
+#pragma once
+
+#include <functional>
+
+#include "nn/layers.hpp"
+
+namespace taglets::nn {
+
+/// Maximum relative error between the analytic gradient stored in each
+/// parameter and a central-difference estimate of d(loss)/d(param),
+/// where `loss_fn` runs a full forward pass and returns the scalar loss.
+/// `loss_fn` must be deterministic (no dropout).
+double max_param_grad_error(std::span<Parameter* const> params,
+                            const std::function<double()>& loss_fn,
+                            double epsilon = 1e-3);
+
+/// Same idea for an input gradient: compares `analytic_grad` to the
+/// central-difference gradient of `loss_fn` with respect to `input`.
+double max_input_grad_error(tensor::Tensor& input,
+                            const tensor::Tensor& analytic_grad,
+                            const std::function<double()>& loss_fn,
+                            double epsilon = 1e-3);
+
+}  // namespace taglets::nn

@@ -1,0 +1,31 @@
+#include "nn/init.hpp"
+
+#include <cmath>
+
+namespace taglets::nn {
+
+tensor::Tensor kaiming_normal(std::size_t rows, std::size_t cols,
+                              util::Rng& rng) {
+  // Weight layout is (in, out); fan_in = rows.
+  const double stddev = std::sqrt(2.0 / static_cast<double>(rows));
+  tensor::Tensor w = tensor::Tensor::zeros(rows, cols);
+  for (float& x : w.data()) x = static_cast<float>(rng.normal(0.0, stddev));
+  return w;
+}
+
+tensor::Tensor xavier_uniform(std::size_t rows, std::size_t cols,
+                              util::Rng& rng) {
+  const double a = std::sqrt(6.0 / static_cast<double>(rows + cols));
+  tensor::Tensor w = tensor::Tensor::zeros(rows, cols);
+  for (float& x : w.data()) x = static_cast<float>(rng.uniform(-a, a));
+  return w;
+}
+
+tensor::Tensor gaussian(std::size_t rows, std::size_t cols, float stddev,
+                        util::Rng& rng) {
+  tensor::Tensor w = tensor::Tensor::zeros(rows, cols);
+  for (float& x : w.data()) x = static_cast<float>(rng.normal(0.0, stddev));
+  return w;
+}
+
+}  // namespace taglets::nn

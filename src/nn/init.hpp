@@ -1,0 +1,24 @@
+// Weight initialization. Following the paper's Appendix A.3, the training
+// seed "affects the initialization of linear layers we append to the
+// backbones", so initializers take an explicit Rng.
+#pragma once
+
+#include "tensor/tensor.hpp"
+#include "util/rng.hpp"
+
+namespace taglets::nn {
+
+/// Kaiming/He normal init for layers followed by ReLU:
+/// N(0, sqrt(2 / fan_in)).
+tensor::Tensor kaiming_normal(std::size_t rows, std::size_t cols,
+                              util::Rng& rng);
+
+/// Xavier/Glorot uniform init: U(-a, a) with a = sqrt(6 / (fan_in+fan_out)).
+tensor::Tensor xavier_uniform(std::size_t rows, std::size_t cols,
+                              util::Rng& rng);
+
+/// Plain Gaussian init with given stddev.
+tensor::Tensor gaussian(std::size_t rows, std::size_t cols, float stddev,
+                        util::Rng& rng);
+
+}  // namespace taglets::nn

@@ -1,0 +1,79 @@
+#include "nn/loss.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "tensor/ops.hpp"
+
+namespace taglets::nn {
+
+using tensor::Tensor;
+
+LossResult cross_entropy(const Tensor& logits,
+                         std::span<const std::size_t> labels) {
+  if (!logits.is_matrix() || logits.rows() != labels.size()) {
+    throw std::invalid_argument("cross_entropy: shape mismatch");
+  }
+  const std::size_t n = logits.rows(), c = logits.cols();
+  Tensor log_probs = tensor::log_softmax(logits);
+  Tensor grad = tensor::softmax(logits);
+  double loss = 0.0;
+  const float inv_n = 1.0f / static_cast<float>(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (labels[i] >= c) throw std::out_of_range("cross_entropy: label");
+    loss -= log_probs.at(i, labels[i]);
+    auto g = grad.row(i);
+    g[labels[i]] -= 1.0f;
+    for (float& x : g) x *= inv_n;
+  }
+  return LossResult{loss / static_cast<double>(n), std::move(grad)};
+}
+
+LossResult soft_cross_entropy(const Tensor& logits, const Tensor& targets) {
+  if (!tensor::same_shape(logits, targets) || !logits.is_matrix()) {
+    throw std::invalid_argument("soft_cross_entropy: shape mismatch");
+  }
+  const std::size_t n = logits.rows(), c = logits.cols();
+  Tensor log_probs = tensor::log_softmax(logits);
+  Tensor grad = tensor::softmax(logits);
+  double loss = 0.0;
+  const float inv_n = 1.0f / static_cast<float>(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    auto lp = log_probs.row(i);
+    auto t = targets.row(i);
+    auto g = grad.row(i);
+    for (std::size_t j = 0; j < c; ++j) {
+      loss -= static_cast<double>(t[j]) * lp[j];
+      g[j] = (g[j] - t[j]) * inv_n;
+    }
+  }
+  return LossResult{loss / static_cast<double>(n), std::move(grad)};
+}
+
+LossResult mse(const Tensor& prediction, const Tensor& target) {
+  if (!tensor::same_shape(prediction, target)) {
+    throw std::invalid_argument("mse: shape mismatch");
+  }
+  const std::size_t n = prediction.size();
+  Tensor grad = tensor::sub(prediction, target);
+  double loss = 0.0;
+  for (float g : grad.data()) loss += static_cast<double>(g) * g;
+  loss /= static_cast<double>(n);
+  const float scale = 2.0f / static_cast<float>(n);
+  for (float& g : grad.data()) g *= scale;
+  return LossResult{loss, std::move(grad)};
+}
+
+double accuracy(const Tensor& logits, std::span<const std::size_t> labels) {
+  if (!logits.is_matrix() || logits.rows() != labels.size()) {
+    throw std::invalid_argument("accuracy: shape mismatch");
+  }
+  if (labels.empty()) return 0.0;
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < logits.rows(); ++i) {
+    if (tensor::argmax(logits.row(i)) == labels[i]) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(labels.size());
+}
+
+}  // namespace taglets::nn

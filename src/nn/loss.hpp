@@ -1,0 +1,39 @@
+// Classification losses. The TAGLETS pipeline needs two flavours of
+// cross entropy: hard-label CE for module training (Eqs. 1-5) and
+// soft-target CE for end-model distillation on pseudo labels (Eq. 7).
+// Each returns the mean loss plus the gradient with respect to the
+// logits (softmax folded in analytically).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace taglets::nn {
+
+struct LossResult {
+  double loss = 0.0;
+  tensor::Tensor grad_logits;  // same shape as the input logits
+};
+
+/// Mean cross entropy with integer class labels.
+LossResult cross_entropy(const tensor::Tensor& logits,
+                         std::span<const std::size_t> labels);
+
+/// Mean soft cross entropy: -sum_c p_c log softmax(logits)_c averaged
+/// over rows (Eq. 7). `targets` rows are probability vectors.
+LossResult soft_cross_entropy(const tensor::Tensor& logits,
+                              const tensor::Tensor& targets);
+
+/// Mean squared error between two equally-shaped tensors (used by the
+/// ZSL-KG pretraining objective, Eq. 9).
+LossResult mse(const tensor::Tensor& prediction, const tensor::Tensor& target);
+
+/// Fraction of rows whose argmax equals the label.
+double accuracy(const tensor::Tensor& logits,
+                std::span<const std::size_t> labels);
+
+}  // namespace taglets::nn

@@ -1,0 +1,126 @@
+#include "nn/metrics.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <sstream>
+#include <stdexcept>
+
+#include "tensor/ops.hpp"
+
+namespace taglets::nn {
+
+ConfusionMatrix::ConfusionMatrix(std::size_t num_classes)
+    : n_(num_classes), counts_(num_classes * num_classes, 0) {
+  if (num_classes == 0) {
+    throw std::invalid_argument("ConfusionMatrix: zero classes");
+  }
+}
+
+void ConfusionMatrix::add(std::size_t truth, std::size_t predicted) {
+  if (truth >= n_ || predicted >= n_) {
+    throw std::out_of_range("ConfusionMatrix::add: class out of range");
+  }
+  counts_[truth * n_ + predicted]++;
+  ++total_;
+}
+
+void ConfusionMatrix::add_batch(std::span<const std::size_t> truths,
+                                std::span<const std::size_t> predictions) {
+  if (truths.size() != predictions.size()) {
+    throw std::invalid_argument("ConfusionMatrix::add_batch: size mismatch");
+  }
+  for (std::size_t i = 0; i < truths.size(); ++i) {
+    add(truths[i], predictions[i]);
+  }
+}
+
+std::size_t ConfusionMatrix::at(std::size_t truth, std::size_t predicted) const {
+  if (truth >= n_ || predicted >= n_) {
+    throw std::out_of_range("ConfusionMatrix::at");
+  }
+  return counts_[truth * n_ + predicted];
+}
+
+double ConfusionMatrix::accuracy() const {
+  if (total_ == 0) return 0.0;
+  std::size_t diag = 0;
+  for (std::size_t c = 0; c < n_; ++c) diag += counts_[c * n_ + c];
+  return static_cast<double>(diag) / static_cast<double>(total_);
+}
+
+double ConfusionMatrix::recall(std::size_t c) const {
+  std::size_t row = 0;
+  for (std::size_t j = 0; j < n_; ++j) row += counts_[c * n_ + j];
+  if (row == 0) return 0.0;
+  return static_cast<double>(counts_[c * n_ + c]) / static_cast<double>(row);
+}
+
+double ConfusionMatrix::precision(std::size_t c) const {
+  std::size_t col = 0;
+  for (std::size_t i = 0; i < n_; ++i) col += counts_[i * n_ + c];
+  if (col == 0) return 0.0;
+  return static_cast<double>(counts_[c * n_ + c]) / static_cast<double>(col);
+}
+
+double ConfusionMatrix::f1(std::size_t c) const {
+  const double p = precision(c);
+  const double r = recall(c);
+  if (p + r == 0.0) return 0.0;
+  return 2.0 * p * r / (p + r);
+}
+
+double ConfusionMatrix::macro_f1() const {
+  double sum = 0.0;
+  for (std::size_t c = 0; c < n_; ++c) sum += f1(c);
+  return sum / static_cast<double>(n_);
+}
+
+double ConfusionMatrix::balanced_accuracy() const {
+  double sum = 0.0;
+  for (std::size_t c = 0; c < n_; ++c) sum += recall(c);
+  return sum / static_cast<double>(n_);
+}
+
+std::vector<std::size_t> ConfusionMatrix::worst_classes(std::size_t k) const {
+  std::vector<std::size_t> idx(n_);
+  std::iota(idx.begin(), idx.end(), 0);
+  k = std::min(k, n_);
+  std::partial_sort(idx.begin(), idx.begin() + static_cast<long>(k), idx.end(),
+                    [&](std::size_t a, std::size_t b) {
+                      const double ra = recall(a), rb = recall(b);
+                      if (ra != rb) return ra < rb;
+                      return a < b;
+                    });
+  idx.resize(k);
+  return idx;
+}
+
+std::string ConfusionMatrix::report(
+    const std::vector<std::string>& class_names) const {
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(3);
+  os << "accuracy " << accuracy() << ", balanced " << balanced_accuracy()
+     << ", macro-F1 " << macro_f1() << "\n";
+  for (std::size_t c = 0; c < n_; ++c) {
+    const std::string name = c < class_names.size()
+                                 ? class_names[c]
+                                 : "class " + std::to_string(c);
+    os << "  " << name << ": recall " << recall(c) << ", precision "
+       << precision(c) << ", f1 " << f1(c) << "\n";
+  }
+  return os.str();
+}
+
+ConfusionMatrix evaluate_confusion(const tensor::Tensor& logits,
+                                   std::span<const std::size_t> labels) {
+  if (!logits.is_matrix() || logits.rows() != labels.size()) {
+    throw std::invalid_argument("evaluate_confusion: shape mismatch");
+  }
+  ConfusionMatrix cm(logits.cols());
+  const auto predictions = tensor::argmax_rows(logits);
+  cm.add_batch(labels, predictions);
+  return cm;
+}
+
+}  // namespace taglets::nn

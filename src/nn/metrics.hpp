@@ -1,0 +1,59 @@
+// Classification metrics beyond plain accuracy: confusion matrix,
+// per-class accuracy / precision / recall, and macro-averaged F1. Used
+// by the examples and the evaluation harness for error analysis (e.g.
+// per-class behaviour of the Grocery task's graph-missing classes).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace taglets::nn {
+
+class ConfusionMatrix {
+ public:
+  explicit ConfusionMatrix(std::size_t num_classes);
+
+  /// Count one (truth, prediction) observation.
+  void add(std::size_t truth, std::size_t predicted);
+  /// Count a batch from predictions.
+  void add_batch(std::span<const std::size_t> truths,
+                 std::span<const std::size_t> predictions);
+
+  std::size_t num_classes() const { return n_; }
+  std::size_t total() const { return total_; }
+  /// count(truth = r, predicted = c).
+  std::size_t at(std::size_t truth, std::size_t predicted) const;
+
+  double accuracy() const;
+  /// Recall of class c (diagonal over row sum); 0 for unseen classes.
+  double recall(std::size_t c) const;
+  /// Precision of class c (diagonal over column sum); 0 if never predicted.
+  double precision(std::size_t c) const;
+  /// Harmonic mean of precision and recall; 0 when both are 0.
+  double f1(std::size_t c) const;
+  /// Unweighted mean F1 over classes.
+  double macro_f1() const;
+  /// Unweighted mean recall over classes (a.k.a. balanced accuracy).
+  double balanced_accuracy() const;
+
+  /// Indices of the k classes with the lowest recall (ties by index).
+  std::vector<std::size_t> worst_classes(std::size_t k) const;
+
+  /// Multi-line text rendering with optional class names.
+  std::string report(const std::vector<std::string>& class_names = {}) const;
+
+ private:
+  std::size_t n_;
+  std::size_t total_ = 0;
+  std::vector<std::size_t> counts_;  // row-major (truth, predicted)
+};
+
+/// Build a confusion matrix from logits and labels in one call.
+ConfusionMatrix evaluate_confusion(const tensor::Tensor& logits,
+                                   std::span<const std::size_t> labels);
+
+}  // namespace taglets::nn

@@ -1,0 +1,77 @@
+#include "nn/optimizer.hpp"
+
+#include <cmath>
+
+namespace taglets::nn {
+
+using tensor::Tensor;
+
+namespace {
+
+Tensor zeros_like(const Tensor& t) {
+  return t.is_matrix() ? Tensor::zeros(t.rows(), t.cols())
+                       : Tensor::zeros(t.size());
+}
+
+}  // namespace
+
+Sgd::Sgd(std::vector<Parameter*> params, const Config& config)
+    : Optimizer(std::move(params)), config_(config) {
+  lr_ = config.lr;
+  velocity_.reserve(params_.size());
+  for (Parameter* p : params_) velocity_.push_back(zeros_like(p->value));
+}
+
+void Sgd::apply() {
+  const float lr = static_cast<float>(lr_);
+  const float mu = static_cast<float>(config_.momentum);
+  const float wd = static_cast<float>(config_.weight_decay);
+  for (std::size_t k = 0; k < params_.size(); ++k) {
+    auto value = params_[k]->value.data();
+    auto grad = params_[k]->grad.data();
+    auto vel = velocity_[k].data();
+    for (std::size_t i = 0; i < value.size(); ++i) {
+      float g = grad[i] + wd * value[i];
+      vel[i] = mu * vel[i] + g;
+      const float update = config_.nesterov ? g + mu * vel[i] : vel[i];
+      value[i] -= lr * update;
+    }
+  }
+}
+
+Adam::Adam(std::vector<Parameter*> params, const Config& config)
+    : Optimizer(std::move(params)), config_(config) {
+  lr_ = config.lr;
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (Parameter* p : params_) {
+    m_.push_back(zeros_like(p->value));
+    v_.push_back(zeros_like(p->value));
+  }
+}
+
+void Adam::apply() {
+  ++t_;
+  const double bc1 = 1.0 - std::pow(config_.beta1, t_);
+  const double bc2 = 1.0 - std::pow(config_.beta2, t_);
+  const float b1 = static_cast<float>(config_.beta1);
+  const float b2 = static_cast<float>(config_.beta2);
+  const float eps = static_cast<float>(config_.epsilon);
+  const float wd = static_cast<float>(config_.weight_decay);
+  const float step_size = static_cast<float>(lr_ / bc1);
+  for (std::size_t k = 0; k < params_.size(); ++k) {
+    auto value = params_[k]->value.data();
+    auto grad = params_[k]->grad.data();
+    auto m = m_[k].data();
+    auto v = v_[k].data();
+    for (std::size_t i = 0; i < value.size(); ++i) {
+      const float g = grad[i] + wd * value[i];
+      m[i] = b1 * m[i] + (1.0f - b1) * g;
+      v[i] = b2 * v[i] + (1.0f - b2) * g * g;
+      const float vhat = v[i] / static_cast<float>(bc2);
+      value[i] -= step_size * m[i] / (std::sqrt(vhat) + eps);
+    }
+  }
+}
+
+}  // namespace taglets::nn

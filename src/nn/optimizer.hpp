@@ -1,0 +1,87 @@
+// Optimizers matching the ones Appendix A.5 prescribes: SGD with
+// (optionally Nesterov) momentum for module/backbone fine-tuning, and
+// Adam with weight decay for the end model and ZSL-KG pretraining.
+// An optimizer is bound to a parameter list at construction; per-
+// parameter state is held in parallel vectors so cloned models get
+// fresh optimizers.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "nn/layers.hpp"
+
+namespace taglets::nn {
+
+class Optimizer {
+ public:
+  explicit Optimizer(std::vector<Parameter*> params)
+      : params_(std::move(params)) {}
+  virtual ~Optimizer() = default;
+
+  /// Apply one update from the accumulated gradients, then clear them.
+  void step() {
+    apply();
+    zero_grad();
+  }
+
+  void zero_grad() {
+    for (Parameter* p : params_) p->zero_grad();
+  }
+
+  double learning_rate() const { return lr_; }
+  void set_learning_rate(double lr) { lr_ = lr; }
+
+ protected:
+  virtual void apply() = 0;
+
+  std::vector<Parameter*> params_;
+  double lr_ = 0.0;
+};
+
+/// SGD with momentum; optional Nesterov lookahead and decoupled L2
+/// weight decay.
+class Sgd : public Optimizer {
+ public:
+  struct Config {
+    double lr = 0.003;       // paper default for fine-tuning (App. A.5)
+    double momentum = 0.9;   // paper default
+    bool nesterov = false;   // FixMatch uses Nesterov momentum
+    double weight_decay = 0.0;
+  };
+
+  Sgd(std::vector<Parameter*> params, const Config& config);
+
+ protected:
+  void apply() override;
+
+ private:
+  Config config_;
+  std::vector<tensor::Tensor> velocity_;
+};
+
+/// Adam with (coupled) weight decay, as used for the end model
+/// (lr 5e-4, wd 1e-4) and ZSL-KG pretraining (lr 1e-3, wd 5e-4).
+class Adam : public Optimizer {
+ public:
+  struct Config {
+    double lr = 5e-4;
+    double beta1 = 0.9;
+    double beta2 = 0.999;
+    double epsilon = 1e-8;
+    double weight_decay = 0.0;
+  };
+
+  Adam(std::vector<Parameter*> params, const Config& config);
+
+ protected:
+  void apply() override;
+
+ private:
+  Config config_;
+  std::vector<tensor::Tensor> m_;
+  std::vector<tensor::Tensor> v_;
+  long t_ = 0;
+};
+
+}  // namespace taglets::nn

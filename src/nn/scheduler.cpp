@@ -1,0 +1,61 @@
+#include "nn/scheduler.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace taglets::nn {
+
+StepDecayLr::StepDecayLr(double base_lr, std::vector<double> milestone_fractions,
+                         double factor)
+    : base_lr_(base_lr),
+      milestones_(std::move(milestone_fractions)),
+      factor_(factor) {
+  if (!std::is_sorted(milestones_.begin(), milestones_.end())) {
+    throw std::invalid_argument("StepDecayLr: milestones must ascend");
+  }
+}
+
+double StepDecayLr::rate(std::size_t step, std::size_t total_steps) const {
+  if (total_steps == 0) return base_lr_;
+  const double progress =
+      static_cast<double>(step) / static_cast<double>(total_steps);
+  double lr = base_lr_;
+  for (double m : milestones_) {
+    if (progress >= m) lr *= factor_;
+  }
+  return lr;
+}
+
+double FixMatchCosineLr::rate(std::size_t step, std::size_t total_steps) const {
+  if (total_steps == 0) return base_lr_;
+  const double k = static_cast<double>(step);
+  const double K = static_cast<double>(total_steps);
+  return base_lr_ * std::cos(7.0 * M_PI * k / (16.0 * K));
+}
+
+double HalfCosineLr::rate(std::size_t step, std::size_t total_steps) const {
+  if (total_steps == 0) return base_lr_;
+  const double k = static_cast<double>(step);
+  const double K = static_cast<double>(total_steps);
+  return base_lr_ / 2.0 * (1.0 + std::cos(M_PI * k / K));
+}
+
+WarmupLr::WarmupLr(std::size_t warmup_steps, std::unique_ptr<LrSchedule> after)
+    : warmup_steps_(warmup_steps), after_(std::move(after)) {
+  if (!after_) throw std::invalid_argument("WarmupLr: null schedule");
+}
+
+double WarmupLr::rate(std::size_t step, std::size_t total_steps) const {
+  const std::size_t remaining =
+      total_steps > warmup_steps_ ? total_steps - warmup_steps_ : 1;
+  if (step < warmup_steps_) {
+    // Target the post-warmup schedule's starting rate.
+    const double target = after_->rate(0, remaining);
+    return target * static_cast<double>(step + 1) /
+           static_cast<double>(warmup_steps_);
+  }
+  return after_->rate(step - warmup_steps_, remaining);
+}
+
+}  // namespace taglets::nn

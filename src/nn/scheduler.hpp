@@ -1,0 +1,80 @@
+// Learning-rate schedules. Appendix A.5 uses three:
+//   * step decay ("decayed by 0.1 at epoch 20 and 30"),
+//   * FixMatch cosine decay  eta * cos(7*pi*k / (16*K)),
+//   * Meta Pseudo Labels cosine decay  eta/2 * (1 + cos(pi*k / K)),
+// plus linear warmup for the first W steps when BiT-style training is
+// used. A scheduler maps a global step index to a learning rate, which
+// the trainer writes into the optimizer before each update.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+namespace taglets::nn {
+
+class LrSchedule {
+ public:
+  virtual ~LrSchedule() = default;
+  /// Learning rate to use for update `step` (0-based) out of
+  /// `total_steps` planned updates.
+  virtual double rate(std::size_t step, std::size_t total_steps) const = 0;
+};
+
+/// Constant learning rate.
+class ConstantLr : public LrSchedule {
+ public:
+  explicit ConstantLr(double lr) : lr_(lr) {}
+  double rate(std::size_t, std::size_t) const override { return lr_; }
+
+ private:
+  double lr_;
+};
+
+/// Multiply by `factor` at each milestone (fractions of total steps in
+/// [0,1], ascending).
+class StepDecayLr : public LrSchedule {
+ public:
+  StepDecayLr(double base_lr, std::vector<double> milestone_fractions,
+              double factor = 0.1);
+  double rate(std::size_t step, std::size_t total_steps) const override;
+
+ private:
+  double base_lr_;
+  std::vector<double> milestones_;
+  double factor_;
+};
+
+/// FixMatch schedule: eta * cos(7*pi*k / (16*K)).
+class FixMatchCosineLr : public LrSchedule {
+ public:
+  explicit FixMatchCosineLr(double base_lr) : base_lr_(base_lr) {}
+  double rate(std::size_t step, std::size_t total_steps) const override;
+
+ private:
+  double base_lr_;
+};
+
+/// Meta Pseudo Labels schedule: eta/2 * (1 + cos(pi*k / K)).
+class HalfCosineLr : public LrSchedule {
+ public:
+  explicit HalfCosineLr(double base_lr) : base_lr_(base_lr) {}
+  double rate(std::size_t step, std::size_t total_steps) const override;
+
+ private:
+  double base_lr_;
+};
+
+/// Linear ramp from 0 over the first `warmup_steps`, then delegates to
+/// the wrapped schedule (with the step index offset removed).
+class WarmupLr : public LrSchedule {
+ public:
+  WarmupLr(std::size_t warmup_steps, std::unique_ptr<LrSchedule> after);
+  double rate(std::size_t step, std::size_t total_steps) const override;
+
+ private:
+  std::size_t warmup_steps_;
+  std::unique_ptr<LrSchedule> after_;
+};
+
+}  // namespace taglets::nn

@@ -1,0 +1,137 @@
+#include "nn/trainer.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "tensor/ops.hpp"
+
+namespace taglets::nn {
+
+using tensor::Tensor;
+
+std::vector<std::vector<std::size_t>> make_batches(std::size_t n,
+                                                   std::size_t batch_size,
+                                                   util::Rng& rng) {
+  if (batch_size == 0) throw std::invalid_argument("make_batches: batch 0");
+  std::vector<std::size_t> order(n);
+  for (std::size_t i = 0; i < n; ++i) order[i] = i;
+  rng.shuffle(order);
+  std::vector<std::vector<std::size_t>> batches;
+  for (std::size_t start = 0; start < n; start += batch_size) {
+    const std::size_t end = std::min(n, start + batch_size);
+    batches.emplace_back(order.begin() + static_cast<long>(start),
+                         order.begin() + static_cast<long>(end));
+  }
+  return batches;
+}
+
+std::unique_ptr<Optimizer> make_optimizer(const FitConfig& config,
+                                          std::vector<Parameter*> params) {
+  if (config.optimizer == FitConfig::Opt::kSgd) {
+    return std::make_unique<Sgd>(std::move(params), config.sgd);
+  }
+  return std::make_unique<Adam>(std::move(params), config.adam);
+}
+
+void clip_grad_norm(std::span<Parameter* const> params, double max_norm) {
+  if (max_norm <= 0.0) return;
+  double total = 0.0;
+  for (Parameter* p : params) total += p->grad.squared_norm();
+  total = std::sqrt(total);
+  if (total <= max_norm) return;
+  const float scale = static_cast<float>(max_norm / (total + 1e-12));
+  for (Parameter* p : params) {
+    for (float& g : p->grad.data()) g *= scale;
+  }
+}
+
+namespace {
+
+/// Shared epoch loop; `loss_fn` maps (logits, batch indices) to a
+/// LossResult whose grad is backpropagated.
+FitReport run_fit(
+    Classifier& model, const Tensor& inputs, std::size_t n,
+    const FitConfig& config, util::Rng& rng,
+    const std::function<LossResult(const Tensor&,
+                                   const std::vector<std::size_t>&)>& loss_fn) {
+  if (n == 0) return FitReport{};
+  model.set_encoder_frozen(config.freeze_encoder);
+  auto params = model.parameters();
+  auto optimizer = make_optimizer(config, params);
+  const double base_lr = optimizer->learning_rate();
+
+  // Total planned updates, for schedules defined over global steps.
+  const std::size_t steps_per_epoch = (n + config.batch_size - 1) / config.batch_size;
+  std::size_t epochs = config.epochs;
+  if (config.min_steps > 0 && steps_per_epoch * epochs < config.min_steps) {
+    epochs = (config.min_steps + steps_per_epoch - 1) / steps_per_epoch;
+  }
+  const std::size_t total_steps = steps_per_epoch * epochs;
+
+  FitReport report;
+  std::size_t step = 0;
+  for (std::size_t epoch = 0; epoch < epochs; ++epoch) {
+    double epoch_loss = 0.0;
+    std::size_t batches_seen = 0;
+    for (const auto& batch : make_batches(n, config.batch_size, rng)) {
+      Tensor x = inputs.gather_rows(batch);
+      Tensor logits = model.logits(x, /*training=*/true);
+      LossResult loss = loss_fn(logits, batch);
+      model.zero_grad();
+      model.backward(loss.grad_logits);
+      clip_grad_norm(params, config.max_grad_norm);
+      const double lr = config.schedule
+                            ? config.schedule->rate(step, total_steps)
+                            : base_lr;
+      optimizer->set_learning_rate(lr);
+      optimizer->step();
+      epoch_loss += loss.loss;
+      ++batches_seen;
+      ++step;
+    }
+    report.epoch_loss.push_back(epoch_loss / static_cast<double>(batches_seen));
+  }
+  report.steps = step;
+  model.set_encoder_frozen(false);
+  return report;
+}
+
+}  // namespace
+
+FitReport fit_hard(Classifier& model, const Tensor& inputs,
+                   std::span<const std::size_t> labels, const FitConfig& config,
+                   util::Rng& rng) {
+  if (!inputs.is_matrix() || inputs.rows() != labels.size()) {
+    throw std::invalid_argument("fit_hard: inputs/labels mismatch");
+  }
+  return run_fit(model, inputs, labels.size(), config, rng,
+                 [&](const Tensor& logits, const std::vector<std::size_t>& batch) {
+                   std::vector<std::size_t> y(batch.size());
+                   for (std::size_t i = 0; i < batch.size(); ++i) {
+                     y[i] = labels[batch[i]];
+                   }
+                   return cross_entropy(logits, y);
+                 });
+}
+
+FitReport fit_soft(Classifier& model, const Tensor& inputs,
+                   const Tensor& targets, const FitConfig& config,
+                   util::Rng& rng) {
+  if (!inputs.is_matrix() || !targets.is_matrix() ||
+      inputs.rows() != targets.rows()) {
+    throw std::invalid_argument("fit_soft: inputs/targets mismatch");
+  }
+  return run_fit(model, inputs, inputs.rows(), config, rng,
+                 [&](const Tensor& logits, const std::vector<std::size_t>& batch) {
+                   Tensor t = targets.gather_rows(batch);
+                   return soft_cross_entropy(logits, t);
+                 });
+}
+
+double evaluate_accuracy(Classifier& model, const Tensor& inputs,
+                         std::span<const std::size_t> labels) {
+  Tensor logits = model.logits(inputs, /*training=*/false);
+  return accuracy(logits, labels);
+}
+
+}  // namespace taglets::nn

@@ -1,0 +1,74 @@
+// Generic mini-batch training loops shared by modules, baselines, and
+// the end model. A FitConfig captures the Appendix A.5 recipe shape:
+// optimizer choice + hyperparameters, epoch/batch counts, an LR
+// schedule, and whether the encoder is frozen.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "nn/classifier.hpp"
+#include "nn/loss.hpp"
+#include "nn/optimizer.hpp"
+#include "nn/scheduler.hpp"
+#include "util/rng.hpp"
+
+namespace taglets::nn {
+
+struct FitConfig {
+  enum class Opt { kSgd, kAdam };
+
+  std::size_t epochs = 10;
+  std::size_t batch_size = 64;
+  Opt optimizer = Opt::kSgd;
+  Sgd::Config sgd{};
+  Adam::Config adam{};
+  /// Optional schedule; nullptr means constant base LR.
+  std::shared_ptr<const LrSchedule> schedule;
+  bool freeze_encoder = false;
+  /// Gradient-norm clip; <= 0 disables.
+  double max_grad_norm = 0.0;
+  /// Minimum number of optimizer updates: when the dataset is tiny (the
+  /// 1-shot regime), epochs are raised so at least this many steps run.
+  std::size_t min_steps = 0;
+};
+
+/// Per-epoch training diagnostics.
+struct FitReport {
+  std::vector<double> epoch_loss;
+  std::size_t steps = 0;
+  double final_loss() const {
+    return epoch_loss.empty() ? 0.0 : epoch_loss.back();
+  }
+};
+
+/// Fine-tune on hard-labeled data (Eqs. 1, 2, 4).
+FitReport fit_hard(Classifier& model, const tensor::Tensor& inputs,
+                   std::span<const std::size_t> labels, const FitConfig& config,
+                   util::Rng& rng);
+
+/// Fine-tune on soft probability targets (Eq. 7 distillation).
+FitReport fit_soft(Classifier& model, const tensor::Tensor& inputs,
+                   const tensor::Tensor& targets, const FitConfig& config,
+                   util::Rng& rng);
+
+/// Mean accuracy of the model on a labeled set.
+double evaluate_accuracy(Classifier& model, const tensor::Tensor& inputs,
+                         std::span<const std::size_t> labels);
+
+/// Shuffled mini-batch index plan for one epoch; the final short batch
+/// is kept (never dropped) so tiny 1-shot datasets still train.
+std::vector<std::vector<std::size_t>> make_batches(std::size_t n,
+                                                   std::size_t batch_size,
+                                                   util::Rng& rng);
+
+/// Build the optimizer a FitConfig describes, bound to `params`.
+std::unique_ptr<Optimizer> make_optimizer(const FitConfig& config,
+                                          std::vector<Parameter*> params);
+
+/// Scale gradients so their global L2 norm is at most `max_norm`.
+void clip_grad_norm(std::span<Parameter* const> params, double max_norm);
+
+}  // namespace taglets::nn

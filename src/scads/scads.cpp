@@ -1,0 +1,142 @@
+#include "scads/scads.hpp"
+
+#include <stdexcept>
+
+#include "tensor/ops.hpp"
+
+namespace taglets::scads {
+
+using graph::NodeId;
+using tensor::Tensor;
+
+Scads::Scads(const graph::KnowledgeGraph& graph,
+             const graph::Taxonomy& taxonomy, Tensor scads_embeddings)
+    : graph_(graph), taxonomy_(taxonomy) {
+  index_ = std::make_unique<graph::EmbeddingIndex>(&graph_,
+                                                   std::move(scads_embeddings));
+}
+
+std::size_t Scads::install_dataset(synth::Dataset dataset) {
+  dataset.validate();
+  for (NodeId cnode : dataset.class_concepts) {
+    if (cnode != synth::kNoConcept && cnode >= graph_.node_count()) {
+      throw std::invalid_argument("install_dataset: concept id out of range");
+    }
+  }
+  const std::size_t index = datasets_.size();
+  datasets_.push_back(std::move(dataset));
+  dataset_active_.push_back(true);
+  const synth::Dataset& ds = datasets_.back();
+  for (std::size_t row = 0; row < ds.size(); ++row) {
+    const NodeId cnode = ds.class_concepts[ds.labels[row]];
+    if (cnode == synth::kNoConcept) continue;
+    examples_[cnode].push_back(ExampleRef{index, row});
+  }
+  return index;
+}
+
+void Scads::remove_dataset(const std::string& name) {
+  bool found = false;
+  for (std::size_t i = 0; i < datasets_.size(); ++i) {
+    if (dataset_active_[i] && datasets_[i].name == name) {
+      dataset_active_[i] = false;
+      found = true;
+    }
+  }
+  if (!found) throw std::invalid_argument("remove_dataset: unknown " + name);
+  rebuild_example_map();
+}
+
+void Scads::rebuild_example_map() {
+  examples_.clear();
+  for (std::size_t i = 0; i < datasets_.size(); ++i) {
+    if (!dataset_active_[i]) continue;
+    const synth::Dataset& ds = datasets_[i];
+    for (std::size_t row = 0; row < ds.size(); ++row) {
+      const NodeId cnode = ds.class_concepts[ds.labels[row]];
+      if (cnode == synth::kNoConcept) continue;
+      examples_[cnode].push_back(ExampleRef{i, row});
+    }
+  }
+}
+
+const synth::Dataset& Scads::dataset(std::size_t index) const {
+  return datasets_.at(index);
+}
+
+NodeId Scads::add_novel_concept(
+    const std::string& name,
+    const std::vector<std::pair<std::string, graph::Relation>>& links) {
+  if (graph_.has_node(name)) {
+    throw std::invalid_argument("add_novel_concept: exists: " + name);
+  }
+  const NodeId id = graph_.add_node(name);
+  Tensor embedding = Tensor::zeros(index_->dim());
+  std::size_t linked = 0;
+  for (const auto& [target, relation] : links) {
+    const auto tid = graph_.find(target);
+    if (!tid) {
+      throw std::invalid_argument("add_novel_concept: unknown link target " +
+                                  target);
+    }
+    graph_.add_edge(id, *tid, relation);
+    auto src = index_->vector(*tid);
+    for (std::size_t d = 0; d < embedding.size(); ++d) embedding[d] += src[d];
+    ++linked;
+  }
+  if (linked > 0) {
+    for (std::size_t d = 0; d < embedding.size(); ++d) {
+      embedding[d] /= static_cast<float>(linked);
+    }
+    tensor::normalize_rows(embedding);
+  } else {
+    // Appendix A.2 fallback: approximate from prefix-sharing concepts.
+    embedding = index_->approximate_embedding(name);
+  }
+  index_->set_vector(id, embedding);
+  return id;
+}
+
+std::optional<NodeId> Scads::find_concept(const std::string& name) const {
+  return graph_.find(name);
+}
+
+std::vector<NodeId> Scads::concepts_with_data() const {
+  std::vector<NodeId> out;
+  out.reserve(examples_.size());
+  for (const auto& [cnode, refs] : examples_) {
+    if (!refs.empty()) out.push_back(cnode);
+  }
+  return out;
+}
+
+std::size_t Scads::example_count(NodeId cnode) const {
+  auto it = examples_.find(cnode);
+  return it == examples_.end() ? 0 : it->second.size();
+}
+
+std::vector<ExampleRef> Scads::sample_examples(NodeId cnode, std::size_t k,
+                                               util::Rng& rng) const {
+  auto it = examples_.find(cnode);
+  if (it == examples_.end() || it->second.empty()) return {};
+  const auto& refs = it->second;
+  if (refs.size() <= k) return refs;
+  std::vector<ExampleRef> out;
+  out.reserve(k);
+  for (std::size_t i : rng.sample_without_replacement(refs.size(), k)) {
+    out.push_back(refs[i]);
+  }
+  return out;
+}
+
+std::span<const float> Scads::example_pixels(const ExampleRef& ref) const {
+  return datasets_.at(ref.dataset_index).inputs.row(ref.row);
+}
+
+std::size_t Scads::total_examples() const {
+  std::size_t n = 0;
+  for (const auto& [cnode, refs] : examples_) n += refs.size();
+  return n;
+}
+
+}  // namespace taglets::scads

@@ -1,0 +1,91 @@
+// SCADS — Structured Collection of Annotated Datasets (Section 3.1).
+// Auxiliary labeled datasets are joined onto a common-sense knowledge
+// graph: every class of every installed dataset maps to a concept node,
+// so examples of related categories can be retrieved through graph-based
+// semantic similarity instead of pairwise visual comparison. SCADS owns
+// a mutable copy of the world's graph and embeddings so users can add
+// novel concepts (Appendix A.2) without touching the world.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/embedding_index.hpp"
+#include "graph/knowledge_graph.hpp"
+#include "graph/taxonomy.hpp"
+#include "synth/dataset.hpp"
+#include "util/rng.hpp"
+
+namespace taglets::scads {
+
+/// Reference to one stored auxiliary example.
+struct ExampleRef {
+  std::size_t dataset_index;
+  std::size_t row;
+};
+
+class Scads {
+ public:
+  /// Builds a SCADS over copies of the given graph/taxonomy/embeddings.
+  Scads(const graph::KnowledgeGraph& graph, const graph::Taxonomy& taxonomy,
+        tensor::Tensor scads_embeddings);
+
+  // ---- dataset management (install / remove, Section 3.1) -------------
+
+  /// Joins an annotated dataset: each class with a valid concept id is
+  /// attached to that node. Returns the internal dataset index.
+  std::size_t install_dataset(synth::Dataset dataset);
+  /// Detach a dataset by name; its examples become unavailable.
+  void remove_dataset(const std::string& name);
+  std::size_t dataset_count() const { return datasets_.size(); }
+  const synth::Dataset& dataset(std::size_t index) const;
+
+  // ---- graph access -----------------------------------------------------
+
+  const graph::KnowledgeGraph& graph() const { return graph_; }
+  const graph::Taxonomy& taxonomy() const { return taxonomy_; }
+  const graph::EmbeddingIndex& embeddings() const { return *index_; }
+
+  /// Add a concept that is missing from the graph, linked to existing
+  /// concepts (Example A.1: oatghurt -> yoghurt, oat_milk, ...). Its
+  /// SCADS embedding is approximated from the linked concepts'
+  /// embeddings, falling back to the Appendix A.2 prefix scheme when no
+  /// links are given. Returns the new node id.
+  graph::NodeId add_novel_concept(
+      const std::string& name,
+      const std::vector<std::pair<std::string, graph::Relation>>& links);
+
+  /// Node id for a class name, if present.
+  std::optional<graph::NodeId> find_concept(const std::string& name) const;
+
+  // ---- retrieval ----------------------------------------------------------
+
+  /// Concepts that currently have at least one installed example.
+  std::vector<graph::NodeId> concepts_with_data() const;
+  /// Number of installed examples attached to a concept.
+  std::size_t example_count(graph::NodeId cnode) const;
+  /// Up to `k` example refs for a concept, sampled without replacement.
+  std::vector<ExampleRef> sample_examples(graph::NodeId cnode, std::size_t k,
+                                          util::Rng& rng) const;
+  /// Pixel row for an example ref.
+  std::span<const float> example_pixels(const ExampleRef& ref) const;
+
+  /// Total number of installed examples.
+  std::size_t total_examples() const;
+
+ private:
+  graph::KnowledgeGraph graph_;
+  graph::Taxonomy taxonomy_;
+  std::unique_ptr<graph::EmbeddingIndex> index_;
+  std::vector<synth::Dataset> datasets_;
+  std::vector<bool> dataset_active_;
+  /// cnode -> example refs across all installed datasets.
+  std::unordered_map<graph::NodeId, std::vector<ExampleRef>> examples_;
+
+  void rebuild_example_map();
+};
+
+}  // namespace taglets::scads

@@ -1,0 +1,113 @@
+#include "scads/selection.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "tensor/ops.hpp"
+
+namespace taglets::scads {
+
+using graph::NodeId;
+using tensor::Tensor;
+
+std::unordered_set<NodeId> pruned_concepts(
+    const Scads& scads, std::span<const NodeId> target_concepts,
+    int prune_level) {
+  std::unordered_set<NodeId> out;
+  if (prune_level < 0) return out;
+  const auto& taxonomy = scads.taxonomy();
+  for (NodeId cnode : target_concepts) {
+    if (cnode == synth::kNoConcept || cnode >= taxonomy.size()) continue;
+    for (std::size_t node : taxonomy.pruned_set(cnode, prune_level)) {
+      out.insert(node);
+    }
+  }
+  return out;
+}
+
+std::vector<graph::EmbeddingIndex::Hit> related_concepts(
+    const Scads& scads, const std::string& class_name, std::size_t n,
+    const std::unordered_set<NodeId>& excluded) {
+  // Query embedding: the class's own node when present, otherwise the
+  // prefix-based approximation (Appendix A.2).
+  Tensor query;
+  if (auto id = scads.find_concept(class_name)) {
+    const auto vec = scads.embeddings().vector(*id);
+    query = Tensor::from_vector(std::vector<float>(vec.begin(), vec.end()));
+  } else {
+    query = scads.embeddings().approximate_embedding(class_name);
+  }
+  if (query.squared_norm() == 0.0f) return {};
+
+  std::vector<NodeId> candidates;
+  for (NodeId cnode : scads.concepts_with_data()) {
+    if (excluded.count(cnode) == 0) candidates.push_back(cnode);
+  }
+  // Deterministic candidate order (the hash map iteration order is not).
+  std::sort(candidates.begin(), candidates.end());
+  return scads.embeddings().top_k(query.data(), candidates, n);
+}
+
+Selection select_auxiliary(const Scads& scads, const synth::FewShotTask& task,
+                           const SelectionConfig& config) {
+  const auto excluded =
+      pruned_concepts(scads, task.class_concepts, config.prune_level);
+
+  Selection selection;
+  std::unordered_set<NodeId> taken;
+  struct Slot {
+    NodeId cnode;
+    std::size_t target_class;
+    float similarity;
+  };
+  std::vector<Slot> slots;
+  for (std::size_t c = 0; c < task.class_names.size(); ++c) {
+    // Over-fetch so deduplication across classes can still fill N slots.
+    const std::size_t fetch =
+        config.related_per_class * task.class_names.size() +
+        config.related_per_class;
+    auto hits = related_concepts(scads, task.class_names[c], fetch, excluded);
+    std::size_t kept = 0;
+    for (const auto& hit : hits) {
+      if (kept == config.related_per_class) break;
+      if (!taken.insert(hit.node).second) continue;
+      slots.push_back(Slot{hit.node, c, hit.similarity});
+      ++kept;
+    }
+  }
+
+  // Materialize R: K images per selected concept, labeled by slot.
+  util::Rng rng(util::combine_seeds({config.seed, 0x5CAD5ULL}));
+  std::vector<std::pair<ExampleRef, std::size_t>> picked;  // (ref, slot label)
+  for (std::size_t s = 0; s < slots.size(); ++s) {
+    for (const ExampleRef& ref :
+         scads.sample_examples(slots[s].cnode, config.images_per_concept, rng)) {
+      picked.emplace_back(ref, s);
+    }
+  }
+
+  synth::Dataset& data = selection.data;
+  data.name = "scads-selection";
+  data.domain = synth::Domain::kNatural;
+  for (const Slot& slot : slots) {
+    data.class_names.push_back(scads.graph().name(slot.cnode));
+    data.class_concepts.push_back(slot.cnode);
+    selection.selected_concepts.push_back(slot.cnode);
+    selection.source_target_class.push_back(slot.target_class);
+    selection.similarities.push_back(slot.similarity);
+  }
+  const std::size_t pixel_dim =
+      picked.empty() ? 0 : scads.example_pixels(picked.front().first).size();
+  data.inputs = Tensor::zeros(picked.size(), pixel_dim);
+  data.labels.reserve(picked.size());
+  for (std::size_t i = 0; i < picked.size(); ++i) {
+    auto src = scads.example_pixels(picked[i].first);
+    auto dst = data.inputs.row(i);
+    std::copy(src.begin(), src.end(), dst.begin());
+    data.labels.push_back(picked[i].second);
+  }
+  if (!picked.empty()) data.validate();
+  return selection;
+}
+
+}  // namespace taglets::scads

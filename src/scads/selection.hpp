@@ -1,0 +1,58 @@
+// Auxiliary data selection (Example 3.1) and pruning (Section 4.3).
+// For each target class c we embed its concept, take the top-N most
+// cosine-similar concepts that have installed data, and pull K images
+// from each — yielding the selected set R with |R| = C * (N * K).
+// Pruning simulates distantly-related-only auxiliary data by excluding
+// the target class subtree (level 0) or the parent subtree (level 1)
+// from the candidate pool before selection.
+#pragma once
+
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "scads/scads.hpp"
+#include "synth/split.hpp"
+
+namespace taglets::scads {
+
+struct SelectionConfig {
+  std::size_t related_per_class = 1;   // N
+  std::size_t images_per_concept = 24; // K
+  /// -1 disables pruning; 0 and 1 follow the paper's levels.
+  int prune_level = -1;
+  /// Seed for the K-image sampling.
+  std::uint64_t seed = 0;
+};
+
+/// The selected auxiliary set R plus its provenance. `data.labels` are
+/// selected-concept indices (the N*C-way intermediate task of Eq. 1).
+struct Selection {
+  synth::Dataset data;
+  std::vector<graph::NodeId> selected_concepts;  // one per intermediate class
+  std::vector<std::size_t> source_target_class;  // which target class chose it
+  std::vector<float> similarities;
+
+  std::size_t intermediate_classes() const { return selected_concepts.size(); }
+};
+
+/// Concepts excluded by pruning for the given target concepts
+/// (union of per-class pruned subtrees). Concepts outside the taxonomy
+/// (novel user-added nodes) are never pruned.
+std::unordered_set<graph::NodeId> pruned_concepts(
+    const Scads& scads, std::span<const graph::NodeId> target_concepts,
+    int prune_level);
+
+/// Top-N related concepts for a single class name, honoring pruning.
+/// Class names absent from the graph fall back to the Appendix A.2
+/// prefix approximation for their query embedding.
+std::vector<graph::EmbeddingIndex::Hit> related_concepts(
+    const Scads& scads, const std::string& class_name, std::size_t n,
+    const std::unordered_set<graph::NodeId>& excluded);
+
+/// Build the full selection R for a task. Concepts are deduplicated
+/// across target classes (each intermediate class appears once).
+Selection select_auxiliary(const Scads& scads, const synth::FewShotTask& task,
+                           const SelectionConfig& config);
+
+}  // namespace taglets::scads

@@ -1,0 +1,34 @@
+#include "synth/augment.hpp"
+
+namespace taglets::synth {
+
+using tensor::Tensor;
+
+Tensor weak_augment(const Tensor& inputs, util::Rng& rng,
+                    const AugmentConfig& config) {
+  Tensor out = inputs;
+  for (float& x : out.data()) {
+    x += static_cast<float>(rng.normal(0.0, config.weak_noise));
+  }
+  return out;
+}
+
+Tensor strong_augment(const Tensor& inputs, util::Rng& rng,
+                      const AugmentConfig& config) {
+  Tensor out = inputs;
+  const std::size_t rows = out.is_matrix() ? out.rows() : 1;
+  const std::size_t cols = out.is_matrix() ? out.cols() : out.size();
+  for (std::size_t r = 0; r < rows; ++r) {
+    float* row = out.data().data() + r * cols;
+    for (std::size_t c = 0; c < cols; ++c) {
+      if (rng.bernoulli(config.strong_mask_fraction)) {
+        row[c] = 0.0f;
+      } else {
+        row[c] += static_cast<float>(rng.normal(0.0, config.strong_noise));
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace taglets::synth

@@ -1,0 +1,28 @@
+// Data augmentation in pixel-vector space. FixMatch's stochastic
+// function alpha (Section 3.2.3) "returns two augmented versions of a
+// single input"; we implement its weak branch as small additive noise
+// (the analogue of flip/crop) and its strong branch as larger noise plus
+// random feature masking (the analogue of RandAugment/Cutout).
+#pragma once
+
+#include "tensor/tensor.hpp"
+#include "util/rng.hpp"
+
+namespace taglets::synth {
+
+struct AugmentConfig {
+  double weak_noise = 0.05;
+  double strong_noise = 0.20;
+  double strong_mask_fraction = 0.25;
+};
+
+/// Weak augmentation of a batch (or single vector).
+tensor::Tensor weak_augment(const tensor::Tensor& inputs, util::Rng& rng,
+                            const AugmentConfig& config = {});
+
+/// Strong augmentation: heavier noise plus zeroing a random fraction of
+/// the features of each row.
+tensor::Tensor strong_augment(const tensor::Tensor& inputs, util::Rng& rng,
+                              const AugmentConfig& config = {});
+
+}  // namespace taglets::synth

@@ -1,0 +1,83 @@
+#include "synth/dataset.hpp"
+
+#include <stdexcept>
+
+namespace taglets::synth {
+
+const char* domain_name(Domain d) {
+  switch (d) {
+    case Domain::kNatural: return "natural";
+    case Domain::kProduct: return "product";
+    case Domain::kClipart: return "clipart";
+  }
+  return "?";
+}
+
+std::vector<std::size_t> Dataset::indices_of_class(std::size_t label) const {
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    if (labels[i] == label) out.push_back(i);
+  }
+  return out;
+}
+
+std::vector<std::size_t> Dataset::class_counts() const {
+  std::vector<std::size_t> counts(num_classes(), 0);
+  for (std::size_t y : labels) counts.at(y)++;
+  return counts;
+}
+
+Dataset Dataset::subset(std::span<const std::size_t> indices) const {
+  Dataset out;
+  out.name = name;
+  out.domain = domain;
+  out.class_names = class_names;
+  out.class_concepts = class_concepts;
+  out.inputs = inputs.gather_rows(indices);
+  out.labels.reserve(indices.size());
+  for (std::size_t i : indices) out.labels.push_back(labels.at(i));
+  return out;
+}
+
+void Dataset::validate() const {
+  if (!inputs.is_matrix() && size() > 0) {
+    throw std::logic_error("Dataset: inputs must be a matrix");
+  }
+  if (inputs.rows() != labels.size()) {
+    throw std::logic_error("Dataset: inputs/labels size mismatch");
+  }
+  if (class_concepts.size() != class_names.size()) {
+    throw std::logic_error("Dataset: class metadata size mismatch");
+  }
+  for (std::size_t y : labels) {
+    if (y >= num_classes()) throw std::logic_error("Dataset: label out of range");
+  }
+}
+
+Dataset concat(const Dataset& a, const Dataset& b) {
+  if (a.class_names != b.class_names) {
+    throw std::invalid_argument("concat: class mismatch");
+  }
+  if (a.size() == 0) return b;
+  if (b.size() == 0) return a;
+  if (a.inputs.cols() != b.inputs.cols()) {
+    throw std::invalid_argument("concat: input width mismatch");
+  }
+  Dataset out = a;
+  tensor::Tensor merged = tensor::Tensor::zeros(a.size() + b.size(), a.inputs.cols());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    auto src = a.inputs.row(i);
+    auto dst = merged.row(i);
+    std::copy(src.begin(), src.end(), dst.begin());
+  }
+  for (std::size_t i = 0; i < b.size(); ++i) {
+    auto src = b.inputs.row(i);
+    auto dst = merged.row(a.size() + i);
+    std::copy(src.begin(), src.end(), dst.begin());
+  }
+  out.inputs = std::move(merged);
+  out.labels.insert(out.labels.end(), b.labels.begin(), b.labels.end());
+  return out;
+}
+
+}  // namespace taglets::synth

@@ -1,0 +1,55 @@
+// Labeled image datasets (synthetic stand-ins for FMD / OfficeHome /
+// Grocery Store / ImageNet-21k; see DESIGN.md). Inputs are row-per-image
+// "pixel" tensors; labels index into `class_names`. `class_concepts[c]`
+// records which knowledge-graph concept class c was joined to — the
+// class-to-concept mapping Section 3.1 describes — or kNoConcept for
+// classes absent from the graph (the Grocery dataset's oatghurt /
+// soyghurt cases, Example A.1).
+#pragma once
+
+#include <cstddef>
+#include <limits>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "graph/knowledge_graph.hpp"
+#include "tensor/tensor.hpp"
+
+namespace taglets::synth {
+
+/// Visual domain of a dataset (OfficeHome's axis; auxiliary data is
+/// natural-domain like ImageNet).
+enum class Domain { kNatural = 0, kProduct = 1, kClipart = 2 };
+
+const char* domain_name(Domain d);
+
+inline constexpr graph::NodeId kNoConcept =
+    std::numeric_limits<graph::NodeId>::max();
+
+struct Dataset {
+  std::string name;
+  Domain domain = Domain::kNatural;
+  tensor::Tensor inputs;             // (n, pixel_dim)
+  std::vector<std::size_t> labels;   // size n, values < class_names.size()
+  std::vector<std::string> class_names;
+  std::vector<graph::NodeId> class_concepts;  // per class; may be kNoConcept
+
+  std::size_t size() const { return labels.size(); }
+  std::size_t num_classes() const { return class_names.size(); }
+
+  /// Indices of all examples with the given label.
+  std::vector<std::size_t> indices_of_class(std::size_t label) const;
+  /// Per-class example counts.
+  std::vector<std::size_t> class_counts() const;
+  /// New dataset containing only the given example rows (classes kept).
+  Dataset subset(std::span<const std::size_t> indices) const;
+
+  /// Throws std::logic_error if labels/inputs/classes are inconsistent.
+  void validate() const;
+};
+
+/// Concatenate datasets with identical class definitions.
+Dataset concat(const Dataset& a, const Dataset& b);
+
+}  // namespace taglets::synth

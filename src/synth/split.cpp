@@ -1,0 +1,60 @@
+#include "synth/split.hpp"
+
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace taglets::synth {
+
+FewShotTask make_few_shot_task(const Dataset& pool, std::size_t shots,
+                               std::size_t test_per_class,
+                               std::uint64_t split_seed) {
+  pool.validate();
+  if (shots == 0) throw std::invalid_argument("make_few_shot_task: 0 shots");
+
+  // One generator for partitioning AND labeling (Appendix A.3: "We use
+  // the same seed for both partitioning ... and subsequently choosing
+  // train images ... to be labeled").
+  util::Rng rng(util::combine_seeds(
+      {split_seed, std::hash<std::string>{}(pool.name)}));
+
+  std::vector<std::size_t> test_idx, labeled_idx, unlabeled_idx;
+  for (std::size_t c = 0; c < pool.num_classes(); ++c) {
+    std::vector<std::size_t> members = pool.indices_of_class(c);
+    if (members.size() < test_per_class + shots) {
+      throw std::invalid_argument(
+          "make_few_shot_task: class too small: " + pool.class_names[c]);
+    }
+    rng.shuffle(members);
+    std::size_t cursor = 0;
+    for (std::size_t k = 0; k < test_per_class; ++k) {
+      test_idx.push_back(members[cursor++]);
+    }
+    for (std::size_t k = 0; k < shots; ++k) {
+      labeled_idx.push_back(members[cursor++]);
+    }
+    for (; cursor < members.size(); ++cursor) {
+      unlabeled_idx.push_back(members[cursor]);
+    }
+  }
+
+  FewShotTask task;
+  task.dataset_name = pool.name;
+  task.domain = pool.domain;
+  task.class_names = pool.class_names;
+  task.class_concepts = pool.class_concepts;
+
+  task.labeled_inputs = pool.inputs.gather_rows(labeled_idx);
+  for (std::size_t i : labeled_idx) task.labeled_labels.push_back(pool.labels[i]);
+
+  task.unlabeled_inputs = pool.inputs.gather_rows(unlabeled_idx);
+  for (std::size_t i : unlabeled_idx) {
+    task.unlabeled_true_labels.push_back(pool.labels[i]);
+  }
+
+  task.test_inputs = pool.inputs.gather_rows(test_idx);
+  for (std::size_t i : test_idx) task.test_labels.push_back(pool.labels[i]);
+  return task;
+}
+
+}  // namespace taglets::synth

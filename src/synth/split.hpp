@@ -1,0 +1,46 @@
+// Train/test partitioning and k-shot labeling, following Appendix A.3:
+// a fixed number of test images per class is held out, a fixed number of
+// train images per class is labeled (1, 5, or 20 "shots"), and the rest
+// of the train pool becomes the unlabeled set U. The same seed drives
+// both the partition and the shot choice, as in the paper.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "synth/dataset.hpp"
+
+namespace taglets::synth {
+
+/// A concrete few-shot learning problem handed to TAGLETS or a baseline.
+struct FewShotTask {
+  std::string dataset_name;
+  Domain domain = Domain::kNatural;
+  std::vector<std::string> class_names;
+  std::vector<graph::NodeId> class_concepts;
+
+  tensor::Tensor labeled_inputs;            // (C * shots, pixel)
+  std::vector<std::size_t> labeled_labels;
+
+  tensor::Tensor unlabeled_inputs;          // (U, pixel); labels withheld
+  /// Ground truth for the unlabeled pool — never shown to learners; used
+  /// only by tests/diagnostics to measure pseudo-label quality.
+  std::vector<std::size_t> unlabeled_true_labels;
+
+  tensor::Tensor test_inputs;
+  std::vector<std::size_t> test_labels;
+
+  std::size_t num_classes() const { return class_names.size(); }
+  std::size_t shots() const {
+    return num_classes() == 0 ? 0 : labeled_labels.size() / num_classes();
+  }
+};
+
+/// Carve a FewShotTask out of a full image pool. Throws when a class has
+/// fewer than `test_per_class + shots` images.
+FewShotTask make_few_shot_task(const Dataset& pool, std::size_t shots,
+                               std::size_t test_per_class,
+                               std::uint64_t split_seed);
+
+}  // namespace taglets::synth

@@ -1,0 +1,133 @@
+#include "synth/tasks.hpp"
+
+#include <stdexcept>
+
+namespace taglets::synth {
+
+const std::vector<std::string>& fmd_class_names() {
+  static const std::vector<std::string> names = {
+      "fabric", "foliage", "glass", "leather", "metal",
+      "paper",  "plastic", "stone", "water",   "wood",
+  };
+  return names;
+}
+
+const std::vector<std::string>& officehome_class_names() {
+  static const std::vector<std::string> names = {
+      "alarm_clock", "backpack",    "batteries",  "bed",         "bike",
+      "bottle",      "bucket",      "calculator", "calendar",    "candles",
+      "chair",       "clipboard",   "computer",   "couch",       "curtains",
+      "desk_lamp",   "drill",       "eraser",     "exit_sign",   "fan",
+      "file_cabinet","flipflops",   "flowers",    "folder",      "fork",
+      "glasses",     "hammer",      "helmet",     "kettle",      "keyboard",
+      "knives",      "lamp_shade",  "laptop",     "marker",      "monitor",
+      "mop",         "mouse",       "mug",        "notebook",    "oven",
+      "pan",         "paper_clip",  "pen",        "pencil",      "postit_notes",
+      "printer",     "push_pin",    "radio",      "refrigerator","ruler",
+      "scissors",    "screwdriver", "shelf",      "sink",        "sneakers",
+      "soda",        "speaker",     "spoon",      "table",       "telephone",
+      "toothbrush",  "toys",        "trash_can",  "tv",          "webcam",
+  };
+  return names;
+}
+
+const std::vector<std::string>& grocery_class_names() {
+  static const std::vector<std::string> names = {
+      "apple",        "avocado",   "banana",     "kiwi",       "lemon",
+      "lime",         "mango",     "melon",      "nectarine",  "orange",
+      "papaya",       "passion_fruit", "peach",  "pear",       "pineapple",
+      "plum",         "pomegranate",   "red_grapefruit", "satsumas", "asparagus",
+      "aubergine",    "cabbage",   "carrots",    "cucumber",   "garlic",
+      "ginger",       "leek",      "mushroom",   "onion",      "pepper",
+      "potato",       "red_beet",  "tomato",     "zucchini",   "juice",
+      "milk",         "oatghurt",  "oat_milk",   "sour_cream", "soy_milk",
+      "soyghurt",     "yoghurt",
+  };
+  return names;
+}
+
+const std::vector<std::string>& grocery_oov_class_names() {
+  static const std::vector<std::string> names = {"oatghurt", "soyghurt"};
+  return names;
+}
+
+std::vector<std::string> all_target_class_names() {
+  std::vector<std::string> out = fmd_class_names();
+  const auto& oh = officehome_class_names();
+  out.insert(out.end(), oh.begin(), oh.end());
+  for (const std::string& g : grocery_class_names()) {
+    bool oov = false;
+    for (const std::string& o : grocery_oov_class_names()) {
+      if (g == o) oov = true;
+    }
+    if (!oov) out.push_back(g);
+  }
+  return out;
+}
+
+WorldConfig default_world_config(std::uint64_t seed) {
+  WorldConfig config;
+  config.seed = seed;
+  config.named_concepts = all_target_class_names();
+  return config;
+}
+
+const TaskSpec& fmd_spec() {
+  static const TaskSpec spec{
+      "FlickrMaterial-S", fmd_class_names(), Domain::kNatural,
+      /*images_per_class=*/100, /*test_per_class=*/5, /*supports_20_shot=*/true};
+  return spec;
+}
+
+const TaskSpec& officehome_product_spec() {
+  static const TaskSpec spec{
+      "OfficeHome-Product-S", officehome_class_names(), Domain::kProduct,
+      /*images_per_class=*/40, /*test_per_class=*/10, /*supports_20_shot=*/true};
+  return spec;
+}
+
+const TaskSpec& officehome_clipart_spec() {
+  static const TaskSpec spec{
+      "OfficeHome-Clipart-S", officehome_class_names(), Domain::kClipart,
+      /*images_per_class=*/40, /*test_per_class=*/10, /*supports_20_shot=*/true};
+  return spec;
+}
+
+const TaskSpec& grocery_spec() {
+  static const TaskSpec spec{
+      "GroceryStore-S", grocery_class_names(), Domain::kNatural,
+      /*images_per_class=*/30, /*test_per_class=*/10, /*supports_20_shot=*/false};
+  return spec;
+}
+
+std::vector<TaskSpec> all_task_specs() {
+  return {officehome_product_spec(), officehome_clipart_spec(), grocery_spec(),
+          fmd_spec()};
+}
+
+Dataset build_task_pool(World& world, const TaskSpec& spec,
+                        std::uint64_t sample_seed) {
+  // Ensure blended OOV classes exist (GroceryStore-S only). oatghurt is a
+  // yoghurt/oat_milk blend, soyghurt a yoghurt/soy_milk blend, mirroring
+  // the Example A.1 linkage ("yoghurt, carton, and oat milk").
+  for (const std::string& name : spec.class_names) {
+    if (world.prototype_for_name(name).has_value()) continue;
+    std::vector<std::size_t> sources;
+    if (name == "oatghurt") {
+      sources = {*world.prototype_for_name("yoghurt"),
+                 *world.prototype_for_name("oat_milk")};
+    } else if (name == "soyghurt") {
+      sources = {*world.prototype_for_name("yoghurt"),
+                 *world.prototype_for_name("soy_milk")};
+    } else {
+      throw std::invalid_argument("build_task_pool: unknown class " + name);
+    }
+    world.add_blended_class(name, sources);
+  }
+  util::Rng rng(util::combine_seeds({world.config().seed, sample_seed,
+                                     std::hash<std::string>{}(spec.name)}));
+  return world.make_dataset(spec.name, spec.class_names, spec.images_per_class,
+                            spec.domain, rng);
+}
+
+}  // namespace taglets::synth

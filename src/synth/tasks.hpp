@@ -1,0 +1,51 @@
+// The four target tasks of Section 4.1, instantiated in the synthetic
+// world: FMD-S (10 material classes), OfficeHome-Product-S and
+// OfficeHome-Clipart-S (the same 65 object classes in two shifted
+// domains), and GroceryStore-S (42 classes, two of which — oatghurt and
+// soyghurt — deliberately do not exist in the knowledge graph,
+// reproducing the Example A.1 extensibility scenario).
+#pragma once
+
+#include <vector>
+
+#include "synth/world.hpp"
+
+namespace taglets::synth {
+
+/// Class name lists (mirroring the real datasets' label sets).
+const std::vector<std::string>& fmd_class_names();          // 10
+const std::vector<std::string>& officehome_class_names();   // 65
+const std::vector<std::string>& grocery_class_names();      // 42, incl. 2 OOV
+
+/// Names of the grocery classes that are NOT in the knowledge graph.
+const std::vector<std::string>& grocery_oov_class_names();  // oatghurt, soyghurt
+
+/// Union of all names that must be attached to world concepts (all the
+/// above except the OOV grocery classes, which are blended on demand).
+std::vector<std::string> all_target_class_names();
+
+/// World configuration with all target class names pre-attached.
+WorldConfig default_world_config(std::uint64_t seed = 7);
+
+struct TaskSpec {
+  std::string name;
+  std::vector<std::string> class_names;
+  Domain domain = Domain::kNatural;
+  std::size_t images_per_class = 0;
+  std::size_t test_per_class = 0;   // Appendix A.3 test sizes
+  bool supports_20_shot = true;     // Grocery: min 18/class, so no 20-shot
+};
+
+const TaskSpec& fmd_spec();                // 100/class, 5 test
+const TaskSpec& officehome_product_spec(); // 40/class, 10 test
+const TaskSpec& officehome_clipart_spec(); // 40/class, 10 test
+const TaskSpec& grocery_spec();            // 30/class, 10 test, no 20-shot
+std::vector<TaskSpec> all_task_specs();
+
+/// Materialize the full image pool for a task. For GroceryStore-S this
+/// first registers the two blended OOV classes with the world (idempotent
+/// per World instance is NOT guaranteed — callers create them once).
+Dataset build_task_pool(World& world, const TaskSpec& spec,
+                        std::uint64_t sample_seed);
+
+}  // namespace taglets::synth

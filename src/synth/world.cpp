@@ -1,0 +1,410 @@
+#include "synth/world.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "graph/generators.hpp"
+#include "graph/retrofit.hpp"
+#include "tensor/ops.hpp"
+#include "util/string_util.hpp"
+
+namespace taglets::synth {
+
+using graph::NodeId;
+using tensor::Tensor;
+
+namespace {
+
+Tensor random_matrix(std::size_t rows, std::size_t cols, double stddev,
+                     util::Rng& rng) {
+  Tensor m = Tensor::zeros(rows, cols);
+  for (float& x : m.data()) x = static_cast<float>(rng.normal(0.0, stddev));
+  return m;
+}
+
+}  // namespace
+
+World::World(const WorldConfig& config)
+    : config_(config),
+      taxonomy_([&] {
+        util::Rng tree_rng(util::combine_seeds({config.seed, 1}));
+        graph::TreeSpec spec;
+        spec.node_count = config.concept_count;
+        spec.min_children = config.min_children;
+        spec.max_children = config.max_children;
+        return graph::Taxonomy(graph::random_tree_parents(spec, tree_rng));
+      }()) {
+  util::Rng rng(util::combine_seeds({config.seed, 2}));
+
+  // ---- names: generic concepts, then class names on suitable nodes ----
+  std::vector<std::string> names =
+      graph::make_concept_names(config.concept_count, "concept");
+  {
+    std::vector<std::size_t> candidates;
+    for (std::size_t i = 0; i < config.concept_count; ++i) {
+      if (taxonomy_.is_root(i)) continue;
+      if (taxonomy_.depth(i) < 2) continue;
+      if (taxonomy_.children(taxonomy_.parent(i)).size() < 2) continue;
+      candidates.push_back(i);
+    }
+    if (candidates.size() < config.named_concepts.size()) {
+      throw std::invalid_argument("World: not enough concepts to name");
+    }
+    rng.shuffle(candidates);
+    for (std::size_t k = 0; k < config.named_concepts.size(); ++k) {
+      names[candidates[k]] = config.named_concepts[k];
+    }
+  }
+
+  // ---- knowledge graph: IsA backbone + cross edges -------------------
+  graph_ = graph::graph_from_taxonomy(taxonomy_, names);
+  graph::add_random_cross_edges(graph_, taxonomy_, config.cross_edges,
+                                config.cross_edge_locality, rng);
+
+  // ---- prototypes: diffusion down the tree ----------------------------
+  prototypes_ = Tensor::zeros(config.concept_count, config.latent_dim);
+  {
+    // Parents have smaller ids than children (random_tree_parents
+    // guarantees it), so a single ascending pass works.
+    auto root_row = prototypes_.row(taxonomy_.root());
+    for (float& x : root_row) x = static_cast<float>(rng.normal());
+    for (std::size_t i = 0; i < config.concept_count; ++i) {
+      if (taxonomy_.is_root(i)) continue;
+      auto parent_row = prototypes_.row(taxonomy_.parent(i));
+      auto row = prototypes_.row(i);
+      for (std::size_t d = 0; d < config.latent_dim; ++d) {
+        row[d] = parent_row[d] +
+                 static_cast<float>(rng.normal(0.0, config.tree_step));
+      }
+    }
+    // Cross edges pull prototypes slightly together so non-hierarchical
+    // relations also carry visual signal.
+    if (config.cross_pull > 0.0) {
+      const Tensor before = prototypes_;
+      for (const auto& e : graph_.edges()) {
+        if (e.relation == graph::Relation::kIsA) continue;
+        auto a = prototypes_.row(e.from);
+        auto b = prototypes_.row(e.to);
+        auto a0 = before.row(e.from);
+        auto b0 = before.row(e.to);
+        const float pull = static_cast<float>(config.cross_pull) * e.weight;
+        for (std::size_t d = 0; d < config.latent_dim; ++d) {
+          a[d] += pull * (b0[d] - a0[d]);
+          b[d] += pull * (a0[d] - b0[d]);
+        }
+      }
+    }
+  }
+
+  // ---- name index ------------------------------------------------------
+  for (NodeId i = 0; i < config.concept_count; ++i) {
+    name_to_prototype_.emplace(graph_.name(i), i);
+  }
+
+  // ---- word vectors + retrofitted SCADS embeddings ---------------------
+  {
+    Tensor word_proj = random_matrix(config.latent_dim, config.word_dim,
+                                     1.0 / std::sqrt(config.latent_dim), rng);
+    word_vectors_.resize(config.concept_count);
+    for (NodeId i = 0; i < config.concept_count; ++i) {
+      const bool named = !util::starts_with(graph_.name(i), "concept_");
+      if (!named && rng.bernoulli(config.oov_fraction)) continue;  // OOV
+      Tensor wv = Tensor::zeros(config.word_dim);
+      auto proto = prototypes_.row(i);
+      for (std::size_t d = 0; d < config.word_dim; ++d) {
+        double v = 0.0;
+        for (std::size_t l = 0; l < config.latent_dim; ++l) {
+          v += proto[l] * word_proj.at(l, d);
+        }
+        wv[d] = static_cast<float>(v + rng.normal(0.0, config.word_noise));
+      }
+      word_vectors_[i] = std::move(wv);
+    }
+    graph::RetrofitConfig rc;
+    rc.iterations = config.retrofit_iterations;
+    scads_embeddings_ = graph::retrofit_embeddings(graph_, word_vectors_, rc);
+  }
+
+  // ---- rendering parameters --------------------------------------------
+  const std::size_t regions = std::max<std::size_t>(1, config.render_regions);
+  render1_.reserve(regions);
+  style_mix_.reserve(regions);
+  for (std::size_t r = 0; r < regions; ++r) {
+    render1_.push_back(random_matrix(config.latent_dim,
+                                     config.render_hidden_dim,
+                                     std::sqrt(2.0 / config.latent_dim), rng));
+    style_mix_.push_back(random_matrix(config.style_dim, config.pixel_dim,
+                                       1.0 / std::sqrt(config.style_dim), rng));
+  }
+  // Region anchors: prototypes of randomly chosen concepts, so regions
+  // align with the ontology's semantic clusters.
+  render_anchors_ = Tensor::zeros(regions, config.latent_dim);
+  for (std::size_t r = 0; r < regions; ++r) {
+    auto src = prototypes_.row(rng.uniform_index(config.concept_count));
+    auto dst = render_anchors_.row(r);
+    std::copy(src.begin(), src.end(), dst.begin());
+  }
+  render1_bias_ = Tensor::zeros(config.render_hidden_dim);
+  for (std::size_t d = 0; d < config.render_hidden_dim; ++d) {
+    render1_bias_[d] = static_cast<float>(rng.normal(0.0, 0.5));
+  }
+  render2_ = random_matrix(config.render_hidden_dim, config.pixel_dim,
+                           std::sqrt(2.0 / config.render_hidden_dim), rng);
+  const double shift = config.domain_shift;
+  product_shift_ = random_matrix(config.pixel_dim, config.pixel_dim,
+                                 shift / std::sqrt(config.pixel_dim), rng);
+  clipart_shift_ = random_matrix(
+      config.pixel_dim, config.pixel_dim,
+      shift * config.clipart_shift_scale / std::sqrt(config.pixel_dim), rng);
+  product_bias_ = Tensor::zeros(config.pixel_dim);
+  clipart_bias_ = Tensor::zeros(config.pixel_dim);
+  for (std::size_t d = 0; d < config.pixel_dim; ++d) {
+    product_bias_[d] = static_cast<float>(rng.normal(0.0, shift * 0.5));
+    clipart_bias_[d] = static_cast<float>(
+        rng.normal(0.0, shift * config.clipart_shift_scale * 0.5));
+  }
+}
+
+std::size_t World::render_region(std::span<const float> prototype) const {
+  std::size_t best = 0;
+  double best_dist = std::numeric_limits<double>::infinity();
+  for (std::size_t r = 0; r < render_anchors_.rows(); ++r) {
+    auto anchor = render_anchors_.row(r);
+    double dist = 0.0;
+    for (std::size_t d = 0; d < anchor.size(); ++d) {
+      const double diff = prototype[d] - anchor[d];
+      dist += diff * diff;
+    }
+    if (dist < best_dist) {
+      best_dist = dist;
+      best = r;
+    }
+  }
+  return best;
+}
+
+std::optional<std::size_t> World::prototype_for_name(
+    const std::string& name) const {
+  auto it = name_to_prototype_.find(name);
+  if (it == name_to_prototype_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::size_t World::add_blended_class(
+    const std::string& name, std::span<const std::size_t> source_prototypes,
+    double noise) {
+  if (name_to_prototype_.count(name) > 0) {
+    throw std::invalid_argument("add_blended_class: name exists: " + name);
+  }
+  if (source_prototypes.empty()) {
+    throw std::invalid_argument("add_blended_class: no sources");
+  }
+  util::Rng rng(util::combine_seeds(
+      {config_.seed, 77, static_cast<std::uint64_t>(prototypes_.rows())}));
+  Tensor blended = Tensor::zeros(config_.latent_dim);
+  for (std::size_t src : source_prototypes) {
+    if (src >= prototypes_.rows()) {
+      throw std::out_of_range("add_blended_class: bad source");
+    }
+    auto row = prototypes_.row(src);
+    for (std::size_t d = 0; d < config_.latent_dim; ++d) blended[d] += row[d];
+  }
+  for (std::size_t d = 0; d < config_.latent_dim; ++d) {
+    blended[d] = blended[d] / static_cast<float>(source_prototypes.size()) +
+                 static_cast<float>(rng.normal(0.0, noise));
+  }
+  // Append as a new prototype row.
+  Tensor grown = Tensor::zeros(prototypes_.rows() + 1, config_.latent_dim);
+  for (std::size_t r = 0; r < prototypes_.rows(); ++r) {
+    auto src = prototypes_.row(r);
+    auto dst = grown.row(r);
+    std::copy(src.begin(), src.end(), dst.begin());
+  }
+  auto last = grown.row(prototypes_.rows());
+  std::copy(blended.data().begin(), blended.data().end(), last.begin());
+  const std::size_t index = prototypes_.rows();
+  prototypes_ = std::move(grown);
+  extra_names_.push_back(name);
+  name_to_prototype_.emplace(name, index);
+  return index;
+}
+
+Tensor World::sample_image(std::size_t prototype_index, Domain domain,
+                           util::Rng& rng) const {
+  if (prototype_index >= prototypes_.rows()) {
+    throw std::out_of_range("sample_image: bad prototype index");
+  }
+  const std::size_t L = config_.latent_dim, P = config_.pixel_dim;
+  auto proto = prototypes_.row(prototype_index);
+
+  // Latent style jitter (intra-class variation).
+  std::vector<float> z(L);
+  for (std::size_t d = 0; d < L; ++d) {
+    z[d] = proto[d] + static_cast<float>(rng.normal(0.0, config_.intra_class_noise));
+  }
+
+  // Render through the region's random two-layer camera. The region is
+  // chosen by the class prototype (not the jittered sample) so all
+  // images of a class share one camera.
+  const std::size_t H = config_.render_hidden_dim;
+  const std::size_t region = render_region(proto);
+  const Tensor& r1 = render1_[region];
+  std::vector<float> hidden(H);
+  for (std::size_t j = 0; j < H; ++j) hidden[j] = render1_bias_[j];
+  for (std::size_t l = 0; l < L; ++l) {
+    const float zv = z[l];
+    auto rrow = r1.row(l);
+    for (std::size_t j = 0; j < H; ++j) hidden[j] += zv * rrow[j];
+  }
+  for (std::size_t j = 0; j < H; ++j) {
+    hidden[j] = hidden[j] > 0.0f ? hidden[j] : 0.0f;  // ReLU
+  }
+  const float gain = static_cast<float>(config_.render_gain);
+  std::vector<float> px(P, 0.0f);
+  for (std::size_t j = 0; j < H; ++j) {
+    const float hv = hidden[j];
+    if (hv == 0.0f) continue;
+    auto rrow = render2_.row(j);
+    for (std::size_t p = 0; p < P; ++p) px[p] += hv * rrow[p];
+  }
+  for (std::size_t p = 0; p < P; ++p) px[p] *= gain;
+
+  // Structured per-image style nuisance through the region's mixing
+  // matrix: high-amplitude directions only a region-trained encoder can
+  // project out.
+  const Tensor& style = style_mix_[region];
+  const float style_scale = static_cast<float>(config_.style_scale);
+  for (std::size_t s = 0; s < config_.style_dim; ++s) {
+    const float tv = static_cast<float>(rng.normal());
+    auto srow = style.row(s);
+    for (std::size_t p = 0; p < P; ++p) px[p] += style_scale * tv * srow[p];
+  }
+
+  // Domain shift: x <- x + S x + b for the shifted domains.
+  if (domain != Domain::kNatural) {
+    const Tensor& S = domain == Domain::kProduct ? product_shift_ : clipart_shift_;
+    const Tensor& b = domain == Domain::kProduct ? product_bias_ : clipart_bias_;
+    std::vector<float> shifted(px);
+    for (std::size_t r = 0; r < P; ++r) {
+      auto srow = S.row(r);
+      double acc = 0.0;
+      for (std::size_t c = 0; c < P; ++c) acc += srow[c] * px[c];
+      shifted[r] = px[r] + static_cast<float>(acc) + b[r];
+    }
+    px = std::move(shifted);
+  }
+
+  // Sensor noise + saturation.
+  Tensor out = Tensor::zeros(P);
+  for (std::size_t p = 0; p < P; ++p) {
+    out[p] = std::tanh(px[p] + static_cast<float>(rng.normal(0.0, config_.pixel_noise)));
+  }
+  return out;
+}
+
+Dataset World::make_dataset(const std::string& dataset_name,
+                            const std::vector<std::string>& class_names,
+                            std::size_t per_class, Domain domain,
+                            util::Rng& rng) const {
+  Dataset ds;
+  ds.name = dataset_name;
+  ds.domain = domain;
+  ds.class_names = class_names;
+  ds.class_concepts.reserve(class_names.size());
+  const std::size_t n = class_names.size() * per_class;
+  ds.inputs = Tensor::zeros(n, config_.pixel_dim);
+  ds.labels.reserve(n);
+  std::size_t row = 0;
+  for (std::size_t c = 0; c < class_names.size(); ++c) {
+    const auto proto = prototype_for_name(class_names[c]);
+    if (!proto) {
+      throw std::invalid_argument("make_dataset: unknown class " + class_names[c]);
+    }
+    // Record the graph concept when one exists (blended extras do not).
+    ds.class_concepts.push_back(
+        *proto < config_.concept_count ? *proto : kNoConcept);
+    for (std::size_t k = 0; k < per_class; ++k) {
+      Tensor img = sample_image(*proto, domain, rng);
+      auto dst = ds.inputs.row(row);
+      std::copy(img.data().begin(), img.data().end(), dst.begin());
+      ds.labels.push_back(c);
+      ++row;
+    }
+  }
+  ds.validate();
+  return ds;
+}
+
+Dataset World::make_auxiliary_corpus(std::span<const NodeId> concepts,
+                                     std::size_t per_class,
+                                     util::Rng& rng) const {
+  Dataset ds;
+  ds.name = "auxiliary";
+  ds.domain = Domain::kNatural;
+  ds.class_names.reserve(concepts.size());
+  ds.class_concepts.assign(concepts.begin(), concepts.end());
+  const std::size_t n = concepts.size() * per_class;
+  ds.inputs = Tensor::zeros(n, config_.pixel_dim);
+  ds.labels.reserve(n);
+  std::size_t row = 0;
+  for (std::size_t c = 0; c < concepts.size(); ++c) {
+    if (concepts[c] >= config_.concept_count) {
+      throw std::out_of_range("make_auxiliary_corpus: bad concept");
+    }
+    ds.class_names.push_back(graph_.name(concepts[c]));
+    for (std::size_t k = 0; k < per_class; ++k) {
+      Tensor img = sample_image(concepts[c], Domain::kNatural, rng);
+      auto dst = ds.inputs.row(row);
+      std::copy(img.data().begin(), img.data().end(), dst.begin());
+      ds.labels.push_back(c);
+      ++row;
+    }
+  }
+  ds.validate();
+  return ds;
+}
+
+std::vector<NodeId> World::auxiliary_concepts() const {
+  std::vector<NodeId> out;
+  out.reserve(config_.concept_count - 1);
+  for (NodeId i = 0; i < config_.concept_count; ++i) {
+    if (!taxonomy_.is_root(i)) out.push_back(i);
+  }
+  return out;
+}
+
+std::vector<NodeId> World::auxiliary_subset(double fraction) const {
+  if (fraction <= 0.0 || fraction > 1.0) {
+    throw std::invalid_argument("auxiliary_subset: bad fraction");
+  }
+  const std::size_t want = static_cast<std::size_t>(std::max(
+      1.0, fraction * static_cast<double>(config_.concept_count - 1)));
+  // Clustered sampling: whole subtrees at a time. A small pretraining
+  // corpus like ImageNet-1k is not a uniform sample of all visual
+  // concepts — it covers some semantic regions densely and misses others
+  // entirely. Reproducing that bias is what leaves the weaker backbone
+  // genuinely blind to parts of the ontology, so task-related auxiliary
+  // data can add information the encoder lacks.
+  util::Rng rng(util::combine_seeds({config_.seed, 3}));
+  std::vector<std::size_t> roots;
+  for (std::size_t i = 0; i < config_.concept_count; ++i) {
+    if (!taxonomy_.is_root(i) && taxonomy_.depth(i) == 2) roots.push_back(i);
+  }
+  rng.shuffle(roots);
+  std::vector<NodeId> out;
+  std::vector<bool> taken(config_.concept_count, false);
+  for (std::size_t r : roots) {
+    if (out.size() >= want) break;
+    for (std::size_t node : taxonomy_.subtree(r)) {
+      if (out.size() >= want) break;
+      if (!taken[node]) {
+        taken[node] = true;
+        out.push_back(node);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace taglets::synth

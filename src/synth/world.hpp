@@ -1,0 +1,166 @@
+// The synthetic visual world every experiment runs in. It plays the role
+// of "reality" in the reproduction: a concept ontology (WordNet stand-in),
+// a common-sense knowledge graph over the concepts (ConceptNet stand-in),
+// latent visual prototypes that diffuse down the ontology tree — so that
+// semantic relatedness in the graph implies feature-space similarity,
+// the property SCADS selection exploits — plus a fixed nonlinear
+// "camera" that renders prototypes into pixel vectors under per-domain
+// shifts, and noisy word vectors from which SCADS embeddings are
+// retrofitted (Appendix A.1).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/embedding_index.hpp"
+#include "graph/knowledge_graph.hpp"
+#include "graph/taxonomy.hpp"
+#include "synth/dataset.hpp"
+#include "tensor/tensor.hpp"
+#include "util/rng.hpp"
+
+namespace taglets::synth {
+
+struct WorldConfig {
+  std::uint64_t seed = 7;
+
+  // Ontology / knowledge graph.
+  std::size_t concept_count = 1200;
+  std::size_t min_children = 2;
+  std::size_t max_children = 5;
+  std::size_t cross_edges = 2400;
+  double cross_edge_locality = 3.0;
+
+  // Latent semantics.
+  std::size_t latent_dim = 24;
+  double tree_step = 0.45;    // prototype diffusion per IsA edge
+  double cross_pull = 0.10;   // prototype mixing along cross edges
+
+  // Rendering. The latent -> pixel "camera" is a fixed random two-layer
+  // network: a nonlinear map is essential so that no encoder can invert
+  // it globally from a modest pretraining corpus — which is what makes
+  // *task-related* auxiliary data genuinely more valuable than generic
+  // data, the property the paper's SCADS experiments measure.
+  std::size_t pixel_dim = 64;
+  std::size_t render_hidden_dim = 96;
+  double render_gain = 1.3;          // pre-tanh scale (saturation level)
+  /// The camera is piecewise: the latent space is split into this many
+  /// regions (nearest-anchor), each with its own random class-path first
+  /// layer and its own style-mixing matrix. Local complexity is what
+  /// makes nearby auxiliary data genuinely more informative than remote
+  /// data; 0 or 1 disables the mixture.
+  std::size_t render_regions = 32;
+  /// Structured per-image nuisance: every image draws a style vector t
+  /// that enters the pixels through a region-specific mixing matrix at
+  /// `style_scale` amplitude. Because the style directions dominate the
+  /// class signal, raw pixels (or a random encoder) are poor features —
+  /// only an encoder trained on a region's data learns to project its
+  /// style subspace out. This is what gives pretrained backbones (and
+  /// task-related auxiliary data) their value, as in the real datasets.
+  std::size_t style_dim = 24;
+  double style_scale = 1.5;
+  double intra_class_noise = 0.15;  // small residual latent jitter
+  double pixel_noise = 0.10;
+  double domain_shift = 0.20;  // product-domain transform strength
+  double clipart_shift_scale = 1.6;  // clipart = this x product strength
+
+  // Word vectors / SCADS embeddings.
+  std::size_t word_dim = 16;
+  double word_noise = 0.35;
+  double oov_fraction = 0.12;  // unnamed concepts without word vectors
+  std::size_t retrofit_iterations = 15;
+
+  /// Human class names to attach to suitable ontology concepts (depth
+  /// >= 2 with at least one sibling), so dataset classes can be joined
+  /// to graph nodes by name.
+  std::vector<std::string> named_concepts;
+};
+
+class World {
+ public:
+  explicit World(const WorldConfig& config);
+
+  const WorldConfig& config() const { return config_; }
+  const graph::Taxonomy& taxonomy() const { return taxonomy_; }
+  const graph::KnowledgeGraph& graph() const { return graph_; }
+  /// Retrofitted SCADS embeddings, one row per graph node.
+  const tensor::Tensor& scads_embeddings() const { return scads_embeddings_; }
+  /// Raw word vectors (nullopt for out-of-vocabulary concepts).
+  const std::vector<std::optional<tensor::Tensor>>& word_vectors() const {
+    return word_vectors_;
+  }
+  bool in_vocab(graph::NodeId id) const { return word_vectors_.at(id).has_value(); }
+
+  std::size_t pixel_dim() const { return config_.pixel_dim; }
+  std::size_t latent_dim() const { return config_.latent_dim; }
+
+  /// Prototype table: ontology concepts occupy [0, concept_count);
+  /// blended extra classes (not present in the graph) follow.
+  std::size_t prototype_count() const { return prototypes_.rows(); }
+  std::span<const float> prototype(std::size_t index) const {
+    return prototypes_.row(index);
+  }
+
+  /// Index of the prototype joined to `name` (an ontology concept name,
+  /// an assigned class name, or a blended class name).
+  std::optional<std::size_t> prototype_for_name(const std::string& name) const;
+
+  /// Create a class that exists visually but NOT in the knowledge graph
+  /// (the Grocery oatghurt/soyghurt scenario). Its prototype is the mean
+  /// of the source concepts' prototypes plus noise. Returns its
+  /// prototype index.
+  std::size_t add_blended_class(const std::string& name,
+                                std::span<const std::size_t> source_prototypes,
+                                double noise = 0.25);
+
+  /// Render one image of the given prototype in the given domain.
+  tensor::Tensor sample_image(std::size_t prototype_index, Domain domain,
+                              util::Rng& rng) const;
+
+  /// Dataset over the named classes: `per_class` images each.
+  Dataset make_dataset(const std::string& dataset_name,
+                       const std::vector<std::string>& class_names,
+                       std::size_t per_class, Domain domain,
+                       util::Rng& rng) const;
+
+  /// Auxiliary corpus over explicit concepts (one aux class per concept).
+  Dataset make_auxiliary_corpus(std::span<const graph::NodeId> concepts,
+                                std::size_t per_class, util::Rng& rng) const;
+
+  /// All ontology concepts except the root — the candidate pool for
+  /// "ImageNet-21k-S".
+  std::vector<graph::NodeId> auxiliary_concepts() const;
+
+  /// Deterministic (seeded by the world) subset of the auxiliary pool —
+  /// "ImageNet-1k-S" for the weaker backbone and ZSL-KG pretraining.
+  std::vector<graph::NodeId> auxiliary_subset(double fraction) const;
+
+ private:
+  WorldConfig config_;
+  graph::Taxonomy taxonomy_;
+  graph::KnowledgeGraph graph_;
+  tensor::Tensor prototypes_;  // (concepts + extras, latent_dim)
+  std::vector<std::string> extra_names_;
+  std::unordered_map<std::string, std::size_t> name_to_prototype_;
+  std::vector<std::optional<tensor::Tensor>> word_vectors_;
+  tensor::Tensor scads_embeddings_;
+
+  /// Camera region of a prototype (nearest anchor).
+  std::size_t render_region(std::span<const float> prototype) const;
+
+  // Fixed rendering parameters (random piecewise two-layer camera plus
+  // per-region style mixing).
+  std::vector<tensor::Tensor> render1_;  // per region: (latent, render_hidden)
+  std::vector<tensor::Tensor> style_mix_;  // per region: (style, pixel)
+  tensor::Tensor render_anchors_;  // (regions, latent)
+  tensor::Tensor render1_bias_;    // (render_hidden)
+  tensor::Tensor render2_;         // (render_hidden, pixel)
+  tensor::Tensor product_shift_;   // (pixel, pixel) additive perturbation
+  tensor::Tensor clipart_shift_;
+  tensor::Tensor product_bias_;    // (pixel)
+  tensor::Tensor clipart_bias_;
+};
+
+}  // namespace taglets::synth

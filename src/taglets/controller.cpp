@@ -1,0 +1,106 @@
+#include "taglets/controller.hpp"
+
+#include <stdexcept>
+
+#include "ensemble/ensemble.hpp"
+#include "util/logging.hpp"
+#include "util/thread_pool.hpp"
+#include "util/timer.hpp"
+
+namespace taglets {
+
+using tensor::Tensor;
+
+Controller::Controller(scads::Scads* scads, backbone::Zoo* zoo,
+                       modules::ZslKgEngine* zsl_engine,
+                       modules::ModuleRegistry* registry)
+    : scads_(scads),
+      zoo_(zoo),
+      zsl_engine_(zsl_engine),
+      registry_(registry != nullptr ? registry
+                                    : &modules::ModuleRegistry::global()) {
+  if (scads_ == nullptr || zoo_ == nullptr) {
+    throw std::invalid_argument("Controller: scads and zoo are required");
+  }
+}
+
+scads::Selection Controller::select(const synth::FewShotTask& task,
+                                    const SystemConfig& config) const {
+  scads::SelectionConfig selection = config.selection;
+  if (selection.seed == 0) selection.seed = config.train_seed;
+  return scads::select_auxiliary(*scads_, task, selection);
+}
+
+std::vector<modules::Taglet> Controller::train_taglets(
+    const synth::FewShotTask& task, const scads::Selection& selection,
+    const SystemConfig& config) {
+  if (config.module_names.empty()) {
+    throw std::invalid_argument("Controller: empty module line-up");
+  }
+  const backbone::Pretrained& phi = zoo_->get(config.backbone);
+
+  modules::ModuleContext context;
+  context.task = &task;
+  context.scads = scads_;
+  context.selection = &selection;
+  context.backbone = &phi;
+  context.zsl_engine = zsl_engine_;
+  context.train_seed = config.train_seed;
+  context.epoch_scale = config.epoch_scale;
+
+  std::vector<std::unique_ptr<modules::Module>> mods;
+  for (const std::string& name : config.module_names) {
+    mods.push_back(registry_->create(name));
+  }
+
+  std::vector<std::optional<modules::Taglet>> slots(mods.size());
+  auto train_one = [&](std::size_t i) {
+    TAGLETS_LOG(kInfo) << "training module " << mods[i]->name();
+    slots[i] = mods[i]->train(context);
+  };
+  if (config.parallel_modules && mods.size() > 1) {
+    util::ThreadPool pool;
+    pool.parallel_for(mods.size(), train_one);
+  } else {
+    for (std::size_t i = 0; i < mods.size(); ++i) train_one(i);
+  }
+
+  std::vector<modules::Taglet> taglets;
+  taglets.reserve(slots.size());
+  for (auto& slot : slots) taglets.push_back(std::move(*slot));
+  return taglets;
+}
+
+SystemResult Controller::run(const synth::FewShotTask& task,
+                             const SystemConfig& config) {
+  util::Timer timer;
+
+  // (1) SCADS selection of task-related auxiliary data.
+  scads::Selection selection = select(task, config);
+  TAGLETS_LOG(kInfo) << "selected " << selection.intermediate_classes()
+                     << " auxiliary concepts, |R| = " << selection.data.size();
+
+  // (2) Module training.
+  std::vector<modules::Taglet> taglets =
+      train_taglets(task, selection, config);
+
+  // (3) Ensemble pseudo labels for the unlabeled pool (Eq. 6).
+  Tensor pseudo = task.unlabeled_inputs.rows() > 0
+                      ? ensemble::ensemble_proba(taglets, task.unlabeled_inputs)
+                      : Tensor::zeros(0, task.num_classes());
+
+  // (4) Distill into the end model (Eq. 7).
+  util::Rng rng(util::combine_seeds({config.train_seed, 0xE4DULL}));
+  const backbone::Pretrained& phi = zoo_->get(config.backbone);
+  nn::Classifier end_model = ensemble::train_end_model(
+      task, pseudo, phi.encoder, phi.feature_dim, config.end_model, rng,
+      config.epoch_scale);
+
+  SystemResult result{
+      ensemble::ServableModel(std::move(end_model), task.class_names),
+      std::move(taglets), std::move(selection), std::move(pseudo), 0.0};
+  result.train_seconds = timer.elapsed_seconds();
+  return result;
+}
+
+}  // namespace taglets

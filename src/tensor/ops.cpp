@@ -1,0 +1,283 @@
+#include "tensor/ops.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace taglets::tensor {
+
+namespace {
+
+void require(bool cond, const char* what) {
+  if (!cond) throw std::invalid_argument(what);
+}
+
+constexpr std::size_t kBlock = 64;
+
+}  // namespace
+
+Tensor matmul(const Tensor& a, const Tensor& b) {
+  require(a.is_matrix() && b.is_matrix(), "matmul: rank-2 required");
+  require(a.cols() == b.rows(), "matmul: inner dim mismatch");
+  const std::size_t m = a.rows(), k = a.cols(), n = b.cols();
+  Tensor c = Tensor::zeros(m, n);
+  // i-k-j loop order with blocking on k and j: the innermost loop walks
+  // both B and C rows contiguously.
+  for (std::size_t kk = 0; kk < k; kk += kBlock) {
+    const std::size_t kend = std::min(k, kk + kBlock);
+    for (std::size_t i = 0; i < m; ++i) {
+      const float* arow = a.row(i).data();
+      float* crow = c.row(i).data();
+      for (std::size_t p = kk; p < kend; ++p) {
+        const float av = arow[p];
+        if (av == 0.0f) continue;
+        const float* brow = b.row(p).data();
+        for (std::size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+      }
+    }
+  }
+  return c;
+}
+
+Tensor matmul_tn(const Tensor& a, const Tensor& b) {
+  require(a.is_matrix() && b.is_matrix(), "matmul_tn: rank-2 required");
+  require(a.rows() == b.rows(), "matmul_tn: inner dim mismatch");
+  const std::size_t m = a.cols(), k = a.rows(), n = b.cols();
+  Tensor c = Tensor::zeros(m, n);
+  for (std::size_t p = 0; p < k; ++p) {
+    const float* arow = a.row(p).data();
+    const float* brow = b.row(p).data();
+    for (std::size_t i = 0; i < m; ++i) {
+      const float av = arow[i];
+      if (av == 0.0f) continue;
+      float* crow = c.row(i).data();
+      for (std::size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+  return c;
+}
+
+Tensor matmul_nt(const Tensor& a, const Tensor& b) {
+  require(a.is_matrix() && b.is_matrix(), "matmul_nt: rank-2 required");
+  require(a.cols() == b.cols(), "matmul_nt: inner dim mismatch");
+  const std::size_t m = a.rows(), k = a.cols(), n = b.rows();
+  Tensor c = Tensor::zeros(m, n);
+  for (std::size_t i = 0; i < m; ++i) {
+    const float* arow = a.row(i).data();
+    float* crow = c.row(i).data();
+    for (std::size_t j = 0; j < n; ++j) {
+      const float* brow = b.row(j).data();
+      double s = 0.0;
+      for (std::size_t p = 0; p < k; ++p) s += static_cast<double>(arow[p]) * brow[p];
+      crow[j] = static_cast<float>(s);
+    }
+  }
+  return c;
+}
+
+Tensor transpose(const Tensor& a) {
+  require(a.is_matrix(), "transpose: rank-2 required");
+  Tensor t = Tensor::zeros(a.cols(), a.rows());
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t j = 0; j < a.cols(); ++j) t.at(j, i) = a.at(i, j);
+  }
+  return t;
+}
+
+Tensor add(const Tensor& a, const Tensor& b) {
+  require(same_shape(a, b), "add: shape mismatch");
+  Tensor c = a;
+  auto cd = c.data();
+  auto bd = b.data();
+  for (std::size_t i = 0; i < cd.size(); ++i) cd[i] += bd[i];
+  return c;
+}
+
+Tensor sub(const Tensor& a, const Tensor& b) {
+  require(same_shape(a, b), "sub: shape mismatch");
+  Tensor c = a;
+  auto cd = c.data();
+  auto bd = b.data();
+  for (std::size_t i = 0; i < cd.size(); ++i) cd[i] -= bd[i];
+  return c;
+}
+
+Tensor hadamard(const Tensor& a, const Tensor& b) {
+  require(same_shape(a, b), "hadamard: shape mismatch");
+  Tensor c = a;
+  auto cd = c.data();
+  auto bd = b.data();
+  for (std::size_t i = 0; i < cd.size(); ++i) cd[i] *= bd[i];
+  return c;
+}
+
+Tensor scale(const Tensor& a, float s) {
+  Tensor c = a;
+  for (float& x : c.data()) x *= s;
+  return c;
+}
+
+void add_scaled_inplace(Tensor& a, const Tensor& b, float s) {
+  require(same_shape(a, b), "add_scaled_inplace: shape mismatch");
+  auto ad = a.data();
+  auto bd = b.data();
+  for (std::size_t i = 0; i < ad.size(); ++i) ad[i] += s * bd[i];
+}
+
+Tensor add_row_broadcast(const Tensor& a, const Tensor& bias) {
+  require(a.is_matrix(), "add_row_broadcast: matrix required");
+  require(bias.is_vector() && bias.size() == a.cols(),
+          "add_row_broadcast: bias size mismatch");
+  Tensor c = a;
+  for (std::size_t i = 0; i < c.rows(); ++i) {
+    auto row = c.row(i);
+    for (std::size_t j = 0; j < row.size(); ++j) row[j] += bias[j];
+  }
+  return c;
+}
+
+float dot(std::span<const float> a, std::span<const float> b) {
+  require(a.size() == b.size(), "dot: size mismatch");
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) s += static_cast<double>(a[i]) * b[i];
+  return static_cast<float>(s);
+}
+
+float l2_norm(std::span<const float> a) {
+  double s = 0.0;
+  for (float x : a) s += static_cast<double>(x) * x;
+  return static_cast<float>(std::sqrt(s));
+}
+
+float cosine_similarity(std::span<const float> a, std::span<const float> b) {
+  const float na = l2_norm(a), nb = l2_norm(b);
+  if (na <= 0.0f || nb <= 0.0f) return 0.0f;
+  return dot(a, b) / (na * nb);
+}
+
+Tensor column_sums(const Tensor& a) {
+  require(a.is_matrix(), "column_sums: matrix required");
+  Tensor out = Tensor::zeros(a.cols());
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    auto row = a.row(i);
+    for (std::size_t j = 0; j < row.size(); ++j) out[j] += row[j];
+  }
+  return out;
+}
+
+Tensor row_mean(const Tensor& a) {
+  Tensor out = column_sums(a);
+  if (a.rows() > 0) {
+    for (std::size_t j = 0; j < out.size(); ++j) {
+      out[j] /= static_cast<float>(a.rows());
+    }
+  }
+  return out;
+}
+
+namespace {
+
+void softmax_row(std::span<const float> in, std::span<float> out) {
+  const float mx = *std::max_element(in.begin(), in.end());
+  double sum = 0.0;
+  for (std::size_t j = 0; j < in.size(); ++j) {
+    out[j] = std::exp(in[j] - mx);
+    sum += out[j];
+  }
+  const float inv = static_cast<float>(1.0 / sum);
+  for (std::size_t j = 0; j < out.size(); ++j) out[j] *= inv;
+}
+
+}  // namespace
+
+Tensor softmax(const Tensor& logits) {
+  if (logits.is_vector()) {
+    Tensor out = Tensor::zeros(logits.size());
+    std::vector<float> in(logits.data().begin(), logits.data().end());
+    softmax_row(in, out.data());
+    return out;
+  }
+  Tensor out = Tensor::zeros(logits.rows(), logits.cols());
+  for (std::size_t i = 0; i < logits.rows(); ++i) {
+    softmax_row(logits.row(i), out.row(i));
+  }
+  return out;
+}
+
+Tensor log_softmax(const Tensor& logits) {
+  require(logits.is_matrix() || logits.is_vector(), "log_softmax: bad rank");
+  Tensor out = logits;
+  const std::size_t rows = logits.is_matrix() ? logits.rows() : 1;
+  const std::size_t cols = logits.is_matrix() ? logits.cols() : logits.size();
+  for (std::size_t i = 0; i < rows; ++i) {
+    float* row = out.data().data() + i * cols;
+    const float mx = *std::max_element(row, row + cols);
+    double sum = 0.0;
+    for (std::size_t j = 0; j < cols; ++j) sum += std::exp(row[j] - mx);
+    const float lse = mx + static_cast<float>(std::log(sum));
+    for (std::size_t j = 0; j < cols; ++j) row[j] -= lse;
+  }
+  return out;
+}
+
+std::vector<std::size_t> argmax_rows(const Tensor& a) {
+  std::vector<std::size_t> out;
+  if (a.is_vector()) {
+    out.push_back(argmax(a.data()));
+    return out;
+  }
+  out.reserve(a.rows());
+  for (std::size_t i = 0; i < a.rows(); ++i) out.push_back(argmax(a.row(i)));
+  return out;
+}
+
+std::size_t argmax(std::span<const float> a) {
+  require(!a.empty(), "argmax: empty");
+  return static_cast<std::size_t>(
+      std::max_element(a.begin(), a.end()) - a.begin());
+}
+
+std::vector<float> max_rows(const Tensor& a) {
+  require(a.is_matrix(), "max_rows: matrix required");
+  std::vector<float> out;
+  out.reserve(a.rows());
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    auto row = a.row(i);
+    out.push_back(*std::max_element(row.begin(), row.end()));
+  }
+  return out;
+}
+
+void normalize_rows(Tensor& a) {
+  if (a.is_vector()) {
+    const float n = l2_norm(a.data());
+    if (n > 0.0f) {
+      for (float& x : a.data()) x /= n;
+    }
+    return;
+  }
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    auto row = a.row(i);
+    const float n = l2_norm(row);
+    if (n > 0.0f) {
+      for (float& x : row) x /= n;
+    }
+  }
+}
+
+std::vector<std::size_t> top_k_indices(std::span<const float> values,
+                                       std::size_t k) {
+  std::vector<std::size_t> idx(values.size());
+  std::iota(idx.begin(), idx.end(), 0);
+  k = std::min(k, idx.size());
+  std::partial_sort(idx.begin(), idx.begin() + static_cast<long>(k), idx.end(),
+                    [&](std::size_t a, std::size_t b) {
+                      if (values[a] != values[b]) return values[a] > values[b];
+                      return a < b;
+                    });
+  idx.resize(k);
+  return idx;
+}
+
+}  // namespace taglets::tensor

@@ -1,0 +1,68 @@
+// Tensor operations used by the NN substrate, the graph-embedding code
+// (retrofitting, cosine search), and the ensemble math. Matmul uses
+// cache-blocked loops; everything else is straightforward elementwise
+// code. All functions validate shapes and throw std::invalid_argument
+// on mismatch so shape bugs fail loudly rather than silently.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace taglets::tensor {
+
+// ---- matrix products -------------------------------------------------
+
+/// C = A(mxk) * B(kxn).
+Tensor matmul(const Tensor& a, const Tensor& b);
+/// C = A^T(kxm -> mxk view) * B, i.e. matmul(transpose(a), b) without
+/// materializing the transpose.
+Tensor matmul_tn(const Tensor& a, const Tensor& b);
+/// C = A * B^T.
+Tensor matmul_nt(const Tensor& a, const Tensor& b);
+Tensor transpose(const Tensor& a);
+
+// ---- elementwise -----------------------------------------------------
+
+Tensor add(const Tensor& a, const Tensor& b);
+Tensor sub(const Tensor& a, const Tensor& b);
+Tensor hadamard(const Tensor& a, const Tensor& b);
+Tensor scale(const Tensor& a, float s);
+/// a += s * b (AXPY).
+void add_scaled_inplace(Tensor& a, const Tensor& b, float s);
+/// Add a rank-1 bias to every row of a matrix.
+Tensor add_row_broadcast(const Tensor& a, const Tensor& bias);
+
+// ---- reductions ------------------------------------------------------
+
+float dot(std::span<const float> a, std::span<const float> b);
+float l2_norm(std::span<const float> a);
+/// Cosine similarity; 0 when either vector has zero norm.
+float cosine_similarity(std::span<const float> a, std::span<const float> b);
+/// Column sums of a matrix as a rank-1 tensor.
+Tensor column_sums(const Tensor& a);
+/// Mean over rows as a rank-1 tensor.
+Tensor row_mean(const Tensor& a);
+
+// ---- probability helpers --------------------------------------------
+
+/// Numerically stable softmax of each row (matrix) or of the vector.
+Tensor softmax(const Tensor& logits);
+/// Stable log-softmax.
+Tensor log_softmax(const Tensor& logits);
+/// Index of the max element per row.
+std::vector<std::size_t> argmax_rows(const Tensor& a);
+std::size_t argmax(std::span<const float> a);
+/// Max element per row.
+std::vector<float> max_rows(const Tensor& a);
+
+/// L2-normalize each row in place; zero rows are left untouched.
+void normalize_rows(Tensor& a);
+
+/// Top-k indices by descending value (ties broken by lower index).
+std::vector<std::size_t> top_k_indices(std::span<const float> values,
+                                       std::size_t k);
+
+}  // namespace taglets::tensor

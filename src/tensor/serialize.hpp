@@ -1,0 +1,26 @@
+// Binary (de)serialization of tensors. Used to persist the servable end
+// model ("automatically distill to a servable model" — design principle 3)
+// and to cache pretrained backbones across bench runs.
+#pragma once
+
+#include <istream>
+#include <ostream>
+#include <string>
+
+#include "tensor/tensor.hpp"
+
+namespace taglets::tensor {
+
+/// Writes a tensor as: magic("TGT1"), rank (u32), rows (u64), cols (u64),
+/// then raw little-endian float32 payload.
+void write_tensor(std::ostream& out, const Tensor& t);
+
+/// Reads a tensor written by write_tensor; throws std::runtime_error on
+/// malformed input.
+Tensor read_tensor(std::istream& in);
+
+/// Convenience file round-trips.
+void save_tensor(const std::string& path, const Tensor& t);
+Tensor load_tensor(const std::string& path);
+
+}  // namespace taglets::tensor

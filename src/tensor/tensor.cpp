@@ -1,0 +1,98 @@
+#include "tensor/tensor.hpp"
+
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace taglets::tensor {
+
+Tensor Tensor::zeros(std::size_t n) {
+  return Tensor(1, n, 1, std::vector<float>(n, 0.0f));
+}
+
+Tensor Tensor::zeros(std::size_t rows, std::size_t cols) {
+  return Tensor(2, rows, cols, std::vector<float>(rows * cols, 0.0f));
+}
+
+Tensor Tensor::full(std::size_t rows, std::size_t cols, float value) {
+  return Tensor(2, rows, cols, std::vector<float>(rows * cols, value));
+}
+
+Tensor Tensor::from_vector(std::vector<float> values) {
+  const std::size_t n = values.size();
+  return Tensor(1, n, 1, std::move(values));
+}
+
+Tensor Tensor::from_matrix(std::size_t rows, std::size_t cols,
+                           std::vector<float> values) {
+  if (values.size() != rows * cols) {
+    throw std::invalid_argument("Tensor::from_matrix: size mismatch");
+  }
+  return Tensor(2, rows, cols, std::move(values));
+}
+
+Tensor Tensor::identity(std::size_t n) {
+  Tensor t = zeros(n, n);
+  for (std::size_t i = 0; i < n; ++i) t.at(i, i) = 1.0f;
+  return t;
+}
+
+std::span<float> Tensor::row(std::size_t r) {
+  assert(rank_ == 2 && r < rows_);
+  return std::span<float>(data_.data() + r * cols_, cols_);
+}
+
+std::span<const float> Tensor::row(std::size_t r) const {
+  assert(rank_ == 2 && r < rows_);
+  return std::span<const float>(data_.data() + r * cols_, cols_);
+}
+
+Tensor Tensor::row_copy(std::size_t r) const {
+  auto src = row(r);
+  return from_vector(std::vector<float>(src.begin(), src.end()));
+}
+
+Tensor Tensor::gather_rows(std::span<const std::size_t> indices) const {
+  if (rank_ != 2) throw std::logic_error("gather_rows: rank-2 required");
+  Tensor out = zeros(indices.size(), cols_);
+  for (std::size_t i = 0; i < indices.size(); ++i) {
+    if (indices[i] >= rows_) throw std::out_of_range("gather_rows: index");
+    auto src = row(indices[i]);
+    auto dst = out.row(i);
+    std::copy(src.begin(), src.end(), dst.begin());
+  }
+  return out;
+}
+
+Tensor Tensor::reshape(std::size_t rows, std::size_t cols) const {
+  if (rows * cols != data_.size()) {
+    throw std::invalid_argument("Tensor::reshape: element count mismatch");
+  }
+  return Tensor(2, rows, cols, data_);
+}
+
+Tensor Tensor::flatten() const { return Tensor(1, data_.size(), 1, data_); }
+
+void Tensor::fill(float value) {
+  for (float& x : data_) x = value;
+}
+
+float Tensor::squared_norm() const {
+  double s = 0.0;
+  for (float x : data_) s += static_cast<double>(x) * x;
+  return static_cast<float>(s);
+}
+
+std::string Tensor::shape_string() const {
+  std::ostringstream os;
+  if (rank_ == 0) os << "[]";
+  else if (rank_ == 1) os << "[" << rows_ << "]";
+  else os << "[" << rows_ << ", " << cols_ << "]";
+  return os.str();
+}
+
+bool same_shape(const Tensor& a, const Tensor& b) {
+  return a.rank() == b.rank() && a.rows() == b.rows() && a.cols() == b.cols();
+}
+
+}  // namespace taglets::tensor

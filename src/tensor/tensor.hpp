@@ -1,0 +1,98 @@
+// Dense row-major float tensor restricted to ranks 1 and 2 — the shapes
+// that appear in the TAGLETS pipeline (feature matrices, weight
+// matrices, probability vectors). Deliberately minimal: contiguous
+// storage, bounds-checked element access in debug builds, and value
+// semantics so layers can own their parameters directly.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <initializer_list>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace taglets::tensor {
+
+class Tensor {
+ public:
+  /// Empty 0x0 tensor.
+  Tensor() = default;
+
+  /// Rank-1 tensor of `n` zeros.
+  static Tensor zeros(std::size_t n);
+  /// Rank-2 tensor of `rows` x `cols` zeros.
+  static Tensor zeros(std::size_t rows, std::size_t cols);
+  static Tensor full(std::size_t rows, std::size_t cols, float value);
+  /// Rank-1 from values.
+  static Tensor from_vector(std::vector<float> values);
+  /// Rank-2 from row-major values; values.size() must equal rows*cols.
+  static Tensor from_matrix(std::size_t rows, std::size_t cols,
+                            std::vector<float> values);
+  static Tensor identity(std::size_t n);
+
+  bool is_vector() const { return rank_ == 1; }
+  bool is_matrix() const { return rank_ == 2; }
+  int rank() const { return rank_; }
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  /// Total element count.
+  std::size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  /// Rank-1 element access.
+  float& operator[](std::size_t i) {
+    assert(rank_ == 1 && i < data_.size());
+    return data_[i];
+  }
+  float operator[](std::size_t i) const {
+    assert(rank_ == 1 && i < data_.size());
+    return data_[i];
+  }
+
+  /// Rank-2 element access.
+  float& at(std::size_t r, std::size_t c) {
+    assert(rank_ == 2 && r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+  float at(std::size_t r, std::size_t c) const {
+    assert(rank_ == 2 && r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+
+  std::span<float> data() { return data_; }
+  std::span<const float> data() const { return data_; }
+  std::span<float> row(std::size_t r);
+  std::span<const float> row(std::size_t r) const;
+
+  /// Copy of row `r` as a rank-1 tensor.
+  Tensor row_copy(std::size_t r) const;
+  /// New matrix containing the given rows in order.
+  Tensor gather_rows(std::span<const std::size_t> indices) const;
+  /// Reinterpret a rank-1 tensor of length rows*cols as a matrix.
+  Tensor reshape(std::size_t rows, std::size_t cols) const;
+  /// Flatten to rank-1.
+  Tensor flatten() const;
+
+  void fill(float value);
+
+  /// Total squared L2 norm of all elements.
+  float squared_norm() const;
+
+  std::string shape_string() const;
+
+ private:
+  Tensor(int rank, std::size_t rows, std::size_t cols, std::vector<float> data)
+      : rank_(rank), rows_(rows), cols_(cols), data_(std::move(data)) {}
+
+  int rank_ = 0;
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<float> data_;
+};
+
+/// Exact shape equality (rank, rows, cols).
+bool same_shape(const Tensor& a, const Tensor& b);
+
+}  // namespace taglets::tensor

@@ -1,0 +1,81 @@
+#include "util/args.hpp"
+
+#include <cstdlib>
+#include <stdexcept>
+
+namespace taglets::util {
+
+ArgParser::ArgParser(int argc, const char* const* argv) {
+  if (argc > 0) program_ = argv[0];
+  for (int i = 1; i < argc; ++i) {
+    const std::string token = argv[i];
+    if (token.rfind("--", 0) != 0) {
+      positional_.push_back(token);
+      continue;
+    }
+    std::string body = token.substr(2);
+    if (body.empty()) {
+      throw std::invalid_argument("ArgParser: bare '--' not supported");
+    }
+    const auto eq = body.find('=');
+    if (eq != std::string::npos) {
+      values_[body.substr(0, eq)] = body.substr(eq + 1);
+      continue;
+    }
+    // "--name value" when the next token is not itself a flag;
+    // otherwise a bare boolean flag.
+    if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      values_[body] = argv[++i];
+    } else {
+      values_[body] = "";
+    }
+  }
+}
+
+bool ArgParser::has(const std::string& name) const {
+  return values_.count(name) > 0;
+}
+
+std::string ArgParser::get(const std::string& name,
+                           const std::string& fallback) const {
+  auto it = values_.find(name);
+  return it == values_.end() ? fallback : it->second;
+}
+
+long ArgParser::get_long(const std::string& name, long fallback) const {
+  auto it = values_.find(name);
+  if (it == values_.end() || it->second.empty()) return fallback;
+  char* end = nullptr;
+  const long out = std::strtol(it->second.c_str(), &end, 10);
+  if (end == it->second.c_str() || *end != '\0') {
+    throw std::invalid_argument("ArgParser: --" + name + " is not an integer");
+  }
+  return out;
+}
+
+double ArgParser::get_double(const std::string& name, double fallback) const {
+  auto it = values_.find(name);
+  if (it == values_.end() || it->second.empty()) return fallback;
+  char* end = nullptr;
+  const double out = std::strtod(it->second.c_str(), &end);
+  if (end == it->second.c_str() || *end != '\0') {
+    throw std::invalid_argument("ArgParser: --" + name + " is not a number");
+  }
+  return out;
+}
+
+bool ArgParser::get_flag(const std::string& name) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) return false;
+  const std::string& v = it->second;
+  return v.empty() || v == "1" || v == "true" || v == "yes" || v == "on";
+}
+
+std::vector<std::string> ArgParser::flag_names() const {
+  std::vector<std::string> out;
+  out.reserve(values_.size());
+  for (const auto& [name, value] : values_) out.push_back(name);
+  return out;
+}
+
+}  // namespace taglets::util

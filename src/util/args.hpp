@@ -1,0 +1,37 @@
+// Tiny command-line flag parser for the tools/ binaries:
+// --name value / --name=value / --flag (boolean), plus positional args.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace taglets::util {
+
+class ArgParser {
+ public:
+  /// Parses argv; throws std::invalid_argument on a flag with no name.
+  ArgParser(int argc, const char* const* argv);
+
+  const std::string& program() const { return program_; }
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  bool has(const std::string& name) const;
+  /// String value; fallback when absent.
+  std::string get(const std::string& name, const std::string& fallback) const;
+  long get_long(const std::string& name, long fallback) const;
+  double get_double(const std::string& name, double fallback) const;
+  /// Present as a bare flag, or with a truthy value.
+  bool get_flag(const std::string& name) const;
+
+  /// Names of all flags that were passed.
+  std::vector<std::string> flag_names() const;
+
+ private:
+  std::string program_;
+  std::map<std::string, std::string> values_;  // "" for bare flags
+  std::vector<std::string> positional_;
+};
+
+}  // namespace taglets::util

@@ -1,0 +1,39 @@
+#include "util/csv.hpp"
+
+#include <stdexcept>
+
+namespace taglets::util {
+
+std::string csv_escape(const std::string& field) {
+  const bool needs_quotes =
+      field.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs_quotes) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += "\"\"";
+    else out += c;
+  }
+  out += '"';
+  return out;
+}
+
+CsvWriter::CsvWriter(std::ostream& out, std::vector<std::string> header)
+    : out_(out), width_(header.size()) {
+  if (header.empty()) throw std::invalid_argument("CsvWriter: empty header");
+  write_row(header);
+  rows_ = 0;  // header does not count
+}
+
+void CsvWriter::write_row(const std::vector<std::string>& cells) {
+  if (cells.size() != width_) {
+    throw std::invalid_argument("CsvWriter: row width mismatch");
+  }
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i) out_ << ',';
+    out_ << csv_escape(cells[i]);
+  }
+  out_ << '\n';
+  ++rows_;
+}
+
+}  // namespace taglets::util

@@ -1,0 +1,27 @@
+// CSV emission so experiment results can be post-processed / plotted
+// outside the harness. Handles quoting of separators and quotes.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace taglets::util {
+
+/// Quote a single CSV field if needed (RFC 4180 style).
+std::string csv_escape(const std::string& field);
+
+/// Streams rows to an ostream; the header is written on construction.
+class CsvWriter {
+ public:
+  CsvWriter(std::ostream& out, std::vector<std::string> header);
+  void write_row(const std::vector<std::string>& cells);
+  std::size_t rows_written() const { return rows_; }
+
+ private:
+  std::ostream& out_;
+  std::size_t width_;
+  std::size_t rows_ = 0;
+};
+
+}  // namespace taglets::util

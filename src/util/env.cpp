@@ -1,0 +1,28 @@
+#include "util/env.hpp"
+
+#include <cstdlib>
+
+namespace taglets::util {
+
+std::string env_string(const std::string& name, const std::string& fallback) {
+  const char* v = std::getenv(name.c_str());
+  if (v == nullptr || *v == '\0') return fallback;
+  return v;
+}
+
+long env_long(const std::string& name, long fallback) {
+  const std::string v = env_string(name, "");
+  if (v.empty()) return fallback;
+  char* end = nullptr;
+  const long out = std::strtol(v.c_str(), &end, 10);
+  if (end == v.c_str() || *end != '\0') return fallback;
+  return out;
+}
+
+bool env_flag(const std::string& name, bool fallback) {
+  const std::string v = env_string(name, "");
+  if (v.empty()) return fallback;
+  return v == "1" || v == "true" || v == "yes" || v == "on";
+}
+
+}  // namespace taglets::util

@@ -1,0 +1,19 @@
+// Environment-variable configuration helpers. The experiment harness
+// reads its knobs (seed count, fast mode) from the environment so bench
+// binaries stay argument-free, as required by the ctest/bench loop.
+#pragma once
+
+#include <string>
+
+namespace taglets::util {
+
+/// Value of `name`, or `fallback` when unset/empty.
+std::string env_string(const std::string& name, const std::string& fallback);
+
+/// Integer value of `name`; `fallback` when unset or unparsable.
+long env_long(const std::string& name, long fallback);
+
+/// True when `name` is set to a truthy value (1/true/yes/on).
+bool env_flag(const std::string& name, bool fallback = false);
+
+}  // namespace taglets::util

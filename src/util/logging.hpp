@@ -1,0 +1,45 @@
+// Minimal leveled logger. Experiments and benches log progress at INFO;
+// library internals log at DEBUG so default output stays quiet.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace taglets::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global threshold; messages below it are dropped. Initialized from the
+/// TAGLETS_LOG environment variable (debug|info|warn|error|off), default warn.
+LogLevel log_threshold();
+void set_log_threshold(LogLevel level);
+
+namespace detail {
+void log_emit(LogLevel level, const std::string& message);
+}
+
+/// Stream-style log statement: LOG(kInfo) << "trained " << n << " modules";
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() {
+    if (level_ >= log_threshold()) detail::log_emit(level_, stream_.str());
+  }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    if (level_ >= log_threshold()) stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace taglets::util
+
+#define TAGLETS_LOG(level) \
+  ::taglets::util::LogLine(::taglets::util::LogLevel::level)

@@ -1,0 +1,72 @@
+// Deterministic pseudo-random number generation for reproducible
+// experiments. All stochastic components of the system (data synthesis,
+// weight init, shuffling, augmentation) draw from `Rng`, which wraps a
+// xoshiro256** generator seeded through splitmix64 so that nearby seeds
+// produce decorrelated streams.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+#include <algorithm>
+#include <cstddef>
+
+namespace taglets::util {
+
+/// splitmix64 step; used for seeding and cheap hashing of seed tuples.
+std::uint64_t splitmix64(std::uint64_t& state);
+
+/// Combine multiple seed components (e.g. {world_seed, split, shot, trial})
+/// into a single well-mixed 64-bit seed.
+std::uint64_t combine_seeds(std::initializer_list<std::uint64_t> parts);
+
+/// xoshiro256** PRNG. Satisfies UniformRandomBitGenerator so it can be
+/// used with <algorithm> shuffles, but the member helpers below are the
+/// preferred interface.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~result_type{0}; }
+  result_type operator()() { return next(); }
+
+  std::uint64_t next();
+
+  /// Uniform double in [0, 1).
+  double uniform();
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+  /// Uniform integer in [0, n). Requires n > 0.
+  std::size_t uniform_index(std::size_t n);
+  /// Uniform integer in [lo, hi] inclusive.
+  long uniform_int(long lo, long hi);
+  /// Standard normal via Box-Muller (cached pair).
+  double normal();
+  /// Normal with given mean / stddev.
+  double normal(double mean, double stddev);
+  /// Bernoulli trial.
+  bool bernoulli(double p);
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::swap(v[i - 1], v[uniform_index(i)]);
+    }
+  }
+
+  /// k distinct indices sampled uniformly from [0, n). k <= n.
+  std::vector<std::size_t> sample_without_replacement(std::size_t n, std::size_t k);
+
+  /// Fork a decorrelated child generator (stable given the call order).
+  Rng fork();
+
+ private:
+  std::uint64_t s_[4];
+  bool has_cached_normal_ = false;
+  double cached_normal_ = 0.0;
+};
+
+}  // namespace taglets::util

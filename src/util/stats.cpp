@@ -1,0 +1,101 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace taglets::util {
+
+double mean(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  double s = 0.0;
+  for (double x : xs) s += x;
+  return s / static_cast<double>(xs.size());
+}
+
+double variance(std::span<const double> xs) {
+  if (xs.size() < 2) return 0.0;
+  const double m = mean(xs);
+  double s = 0.0;
+  for (double x : xs) s += (x - m) * (x - m);
+  return s / static_cast<double>(xs.size() - 1);
+}
+
+double stddev(std::span<const double> xs) { return std::sqrt(variance(xs)); }
+
+double median(std::vector<double> xs) {
+  if (xs.empty()) return 0.0;
+  std::sort(xs.begin(), xs.end());
+  const std::size_t n = xs.size();
+  if (n % 2 == 1) return xs[n / 2];
+  return 0.5 * (xs[n / 2 - 1] + xs[n / 2]);
+}
+
+double min_of(std::span<const double> xs) {
+  if (xs.empty()) throw std::invalid_argument("min_of: empty");
+  return *std::min_element(xs.begin(), xs.end());
+}
+
+double max_of(std::span<const double> xs) {
+  if (xs.empty()) throw std::invalid_argument("max_of: empty");
+  return *std::max_element(xs.begin(), xs.end());
+}
+
+double ci95(std::span<const double> xs) {
+  if (xs.size() < 2) return 0.0;
+  return 1.96 * stddev(xs) / std::sqrt(static_cast<double>(xs.size()));
+}
+
+double pearson(std::span<const double> xs, std::span<const double> ys) {
+  if (xs.size() != ys.size() || xs.size() < 2) return 0.0;
+  const double mx = mean(xs), my = mean(ys);
+  double sxy = 0.0, sxx = 0.0, syy = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    sxy += (xs[i] - mx) * (ys[i] - my);
+    sxx += (xs[i] - mx) * (xs[i] - mx);
+    syy += (ys[i] - my) * (ys[i] - my);
+  }
+  if (sxx <= 0.0 || syy <= 0.0) return 0.0;
+  return sxy / std::sqrt(sxx * syy);
+}
+
+double paired_t_statistic(std::span<const double> xs,
+                          std::span<const double> ys) {
+  if (xs.size() != ys.size() || xs.size() < 2) {
+    throw std::invalid_argument("paired_t_statistic: need paired n >= 2");
+  }
+  std::vector<double> diffs(xs.size());
+  for (std::size_t i = 0; i < xs.size(); ++i) diffs[i] = xs[i] - ys[i];
+  const double sd = stddev(diffs);
+  if (sd == 0.0) return 0.0;
+  return mean(diffs) / (sd / std::sqrt(static_cast<double>(diffs.size())));
+}
+
+std::string MeanCi::to_string(int precision) const {
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(precision);
+  os << mean << " ± " << ci;
+  return os.str();
+}
+
+MeanCi summarize(std::span<const double> xs) {
+  return MeanCi{mean(xs), ci95(xs)};
+}
+
+void RunningStat::add(double x) {
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStat::variance() const {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStat::stddev() const { return std::sqrt(variance()); }
+
+}  // namespace taglets::util

@@ -1,0 +1,59 @@
+// Summary statistics used throughout the evaluation harness. The paper
+// reports every cell as `mean ± half-width of a 95% confidence interval`
+// over three seeds; `ci95` reproduces that computation (normal
+// approximation with the 1.96 critical value, matching common practice
+// for such tables).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace taglets::util {
+
+double mean(std::span<const double> xs);
+double variance(std::span<const double> xs);  // sample variance (n-1)
+double stddev(std::span<const double> xs);
+double median(std::vector<double> xs);  // by value: needs to sort
+double min_of(std::span<const double> xs);
+double max_of(std::span<const double> xs);
+
+/// Half-width of the 95% confidence interval for the mean
+/// (1.96 * stddev / sqrt(n)); 0 for n < 2.
+double ci95(std::span<const double> xs);
+
+/// Pearson correlation; 0 when either side is constant.
+double pearson(std::span<const double> xs, std::span<const double> ys);
+
+/// Paired t statistic for the mean difference xs - ys (same length,
+/// n >= 2); 0 when the differences are constant-zero. Used by the
+/// harness to sanity-check whether a method gap exceeds seed noise.
+double paired_t_statistic(std::span<const double> xs,
+                          std::span<const double> ys);
+
+/// A mean ± ci95 pair, formatted like the paper's table cells.
+struct MeanCi {
+  double mean = 0.0;
+  double ci = 0.0;
+  std::string to_string(int precision = 2) const;
+};
+
+MeanCi summarize(std::span<const double> xs);
+
+/// Online accumulator for streaming means/variances (Welford).
+class RunningStat {
+ public:
+  void add(double x);
+  std::size_t count() const { return n_; }
+  double mean() const { return mean_; }
+  double variance() const;  // sample variance
+  double stddev() const;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+};
+
+}  // namespace taglets::util

@@ -1,0 +1,66 @@
+#include "util/string_util.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <sstream>
+
+namespace taglets::util {
+
+std::vector<std::string> split(const std::string& s, char sep) {
+  std::vector<std::string> out;
+  std::string current;
+  for (char c : s) {
+    if (c == sep) {
+      out.push_back(current);
+      current.clear();
+    } else {
+      current += c;
+    }
+  }
+  out.push_back(current);
+  return out;
+}
+
+std::string join(const std::vector<std::string>& parts, const std::string& sep) {
+  std::string out;
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    if (i) out += sep;
+    out += parts[i];
+  }
+  return out;
+}
+
+std::string to_lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  return s;
+}
+
+std::string trim(const std::string& s) {
+  std::size_t b = 0, e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+bool starts_with(const std::string& s, const std::string& prefix) {
+  return s.size() >= prefix.size() &&
+         std::equal(prefix.begin(), prefix.end(), s.begin());
+}
+
+std::size_t common_prefix_length(const std::string& a, const std::string& b) {
+  const std::size_t n = std::min(a.size(), b.size());
+  std::size_t i = 0;
+  while (i < n && a[i] == b[i]) ++i;
+  return i;
+}
+
+std::string format_fixed(double value, int precision) {
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(precision);
+  os << value;
+  return os.str();
+}
+
+}  // namespace taglets::util

@@ -1,0 +1,25 @@
+// Small string helpers shared by the graph (concept naming), SCADS
+// (prefix-based OOV embedding approximation, Appendix A.2), and table
+// formatting code.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace taglets::util {
+
+std::vector<std::string> split(const std::string& s, char sep);
+std::string join(const std::vector<std::string>& parts, const std::string& sep);
+std::string to_lower(std::string s);
+std::string trim(const std::string& s);
+bool starts_with(const std::string& s, const std::string& prefix);
+
+/// Length of the longest common prefix of two strings. Used by the
+/// Appendix A.2 OOV embedding approximation ("terms that share a prefix
+/// as long as possible with the given term").
+std::size_t common_prefix_length(const std::string& a, const std::string& b);
+
+/// Fixed-precision float formatting ("71.29").
+std::string format_fixed(double value, int precision);
+
+}  // namespace taglets::util

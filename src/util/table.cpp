@@ -1,0 +1,61 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+namespace taglets::util {
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  if (header_.empty()) throw std::invalid_argument("TextTable: empty header");
+}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  if (cells.size() != header_.size()) {
+    throw std::invalid_argument("TextTable: row width != header width");
+  }
+  rows_.push_back(Row{std::move(cells), pending_rule_});
+  pending_rule_ = false;
+}
+
+void TextTable::add_rule() { pending_rule_ = true; }
+
+std::string TextTable::render() const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const Row& row : rows_) {
+    for (std::size_t c = 0; c < row.cells.size(); ++c) {
+      widths[c] = std::max(widths[c], row.cells[c].size());
+    }
+  }
+
+  auto render_line = [&](const std::vector<std::string>& cells) {
+    std::ostringstream os;
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      os << (c == 0 ? "| " : " | ");
+      os << cells[c];
+      os << std::string(widths[c] - cells[c].size(), ' ');
+    }
+    os << " |";
+    return os.str();
+  };
+  auto rule = [&]() {
+    std::ostringstream os;
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+      os << (c == 0 ? "|-" : "-|-") << std::string(widths[c], '-');
+    }
+    os << "-|";
+    return os.str();
+  };
+
+  std::ostringstream os;
+  os << render_line(header_) << "\n" << rule() << "\n";
+  for (const Row& row : rows_) {
+    if (row.rule_before) os << rule() << "\n";
+    os << render_line(row.cells) << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace taglets::util

@@ -1,0 +1,35 @@
+// Plain-text table rendering for the experiment harness. Benches print
+// rows formatted like the paper's tables (method / backbone / per-shot
+// accuracy cells with 95% CIs).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace taglets::util {
+
+/// Accumulates rows of string cells, then renders them with aligned
+/// columns and a header rule.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);
+  /// Inserts a horizontal rule before the next row.
+  void add_rule();
+
+  std::size_t row_count() const { return rows_.size(); }
+  std::string render() const;
+
+ private:
+  struct Row {
+    std::vector<std::string> cells;
+    bool rule_before = false;
+  };
+  std::vector<std::string> header_;
+  std::vector<Row> rows_;
+  bool pending_rule_ = false;
+};
+
+}  // namespace taglets::util

@@ -1,0 +1,33 @@
+#include "util/timer.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "util/stats.hpp"
+
+namespace taglets::util {
+
+double LatencyRecorder::mean_ms() const { return mean(samples_); }
+
+double LatencyRecorder::percentile_ms(double p) const {
+  if (samples_.empty()) return 0.0;
+  std::vector<double> sorted = samples_;
+  std::sort(sorted.begin(), sorted.end());
+  const double rank = (p / 100.0) * static_cast<double>(sorted.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(std::floor(rank));
+  const std::size_t hi = static_cast<std::size_t>(std::ceil(rank));
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+std::string LatencyRecorder::summary() const {
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(3);
+  os << "n=" << count() << " mean=" << mean_ms() << "ms p50="
+     << percentile_ms(50) << "ms p99=" << percentile_ms(99) << "ms";
+  return os.str();
+}
+
+}  // namespace taglets::util

@@ -1,0 +1,40 @@
+// Wall-clock timing helpers for the serving-latency accounting the paper
+// motivates (challenge 3: pipelines are difficult to serve in production).
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace taglets::util {
+
+/// Simple stopwatch.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+  void reset() { start_ = Clock::now(); }
+  double elapsed_seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+  double elapsed_ms() const { return elapsed_seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Collects per-call latencies and reports simple percentiles.
+class LatencyRecorder {
+ public:
+  void record_ms(double ms) { samples_.push_back(ms); }
+  std::size_t count() const { return samples_.size(); }
+  double mean_ms() const;
+  double percentile_ms(double p) const;  // p in [0, 100]
+  std::string summary() const;
+
+ private:
+  std::vector<double> samples_;
+};
+
+}  // namespace taglets::util

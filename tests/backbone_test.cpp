@@ -1,0 +1,127 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+
+#include "backbone/backbone.hpp"
+#include "backbone/zoo.hpp"
+#include "nn/trainer.hpp"
+#include "test_support.hpp"
+
+namespace taglets::backbone {
+namespace {
+
+TEST(Backbone, KindNamesDistinct) {
+  EXPECT_STRNE(kind_name(Kind::kBitS), kind_name(Kind::kRn50S));
+}
+
+TEST(Backbone, PretrainingLearnsAuxiliaryTask) {
+  auto& zoo = taglets::testing::small_zoo();
+  const Pretrained& rn50 = zoo.get(Kind::kRn50S);
+  // Far above 1/n_classes chance (~0.013 for the small world subset).
+  EXPECT_GT(rn50.final_train_accuracy, 0.10);
+  EXPECT_EQ(rn50.feature_dim, taglets::testing::small_pretrain_config().feature_dim);
+}
+
+TEST(Backbone, Rn50SeesSubsetBitSeesAll) {
+  auto& zoo = taglets::testing::small_zoo();
+  const Pretrained& rn50 = zoo.get(Kind::kRn50S);
+  const Pretrained& bit = zoo.get(Kind::kBitS);
+  EXPECT_LT(rn50.pretrain_concepts.size(), bit.pretrain_concepts.size());
+  EXPECT_EQ(bit.pretrain_concepts.size(),
+            taglets::testing::small_world().config().concept_count - 1);
+}
+
+TEST(Backbone, EncodersProduceFiniteFeatures) {
+  auto& zoo = taglets::testing::small_zoo();
+  auto& world = taglets::testing::small_world();
+  util::Rng rng(5);
+  tensor::Tensor img = world.sample_image(10, synth::Domain::kNatural, rng);
+  for (Kind kind : {Kind::kRn50S, Kind::kBitS}) {
+    nn::Sequential encoder = zoo.get(kind).encoder;  // copy
+    tensor::Tensor features =
+        encoder.forward(img.reshape(1, img.size()), false);
+    EXPECT_EQ(features.cols(), zoo.get(kind).feature_dim);
+    for (float v : features.data()) {
+      EXPECT_TRUE(std::isfinite(v));
+      EXPECT_GE(v, 0.0f);  // ReLU output
+    }
+  }
+}
+
+TEST(Backbone, PretrainedBeatsRandomEncoderFewShot) {
+  auto& zoo = taglets::testing::small_zoo();
+  auto& world = taglets::testing::small_world();
+  auto task = taglets::testing::small_task(/*shots=*/5);
+  const auto pc = taglets::testing::small_pretrain_config();
+
+  auto evaluate = [&](const nn::Sequential& encoder) {
+    util::Rng rng(9);
+    nn::Classifier model(encoder, pc.feature_dim, task.num_classes(), rng);
+    nn::FitConfig fit;
+    fit.epochs = 10;
+    fit.batch_size = 32;
+    fit.min_steps = 200;
+    fit.sgd.lr = 0.003;
+    nn::fit_hard(model, task.labeled_inputs, task.labeled_labels, fit, rng);
+    return nn::evaluate_accuracy(model, task.test_inputs, task.test_labels);
+  };
+
+  util::Rng rng(13);
+  nn::Sequential random_encoder =
+      nn::make_mlp({world.pixel_dim(), pc.hidden_dim, pc.feature_dim}, rng);
+  random_encoder.add(std::make_unique<nn::ReLU>());
+
+  const double pretrained = evaluate(zoo.get(Kind::kBitS).encoder);
+  const double random = evaluate(random_encoder);
+  EXPECT_GT(pretrained, random);
+}
+
+TEST(Backbone, ReferenceHeadShapes) {
+  auto& zoo = taglets::testing::small_zoo();
+  const ReferenceHead& head = zoo.zsl_reference();
+  const Pretrained& rn50 = zoo.get(Kind::kRn50S);
+  EXPECT_EQ(head.concepts.size(), rn50.pretrain_concepts.size());
+  EXPECT_EQ(head.weights.rows(), head.concepts.size());
+  EXPECT_EQ(head.weights.cols(), rn50.feature_dim);
+  EXPECT_EQ(head.biases.size(), head.concepts.size());
+}
+
+TEST(Zoo, DiskCacheRoundTrips) {
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / "taglets_test_cache").string();
+  std::filesystem::remove_all(dir);
+  auto& world = taglets::testing::small_world();
+  PretrainConfig pc = taglets::testing::small_pretrain_config();
+  pc.epochs = 2;  // keep this test fast
+
+  Zoo first(&world, pc, dir);
+  const Pretrained& trained = first.get(Kind::kRn50S);
+
+  Zoo second(&world, pc, dir);
+  const Pretrained& cached = second.get(Kind::kRn50S);
+
+  EXPECT_EQ(cached.pretrain_concepts, trained.pretrain_concepts);
+  EXPECT_DOUBLE_EQ(cached.final_train_accuracy, trained.final_train_accuracy);
+  // Identical encoder outputs.
+  util::Rng rng(3);
+  tensor::Tensor img = world.sample_image(4, synth::Domain::kNatural, rng);
+  tensor::Tensor batch = img.reshape(1, img.size());
+  nn::Sequential ea = trained.encoder;
+  nn::Sequential eb = cached.encoder;
+  tensor::Tensor fa = ea.forward(batch, false);
+  tensor::Tensor fb = eb.forward(batch, false);
+  for (std::size_t i = 0; i < fa.size(); ++i) {
+    EXPECT_FLOAT_EQ(fa.data()[i], fb.data()[i]);
+  }
+  std::filesystem::remove_all(dir);
+}
+
+TEST(Zoo, RejectsNullWorld) {
+  EXPECT_THROW(Zoo(nullptr, PretrainConfig{}, std::string{}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace taglets::backbone

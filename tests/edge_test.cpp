@@ -1,0 +1,171 @@
+// Failure-injection and edge-case tests: wrong shapes, empty inputs,
+// exhausted resources, and user errors must fail loudly with typed
+// exceptions rather than corrupting results.
+#include <gtest/gtest.h>
+
+#include "ensemble/servable.hpp"
+#include "nn/trainer.hpp"
+#include "scads/selection.hpp"
+#include "synth/tasks.hpp"
+#include "taglets/controller.hpp"
+#include "test_support.hpp"
+
+namespace taglets {
+namespace {
+
+using tensor::Tensor;
+
+// ---------------------------------------------------------------- world
+
+TEST(WorldEdge, BadPrototypeIndexThrows) {
+  auto& world = taglets::testing::small_world();
+  util::Rng rng(1);
+  EXPECT_THROW(world.sample_image(999999, synth::Domain::kNatural, rng),
+               std::out_of_range);
+}
+
+TEST(WorldEdge, TooManyNamedConceptsThrows) {
+  synth::WorldConfig config = taglets::testing::small_world_config(5);
+  config.concept_count = 40;  // far fewer nameable nodes than names
+  EXPECT_THROW(synth::World{config}, std::invalid_argument);
+}
+
+TEST(WorldEdge, UnknownClassNameInDatasetThrows) {
+  auto& world = taglets::testing::small_world();
+  util::Rng rng(2);
+  EXPECT_THROW(world.make_dataset("x", {"no_such_class"}, 3,
+                                  synth::Domain::kNatural, rng),
+               std::invalid_argument);
+}
+
+TEST(WorldEdge, AuxiliaryCorpusRejectsBadConcepts) {
+  auto& world = taglets::testing::small_world();
+  util::Rng rng(3);
+  std::vector<graph::NodeId> bad{999999};
+  EXPECT_THROW(world.make_auxiliary_corpus(bad, 2, rng), std::out_of_range);
+}
+
+// ---------------------------------------------------------------- scads
+
+TEST(ScadsEdge, InstallRejectsOutOfRangeConcepts) {
+  auto& world = taglets::testing::small_world();
+  scads::Scads s(world.graph(), world.taxonomy(), world.scads_embeddings());
+  synth::Dataset ds;
+  ds.name = "bad";
+  ds.class_names = {"x"};
+  ds.class_concepts = {world.graph().node_count() + 5};
+  ds.inputs = Tensor::zeros(1, 4);
+  ds.labels = {0};
+  EXPECT_THROW(s.install_dataset(ds), std::invalid_argument);
+}
+
+TEST(ScadsEdge, SelectionWithNoDataIsEmpty) {
+  auto& world = taglets::testing::small_world();
+  scads::Scads s(world.graph(), world.taxonomy(), world.scads_embeddings());
+  auto task = taglets::testing::small_task(1);
+  scads::SelectionConfig config;
+  config.seed = 1;
+  scads::Selection sel = scads::select_auxiliary(s, task, config);
+  EXPECT_EQ(sel.data.size(), 0u);
+  EXPECT_TRUE(sel.selected_concepts.empty());
+}
+
+TEST(ScadsEdge, RemoveDatasetEmptiesSelection) {
+  auto& world = taglets::testing::small_world();
+  scads::Scads s(world.graph(), world.taxonomy(), world.scads_embeddings());
+  util::Rng rng(4);
+  auto aux = world.make_auxiliary_corpus(world.auxiliary_concepts(), 3, rng);
+  aux.name = "only";
+  s.install_dataset(std::move(aux));
+  s.remove_dataset("only");
+  EXPECT_EQ(s.total_examples(), 0u);
+  EXPECT_TRUE(s.concepts_with_data().empty());
+}
+
+// ------------------------------------------------------------ controller
+
+TEST(ControllerEdge, EmptyModuleLineupThrows) {
+  auto task = taglets::testing::small_task(1);
+  Controller controller(&taglets::testing::small_scads(),
+                        &taglets::testing::small_zoo());
+  SystemConfig config;
+  config.module_names.clear();
+  config.epoch_scale = 0.1;
+  EXPECT_THROW(controller.run(task, config), std::invalid_argument);
+}
+
+TEST(ControllerEdge, UnknownModuleNameThrows) {
+  auto task = taglets::testing::small_task(1);
+  Controller controller(&taglets::testing::small_scads(),
+                        &taglets::testing::small_zoo());
+  SystemConfig config;
+  config.module_names = {"does-not-exist"};
+  EXPECT_THROW(controller.run(task, config), std::invalid_argument);
+}
+
+TEST(ControllerEdge, ZslModuleWithoutEngineThrows) {
+  auto task = taglets::testing::small_task(1);
+  Controller controller(&taglets::testing::small_scads(),
+                        &taglets::testing::small_zoo(), /*zsl_engine=*/nullptr);
+  SystemConfig config;
+  config.module_names = {"zsl-kg"};
+  EXPECT_THROW(controller.run(task, config), std::invalid_argument);
+}
+
+// --------------------------------------------------------------- serving
+
+TEST(ServableEdge, WrongInputWidthThrows) {
+  util::Rng rng(5);
+  nn::Sequential encoder = nn::make_mlp({4, 6, 3}, rng);
+  nn::Classifier model(encoder, 3, 2, rng);
+  ensemble::ServableModel servable(std::move(model), {"a", "b"});
+  Tensor wrong = Tensor::from_vector({1.0f, 2.0f});  // needs 4 features
+  EXPECT_THROW(servable.predict(wrong), std::invalid_argument);
+}
+
+// --------------------------------------------------------------- trainer
+
+TEST(TrainerEdge, EmptyDatasetIsANoOp) {
+  util::Rng rng(6);
+  nn::Sequential encoder = nn::make_mlp({3, 4, 2}, rng);
+  nn::Classifier model(encoder, 2, 2, rng);
+  Tensor empty = Tensor::zeros(0, 3);
+  std::vector<std::size_t> no_labels;
+  nn::FitConfig config;
+  auto report = nn::fit_hard(model, empty, no_labels, config, rng);
+  EXPECT_EQ(report.steps, 0u);
+  EXPECT_TRUE(report.epoch_loss.empty());
+}
+
+TEST(TrainerEdge, SingleExampleTrains) {
+  util::Rng rng(7);
+  nn::Sequential encoder = nn::make_mlp({3, 4, 2}, rng);
+  nn::Classifier model(encoder, 2, 2, rng);
+  Tensor x = Tensor::from_matrix(1, 3, {1.0f, -1.0f, 0.5f});
+  std::vector<std::size_t> y{1};
+  nn::FitConfig config;
+  config.epochs = 50;
+  config.sgd.lr = 0.1;
+  nn::fit_hard(model, x, y, config, rng);
+  EXPECT_EQ(model.predict(x)[0], 1u);  // memorizes the single example
+}
+
+// ----------------------------------------------------------------- split
+
+TEST(SplitEdge, ShotsConsumeEverythingLeavesNoUnlabeled) {
+  // 30 per class, 5 test -> 25 shots leaves zero unlabeled examples.
+  auto task = taglets::testing::small_task(/*shots=*/25);
+  EXPECT_EQ(task.unlabeled_inputs.rows(), 0u);
+  // And the system still runs end to end without unlabeled data.
+  Controller controller(&taglets::testing::small_scads(),
+                        &taglets::testing::small_zoo());
+  SystemConfig config;
+  config.module_names = {"transfer"};
+  config.epoch_scale = 0.05;
+  SystemResult result = controller.run(task, config);
+  EXPECT_EQ(result.pseudo_labels.rows(), 0u);
+  EXPECT_EQ(result.end_model.num_classes(), task.num_classes());
+}
+
+}  // namespace
+}  // namespace taglets

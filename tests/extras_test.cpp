@@ -1,0 +1,210 @@
+// Tests for the auxiliary production features: classification metrics,
+// knowledge-graph persistence, and the CLI argument parser.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "graph/graph_io.hpp"
+#include "nn/metrics.hpp"
+#include "tensor/tensor.hpp"
+#include "util/args.hpp"
+#include "eval/results_log.hpp"
+
+namespace taglets {
+namespace {
+
+// -------------------------------------------------------------- metrics
+
+TEST(ConfusionMatrix, CountsAndAccuracy) {
+  nn::ConfusionMatrix cm(3);
+  cm.add(0, 0);
+  cm.add(0, 1);
+  cm.add(1, 1);
+  cm.add(2, 2);
+  EXPECT_EQ(cm.total(), 4u);
+  EXPECT_EQ(cm.at(0, 1), 1u);
+  EXPECT_NEAR(cm.accuracy(), 0.75, 1e-12);
+  EXPECT_THROW(cm.add(3, 0), std::out_of_range);
+  EXPECT_THROW(nn::ConfusionMatrix(0), std::invalid_argument);
+}
+
+TEST(ConfusionMatrix, PrecisionRecallF1) {
+  nn::ConfusionMatrix cm(2);
+  // truth 0: 3 correct, 1 predicted as 1; truth 1: 2 correct.
+  cm.add(0, 0);
+  cm.add(0, 0);
+  cm.add(0, 0);
+  cm.add(0, 1);
+  cm.add(1, 1);
+  cm.add(1, 1);
+  EXPECT_NEAR(cm.recall(0), 0.75, 1e-12);
+  EXPECT_NEAR(cm.precision(0), 1.0, 1e-12);
+  EXPECT_NEAR(cm.recall(1), 1.0, 1e-12);
+  EXPECT_NEAR(cm.precision(1), 2.0 / 3.0, 1e-12);
+  const double f1_0 = 2.0 * 1.0 * 0.75 / 1.75;
+  EXPECT_NEAR(cm.f1(0), f1_0, 1e-12);
+  EXPECT_NEAR(cm.macro_f1(), (cm.f1(0) + cm.f1(1)) / 2.0, 1e-12);
+  EXPECT_NEAR(cm.balanced_accuracy(), (0.75 + 1.0) / 2.0, 1e-12);
+}
+
+TEST(ConfusionMatrix, UnseenClassesScoreZero) {
+  nn::ConfusionMatrix cm(3);
+  cm.add(0, 0);
+  EXPECT_DOUBLE_EQ(cm.recall(2), 0.0);
+  EXPECT_DOUBLE_EQ(cm.precision(2), 0.0);
+  EXPECT_DOUBLE_EQ(cm.f1(2), 0.0);
+}
+
+TEST(ConfusionMatrix, WorstClassesSortedByRecall) {
+  nn::ConfusionMatrix cm(3);
+  cm.add(0, 0);            // recall(0) = 1
+  cm.add(1, 0);            // recall(1) = 0
+  cm.add(2, 2);
+  cm.add(2, 0);            // recall(2) = 0.5
+  auto worst = cm.worst_classes(2);
+  ASSERT_EQ(worst.size(), 2u);
+  EXPECT_EQ(worst[0], 1u);
+  EXPECT_EQ(worst[1], 2u);
+}
+
+TEST(ConfusionMatrix, BatchAndReport) {
+  nn::ConfusionMatrix cm(2);
+  std::vector<std::size_t> truth{0, 1, 1};
+  std::vector<std::size_t> pred{0, 1, 0};
+  cm.add_batch(truth, pred);
+  EXPECT_EQ(cm.total(), 3u);
+  const std::string report = cm.report({"cat", "dog"});
+  EXPECT_NE(report.find("cat"), std::string::npos);
+  EXPECT_NE(report.find("macro-F1"), std::string::npos);
+  std::vector<std::size_t> short_pred{0};
+  EXPECT_THROW(cm.add_batch(truth, short_pred), std::invalid_argument);
+}
+
+TEST(ConfusionMatrix, EvaluateConfusionFromLogits) {
+  tensor::Tensor logits =
+      tensor::Tensor::from_matrix(3, 2, {2, 1, 0, 3, 5, 1});
+  std::vector<std::size_t> labels{0, 1, 1};
+  auto cm = nn::evaluate_confusion(logits, labels);
+  EXPECT_NEAR(cm.accuracy(), 2.0 / 3.0, 1e-12);
+}
+
+// ------------------------------------------------------------- graph io
+
+TEST(GraphIo, RoundTripPreservesStructure) {
+  graph::KnowledgeGraph g;
+  g.add_node("yoghurt");
+  g.add_node("oat_milk");
+  g.add_node("oatghurt");
+  g.add_edge("oatghurt", "yoghurt", graph::Relation::kRelatedTo, 0.9f);
+  g.add_edge("oatghurt", "oat_milk", graph::Relation::kMadeOf, 0.5f);
+
+  std::stringstream buffer;
+  graph::write_graph(buffer, g);
+  graph::KnowledgeGraph loaded = graph::read_graph(buffer);
+
+  EXPECT_EQ(loaded.node_count(), 3u);
+  EXPECT_EQ(loaded.edge_count(), 2u);
+  EXPECT_TRUE(loaded.has_node("oatghurt"));
+  const auto& nbrs = loaded.neighbors(*loaded.find("oatghurt"));
+  ASSERT_EQ(nbrs.size(), 2u);
+  EXPECT_EQ(nbrs[0].relation, graph::Relation::kRelatedTo);
+  EXPECT_FLOAT_EQ(nbrs[0].weight, 0.9f);
+}
+
+TEST(GraphIo, RejectsMalformedInput) {
+  std::stringstream bad_header("not-a-graph\n");
+  EXPECT_THROW(graph::read_graph(bad_header), std::runtime_error);
+  std::stringstream bad_record("taglets-kg v1\nwhatever x\n");
+  EXPECT_THROW(graph::read_graph(bad_record), std::runtime_error);
+  std::stringstream bad_edge("taglets-kg v1\nnode a\nedge 0 zero IsA 1\n");
+  EXPECT_THROW(graph::read_graph(bad_edge), std::runtime_error);
+}
+
+TEST(GraphIo, RelationStringsRoundTrip) {
+  for (graph::Relation r :
+       {graph::Relation::kRelatedTo, graph::Relation::kIsA,
+        graph::Relation::kPartOf, graph::Relation::kAtLocation,
+        graph::Relation::kUsedFor, graph::Relation::kSynonym,
+        graph::Relation::kMadeOf}) {
+    EXPECT_EQ(graph::relation_from_string(graph::relation_to_string(r)), r);
+  }
+  EXPECT_THROW(graph::relation_from_string("Nope"), std::runtime_error);
+}
+
+// ----------------------------------------------------------------- args
+
+TEST(ArgParser, ParsesValueFormsAndPositionals) {
+  const char* argv[] = {"prog",       "--dataset", "grocery", "--shots=5",
+                        "positional", "--report",  "--scale", "0.5"};
+  util::ArgParser args(8, argv);
+  EXPECT_EQ(args.program(), "prog");
+  EXPECT_EQ(args.get("dataset", ""), "grocery");
+  EXPECT_EQ(args.get_long("shots", 0), 5);
+  EXPECT_TRUE(args.get_flag("report"));
+  EXPECT_NEAR(args.get_double("scale", 0.0), 0.5, 1e-12);
+  ASSERT_EQ(args.positional().size(), 1u);
+  EXPECT_EQ(args.positional()[0], "positional");
+}
+
+TEST(ArgParser, FallbacksAndErrors) {
+  const char* argv[] = {"prog", "--shots", "abc"};
+  util::ArgParser args(3, argv);
+  EXPECT_EQ(args.get("missing", "dflt"), "dflt");
+  EXPECT_EQ(args.get_long("missing", 7), 7);
+  EXPECT_FALSE(args.get_flag("missing"));
+  EXPECT_THROW(args.get_long("shots", 0), std::invalid_argument);
+}
+
+TEST(ArgParser, BareFlagBeforeAnotherFlag) {
+  const char* argv[] = {"prog", "--verbose", "--shots", "3"};
+  util::ArgParser args(4, argv);
+  EXPECT_TRUE(args.get_flag("verbose"));
+  EXPECT_EQ(args.get_long("shots", 0), 3);
+  auto names = args.flag_names();
+  EXPECT_EQ(names.size(), 2u);
+}
+
+TEST(ArgParser, RejectsBareDoubleDash) {
+  const char* argv[] = {"prog", "--"};
+  EXPECT_THROW(util::ArgParser(2, argv), std::invalid_argument);
+}
+
+
+// ----------------------------------------------------------- results log
+
+TEST(ResultsLog, CsvRoundTrip) {
+  eval::ResultsLog log;
+  log.add(eval::ResultRow{"table1", "OfficeHome-Product-S", 1, 0, "taglets",
+                          "RN50", -1, 67.64, 3.61, 3});
+  log.add(eval::ResultRow{"table1", "OfficeHome-Product-S", 1, 0,
+                          "fine-tuning", "RN50", -1, 32.51, 3.83, 3});
+  const std::string csv = log.to_csv();
+  EXPECT_NE(csv.find("experiment,dataset"), std::string::npos);
+  eval::ResultsLog back = eval::ResultsLog::from_csv(csv);
+  ASSERT_EQ(back.size(), 2u);
+  EXPECT_EQ(back.rows()[0].method, "taglets");
+  EXPECT_NEAR(back.rows()[0].mean, 67.64, 1e-9);
+  EXPECT_EQ(back.rows()[1].prune_level, -1);
+}
+
+TEST(ResultsLog, FilterAndBestMean) {
+  eval::ResultsLog log;
+  log.add(eval::ResultRow{"t", "d", 1, 0, "taglets", "RN50", -1, 70.0, 1, 3});
+  log.add(eval::ResultRow{"t", "d", 1, 0, "fine-tuning", "RN50", -1, 50.0, 1, 3});
+  log.add(eval::ResultRow{"t", "d", 1, 0, "mpl", "RN50", -1, 55.0, 1, 3});
+  log.add(eval::ResultRow{"t", "d", 5, 0, "mpl", "RN50", -1, 80.0, 1, 3});
+  EXPECT_EQ(log.filter("t", "d", "mpl").size(), 2u);
+  EXPECT_EQ(log.filter("", "", "").size(), 4u);
+  auto best = log.best_mean("d", 1, "taglets");
+  ASSERT_TRUE(best.has_value());
+  EXPECT_NEAR(*best, 55.0, 1e-9);
+  EXPECT_FALSE(log.best_mean("nope", 1, "").has_value());
+}
+
+TEST(ResultsLog, FromCsvRejectsMalformed) {
+  EXPECT_THROW(eval::ResultsLog::from_csv("a,b,c\n1,2\n"),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace taglets

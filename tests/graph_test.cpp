@@ -1,0 +1,353 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "graph/embedding_index.hpp"
+#include "graph/generators.hpp"
+#include "graph/knowledge_graph.hpp"
+#include "graph/retrofit.hpp"
+#include "graph/taxonomy.hpp"
+#include "tensor/ops.hpp"
+#include "util/rng.hpp"
+
+namespace taglets::graph {
+namespace {
+
+using tensor::Tensor;
+
+// ------------------------------------------------------ knowledge graph
+
+TEST(KnowledgeGraph, AddNodeIdempotent) {
+  KnowledgeGraph g;
+  const NodeId a = g.add_node("apple");
+  EXPECT_EQ(g.add_node("apple"), a);
+  EXPECT_EQ(g.node_count(), 1u);
+  EXPECT_EQ(g.name(a), "apple");
+}
+
+TEST(KnowledgeGraph, FindMissingReturnsNullopt) {
+  KnowledgeGraph g;
+  g.add_node("x");
+  EXPECT_FALSE(g.find("y").has_value());
+  EXPECT_TRUE(g.has_node("x"));
+}
+
+TEST(KnowledgeGraph, EdgesVisibleFromBothEndpoints) {
+  KnowledgeGraph g;
+  const NodeId a = g.add_node("a");
+  const NodeId b = g.add_node("b");
+  g.add_edge(a, b, Relation::kRelatedTo, 0.8f);
+  ASSERT_EQ(g.neighbors(a).size(), 1u);
+  ASSERT_EQ(g.neighbors(b).size(), 1u);
+  EXPECT_EQ(g.neighbors(a)[0].node, b);
+  EXPECT_EQ(g.neighbors(b)[0].node, a);
+  EXPECT_FLOAT_EQ(g.neighbors(a)[0].weight, 0.8f);
+  EXPECT_EQ(g.edge_count(), 1u);
+}
+
+TEST(KnowledgeGraph, RejectsSelfLoopAndUnknownNames) {
+  KnowledgeGraph g;
+  const NodeId a = g.add_node("a");
+  EXPECT_THROW(g.add_edge(a, a, Relation::kIsA), std::invalid_argument);
+  EXPECT_THROW(g.add_edge("a", "nope", Relation::kIsA), std::invalid_argument);
+  EXPECT_THROW(g.add_edge(a, 99, Relation::kIsA), std::out_of_range);
+}
+
+TEST(KnowledgeGraph, HopDistanceBfs) {
+  KnowledgeGraph g;
+  for (const char* n : {"a", "b", "c", "d", "island"}) g.add_node(n);
+  g.add_edge("a", "b", Relation::kIsA);
+  g.add_edge("b", "c", Relation::kIsA);
+  g.add_edge("c", "d", Relation::kIsA);
+  EXPECT_EQ(g.hop_distance(0, 3).value(), 3u);
+  g.add_edge("a", "d", Relation::kRelatedTo);
+  EXPECT_EQ(g.hop_distance(0, 3).value(), 1u);
+  EXPECT_EQ(g.hop_distance(2, 2).value(), 0u);
+  EXPECT_FALSE(g.hop_distance(0, 4).has_value());  // disconnected
+}
+
+TEST(KnowledgeGraph, NeighborhoodRadius) {
+  KnowledgeGraph g;
+  for (const char* n : {"a", "b", "c", "d"}) g.add_node(n);
+  g.add_edge("a", "b", Relation::kIsA);
+  g.add_edge("b", "c", Relation::kIsA);
+  g.add_edge("c", "d", Relation::kIsA);
+  auto hood = g.neighborhood(0, 2);
+  std::set<NodeId> set(hood.begin(), hood.end());
+  EXPECT_EQ(set, (std::set<NodeId>{0, 1, 2}));
+}
+
+TEST(KnowledgeGraph, RelationNames) {
+  EXPECT_STREQ(relation_name(Relation::kIsA), "IsA");
+  EXPECT_STREQ(relation_name(Relation::kRelatedTo), "RelatedTo");
+}
+
+// ------------------------------------------------------------- taxonomy
+
+TEST(Taxonomy, ValidatesStructure) {
+  EXPECT_THROW(Taxonomy({}), std::invalid_argument);
+  EXPECT_THROW(Taxonomy({0, 1}), std::invalid_argument);   // two roots
+  EXPECT_THROW(Taxonomy({1, 0}), std::invalid_argument);   // no root
+  EXPECT_THROW(Taxonomy({0, 9}), std::invalid_argument);   // bad parent id
+}
+
+TEST(Taxonomy, BasicQueries) {
+  // 0 root; children 1,2; 1's children 3,4; 3's child 5.
+  Taxonomy t({0, 0, 0, 1, 1, 3});
+  EXPECT_EQ(t.root(), 0u);
+  EXPECT_EQ(t.depth(0), 0u);
+  EXPECT_EQ(t.depth(5), 3u);
+  EXPECT_EQ(t.parent(4), 1u);
+  EXPECT_EQ(t.children(1).size(), 2u);
+  EXPECT_TRUE(t.is_ancestor_or_self(1, 5));
+  EXPECT_FALSE(t.is_ancestor_or_self(2, 5));
+  EXPECT_TRUE(t.is_ancestor_or_self(5, 5));
+}
+
+TEST(Taxonomy, SubtreeAndLca) {
+  Taxonomy t({0, 0, 0, 1, 1, 3});
+  auto sub = t.subtree(1);
+  std::set<std::size_t> set(sub.begin(), sub.end());
+  EXPECT_EQ(set, (std::set<std::size_t>{1, 3, 4, 5}));
+  EXPECT_EQ(t.lca(5, 4), 1u);
+  EXPECT_EQ(t.lca(5, 2), 0u);
+  EXPECT_EQ(t.lca(3, 3), 3u);
+  EXPECT_EQ(t.tree_distance(5, 4), 3u);
+  EXPECT_EQ(t.tree_distance(0, 0), 0u);
+}
+
+TEST(Taxonomy, PrunedSetLevels) {
+  Taxonomy t({0, 0, 0, 1, 1, 3});
+  auto level0 = t.pruned_set(3, 0);
+  std::set<std::size_t> s0(level0.begin(), level0.end());
+  EXPECT_EQ(s0, (std::set<std::size_t>{3, 5}));
+  auto level1 = t.pruned_set(3, 1);
+  std::set<std::size_t> s1(level1.begin(), level1.end());
+  EXPECT_EQ(s1, (std::set<std::size_t>{1, 3, 4, 5}));
+  EXPECT_TRUE(t.pruned_set(3, -1).empty());
+  for (std::size_t node : s0) EXPECT_TRUE(s1.count(node));
+}
+
+class RandomTaxonomyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RandomTaxonomyTest, GeneratedTreesSatisfyInvariants) {
+  util::Rng rng(GetParam());
+  TreeSpec spec;
+  spec.node_count = 200;
+  auto parents = random_tree_parents(spec, rng);
+  ASSERT_EQ(parents.size(), 200u);
+  // Parents precede children, enabling single-pass prototype diffusion.
+  for (std::size_t i = 1; i < parents.size(); ++i) {
+    EXPECT_LT(parents[i], i);
+  }
+  Taxonomy t(parents);  // must not throw
+  EXPECT_EQ(t.root(), 0u);
+  EXPECT_EQ(t.subtree(0).size(), 200u);
+  for (std::size_t i = 1; i < 200; ++i) {
+    EXPECT_EQ(t.depth(i), t.depth(t.parent(i)) + 1);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomTaxonomyTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 99, 1234));
+
+TEST(Generators, ConceptNamesUniqueAndPrefixed) {
+  auto names = make_concept_names(50, "concept");
+  std::set<std::string> unique(names.begin(), names.end());
+  EXPECT_EQ(unique.size(), 50u);
+  EXPECT_EQ(names[7], "concept_00007");
+}
+
+TEST(Generators, GraphFromTaxonomyHasIsAEdges) {
+  Taxonomy t({0, 0, 1});
+  KnowledgeGraph g = graph_from_taxonomy(t, {"root", "mid", "leaf"});
+  EXPECT_EQ(g.node_count(), 3u);
+  EXPECT_EQ(g.edge_count(), 2u);
+  EXPECT_EQ(g.hop_distance(0, 2).value(), 2u);
+}
+
+TEST(Generators, CrossEdgesRespectCountBound) {
+  util::Rng rng(5);
+  TreeSpec spec;
+  spec.node_count = 120;
+  auto parents = random_tree_parents(spec, rng);
+  Taxonomy t(parents);
+  KnowledgeGraph g = graph_from_taxonomy(t, make_concept_names(120, "c"));
+  const std::size_t before = g.edge_count();
+  add_random_cross_edges(g, t, 100, /*locality=*/3.0, rng);
+  EXPECT_GT(g.edge_count(), before);
+  EXPECT_LE(g.edge_count(), before + 100);
+}
+
+// ------------------------------------------------------------- retrofit
+
+TEST(Retrofit, NoEdgesKeepsWordVectors) {
+  KnowledgeGraph g;
+  g.add_node("a");
+  g.add_node("b");
+  std::vector<std::optional<Tensor>> words(2);
+  words[0] = Tensor::from_vector({1.0f, 0.0f});
+  words[1] = Tensor::from_vector({0.0f, 1.0f});
+  RetrofitConfig config;
+  config.normalize = false;
+  config.center = false;
+  Tensor out = retrofit_embeddings(g, words, config);
+  EXPECT_NEAR(out.at(0, 0), 1.0f, 1e-5);
+  EXPECT_NEAR(out.at(1, 1), 1.0f, 1e-5);
+}
+
+TEST(Retrofit, OovInheritsFromNeighbors) {
+  KnowledgeGraph g;
+  g.add_node("known");
+  g.add_node("oov");
+  g.add_edge("known", "oov", Relation::kSynonym);
+  std::vector<std::optional<Tensor>> words(2);
+  words[0] = Tensor::from_vector({2.0f, 0.0f});
+  RetrofitConfig config;
+  config.normalize = false;
+  config.center = false;
+  Tensor out = retrofit_embeddings(g, words, config);
+  // The OOV concept (alpha = 0, Appendix A.1) converges to its neighbor.
+  EXPECT_GT(out.at(1, 0), 1.0f);
+  EXPECT_NEAR(out.at(1, 1), 0.0f, 1e-5);
+}
+
+TEST(Retrofit, EdgesPullNeighborsTogether) {
+  KnowledgeGraph g;
+  for (const char* n : {"a", "b", "c"}) g.add_node(n);
+  g.add_edge("a", "b", Relation::kRelatedTo);
+  std::vector<std::optional<Tensor>> words(3);
+  words[0] = Tensor::from_vector({1.0f, 0.0f});
+  words[1] = Tensor::from_vector({0.0f, 1.0f});
+  words[2] = Tensor::from_vector({-1.0f, -1.0f});
+  RetrofitConfig config;
+  config.normalize = false;
+  config.center = false;
+  Tensor out = retrofit_embeddings(g, words, config);
+  const float before =
+      tensor::cosine_similarity(words[0]->data(), words[1]->data());
+  const float after = tensor::cosine_similarity(out.row(0), out.row(1));
+  EXPECT_GT(after, before);
+  // Unconnected c stays at its word vector.
+  EXPECT_NEAR(out.at(2, 0), -1.0f, 1e-5);
+}
+
+TEST(Retrofit, NormalizeProducesUnitRows) {
+  KnowledgeGraph g;
+  g.add_node("a");
+  g.add_node("b");
+  g.add_edge("a", "b", Relation::kIsA);
+  std::vector<std::optional<Tensor>> words(2);
+  words[0] = Tensor::from_vector({3.0f, 4.0f});
+  words[1] = Tensor::from_vector({1.0f, 1.0f});
+  RetrofitConfig config;
+  config.center = false;
+  Tensor out = retrofit_embeddings(g, words, config);
+  EXPECT_NEAR(tensor::l2_norm(out.row(0)), 1.0f, 1e-5);
+}
+
+TEST(Retrofit, CenteringRemovesCommonComponent) {
+  KnowledgeGraph g;
+  g.add_node("a");
+  g.add_node("b");
+  std::vector<std::optional<Tensor>> words(2);
+  words[0] = Tensor::from_vector({10.0f, 1.0f});
+  words[1] = Tensor::from_vector({10.0f, -1.0f});
+  RetrofitConfig config;
+  config.normalize = false;
+  config.center = true;
+  Tensor out = retrofit_embeddings(g, words, config);
+  // The shared first component is removed.
+  EXPECT_NEAR(out.at(0, 0) + out.at(1, 0), 0.0f, 1e-5);
+  EXPECT_GT(out.at(0, 1), 0.0f);
+  EXPECT_LT(out.at(1, 1), 0.0f);
+}
+
+TEST(Retrofit, ValidatesInput) {
+  KnowledgeGraph g;
+  g.add_node("a");
+  std::vector<std::optional<Tensor>> empty_words;
+  EXPECT_THROW(retrofit_embeddings(g, empty_words), std::invalid_argument);
+  std::vector<std::optional<Tensor>> all_missing(1);
+  EXPECT_THROW(retrofit_embeddings(g, all_missing), std::invalid_argument);
+}
+
+// ------------------------------------------------------- embedding index
+
+TEST(EmbeddingIndex, TopKMatchesBruteForce) {
+  KnowledgeGraph g;
+  for (int i = 0; i < 6; ++i) g.add_node("n" + std::to_string(i));
+  util::Rng rng(7);
+  Tensor embeddings = Tensor::zeros(6, 4);
+  for (float& x : embeddings.data()) x = static_cast<float>(rng.normal());
+  EmbeddingIndex index(&g, embeddings);
+
+  std::vector<float> query{1.0f, -0.5f, 0.25f, 0.0f};
+  std::vector<NodeId> candidates{0, 1, 2, 3, 4, 5};
+  auto hits = index.top_k(query, candidates, 3);
+  ASSERT_EQ(hits.size(), 3u);
+  EXPECT_GE(hits[0].similarity, hits[1].similarity);
+  EXPECT_GE(hits[1].similarity, hits[2].similarity);
+  float best = -2.0f;
+  NodeId best_node = 0;
+  for (NodeId c : candidates) {
+    const float sim = tensor::cosine_similarity(query, index.vector(c));
+    if (sim > best) {
+      best = sim;
+      best_node = c;
+    }
+  }
+  EXPECT_EQ(hits[0].node, best_node);
+}
+
+TEST(EmbeddingIndex, RestrictedCandidates) {
+  KnowledgeGraph g;
+  for (int i = 0; i < 4; ++i) g.add_node("n" + std::to_string(i));
+  Tensor embeddings = Tensor::identity(4);
+  EmbeddingIndex index(&g, embeddings);
+  std::vector<float> query{1.0f, 0.0f, 0.0f, 0.0f};
+  std::vector<NodeId> candidates{2, 3};  // exclude the perfect match
+  auto hits = index.top_k(query, candidates, 1);
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_NE(hits[0].node, 0u);
+}
+
+TEST(EmbeddingIndex, ApproximateEmbeddingUsesLongestPrefix) {
+  KnowledgeGraph g;
+  g.add_node("oat_milk");
+  g.add_node("yoghurt");
+  g.add_node("zebra");
+  Tensor embeddings = Tensor::zeros(3, 2);
+  embeddings.at(0, 0) = 1.0f;   // oat_milk -> x
+  embeddings.at(1, 1) = 1.0f;   // yoghurt -> y
+  embeddings.at(2, 0) = -1.0f;
+  EmbeddingIndex index(&g, embeddings);
+  Tensor approx = index.approximate_embedding("oatghurt", 3);
+  // Longest shared prefix is "oat" (shared with oat_milk).
+  EXPECT_GT(approx[0], 0.5f);
+  Tensor none = index.approximate_embedding("qqq", 3);
+  EXPECT_FLOAT_EQ(none.squared_norm(), 0.0f);
+}
+
+TEST(EmbeddingIndex, SetVectorExtendsTable) {
+  KnowledgeGraph g;
+  g.add_node("a");
+  Tensor embeddings = Tensor::zeros(1, 3);
+  EmbeddingIndex index(&g, embeddings);
+  const NodeId b = g.add_node("b");
+  index.set_vector(b, Tensor::from_vector({1.0f, 2.0f, 3.0f}));
+  EXPECT_FLOAT_EQ(index.vector(b)[2], 3.0f);
+  EXPECT_THROW(index.set_vector(b, Tensor::from_vector({1.0f})),
+               std::invalid_argument);
+}
+
+TEST(EmbeddingIndex, ValidatesConstruction) {
+  KnowledgeGraph g;
+  g.add_node("a");
+  EXPECT_THROW(EmbeddingIndex(nullptr, Tensor::zeros(1, 2)),
+               std::invalid_argument);
+  EXPECT_THROW(EmbeddingIndex(&g, Tensor::zeros(5, 2)), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace taglets::graph

@@ -1,0 +1,225 @@
+// End-to-end tests of the full TAGLETS pipeline on the small world:
+// controller orchestration, the harness used by the benches, and the
+// system-level properties the paper's evaluation rests on.
+#include <gtest/gtest.h>
+
+#include "ensemble/ensemble.hpp"
+#include "eval/harness.hpp"
+#include "eval/lab.hpp"
+#include "modules/zsl_kg.hpp"
+#include "nn/trainer.hpp"
+#include "taglets/controller.hpp"
+#include "test_support.hpp"
+
+namespace taglets {
+namespace {
+
+using tensor::Tensor;
+
+modules::ZslKgEngine& engine() {
+  static modules::ZslKgEngine instance = [] {
+    modules::ZslKgEngine::Config config;
+    config.epochs = 20;
+    config.val_classes = 10;
+    return modules::ZslKgEngine(taglets::testing::small_zoo(), config);
+  }();
+  return instance;
+}
+
+SystemConfig fast_config(std::uint64_t seed = 5) {
+  SystemConfig config;
+  config.train_seed = seed;
+  config.epoch_scale = 0.25;
+  return config;
+}
+
+TEST(Controller, RunsEndToEnd) {
+  auto task = taglets::testing::small_task(/*shots=*/2);
+  Controller controller(&taglets::testing::small_scads(),
+                        &taglets::testing::small_zoo(), &engine());
+  SystemResult result = controller.run(task, fast_config());
+
+  EXPECT_EQ(result.taglets.size(), 4u);
+  EXPECT_EQ(result.pseudo_labels.rows(), task.unlabeled_inputs.rows());
+  EXPECT_EQ(result.pseudo_labels.cols(), task.num_classes());
+  EXPECT_GT(result.selection.data.size(), 0u);
+  EXPECT_GT(result.train_seconds, 0.0);
+
+  // Pseudo labels are probability rows.
+  for (std::size_t i = 0; i < std::min<std::size_t>(result.pseudo_labels.rows(), 20); ++i) {
+    double sum = 0.0;
+    for (float v : result.pseudo_labels.row(i)) sum += v;
+    EXPECT_NEAR(sum, 1.0, 1e-4);
+  }
+
+  // The servable model predicts over the right label set and does much
+  // better than the 10% chance level.
+  Tensor logits = result.end_model.model().logits(task.test_inputs, false);
+  EXPECT_GT(nn::accuracy(logits, task.test_labels), 0.3);
+}
+
+TEST(Controller, CustomModuleLineup) {
+  auto task = taglets::testing::small_task(1);
+  Controller controller(&taglets::testing::small_scads(),
+                        &taglets::testing::small_zoo());
+  SystemConfig config = fast_config();
+  config.module_names = {"transfer", "multitask"};  // no zsl engine needed
+  SystemResult result = controller.run(task, config);
+  EXPECT_EQ(result.taglets.size(), 2u);
+  EXPECT_EQ(result.taglets[0].name(), "transfer");
+  EXPECT_EQ(result.taglets[1].name(), "multitask");
+}
+
+TEST(Controller, ParallelModulesMatchSerial) {
+  auto task = taglets::testing::small_task(1);
+  Controller controller(&taglets::testing::small_scads(),
+                        &taglets::testing::small_zoo(), &engine());
+  SystemConfig serial = fast_config(9);
+  SystemConfig parallel = serial;
+  parallel.parallel_modules = true;
+
+  scads::Selection sel = controller.select(task, serial);
+  auto a = controller.train_taglets(task, sel, serial);
+  auto b = controller.train_taglets(task, sel, parallel);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t t = 0; t < a.size(); ++t) {
+    Tensor la = a[t].model().logits(task.test_inputs, false);
+    Tensor lb = b[t].model().logits(task.test_inputs, false);
+    for (std::size_t i = 0; i < la.size(); ++i) {
+      ASSERT_EQ(la.data()[i], lb.data()[i]) << "taglet " << t;
+    }
+  }
+}
+
+TEST(Controller, RequiresScadsAndZoo) {
+  EXPECT_THROW(Controller(nullptr, &taglets::testing::small_zoo()),
+               std::invalid_argument);
+  EXPECT_THROW(Controller(&taglets::testing::small_scads(), nullptr),
+               std::invalid_argument);
+}
+
+TEST(Controller, EnsembleBeatsMeanModule) {
+  // Section 4.4.3: the ensemble improves over the average module.
+  auto task = taglets::testing::small_task(/*shots=*/2);
+  Controller controller(&taglets::testing::small_scads(),
+                        &taglets::testing::small_zoo(), &engine());
+  SystemConfig config = fast_config(11);
+  config.epoch_scale = 0.4;
+  scads::Selection sel = controller.select(task, config);
+  auto taglets_vec = controller.train_taglets(task, sel, config);
+
+  double mean = 0.0;
+  for (auto& t : taglets_vec) {
+    mean += nn::evaluate_accuracy(t.model(), task.test_inputs,
+                                  task.test_labels);
+  }
+  mean /= static_cast<double>(taglets_vec.size());
+  const double ens = ensemble::ensemble_accuracy(taglets_vec, task.test_inputs,
+                                                 task.test_labels);
+  EXPECT_GT(ens, mean);
+}
+
+TEST(Controller, DistillationPreservesEnsembleQuality) {
+  auto task = taglets::testing::small_task(/*shots=*/2);
+  Controller controller(&taglets::testing::small_scads(),
+                        &taglets::testing::small_zoo(), &engine());
+  SystemConfig config = fast_config(13);
+  config.epoch_scale = 0.4;
+  SystemResult result = controller.run(task, config);
+  const double ens = ensemble::ensemble_accuracy(
+      result.taglets, task.test_inputs, task.test_labels);
+  Tensor logits = result.end_model.model().logits(task.test_inputs, false);
+  const double end = nn::accuracy(logits, task.test_labels);
+  // The paper reports end-model deltas between -5 and +4 points around
+  // the ensemble; allow a slightly wider band at this tiny scale.
+  EXPECT_GT(end, ens - 0.12);
+}
+
+// ------------------------------------------------------------- harness
+
+class HarnessTest : public ::testing::Test {
+ protected:
+  static eval::Lab& lab() {
+    static eval::Lab instance = [] {
+      eval::LabConfig config;
+      config.world_seed = 7;
+      config.aux_images_per_concept = 8;
+      config.pretrain = taglets::testing::small_pretrain_config();
+      config.zsl.epochs = 15;
+      config.zsl.val_classes = 10;
+      config.cache_dir = std::string{};  // no disk cache in tests
+      // Shrink the world through the pretrain config only; the lab world
+      // itself stays the default (its cost is dominated by pretraining).
+      return eval::Lab(config);
+    }();
+    return instance;
+  }
+};
+
+TEST_F(HarnessTest, RunOnceBaselineAndTaglets) {
+  eval::Harness harness(lab(), /*seeds=*/1, /*epoch_scale=*/0.15);
+  const auto& spec = synth::fmd_spec();
+  const double ft = harness.run_once(spec, 1, 0,
+                                     {eval::kFineTuning,
+                                      backbone::Kind::kRn50S, -1},
+                                     0);
+  EXPECT_GE(ft, 0.0);
+  EXPECT_LE(ft, 100.0);
+  const double tg = harness.run_once(spec, 1, 0,
+                                     {eval::kTaglets,
+                                      backbone::Kind::kRn50S, -1},
+                                     0);
+  EXPECT_GT(tg, 10.0);  // well above 10-class chance
+}
+
+TEST_F(HarnessTest, RunCellAggregatesSeeds) {
+  eval::Harness harness(lab(), /*seeds=*/2, /*epoch_scale=*/0.1);
+  auto summary = harness.run_cell(synth::fmd_spec(), 1, 0,
+                                  {eval::kFineTuning,
+                                   backbone::Kind::kRn50S, -1});
+  EXPECT_GE(summary.mean, 0.0);
+  EXPECT_GE(summary.ci, 0.0);
+}
+
+TEST_F(HarnessTest, ModuleDiagnosticsComplete) {
+  eval::Harness harness(lab(), 1, 0.15);
+  auto diag = harness.run_modules(synth::fmd_spec(), 1, 0,
+                                  backbone::Kind::kRn50S, -1, 0);
+  EXPECT_EQ(diag.module_accuracy.size(), 4u);
+  EXPECT_TRUE(diag.module_accuracy.count("transfer"));
+  EXPECT_TRUE(diag.module_accuracy.count("zsl-kg"));
+  EXPECT_GT(diag.ensemble, 0.0);
+  EXPECT_GT(diag.end_model, 0.0);
+}
+
+TEST_F(HarnessTest, LeaveOneOutCoversEveryModule) {
+  eval::Harness harness(lab(), 1, 0.15);
+  auto deltas = harness.run_leave_one_out(synth::fmd_spec(), 1, 0,
+                                          backbone::Kind::kRn50S, 0);
+  EXPECT_EQ(deltas.size(), 4u);
+  for (const auto& [name, delta] : deltas) {
+    EXPECT_LT(std::abs(delta), 100.0) << name;
+  }
+}
+
+TEST_F(HarnessTest, UnknownMethodThrows) {
+  eval::Harness harness(lab(), 1, 0.1);
+  EXPECT_THROW(harness.run_once(synth::fmd_spec(), 1, 0,
+                                {"no-such-method", backbone::Kind::kRn50S, -1},
+                                0),
+               std::invalid_argument);
+}
+
+TEST_F(HarnessTest, GroceryTaskRunsWithNovelConcepts) {
+  // End-to-end over the dataset whose classes include graph-missing
+  // concepts (oatghurt / soyghurt) — exercises Example A.1 machinery.
+  eval::Harness harness(lab(), 1, 0.1);
+  const double acc = harness.run_once(synth::grocery_spec(), 1, 0,
+                                      {eval::kTaglets,
+                                       backbone::Kind::kRn50S, -1},
+                                      0);
+  EXPECT_GT(acc, 100.0 / 42.0);  // above chance
+}
+
+}  // namespace
+}  // namespace taglets

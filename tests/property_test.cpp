@@ -1,0 +1,390 @@
+// Parameterized property tests: invariants that must hold across broad
+// sweeps of shapes, seeds, and configurations. These complement the
+// example-based unit tests with coverage of the input space.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+#include <set>
+
+#include "ensemble/distill.hpp"
+#include "eval/reporting.hpp"
+#include "graph/generators.hpp"
+#include "graph/retrofit.hpp"
+#include "nn/grad_check.hpp"
+#include "nn/loss.hpp"
+#include "nn/scheduler.hpp"
+#include "nn/sequential.hpp"
+#include "nn/trainer.hpp"
+#include "tensor/ops.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace taglets {
+namespace {
+
+using tensor::Tensor;
+
+Tensor random_tensor(std::size_t rows, std::size_t cols, util::Rng& rng) {
+  Tensor t = Tensor::zeros(rows, cols);
+  for (float& x : t.data()) x = static_cast<float>(rng.normal());
+  return t;
+}
+
+// ------------------------------------------------------- rng uniformity
+
+class RngUniformityTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RngUniformityTest, BucketsRoughlyEven) {
+  util::Rng rng(GetParam());
+  constexpr std::size_t kBuckets = 16;
+  constexpr std::size_t kDraws = 16000;
+  std::vector<std::size_t> counts(kBuckets, 0);
+  for (std::size_t i = 0; i < kDraws; ++i) {
+    counts[rng.uniform_index(kBuckets)]++;
+  }
+  const double expected = static_cast<double>(kDraws) / kBuckets;
+  for (std::size_t c : counts) {
+    EXPECT_NEAR(static_cast<double>(c), expected, expected * 0.25);
+  }
+}
+
+TEST_P(RngUniformityTest, SampleWithoutReplacementUnbiasedFirstElement) {
+  util::Rng rng(GetParam() + 1);
+  std::vector<std::size_t> hits(5, 0);
+  for (int trial = 0; trial < 4000; ++trial) {
+    hits[rng.sample_without_replacement(5, 1)[0]]++;
+  }
+  for (std::size_t h : hits) {
+    EXPECT_NEAR(static_cast<double>(h), 800.0, 200.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RngUniformityTest,
+                         ::testing::Values(1, 7, 42, 1234, 99999));
+
+// ----------------------------------------------------- softmax sweeps
+
+struct ShapeParam {
+  std::size_t rows;
+  std::size_t cols;
+};
+
+class SoftmaxSweepTest : public ::testing::TestWithParam<ShapeParam> {};
+
+TEST_P(SoftmaxSweepTest, RowsAreDistributions) {
+  const auto& s = GetParam();
+  util::Rng rng(s.rows * 31 + s.cols);
+  Tensor logits = random_tensor(s.rows, s.cols, rng);
+  // Scale up to stress numerical stability.
+  for (float& x : logits.data()) x *= 50.0f;
+  Tensor p = tensor::softmax(logits);
+  for (std::size_t i = 0; i < p.rows(); ++i) {
+    double sum = 0.0;
+    for (float v : p.row(i)) {
+      ASSERT_TRUE(std::isfinite(v));
+      ASSERT_GE(v, 0.0f);
+      sum += v;
+    }
+    ASSERT_NEAR(sum, 1.0, 1e-4);
+  }
+}
+
+TEST_P(SoftmaxSweepTest, ShiftInvariance) {
+  const auto& s = GetParam();
+  util::Rng rng(s.rows + s.cols * 17);
+  Tensor logits = random_tensor(s.rows, s.cols, rng);
+  Tensor shifted = logits;
+  for (float& x : shifted.data()) x += 123.0f;  // same shift for all
+  Tensor a = tensor::softmax(logits);
+  Tensor b = tensor::softmax(shifted);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ASSERT_NEAR(a.data()[i], b.data()[i], 1e-4);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, SoftmaxSweepTest,
+                         ::testing::Values(ShapeParam{1, 2}, ShapeParam{3, 10},
+                                           ShapeParam{16, 65},
+                                           ShapeParam{64, 42},
+                                           ShapeParam{7, 1200}));
+
+// ----------------------------------------------------- matmul algebra
+
+class MatmulAlgebraTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(MatmulAlgebraTest, Associativity) {
+  const std::size_t n = GetParam();
+  util::Rng rng(n);
+  Tensor a = random_tensor(n, n, rng);
+  Tensor b = random_tensor(n, n, rng);
+  Tensor c = random_tensor(n, n, rng);
+  Tensor left = tensor::matmul(tensor::matmul(a, b), c);
+  Tensor right = tensor::matmul(a, tensor::matmul(b, c));
+  for (std::size_t i = 0; i < left.size(); ++i) {
+    ASSERT_NEAR(left.data()[i], right.data()[i],
+                2e-3 * std::sqrt(static_cast<double>(n)));
+  }
+}
+
+TEST_P(MatmulAlgebraTest, IdentityIsNeutral) {
+  const std::size_t n = GetParam();
+  util::Rng rng(n + 100);
+  Tensor a = random_tensor(n, n, rng);
+  Tensor id = Tensor::identity(n);
+  Tensor left = tensor::matmul(a, id);
+  Tensor right = tensor::matmul(id, a);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ASSERT_NEAR(left.data()[i], a.data()[i], 1e-5);
+    ASSERT_NEAR(right.data()[i], a.data()[i], 1e-5);
+  }
+}
+
+TEST_P(MatmulAlgebraTest, TransposeReversesProduct) {
+  const std::size_t n = GetParam();
+  util::Rng rng(n + 200);
+  Tensor a = random_tensor(n, n + 1, rng);
+  Tensor b = random_tensor(n + 1, n + 2, rng);
+  Tensor lhs = tensor::transpose(tensor::matmul(a, b));
+  Tensor rhs = tensor::matmul(tensor::transpose(b), tensor::transpose(a));
+  for (std::size_t i = 0; i < lhs.size(); ++i) {
+    ASSERT_NEAR(lhs.data()[i], rhs.data()[i], 1e-3);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, MatmulAlgebraTest,
+                         ::testing::Values(1, 2, 5, 16, 31, 64));
+
+// ---------------------------------------------------- grad-check sweep
+
+struct MlpParam {
+  std::size_t in, hidden, out, batch;
+};
+
+class MlpGradSweepTest : public ::testing::TestWithParam<MlpParam> {};
+
+TEST_P(MlpGradSweepTest, BackpropMatchesNumericGradient) {
+  const auto& p = GetParam();
+  util::Rng rng(p.in * 1000 + p.hidden * 100 + p.out * 10 + p.batch);
+  nn::Sequential mlp = nn::make_mlp({p.in, p.hidden, p.out}, rng);
+  Tensor x = random_tensor(p.batch, p.in, rng);
+  std::vector<std::size_t> labels(p.batch);
+  for (std::size_t i = 0; i < p.batch; ++i) labels[i] = i % p.out;
+
+  auto loss_fn = [&] {
+    Tensor logits = mlp.forward(x, true);
+    return nn::cross_entropy(logits, labels).loss;
+  };
+  mlp.zero_grad();
+  Tensor logits = mlp.forward(x, true);
+  auto loss = nn::cross_entropy(logits, labels);
+  mlp.backward(loss.grad_logits);
+  EXPECT_LT(nn::max_param_grad_error(mlp.parameters(), loss_fn, 5e-3), 0.1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, MlpGradSweepTest,
+                         ::testing::Values(MlpParam{2, 3, 2, 2},
+                                           MlpParam{4, 8, 3, 5},
+                                           MlpParam{6, 4, 6, 3},
+                                           MlpParam{3, 10, 2, 7}));
+
+// ----------------------------------------------------- scheduler sweep
+
+class SchedulerMonotoneTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(SchedulerMonotoneTest, DecaySchedulesNeverIncrease) {
+  const std::size_t total = GetParam();
+  nn::StepDecayLr step(1.0, {0.3, 0.6, 0.9});
+  nn::FixMatchCosineLr fixmatch(1.0);
+  nn::HalfCosineLr half(1.0);
+  double prev_step = 1e9, prev_fix = 1e9, prev_half = 1e9;
+  for (std::size_t k = 0; k < total; ++k) {
+    const double s = step.rate(k, total);
+    const double f = fixmatch.rate(k, total);
+    const double h = half.rate(k, total);
+    ASSERT_LE(s, prev_step + 1e-12);
+    ASSERT_LE(f, prev_fix + 1e-12);
+    ASSERT_LE(h, prev_half + 1e-12);
+    ASSERT_GT(s, 0.0);
+    ASSERT_GT(f, 0.0);
+    ASSERT_GE(h, 0.0);
+    prev_step = s;
+    prev_fix = f;
+    prev_half = h;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Totals, SchedulerMonotoneTest,
+                         ::testing::Values(10, 100, 317, 2000));
+
+// ----------------------------------------------------- taxonomy sweeps
+
+class PrunedSetSweepTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PrunedSetSweepTest, LevelsAreNested) {
+  util::Rng rng(GetParam());
+  graph::TreeSpec spec;
+  spec.node_count = 150;
+  graph::Taxonomy taxonomy(graph::random_tree_parents(spec, rng));
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::size_t node = rng.uniform_index(150);
+    const auto l0 = taxonomy.pruned_set(node, 0);
+    const auto l1 = taxonomy.pruned_set(node, 1);
+    std::set<std::size_t> s1(l1.begin(), l1.end());
+    // Level-0 set nested inside level-1, and the node always pruned.
+    for (std::size_t n : l0) ASSERT_TRUE(s1.count(n));
+    ASSERT_TRUE(std::count(l0.begin(), l0.end(), node));
+    // Every pruned node is a descendant of the pruning root.
+    ASSERT_GE(l1.size(), l0.size());
+  }
+}
+
+TEST_P(PrunedSetSweepTest, TreeDistanceIsAMetric) {
+  util::Rng rng(GetParam() + 7);
+  graph::TreeSpec spec;
+  spec.node_count = 80;
+  graph::Taxonomy taxonomy(graph::random_tree_parents(spec, rng));
+  for (int trial = 0; trial < 25; ++trial) {
+    const std::size_t a = rng.uniform_index(80);
+    const std::size_t b = rng.uniform_index(80);
+    const std::size_t c = rng.uniform_index(80);
+    const std::size_t ab = taxonomy.tree_distance(a, b);
+    const std::size_t ba = taxonomy.tree_distance(b, a);
+    ASSERT_EQ(ab, ba);                                   // symmetry
+    ASSERT_EQ(taxonomy.tree_distance(a, a), 0u);         // identity
+    ASSERT_LE(ab, taxonomy.tree_distance(a, c) +
+                      taxonomy.tree_distance(c, b));     // triangle
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PrunedSetSweepTest,
+                         ::testing::Values(3, 11, 29, 71));
+
+// ----------------------------------------------------- retrofit sweeps
+
+class RetrofitSweepTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(RetrofitSweepTest, RetrofittingSmoothsAcrossEdges) {
+  // Property: after retrofitting, neighbors are more cosine-similar than
+  // their raw word vectors were (the embeddings absorb graph structure).
+  util::Rng rng(GetParam());
+  graph::TreeSpec spec;
+  spec.node_count = 60;
+  graph::Taxonomy taxonomy(graph::random_tree_parents(spec, rng));
+  graph::KnowledgeGraph g = graph::graph_from_taxonomy(
+      taxonomy, graph::make_concept_names(60, "c"));
+  std::vector<std::optional<Tensor>> words(60);
+  for (auto& w : words) {
+    Tensor v = Tensor::zeros(8);
+    for (float& x : v.data()) x = static_cast<float>(rng.normal());
+    w = std::move(v);
+  }
+  auto edge_similarity = [&](const Tensor& emb) {
+    double total = 0.0;
+    for (const auto& e : g.edges()) {
+      total += tensor::cosine_similarity(emb.row(e.from), emb.row(e.to));
+    }
+    return total / static_cast<double>(g.edge_count());
+  };
+  graph::RetrofitConfig config;
+  config.iterations = 10;
+  config.center = false;
+  Tensor retrofitted = graph::retrofit_embeddings(g, words, config);
+  Tensor raw = Tensor::zeros(60, 8);
+  for (std::size_t i = 0; i < 60; ++i) {
+    auto dst = raw.row(i);
+    auto src = words[i]->data();
+    std::copy(src.begin(), src.end(), dst.begin());
+  }
+  EXPECT_GT(edge_similarity(retrofitted), edge_similarity(raw));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RetrofitSweepTest,
+                         ::testing::Values(5, 13, 37));
+
+// --------------------------------------------------- loss-grad algebra
+
+class SoftTargetSweepTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(SoftTargetSweepTest, GradientSumsToZeroPerRow) {
+  // d(soft CE)/d(logits) rows sum to 0 (softmax minus target, both
+  // distributions) — a structural invariant of the distillation loss.
+  const std::size_t cols = GetParam();
+  util::Rng rng(cols);
+  Tensor logits = random_tensor(6, cols, rng);
+  Tensor targets = tensor::softmax(random_tensor(6, cols, rng));
+  auto result = nn::soft_cross_entropy(logits, targets);
+  for (std::size_t i = 0; i < 6; ++i) {
+    double sum = 0.0;
+    for (float g : result.grad_logits.row(i)) sum += g;
+    ASSERT_NEAR(sum, 0.0, 1e-5);
+  }
+}
+
+TEST_P(SoftTargetSweepTest, LossMinimizedAtTarget) {
+  // Soft CE against target t is minimized (over logits) when softmax of
+  // the logits equals t; check the gradient vanishes there.
+  const std::size_t cols = GetParam();
+  util::Rng rng(cols + 50);
+  Tensor target_logits = random_tensor(2, cols, rng);
+  Tensor targets = tensor::softmax(target_logits);
+  auto result = nn::soft_cross_entropy(target_logits, targets);
+  for (float g : result.grad_logits.data()) ASSERT_NEAR(g, 0.0, 1e-5);
+}
+
+INSTANTIATE_TEST_SUITE_P(Cols, SoftTargetSweepTest,
+                         ::testing::Values(2, 5, 10, 42, 65));
+
+// ----------------------------------------------------- one-hot algebra
+
+TEST(DistillAlgebra, HardenOfOneHotIsIdentity) {
+  std::vector<std::size_t> labels{0, 2, 1, 2};
+  Tensor oh = ensemble::one_hot(labels, 3);
+  Tensor hardened = ensemble::harden(oh);
+  for (std::size_t i = 0; i < oh.size(); ++i) {
+    EXPECT_EQ(oh.data()[i], hardened.data()[i]);
+  }
+}
+
+// ----------------------------------------------- reporting composition
+
+TEST(Reporting, StandardTableRowsMatchPaperLayout) {
+  const auto rows = eval::standard_table_rows();
+  ASSERT_EQ(rows.size(), 12u);  // 5 BiT + 5 RN50 + 2 pruned TAGLETS
+  std::size_t bit = 0, rn50 = 0, pruned = 0, taglets_rows = 0;
+  for (const auto& cell : rows) {
+    if (cell.backbone == backbone::Kind::kBitS) ++bit;
+    else ++rn50;
+    if (cell.prune_level >= 0) ++pruned;
+    if (cell.method == eval::kTaglets) ++taglets_rows;
+  }
+  EXPECT_EQ(bit, 5u);
+  EXPECT_EQ(rn50, 7u);
+  EXPECT_EQ(pruned, 2u);
+  EXPECT_EQ(taglets_rows, 4u);
+  // Pruned rows use the ResNet backbone, as in the paper's tables.
+  for (const auto& cell : rows) {
+    if (cell.prune_level >= 0) {
+      EXPECT_EQ(cell.backbone, backbone::Kind::kRn50S);
+      EXPECT_EQ(cell.method, eval::kTaglets);
+    }
+  }
+}
+
+// -------------------------------------------------------- stats sweeps
+
+class CiSweepTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(CiSweepTest, CiShrinksWithSampleSize) {
+  const std::size_t n = GetParam();
+  util::Rng rng(n);
+  std::vector<double> small, large;
+  for (std::size_t i = 0; i < n; ++i) small.push_back(rng.normal());
+  for (std::size_t i = 0; i < n * 4; ++i) large.push_back(rng.normal());
+  EXPECT_GT(util::ci95(small), util::ci95(large) * 0.8);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, CiSweepTest, ::testing::Values(8, 32, 128));
+
+}  // namespace
+}  // namespace taglets

@@ -1,0 +1,236 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "scads/scads.hpp"
+#include "scads/selection.hpp"
+#include "synth/tasks.hpp"
+#include "test_support.hpp"
+
+namespace taglets::scads {
+namespace {
+
+using graph::NodeId;
+using graph::Relation;
+
+/// Fresh small SCADS (mutating tests must not touch the shared fixture).
+Scads fresh_scads(std::size_t images_per_concept = 6) {
+  auto& world = taglets::testing::small_world();
+  Scads scads(world.graph(), world.taxonomy(), world.scads_embeddings());
+  util::Rng rng(100);
+  scads.install_dataset(world.make_auxiliary_corpus(
+      world.auxiliary_concepts(), images_per_concept, rng));
+  return scads;
+}
+
+// ------------------------------------------------------------- install
+
+TEST(Scads, InstallIndexesExamplesByConcept) {
+  Scads scads = fresh_scads(6);
+  EXPECT_EQ(scads.dataset_count(), 1u);
+  auto concepts = scads.concepts_with_data();
+  EXPECT_EQ(concepts.size(),
+            taglets::testing::small_world().config().concept_count - 1);
+  EXPECT_EQ(scads.example_count(concepts.front()), 6u);
+  EXPECT_EQ(scads.total_examples(), concepts.size() * 6);
+}
+
+TEST(Scads, InstallSecondDatasetAddsExamples) {
+  Scads scads = fresh_scads(4);
+  auto& world = taglets::testing::small_world();
+  util::Rng rng(200);
+  std::vector<NodeId> few{5, 6};
+  synth::Dataset extra = world.make_auxiliary_corpus(few, 3, rng);
+  extra.name = "extra";
+  scads.install_dataset(extra);
+  EXPECT_EQ(scads.example_count(5), 4u + 3u);
+  scads.remove_dataset("extra");
+  EXPECT_EQ(scads.example_count(5), 4u);
+  EXPECT_THROW(scads.remove_dataset("never-installed"), std::invalid_argument);
+}
+
+TEST(Scads, SampleExamplesWithoutReplacement) {
+  Scads scads = fresh_scads(6);
+  util::Rng rng(7);
+  auto refs = scads.sample_examples(10, 4, rng);
+  EXPECT_EQ(refs.size(), 4u);
+  std::set<std::size_t> rows;
+  for (const auto& r : refs) rows.insert(r.row);
+  EXPECT_EQ(rows.size(), 4u);
+  // Requesting more than available returns all.
+  EXPECT_EQ(scads.sample_examples(10, 100, rng).size(), 6u);
+  // Unknown concept: empty.
+  EXPECT_TRUE(scads.sample_examples(99999, 3, rng).empty());
+}
+
+// -------------------------------------------------------- novel concepts
+
+TEST(Scads, AddNovelConceptWithLinks) {
+  Scads scads = fresh_scads(4);
+  const NodeId id = scads.add_novel_concept(
+      "oatghurt", {{"yoghurt", Relation::kRelatedTo},
+                   {"oat_milk", Relation::kRelatedTo}});
+  EXPECT_TRUE(scads.find_concept("oatghurt").has_value());
+  EXPECT_EQ(scads.graph().neighbors(id).size(), 2u);
+  // Embedding approximates the linked concepts' mean.
+  const auto emb = scads.embeddings().vector(id);
+  float norm = 0.0f;
+  for (float v : emb) norm += v * v;
+  EXPECT_GT(norm, 0.5f);  // normalized, so ~1
+  EXPECT_THROW(scads.add_novel_concept("oatghurt", {}), std::invalid_argument);
+  EXPECT_THROW(
+      scads.add_novel_concept("x", {{"no_such_concept", Relation::kIsA}}),
+      std::invalid_argument);
+}
+
+TEST(Scads, AddNovelConceptPrefixFallback) {
+  Scads scads = fresh_scads(4);
+  // No links: Appendix A.2 prefix approximation from oat_milk etc.
+  const NodeId id = scads.add_novel_concept("oatghurt", {});
+  const auto emb = scads.embeddings().vector(id);
+  float norm = 0.0f;
+  for (float v : emb) norm += v * v;
+  EXPECT_GT(norm, 0.5f);
+}
+
+// ------------------------------------------------------------ selection
+
+synth::FewShotTask small_fmd_task() { return taglets::testing::small_task(1); }
+
+TEST(Selection, SelfConceptChosenWithoutPruning) {
+  auto& scads = taglets::testing::small_scads();
+  auto task = small_fmd_task();
+  SelectionConfig config;
+  config.seed = 1;
+  config.related_per_class = 1;
+  Selection sel = select_auxiliary(scads, task, config);
+  // Every class's own concept has data, so N=1 selection is exactly it.
+  ASSERT_EQ(sel.intermediate_classes(), task.num_classes());
+  for (std::size_t s = 0; s < sel.selected_concepts.size(); ++s) {
+    EXPECT_EQ(sel.selected_concepts[s],
+              task.class_concepts[sel.source_target_class[s]]);
+    EXPECT_NEAR(sel.similarities[s], 1.0f, 1e-4);
+  }
+}
+
+TEST(Selection, SizeIsCTimesNK) {
+  auto& scads = taglets::testing::small_scads();
+  auto task = small_fmd_task();
+  SelectionConfig config;
+  config.seed = 1;
+  config.related_per_class = 2;
+  config.images_per_concept = 5;
+  Selection sel = select_auxiliary(scads, task, config);
+  EXPECT_EQ(sel.intermediate_classes(), 20u);  // C * N, deduplicated
+  EXPECT_EQ(sel.data.size(), 20u * 5u);        // each concept has >= 5 images
+  sel.data.validate();
+}
+
+TEST(Selection, ConceptsDeduplicatedAcrossClasses) {
+  auto& scads = taglets::testing::small_scads();
+  auto task = small_fmd_task();
+  SelectionConfig config;
+  config.seed = 1;
+  config.related_per_class = 3;
+  Selection sel = select_auxiliary(scads, task, config);
+  std::set<NodeId> unique(sel.selected_concepts.begin(),
+                          sel.selected_concepts.end());
+  EXPECT_EQ(unique.size(), sel.selected_concepts.size());
+}
+
+TEST(Selection, PruningExcludesTargetSubtrees) {
+  auto& scads = taglets::testing::small_scads();
+  auto task = small_fmd_task();
+  const auto excluded0 =
+      pruned_concepts(scads, task.class_concepts, 0);
+  const auto excluded1 =
+      pruned_concepts(scads, task.class_concepts, 1);
+  // Level 0 contains every target concept.
+  for (NodeId c : task.class_concepts) EXPECT_TRUE(excluded0.count(c));
+  // Level 1 is a superset of level 0.
+  for (NodeId c : excluded0) EXPECT_TRUE(excluded1.count(c));
+  EXPECT_GT(excluded1.size(), excluded0.size());
+  EXPECT_TRUE(pruned_concepts(scads, task.class_concepts, -1).empty());
+
+  SelectionConfig config;
+  config.seed = 1;
+  config.prune_level = 0;
+  Selection sel = select_auxiliary(scads, task, config);
+  for (NodeId c : sel.selected_concepts) {
+    EXPECT_EQ(excluded0.count(c), 0u);
+  }
+}
+
+TEST(Selection, PruningReducesSimilarity) {
+  auto& scads = taglets::testing::small_scads();
+  auto task = small_fmd_task();
+  SelectionConfig none;
+  none.seed = 1;
+  SelectionConfig pruned = none;
+  pruned.prune_level = 1;
+  Selection a = select_auxiliary(scads, task, none);
+  Selection b = select_auxiliary(scads, task, pruned);
+  double sim_a = 0.0, sim_b = 0.0;
+  for (float s : a.similarities) sim_a += s;
+  for (float s : b.similarities) sim_b += s;
+  EXPECT_GT(sim_a / a.similarities.size(), sim_b / b.similarities.size());
+}
+
+TEST(Selection, DeterministicGivenSeed) {
+  auto& scads = taglets::testing::small_scads();
+  auto task = small_fmd_task();
+  SelectionConfig config;
+  config.seed = 5;
+  Selection a = select_auxiliary(scads, task, config);
+  Selection b = select_auxiliary(scads, task, config);
+  ASSERT_EQ(a.selected_concepts, b.selected_concepts);
+  ASSERT_EQ(a.data.labels, b.data.labels);
+  for (std::size_t i = 0; i < a.data.inputs.size(); ++i) {
+    ASSERT_EQ(a.data.inputs.data()[i], b.data.inputs.data()[i]);
+  }
+}
+
+TEST(Selection, OovClassNameFallsBackToPrefix) {
+  // A task containing a class with no graph concept ("oatghurt") still
+  // gets related concepts through the prefix approximation.
+  auto& scads = taglets::testing::small_scads();
+  auto hits = related_concepts(scads, "oatghurt", 3, {});
+  EXPECT_FALSE(hits.empty());
+}
+
+TEST(Selection, UnknownNameWithNoPrefixYieldsNothing) {
+  auto& scads = taglets::testing::small_scads();
+  auto hits = related_concepts(scads, "zzqqxx", 3, {});
+  EXPECT_TRUE(hits.empty());
+}
+
+TEST(Selection, RelatedConceptsAreSemanticallyClose) {
+  // Property: mean latent distance from target prototype to selected
+  // concepts is smaller than to random concepts.
+  auto& scads = taglets::testing::small_scads();
+  auto& world = taglets::testing::small_world();
+  auto task = small_fmd_task();
+  SelectionConfig config;
+  config.seed = 2;
+  config.related_per_class = 2;
+  config.prune_level = 0;  // force non-self picks
+  Selection sel = select_auxiliary(scads, task, config);
+  util::Rng rng(3);
+  double sel_dist = 0.0, random_dist = 0.0;
+  std::size_t n = 0;
+  for (std::size_t s = 0; s < sel.selected_concepts.size(); ++s) {
+    auto target = world.prototype(task.class_concepts[sel.source_target_class[s]]);
+    auto chosen = world.prototype(sel.selected_concepts[s]);
+    auto random =
+        world.prototype(rng.uniform_index(world.config().concept_count));
+    for (std::size_t d = 0; d < target.size(); ++d) {
+      sel_dist += (target[d] - chosen[d]) * (target[d] - chosen[d]);
+      random_dist += (target[d] - random[d]) * (target[d] - random[d]);
+    }
+    ++n;
+  }
+  EXPECT_LT(sel_dist, random_dist);
+}
+
+}  // namespace
+}  // namespace taglets::scads

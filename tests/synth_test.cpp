@@ -1,0 +1,349 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "synth/augment.hpp"
+#include "synth/split.hpp"
+#include "synth/tasks.hpp"
+#include "synth/world.hpp"
+#include "tensor/ops.hpp"
+#include "test_support.hpp"
+
+namespace taglets::synth {
+namespace {
+
+using tensor::Tensor;
+
+// ------------------------------------------------------------- dataset
+
+Dataset tiny_dataset() {
+  Dataset ds;
+  ds.name = "tiny";
+  ds.class_names = {"a", "b"};
+  ds.class_concepts = {0, 1};
+  ds.inputs = Tensor::from_matrix(4, 2, {1, 1, 2, 2, 3, 3, 4, 4});
+  ds.labels = {0, 0, 1, 1};
+  return ds;
+}
+
+TEST(Dataset, ValidatePassesAndCounts) {
+  Dataset ds = tiny_dataset();
+  ds.validate();
+  EXPECT_EQ(ds.size(), 4u);
+  EXPECT_EQ(ds.num_classes(), 2u);
+  auto counts = ds.class_counts();
+  EXPECT_EQ(counts[0], 2u);
+  EXPECT_EQ(counts[1], 2u);
+  EXPECT_EQ(ds.indices_of_class(1), (std::vector<std::size_t>{2, 3}));
+}
+
+TEST(Dataset, ValidateCatchesInconsistencies) {
+  Dataset ds = tiny_dataset();
+  ds.labels.push_back(0);
+  EXPECT_THROW(ds.validate(), std::logic_error);
+  ds = tiny_dataset();
+  ds.labels[0] = 9;
+  EXPECT_THROW(ds.validate(), std::logic_error);
+  ds = tiny_dataset();
+  ds.class_concepts.pop_back();
+  EXPECT_THROW(ds.validate(), std::logic_error);
+}
+
+TEST(Dataset, SubsetKeepsMetadata) {
+  Dataset ds = tiny_dataset();
+  std::vector<std::size_t> idx{3, 0};
+  Dataset sub = ds.subset(idx);
+  EXPECT_EQ(sub.size(), 2u);
+  EXPECT_EQ(sub.labels[0], 1u);
+  EXPECT_FLOAT_EQ(sub.inputs.at(0, 0), 4.0f);
+  EXPECT_EQ(sub.class_names, ds.class_names);
+}
+
+TEST(Dataset, ConcatValidatesAndMerges) {
+  Dataset a = tiny_dataset();
+  Dataset b = tiny_dataset();
+  Dataset merged = concat(a, b);
+  EXPECT_EQ(merged.size(), 8u);
+  EXPECT_FLOAT_EQ(merged.inputs.at(7, 1), 4.0f);
+  b.class_names[0] = "other";
+  EXPECT_THROW(concat(a, b), std::invalid_argument);
+}
+
+TEST(Dataset, DomainNames) {
+  EXPECT_STREQ(domain_name(Domain::kNatural), "natural");
+  EXPECT_STREQ(domain_name(Domain::kClipart), "clipart");
+}
+
+// --------------------------------------------------------------- world
+
+TEST(World, DeterministicForSameConfig) {
+  auto config = taglets::testing::small_world_config(3);
+  World a(config), b(config);
+  EXPECT_EQ(a.graph().node_count(), b.graph().node_count());
+  EXPECT_EQ(a.graph().edge_count(), b.graph().edge_count());
+  for (std::size_t i = 0; i < 20; ++i) {
+    auto pa = a.prototype(i);
+    auto pb = b.prototype(i);
+    for (std::size_t d = 0; d < pa.size(); ++d) ASSERT_EQ(pa[d], pb[d]);
+  }
+  util::Rng ra(1), rb(1);
+  Tensor ia = a.sample_image(5, Domain::kNatural, ra);
+  Tensor ib = b.sample_image(5, Domain::kNatural, rb);
+  for (std::size_t d = 0; d < ia.size(); ++d) ASSERT_EQ(ia[d], ib[d]);
+}
+
+TEST(World, NamedConceptsResolvable) {
+  auto& world = taglets::testing::small_world();
+  for (const std::string& name : all_target_class_names()) {
+    auto proto = world.prototype_for_name(name);
+    ASSERT_TRUE(proto.has_value()) << name;
+    EXPECT_TRUE(world.graph().has_node(name)) << name;
+  }
+}
+
+TEST(World, PrototypesRespectTreeLocality) {
+  auto& world = taglets::testing::small_world();
+  const auto& taxonomy = world.taxonomy();
+  // Property: mean parent-child distance < mean random-pair distance.
+  util::Rng rng(4);
+  double tree_dist = 0.0, random_dist = 0.0;
+  std::size_t n = 0;
+  for (std::size_t i = 1; i < 200; ++i) {
+    if (taxonomy.is_root(i)) continue;
+    auto child = world.prototype(i);
+    auto parent = world.prototype(taxonomy.parent(i));
+    auto random = world.prototype(rng.uniform_index(200));
+    double dp = 0.0, dr = 0.0;
+    for (std::size_t d = 0; d < child.size(); ++d) {
+      dp += (child[d] - parent[d]) * (child[d] - parent[d]);
+      dr += (child[d] - random[d]) * (child[d] - random[d]);
+    }
+    tree_dist += std::sqrt(dp);
+    random_dist += std::sqrt(dr);
+    ++n;
+  }
+  EXPECT_LT(tree_dist / n, 0.7 * random_dist / n);
+}
+
+TEST(World, ImagesBoundedByTanh) {
+  auto& world = taglets::testing::small_world();
+  util::Rng rng(5);
+  for (Domain d : {Domain::kNatural, Domain::kProduct, Domain::kClipart}) {
+    Tensor img = world.sample_image(3, d, rng);
+    EXPECT_EQ(img.size(), world.pixel_dim());
+    for (float v : img.data()) {
+      EXPECT_GE(v, -1.0f);
+      EXPECT_LE(v, 1.0f);
+    }
+  }
+}
+
+TEST(World, DomainShiftChangesStatistics) {
+  auto& world = taglets::testing::small_world();
+  // Same rng seed: the only difference is the domain transform.
+  util::Rng ra(6), rb(6);
+  Tensor natural = world.sample_image(3, Domain::kNatural, ra);
+  Tensor clipart = world.sample_image(3, Domain::kClipart, rb);
+  float diff = 0.0f;
+  for (std::size_t i = 0; i < natural.size(); ++i) {
+    diff += std::abs(natural[i] - clipart[i]);
+  }
+  EXPECT_GT(diff / natural.size(), 0.01f);
+}
+
+TEST(World, SameClassImagesCloserThanCrossClass) {
+  auto& world = taglets::testing::small_world();
+  util::Rng rng(7);
+  double intra = 0.0, inter = 0.0;
+  for (int trial = 0; trial < 30; ++trial) {
+    const std::size_t c1 = rng.uniform_index(150);
+    const std::size_t c2 = (c1 + 77) % 150;
+    Tensor a1 = world.sample_image(c1, Domain::kNatural, rng);
+    Tensor a2 = world.sample_image(c1, Domain::kNatural, rng);
+    Tensor b1 = world.sample_image(c2, Domain::kNatural, rng);
+    for (std::size_t d = 0; d < a1.size(); ++d) {
+      intra += (a1[d] - a2[d]) * (a1[d] - a2[d]);
+      inter += (a1[d] - b1[d]) * (a1[d] - b1[d]);
+    }
+  }
+  EXPECT_LT(intra, inter);
+}
+
+TEST(World, BlendedClassBetweenSources) {
+  World world(taglets::testing::small_world_config(9));
+  const std::size_t y = *world.prototype_for_name("yoghurt");
+  const std::size_t o = *world.prototype_for_name("oat_milk");
+  const std::size_t idx =
+      world.add_blended_class("test_blend", std::vector<std::size_t>{y, o});
+  EXPECT_EQ(idx, world.config().concept_count);
+  EXPECT_TRUE(world.prototype_for_name("test_blend").has_value());
+  // Not in the knowledge graph.
+  EXPECT_FALSE(world.graph().has_node("test_blend"));
+  // The blend is closer to each source than the sources' antipode.
+  auto blend = world.prototype(idx);
+  auto ys = world.prototype(y);
+  double dist = 0.0;
+  for (std::size_t d = 0; d < blend.size(); ++d) {
+    dist += (blend[d] - ys[d]) * (blend[d] - ys[d]);
+  }
+  EXPECT_LT(std::sqrt(dist), 4.0);
+  EXPECT_THROW(
+      world.add_blended_class("test_blend", std::vector<std::size_t>{y}),
+      std::invalid_argument);
+}
+
+TEST(World, AuxiliarySubsetClusteredAndSized) {
+  auto& world = taglets::testing::small_world();
+  auto subset = world.auxiliary_subset(0.25);
+  const std::size_t expected = static_cast<std::size_t>(
+      0.25 * static_cast<double>(world.config().concept_count - 1));
+  EXPECT_NEAR(static_cast<double>(subset.size()),
+              static_cast<double>(expected), 1.0);
+  std::set<graph::NodeId> unique(subset.begin(), subset.end());
+  EXPECT_EQ(unique.size(), subset.size());
+  EXPECT_THROW(world.auxiliary_subset(0.0), std::invalid_argument);
+}
+
+TEST(World, AuxiliaryCorpusLabelsMatchConcepts) {
+  auto& world = taglets::testing::small_world();
+  std::vector<graph::NodeId> concepts{5, 9, 12};
+  util::Rng rng(8);
+  Dataset corpus = world.make_auxiliary_corpus(concepts, 4, rng);
+  EXPECT_EQ(corpus.size(), 12u);
+  EXPECT_EQ(corpus.num_classes(), 3u);
+  EXPECT_EQ(corpus.class_concepts[1], 9u);
+  EXPECT_EQ(corpus.class_names[1], world.graph().name(9));
+}
+
+// --------------------------------------------------------------- tasks
+
+TEST(Tasks, ClassCountsMatchPaper) {
+  EXPECT_EQ(fmd_class_names().size(), 10u);
+  EXPECT_EQ(officehome_class_names().size(), 65u);
+  EXPECT_EQ(grocery_class_names().size(), 42u);
+  EXPECT_EQ(grocery_oov_class_names().size(), 2u);
+}
+
+TEST(Tasks, AllTargetNamesExcludeOov) {
+  auto names = all_target_class_names();
+  EXPECT_EQ(names.size(), 10u + 65u + 40u);
+  for (const std::string& oov : grocery_oov_class_names()) {
+    EXPECT_EQ(std::count(names.begin(), names.end(), oov), 0);
+  }
+  std::set<std::string> unique(names.begin(), names.end());
+  EXPECT_EQ(unique.size(), names.size());
+}
+
+TEST(Tasks, SpecsMatchAppendixA3) {
+  EXPECT_EQ(fmd_spec().test_per_class, 5u);
+  EXPECT_EQ(officehome_product_spec().test_per_class, 10u);
+  EXPECT_EQ(officehome_clipart_spec().test_per_class, 10u);
+  EXPECT_FALSE(grocery_spec().supports_20_shot);
+  EXPECT_TRUE(fmd_spec().supports_20_shot);
+  EXPECT_EQ(officehome_product_spec().domain, Domain::kProduct);
+  EXPECT_EQ(officehome_clipart_spec().domain, Domain::kClipart);
+  EXPECT_EQ(all_task_specs().size(), 4u);
+}
+
+TEST(Tasks, GroceryPoolRegistersOovClasses) {
+  World world(taglets::testing::small_world_config(21));
+  EXPECT_FALSE(world.prototype_for_name("oatghurt").has_value());
+  TaskSpec spec = grocery_spec();
+  spec.images_per_class = 12;
+  Dataset pool = build_task_pool(world, spec, 11);
+  EXPECT_EQ(pool.num_classes(), 42u);
+  EXPECT_TRUE(world.prototype_for_name("oatghurt").has_value());
+  // OOV classes carry no graph concept.
+  for (std::size_t c = 0; c < pool.num_classes(); ++c) {
+    const bool is_oov = pool.class_names[c] == "oatghurt" ||
+                        pool.class_names[c] == "soyghurt";
+    EXPECT_EQ(pool.class_concepts[c] == kNoConcept, is_oov)
+        << pool.class_names[c];
+  }
+}
+
+// --------------------------------------------------------------- split
+
+TEST(Split, CountsFollowProtocol) {
+  auto task = taglets::testing::small_task(/*shots=*/2);
+  EXPECT_EQ(task.num_classes(), 10u);
+  EXPECT_EQ(task.shots(), 2u);
+  EXPECT_EQ(task.labeled_labels.size(), 20u);
+  EXPECT_EQ(task.test_labels.size(), 50u);  // 5 per class
+  // 30 per class - 5 test - 2 labeled = 23 unlabeled per class.
+  EXPECT_EQ(task.unlabeled_inputs.rows(), 230u);
+  EXPECT_EQ(task.unlabeled_true_labels.size(), 230u);
+}
+
+TEST(Split, LabeledBalancedPerClass) {
+  auto task = taglets::testing::small_task(/*shots=*/3);
+  std::vector<std::size_t> counts(task.num_classes(), 0);
+  for (std::size_t y : task.labeled_labels) counts[y]++;
+  for (std::size_t c : counts) EXPECT_EQ(c, 3u);
+}
+
+TEST(Split, DeterministicPerSeedAndDistinctAcrossSplits) {
+  auto a = taglets::testing::small_task(1, 0);
+  auto b = taglets::testing::small_task(1, 0);
+  auto c = taglets::testing::small_task(1, 1);
+  // Same split: identical labeled inputs.
+  float same_diff = 0.0f, cross_diff = 0.0f;
+  for (std::size_t i = 0; i < a.labeled_inputs.size(); ++i) {
+    same_diff += std::abs(a.labeled_inputs.data()[i] -
+                          b.labeled_inputs.data()[i]);
+    cross_diff += std::abs(a.labeled_inputs.data()[i] -
+                           c.labeled_inputs.data()[i]);
+  }
+  EXPECT_FLOAT_EQ(same_diff, 0.0f);
+  EXPECT_GT(cross_diff, 0.1f);
+}
+
+TEST(Split, ThrowsWhenClassTooSmall) {
+  Dataset ds = tiny_dataset();
+  EXPECT_THROW(make_few_shot_task(ds, 2, 1, 0), std::invalid_argument);
+  EXPECT_THROW(make_few_shot_task(ds, 0, 1, 0), std::invalid_argument);
+}
+
+// ------------------------------------------------------------- augment
+
+TEST(Augment, WeakPreservesShapeAndStaysClose) {
+  auto& world = taglets::testing::small_world();
+  util::Rng rng(11);
+  Tensor img = world.sample_image(2, Domain::kNatural, rng);
+  Tensor weak = weak_augment(img, rng);
+  EXPECT_EQ(weak.size(), img.size());
+  float max_diff = 0.0f;
+  for (std::size_t i = 0; i < img.size(); ++i) {
+    max_diff = std::max(max_diff, std::abs(weak[i] - img[i]));
+  }
+  EXPECT_LT(max_diff, 0.5f);
+  EXPECT_GT(max_diff, 0.0f);
+}
+
+TEST(Augment, StrongMasksExpectedFraction) {
+  util::Rng rng(13);
+  Tensor batch = Tensor::full(50, 40, 1.0f);
+  AugmentConfig config;
+  config.strong_mask_fraction = 0.25;
+  Tensor strong = strong_augment(batch, rng, config);
+  std::size_t zeros = 0;
+  for (float v : strong.data()) {
+    if (v == 0.0f) ++zeros;
+  }
+  const double fraction = static_cast<double>(zeros) / strong.size();
+  EXPECT_NEAR(fraction, 0.25, 0.03);
+}
+
+TEST(Augment, TwoDrawsDiffer) {
+  util::Rng rng(17);
+  Tensor img = Tensor::full(1, 20, 0.5f);
+  Tensor a = weak_augment(img, rng);
+  Tensor b = weak_augment(img, rng);
+  float diff = 0.0f;
+  for (std::size_t i = 0; i < a.size(); ++i) diff += std::abs(a.data()[i] - b.data()[i]);
+  EXPECT_GT(diff, 0.0f);
+}
+
+}  // namespace
+}  // namespace taglets::synth

@@ -1,0 +1,388 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <set>
+#include <sstream>
+
+#include "util/csv.hpp"
+#include "util/env.hpp"
+#include "util/logging.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/string_util.hpp"
+#include "util/table.hpp"
+#include "util/thread_pool.hpp"
+#include "util/timer.hpp"
+
+namespace taglets::util {
+namespace {
+
+// ---------------------------------------------------------------- rng
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next() == b.next()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  double sum = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-3.0, 5.0);
+    ASSERT_GE(u, -3.0);
+    ASSERT_LT(u, 5.0);
+  }
+}
+
+TEST(Rng, UniformIndexCoversRange) {
+  Rng rng(7);
+  std::set<std::size_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(rng.uniform_index(7));
+  EXPECT_EQ(seen.size(), 7u);
+  EXPECT_EQ(*seen.rbegin(), 6u);
+}
+
+TEST(Rng, UniformIndexThrowsOnZero) {
+  Rng rng(7);
+  EXPECT_THROW(rng.uniform_index(0), std::invalid_argument);
+}
+
+TEST(Rng, UniformIntInclusiveBounds) {
+  Rng rng(7);
+  std::set<long> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(rng.uniform_int(-2, 2));
+  EXPECT_TRUE(seen.count(-2));
+  EXPECT_TRUE(seen.count(2));
+  EXPECT_THROW(rng.uniform_int(3, 2), std::invalid_argument);
+}
+
+TEST(Rng, NormalMomentsRoughlyStandard) {
+  Rng rng(11);
+  double sum = 0.0, sq = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.03);
+  EXPECT_NEAR(sq / n, 1.0, 0.05);
+}
+
+TEST(Rng, NormalScalesMeanAndStddev) {
+  Rng rng(11);
+  double sum = 0.0;
+  const int n = 5000;
+  for (int i = 0; i < n; ++i) sum += rng.normal(10.0, 0.5);
+  EXPECT_NEAR(sum / n, 10.0, 0.05);
+}
+
+TEST(Rng, BernoulliMatchesProbability) {
+  Rng rng(13);
+  int hits = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) hits += rng.bernoulli(0.3);
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng rng(17);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> orig = v;
+  rng.shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, orig);
+}
+
+TEST(Rng, SampleWithoutReplacementDistinct) {
+  Rng rng(19);
+  auto sample = rng.sample_without_replacement(100, 30);
+  std::set<std::size_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 30u);
+  for (std::size_t i : sample) EXPECT_LT(i, 100u);
+}
+
+TEST(Rng, SampleWithoutReplacementFull) {
+  Rng rng(19);
+  auto sample = rng.sample_without_replacement(5, 5);
+  std::set<std::size_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 5u);
+  EXPECT_THROW(rng.sample_without_replacement(3, 4), std::invalid_argument);
+}
+
+TEST(Rng, ForkDecorrelates) {
+  Rng parent(23);
+  Rng child = parent.fork();
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (parent.next() == child.next()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, CombineSeedsOrderSensitive) {
+  EXPECT_NE(combine_seeds({1, 2}), combine_seeds({2, 1}));
+  EXPECT_EQ(combine_seeds({1, 2}), combine_seeds({1, 2}));
+  EXPECT_NE(combine_seeds({1}), combine_seeds({1, 0}));
+}
+
+// -------------------------------------------------------------- stats
+
+TEST(Stats, MeanAndVariance) {
+  std::vector<double> xs{1, 2, 3, 4, 5};
+  EXPECT_DOUBLE_EQ(mean(xs), 3.0);
+  EXPECT_DOUBLE_EQ(variance(xs), 2.5);
+  EXPECT_NEAR(stddev(xs), std::sqrt(2.5), 1e-12);
+}
+
+TEST(Stats, EmptyAndSingleton) {
+  std::vector<double> empty;
+  EXPECT_DOUBLE_EQ(mean(empty), 0.0);
+  EXPECT_DOUBLE_EQ(variance(empty), 0.0);
+  std::vector<double> one{4.0};
+  EXPECT_DOUBLE_EQ(mean(one), 4.0);
+  EXPECT_DOUBLE_EQ(ci95(one), 0.0);
+}
+
+TEST(Stats, MedianOddEven) {
+  EXPECT_DOUBLE_EQ(median({3, 1, 2}), 2.0);
+  EXPECT_DOUBLE_EQ(median({4, 1, 3, 2}), 2.5);
+  EXPECT_DOUBLE_EQ(median({}), 0.0);
+}
+
+TEST(Stats, MinMax) {
+  std::vector<double> xs{3, -1, 7};
+  EXPECT_DOUBLE_EQ(min_of(xs), -1.0);
+  EXPECT_DOUBLE_EQ(max_of(xs), 7.0);
+  std::vector<double> empty;
+  EXPECT_THROW(min_of(empty), std::invalid_argument);
+}
+
+TEST(Stats, Ci95MatchesFormula) {
+  std::vector<double> xs{10, 12, 14};
+  const double expected = 1.96 * stddev(xs) / std::sqrt(3.0);
+  EXPECT_NEAR(ci95(xs), expected, 1e-12);
+}
+
+TEST(Stats, PearsonPerfectCorrelation) {
+  std::vector<double> xs{1, 2, 3, 4};
+  std::vector<double> ys{2, 4, 6, 8};
+  EXPECT_NEAR(pearson(xs, ys), 1.0, 1e-12);
+  std::vector<double> neg{8, 6, 4, 2};
+  EXPECT_NEAR(pearson(xs, neg), -1.0, 1e-12);
+}
+
+TEST(Stats, PearsonDegenerate) {
+  std::vector<double> xs{1, 1, 1};
+  std::vector<double> ys{2, 3, 4};
+  EXPECT_DOUBLE_EQ(pearson(xs, ys), 0.0);
+  EXPECT_DOUBLE_EQ(pearson(xs, std::vector<double>{1.0}), 0.0);
+}
+
+TEST(Stats, PairedTStatistic) {
+  std::vector<double> a{10, 12, 14, 11};
+  std::vector<double> b{9, 10, 12, 10};
+  // All diffs positive -> strongly positive t.
+  EXPECT_GT(paired_t_statistic(a, b), 2.0);
+  EXPECT_LT(paired_t_statistic(b, a), -2.0);
+  // Constant zero differences -> 0.
+  EXPECT_DOUBLE_EQ(paired_t_statistic(a, a), 0.0);
+  std::vector<double> one{1.0};
+  EXPECT_THROW(paired_t_statistic(one, one), std::invalid_argument);
+}
+
+TEST(Stats, MeanCiFormatting) {
+  MeanCi summary{71.2345, 1.675};
+  EXPECT_EQ(summary.to_string(), "71.23 ± 1.68");
+  EXPECT_EQ(summary.to_string(1), "71.2 ± 1.7");
+}
+
+TEST(Stats, RunningStatMatchesBatch) {
+  std::vector<double> xs{2.5, -1.0, 7.25, 0.0, 3.5};
+  RunningStat rs;
+  for (double x : xs) rs.add(x);
+  EXPECT_EQ(rs.count(), xs.size());
+  EXPECT_NEAR(rs.mean(), mean(xs), 1e-12);
+  EXPECT_NEAR(rs.variance(), variance(xs), 1e-12);
+}
+
+// -------------------------------------------------------------- table
+
+TEST(Table, RendersAlignedColumns) {
+  TextTable table({"Method", "Acc"});
+  table.add_row({"fine-tuning", "46.77"});
+  table.add_rule();
+  table.add_row({"taglets", "70.92"});
+  const std::string out = table.render();
+  EXPECT_NE(out.find("Method"), std::string::npos);
+  EXPECT_NE(out.find("taglets"), std::string::npos);
+  // Rule between the two rows plus the header rule.
+  EXPECT_GE(std::count(out.begin(), out.end(), '\n'), 5);
+}
+
+TEST(Table, RejectsBadWidths) {
+  TextTable table({"A", "B"});
+  EXPECT_THROW(table.add_row({"only-one"}), std::invalid_argument);
+  EXPECT_THROW(TextTable({}), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------- csv
+
+TEST(Csv, EscapesSpecialCharacters) {
+  EXPECT_EQ(csv_escape("plain"), "plain");
+  EXPECT_EQ(csv_escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(csv_escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(csv_escape("line\nbreak"), "\"line\nbreak\"");
+}
+
+TEST(Csv, WriterEmitsHeaderAndRows) {
+  std::ostringstream out;
+  CsvWriter writer(out, {"dataset", "accuracy"});
+  writer.write_row({"fmd", "68.07"});
+  writer.write_row({"office,home", "70.92"});
+  EXPECT_EQ(writer.rows_written(), 2u);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("dataset,accuracy"), std::string::npos);
+  EXPECT_NE(text.find("\"office,home\""), std::string::npos);
+  EXPECT_THROW(writer.write_row({"too", "many", "cells"}),
+               std::invalid_argument);
+}
+
+// ------------------------------------------------------------- string
+
+TEST(StringUtil, SplitAndJoinRoundTrip) {
+  const auto parts = split("a,b,,c", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[2], "");
+  EXPECT_EQ(join(parts, ","), "a,b,,c");
+}
+
+TEST(StringUtil, ToLowerAndTrim) {
+  EXPECT_EQ(to_lower("MiXeD"), "mixed");
+  EXPECT_EQ(trim("  x y  "), "x y");
+  EXPECT_EQ(trim("   "), "");
+}
+
+TEST(StringUtil, StartsWith) {
+  EXPECT_TRUE(starts_with("concept_0001", "concept_"));
+  EXPECT_FALSE(starts_with("con", "concept_"));
+}
+
+struct PrefixCase {
+  const char* a;
+  const char* b;
+  std::size_t expected;
+};
+
+class CommonPrefixTest : public ::testing::TestWithParam<PrefixCase> {};
+
+TEST_P(CommonPrefixTest, MatchesExpected) {
+  const auto& param = GetParam();
+  EXPECT_EQ(common_prefix_length(param.a, param.b), param.expected);
+  EXPECT_EQ(common_prefix_length(param.b, param.a), param.expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, CommonPrefixTest,
+    ::testing::Values(PrefixCase{"oatghurt", "oat_milk", 3},
+                      PrefixCase{"soyghurt", "soy_milk", 3},
+                      PrefixCase{"yoghurt", "yoghurt", 7},
+                      PrefixCase{"abc", "xyz", 0},
+                      PrefixCase{"", "anything", 0}));
+
+TEST(StringUtil, FormatFixed) {
+  EXPECT_EQ(format_fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(format_fixed(-0.5, 1), "-0.5");
+}
+
+// ----------------------------------------------------------------- env
+
+TEST(Env, FallbacksAndParsing) {
+  EXPECT_EQ(env_string("TAGLETS_SURELY_UNSET_XYZ", "dflt"), "dflt");
+  EXPECT_EQ(env_long("TAGLETS_SURELY_UNSET_XYZ", 5), 5);
+  EXPECT_FALSE(env_flag("TAGLETS_SURELY_UNSET_XYZ"));
+  ::setenv("TAGLETS_TEST_ENV_NUM", "42", 1);
+  EXPECT_EQ(env_long("TAGLETS_TEST_ENV_NUM", 0), 42);
+  ::setenv("TAGLETS_TEST_ENV_NUM", "not-a-number", 1);
+  EXPECT_EQ(env_long("TAGLETS_TEST_ENV_NUM", 9), 9);
+  ::setenv("TAGLETS_TEST_ENV_FLAG", "true", 1);
+  EXPECT_TRUE(env_flag("TAGLETS_TEST_ENV_FLAG"));
+  ::unsetenv("TAGLETS_TEST_ENV_NUM");
+  ::unsetenv("TAGLETS_TEST_ENV_FLAG");
+}
+
+// --------------------------------------------------------------- timer
+
+TEST(Timer, MeasuresElapsedTime) {
+  Timer timer;
+  volatile double sink = 0.0;
+  for (int i = 0; i < 100000; ++i) sink += i;
+  EXPECT_GE(timer.elapsed_seconds(), 0.0);
+  EXPECT_GE(timer.elapsed_ms(), 0.0);
+}
+
+TEST(LatencyRecorder, PercentilesAndSummary) {
+  LatencyRecorder recorder;
+  for (int i = 1; i <= 100; ++i) recorder.record_ms(i);
+  EXPECT_EQ(recorder.count(), 100u);
+  EXPECT_NEAR(recorder.mean_ms(), 50.5, 1e-9);
+  EXPECT_NEAR(recorder.percentile_ms(0), 1.0, 1e-9);
+  EXPECT_NEAR(recorder.percentile_ms(100), 100.0, 1e-9);
+  EXPECT_NEAR(recorder.percentile_ms(50), 50.5, 1e-9);
+  EXPECT_NE(recorder.summary().find("p99"), std::string::npos);
+}
+
+// ---------------------------------------------------------- threadpool
+
+TEST(ThreadPool, ParallelForRunsEveryIndexOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> counts(64);
+  pool.parallel_for(64, [&](std::size_t i) { counts[i]++; });
+  for (const auto& c : counts) EXPECT_EQ(c.load(), 1);
+}
+
+TEST(ThreadPool, SubmitReturnsValue) {
+  ThreadPool pool(2);
+  auto f = pool.submit([] { return 7 * 6; });
+  EXPECT_EQ(f.get(), 42);
+}
+
+TEST(ThreadPool, PropagatesExceptions) {
+  ThreadPool pool(2);
+  auto f = pool.submit([]() -> int { throw std::runtime_error("boom"); });
+  EXPECT_THROW(f.get(), std::runtime_error);
+}
+
+// -------------------------------------------------------------- logging
+
+TEST(Logging, ThresholdFilters) {
+  const LogLevel saved = log_threshold();
+  set_log_threshold(LogLevel::kError);
+  EXPECT_EQ(log_threshold(), LogLevel::kError);
+  TAGLETS_LOG(kDebug) << "should be dropped";  // must not crash
+  set_log_threshold(saved);
+}
+
+}  // namespace
+}  // namespace taglets::util

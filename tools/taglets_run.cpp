@@ -1,0 +1,123 @@
+// taglets_run — command-line front end for the full pipeline.
+//
+//   taglets_run --dataset grocery --shots 1 --backbone rn50
+//   taglets_run --dataset oh-product --shots 5 --prune 1 --report
+//   taglets_run --dataset fmd --shots 5 --save model.bin --modules transfer,fixmatch
+//
+// Flags:
+//   --dataset  fmd | oh-product | oh-clipart | grocery   (default fmd)
+//   --shots    labeled examples per class                 (default 1)
+//   --split    train/test split index                     (default 0)
+//   --backbone rn50 | bit                                 (default rn50)
+//   --prune    -1 (off), 0, 1                             (default -1)
+//   --modules  comma list from the registry               (default all 4)
+//   --seed     training seed                              (default 0)
+//   --scale    epoch scale, e.g. 0.3 for a smoke run      (default 1.0)
+//   --save     write the servable end model to this path
+//   --report   print the per-class confusion report
+//   --compare  also run the fine-tuning baseline
+#include <iostream>
+
+#include "baselines/finetune.hpp"
+#include "eval/lab.hpp"
+#include "nn/metrics.hpp"
+#include "nn/trainer.hpp"
+#include "taglets/controller.hpp"
+#include "util/args.hpp"
+#include "util/string_util.hpp"
+
+using namespace taglets;
+
+namespace {
+
+const synth::TaskSpec& spec_for(const std::string& name) {
+  if (name == "fmd") return synth::fmd_spec();
+  if (name == "oh-product") return synth::officehome_product_spec();
+  if (name == "oh-clipart") return synth::officehome_clipart_spec();
+  if (name == "grocery") return synth::grocery_spec();
+  throw std::invalid_argument(
+      "unknown --dataset (use fmd | oh-product | oh-clipart | grocery)");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    util::ArgParser args(argc, argv);
+
+    const auto& spec = spec_for(args.get("dataset", "fmd"));
+    const std::size_t shots =
+        static_cast<std::size_t>(args.get_long("shots", 1));
+    const std::size_t split =
+        static_cast<std::size_t>(args.get_long("split", 0));
+    const std::string backbone_name = args.get("backbone", "rn50");
+    const backbone::Kind kind = backbone_name == "bit"
+                                    ? backbone::Kind::kBitS
+                                    : backbone::Kind::kRn50S;
+
+    std::cout << "building environment (world + SCADS + backbones)...\n";
+    eval::Lab lab;
+    synth::FewShotTask task = lab.task(spec, shots, split);
+    std::cout << "task: " << task.dataset_name << ", " << task.num_classes()
+              << " classes, " << shots << " shot(s), "
+              << task.unlabeled_inputs.rows() << " unlabeled\n";
+
+    SystemConfig config;
+    config.backbone = kind;
+    config.selection.prune_level =
+        static_cast<int>(args.get_long("prune", -1));
+    config.train_seed = static_cast<std::uint64_t>(args.get_long("seed", 0)) + 1;
+    config.epoch_scale = args.get_double("scale", 1.0);
+    if (args.has("modules")) {
+      config.module_names = util::split(args.get("modules", ""), ',');
+    }
+
+    const bool needs_zsl =
+        std::count(config.module_names.begin(), config.module_names.end(),
+                   "zsl-kg") > 0;
+    Controller controller(&lab.scads(), &lab.zoo(),
+                          needs_zsl ? &lab.zsl_engine() : nullptr);
+    SystemResult result = controller.run(task, config);
+    std::cout << "trained " << result.taglets.size() << " taglets in "
+              << result.train_seconds << "s (|R| = "
+              << result.selection.data.size() << ")\n";
+
+    tensor::Tensor logits =
+        result.end_model.model().logits(task.test_inputs, false);
+    const auto cm = nn::evaluate_confusion(logits, task.test_labels);
+    std::cout << "TAGLETS end model: " << 100.0 * cm.accuracy()
+              << "% accuracy, macro-F1 " << cm.macro_f1() << "\n";
+    for (auto& taglet : result.taglets) {
+      std::cout << "  taglet " << taglet.name() << ": "
+                << 100.0 * nn::evaluate_accuracy(taglet.model(),
+                                                 task.test_inputs,
+                                                 task.test_labels)
+                << "%\n";
+    }
+
+    if (args.get_flag("compare")) {
+      baselines::FineTune fine_tune;
+      nn::Classifier baseline = fine_tune.train(
+          task, lab.zoo().get(kind), config.train_seed, config.epoch_scale);
+      std::cout << "fine-tuning baseline: "
+                << 100.0 * nn::evaluate_accuracy(baseline, task.test_inputs,
+                                                 task.test_labels)
+                << "%\n";
+    }
+
+    if (args.get_flag("report")) {
+      std::cout << cm.report(task.class_names);
+    }
+
+    if (args.has("save")) {
+      const std::string path = args.get("save", "");
+      result.end_model.save(path);
+      std::cout << "saved servable model to " << path << " ("
+                << result.end_model.parameter_count() << " parameters)\n";
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}

@@ -8,7 +8,9 @@
 //  * core tensor/retrofit kernels.
 #include <benchmark/benchmark.h>
 
+#include "ensemble/ensemble.hpp"
 #include "graph/retrofit.hpp"
+#include "modules/module.hpp"
 #include "nn/classifier.hpp"
 #include "nn/sequential.hpp"
 #include "scads/scads.hpp"
@@ -16,6 +18,7 @@
 #include "synth/split.hpp"
 #include "synth/tasks.hpp"
 #include "tensor/ops.hpp"
+#include "util/parallel.hpp"
 
 namespace {
 
@@ -64,6 +67,65 @@ void BM_Matmul(benchmark::State& state) {
                           static_cast<std::int64_t>(2 * n * n * n));
 }
 BENCHMARK(BM_Matmul)->Arg(32)->Arg(64)->Arg(128);
+
+// ------------------------------------------------- parallel scaling
+// threads=1 vs threads=N through the shared util::Parallel layer; the
+// same comparison works process-wide via TAGLETS_THREADS. Outputs are
+// bitwise-identical at every setting (see util_test), so the only
+// difference the threads argument makes is wall-clock time.
+
+nn::Classifier make_serving_model(std::size_t classes);  // defined below
+
+tensor::Tensor bench_random_matrix(std::size_t rows, std::size_t cols,
+                                   std::uint64_t seed) {
+  util::Rng rng(seed);
+  tensor::Tensor t = tensor::Tensor::zeros(rows, cols);
+  for (float& x : t.data()) x = static_cast<float>(rng.normal());
+  return t;
+}
+
+/// Swap the global pool for the duration of one benchmark run.
+class BenchParallelOverride {
+ public:
+  explicit BenchParallelOverride(util::Parallel* pool)
+      : prev_(util::Parallel::exchange_global(pool)) {}
+  ~BenchParallelOverride() { util::Parallel::exchange_global(prev_); }
+
+ private:
+  util::Parallel* prev_;
+};
+
+void BM_MatmulThreads(benchmark::State& state) {
+  const std::size_t n = 512;
+  util::Parallel pool(static_cast<std::size_t>(state.range(0)));
+  BenchParallelOverride guard(&pool);
+  tensor::Tensor a = bench_random_matrix(n, n, 3);
+  tensor::Tensor b = bench_random_matrix(n, n, 4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tensor::matmul(a, b));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(2 * n * n * n));
+}
+BENCHMARK(BM_MatmulThreads)->Arg(1)->Arg(2)->Arg(4)->UseRealTime();
+
+void BM_EnsembleProbaThreads(benchmark::State& state) {
+  util::Parallel pool(static_cast<std::size_t>(state.range(0)));
+  BenchParallelOverride guard(&pool);
+  std::vector<modules::Taglet> taglets;
+  for (int t = 0; t < 4; ++t) {
+    taglets.emplace_back("taglet-" + std::to_string(t),
+                         make_serving_model(65));
+  }
+  util::Rng rng(4);
+  tensor::Tensor batch =
+      tensor::Tensor::zeros(256, bench_world().pixel_dim());
+  for (float& x : batch.data()) x = static_cast<float>(rng.normal());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ensemble::ensemble_proba(taglets, batch));
+  }
+}
+BENCHMARK(BM_EnsembleProbaThreads)->Arg(1)->Arg(2)->Arg(4)->UseRealTime();
 
 void BM_SoftmaxRows(benchmark::State& state) {
   util::Rng rng(3);

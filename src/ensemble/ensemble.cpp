@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <cmath>
 #include <stdexcept>
+#include <string>
 
 #include "tensor/ops.hpp"
+#include "util/parallel.hpp"
 
 namespace taglets::ensemble {
 
@@ -20,7 +22,14 @@ Tensor vote_matrix(std::vector<modules::Taglet>& taglets,
   Tensor votes;
   for (std::size_t t = 0; t < taglets.size(); ++t) {
     Tensor proba = taglets[t].predict_proba(batch);
-    if (t == 0) votes = Tensor::zeros(taglets.size(), proba.cols());
+    if (t == 0) {
+      votes = Tensor::zeros(taglets.size(), proba.cols());
+    } else if (proba.cols() != votes.cols()) {
+      throw std::invalid_argument(
+          "vote_matrix: taglet '" + taglets[t].name() + "' emitted " +
+          std::to_string(proba.cols()) + " classes, expected " +
+          std::to_string(votes.cols()));
+    }
     auto src = proba.row(0);
     auto dst = votes.row(t);
     std::copy(src.begin(), src.end(), dst.begin());
@@ -31,14 +40,23 @@ Tensor vote_matrix(std::vector<modules::Taglet>& taglets,
 Tensor ensemble_proba(std::vector<modules::Taglet>& taglets,
                       const Tensor& inputs) {
   if (taglets.empty()) throw std::invalid_argument("ensemble_proba: no taglets");
-  Tensor sum;
-  for (auto& taglet : taglets) {
-    Tensor proba = taglet.predict_proba(inputs);
-    if (sum.empty()) {
-      sum = std::move(proba);
-    } else {
-      tensor::add_scaled_inplace(sum, proba, 1.0f);
+  // Each taglet owns its own model, so prediction fans out across the
+  // shared pool; the reduction stays serial in taglet order, keeping
+  // float summation order — and therefore the bits — independent of the
+  // thread count.
+  std::vector<Tensor> probas(taglets.size());
+  util::parallel_for(taglets.size(), [&](std::size_t t) {
+    probas[t] = taglets[t].predict_proba(inputs);
+  });
+  Tensor sum = std::move(probas[0]);
+  for (std::size_t t = 1; t < probas.size(); ++t) {
+    if (!tensor::same_shape(sum, probas[t])) {
+      throw std::invalid_argument(
+          "ensemble_proba: taglet '" + taglets[t].name() +
+          "' output shape " + probas[t].shape_string() +
+          " does not match " + sum.shape_string());
     }
+    tensor::add_scaled_inplace(sum, probas[t], 1.0f);
   }
   return tensor::scale(sum, 1.0f / static_cast<float>(taglets.size()));
 }
@@ -85,10 +103,12 @@ PseudoLabelStats pseudo_label_stats(std::vector<modules::Taglet>& taglets,
   stats.mean_entropy = entropy / static_cast<double>(proba.rows());
   stats.mean_confidence = confidence / static_cast<double>(proba.rows());
 
-  // Pairwise argmax agreement across taglets.
-  std::vector<std::vector<std::size_t>> votes;
-  votes.reserve(taglets.size());
-  for (auto& taglet : taglets) votes.push_back(taglet.predict(inputs));
+  // Pairwise argmax agreement across taglets; per-taglet prediction
+  // fans out across the shared pool (distinct models, disjoint slots).
+  std::vector<std::vector<std::size_t>> votes(taglets.size());
+  util::parallel_for(taglets.size(), [&](std::size_t t) {
+    votes[t] = taglets[t].predict(inputs);
+  });
   if (taglets.size() > 1) {
     double agree = 0.0;
     std::size_t pairs = 0;

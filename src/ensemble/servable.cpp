@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "tensor/ops.hpp"
+#include "util/parallel.hpp"
 
 namespace taglets::ensemble {
 
@@ -36,6 +37,23 @@ Tensor ServableModel::predict_proba(const Tensor& inputs) {
   Tensor proba = model_.predict_proba(inputs);
   latency_.record_ms(timer.elapsed_ms());
   return proba;
+}
+
+std::vector<std::size_t> ServableModel::predict_batch(const Tensor& inputs) {
+  util::Timer timer;
+  // One forward pass for the whole batch (the GEMMs inside fan out over
+  // the shared pool), then a row-parallel argmax. Rows are independent,
+  // so the labels match a serial per-row predict() bit for bit.
+  Tensor logits = model_.logits(inputs, /*training=*/false);
+  std::vector<std::size_t> labels(logits.rows());
+  util::parallel_for_ranges(logits.rows(),
+                            [&](std::size_t begin, std::size_t end) {
+                              for (std::size_t i = begin; i < end; ++i) {
+                                labels[i] = tensor::argmax(logits.row(i));
+                              }
+                            });
+  latency_.record_ms(timer.elapsed_ms());
+  return labels;
 }
 
 void ServableModel::save(const std::string& path) const {

@@ -27,6 +27,10 @@ class ServableModel {
   const std::string& predict_name(const tensor::Tensor& example);
   /// Batch probabilities (records one latency sample for the batch).
   tensor::Tensor predict_proba(const tensor::Tensor& inputs);
+  /// Batch class indices. The forward pass and the per-row argmax both
+  /// run on the shared util::Parallel pool; results are identical to
+  /// calling predict() row by row (records one latency sample).
+  std::vector<std::size_t> predict_batch(const tensor::Tensor& inputs);
 
   const util::LatencyRecorder& latency() const { return latency_; }
 

@@ -4,7 +4,7 @@
 
 #include "ensemble/ensemble.hpp"
 #include "util/logging.hpp"
-#include "util/thread_pool.hpp"
+#include "util/parallel.hpp"
 #include "util/timer.hpp"
 
 namespace taglets {
@@ -59,15 +59,24 @@ std::vector<modules::Taglet> Controller::train_taglets(
     slots[i] = mods[i]->train(context);
   };
   if (config.parallel_modules && mods.size() > 1) {
-    util::ThreadPool pool;
-    pool.parallel_for(mods.size(), train_one);
+    // Module fan-out goes through the shared process-wide pool; its
+    // nesting-safe parallel_for lets each module's own tensor kernels
+    // parallelize underneath without deadlocking.
+    util::parallel_for(mods.size(), train_one);
   } else {
     for (std::size_t i = 0; i < mods.size(); ++i) train_one(i);
   }
 
   std::vector<modules::Taglet> taglets;
   taglets.reserve(slots.size());
-  for (auto& slot : slots) taglets.push_back(std::move(*slot));
+  for (std::size_t i = 0; i < slots.size(); ++i) {
+    if (!slots[i].has_value()) {
+      throw std::runtime_error("Controller: module '" +
+                               config.module_names[i] +
+                               "' finished without producing a taglet");
+    }
+    taglets.push_back(std::move(*slots[i]));
+  }
   return taglets;
 }
 

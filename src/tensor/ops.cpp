@@ -1,9 +1,13 @@
 #include "tensor/ops.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <numeric>
 #include <stdexcept>
+
+#include "util/env.hpp"
+#include "util/parallel.hpp"
 
 namespace taglets::tensor {
 
@@ -15,46 +19,96 @@ void require(bool cond, const char* what) {
 
 constexpr std::size_t kBlock = 64;
 
+// -1 = resolve lazily from build mode / TAGLETS_CHECK_FINITE.
+std::atomic<int> g_finite_checks{-1};
+
+bool finite_checks_enabled() {
+  int v = g_finite_checks.load(std::memory_order_relaxed);
+  if (v < 0) {
+#ifndef NDEBUG
+    v = 1;
+#else
+    v = util::env_flag("TAGLETS_CHECK_FINITE") ? 1 : 0;
+#endif
+    g_finite_checks.store(v, std::memory_order_relaxed);
+  }
+  return v != 0;
+}
+
+// The matmul kernels skip zero multiplicands for speed, which silently
+// drops NaN/Inf propagation (0 * NaN must be NaN). Keep the fast path,
+// but in debug mode (or with TAGLETS_CHECK_FINITE=1) reject non-finite
+// operands so the skip can never mask a poisoned tensor.
+void debug_check_finite(const Tensor& t, const char* what) {
+  if (!finite_checks_enabled()) return;
+  for (float x : t.data()) {
+    if (!std::isfinite(x)) {
+      throw std::domain_error(std::string(what) +
+                              ": non-finite operand (zero-skip fast path "
+                              "would drop NaN/Inf propagation)");
+    }
+  }
+}
+
 }  // namespace
+
+bool set_finite_checks(bool enabled) {
+  const int prev = g_finite_checks.exchange(enabled ? 1 : 0,
+                                            std::memory_order_relaxed);
+  return prev > 0;
+}
+
+// All three matmul variants parallelize over disjoint row blocks of C
+// through util::Parallel. Each output row is accumulated by exactly one
+// chunk in the same p-order as the serial loop, so results are
+// bitwise-identical at every thread count.
 
 Tensor matmul(const Tensor& a, const Tensor& b) {
   require(a.is_matrix() && b.is_matrix(), "matmul: rank-2 required");
   require(a.cols() == b.rows(), "matmul: inner dim mismatch");
+  debug_check_finite(a, "matmul");
+  debug_check_finite(b, "matmul");
   const std::size_t m = a.rows(), k = a.cols(), n = b.cols();
   Tensor c = Tensor::zeros(m, n);
-  // i-k-j loop order with blocking on k and j: the innermost loop walks
-  // both B and C rows contiguously.
-  for (std::size_t kk = 0; kk < k; kk += kBlock) {
-    const std::size_t kend = std::min(k, kk + kBlock);
-    for (std::size_t i = 0; i < m; ++i) {
-      const float* arow = a.row(i).data();
-      float* crow = c.row(i).data();
-      for (std::size_t p = kk; p < kend; ++p) {
-        const float av = arow[p];
-        if (av == 0.0f) continue;
-        const float* brow = b.row(p).data();
-        for (std::size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+  // i-k-j loop order with blocking on k: the innermost loop walks both
+  // B and C rows contiguously.
+  util::parallel_for_ranges(m, [&](std::size_t r0, std::size_t r1) {
+    for (std::size_t kk = 0; kk < k; kk += kBlock) {
+      const std::size_t kend = std::min(k, kk + kBlock);
+      for (std::size_t i = r0; i < r1; ++i) {
+        const float* arow = a.row(i).data();
+        float* crow = c.row(i).data();
+        for (std::size_t p = kk; p < kend; ++p) {
+          const float av = arow[p];
+          if (av == 0.0f) continue;
+          const float* brow = b.row(p).data();
+          for (std::size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+        }
       }
     }
-  }
+  });
   return c;
 }
 
 Tensor matmul_tn(const Tensor& a, const Tensor& b) {
   require(a.is_matrix() && b.is_matrix(), "matmul_tn: rank-2 required");
   require(a.rows() == b.rows(), "matmul_tn: inner dim mismatch");
+  debug_check_finite(a, "matmul_tn");
+  debug_check_finite(b, "matmul_tn");
   const std::size_t m = a.cols(), k = a.rows(), n = b.cols();
   Tensor c = Tensor::zeros(m, n);
-  for (std::size_t p = 0; p < k; ++p) {
-    const float* arow = a.row(p).data();
-    const float* brow = b.row(p).data();
-    for (std::size_t i = 0; i < m; ++i) {
-      const float av = arow[i];
-      if (av == 0.0f) continue;
-      float* crow = c.row(i).data();
-      for (std::size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+  util::parallel_for_ranges(m, [&](std::size_t r0, std::size_t r1) {
+    for (std::size_t p = 0; p < k; ++p) {
+      const float* arow = a.row(p).data();
+      const float* brow = b.row(p).data();
+      for (std::size_t i = r0; i < r1; ++i) {
+        const float av = arow[i];
+        if (av == 0.0f) continue;
+        float* crow = c.row(i).data();
+        for (std::size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+      }
     }
-  }
+  });
   return c;
 }
 
@@ -63,16 +117,20 @@ Tensor matmul_nt(const Tensor& a, const Tensor& b) {
   require(a.cols() == b.cols(), "matmul_nt: inner dim mismatch");
   const std::size_t m = a.rows(), k = a.cols(), n = b.rows();
   Tensor c = Tensor::zeros(m, n);
-  for (std::size_t i = 0; i < m; ++i) {
-    const float* arow = a.row(i).data();
-    float* crow = c.row(i).data();
-    for (std::size_t j = 0; j < n; ++j) {
-      const float* brow = b.row(j).data();
-      double s = 0.0;
-      for (std::size_t p = 0; p < k; ++p) s += static_cast<double>(arow[p]) * brow[p];
-      crow[j] = static_cast<float>(s);
+  util::parallel_for_ranges(m, [&](std::size_t r0, std::size_t r1) {
+    for (std::size_t i = r0; i < r1; ++i) {
+      const float* arow = a.row(i).data();
+      float* crow = c.row(i).data();
+      for (std::size_t j = 0; j < n; ++j) {
+        const float* brow = b.row(j).data();
+        double s = 0.0;
+        for (std::size_t p = 0; p < k; ++p) {
+          s += static_cast<double>(arow[p]) * brow[p];
+        }
+        crow[j] = static_cast<float>(s);
+      }
     }
-  }
+  });
   return c;
 }
 
@@ -179,6 +237,7 @@ Tensor row_mean(const Tensor& a) {
 namespace {
 
 void softmax_row(std::span<const float> in, std::span<float> out) {
+  if (in.empty()) return;  // *max_element on an empty span is UB
   const float mx = *std::max_element(in.begin(), in.end());
   double sum = 0.0;
   for (std::size_t j = 0; j < in.size(); ++j) {
@@ -199,8 +258,19 @@ Tensor softmax(const Tensor& logits) {
     return out;
   }
   Tensor out = Tensor::zeros(logits.rows(), logits.cols());
-  for (std::size_t i = 0; i < logits.rows(); ++i) {
-    softmax_row(logits.row(i), out.row(i));
+  // Rows are independent; batches below the threshold stay serial so
+  // chunk dispatch never dominates tiny softmaxes. Either path produces
+  // identical bits per row.
+  constexpr std::size_t kParallelMinRows = 64;
+  auto run_rows = [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
+      softmax_row(logits.row(i), out.row(i));
+    }
+  };
+  if (logits.rows() >= kParallelMinRows) {
+    util::parallel_for_ranges(logits.rows(), run_rows);
+  } else {
+    run_rows(0, logits.rows());
   }
   return out;
 }

@@ -1,8 +1,13 @@
 // Tensor operations used by the NN substrate, the graph-embedding code
 // (retrofitting, cosine search), and the ensemble math. Matmul uses
-// cache-blocked loops; everything else is straightforward elementwise
-// code. All functions validate shapes and throw std::invalid_argument
-// on mismatch so shape bugs fail loudly rather than silently.
+// cache-blocked loops parallelized over row blocks via util::Parallel
+// (bitwise-identical results at every TAGLETS_THREADS setting);
+// everything else is straightforward elementwise code. All functions
+// validate shapes and throw std::invalid_argument on mismatch so shape
+// bugs fail loudly rather than silently. The matmul zero-skip fast path
+// additionally rejects non-finite operands in debug builds (or with
+// TAGLETS_CHECK_FINITE=1), since skipping 0 * NaN would silently drop
+// NaN/Inf propagation.
 #pragma once
 
 #include <cstddef>
@@ -12,6 +17,10 @@
 #include "tensor/tensor.hpp"
 
 namespace taglets::tensor {
+
+/// Toggle the matmul finiteness guard at runtime (defaults: on in debug
+/// builds, TAGLETS_CHECK_FINITE elsewhere). Returns the previous value.
+bool set_finite_checks(bool enabled);
 
 // ---- matrix products -------------------------------------------------
 

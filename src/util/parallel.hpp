@@ -1,0 +1,84 @@
+// Process-wide parallel execution layer. TAGLETS is embarrassingly
+// parallel at three granularities — GEMM row blocks, batch rows at
+// inference time, and whole modules during training (Section 3.2) — so
+// every hot path shares one lazily-initialized pool instead of spinning
+// up per-call pools.
+//
+// Guarantees:
+//  * Thread count comes from TAGLETS_THREADS (0/unset selects
+//    hardware_concurrency); `TAGLETS_THREADS=1` forces serial inline
+//    execution with no worker threads at all.
+//  * Nesting-safe: a caller that is itself inside a parallel region
+//    executes chunks of its own loop and helps drain the shared queue
+//    while waiting, so nested parallel_for cannot deadlock.
+//  * Exception-safe: a throwing iteration cancels unclaimed chunks, but
+//    the owner joins *all* in-flight chunks before rethrowing the first
+//    exception — no task can outlive the caller's stack frame.
+//  * Deterministic: chunk boundaries are a pure function of (n, thread
+//    count); callers that write disjoint outputs per index and keep a
+//    fixed within-chunk order get bitwise-identical results at every
+//    thread count.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace taglets::util {
+
+class Parallel {
+ public:
+  /// `threads == 0` reads TAGLETS_THREADS, falling back to
+  /// hardware_concurrency() (min 1). `threads == 1` is serial mode.
+  explicit Parallel(std::size_t threads = 0);
+  ~Parallel();
+
+  Parallel(const Parallel&) = delete;
+  Parallel& operator=(const Parallel&) = delete;
+
+  /// Configured concurrency (1 means serial inline execution).
+  std::size_t threads() const { return threads_; }
+
+  /// Run `fn(begin, end)` over a deterministic partition of [0, n).
+  /// Blocks until every chunk has finished; rethrows the first
+  /// exception only after all in-flight chunks are joined.
+  void for_ranges(std::size_t n,
+                  const std::function<void(std::size_t, std::size_t)>& fn);
+
+  /// Run `fn(i)` for every i in [0, n); chunked via for_ranges.
+  void for_each(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+  /// The process-wide pool, created on first use.
+  static Parallel& global();
+
+  /// Testing hook: swap the pool `global()` returns (nullptr restores
+  /// the default). Returns the previous override. Not thread-safe
+  /// against concurrent global() users — swap only from a quiesced
+  /// test/bench thread.
+  static Parallel* exchange_global(Parallel* pool);
+
+ private:
+  struct Loop;
+
+  void worker_loop();
+  void run_chunks(const std::shared_ptr<Loop>& loop);
+
+  std::size_t threads_ = 1;
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+};
+
+/// Convenience wrappers over Parallel::global().
+void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+void parallel_for_ranges(
+    std::size_t n, const std::function<void(std::size_t, std::size_t)>& fn);
+
+}  // namespace taglets::util

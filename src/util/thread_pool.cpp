@@ -47,7 +47,18 @@ void ThreadPool::parallel_for(std::size_t n,
   for (std::size_t i = 0; i < n; ++i) {
     futures.push_back(submit([i, &fn] { fn(i); }));
   }
-  for (auto& f : futures) f.get();
+  // Wait for every task before rethrowing: queued tasks hold references
+  // to `fn` and the caller's stack locals, so bailing out on the first
+  // failed future would let later tasks run against a dead frame.
+  std::exception_ptr first;
+  for (auto& f : futures) {
+    try {
+      f.get();
+    } catch (...) {
+      if (!first) first = std::current_exception();
+    }
+  }
+  if (first) std::rethrow_exception(first);
 }
 
 }  // namespace taglets::util

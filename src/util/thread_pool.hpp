@@ -1,8 +1,7 @@
-// Fixed-size thread pool. TAGLETS trains its modules independently
-// (Section 3.2: "Modules are independently trained"), so the controller
-// can fan module training out across cores; on a single-core host the
-// pool degenerates to serial execution with identical results because
-// every worker draws from its own pre-forked RNG.
+// Fixed-size thread pool with a futures-based submit() API. Hot paths
+// (tensor kernels, ensembling, module fan-out) run on the shared
+// util::Parallel layer instead; keep this class for ad-hoc
+// future-returning task submission.
 #pragma once
 
 #include <condition_variable>

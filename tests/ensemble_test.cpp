@@ -105,6 +105,18 @@ TEST(Ensemble, EmptyTagletsThrow) {
   EXPECT_THROW(ensemble_proba(none, inputs), std::invalid_argument);
 }
 
+TEST(Ensemble, VoteMatrixRejectsMismatchedClassCounts) {
+  // The vote matrix is sized from taglet 0; a taglet emitting a
+  // different class count used to write out of bounds.
+  std::vector<Taglet> taglets;
+  taglets.push_back(make_constant_taglet("four-classes", 3, 4, 0));
+  taglets.push_back(make_constant_taglet("three-classes", 3, 3, 1));
+  Tensor example = Tensor::from_vector({0.1f, 0.2f, 0.3f});
+  EXPECT_THROW(vote_matrix(taglets, example), std::invalid_argument);
+  EXPECT_THROW(ensemble_proba(taglets, Tensor::zeros(2, 3)),
+               std::invalid_argument);
+}
+
 // -------------------------------------------------------------- distill
 
 TEST(Distill, OneHotAndHarden) {
@@ -193,6 +205,23 @@ TEST(Servable, BatchProbaShape) {
   Tensor proba = model.predict_proba(batch);
   EXPECT_EQ(proba.rows(), 5u);
   EXPECT_EQ(proba.cols(), 4u);
+}
+
+TEST(Servable, PredictBatchMatchesPerRowPredict) {
+  // A weight matrix that makes the argmax depend on the input row.
+  util::Rng rng(21);
+  Tensor weight = Tensor::zeros(3, 4);
+  for (float& x : weight.data()) x = static_cast<float>(rng.normal());
+  Taglet taglet = make_linear_taglet("m", weight, Tensor::zeros(4));
+  ServableModel model(taglet.model(), {"a", "b", "c", "d"});
+  Tensor batch = Tensor::zeros(9, 3);
+  for (float& x : batch.data()) x = static_cast<float>(rng.normal());
+  const auto labels = model.predict_batch(batch);
+  ASSERT_EQ(labels.size(), 9u);
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    EXPECT_EQ(labels[i], model.predict(batch.row_copy(i))) << "row " << i;
+  }
+  EXPECT_TRUE(model.predict_batch(Tensor::zeros(0, 3)).empty());
 }
 
 

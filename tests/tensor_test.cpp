@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 #include <sstream>
 
 #include "tensor/ops.hpp"
@@ -246,6 +247,33 @@ TEST(Ops, SoftmaxVectorForm) {
   Tensor v = Tensor::from_vector({0.0f, 0.0f});
   Tensor p = softmax(v);
   EXPECT_NEAR(p[0], 0.5f, 1e-6);
+}
+
+TEST(Ops, SoftmaxEmptyRowsDoNotCrash) {
+  // *max_element over an empty row used to be UB; empty shapes must
+  // round-trip untouched instead.
+  Tensor zero_cols = Tensor::zeros(3, 0);
+  Tensor p = softmax(zero_cols);
+  EXPECT_EQ(p.rows(), 3u);
+  EXPECT_EQ(p.cols(), 0u);
+  Tensor empty_vec = Tensor::zeros(0);
+  EXPECT_EQ(softmax(empty_vec).size(), 0u);
+}
+
+TEST(Ops, MatmulFiniteCheckGuardsZeroSkipFastPath) {
+  const bool prev = set_finite_checks(true);
+  const float nan = std::numeric_limits<float>::quiet_NaN();
+  Tensor a = Tensor::from_matrix(2, 2, {0.0f, 1.0f, 2.0f, 3.0f});
+  Tensor bad = Tensor::from_matrix(2, 2, {nan, 0.0f, 0.0f, 0.0f});
+  EXPECT_THROW(matmul(a, bad), std::domain_error);
+  EXPECT_THROW(matmul(bad, a), std::domain_error);
+  EXPECT_THROW(matmul_tn(bad, a), std::domain_error);
+  set_finite_checks(false);
+  // With the guard off the zero-skip fast path runs (and may drop
+  // 0 * NaN, which is exactly why the guard exists).
+  Tensor c = matmul(a, bad);
+  EXPECT_EQ(c.rows(), 2u);
+  set_finite_checks(prev);
 }
 
 TEST(Ops, LogSoftmaxMatchesLogOfSoftmax) {

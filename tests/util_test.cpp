@@ -1,11 +1,21 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cmath>
+#include <cstring>
+#include <limits>
 #include <set>
 #include <sstream>
+#include <thread>
 
+#include "ensemble/ensemble.hpp"
+#include "nn/classifier.hpp"
+#include "nn/layers.hpp"
+#include "nn/sequential.hpp"
+#include "tensor/ops.hpp"
 #include "util/csv.hpp"
+#include "util/parallel.hpp"
 #include "util/env.hpp"
 #include "util/logging.hpp"
 #include "util/rng.hpp"
@@ -372,6 +382,203 @@ TEST(ThreadPool, PropagatesExceptions) {
   ThreadPool pool(2);
   auto f = pool.submit([]() -> int { throw std::runtime_error("boom"); });
   EXPECT_THROW(f.get(), std::runtime_error);
+}
+
+TEST(ThreadPool, ParallelForJoinsAllTasksBeforeRethrowing) {
+  ThreadPool pool(4);
+  std::atomic<int> entered{0};
+  std::atomic<int> exited{0};
+  // Early throwers used to make parallel_for return while later queued
+  // tasks still referenced `fn` and these counters — a use-after-scope.
+  // The fixed version runs every task to completion first.
+  EXPECT_THROW(
+      pool.parallel_for(64,
+                        [&](std::size_t i) {
+                          entered++;
+                          if (i % 8 == 0) {
+                            exited++;
+                            throw std::runtime_error("boom");
+                          }
+                          std::this_thread::sleep_for(
+                              std::chrono::microseconds(200));
+                          exited++;
+                        }),
+      std::runtime_error);
+  EXPECT_EQ(entered.load(), 64);
+  EXPECT_EQ(exited.load(), 64);
+}
+
+// ---------------------------------------------------------- parallel
+
+/// Temporarily redirect Parallel::global() at a specific pool.
+class GlobalParallelOverride {
+ public:
+  explicit GlobalParallelOverride(Parallel* pool)
+      : prev_(Parallel::exchange_global(pool)) {}
+  ~GlobalParallelOverride() { Parallel::exchange_global(prev_); }
+
+ private:
+  Parallel* prev_;
+};
+
+tensor::Tensor random_matrix(std::size_t rows, std::size_t cols,
+                             std::uint64_t seed) {
+  Rng rng(seed);
+  tensor::Tensor t = tensor::Tensor::zeros(rows, cols);
+  for (float& x : t.data()) x = static_cast<float>(rng.normal());
+  return t;
+}
+
+bool bitwise_equal(const tensor::Tensor& a, const tensor::Tensor& b) {
+  return same_shape(a, b) &&
+         std::memcmp(a.data().data(), b.data().data(),
+                     a.size() * sizeof(float)) == 0;
+}
+
+/// A taglet whose logits are a fixed random linear map (identity
+/// encoder), mirroring the ensemble_test fixture.
+modules::Taglet random_taglet(const std::string& name, std::size_t dim,
+                              std::size_t classes, std::uint64_t seed) {
+  nn::Sequential encoder;
+  encoder.add(std::make_unique<nn::Linear>(
+      nn::Linear(tensor::Tensor::identity(dim), tensor::Tensor::zeros(dim))));
+  nn::Linear head(random_matrix(dim, classes, seed),
+                  random_matrix(1, classes, seed + 17).row_copy(0));
+  return modules::Taglet(name, nn::Classifier(encoder, std::move(head)));
+}
+
+TEST(Parallel, ForEachRunsEveryIndexOnce) {
+  Parallel pool(4);
+  std::vector<std::atomic<int>> counts(257);
+  pool.for_each(257, [&](std::size_t i) { counts[i]++; });
+  for (const auto& c : counts) EXPECT_EQ(c.load(), 1);
+}
+
+TEST(Parallel, ForRangesCoversExactlyOnce) {
+  Parallel pool(3);
+  std::vector<std::atomic<int>> counts(100);
+  pool.for_ranges(100, [&](std::size_t begin, std::size_t end) {
+    ASSERT_LT(begin, end);
+    for (std::size_t i = begin; i < end; ++i) counts[i]++;
+  });
+  for (const auto& c : counts) EXPECT_EQ(c.load(), 1);
+}
+
+TEST(Parallel, SerialModeRunsInlineOnCallerThread) {
+  Parallel pool(1);
+  EXPECT_EQ(pool.threads(), 1u);
+  const auto caller = std::this_thread::get_id();
+  std::atomic<int> off_thread{0};
+  pool.for_each(16, [&](std::size_t) {
+    if (std::this_thread::get_id() != caller) off_thread++;
+  });
+  EXPECT_EQ(off_thread.load(), 0);
+}
+
+TEST(Parallel, ReadsThreadCountFromEnvironment) {
+  ::setenv("TAGLETS_THREADS", "3", 1);
+  Parallel pool;
+  EXPECT_EQ(pool.threads(), 3u);
+  ::setenv("TAGLETS_THREADS", "1", 1);
+  Parallel serial;
+  EXPECT_EQ(serial.threads(), 1u);
+  ::unsetenv("TAGLETS_THREADS");
+}
+
+TEST(Parallel, NestedParallelForCompletes) {
+  Parallel pool(4);
+  GlobalParallelOverride guard(&pool);
+  std::atomic<int> total{0};
+  // Outer and inner loops share the same pool; the owner of each loop
+  // executes chunks itself and drains the queue while waiting, so this
+  // must terminate at any thread count.
+  pool.for_each(8, [&](std::size_t) {
+    parallel_for(32, [&](std::size_t) {
+      parallel_for(4, [&](std::size_t) { total++; });
+    });
+  });
+  EXPECT_EQ(total.load(), 8 * 32 * 4);
+}
+
+TEST(Parallel, ThrowingIterationJoinsAllInFlightWork) {
+  Parallel pool(4);
+  std::atomic<int> entered{0};
+  std::atomic<int> exited{0};
+  EXPECT_THROW(pool.for_each(64,
+                             [&](std::size_t i) {
+                               entered++;
+                               if (i == 5) {
+                                 exited++;
+                                 throw std::invalid_argument("poison");
+                               }
+                               std::this_thread::sleep_for(
+                                   std::chrono::microseconds(200));
+                               exited++;
+                             }),
+               std::invalid_argument);
+  // Every claimed iteration finished before the rethrow; nothing can
+  // still be touching the counters (or the caller's stack) afterwards.
+  EXPECT_EQ(entered.load(), exited.load());
+  const int snapshot = entered.load();
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_EQ(entered.load(), snapshot);
+}
+
+TEST(Parallel, NestedThrowPropagatesWithoutDeadlock) {
+  Parallel pool(4);
+  GlobalParallelOverride guard(&pool);
+  EXPECT_THROW(pool.for_each(4,
+                             [&](std::size_t) {
+                               parallel_for(16, [&](std::size_t j) {
+                                 if (j == 3) {
+                                   throw std::runtime_error("inner");
+                                 }
+                               });
+                             }),
+               std::runtime_error);
+}
+
+TEST(Parallel, MatmulBitwiseIdenticalSerialVsParallel) {
+  const tensor::Tensor a = random_matrix(93, 57, 3);
+  const tensor::Tensor b = random_matrix(57, 41, 4);
+  Parallel serial(1);
+  Parallel four(4);
+  tensor::Tensor c_serial, c_par, tn_serial, tn_par, nt_serial, nt_par;
+  {
+    GlobalParallelOverride guard(&serial);
+    c_serial = tensor::matmul(a, b);
+    tn_serial = tensor::matmul_tn(a, random_matrix(93, 41, 5));
+    nt_serial = tensor::matmul_nt(a, random_matrix(29, 57, 6));
+  }
+  {
+    GlobalParallelOverride guard(&four);
+    c_par = tensor::matmul(a, b);
+    tn_par = tensor::matmul_tn(a, random_matrix(93, 41, 5));
+    nt_par = tensor::matmul_nt(a, random_matrix(29, 57, 6));
+  }
+  EXPECT_TRUE(bitwise_equal(c_serial, c_par));
+  EXPECT_TRUE(bitwise_equal(tn_serial, tn_par));
+  EXPECT_TRUE(bitwise_equal(nt_serial, nt_par));
+}
+
+TEST(Parallel, EnsembleProbaBitwiseIdenticalSerialVsParallel) {
+  std::vector<modules::Taglet> taglets;
+  for (std::uint64_t t = 0; t < 4; ++t) {
+    taglets.push_back(random_taglet("t" + std::to_string(t), 12, 7, 100 + t));
+  }
+  const tensor::Tensor inputs = random_matrix(128, 12, 9);
+  Parallel serial(1);
+  Parallel four(4);
+  tensor::Tensor p_serial, p_par;
+  {
+    GlobalParallelOverride guard(&serial);
+    p_serial = ensemble::ensemble_proba(taglets, inputs);
+  }
+  {
+    GlobalParallelOverride guard(&four);
+    p_par = ensemble::ensemble_proba(taglets, inputs);
+  }
+  EXPECT_TRUE(bitwise_equal(p_serial, p_par));
 }
 
 // -------------------------------------------------------------- logging

@@ -1,0 +1,189 @@
+// Serving load generator: drives the in-process dynamic-batching
+// server (src/serve/) with closed-loop clients at 1/2/4 worker threads
+// and records throughput and tail latency. The shared util::Parallel
+// pool is pinned to serial for the whole run so the worker count is the
+// *only* source of parallelism — the worker-scaling curve is then a
+// clean property of the serve layer, not of how many cores the GEMMs
+// already grabbed.
+//
+// Knobs (environment, like every other bench):
+//   TAGLETS_SERVE_REQUESTS  requests per worker setting   (default 3000)
+//   TAGLETS_SERVE_CLIENTS   closed-loop client threads    (default 16)
+//   TAGLETS_SERVE_BATCH     max micro-batch size          (default 8)
+//   TAGLETS_SERVE_REPEATS   runs per setting, best kept   (default 2)
+//
+// Emits one machine-readable JSON line per worker setting
+// ({"bench":"serve_loadgen","workers":...,"throughput_rps":...,...}) so
+// future PRs can track the serving trajectory, and exits non-zero if
+// 4 workers fail to beat 1 worker or any response is lost. The scaling
+// assertion requires >= 4 hardware threads; on smaller machines (where
+// extra workers can only time-slice one core) it is reported but not
+// enforced — the zero-lost-responses invariant always is.
+#include <array>
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "nn/sequential.hpp"
+#include "serve/server.hpp"
+#include "util/env.hpp"
+#include "util/parallel.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+using namespace taglets;
+using tensor::Tensor;
+
+/// A serving-sized MLP classifier: big enough that the forward pass —
+/// not queue bookkeeping — dominates per-request cost.
+ensemble::ServableModel make_model() {
+  util::Rng rng(23);
+  nn::Sequential encoder = nn::make_mlp({256, 512, 128}, rng);
+  std::vector<std::string> names;
+  for (std::size_t c = 0; c < 64; ++c) names.push_back("c" + std::to_string(c));
+  return ensemble::ServableModel(nn::Classifier(encoder, 128, 64, rng),
+                                 std::move(names));
+}
+
+struct RunResult {
+  double throughput_rps = 0.0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  double mean_batch = 0.0;
+  std::size_t ok = 0;
+  std::size_t responded = 0;
+};
+
+RunResult run_once(const ensemble::ServableModel& model, std::size_t workers,
+                   std::size_t requests, std::size_t clients,
+                   std::size_t max_batch,
+                   const std::vector<Tensor>& inputs) {
+  serve::ServerConfig config;
+  config.workers = workers;
+  config.queue_capacity = std::max<std::size_t>(256, 2 * clients);
+  config.batching.max_batch_size = max_batch;
+  config.batching.max_delay_ms = 0.5;  // clamped to 0 by the serial pool
+  serve::Server server(model, config);
+  server.start();
+
+  std::vector<std::size_t> ok_counts(clients, 0);
+  std::vector<std::size_t> responded_counts(clients, 0);
+  util::Timer wall;
+  std::vector<std::thread> threads;
+  for (std::size_t c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      for (std::size_t i = c; i < requests; i += clients) {
+        const serve::Response response = server.predict(inputs[i]);
+        ++responded_counts[c];
+        if (response.ok()) ++ok_counts[c];
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  const double seconds = wall.elapsed_seconds();
+  server.stop();
+
+  RunResult result;
+  for (std::size_t c = 0; c < clients; ++c) {
+    result.ok += ok_counts[c];
+    result.responded += responded_counts[c];
+  }
+  result.throughput_rps = static_cast<double>(result.ok) / seconds;
+  const auto stats = server.stats().snapshot();
+  result.p50_ms = stats.latency_p50_ms;
+  result.p99_ms = stats.latency_p99_ms;
+  result.mean_batch = stats.mean_batch_size;
+  return result;
+}
+
+std::string json_line(std::size_t workers, std::size_t requests,
+                      std::size_t clients, std::size_t max_batch,
+                      const RunResult& r) {
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(3);
+  os << "{\"bench\":\"serve_loadgen\",\"workers\":" << workers
+     << ",\"requests\":" << requests << ",\"clients\":" << clients
+     << ",\"max_batch\":" << max_batch
+     << ",\"throughput_rps\":" << r.throughput_rps
+     << ",\"p50_ms\":" << r.p50_ms << ",\"p99_ms\":" << r.p99_ms
+     << ",\"mean_batch_size\":" << r.mean_batch << ",\"ok\":" << r.ok
+     << ",\"responded\":" << r.responded << "}";
+  return os.str();
+}
+
+}  // namespace
+
+int main() {
+  const auto requests =
+      static_cast<std::size_t>(util::env_long("TAGLETS_SERVE_REQUESTS", 3000));
+  const auto clients =
+      static_cast<std::size_t>(util::env_long("TAGLETS_SERVE_CLIENTS", 16));
+  const auto max_batch =
+      static_cast<std::size_t>(util::env_long("TAGLETS_SERVE_BATCH", 8));
+  const auto repeats = static_cast<std::size_t>(
+      std::max(1L, util::env_long("TAGLETS_SERVE_REPEATS", 2)));
+
+  // Pin the shared pool to serial: worker threads are the only
+  // parallelism under test (see header comment).
+  util::Parallel serial_pool(1);
+  util::Parallel* previous = util::Parallel::exchange_global(&serial_pool);
+
+  const ensemble::ServableModel model = make_model();
+  util::Rng rng(5);
+  std::vector<Tensor> inputs;
+  inputs.reserve(requests);
+  for (std::size_t i = 0; i < requests; ++i) {
+    Tensor x = Tensor::zeros(256);
+    for (float& v : x.data()) v = static_cast<float>(rng.normal());
+    inputs.push_back(std::move(x));
+  }
+
+  std::cout << "##### serve_loadgen #####\n"
+            << "requests=" << requests << " clients=" << clients
+            << " max_batch=" << max_batch << " repeats=" << repeats << "\n";
+
+  const std::array<std::size_t, 3> worker_settings{1, 2, 4};
+  std::array<RunResult, 3> best{};
+  bool lost = false;
+  for (std::size_t w = 0; w < worker_settings.size(); ++w) {
+    for (std::size_t rep = 0; rep < repeats; ++rep) {
+      const RunResult r = run_once(model, worker_settings[w], requests,
+                                   clients, max_batch, inputs);
+      if (r.responded != requests || r.ok != requests) lost = true;
+      if (r.throughput_rps > best[w].throughput_rps) best[w] = r;
+    }
+    std::cout << "workers=" << worker_settings[w]
+              << " throughput=" << best[w].throughput_rps << " req/s p50="
+              << best[w].p50_ms << "ms p99=" << best[w].p99_ms
+              << "ms mean_batch=" << best[w].mean_batch << "\n";
+    std::cout << json_line(worker_settings[w], requests, clients, max_batch,
+                           best[w])
+              << "\n";
+  }
+
+  util::Parallel::exchange_global(previous);
+
+  if (lost) {
+    std::cerr << "FAIL: lost or non-ok responses under closed-loop load\n";
+    return 1;
+  }
+  const unsigned hardware = std::thread::hardware_concurrency();
+  if (!(best[2].throughput_rps > best[0].throughput_rps)) {
+    if (hardware >= 4) {
+      std::cerr << "FAIL: 4 workers (" << best[2].throughput_rps
+                << " req/s) not faster than 1 worker ("
+                << best[0].throughput_rps << " req/s)\n";
+      return 1;
+    }
+    std::cout << "[serve_loadgen] scaling assertion skipped: only " << hardware
+              << " hardware thread(s); 4 workers cannot exceed 1\n";
+    return 0;
+  }
+  std::cout << "[serve_loadgen] 4-worker speedup over 1 worker: "
+            << best[2].throughput_rps / best[0].throughput_rps << "x\n";
+  return 0;
+}

@@ -1,6 +1,7 @@
 #include "ensemble/servable.hpp"
 
 #include <cstdint>
+#include <cstring>
 #include <fstream>
 #include <stdexcept>
 
@@ -56,9 +57,26 @@ std::vector<std::size_t> ServableModel::predict_batch(const Tensor& inputs) {
   return labels;
 }
 
+namespace {
+
+// File format: magic, class-name table, then the classifier (whose
+// tensors carry their own magic/rank checks — see tensor/serialize.cpp).
+constexpr char kMagic[4] = {'T', 'G', 'S', '1'};
+// Sanity caps so a corrupted header is reported as such instead of
+// turning into a multi-gigabyte allocation.
+constexpr std::uint32_t kMaxClasses = 1u << 20;
+constexpr std::uint32_t kMaxNameLength = 1u << 12;
+
+[[noreturn]] void load_error(const std::string& path, const std::string& why) {
+  throw std::runtime_error("ServableModel::load: " + path + ": " + why);
+}
+
+}  // namespace
+
 void ServableModel::save(const std::string& path) const {
   std::ofstream out(path, std::ios::binary);
   if (!out) throw std::runtime_error("ServableModel::save: cannot open " + path);
+  out.write(kMagic, sizeof(kMagic));
   const std::uint32_t n = static_cast<std::uint32_t>(class_names_.size());
   out.write(reinterpret_cast<const char*>(&n), sizeof(n));
   for (const std::string& name : class_names_) {
@@ -67,24 +85,46 @@ void ServableModel::save(const std::string& path) const {
     out.write(name.data(), len);
   }
   model_.save(out);
+  if (!out) {
+    throw std::runtime_error("ServableModel::save: write failed for " + path);
+  }
 }
 
 ServableModel ServableModel::load(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
   if (!in) throw std::runtime_error("ServableModel::load: cannot open " + path);
+  char magic[4];
+  in.read(magic, sizeof(magic));
+  if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    load_error(path, "bad magic (not a servable model file)");
+  }
   std::uint32_t n = 0;
   in.read(reinterpret_cast<char*>(&n), sizeof(n));
-  if (!in) throw std::runtime_error("ServableModel::load: truncated");
+  if (!in) load_error(path, "truncated header");
+  if (n == 0 || n > kMaxClasses) load_error(path, "corrupt class count");
   std::vector<std::string> names(n);
   for (auto& name : names) {
     std::uint32_t len = 0;
     in.read(reinterpret_cast<char*>(&len), sizeof(len));
-    if (!in) throw std::runtime_error("ServableModel::load: truncated");
+    if (!in) load_error(path, "truncated class-name table");
+    if (len > kMaxNameLength) load_error(path, "corrupt class-name length");
     name.resize(len);
     in.read(name.data(), len);
+    if (!in) load_error(path, "truncated class name");
   }
   util::Rng rng(0);
-  nn::Classifier model = nn::Classifier::load(in, rng);
+  nn::Classifier model = [&] {
+    try {
+      return nn::Classifier::load(in, rng);
+    } catch (const std::exception& e) {
+      load_error(path, e.what());
+    }
+  }();
+  if (model.num_classes() != names.size()) {
+    load_error(path, "class-name count (" + std::to_string(names.size()) +
+                         ") does not match classifier output dimension (" +
+                         std::to_string(model.num_classes()) + ")");
+  }
   return ServableModel(std::move(model), std::move(names));
 }
 

@@ -3,6 +3,11 @@
 // per-call latency, and serializes to a compact binary file — in
 // contrast to serving the whole taglet ensemble, whose cost grows with
 // the number of modules.
+//
+// Concurrency: the latency recorder is thread-safe, but one model
+// instance must not run two forward passes at once (layers cache
+// activations on the instance — see nn/layers.hpp). Concurrent serving
+// uses one replica per thread; serve::Server does exactly that.
 #pragma once
 
 #include <string>
@@ -35,6 +40,7 @@ class ServableModel {
   const util::LatencyRecorder& latency() const { return latency_; }
 
   nn::Classifier& model() { return model_; }
+  const nn::Classifier& model() const { return model_; }
 
   void save(const std::string& path) const;
   static ServableModel load(const std::string& path);

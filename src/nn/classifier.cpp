@@ -29,6 +29,17 @@ Classifier& Classifier::operator=(const Classifier& other) {
   return *this;
 }
 
+std::size_t Classifier::input_dim() const {
+  // The first Linear fixes the expected width; any layers before it
+  // (activations, dropout) are width-preserving.
+  for (std::size_t i = 0; i < encoder_.layer_count(); ++i) {
+    if (const auto* linear = dynamic_cast<const Linear*>(&encoder_.layer(i))) {
+      return linear->in_features();
+    }
+  }
+  return feature_dim();
+}
+
 Tensor Classifier::features(const Tensor& inputs, bool training) {
   return encoder_.forward(inputs, training);
 }

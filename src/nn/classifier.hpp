@@ -30,6 +30,9 @@ class Classifier {
 
   std::size_t num_classes() const { return head_->out_features(); }
   std::size_t feature_dim() const { return head_->in_features(); }
+  /// Width of the example vectors the encoder expects (equals
+  /// feature_dim() when the encoder has no Linear layer).
+  std::size_t input_dim() const;
 
   /// Encoder output for a batch (no head).
   tensor::Tensor features(const tensor::Tensor& inputs, bool training = false);

@@ -1,0 +1,26 @@
+#include "serve/batching_policy.hpp"
+
+#include <stdexcept>
+
+#include "util/parallel.hpp"
+
+namespace taglets::serve {
+
+void BatchingPolicy::validate() const {
+  if (max_batch_size == 0) {
+    throw std::invalid_argument("BatchingPolicy: max_batch_size must be >= 1");
+  }
+  if (max_delay_ms < 0.0) {
+    throw std::invalid_argument("BatchingPolicy: max_delay_ms must be >= 0");
+  }
+}
+
+std::chrono::nanoseconds BatchingPolicy::effective_delay() const {
+  if (util::Parallel::global().threads() <= 1) {
+    return std::chrono::nanoseconds::zero();
+  }
+  return std::chrono::nanoseconds(
+      static_cast<std::chrono::nanoseconds::rep>(max_delay_ms * 1e6));
+}
+
+}  // namespace taglets::serve

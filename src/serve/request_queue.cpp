@@ -1,0 +1,92 @@
+#include "serve/request_queue.hpp"
+
+#include <stdexcept>
+
+namespace taglets::serve {
+
+const char* status_name(Status status) {
+  switch (status) {
+    case Status::kOk: return "ok";
+    case Status::kRejected: return "rejected";
+    case Status::kDeadlineExceeded: return "deadline_exceeded";
+    case Status::kShutdown: return "shutdown";
+    case Status::kError: return "error";
+  }
+  return "unknown";
+}
+
+RequestQueue::RequestQueue(std::size_t capacity) : capacity_(capacity) {
+  if (capacity_ == 0) {
+    throw std::invalid_argument("RequestQueue: capacity must be >= 1");
+  }
+}
+
+RequestQueue::Push RequestQueue::try_push(Request& request) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (closed_) return Push::kClosed;
+    if (items_.size() >= capacity_) return Push::kFull;
+    items_.push_back(std::move(request));
+  }
+  cv_.notify_one();
+  return Push::kOk;
+}
+
+std::vector<Request> RequestQueue::pop_batch(
+    std::size_t max_batch, std::chrono::nanoseconds max_delay) {
+  std::vector<Request> batch;
+  if (max_batch == 0) return batch;
+
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [this] { return closed_ || !items_.empty(); });
+  if (closed_) return batch;  // leftovers belong to drain()
+
+  // First request claimed; the flush clock starts now, not at enqueue
+  // time, so an idle server answers a lone request after max_delay at
+  // the latest even if nothing else ever arrives.
+  const Clock::time_point flush_at = Clock::now() + max_delay;
+  for (;;) {
+    while (!items_.empty() && batch.size() < max_batch) {
+      batch.push_back(std::move(items_.front()));
+      items_.pop_front();
+    }
+    if (batch.size() >= max_batch || closed_) break;
+    if (max_delay <= std::chrono::nanoseconds::zero()) break;
+    const bool woke = cv_.wait_until(lock, flush_at, [this] {
+      return closed_ || !items_.empty();
+    });
+    if (!woke) break;  // max_delay elapsed: flush what we have
+  }
+  return batch;
+}
+
+void RequestQueue::close() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    closed_ = true;
+  }
+  cv_.notify_all();
+}
+
+bool RequestQueue::closed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return closed_;
+}
+
+std::vector<Request> RequestQueue::drain() {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<Request> pending;
+  pending.reserve(items_.size());
+  while (!items_.empty()) {
+    pending.push_back(std::move(items_.front()));
+    items_.pop_front();
+  }
+  return pending;
+}
+
+std::size_t RequestQueue::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return items_.size();
+}
+
+}  // namespace taglets::serve

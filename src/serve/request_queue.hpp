@@ -1,0 +1,112 @@
+// Request admission path of the serving subsystem (design principle 3:
+// the distilled end model is what production traffic hits, under
+// latency SLAs). A bounded MPMC queue connects client threads to the
+// server's batching workers. Admission control is reject-on-full:
+// producers are never blocked indefinitely — a full queue is reported
+// back as load shedding, which keeps tail latency bounded instead of
+// letting the backlog grow without limit.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <future>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace taglets::serve {
+
+using Clock = std::chrono::steady_clock;
+
+/// Terminal outcome of one request.
+enum class Status {
+  kOk,                // prediction produced before shutdown
+  kRejected,          // load shed at admission: submission queue full
+  kDeadlineExceeded,  // still queued past its deadline
+  kShutdown,          // queued but unexpired when the server stopped
+  kError,             // model execution threw; see Response::error
+};
+
+/// Stable lowercase name for reports/JSON ("ok", "rejected", ...).
+const char* status_name(Status status);
+
+/// What the submitter's future resolves to. Every submitted request
+/// resolves exactly once, whatever happens to the server.
+struct Response {
+  Status status = Status::kError;
+  std::size_t label = 0;      // argmax class (valid when status == kOk)
+  std::string class_name;     // class name for `label`
+  float confidence = 0.0f;    // softmax probability of `label`
+  double queue_ms = 0.0;      // admission -> batch dispatch
+  double total_ms = 0.0;      // admission -> response
+  std::size_t batch_size = 0; // size of the micro-batch this rode in
+  std::string error;          // diagnostic for kError
+
+  bool ok() const { return status == Status::kOk; }
+};
+
+/// One queued inference request: a rank-1 feature vector plus timing
+/// metadata. The deadline is a wall-clock point after which the server
+/// no longer runs the model for this request; `Clock::time_point::max()`
+/// means no deadline.
+struct Request {
+  tensor::Tensor input;
+  Clock::time_point enqueued_at{};
+  Clock::time_point deadline = Clock::time_point::max();
+  std::promise<Response> promise;
+
+  bool expired(Clock::time_point now) const { return now >= deadline; }
+};
+
+/// Bounded multi-producer/multi-consumer submission queue.
+///
+/// Producers call try_push, which returns immediately: kOk, kFull
+/// (admission control), or kClosed (after close()). Consumers call
+/// pop_batch, which blocks until work arrives or the queue closes.
+/// After close(), pop_batch returns empty even if requests remain
+/// queued — leftover requests are the *pending* set that shutdown must
+/// fail deterministically, and drain() hands them to the owner for
+/// exactly that.
+class RequestQueue {
+ public:
+  enum class Push { kOk, kFull, kClosed };
+
+  /// `capacity` must be >= 1.
+  explicit RequestQueue(std::size_t capacity);
+
+  /// Non-blocking admission. On kFull/kClosed the request is returned
+  /// untouched in `request` so the caller still owns the promise.
+  Push try_push(Request& request);
+
+  /// Pop up to `max_batch` requests as one micro-batch. Blocks until at
+  /// least one request is queued or the queue is closed. Once the first
+  /// request of a batch is claimed, waits at most `max_delay` for more
+  /// before flushing (max_delay == 0 flushes whatever is immediately
+  /// available). Returns empty only when the queue is closed.
+  std::vector<Request> pop_batch(std::size_t max_batch,
+                                 std::chrono::nanoseconds max_delay);
+
+  /// Stop handing out work: wakes all blocked consumers, makes further
+  /// try_push return kClosed. Queued requests stay for drain().
+  void close();
+  bool closed() const;
+
+  /// Remove and return everything still queued (shutdown fail path).
+  std::vector<Request> drain();
+
+  std::size_t size() const;
+  std::size_t capacity() const { return capacity_; }
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Request> items_;
+  bool closed_ = false;
+};
+
+}  // namespace taglets::serve

@@ -1,0 +1,194 @@
+#include "serve/server.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+#include "tensor/ops.hpp"
+
+namespace taglets::serve {
+
+using tensor::Tensor;
+
+namespace {
+
+double ms_between(Clock::time_point from, Clock::time_point to) {
+  return std::chrono::duration<double, std::milli>(to - from).count();
+}
+
+Clock::time_point deadline_from(Clock::time_point now, double deadline_ms) {
+  if (deadline_ms <= 0.0) return Clock::time_point::max();
+  return now + std::chrono::nanoseconds(
+                   static_cast<std::chrono::nanoseconds::rep>(deadline_ms * 1e6));
+}
+
+}  // namespace
+
+void ServerConfig::validate() const {
+  if (workers == 0) {
+    throw std::invalid_argument("ServerConfig: workers must be >= 1");
+  }
+  if (queue_capacity == 0) {
+    throw std::invalid_argument("ServerConfig: queue_capacity must be >= 1");
+  }
+  batching.validate();
+}
+
+Server::Server(const ensemble::ServableModel& model, ServerConfig config)
+    : config_((config.validate(), std::move(config))),
+      queue_(config_.queue_capacity) {
+  replicas_.reserve(config_.workers);
+  for (std::size_t w = 0; w < config_.workers; ++w) replicas_.push_back(model);
+  input_dim_ = replicas_.front().model().input_dim();
+}
+
+Server::~Server() { stop(); }
+
+void Server::start() {
+  std::lock_guard<std::mutex> lifecycle(lifecycle_mu_);
+  if (stopped_.load(std::memory_order_acquire)) {
+    throw std::runtime_error("Server::start: server already stopped");
+  }
+  if (running_.load(std::memory_order_acquire)) return;
+  workers_.reserve(config_.workers);
+  for (std::size_t w = 0; w < config_.workers; ++w) {
+    workers_.emplace_back([this, w] { worker_loop(w); });
+  }
+  running_.store(true, std::memory_order_release);
+}
+
+void Server::stop() {
+  std::lock_guard<std::mutex> lifecycle(lifecycle_mu_);
+  if (stopped_.exchange(true, std::memory_order_acq_rel)) return;
+  running_.store(false, std::memory_order_release);
+  // Closing the queue lets each worker finish the batch it already
+  // claimed (in-flight work completes) and then exit; requests still
+  // queued are left for the deterministic fail pass below.
+  queue_.close();
+  for (auto& worker : workers_) worker.join();
+  workers_.clear();
+  const Clock::time_point now = Clock::now();
+  for (Request& request : queue_.drain()) {
+    Response response;
+    response.status = request.expired(now) ? Status::kDeadlineExceeded
+                                           : Status::kShutdown;
+    response.queue_ms = ms_between(request.enqueued_at, now);
+    response.total_ms = response.queue_ms;
+    resolve(request, std::move(response));
+  }
+}
+
+std::future<Response> Server::submit(Tensor input) {
+  return submit(std::move(input), config_.default_deadline_ms);
+}
+
+std::future<Response> Server::submit(Tensor input, double deadline_ms) {
+  if (!input.is_vector() || input.size() != input_dim_) {
+    throw std::invalid_argument(
+        "Server::submit: input must be a rank-1 tensor of length " +
+        std::to_string(input_dim_));
+  }
+  Request request;
+  request.input = std::move(input);
+  request.enqueued_at = Clock::now();
+  request.deadline = deadline_from(request.enqueued_at, deadline_ms);
+  std::future<Response> future = request.promise.get_future();
+
+  const RequestQueue::Push outcome = queue_.try_push(request);
+  if (outcome == RequestQueue::Push::kOk) {
+    stats_.record_submitted(queue_.size());
+    return future;
+  }
+  // Admission control: resolve immediately, never block the producer.
+  Response response;
+  response.status = outcome == RequestQueue::Push::kFull ? Status::kRejected
+                                                         : Status::kShutdown;
+  stats_.record_rejected(response.status);
+  request.promise.set_value(std::move(response));
+  return future;
+}
+
+Response Server::predict(Tensor input) {
+  return submit(std::move(input)).get();
+}
+
+Response Server::predict(Tensor input, double deadline_ms) {
+  return submit(std::move(input), deadline_ms).get();
+}
+
+void Server::worker_loop(std::size_t worker_index) {
+  ensemble::ServableModel& model = replicas_[worker_index];
+  const std::chrono::nanoseconds delay = config_.batching.effective_delay();
+  for (;;) {
+    std::vector<Request> batch =
+        queue_.pop_batch(config_.batching.max_batch_size, delay);
+    if (batch.empty()) return;  // queue closed
+    run_batch(model, std::move(batch));
+  }
+}
+
+void Server::run_batch(ensemble::ServableModel& model,
+                       std::vector<Request> batch) {
+  const Clock::time_point dispatch = Clock::now();
+  // Requests that sat in the queue past their deadline never touch the
+  // model; once a live request is dispatched it always completes, even
+  // if its deadline passes mid-forward (the result already exists).
+  std::vector<Request> live;
+  live.reserve(batch.size());
+  for (Request& request : batch) {
+    if (request.expired(dispatch)) {
+      Response response;
+      response.status = Status::kDeadlineExceeded;
+      response.queue_ms = ms_between(request.enqueued_at, dispatch);
+      response.total_ms = response.queue_ms;
+      resolve(request, std::move(response));
+    } else {
+      live.push_back(std::move(request));
+    }
+  }
+  if (live.empty()) return;
+
+  stats_.record_batch(live.size());
+  Tensor inputs = Tensor::zeros(live.size(), input_dim_);
+  for (std::size_t i = 0; i < live.size(); ++i) {
+    auto row = inputs.row(i);
+    const auto data = live[i].input.data();
+    std::copy(data.begin(), data.end(), row.begin());
+  }
+
+  try {
+    const Tensor proba = model.predict_proba(inputs);
+    const Clock::time_point done = Clock::now();
+    for (std::size_t i = 0; i < live.size(); ++i) {
+      const std::size_t label = tensor::argmax(proba.row(i));
+      Response response;
+      response.status = Status::kOk;
+      response.label = label;
+      response.class_name = model.class_names().at(label);
+      response.confidence = proba.at(i, label);
+      response.queue_ms = ms_between(live[i].enqueued_at, dispatch);
+      response.total_ms = ms_between(live[i].enqueued_at, done);
+      response.batch_size = live.size();
+      resolve(live[i], std::move(response));
+    }
+  } catch (const std::exception& e) {
+    const Clock::time_point done = Clock::now();
+    for (Request& request : live) {
+      Response response;
+      response.status = Status::kError;
+      response.error = e.what();
+      response.queue_ms = ms_between(request.enqueued_at, dispatch);
+      response.total_ms = ms_between(request.enqueued_at, done);
+      response.batch_size = live.size();
+      resolve(request, std::move(response));
+    }
+  }
+}
+
+void Server::resolve(Request& request, Response response) {
+  // Counters first, promise last, so a future.get() observer always
+  // sees the stats for its own request already recorded.
+  stats_.record_response(response);
+  request.promise.set_value(std::move(response));
+}
+
+}  // namespace taglets::serve

@@ -1,0 +1,134 @@
+#include "serve/server_stats.hpp"
+
+#include <sstream>
+
+namespace taglets::serve {
+
+void ServerStats::record_submitted(std::size_t queue_depth) {
+  submitted_.fetch_add(1, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (queue_depth > peak_queue_depth_) peak_queue_depth_ = queue_depth;
+}
+
+void ServerStats::record_rejected(Status reason) {
+  if (reason == Status::kShutdown) {
+    rejected_shutdown_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    rejected_full_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void ServerStats::record_batch(std::size_t batch_size) {
+  batches_.fetch_add(1, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (batch_size >= batch_size_counts_.size()) {
+    batch_size_counts_.resize(batch_size + 1, 0);
+  }
+  ++batch_size_counts_[batch_size];
+}
+
+void ServerStats::record_response(const Response& response) {
+  switch (response.status) {
+    case Status::kOk:
+      completed_.fetch_add(1, std::memory_order_relaxed);
+      total_latency_.record_ms(response.total_ms);
+      break;
+    case Status::kDeadlineExceeded:
+      deadline_missed_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case Status::kShutdown:
+      failed_shutdown_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    default:
+      failed_error_.fetch_add(1, std::memory_order_relaxed);
+      break;
+  }
+  queue_wait_.record_ms(response.queue_ms);
+}
+
+ServerStats::Snapshot ServerStats::snapshot() const {
+  Snapshot s;
+  s.submitted = submitted_.load(std::memory_order_relaxed);
+  s.completed = completed_.load(std::memory_order_relaxed);
+  s.rejected_full = rejected_full_.load(std::memory_order_relaxed);
+  s.rejected_shutdown = rejected_shutdown_.load(std::memory_order_relaxed);
+  s.deadline_missed = deadline_missed_.load(std::memory_order_relaxed);
+  s.failed_shutdown = failed_shutdown_.load(std::memory_order_relaxed);
+  s.failed_error = failed_error_.load(std::memory_order_relaxed);
+  s.batches = batches_.load(std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    s.peak_queue_depth = peak_queue_depth_;
+    s.batch_size_counts = batch_size_counts_;
+  }
+  std::uint64_t rows = 0;
+  for (std::size_t size = 0; size < s.batch_size_counts.size(); ++size) {
+    rows += s.batch_size_counts[size] * size;
+  }
+  s.mean_batch_size =
+      s.batches == 0 ? 0.0
+                     : static_cast<double>(rows) / static_cast<double>(s.batches);
+  s.queue_p50_ms = queue_wait_.percentile_ms(50);
+  s.queue_p95_ms = queue_wait_.percentile_ms(95);
+  s.queue_p99_ms = queue_wait_.percentile_ms(99);
+  s.latency_mean_ms = total_latency_.mean_ms();
+  s.latency_p50_ms = total_latency_.percentile_ms(50);
+  s.latency_p95_ms = total_latency_.percentile_ms(95);
+  s.latency_p99_ms = total_latency_.percentile_ms(99);
+  return s;
+}
+
+std::string ServerStats::report() const {
+  const Snapshot s = snapshot();
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(3);
+  os << "serve stats:\n"
+     << "  requests: submitted=" << s.submitted << " ok=" << s.completed
+     << " rejected_full=" << s.rejected_full
+     << " rejected_shutdown=" << s.rejected_shutdown
+     << " deadline_missed=" << s.deadline_missed
+     << " failed_shutdown=" << s.failed_shutdown
+     << " failed_error=" << s.failed_error << "\n"
+     << "  batches: n=" << s.batches << " mean_size=" << s.mean_batch_size
+     << " sizes=[";
+  bool first = true;
+  for (std::size_t size = 1; size < s.batch_size_counts.size(); ++size) {
+    if (s.batch_size_counts[size] == 0) continue;
+    if (!first) os << " ";
+    os << size << "x" << s.batch_size_counts[size];
+    first = false;
+  }
+  os << "]\n"
+     << "  queue: peak_depth=" << s.peak_queue_depth
+     << " wait p50=" << s.queue_p50_ms << "ms p95=" << s.queue_p95_ms
+     << "ms p99=" << s.queue_p99_ms << "ms\n"
+     << "  latency (ok): mean=" << s.latency_mean_ms
+     << "ms p50=" << s.latency_p50_ms << "ms p95=" << s.latency_p95_ms
+     << "ms p99=" << s.latency_p99_ms << "ms\n";
+  return os.str();
+}
+
+std::string ServerStats::json() const {
+  const Snapshot s = snapshot();
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(4);
+  os << "{\"submitted\":" << s.submitted << ",\"ok\":" << s.completed
+     << ",\"rejected_full\":" << s.rejected_full
+     << ",\"rejected_shutdown\":" << s.rejected_shutdown
+     << ",\"deadline_missed\":" << s.deadline_missed
+     << ",\"failed_shutdown\":" << s.failed_shutdown
+     << ",\"failed_error\":" << s.failed_error << ",\"batches\":" << s.batches
+     << ",\"mean_batch_size\":" << s.mean_batch_size
+     << ",\"peak_queue_depth\":" << s.peak_queue_depth
+     << ",\"queue_p50_ms\":" << s.queue_p50_ms
+     << ",\"queue_p99_ms\":" << s.queue_p99_ms
+     << ",\"latency_mean_ms\":" << s.latency_mean_ms
+     << ",\"latency_p50_ms\":" << s.latency_p50_ms
+     << ",\"latency_p95_ms\":" << s.latency_p95_ms
+     << ",\"latency_p99_ms\":" << s.latency_p99_ms << "}";
+  return os.str();
+}
+
+}  // namespace taglets::serve

@@ -8,11 +8,59 @@
 
 namespace taglets::util {
 
-double LatencyRecorder::mean_ms() const { return mean(samples_); }
+LatencyRecorder::LatencyRecorder(const LatencyRecorder& other)
+    : samples_(other.samples()) {}
+
+LatencyRecorder& LatencyRecorder::operator=(const LatencyRecorder& other) {
+  if (this == &other) return *this;
+  std::vector<double> copied = other.samples();
+  std::lock_guard<std::mutex> lock(mu_);
+  samples_ = std::move(copied);
+  return *this;
+}
+
+LatencyRecorder::LatencyRecorder(LatencyRecorder&& other) noexcept {
+  std::lock_guard<std::mutex> lock(other.mu_);
+  samples_ = std::move(other.samples_);
+  other.samples_.clear();
+}
+
+LatencyRecorder& LatencyRecorder::operator=(LatencyRecorder&& other) noexcept {
+  if (this == &other) return *this;
+  std::vector<double> taken;
+  {
+    std::lock_guard<std::mutex> lock(other.mu_);
+    taken = std::move(other.samples_);
+    other.samples_.clear();
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  samples_ = std::move(taken);
+  return *this;
+}
+
+void LatencyRecorder::record_ms(double ms) {
+  std::lock_guard<std::mutex> lock(mu_);
+  samples_.push_back(ms);
+}
+
+std::size_t LatencyRecorder::count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return samples_.size();
+}
+
+std::vector<double> LatencyRecorder::samples() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return samples_;
+}
+
+double LatencyRecorder::mean_ms() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return mean(samples_);
+}
 
 double LatencyRecorder::percentile_ms(double p) const {
-  if (samples_.empty()) return 0.0;
-  std::vector<double> sorted = samples_;
+  std::vector<double> sorted = samples();
+  if (sorted.empty()) return 0.0;
   std::sort(sorted.begin(), sorted.end());
   const double rank = (p / 100.0) * static_cast<double>(sorted.size() - 1);
   const std::size_t lo = static_cast<std::size_t>(std::floor(rank));
@@ -22,11 +70,17 @@ double LatencyRecorder::percentile_ms(double p) const {
 }
 
 std::string LatencyRecorder::summary() const {
+  // Take one snapshot so n/mean/percentiles describe the same instant
+  // even while other threads keep recording.
+  const std::vector<double> snapshot = samples();
+  LatencyRecorder frozen;
+  frozen.samples_ = snapshot;
   std::ostringstream os;
   os.setf(std::ios::fixed);
   os.precision(3);
-  os << "n=" << count() << " mean=" << mean_ms() << "ms p50="
-     << percentile_ms(50) << "ms p99=" << percentile_ms(99) << "ms";
+  os << "n=" << snapshot.size() << " mean=" << frozen.mean_ms() << "ms p50="
+     << frozen.percentile_ms(50) << "ms p99=" << frozen.percentile_ms(99)
+     << "ms";
   return os.str();
 }
 

@@ -4,6 +4,7 @@
 
 #include <chrono>
 #include <cstddef>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -25,15 +26,28 @@ class Timer {
 };
 
 /// Collects per-call latencies and reports simple percentiles.
+/// Thread-safe: record_ms and all readers may be called concurrently
+/// (serving paths record from multiple worker threads at once). Copies
+/// and moves snapshot the samples under the source's lock and give the
+/// destination a fresh mutex.
 class LatencyRecorder {
  public:
-  void record_ms(double ms) { samples_.push_back(ms); }
-  std::size_t count() const { return samples_.size(); }
+  LatencyRecorder() = default;
+  LatencyRecorder(const LatencyRecorder& other);
+  LatencyRecorder& operator=(const LatencyRecorder& other);
+  LatencyRecorder(LatencyRecorder&& other) noexcept;
+  LatencyRecorder& operator=(LatencyRecorder&& other) noexcept;
+
+  void record_ms(double ms);
+  std::size_t count() const;
   double mean_ms() const;
   double percentile_ms(double p) const;  // p in [0, 100]
   std::string summary() const;
+  /// Snapshot copy of all recorded samples, in record order.
+  std::vector<double> samples() const;
 
  private:
+  mutable std::mutex mu_;
   std::vector<double> samples_;
 };
 

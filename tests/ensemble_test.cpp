@@ -1,8 +1,10 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
 #include <cstdio>
 #include <filesystem>
+#include <fstream>
 
 #include "ensemble/distill.hpp"
 #include "ensemble/ensemble.hpp"
@@ -196,6 +198,115 @@ TEST(Servable, SaveLoadRoundTrip) {
   std::filesystem::remove(path);
   EXPECT_THROW(ServableModel::load("/nonexistent/path.bin"),
                std::runtime_error);
+}
+
+TEST(Servable, RoundTripPredictionsAreBitwiseIdentical) {
+  // Weights round-trip exactly, so probabilities must too — serving
+  // the reloaded artifact is indistinguishable from the trained model.
+  util::Rng rng(33);
+  Tensor weight = Tensor::zeros(5, 4);
+  for (float& x : weight.data()) x = static_cast<float>(rng.normal());
+  Taglet taglet = make_linear_taglet("m", weight, Tensor::zeros(4));
+  ServableModel model(taglet.model(), {"a", "b", "c", "d"});
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "taglets_servable_rt.bin")
+          .string();
+  model.save(path);
+  ServableModel loaded = ServableModel::load(path);
+  std::filesystem::remove(path);
+
+  Tensor batch = Tensor::zeros(7, 5);
+  for (float& x : batch.data()) x = static_cast<float>(rng.normal());
+  const Tensor before = model.predict_proba(batch);
+  const Tensor after = loaded.predict_proba(batch);
+  ASSERT_TRUE(tensor::same_shape(before, after));
+  const auto b = before.data();
+  const auto a = after.data();
+  for (std::size_t i = 0; i < b.size(); ++i) {
+    EXPECT_EQ(b[i], a[i]) << "element " << i;  // bitwise, not NEAR
+  }
+  EXPECT_EQ(loaded.predict_batch(batch), model.predict_batch(batch));
+}
+
+TEST(Servable, LoadRejectsCorruptedFiles) {
+  Taglet taglet = make_constant_taglet("m", 3, 2, 1);
+  ServableModel model(taglet.model(), {"cat", "dog"});
+  const auto dir = std::filesystem::temp_directory_path();
+  const std::string good = (dir / "taglets_servable_good.bin").string();
+  model.save(good);
+
+  // Not a servable file at all: bad magic, error names the path.
+  const std::string garbage = (dir / "taglets_servable_garbage.bin").string();
+  {
+    std::ofstream out(garbage, std::ios::binary);
+    out << "not a model";
+  }
+  try {
+    ServableModel::load(garbage);
+    FAIL() << "expected load to reject bad magic";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find(garbage), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("magic"), std::string::npos);
+  }
+
+  // Truncation anywhere in the payload is detected.
+  const auto full_size = std::filesystem::file_size(good);
+  const std::string truncated = (dir / "taglets_servable_trunc.bin").string();
+  for (std::uintmax_t keep : {full_size / 4, full_size / 2, full_size - 1}) {
+    std::filesystem::copy_file(
+        good, truncated, std::filesystem::copy_options::overwrite_existing);
+    std::filesystem::resize_file(truncated, keep);
+    EXPECT_THROW(ServableModel::load(truncated), std::runtime_error)
+        << "kept " << keep << " of " << full_size << " bytes";
+  }
+
+  // A corrupt header (absurd class count) is rejected before any
+  // allocation of that size is attempted.
+  const std::string bad_count = (dir / "taglets_servable_count.bin").string();
+  {
+    std::filesystem::copy_file(
+        good, bad_count, std::filesystem::copy_options::overwrite_existing);
+    std::fstream f(bad_count,
+                   std::ios::binary | std::ios::in | std::ios::out);
+    f.seekp(4);  // right after the magic
+    const std::uint32_t huge = 0xFFFFFFFFu;
+    f.write(reinterpret_cast<const char*>(&huge), sizeof(huge));
+  }
+  EXPECT_THROW(ServableModel::load(bad_count), std::runtime_error);
+
+  std::filesystem::remove(good);
+  std::filesystem::remove(garbage);
+  std::filesystem::remove(truncated);
+  std::filesystem::remove(bad_count);
+}
+
+TEST(Servable, LoadRejectsClassCountMismatchedWithClassifier) {
+  // Hand-craft a file whose class-name table disagrees with the
+  // classifier's output dimension (2 classes): same layout save() uses.
+  Taglet taglet = make_constant_taglet("m", 3, 2, 1);
+  const auto dir = std::filesystem::temp_directory_path();
+  const std::string path = (dir / "taglets_servable_mismatch.bin").string();
+  {
+    std::ofstream out(path, std::ios::binary);
+    out.write("TGS1", 4);
+    const std::uint32_t n = 3;
+    out.write(reinterpret_cast<const char*>(&n), sizeof(n));
+    for (const std::string name : {"a", "b", "c"}) {
+      const std::uint32_t len = static_cast<std::uint32_t>(name.size());
+      out.write(reinterpret_cast<const char*>(&len), sizeof(len));
+      out.write(name.data(), len);
+    }
+    taglet.model().save(out);
+  }
+  try {
+    ServableModel::load(path);
+    FAIL() << "expected load to reject the class-count mismatch";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find(path), std::string::npos);
+    EXPECT_NE(what.find("does not match"), std::string::npos);
+  }
+  std::filesystem::remove(path);
 }
 
 TEST(Servable, BatchProbaShape) {

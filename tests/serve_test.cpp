@@ -1,0 +1,435 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <thread>
+#include <vector>
+
+#include "nn/sequential.hpp"
+#include "serve/batching_policy.hpp"
+#include "serve/request_queue.hpp"
+#include "serve/server.hpp"
+#include "serve/server_stats.hpp"
+#include "util/parallel.hpp"
+
+namespace taglets::serve {
+namespace {
+
+using tensor::Tensor;
+
+/// dim == classes; logits are the input itself, so the expected label
+/// is the index of the largest input element.
+ensemble::ServableModel make_identity_servable(std::size_t dim) {
+  nn::Sequential encoder;
+  encoder.add(std::make_unique<nn::Linear>(Tensor::identity(dim),
+                                           Tensor::zeros(dim)));
+  std::vector<std::string> names;
+  for (std::size_t c = 0; c < dim; ++c) names.push_back("class" + std::to_string(c));
+  return ensemble::ServableModel(
+      nn::Classifier(encoder, nn::Linear(Tensor::identity(dim),
+                                         Tensor::zeros(dim))),
+      std::move(names));
+}
+
+/// Randomly-initialized MLP classifier — heavy enough that a forward
+/// pass takes measurable time, deterministic for a fixed seed.
+ensemble::ServableModel make_mlp_servable(std::size_t dim, std::size_t hidden,
+                                          std::size_t classes) {
+  util::Rng rng(17);
+  nn::Sequential encoder = nn::make_mlp({dim, hidden, hidden / 2}, rng);
+  std::vector<std::string> names;
+  for (std::size_t c = 0; c < classes; ++c) names.push_back("c" + std::to_string(c));
+  return ensemble::ServableModel(
+      nn::Classifier(encoder, hidden / 2, classes, rng), std::move(names));
+}
+
+Tensor one_hot_input(std::size_t dim, std::size_t hot) {
+  Tensor input = Tensor::zeros(dim);
+  input[hot] = 1.0f;
+  return input;
+}
+
+Request make_request(std::size_t dim) {
+  Request request;
+  request.input = Tensor::zeros(dim);
+  request.enqueued_at = Clock::now();
+  return request;
+}
+
+// --------------------------------------------------------- request queue
+
+TEST(RequestQueue, AdmissionControlRejectsWhenFull) {
+  RequestQueue queue(2);
+  Request a = make_request(3), b = make_request(3), c = make_request(3);
+  EXPECT_EQ(queue.try_push(a), RequestQueue::Push::kOk);
+  EXPECT_EQ(queue.try_push(b), RequestQueue::Push::kOk);
+  EXPECT_EQ(queue.try_push(c), RequestQueue::Push::kFull);
+  EXPECT_EQ(queue.size(), 2u);
+  // The rejected request keeps its promise: the caller can still
+  // resolve it.
+  c.promise.set_value(Response{});
+  queue.close();
+  Request d = make_request(3);
+  EXPECT_EQ(queue.try_push(d), RequestQueue::Push::kClosed);
+  d.promise.set_value(Response{});
+  auto pending = queue.drain();
+  EXPECT_EQ(pending.size(), 2u);
+  for (auto& r : pending) r.promise.set_value(Response{});
+}
+
+TEST(RequestQueue, PopBatchRespectsMaxBatch) {
+  RequestQueue queue(8);
+  for (int i = 0; i < 5; ++i) {
+    Request r = make_request(2);
+    ASSERT_EQ(queue.try_push(r), RequestQueue::Push::kOk);
+  }
+  auto first = queue.pop_batch(3, std::chrono::nanoseconds::zero());
+  EXPECT_EQ(first.size(), 3u);
+  auto second = queue.pop_batch(3, std::chrono::nanoseconds::zero());
+  EXPECT_EQ(second.size(), 2u);
+  EXPECT_EQ(queue.size(), 0u);
+  for (auto& r : first) r.promise.set_value(Response{});
+  for (auto& r : second) r.promise.set_value(Response{});
+}
+
+TEST(RequestQueue, FullBatchFlushesWithoutWaiting) {
+  RequestQueue queue(8);
+  for (int i = 0; i < 4; ++i) {
+    Request r = make_request(2);
+    ASSERT_EQ(queue.try_push(r), RequestQueue::Push::kOk);
+  }
+  // max_batch already satisfied: a long delay must not be waited out.
+  const auto start = Clock::now();
+  auto batch = queue.pop_batch(4, std::chrono::seconds(10));
+  EXPECT_EQ(batch.size(), 4u);
+  EXPECT_LT(std::chrono::duration<double>(Clock::now() - start).count(), 5.0);
+  for (auto& r : batch) r.promise.set_value(Response{});
+}
+
+TEST(RequestQueue, CloseWakesConsumersAndKeepsPendingForDrain) {
+  RequestQueue queue(4);
+  Request r = make_request(2);
+  ASSERT_EQ(queue.try_push(r), RequestQueue::Push::kOk);
+  queue.close();
+  EXPECT_TRUE(queue.closed());
+  // After close, consumers get nothing — pending work is shutdown's to
+  // fail, not a worker's to run.
+  EXPECT_TRUE(queue.pop_batch(4, std::chrono::milliseconds(1)).empty());
+  auto pending = queue.drain();
+  ASSERT_EQ(pending.size(), 1u);
+  pending[0].promise.set_value(Response{});
+}
+
+TEST(RequestQueue, BlockedConsumerWokenByPush) {
+  RequestQueue queue(4);
+  auto consumer = std::async(std::launch::async, [&] {
+    return queue.pop_batch(2, std::chrono::milliseconds(1));
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  Request r = make_request(2);
+  ASSERT_EQ(queue.try_push(r), RequestQueue::Push::kOk);
+  auto batch = consumer.get();
+  ASSERT_GE(batch.size(), 1u);
+  for (auto& item : batch) item.promise.set_value(Response{});
+}
+
+TEST(RequestQueue, ZeroCapacityThrows) {
+  EXPECT_THROW(RequestQueue(0), std::invalid_argument);
+}
+
+// ------------------------------------------------------- batching policy
+
+TEST(BatchingPolicy, ValidateRejectsDegenerateSettings) {
+  BatchingPolicy policy;
+  policy.max_batch_size = 0;
+  EXPECT_THROW(policy.validate(), std::invalid_argument);
+  policy.max_batch_size = 8;
+  policy.max_delay_ms = -1.0;
+  EXPECT_THROW(policy.validate(), std::invalid_argument);
+  policy.max_delay_ms = 0.5;
+  EXPECT_NO_THROW(policy.validate());
+}
+
+TEST(BatchingPolicy, SerialPoolClampsDelayToZero) {
+  BatchingPolicy policy;
+  policy.max_delay_ms = 5.0;
+  {
+    util::Parallel serial(1);
+    util::Parallel* prev = util::Parallel::exchange_global(&serial);
+    EXPECT_EQ(policy.effective_delay(), std::chrono::nanoseconds::zero());
+    util::Parallel::exchange_global(prev);
+  }
+  {
+    util::Parallel pooled(2);
+    util::Parallel* prev = util::Parallel::exchange_global(&pooled);
+    EXPECT_EQ(policy.effective_delay(), std::chrono::milliseconds(5));
+    util::Parallel::exchange_global(prev);
+  }
+}
+
+// ---------------------------------------------------------------- server
+
+TEST(Server, ConfigValidation) {
+  auto model = make_identity_servable(3);
+  ServerConfig bad_workers;
+  bad_workers.workers = 0;
+  EXPECT_THROW(Server(model, bad_workers), std::invalid_argument);
+  ServerConfig bad_queue;
+  bad_queue.queue_capacity = 0;
+  EXPECT_THROW(Server(model, bad_queue), std::invalid_argument);
+}
+
+TEST(Server, PredictsCorrectLabelAndName) {
+  auto model = make_identity_servable(4);
+  Server server(model);
+  server.start();
+  for (std::size_t hot = 0; hot < 4; ++hot) {
+    Response response = server.predict(one_hot_input(4, hot));
+    ASSERT_TRUE(response.ok()) << status_name(response.status);
+    EXPECT_EQ(response.label, hot);
+    EXPECT_EQ(response.class_name, "class" + std::to_string(hot));
+    EXPECT_GT(response.confidence, 0.0f);
+    EXPECT_GE(response.batch_size, 1u);
+    EXPECT_GE(response.total_ms, response.queue_ms);
+  }
+  server.stop();
+  const auto s = server.stats().snapshot();
+  EXPECT_EQ(s.submitted, 4u);
+  EXPECT_EQ(s.completed, 4u);
+  EXPECT_EQ(s.resolved(), 4u);
+}
+
+TEST(Server, SubmitRejectsWrongShape) {
+  auto model = make_identity_servable(4);
+  Server server(model);
+  EXPECT_THROW(server.submit(Tensor::zeros(3)), std::invalid_argument);
+  EXPECT_THROW(server.submit(Tensor::zeros(1, 4)), std::invalid_argument);
+}
+
+// Concurrent clients against a multi-worker server: every response must
+// match the single-threaded reference prediction for its input. Run
+// under ThreadSanitizer in CI (TAGLETS_THREADS=4).
+TEST(Server, ConcurrentClientsMatchReferencePredictions) {
+  constexpr std::size_t kDim = 16, kClients = 4, kPerClient = 40;
+  auto model = make_mlp_servable(kDim, 64, 8);
+
+  // Build all inputs and reference labels serially, before the server
+  // exists, on a private reference replica.
+  util::Rng rng(91);
+  std::vector<Tensor> inputs;
+  std::vector<std::size_t> expected;
+  ensemble::ServableModel reference = model;
+  for (std::size_t i = 0; i < kClients * kPerClient; ++i) {
+    Tensor x = Tensor::zeros(kDim);
+    for (float& v : x.data()) v = static_cast<float>(rng.normal());
+    expected.push_back(reference.predict(x));
+    inputs.push_back(std::move(x));
+  }
+
+  ServerConfig config;
+  config.workers = 2;
+  config.queue_capacity = 512;
+  config.batching.max_batch_size = 8;
+  config.batching.max_delay_ms = 0.2;
+  Server server(model, config);
+  server.start();
+
+  std::atomic<std::size_t> mismatches{0};
+  std::vector<std::thread> clients;
+  for (std::size_t c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      for (std::size_t i = 0; i < kPerClient; ++i) {
+        const std::size_t idx = c * kPerClient + i;
+        Response response = server.predict(inputs[idx]);
+        if (!response.ok() || response.label != expected[idx]) {
+          mismatches.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  server.stop();
+
+  EXPECT_EQ(mismatches.load(), 0u);
+  const auto s = server.stats().snapshot();
+  EXPECT_EQ(s.submitted, kClients * kPerClient);
+  EXPECT_EQ(s.completed, kClients * kPerClient);
+  EXPECT_EQ(s.resolved(), s.submitted);
+  EXPECT_GE(s.batches, 1u);
+  EXPECT_GE(s.mean_batch_size, 1.0);
+}
+
+TEST(Server, QueueFullShedsLoadWithoutBlocking) {
+  auto model = make_identity_servable(3);
+  ServerConfig config;
+  config.queue_capacity = 2;
+  Server server(model, config);  // not started: requests park in the queue
+  auto first = server.submit(one_hot_input(3, 0));
+  auto second = server.submit(one_hot_input(3, 1));
+  auto third = server.submit(one_hot_input(3, 2));
+  // Admission control resolved the overflow immediately.
+  ASSERT_EQ(third.wait_for(std::chrono::seconds(0)), std::future_status::ready);
+  EXPECT_EQ(third.get().status, Status::kRejected);
+  server.start();  // parked requests now complete
+  EXPECT_EQ(first.get().label, 0u);
+  EXPECT_EQ(second.get().label, 1u);
+  server.stop();
+  const auto s = server.stats().snapshot();
+  EXPECT_EQ(s.submitted, 2u);
+  EXPECT_EQ(s.rejected_full, 1u);
+}
+
+TEST(Server, ExpiredRequestNeverRunsTheModel) {
+  auto model = make_identity_servable(3);
+  Server server(model);  // not started, so the deadline passes while queued
+  auto future = server.submit(one_hot_input(3, 1), /*deadline_ms=*/1e-6);
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  server.start();
+  Response response = future.get();
+  EXPECT_EQ(response.status, Status::kDeadlineExceeded);
+  server.stop();
+  const auto s = server.stats().snapshot();
+  EXPECT_EQ(s.deadline_missed, 1u);
+  EXPECT_EQ(s.completed, 0u);
+  EXPECT_EQ(s.batches, 0u);  // nothing was dispatched to the model
+}
+
+TEST(Server, StopFailsPendingDeterministically) {
+  auto model = make_identity_servable(3);
+  ServerConfig config;
+  config.queue_capacity = 32;
+  Server server(model, config);  // never started: everything stays pending
+  std::vector<std::future<Response>> no_deadline, expired;
+  for (int i = 0; i < 5; ++i) {
+    no_deadline.push_back(server.submit(one_hot_input(3, 0)));
+    expired.push_back(server.submit(one_hot_input(3, 1), 1e-6));
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  server.stop();
+  for (auto& f : no_deadline) EXPECT_EQ(f.get().status, Status::kShutdown);
+  for (auto& f : expired) {
+    EXPECT_EQ(f.get().status, Status::kDeadlineExceeded);
+  }
+  // Submissions after stop resolve immediately with kShutdown.
+  auto late = server.submit(one_hot_input(3, 2));
+  ASSERT_EQ(late.wait_for(std::chrono::seconds(0)), std::future_status::ready);
+  EXPECT_EQ(late.get().status, Status::kShutdown);
+  const auto s = server.stats().snapshot();
+  EXPECT_EQ(s.submitted, 10u);
+  EXPECT_EQ(s.resolved(), 10u);
+  EXPECT_EQ(s.failed_shutdown, 5u);
+  EXPECT_EQ(s.deadline_missed, 5u);
+  EXPECT_EQ(s.rejected_shutdown, 1u);
+  EXPECT_THROW(server.start(), std::runtime_error);
+}
+
+// The acceptance-criterion test: shutdown issued mid-load completes
+// every in-flight request, fails every queued one, and loses or
+// duplicates nothing — each future resolves exactly once and the
+// server-side counters account for every admitted request.
+TEST(Server, ShutdownMidLoadDrainsInFlightAndFailsPending) {
+  constexpr std::size_t kRequests = 100;
+  auto model = make_mlp_servable(32, 128, 8);
+  ServerConfig config;
+  config.workers = 2;
+  config.queue_capacity = kRequests;
+  config.batching.max_batch_size = 1;  // stretch the run across batches
+  Server server(model, config);
+  server.start();
+
+  util::Rng rng(7);
+  std::vector<std::future<Response>> futures;
+  for (std::size_t i = 0; i < kRequests; ++i) {
+    Tensor x = Tensor::zeros(32);
+    for (float& v : x.data()) v = static_cast<float>(rng.normal());
+    futures.push_back(server.submit(std::move(x)));
+  }
+  futures.front().wait();  // the workers are definitely mid-load now
+  server.stop();
+
+  std::size_t ok = 0, shutdown = 0, other = 0;
+  for (auto& f : futures) {
+    ASSERT_EQ(f.wait_for(std::chrono::seconds(0)), std::future_status::ready);
+    switch (f.get().status) {
+      case Status::kOk: ++ok; break;
+      case Status::kShutdown: ++shutdown; break;
+      default: ++other; break;
+    }
+  }
+  EXPECT_EQ(other, 0u);
+  EXPECT_GE(ok, 1u);                        // in-flight work completed
+  EXPECT_EQ(ok + shutdown, kRequests);      // nothing lost or duplicated
+  EXPECT_EQ(server.queue_depth(), 0u);
+  const auto s = server.stats().snapshot();
+  EXPECT_EQ(s.submitted, kRequests);
+  EXPECT_EQ(s.completed, ok);
+  EXPECT_EQ(s.failed_shutdown, shutdown);
+  EXPECT_EQ(s.resolved(), kRequests);
+  // stop() is idempotent.
+  server.stop();
+}
+
+// ----------------------------------------------------------------- stats
+
+TEST(ServerStats, ReportAndJsonCarryTheCounters) {
+  ServerStats stats;
+  stats.record_submitted(3);
+  stats.record_submitted(7);
+  stats.record_batch(2);
+  Response ok;
+  ok.status = Status::kOk;
+  ok.queue_ms = 1.0;
+  ok.total_ms = 2.0;
+  stats.record_response(ok);
+  Response missed;
+  missed.status = Status::kDeadlineExceeded;
+  stats.record_response(missed);
+  stats.record_rejected(Status::kRejected);
+
+  const auto s = stats.snapshot();
+  EXPECT_EQ(s.submitted, 2u);
+  EXPECT_EQ(s.completed, 1u);
+  EXPECT_EQ(s.deadline_missed, 1u);
+  EXPECT_EQ(s.rejected_full, 1u);
+  EXPECT_EQ(s.peak_queue_depth, 7u);
+  EXPECT_EQ(s.batches, 1u);
+  EXPECT_DOUBLE_EQ(s.mean_batch_size, 2.0);
+  EXPECT_EQ(s.resolved(), 2u);
+
+  const std::string report = stats.report();
+  EXPECT_NE(report.find("submitted=2"), std::string::npos);
+  EXPECT_NE(report.find("deadline_missed=1"), std::string::npos);
+  const std::string json = stats.json();
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+  EXPECT_NE(json.find("\"submitted\":2"), std::string::npos);
+  EXPECT_NE(json.find("\"latency_p99_ms\":"), std::string::npos);
+}
+
+TEST(ServerStats, ConcurrentRecordingIsSafe) {
+  ServerStats stats;
+  constexpr int kThreads = 4, kPer = 500;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&stats, t] {
+      for (int i = 0; i < kPer; ++i) {
+        stats.record_submitted(static_cast<std::size_t>(i % 11));
+        stats.record_batch(static_cast<std::size_t>(1 + (i + t) % 4));
+        Response r;
+        r.status = Status::kOk;
+        r.total_ms = 0.5 * i;
+        stats.record_response(r);
+        if (i % 100 == 0) (void)stats.snapshot();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  const auto s = stats.snapshot();
+  EXPECT_EQ(s.submitted, static_cast<std::uint64_t>(kThreads * kPer));
+  EXPECT_EQ(s.completed, static_cast<std::uint64_t>(kThreads * kPer));
+  EXPECT_EQ(s.batches, static_cast<std::uint64_t>(kThreads * kPer));
+}
+
+}  // namespace
+}  // namespace taglets::serve

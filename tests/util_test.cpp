@@ -363,6 +363,34 @@ TEST(LatencyRecorder, PercentilesAndSummary) {
   EXPECT_NE(recorder.summary().find("p99"), std::string::npos);
 }
 
+// Regression test for the record_ms data race: serving paths record
+// from several worker threads while readers poll percentiles (run under
+// ThreadSanitizer in CI). record_ms used to do an unguarded push_back.
+TEST(LatencyRecorder, ConcurrentRecordAndReadIsThreadSafe) {
+  LatencyRecorder recorder;
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 1000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&recorder, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        recorder.record_ms(static_cast<double>((i + t) % 17));
+        if (i % 100 == 0) {
+          (void)recorder.percentile_ms(99);
+          (void)recorder.summary();
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(recorder.count(),
+            static_cast<std::size_t>(kThreads) * kPerThread);
+  // Copies snapshot the samples and stay independent afterwards.
+  LatencyRecorder copy = recorder;
+  recorder.record_ms(1.0);
+  EXPECT_EQ(copy.count(), static_cast<std::size_t>(kThreads) * kPerThread);
+}
+
 // ---------------------------------------------------------- threadpool
 
 TEST(ThreadPool, ParallelForRunsEveryIndexOnce) {

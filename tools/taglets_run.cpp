@@ -3,6 +3,8 @@
 //   taglets_run --dataset grocery --shots 1 --backbone rn50
 //   taglets_run --dataset oh-product --shots 5 --prune 1 --report
 //   taglets_run --dataset fmd --shots 5 --save model.bin --modules transfer,fixmatch
+//   taglets_run --dataset fmd --shots 5 --serve --serve-workers 4
+//   taglets_run --load model.bin --serve --serve-rate 2000
 //
 // Flags:
 //   --dataset  fmd | oh-product | oh-clipart | grocery   (default fmd)
@@ -16,15 +18,34 @@
 //   --save     write the servable end model to this path
 //   --report   print the per-class confusion report
 //   --compare  also run the fine-tuning baseline
+//
+// Serving load-test mode (--serve): runs the in-process dynamic-batching
+// server (src/serve/) against the end model — either the one just
+// trained, or one restored with --load PATH (which skips training).
+//   --serve-requests     total requests                    (default 2000)
+//   --serve-clients      client threads                    (default 4)
+//   --serve-rate         open-loop aggregate arrival rate in req/s;
+//                        0 = closed loop (submit, wait, repeat)
+//   --serve-workers      server worker threads             (default 2)
+//   --serve-batch        max micro-batch size              (default 16)
+//   --serve-delay-ms     max batching delay                (default 1.0)
+//   --serve-queue        submission queue capacity         (default 256)
+//   --serve-deadline-ms  per-request deadline, 0 = none    (default 0)
+//   --serve-json         also print the stats JSON blob
+#include <array>
+#include <future>
 #include <iostream>
+#include <thread>
 
 #include "baselines/finetune.hpp"
 #include "eval/lab.hpp"
 #include "nn/metrics.hpp"
 #include "nn/trainer.hpp"
+#include "serve/server.hpp"
 #include "taglets/controller.hpp"
 #include "util/args.hpp"
 #include "util/string_util.hpp"
+#include "util/timer.hpp"
 
 using namespace taglets;
 
@@ -39,11 +60,144 @@ const synth::TaskSpec& spec_for(const std::string& name) {
       "unknown --dataset (use fmd | oh-product | oh-clipart | grocery)");
 }
 
+/// Request inputs for the load test: test-set rows when the model was
+/// just trained on a task, otherwise random vectors of the right width.
+std::vector<tensor::Tensor> serve_inputs(const ensemble::ServableModel& model,
+                                         const tensor::Tensor* test_inputs,
+                                         std::size_t count) {
+  std::vector<tensor::Tensor> inputs;
+  inputs.reserve(count);
+  if (test_inputs != nullptr && test_inputs->rows() > 0) {
+    for (std::size_t i = 0; i < count; ++i) {
+      inputs.push_back(test_inputs->row_copy(i % test_inputs->rows()));
+    }
+    return inputs;
+  }
+  util::Rng rng(29);
+  const std::size_t dim = model.model().input_dim();
+  for (std::size_t i = 0; i < count; ++i) {
+    tensor::Tensor x = tensor::Tensor::zeros(dim);
+    for (float& v : x.data()) v = static_cast<float>(rng.normal());
+    inputs.push_back(std::move(x));
+  }
+  return inputs;
+}
+
+/// Closed-loop clients (submit, wait, repeat) or — when rate > 0 — an
+/// open-loop arrival process that fires at fixed intervals regardless
+/// of completions, which is what exposes queueing and load shedding.
+void run_serve_load_test(ensemble::ServableModel& model,
+                         const tensor::Tensor* test_inputs,
+                         const util::ArgParser& args) {
+  const std::size_t requests =
+      static_cast<std::size_t>(args.get_long("serve-requests", 2000));
+  const std::size_t clients =
+      std::max<std::size_t>(1, static_cast<std::size_t>(
+                                   args.get_long("serve-clients", 4)));
+  const double rate = args.get_double("serve-rate", 0.0);
+
+  serve::ServerConfig config;
+  config.workers =
+      std::max<std::size_t>(1, static_cast<std::size_t>(
+                                   args.get_long("serve-workers", 2)));
+  config.queue_capacity =
+      static_cast<std::size_t>(args.get_long("serve-queue", 256));
+  config.batching.max_batch_size =
+      static_cast<std::size_t>(args.get_long("serve-batch", 16));
+  config.batching.max_delay_ms = args.get_double("serve-delay-ms", 1.0);
+  config.default_deadline_ms = args.get_double("serve-deadline-ms", 0.0);
+
+  const auto inputs = serve_inputs(model, test_inputs, requests);
+  std::cout << "[serve] " << requests << " requests, " << clients
+            << (rate > 0.0 ? " open-loop clients @ " + std::to_string(rate) +
+                                 " req/s aggregate"
+                           : " closed-loop clients")
+            << ", " << config.workers << " workers, batch<="
+            << config.batching.max_batch_size << " delay<="
+            << config.batching.max_delay_ms << "ms queue="
+            << config.queue_capacity << "\n";
+
+  serve::Server server(model, config);
+  server.start();
+  util::Timer wall;
+  std::vector<std::thread> threads;
+  std::vector<std::array<std::size_t, 5>> outcome_counts(
+      clients, std::array<std::size_t, 5>{});
+  for (std::size_t c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      auto& counts = outcome_counts[c];
+      auto count = [&counts](const serve::Response& r) {
+        ++counts[static_cast<std::size_t>(r.status)];
+      };
+      if (rate > 0.0) {
+        // Open loop: this client fires every clients/rate seconds.
+        const auto interval = std::chrono::nanoseconds(
+            static_cast<std::chrono::nanoseconds::rep>(
+                1e9 * static_cast<double>(clients) / rate));
+        auto next = serve::Clock::now();
+        std::vector<std::future<serve::Response>> pending;
+        for (std::size_t i = c; i < requests; i += clients) {
+          std::this_thread::sleep_until(next);
+          next += interval;
+          pending.push_back(server.submit(inputs[i]));
+        }
+        for (auto& f : pending) count(f.get());
+      } else {
+        for (std::size_t i = c; i < requests; i += clients) {
+          count(server.predict(inputs[i]));
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  const double seconds = wall.elapsed_seconds();
+  server.stop();
+
+  std::array<std::size_t, 5> totals{};
+  for (const auto& counts : outcome_counts) {
+    for (std::size_t s = 0; s < totals.size(); ++s) totals[s] += counts[s];
+  }
+  std::size_t responded = 0;
+  for (std::size_t s = 0; s < totals.size(); ++s) responded += totals[s];
+  const std::size_t ok = totals[static_cast<std::size_t>(serve::Status::kOk)];
+
+  std::cout << server.stats().report();
+  std::cout << "[serve] wall=" << seconds << "s throughput="
+            << static_cast<double>(ok) / seconds << " ok req/s\n"
+            << "[serve] client-side: responses=" << responded << "/" << requests
+            << " ok=" << ok << " rejected="
+            << totals[static_cast<std::size_t>(serve::Status::kRejected)]
+            << " deadline="
+            << totals[static_cast<std::size_t>(serve::Status::kDeadlineExceeded)]
+            << " shutdown="
+            << totals[static_cast<std::size_t>(serve::Status::kShutdown)]
+            << " error="
+            << totals[static_cast<std::size_t>(serve::Status::kError)] << "\n";
+  if (responded != requests) {
+    throw std::runtime_error("serve load test lost responses");
+  }
+  if (args.get_flag("serve-json")) {
+    std::cout << server.stats().json() << "\n";
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   try {
     util::ArgParser args(argc, argv);
+
+    if (args.has("load")) {
+      // Serving-only path: restore a saved end model and skip training.
+      ensemble::ServableModel model =
+          ensemble::ServableModel::load(args.get("load", ""));
+      std::cout << "loaded servable model (" << model.num_classes()
+                << " classes, " << model.parameter_count() << " parameters)\n";
+      if (args.get_flag("serve")) {
+        run_serve_load_test(model, nullptr, args);
+      }
+      return 0;
+    }
 
     const auto& spec = spec_for(args.get("dataset", "fmd"));
     const std::size_t shots =
@@ -114,6 +268,10 @@ int main(int argc, char** argv) {
       result.end_model.save(path);
       std::cout << "saved servable model to " << path << " ("
                 << result.end_model.parameter_count() << " parameters)\n";
+    }
+
+    if (args.get_flag("serve")) {
+      run_serve_load_test(result.end_model, &task.test_inputs, args);
     }
     return 0;
   } catch (const std::exception& e) {

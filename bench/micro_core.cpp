@@ -15,10 +15,12 @@
 #include "nn/sequential.hpp"
 #include "scads/scads.hpp"
 #include "scads/selection.hpp"
+#include "obs/trace.hpp"
 #include "synth/split.hpp"
 #include "synth/tasks.hpp"
 #include "tensor/ops.hpp"
 #include "util/parallel.hpp"
+#include "util/timer.hpp"
 
 namespace {
 
@@ -232,6 +234,37 @@ void BM_ServeFullEnsemble(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ServeFullEnsemble);
+
+// -------------------------------------------------------- observability
+
+/// Guard for the LatencyRecorder percentile fix: a stats snapshot reads
+/// several percentiles, which used to re-sort all samples per call.
+/// With the sorted cache this loop is O(1) per read after the first.
+void BM_LatencyRecorderPercentiles(benchmark::State& state) {
+  util::LatencyRecorder recorder;
+  util::Rng rng(17);
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  for (std::size_t i = 0; i < n; ++i) {
+    recorder.record_ms(rng.uniform() * 50.0);
+  }
+  const double ps[] = {50, 95, 99};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(recorder.percentiles_ms(ps));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 3);
+}
+BENCHMARK(BM_LatencyRecorderPercentiles)->Arg(1000)->Arg(100000);
+
+/// Cost of a TAGLETS_TRACE_SCOPE when tracing is off: the acceptance
+/// bar for instrumenting hot paths is that this stays at ~one branch.
+void BM_TraceScopeDisabled(benchmark::State& state) {
+  obs::set_trace_enabled(false);
+  for (auto _ : state) {
+    TAGLETS_TRACE_SCOPE("bench.noop");
+    benchmark::ClobberMemory();
+  }
+}
+BENCHMARK(BM_TraceScopeDisabled);
 
 }  // namespace
 

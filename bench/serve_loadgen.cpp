@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "nn/sequential.hpp"
+#include "obs/metrics.hpp"
 #include "serve/server.hpp"
 #include "util/env.hpp"
 #include "util/parallel.hpp"
@@ -166,6 +167,11 @@ int main() {
   }
 
   util::Parallel::exchange_global(previous);
+
+  // Registry snapshot (cumulative over the whole sweep) alongside the
+  // per-setting JSON lines: one metrics surface for serve + pipeline.
+  std::cout << "{\"bench\":\"serve_loadgen\",\"metrics\":"
+            << obs::MetricsRegistry::global().to_json() << "}\n";
 
   if (lost) {
     std::cerr << "FAIL: lost or non-ok responses under closed-loop load\n";

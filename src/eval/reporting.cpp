@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "eval/results_log.hpp"
+#include "obs/metrics.hpp"
 #include "util/env.hpp"
 #include "util/stats.hpp"
 #include "util/string_util.hpp"
@@ -113,6 +114,14 @@ std::string render_accuracy_table(Harness& harness,
   if (!csv_path.empty()) {
     results.write_csv(csv_path);
     out << "(cells appended to " << csv_path << ")\n";
+  }
+  // Optional metrics snapshot (pipeline counters accumulated over every
+  // cell the harness ran), same surface taglets_run --metrics-out uses.
+  const std::string metrics_path =
+      util::env_string("TAGLETS_METRICS_OUT", "");
+  if (!metrics_path.empty()) {
+    obs::MetricsRegistry::global().write_json(metrics_path);
+    out << "(metrics snapshot written to " << metrics_path << ")\n";
   }
   return out.str();
 }

@@ -3,6 +3,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "tensor/ops.hpp"
 
 namespace taglets::nn {
@@ -68,9 +70,16 @@ FitReport run_fit(
   }
   const std::size_t total_steps = steps_per_epoch * epochs;
 
+  TAGLETS_TRACE_SCOPE("nn.fit", {{"epochs", std::to_string(epochs)},
+                                 {"n", std::to_string(n)},
+                                 {"steps", std::to_string(total_steps)}});
+  auto& registry = obs::MetricsRegistry::global();
+  obs::Gauge& loss_gauge = registry.gauge("nn.last_epoch_loss");
+
   FitReport report;
   std::size_t step = 0;
   for (std::size_t epoch = 0; epoch < epochs; ++epoch) {
+    TAGLETS_TRACE_SCOPE("nn.epoch", {{"epoch", std::to_string(epoch)}});
     double epoch_loss = 0.0;
     std::size_t batches_seen = 0;
     for (const auto& batch : make_batches(n, config.batch_size, rng)) {
@@ -90,8 +99,11 @@ FitReport run_fit(
       ++step;
     }
     report.epoch_loss.push_back(epoch_loss / static_cast<double>(batches_seen));
+    loss_gauge.set(report.epoch_loss.back());
   }
   report.steps = step;
+  registry.counter("nn.epochs_total").add(epochs);
+  registry.counter("nn.steps_total").add(step);
   model.set_encoder_frozen(false);
   return report;
 }
@@ -131,7 +143,9 @@ FitReport fit_soft(Classifier& model, const Tensor& inputs,
 double evaluate_accuracy(Classifier& model, const Tensor& inputs,
                          std::span<const std::size_t> labels) {
   Tensor logits = model.logits(inputs, /*training=*/false);
-  return accuracy(logits, labels);
+  const double acc = accuracy(logits, labels);
+  obs::MetricsRegistry::global().gauge("nn.last_eval_accuracy").set(acc);
+  return acc;
 }
 
 }  // namespace taglets::nn

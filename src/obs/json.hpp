@@ -1,0 +1,48 @@
+// Tiny JSON emission helpers shared by the observability exporters
+// (metrics snapshots, trace files, structured log lines). Only what the
+// writers need: string escaping and locale-independent number
+// formatting — this is not a JSON library.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+namespace taglets::obs {
+
+/// Escape `s` for inclusion inside a double-quoted JSON string.
+inline std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// Format a double as a JSON number. JSON has no NaN/Inf, so those
+/// degrade to 0 rather than corrupting the document.
+inline std::string json_number(double v) {
+  if (!std::isfinite(v)) return "0";
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+}  // namespace taglets::obs

@@ -1,0 +1,214 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <map>
+#include <mutex>
+#include <sstream>
+#include <stdexcept>
+
+#include "obs/json.hpp"
+
+namespace taglets::obs {
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)), counts_(bounds_.size() + 1) {
+  if (!std::is_sorted(bounds_.begin(), bounds_.end())) {
+    throw std::invalid_argument("Histogram: bucket bounds must be ascending");
+  }
+}
+
+void Histogram::observe(double v) {
+  // First bucket whose upper bound admits v; the +inf overflow bucket
+  // is counts_.back().
+  const std::size_t bucket = static_cast<std::size_t>(
+      std::lower_bound(bounds_.begin(), bounds_.end(), v) - bounds_.begin());
+  counts_[bucket].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  double sum = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(sum, sum + v,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+Histogram::Snapshot Histogram::snapshot() const {
+  Snapshot s;
+  s.bounds = bounds_;
+  s.counts.reserve(counts_.size());
+  for (const auto& c : counts_) {
+    s.counts.push_back(c.load(std::memory_order_relaxed));
+  }
+  s.count = count_.load(std::memory_order_relaxed);
+  s.sum = sum_.load(std::memory_order_relaxed);
+  return s;
+}
+
+std::vector<double> default_latency_buckets_ms() {
+  return {0.05, 0.1, 0.25, 0.5, 1.0,  2.5,   5.0,
+          10.0, 25.0, 50.0, 100.0, 250.0, 500.0, 2500.0};
+}
+
+struct MetricsRegistry::State {
+  mutable std::mutex mu;
+  // std::map keeps snapshots sorted by name; unique_ptr keeps returned
+  // references stable across rehash-free inserts.
+  std::map<std::string, std::unique_ptr<Counter>> counters;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms;
+
+  bool name_taken(const std::string& name) const {
+    return counters.count(name) + gauges.count(name) +
+               histograms.count(name) >
+           0;
+  }
+};
+
+MetricsRegistry::MetricsRegistry() : state_(std::make_unique<State>()) {}
+
+MetricsRegistry::~MetricsRegistry() = default;
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  State& s = state();
+  std::lock_guard<std::mutex> lock(s.mu);
+  auto it = s.counters.find(name);
+  if (it == s.counters.end()) {
+    if (s.name_taken(name)) {
+      throw std::invalid_argument("MetricsRegistry: '" + name +
+                                  "' already registered as another kind");
+    }
+    it = s.counters.emplace(name, std::unique_ptr<Counter>(new Counter()))
+             .first;
+  }
+  return *it->second;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  State& s = state();
+  std::lock_guard<std::mutex> lock(s.mu);
+  auto it = s.gauges.find(name);
+  if (it == s.gauges.end()) {
+    if (s.name_taken(name)) {
+      throw std::invalid_argument("MetricsRegistry: '" + name +
+                                  "' already registered as another kind");
+    }
+    it = s.gauges.emplace(name, std::unique_ptr<Gauge>(new Gauge())).first;
+  }
+  return *it->second;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name,
+                                      std::vector<double> bounds) {
+  State& s = state();
+  std::lock_guard<std::mutex> lock(s.mu);
+  auto it = s.histograms.find(name);
+  if (it == s.histograms.end()) {
+    if (s.name_taken(name)) {
+      throw std::invalid_argument("MetricsRegistry: '" + name +
+                                  "' already registered as another kind");
+    }
+    it = s.histograms
+             .emplace(name,
+                      std::unique_ptr<Histogram>(new Histogram(std::move(bounds))))
+             .first;
+  } else if (it->second->bounds_ != bounds) {
+    throw std::invalid_argument("MetricsRegistry: histogram '" + name +
+                                "' re-registered with different buckets");
+  }
+  return *it->second;
+}
+
+std::string MetricsRegistry::to_text() const {
+  State& s = state();
+  std::lock_guard<std::mutex> lock(s.mu);
+  std::ostringstream os;
+  for (const auto& [name, c] : s.counters) {
+    os << name << " " << c->value() << "\n";
+  }
+  for (const auto& [name, g] : s.gauges) {
+    os << name << " " << json_number(g->value()) << "\n";
+  }
+  for (const auto& [name, h] : s.histograms) {
+    const Histogram::Snapshot snap = h->snapshot();
+    os << name << " count=" << snap.count << " sum=" << json_number(snap.sum)
+       << " mean=" << json_number(snap.mean()) << "\n";
+  }
+  return os.str();
+}
+
+std::string MetricsRegistry::to_json() const {
+  State& s = state();
+  std::lock_guard<std::mutex> lock(s.mu);
+  std::ostringstream os;
+  os << "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, c] : s.counters) {
+    if (!first) os << ",";
+    os << "\"" << json_escape(name) << "\":" << c->value();
+    first = false;
+  }
+  os << "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, g] : s.gauges) {
+    if (!first) os << ",";
+    os << "\"" << json_escape(name) << "\":" << json_number(g->value());
+    first = false;
+  }
+  os << "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : s.histograms) {
+    const Histogram::Snapshot snap = h->snapshot();
+    if (!first) os << ",";
+    os << "\"" << json_escape(name) << "\":{\"count\":" << snap.count
+       << ",\"sum\":" << json_number(snap.sum)
+       << ",\"mean\":" << json_number(snap.mean()) << ",\"bounds\":[";
+    for (std::size_t i = 0; i < snap.bounds.size(); ++i) {
+      if (i > 0) os << ",";
+      os << json_number(snap.bounds[i]);
+    }
+    os << "],\"counts\":[";
+    for (std::size_t i = 0; i < snap.counts.size(); ++i) {
+      if (i > 0) os << ",";
+      os << snap.counts[i];
+    }
+    os << "]}";
+    first = false;
+  }
+  os << "}}";
+  return os.str();
+}
+
+void MetricsRegistry::write_json(const std::string& path) const {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    throw std::runtime_error("MetricsRegistry: cannot write " + path);
+  }
+  out << to_json() << "\n";
+  if (!out.good()) {
+    throw std::runtime_error("MetricsRegistry: short write to " + path);
+  }
+}
+
+void MetricsRegistry::reset_for_testing() {
+  State& s = state();
+  std::lock_guard<std::mutex> lock(s.mu);
+  for (auto& [name, c] : s.counters) {
+    c->value_.store(0, std::memory_order_relaxed);
+  }
+  for (auto& [name, g] : s.gauges) {
+    g->value_.store(0.0, std::memory_order_relaxed);
+  }
+  for (auto& [name, h] : s.histograms) {
+    for (auto& bucket : h->counts_) {
+      bucket.store(0, std::memory_order_relaxed);
+    }
+    h->count_.store(0, std::memory_order_relaxed);
+    h->sum_.store(0.0, std::memory_order_relaxed);
+  }
+}
+
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry instance;
+  return instance;
+}
+
+}  // namespace taglets::obs

@@ -1,0 +1,206 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "obs/json.hpp"
+
+namespace taglets::obs {
+
+namespace {
+
+/// Per-thread buffer cap; beyond it events are counted as dropped
+/// rather than growing without bound under sustained traffic.
+constexpr std::size_t kMaxEventsPerThread = 1u << 20;
+
+bool env_truthy(const char* name) {
+  // obs sits below util in the library stack, so it reads the
+  // environment directly instead of using util::env_flag.
+  const char* v = std::getenv(name);
+  if (v == nullptr) return false;
+  const std::string s(v);
+  return s == "1" || s == "true" || s == "yes" || s == "on";
+}
+
+std::atomic<bool>& enabled_flag() {
+  static std::atomic<bool> enabled{[] {
+    const bool on = env_truthy("TAGLETS_TRACE");
+    if (on) Tracer::global();  // anchor the epoch before any span starts
+    return on;
+  }()};
+  return enabled;
+}
+
+std::uint32_t next_thread_id() {
+  static std::atomic<std::uint32_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+thread_local std::uint32_t t_depth = 0;
+
+}  // namespace
+
+bool trace_enabled() {
+  return enabled_flag().load(std::memory_order_relaxed);
+}
+
+void set_trace_enabled(bool enabled) {
+  // Anchor the export epoch no later than the first span's start so
+  // exported timestamps are non-negative (the epoch is captured when
+  // the tracer singleton is constructed).
+  if (enabled) Tracer::global();
+  enabled_flag().store(enabled, std::memory_order_relaxed);
+}
+
+std::uint32_t current_thread_id() {
+  thread_local std::uint32_t id = next_thread_id();
+  return id;
+}
+
+struct Tracer::ThreadBuffer {
+  std::mutex mu;  // owner thread appends; snapshot/clear read/drop
+  std::uint32_t tid = 0;
+  std::vector<TraceEvent> events;
+};
+
+Tracer::Tracer() : epoch_(TraceClock::now()) {}
+
+Tracer& Tracer::global() {
+  static Tracer instance;
+  return instance;
+}
+
+Tracer::ThreadBuffer& Tracer::local_buffer() {
+  // The shared_ptr keeps a buffer exportable after its thread exits.
+  thread_local std::shared_ptr<ThreadBuffer> buffer = [this] {
+    auto fresh = std::make_shared<ThreadBuffer>();
+    fresh->tid = current_thread_id();
+    std::lock_guard<std::mutex> lock(registry_mu_);
+    buffers_.push_back(fresh);
+    return fresh;
+  }();
+  return *buffer;
+}
+
+void Tracer::record(TraceEvent event) {
+  ThreadBuffer& buffer = local_buffer();
+  event.tid = buffer.tid;
+  std::lock_guard<std::mutex> lock(buffer.mu);
+  if (buffer.events.size() >= kMaxEventsPerThread) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  buffer.events.push_back(std::move(event));
+}
+
+void Tracer::record_complete(std::string name, TraceClock::time_point start,
+                             TraceClock::time_point end, TraceAttrs attrs) {
+  TraceEvent event;
+  event.name = std::move(name);
+  event.ts_us = to_epoch_us(start);
+  event.dur_us = std::max(0.0, to_epoch_us(end) - event.ts_us);
+  event.attrs = std::move(attrs);
+  record(std::move(event));
+}
+
+double Tracer::to_epoch_us(TraceClock::time_point tp) const {
+  return std::chrono::duration<double, std::micro>(tp - epoch_).count();
+}
+
+std::vector<TraceEvent> Tracer::snapshot() const {
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+  {
+    std::lock_guard<std::mutex> lock(registry_mu_);
+    buffers = buffers_;
+  }
+  std::vector<TraceEvent> out;
+  for (const auto& buffer : buffers) {
+    std::lock_guard<std::mutex> lock(buffer->mu);
+    out.insert(out.end(), buffer->events.begin(), buffer->events.end());
+  }
+  return out;
+}
+
+void Tracer::clear() {
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+  {
+    std::lock_guard<std::mutex> lock(registry_mu_);
+    buffers = buffers_;
+  }
+  for (const auto& buffer : buffers) {
+    std::lock_guard<std::mutex> lock(buffer->mu);
+    buffer->events.clear();
+  }
+  dropped_.store(0, std::memory_order_relaxed);
+}
+
+std::uint64_t Tracer::dropped() const {
+  return dropped_.load(std::memory_order_relaxed);
+}
+
+std::string Tracer::export_json() const {
+  std::vector<TraceEvent> events = snapshot();
+  std::sort(events.begin(), events.end(),
+            [](const TraceEvent& a, const TraceEvent& b) {
+              return a.ts_us < b.ts_us;
+            });
+  std::ostringstream os;
+  os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const TraceEvent& e = events[i];
+    if (i > 0) os << ",";
+    os << "{\"name\":\"" << json_escape(e.name)
+       << "\",\"cat\":\"taglets\",\"ph\":\"X\",\"pid\":1,\"tid\":" << e.tid
+       << ",\"ts\":" << json_number(e.ts_us)
+       << ",\"dur\":" << json_number(e.dur_us) << ",\"args\":{";
+    for (std::size_t a = 0; a < e.attrs.size(); ++a) {
+      if (a > 0) os << ",";
+      os << "\"" << json_escape(e.attrs[a].first) << "\":\""
+         << json_escape(e.attrs[a].second) << "\"";
+    }
+    os << "}}";
+  }
+  os << "]}";
+  return os.str();
+}
+
+void Tracer::export_json(const std::string& path) const {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) throw std::runtime_error("Tracer: cannot write " + path);
+  out << export_json() << "\n";
+  if (!out.good()) throw std::runtime_error("Tracer: short write to " + path);
+}
+
+std::string trace_export_json() { return Tracer::global().export_json(); }
+
+void trace_export_json(const std::string& path) {
+  Tracer::global().export_json(path);
+}
+
+void TraceSpan::begin(std::string name, TraceAttrs attrs) {
+  if (active_) return;
+  active_ = true;
+  name_ = std::move(name);
+  attrs_ = std::move(attrs);
+  depth_ = t_depth++;
+  start_ = TraceClock::now();
+}
+
+void TraceSpan::finish() {
+  const TraceClock::time_point end = TraceClock::now();
+  active_ = false;
+  --t_depth;
+  Tracer& tracer = Tracer::global();
+  TraceEvent event;
+  event.name = std::move(name_);
+  event.ts_us = tracer.to_epoch_us(start_);
+  event.dur_us = std::max(0.0, tracer.to_epoch_us(end) - event.ts_us);
+  event.depth = depth_;
+  event.attrs = std::move(attrs_);
+  tracer.record(std::move(event));
+}
+
+}  // namespace taglets::obs

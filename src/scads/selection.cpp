@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "tensor/ops.hpp"
 
 namespace taglets::scads {
@@ -45,11 +47,18 @@ std::vector<graph::EmbeddingIndex::Hit> related_concepts(
   }
   // Deterministic candidate order (the hash map iteration order is not).
   std::sort(candidates.begin(), candidates.end());
+  obs::MetricsRegistry::global()
+      .counter("scads.candidates_scanned_total")
+      .add(candidates.size());
   return scads.embeddings().top_k(query.data(), candidates, n);
 }
 
 Selection select_auxiliary(const Scads& scads, const synth::FewShotTask& task,
                            const SelectionConfig& config) {
+  TAGLETS_TRACE_SCOPE(
+      "scads.select",
+      {{"classes", std::to_string(task.class_names.size())},
+       {"prune_level", std::to_string(config.prune_level)}});
   const auto excluded =
       pruned_concepts(scads, task.class_concepts, config.prune_level);
 
@@ -107,6 +116,9 @@ Selection select_auxiliary(const Scads& scads, const synth::FewShotTask& task,
     data.labels.push_back(picked[i].second);
   }
   if (!picked.empty()) data.validate();
+  auto& registry = obs::MetricsRegistry::global();
+  registry.counter("scads.concepts_selected_total").add(slots.size());
+  registry.counter("scads.examples_selected_total").add(picked.size());
   return selection;
 }
 

@@ -10,6 +10,7 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <future>
 #include <mutex>
@@ -38,6 +39,9 @@ const char* status_name(Status status);
 /// resolves exactly once, whatever happens to the server.
 struct Response {
   Status status = Status::kError;
+  /// Id assigned to the request at submission (see Request::id); lets
+  /// load-test output be joined with trace spans and logs.
+  std::uint64_t request_id = 0;
   std::size_t label = 0;      // argmax class (valid when status == kOk)
   std::string class_name;     // class name for `label`
   float confidence = 0.0f;    // softmax probability of `label`
@@ -55,6 +59,10 @@ struct Response {
 /// means no deadline.
 struct Request {
   tensor::Tensor input;
+  /// Per-server id, assigned at submission starting from 1 (0 = never
+  /// submitted). Echoed in Response::request_id and attached to the
+  /// request's "serve.request" trace span.
+  std::uint64_t id = 0;
   Clock::time_point enqueued_at{};
   Clock::time_point deadline = Clock::time_point::max();
   std::promise<Response> promise;

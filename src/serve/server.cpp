@@ -1,8 +1,10 @@
 #include "serve/server.hpp"
 
 #include <stdexcept>
+#include <string>
 #include <utility>
 
+#include "obs/trace.hpp"
 #include "tensor/ops.hpp"
 
 namespace taglets::serve {
@@ -39,6 +41,7 @@ Server::Server(const ensemble::ServableModel& model, ServerConfig config)
   replicas_.reserve(config_.workers);
   for (std::size_t w = 0; w < config_.workers; ++w) replicas_.push_back(model);
   input_dim_ = replicas_.front().model().input_dim();
+  queue_depth_gauge_ = &obs::MetricsRegistry::global().gauge("serve.queue_depth");
 }
 
 Server::~Server() { stop(); }
@@ -89,19 +92,23 @@ std::future<Response> Server::submit(Tensor input, double deadline_ms) {
   }
   Request request;
   request.input = std::move(input);
+  request.id = next_request_id_.fetch_add(1, std::memory_order_relaxed);
   request.enqueued_at = Clock::now();
   request.deadline = deadline_from(request.enqueued_at, deadline_ms);
   std::future<Response> future = request.promise.get_future();
 
   const RequestQueue::Push outcome = queue_.try_push(request);
   if (outcome == RequestQueue::Push::kOk) {
-    stats_.record_submitted(queue_.size());
+    const std::size_t depth = queue_.size();
+    stats_.record_submitted(depth);
+    queue_depth_gauge_->set(static_cast<double>(depth));
     return future;
   }
   // Admission control: resolve immediately, never block the producer.
   Response response;
   response.status = outcome == RequestQueue::Push::kFull ? Status::kRejected
                                                          : Status::kShutdown;
+  response.request_id = request.id;
   stats_.record_rejected(response.status);
   request.promise.set_value(std::move(response));
   return future;
@@ -122,12 +129,15 @@ void Server::worker_loop(std::size_t worker_index) {
     std::vector<Request> batch =
         queue_.pop_batch(config_.batching.max_batch_size, delay);
     if (batch.empty()) return;  // queue closed
+    queue_depth_gauge_->set(static_cast<double>(queue_.size()));
     run_batch(model, std::move(batch));
   }
 }
 
 void Server::run_batch(ensemble::ServableModel& model,
                        std::vector<Request> batch) {
+  TAGLETS_TRACE_SCOPE("serve.batch",
+                      {{"claimed", std::to_string(batch.size())}});
   const Clock::time_point dispatch = Clock::now();
   // Requests that sat in the queue past their deadline never touch the
   // model; once a live request is dispatched it always completes, even
@@ -156,7 +166,12 @@ void Server::run_batch(ensemble::ServableModel& model,
   }
 
   try {
-    const Tensor proba = model.predict_proba(inputs);
+    Tensor proba;
+    {
+      TAGLETS_TRACE_SCOPE("serve.forward",
+                          {{"rows", std::to_string(live.size())}});
+      proba = model.predict_proba(inputs);
+    }
     const Clock::time_point done = Clock::now();
     for (std::size_t i = 0; i < live.size(); ++i) {
       const std::size_t label = tensor::argmax(proba.row(i));
@@ -185,6 +200,15 @@ void Server::run_batch(ensemble::ServableModel& model,
 }
 
 void Server::resolve(Request& request, Response response) {
+  response.request_id = request.id;
+  // The request's whole enqueue -> batch -> forward -> resolve life as
+  // one retroactive span (it crosses threads, so it cannot be RAII).
+  if (obs::trace_enabled()) {
+    obs::Tracer::global().record_complete(
+        "serve.request", request.enqueued_at, Clock::now(),
+        {{"id", std::to_string(request.id)},
+         {"status", status_name(response.status)}});
+  }
   // Counters first, promise last, so a future.get() observer always
   // sees the stats for its own request already recorded.
   stats_.record_response(response);

@@ -24,11 +24,13 @@
 
 #include <atomic>
 #include <cstddef>
+#include <cstdint>
 #include <future>
 #include <thread>
 #include <vector>
 
 #include "ensemble/servable.hpp"
+#include "obs/metrics.hpp"
 #include "serve/batching_policy.hpp"
 #include "serve/request_queue.hpp"
 #include "serve/server_stats.hpp"
@@ -94,6 +96,10 @@ class Server {
   std::vector<ensemble::ServableModel> replicas_;  // one per worker
   RequestQueue queue_;
   ServerStats stats_;
+  /// Per-server id sequence; ids start at 1 and are echoed in
+  /// Response::request_id and the "serve.request" trace spans.
+  std::atomic<std::uint64_t> next_request_id_{1};
+  obs::Gauge* queue_depth_gauge_ = nullptr;  // serve.queue_depth
   std::vector<std::thread> workers_;
   std::atomic<bool> running_{false};
   std::atomic<bool> stopped_{false};

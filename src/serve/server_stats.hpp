@@ -5,6 +5,11 @@
 // snapshot. Exported both as a human-readable text report and as a
 // single-line JSON blob so benches and CI can track the serving
 // trajectory across PRs.
+//
+// Every recording method also updates the process-wide
+// obs::MetricsRegistry (serve.* counters and histograms), so the serve
+// path shares one metrics surface with the pipeline — a --metrics-out
+// snapshot covers both without a second export path.
 #pragma once
 
 #include <atomic>
@@ -14,6 +19,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "serve/request_queue.hpp"
 #include "util/timer.hpp"
 
@@ -21,6 +27,7 @@ namespace taglets::serve {
 
 class ServerStats {
  public:
+  ServerStats();
   /// One request admitted; `queue_depth` is the submission-queue depth
   /// observed right after the push.
   void record_submitted(std::size_t queue_depth);
@@ -79,6 +86,20 @@ class ServerStats {
 
   util::LatencyRecorder queue_wait_;    // admission -> dispatch (resolved only)
   util::LatencyRecorder total_latency_; // admission -> response, kOk only
+
+  // Cached registry handles (registry references are stable for the
+  // process lifetime, so recording is a single atomic op per metric).
+  obs::Counter* reg_submitted_ = nullptr;
+  obs::Counter* reg_completed_ = nullptr;
+  obs::Counter* reg_rejected_full_ = nullptr;
+  obs::Counter* reg_rejected_shutdown_ = nullptr;
+  obs::Counter* reg_deadline_missed_ = nullptr;
+  obs::Counter* reg_failed_shutdown_ = nullptr;
+  obs::Counter* reg_failed_error_ = nullptr;
+  obs::Counter* reg_batches_ = nullptr;
+  obs::Histogram* reg_batch_size_ = nullptr;
+  obs::Histogram* reg_latency_ms_ = nullptr;
+  obs::Histogram* reg_queue_wait_ms_ = nullptr;
 };
 
 }  // namespace taglets::serve

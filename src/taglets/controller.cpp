@@ -3,6 +3,8 @@
 #include <stdexcept>
 
 #include "ensemble/ensemble.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/logging.hpp"
 #include "util/parallel.hpp"
 #include "util/timer.hpp"
@@ -55,8 +57,12 @@ std::vector<modules::Taglet> Controller::train_taglets(
 
   std::vector<std::optional<modules::Taglet>> slots(mods.size());
   auto train_one = [&](std::size_t i) {
+    TAGLETS_TRACE_SCOPE("module.train",
+                        {{"module", mods[i]->name()},
+                         {"epoch_scale", std::to_string(config.epoch_scale)}});
     TAGLETS_LOG(kInfo) << "training module " << mods[i]->name();
     slots[i] = mods[i]->train(context);
+    obs::MetricsRegistry::global().counter("pipeline.modules_trained_total").add();
   };
   if (config.parallel_modules && mods.size() > 1) {
     // Module fan-out goes through the shared process-wide pool; its
@@ -83,32 +89,57 @@ std::vector<modules::Taglet> Controller::train_taglets(
 SystemResult Controller::run(const synth::FewShotTask& task,
                              const SystemConfig& config) {
   util::Timer timer;
+  TAGLETS_TRACE_SCOPE(
+      "pipeline.run",
+      {{"dataset", task.dataset_name},
+       {"classes", std::to_string(task.num_classes())},
+       {"modules", std::to_string(config.module_names.size())}});
+  auto& registry = obs::MetricsRegistry::global();
+  registry.counter("pipeline.runs_total").add();
 
   // (1) SCADS selection of task-related auxiliary data.
-  scads::Selection selection = select(task, config);
+  scads::Selection selection;
+  {
+    TAGLETS_TRACE_SCOPE("pipeline.scads_selection");
+    selection = select(task, config);
+  }
   TAGLETS_LOG(kInfo) << "selected " << selection.intermediate_classes()
                      << " auxiliary concepts, |R| = " << selection.data.size();
 
   // (2) Module training.
-  std::vector<modules::Taglet> taglets =
-      train_taglets(task, selection, config);
+  std::vector<modules::Taglet> taglets;
+  {
+    TAGLETS_TRACE_SCOPE("pipeline.module_training");
+    taglets = train_taglets(task, selection, config);
+  }
 
   // (3) Ensemble pseudo labels for the unlabeled pool (Eq. 6).
-  Tensor pseudo = task.unlabeled_inputs.rows() > 0
-                      ? ensemble::ensemble_proba(taglets, task.unlabeled_inputs)
-                      : Tensor::zeros(0, task.num_classes());
+  Tensor pseudo;
+  {
+    TAGLETS_TRACE_SCOPE(
+        "pipeline.ensemble_vote",
+        {{"unlabeled", std::to_string(task.unlabeled_inputs.rows())}});
+    pseudo = task.unlabeled_inputs.rows() > 0
+                 ? ensemble::ensemble_proba(taglets, task.unlabeled_inputs)
+                 : Tensor::zeros(0, task.num_classes());
+  }
 
   // (4) Distill into the end model (Eq. 7).
   util::Rng rng(util::combine_seeds({config.train_seed, 0xE4DULL}));
   const backbone::Pretrained& phi = zoo_->get(config.backbone);
-  nn::Classifier end_model = ensemble::train_end_model(
-      task, pseudo, phi.encoder, phi.feature_dim, config.end_model, rng,
-      config.epoch_scale);
+  std::optional<nn::Classifier> end_model;
+  {
+    TAGLETS_TRACE_SCOPE("pipeline.distillation");
+    end_model = ensemble::train_end_model(task, pseudo, phi.encoder,
+                                          phi.feature_dim, config.end_model,
+                                          rng, config.epoch_scale);
+  }
 
   SystemResult result{
-      ensemble::ServableModel(std::move(end_model), task.class_names),
+      ensemble::ServableModel(std::move(*end_model), task.class_names),
       std::move(taglets), std::move(selection), std::move(pseudo), 0.0};
   result.train_seconds = timer.elapsed_seconds();
+  registry.gauge("pipeline.last_train_seconds").set(result.train_seconds);
   return result;
 }
 

@@ -1,10 +1,14 @@
 #include "util/logging.hpp"
 
 #include <atomic>
+#include <chrono>
 #include <cstdlib>
 #include <iostream>
+#include <memory>
 #include <mutex>
 
+#include "obs/json.hpp"
+#include "obs/trace.hpp"
 #include "util/env.hpp"
 
 namespace taglets::util {
@@ -26,6 +30,23 @@ std::atomic<LogLevel>& threshold_storage() {
   return threshold;
 }
 
+std::atomic<bool>& json_flag() {
+  static std::atomic<bool> enabled{env_flag("TAGLETS_LOG_JSON")};
+  return enabled;
+}
+
+// Sink storage: a shared_ptr swap keeps a sink alive while a
+// concurrent log statement is mid-call through it.
+std::mutex& sink_mu() {
+  static std::mutex mu;
+  return mu;
+}
+
+std::shared_ptr<LogSink>& sink_storage() {
+  static std::shared_ptr<LogSink> sink;
+  return sink;
+}
+
 const char* level_name(LogLevel level) {
   switch (level) {
     case LogLevel::kDebug: return "DEBUG";
@@ -45,12 +66,65 @@ void set_log_threshold(LogLevel level) {
   threshold_storage().store(level, std::memory_order_relaxed);
 }
 
+void set_log_sink(LogSink sink) {
+  std::lock_guard<std::mutex> lock(sink_mu());
+  sink_storage() =
+      sink ? std::make_shared<LogSink>(std::move(sink)) : nullptr;
+}
+
+bool log_json_enabled() {
+  return json_flag().load(std::memory_order_relaxed);
+}
+
+void set_log_json(bool enabled) {
+  json_flag().store(enabled, std::memory_order_relaxed);
+}
+
+std::string format_json_log(const LogRecord& record) {
+  std::ostringstream os;
+  os << "{\"ts_ms\":" << record.ts_ms << ",\"level\":\"";
+  switch (record.level) {
+    case LogLevel::kDebug: os << "debug"; break;
+    case LogLevel::kInfo: os << "info"; break;
+    case LogLevel::kWarn: os << "warn"; break;
+    case LogLevel::kError: os << "error"; break;
+    case LogLevel::kOff: os << "off"; break;
+  }
+  os << "\",\"tid\":" << record.tid << ",\"msg\":\""
+     << obs::json_escape(record.message) << "\"}";
+  return os.str();
+}
+
 namespace detail {
 
 void log_emit(LogLevel level, const std::string& message) {
+  std::shared_ptr<LogSink> sink;
+  {
+    std::lock_guard<std::mutex> lock(sink_mu());
+    sink = sink_storage();
+  }
+  const bool json = log_json_enabled();
+  LogRecord record;
+  if (sink || json) {
+    record.level = level;
+    record.ts_ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                       std::chrono::system_clock::now().time_since_epoch())
+                       .count();
+    record.tid = obs::current_thread_id();
+    record.message = message;
+  }
+  if (sink) {
+    (*sink)(record);
+    return;
+  }
   static std::mutex mu;
   std::lock_guard<std::mutex> lock(mu);
-  std::cerr << "[" << level_name(level) << "] " << message << "\n";
+  if (json) {
+    std::cerr << format_json_log(record) << "\n";
+  } else {
+    // Default human format: byte-identical to the pre-structured logger.
+    std::cerr << "[" << level_name(level) << "] " << message << "\n";
+  }
 }
 
 }  // namespace detail

@@ -2,6 +2,8 @@
 // library internals log at DEBUG so default output stays quiet.
 #pragma once
 
+#include <cstdint>
+#include <functional>
 #include <sstream>
 #include <string>
 
@@ -13,6 +15,32 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
 /// TAGLETS_LOG environment variable (debug|info|warn|error|off), default warn.
 LogLevel log_threshold();
 void set_log_threshold(LogLevel level);
+
+/// One emitted log statement with the metadata the structured sink
+/// carries. `tid` is the same small thread id the tracer assigns
+/// (obs::current_thread_id), so JSON log lines join trace spans.
+struct LogRecord {
+  LogLevel level = LogLevel::kInfo;
+  std::int64_t ts_ms = 0;  // wall clock, ms since the Unix epoch
+  std::uint32_t tid = 0;
+  std::string message;
+};
+
+/// Custom destination for log records. Installing a sink replaces the
+/// stderr writer entirely (the threshold still applies); passing
+/// nullptr restores the default. Sinks may be called concurrently.
+using LogSink = std::function<void(const LogRecord&)>;
+void set_log_sink(LogSink sink);
+
+/// When enabled (TAGLETS_LOG_JSON=1 or set_log_json(true)), the default
+/// stderr writer emits one JSON object per line — level, timestamp,
+/// thread id, message — instead of the human "[LEVEL] msg" format. The
+/// human format is untouched when disabled.
+bool log_json_enabled();
+void set_log_json(bool enabled);
+
+/// The JSON line the structured mode writes (without the newline).
+std::string format_json_log(const LogRecord& record);
 
 namespace detail {
 void log_emit(LogLevel level, const std::string& message);

@@ -4,6 +4,7 @@
 #include <atomic>
 #include <stdexcept>
 
+#include "obs/trace.hpp"
 #include "util/env.hpp"
 
 namespace taglets::util {
@@ -111,6 +112,10 @@ void Parallel::for_ranges(
     fn(0, n);
     return;
   }
+
+  // Task-batch span: covers chunk enqueue, the owner's own chunk work,
+  // and the join. One relaxed atomic load when tracing is off.
+  TAGLETS_TRACE_SCOPE("parallel.for_ranges", {{"n", std::to_string(n)}});
 
   auto loop = std::make_shared<Loop>();
   loop->n = n;

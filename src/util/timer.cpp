@@ -16,6 +16,7 @@ LatencyRecorder& LatencyRecorder::operator=(const LatencyRecorder& other) {
   std::vector<double> copied = other.samples();
   std::lock_guard<std::mutex> lock(mu_);
   samples_ = std::move(copied);
+  sorted_valid_ = false;
   return *this;
 }
 
@@ -23,6 +24,7 @@ LatencyRecorder::LatencyRecorder(LatencyRecorder&& other) noexcept {
   std::lock_guard<std::mutex> lock(other.mu_);
   samples_ = std::move(other.samples_);
   other.samples_.clear();
+  other.sorted_valid_ = false;
 }
 
 LatencyRecorder& LatencyRecorder::operator=(LatencyRecorder&& other) noexcept {
@@ -32,15 +34,18 @@ LatencyRecorder& LatencyRecorder::operator=(LatencyRecorder&& other) noexcept {
     std::lock_guard<std::mutex> lock(other.mu_);
     taken = std::move(other.samples_);
     other.samples_.clear();
+    other.sorted_valid_ = false;
   }
   std::lock_guard<std::mutex> lock(mu_);
   samples_ = std::move(taken);
+  sorted_valid_ = false;
   return *this;
 }
 
 void LatencyRecorder::record_ms(double ms) {
   std::lock_guard<std::mutex> lock(mu_);
   samples_.push_back(ms);
+  sorted_valid_ = false;
 }
 
 std::size_t LatencyRecorder::count() const {
@@ -58,10 +63,16 @@ double LatencyRecorder::mean_ms() const {
   return mean(samples_);
 }
 
-double LatencyRecorder::percentile_ms(double p) const {
-  std::vector<double> sorted = samples();
+void LatencyRecorder::ensure_sorted_locked() const {
+  if (sorted_valid_) return;
+  sorted_ = samples_;
+  std::sort(sorted_.begin(), sorted_.end());
+  sorted_valid_ = true;
+}
+
+double LatencyRecorder::percentile_sorted(const std::vector<double>& sorted,
+                                          double p) {
   if (sorted.empty()) return 0.0;
-  std::sort(sorted.begin(), sorted.end());
   const double rank = (p / 100.0) * static_cast<double>(sorted.size() - 1);
   const std::size_t lo = static_cast<std::size_t>(std::floor(rank));
   const std::size_t hi = static_cast<std::size_t>(std::ceil(rank));
@@ -69,18 +80,42 @@ double LatencyRecorder::percentile_ms(double p) const {
   return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
 }
 
+double LatencyRecorder::percentile_ms(double p) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  ensure_sorted_locked();
+  return percentile_sorted(sorted_, p);
+}
+
+std::vector<double> LatencyRecorder::percentiles_ms(
+    std::span<const double> ps) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  ensure_sorted_locked();
+  std::vector<double> out;
+  out.reserve(ps.size());
+  for (const double p : ps) out.push_back(percentile_sorted(sorted_, p));
+  return out;
+}
+
 std::string LatencyRecorder::summary() const {
-  // Take one snapshot so n/mean/percentiles describe the same instant
-  // even while other threads keep recording.
-  const std::vector<double> snapshot = samples();
-  LatencyRecorder frozen;
-  frozen.samples_ = snapshot;
+  // One lock scope so n/mean/percentiles describe the same instant
+  // even while other threads keep recording, with a single sort.
+  std::size_t n = 0;
+  double mean_value = 0.0;
+  double p50 = 0.0;
+  double p99 = 0.0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ensure_sorted_locked();
+    n = samples_.size();
+    mean_value = mean(samples_);
+    p50 = percentile_sorted(sorted_, 50);
+    p99 = percentile_sorted(sorted_, 99);
+  }
   std::ostringstream os;
   os.setf(std::ios::fixed);
   os.precision(3);
-  os << "n=" << snapshot.size() << " mean=" << frozen.mean_ms() << "ms p50="
-     << frozen.percentile_ms(50) << "ms p99=" << frozen.percentile_ms(99)
-     << "ms";
+  os << "n=" << n << " mean=" << mean_value << "ms p50=" << p50
+     << "ms p99=" << p99 << "ms";
   return os.str();
 }
 

@@ -5,6 +5,7 @@
 #include <chrono>
 #include <cstddef>
 #include <mutex>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -42,13 +43,25 @@ class LatencyRecorder {
   std::size_t count() const;
   double mean_ms() const;
   double percentile_ms(double p) const;  // p in [0, 100]
+  /// Many percentiles from one snapshot: sorts (or reuses the cached
+  /// sorted view of) the samples once instead of once per percentile.
+  std::vector<double> percentiles_ms(std::span<const double> ps) const;
   std::string summary() const;
   /// Snapshot copy of all recorded samples, in record order.
   std::vector<double> samples() const;
 
  private:
+  /// Rebuild the sorted cache if stale; call with mu_ held.
+  void ensure_sorted_locked() const;
+  static double percentile_sorted(const std::vector<double>& sorted, double p);
+
   mutable std::mutex mu_;
   std::vector<double> samples_;
+  /// Sorted copy of samples_, rebuilt lazily: percentile readers used
+  /// to re-sort the full vector on every call, which made a stats
+  /// snapshot O(k · n log n) for k percentiles.
+  mutable std::vector<double> sorted_;
+  mutable bool sorted_valid_ = false;
 };
 
 }  // namespace taglets::util

@@ -200,6 +200,36 @@ TEST(Server, PredictsCorrectLabelAndName) {
   EXPECT_EQ(s.resolved(), 4u);
 }
 
+// Every submission gets a unique id, assigned at enqueue and echoed in
+// the response — including rejected ones — so clients and trace spans
+// can correlate requests end to end.
+TEST(Server, ResponsesCarryUniqueRequestIds) {
+  auto model = make_identity_servable(4);
+  Server server(model);
+  server.start();
+  for (std::uint64_t expected_id = 1; expected_id <= 3; ++expected_id) {
+    Response response = server.predict(one_hot_input(4, 0));
+    ASSERT_TRUE(response.ok());
+    EXPECT_EQ(response.request_id, expected_id);
+  }
+  server.stop();
+}
+
+TEST(Server, RejectedResponsesStillCarryRequestIds) {
+  auto model = make_identity_servable(3);
+  ServerConfig config;
+  config.queue_capacity = 1;
+  Server server(model, config);  // not started: second submit overflows
+  auto first = server.submit(one_hot_input(3, 0));
+  auto second = server.submit(one_hot_input(3, 1));
+  Response rejected = second.get();
+  EXPECT_EQ(rejected.status, Status::kRejected);
+  EXPECT_EQ(rejected.request_id, 2u);
+  server.start();
+  EXPECT_EQ(first.get().request_id, 1u);
+  server.stop();
+}
+
 TEST(Server, SubmitRejectsWrongShape) {
   auto model = make_identity_servable(4);
   Server server(model);

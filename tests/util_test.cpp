@@ -5,11 +5,13 @@
 #include <cmath>
 #include <cstring>
 #include <limits>
+#include <mutex>
 #include <set>
 #include <sstream>
 #include <thread>
 
 #include "ensemble/ensemble.hpp"
+#include "obs/trace.hpp"
 #include "nn/classifier.hpp"
 #include "nn/layers.hpp"
 #include "nn/sequential.hpp"
@@ -391,6 +393,39 @@ TEST(LatencyRecorder, ConcurrentRecordAndReadIsThreadSafe) {
   EXPECT_EQ(copy.count(), static_cast<std::size_t>(kThreads) * kPerThread);
 }
 
+// Regression tests for the percentile sorted cache: percentile_ms and
+// summary() used to re-sort every sample on each call.
+TEST(LatencyRecorder, RepeatedPercentileCallsAreStable) {
+  LatencyRecorder recorder;
+  for (int i = 100; i >= 1; --i) recorder.record_ms(i);  // reverse order
+  const double first = recorder.percentile_ms(90);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_DOUBLE_EQ(recorder.percentile_ms(90), first);
+  }
+}
+
+TEST(LatencyRecorder, SortedCacheInvalidatedByNewSamples) {
+  LatencyRecorder recorder;
+  recorder.record_ms(10.0);
+  EXPECT_NEAR(recorder.percentile_ms(100), 10.0, 1e-9);  // builds cache
+  recorder.record_ms(20.0);  // must invalidate it
+  EXPECT_NEAR(recorder.percentile_ms(100), 20.0, 1e-9);
+  EXPECT_NEAR(recorder.percentile_ms(0), 10.0, 1e-9);
+}
+
+TEST(LatencyRecorder, BatchPercentilesMatchIndividualCalls) {
+  LatencyRecorder recorder;
+  Rng rng(11);
+  for (int i = 0; i < 500; ++i) recorder.record_ms(rng.uniform() * 100.0);
+  const double ps[] = {0, 25, 50, 95, 99, 100};
+  const std::vector<double> batch = recorder.percentiles_ms(ps);
+  ASSERT_EQ(batch.size(), 6u);
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    EXPECT_DOUBLE_EQ(batch[i], recorder.percentile_ms(ps[i]));
+  }
+  EXPECT_TRUE(recorder.percentiles_ms({}).empty());
+}
+
 // ---------------------------------------------------------- threadpool
 
 TEST(ThreadPool, ParallelForRunsEveryIndexOnce) {
@@ -617,6 +652,49 @@ TEST(Logging, ThresholdFilters) {
   EXPECT_EQ(log_threshold(), LogLevel::kError);
   TAGLETS_LOG(kDebug) << "should be dropped";  // must not crash
   set_log_threshold(saved);
+}
+
+TEST(Logging, SinkReceivesStructuredRecords) {
+  const LogLevel saved = log_threshold();
+  set_log_threshold(LogLevel::kInfo);
+  std::vector<LogRecord> captured;
+  std::mutex mu;
+  set_log_sink([&](const LogRecord& record) {
+    std::lock_guard<std::mutex> lock(mu);
+    captured.push_back(record);
+  });
+  TAGLETS_LOG(kWarn) << "sinked " << 42;
+  TAGLETS_LOG(kDebug) << "below threshold";  // filtered before the sink
+  set_log_sink(nullptr);
+  set_log_threshold(saved);
+  TAGLETS_LOG(kError) << "";  // default writer restored; must not crash
+
+  ASSERT_EQ(captured.size(), 1u);
+  EXPECT_EQ(captured[0].level, LogLevel::kWarn);
+  EXPECT_EQ(captured[0].message, "sinked 42");
+  EXPECT_GT(captured[0].ts_ms, 0);
+  EXPECT_EQ(captured[0].tid, obs::current_thread_id());
+}
+
+TEST(Logging, JsonFormatCarriesAllFields) {
+  LogRecord record;
+  record.level = LogLevel::kInfo;
+  record.ts_ms = 1712345678901;
+  record.tid = 3;
+  record.message = "epoch done\n\"quoted\"";
+  const std::string line = format_json_log(record);
+  EXPECT_EQ(line,
+            "{\"ts_ms\":1712345678901,\"level\":\"info\",\"tid\":3,"
+            "\"msg\":\"epoch done\\n\\\"quoted\\\"\"}");
+}
+
+TEST(Logging, JsonModeTogglesAtRuntime) {
+  const bool saved = log_json_enabled();
+  set_log_json(true);
+  EXPECT_TRUE(log_json_enabled());
+  set_log_json(false);
+  EXPECT_FALSE(log_json_enabled());
+  set_log_json(saved);
 }
 
 }  // namespace

@@ -19,6 +19,13 @@
 //   --report   print the per-class confusion report
 //   --compare  also run the fine-tuning baseline
 //
+// Observability (both pipeline and --serve/--load modes):
+//   --trace-out FILE    enable tracing and write a Chrome-trace /
+//                       Perfetto JSON file of the run's spans
+//   --metrics-out FILE  write the process metrics registry snapshot
+//                       (counters/gauges/histograms) as JSON
+// See docs/OBSERVABILITY.md for span and metric names.
+//
 // Serving load-test mode (--serve): runs the in-process dynamic-batching
 // server (src/serve/) against the end model — either the one just
 // trained, or one restored with --load PATH (which skips training).
@@ -41,6 +48,8 @@
 #include "eval/lab.hpp"
 #include "nn/metrics.hpp"
 #include "nn/trainer.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "serve/server.hpp"
 #include "taglets/controller.hpp"
 #include "util/args.hpp"
@@ -181,11 +190,31 @@ void run_serve_load_test(ensemble::ServableModel& model,
   }
 }
 
+/// Write the observability artifacts the run asked for. Called on
+/// every successful exit path so pipeline, --serve, and --load runs
+/// all export the same way.
+void write_observability_artifacts(const util::ArgParser& args) {
+  if (args.has("trace-out")) {
+    const std::string path = args.get("trace-out", "");
+    obs::trace_export_json(path);
+    std::cout << "wrote trace (" << obs::Tracer::global().snapshot().size()
+              << " spans) to " << path << "\n";
+  }
+  if (args.has("metrics-out")) {
+    const std::string path = args.get("metrics-out", "");
+    obs::MetricsRegistry::global().write_json(path);
+    std::cout << "wrote metrics snapshot to " << path << "\n";
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   try {
     util::ArgParser args(argc, argv);
+    // Tracing is opt-in: asking for a trace file turns the span layer
+    // on for the whole run (TAGLETS_TRACE=1 also works).
+    if (args.has("trace-out")) obs::set_trace_enabled(true);
 
     if (args.has("load")) {
       // Serving-only path: restore a saved end model and skip training.
@@ -196,6 +225,7 @@ int main(int argc, char** argv) {
       if (args.get_flag("serve")) {
         run_serve_load_test(model, nullptr, args);
       }
+      write_observability_artifacts(args);
       return 0;
     }
 
@@ -273,6 +303,7 @@ int main(int argc, char** argv) {
     if (args.get_flag("serve")) {
       run_serve_load_test(result.end_model, &task.test_inputs, args);
     }
+    write_observability_artifacts(args);
     return 0;
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";

@@ -19,6 +19,7 @@
 #include "synth/split.hpp"
 #include "synth/tasks.hpp"
 #include "tensor/ops.hpp"
+#include "util/check.hpp"
 #include "util/parallel.hpp"
 #include "util/timer.hpp"
 
@@ -265,6 +266,44 @@ void BM_TraceScopeDisabled(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_TraceScopeDisabled);
+
+// ------------------------------------------------------------ contracts
+
+/// Guard for the TAGLETS_DCHECK* release contract: in release builds
+/// (TAGLETS_DCHECK_ENABLED == 0) the loop body must cost the same as
+/// BM_CheckBaseline — the condition is type-checked but never
+/// evaluated, so a DCHECK in a hot loop is free.
+void BM_CheckBaseline(benchmark::State& state) {
+  std::size_t i = 0;
+  for (auto _ : state) {
+    ++i;
+    benchmark::DoNotOptimize(i);
+  }
+}
+BENCHMARK(BM_CheckBaseline);
+
+void BM_CheckDisabled(benchmark::State& state) {
+  std::size_t i = 0;
+  for (auto _ : state) {
+    ++i;
+    TAGLETS_DCHECK_LT(i, i + 1);
+    TAGLETS_DCHECK(i != 0, "loop counter wrapped at ", i);
+    benchmark::DoNotOptimize(i);
+  }
+}
+BENCHMARK(BM_CheckDisabled);
+
+/// The always-on tier for comparison: one predictable branch per check.
+void BM_CheckEnabled(benchmark::State& state) {
+  std::size_t i = 0;
+  for (auto _ : state) {
+    ++i;
+    TAGLETS_CHECK_LT(i, i + 1);
+    TAGLETS_CHECK(i != 0, "loop counter wrapped at ", i);
+    benchmark::DoNotOptimize(i);
+  }
+}
+BENCHMARK(BM_CheckEnabled);
 
 }  // namespace
 

@@ -44,7 +44,11 @@ ensemble::ServableModel make_model() {
   util::Rng rng(23);
   nn::Sequential encoder = nn::make_mlp({256, 512, 128}, rng);
   std::vector<std::string> names;
-  for (std::size_t c = 0; c < 64; ++c) names.push_back("c" + std::to_string(c));
+  for (std::size_t c = 0; c < 64; ++c) {
+    std::string name = "c";  // += form: GCC 12 -Wrestrict FP (PR105329)
+    name += std::to_string(c);
+    names.push_back(name);
+  }
   return ensemble::ServableModel(nn::Classifier(encoder, 128, 64, rng),
                                  std::move(names));
 }

@@ -3,6 +3,7 @@
 #include <filesystem>
 #include <fstream>
 
+#include "util/check.hpp"
 #include "util/env.hpp"
 #include "util/logging.hpp"
 
@@ -34,7 +35,7 @@ std::uint64_t config_fingerprint(const synth::WorldConfig& wc,
 Zoo::Zoo(const synth::World* world, PretrainConfig config,
          std::optional<std::string> cache_dir)
     : world_(world), config_(config) {
-  if (world_ == nullptr) throw std::invalid_argument("Zoo: null world");
+  TAGLETS_CHECK_NE(world_, nullptr, "Zoo: null world");
   cache_dir_ =
       cache_dir.value_or(util::env_string("TAGLETS_CACHE", ".taglets_cache"));
 }

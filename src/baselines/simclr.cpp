@@ -5,15 +5,17 @@
 
 #include "nn/trainer.hpp"
 #include "tensor/ops.hpp"
+#include "util/check.hpp"
 
 namespace taglets::baselines {
 
 using tensor::Tensor;
 
 ContrastiveResult nt_xent(const Tensor& features, double temperature) {
-  if (!features.is_matrix() || features.rows() % 2 != 0 || features.rows() < 4) {
-    throw std::invalid_argument("nt_xent: need an even batch of >= 4 rows");
-  }
+  TAGLETS_CHECK(!(!features.is_matrix() ||
+                features.rows() % 2 != 0 ||
+                features.rows() < 4),
+                "nt_xent: need an even batch of >= 4 rows");
   const std::size_t n = features.rows();  // 2B
   const std::size_t b = n / 2;
   const std::size_t d = features.cols();

@@ -4,6 +4,7 @@
 
 #include "nn/trainer.hpp"
 #include "tensor/ops.hpp"
+#include "util/check.hpp"
 
 namespace taglets::ensemble {
 
@@ -12,7 +13,7 @@ using tensor::Tensor;
 Tensor one_hot(std::span<const std::size_t> labels, std::size_t num_classes) {
   Tensor out = Tensor::zeros(labels.size(), num_classes);
   for (std::size_t i = 0; i < labels.size(); ++i) {
-    if (labels[i] >= num_classes) throw std::out_of_range("one_hot: label");
+    TAGLETS_CHECK_LT(labels[i], num_classes, "one_hot: label");
     out.at(i, labels[i]) = 1.0f;
   }
   return out;
@@ -33,9 +34,8 @@ nn::Classifier train_end_model(const synth::FewShotTask& task,
                                const EndModelConfig& config, util::Rng& rng,
                                double epoch_scale) {
   const std::size_t n_unlabeled = task.unlabeled_inputs.rows();
-  if (pseudo_labels.rows() != n_unlabeled) {
-    throw std::invalid_argument("train_end_model: pseudo label rows mismatch");
-  }
+  TAGLETS_CHECK_EQ(pseudo_labels.rows(), n_unlabeled,
+                   "train_end_model: pseudo label rows mismatch");
   const std::size_t c = task.num_classes();
 
   // Assemble P (union) X with soft targets (Eq. 7).

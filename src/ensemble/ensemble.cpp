@@ -6,6 +6,7 @@
 #include <string>
 
 #include "tensor/ops.hpp"
+#include "util/check.hpp"
 #include "util/parallel.hpp"
 
 namespace taglets::ensemble {
@@ -14,23 +15,25 @@ using tensor::Tensor;
 
 Tensor vote_matrix(std::vector<modules::Taglet>& taglets,
                    const Tensor& example) {
-  if (taglets.empty()) throw std::invalid_argument("vote_matrix: no taglets");
-  if (!example.is_vector()) {
-    throw std::invalid_argument("vote_matrix: single example expected");
-  }
+  TAGLETS_CHECK(!(taglets.empty()), "vote_matrix: no taglets");
+  TAGLETS_CHECK(example.is_vector(), "vote_matrix: single example expected");
   Tensor batch = example.reshape(1, example.size());
   Tensor votes;
   for (std::size_t t = 0; t < taglets.size(); ++t) {
     Tensor proba = taglets[t].predict_proba(batch);
     if (t == 0) {
       votes = Tensor::zeros(taglets.size(), proba.cols());
-    } else if (proba.cols() != votes.cols()) {
-      throw std::invalid_argument(
-          "vote_matrix: taglet '" + taglets[t].name() + "' emitted " +
-          std::to_string(proba.cols()) + " classes, expected " +
-          std::to_string(votes.cols()));
+    } else {
+      TAGLETS_CHECK_EQ(proba.cols(), votes.cols(),
+                       "vote_matrix: taglet '" + taglets[t].name() +
+                           "' emitted " + std::to_string(proba.cols()) +
+                           " classes, expected " +
+                           std::to_string(votes.cols()));
     }
     auto src = proba.row(0);
+    TAGLETS_DCHECK_PROB_ROW(src, "vote_matrix: taglet '" +
+                                     taglets[t].name() +
+                                     "' emitted a non-distribution");
     auto dst = votes.row(t);
     std::copy(src.begin(), src.end(), dst.begin());
   }
@@ -39,7 +42,7 @@ Tensor vote_matrix(std::vector<modules::Taglet>& taglets,
 
 Tensor ensemble_proba(std::vector<modules::Taglet>& taglets,
                       const Tensor& inputs) {
-  if (taglets.empty()) throw std::invalid_argument("ensemble_proba: no taglets");
+  TAGLETS_CHECK(!(taglets.empty()), "ensemble_proba: no taglets");
   // Each taglet owns its own model, so prediction fans out across the
   // shared pool; the reduction stays serial in taglet order, keeping
   // float summation order — and therefore the bits — independent of the
@@ -50,12 +53,10 @@ Tensor ensemble_proba(std::vector<modules::Taglet>& taglets,
   });
   Tensor sum = std::move(probas[0]);
   for (std::size_t t = 1; t < probas.size(); ++t) {
-    if (!tensor::same_shape(sum, probas[t])) {
-      throw std::invalid_argument(
-          "ensemble_proba: taglet '" + taglets[t].name() +
-          "' output shape " + probas[t].shape_string() +
-          " does not match " + sum.shape_string());
-    }
+    TAGLETS_CHECK(tensor::same_shape(sum, probas[t]),
+                  "ensemble_proba: taglet '" + taglets[t].name() +
+                      "' output shape " + probas[t].shape_string() +
+                      " does not match " + sum.shape_string());
     tensor::add_scaled_inplace(sum, probas[t], 1.0f);
   }
   return tensor::scale(sum, 1.0f / static_cast<float>(taglets.size()));
@@ -70,9 +71,8 @@ double ensemble_accuracy(std::vector<modules::Taglet>& taglets,
                          const Tensor& inputs,
                          std::span<const std::size_t> labels) {
   const auto predictions = ensemble_predict(taglets, inputs);
-  if (predictions.size() != labels.size()) {
-    throw std::invalid_argument("ensemble_accuracy: size mismatch");
-  }
+  TAGLETS_CHECK_EQ(predictions.size(), labels.size(),
+                   "ensemble_accuracy: size mismatch");
   if (labels.empty()) return 0.0;
   std::size_t correct = 0;
   for (std::size_t i = 0; i < labels.size(); ++i) {
@@ -83,9 +83,8 @@ double ensemble_accuracy(std::vector<modules::Taglet>& taglets,
 
 PseudoLabelStats pseudo_label_stats(std::vector<modules::Taglet>& taglets,
                                     const Tensor& inputs) {
-  if (taglets.empty() || inputs.rows() == 0) {
-    throw std::invalid_argument("pseudo_label_stats: empty input");
-  }
+  TAGLETS_CHECK(!(taglets.empty() || inputs.rows() == 0),
+                "pseudo_label_stats: empty input");
   PseudoLabelStats stats;
 
   Tensor proba = ensemble_proba(taglets, inputs);

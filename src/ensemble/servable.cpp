@@ -6,6 +6,7 @@
 #include <stdexcept>
 
 #include "tensor/ops.hpp"
+#include "util/check.hpp"
 #include "util/parallel.hpp"
 
 namespace taglets::ensemble {
@@ -15,9 +16,8 @@ using tensor::Tensor;
 ServableModel::ServableModel(nn::Classifier model,
                              std::vector<std::string> class_names)
     : model_(std::move(model)), class_names_(std::move(class_names)) {
-  if (class_names_.size() != model_.num_classes()) {
-    throw std::invalid_argument("ServableModel: class name count mismatch");
-  }
+  TAGLETS_CHECK_EQ(class_names_.size(), model_.num_classes(),
+                   "ServableModel: class name count mismatch");
 }
 
 std::size_t ServableModel::predict(const Tensor& example) {

@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "tensor/ops.hpp"
+#include "util/check.hpp"
 #include "util/string_util.hpp"
 
 namespace taglets::graph {
@@ -12,24 +13,22 @@ using tensor::Tensor;
 
 EmbeddingIndex::EmbeddingIndex(const KnowledgeGraph* graph, Tensor embeddings)
     : graph_(graph), embeddings_(std::move(embeddings)) {
-  if (graph_ == nullptr) throw std::invalid_argument("EmbeddingIndex: null graph");
-  if (!embeddings_.is_matrix() ||
-      embeddings_.rows() != graph_->node_count()) {
-    throw std::invalid_argument("EmbeddingIndex: embedding shape mismatch");
-  }
+  TAGLETS_CHECK_NE(graph_, nullptr, "EmbeddingIndex: null graph");
+  TAGLETS_CHECK(!(!embeddings_.is_matrix() ||
+                embeddings_.rows() != graph_->node_count()),
+                "EmbeddingIndex: embedding shape mismatch");
 }
 
 std::span<const float> EmbeddingIndex::vector(NodeId id) const {
-  if (id >= embeddings_.rows()) throw std::out_of_range("EmbeddingIndex::vector");
+  TAGLETS_CHECK_LT(id, embeddings_.rows(), "EmbeddingIndex::vector");
   return embeddings_.row(id);
 }
 
 std::vector<EmbeddingIndex::Hit> EmbeddingIndex::top_k(
     std::span<const float> query, std::span<const NodeId> candidates,
     std::size_t k) const {
-  if (query.size() != dim()) {
-    throw std::invalid_argument("EmbeddingIndex::top_k: query dim mismatch");
-  }
+  TAGLETS_CHECK_EQ(query.size(), dim(),
+                   "EmbeddingIndex::top_k: query dim mismatch");
   std::vector<float> sims(candidates.size());
   for (std::size_t i = 0; i < candidates.size(); ++i) {
     sims[i] = tensor::cosine_similarity(query, vector(candidates[i]));
@@ -74,9 +73,8 @@ Tensor EmbeddingIndex::approximate_embedding(const std::string& name,
 }
 
 void EmbeddingIndex::set_vector(NodeId id, const Tensor& embedding) {
-  if (!embedding.is_vector() || embedding.size() != dim()) {
-    throw std::invalid_argument("EmbeddingIndex::set_vector: dim mismatch");
-  }
+  TAGLETS_CHECK(!(!embedding.is_vector() || embedding.size() != dim()),
+                "EmbeddingIndex::set_vector: dim mismatch");
   if (id >= embeddings_.rows()) {
     // Extend the table with zero rows up to and including `id` (novel
     // concepts are appended to the graph after initial construction).

@@ -1,4 +1,5 @@
 #include "graph/generators.hpp"
+#include "util/check.hpp"
 
 #include <cmath>
 #include <cstdio>
@@ -8,10 +9,10 @@ namespace taglets::graph {
 
 std::vector<std::size_t> random_tree_parents(const TreeSpec& spec,
                                              util::Rng& rng) {
-  if (spec.node_count == 0) throw std::invalid_argument("random_tree: empty");
-  if (spec.min_children == 0 || spec.min_children > spec.max_children) {
-    throw std::invalid_argument("random_tree: bad children range");
-  }
+  TAGLETS_CHECK_NE(spec.node_count, 0, "random_tree: empty");
+  TAGLETS_CHECK(!(spec.min_children == 0 ||
+                spec.min_children > spec.max_children),
+                "random_tree: bad children range");
   std::vector<std::size_t> parent(spec.node_count);
   parent[0] = 0;  // root
   // Frontier-based generation: pop a node, give it a random number of
@@ -50,14 +51,12 @@ std::vector<std::string> make_concept_names(std::size_t count,
 
 KnowledgeGraph graph_from_taxonomy(const Taxonomy& taxonomy,
                                    const std::vector<std::string>& names) {
-  if (names.size() != taxonomy.size()) {
-    throw std::invalid_argument("graph_from_taxonomy: name count mismatch");
-  }
+  TAGLETS_CHECK_EQ(names.size(), taxonomy.size(),
+                   "graph_from_taxonomy: name count mismatch");
   KnowledgeGraph graph;
   for (const std::string& name : names) graph.add_node(name);
-  if (graph.node_count() != taxonomy.size()) {
-    throw std::invalid_argument("graph_from_taxonomy: duplicate names");
-  }
+  TAGLETS_CHECK_EQ(graph.node_count(), taxonomy.size(),
+                   "graph_from_taxonomy: duplicate names");
   for (std::size_t i = 0; i < taxonomy.size(); ++i) {
     if (!taxonomy.is_root(i)) {
       graph.add_edge(i, taxonomy.parent(i), Relation::kIsA, 1.0f);

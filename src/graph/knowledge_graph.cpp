@@ -1,4 +1,5 @@
 #include "graph/knowledge_graph.hpp"
+#include "util/check.hpp"
 
 #include <deque>
 #include <stdexcept>
@@ -30,10 +31,9 @@ NodeId KnowledgeGraph::add_node(const std::string& name) {
 
 void KnowledgeGraph::add_edge(NodeId a, NodeId b, Relation relation,
                               float weight) {
-  if (a >= names_.size() || b >= names_.size()) {
-    throw std::out_of_range("KnowledgeGraph::add_edge: bad node id");
-  }
-  if (a == b) throw std::invalid_argument("KnowledgeGraph::add_edge: self loop");
+  TAGLETS_CHECK(!(a >= names_.size() || b >= names_.size()),
+                "KnowledgeGraph::add_edge: bad node id");
+  TAGLETS_CHECK_NE(a, b, "KnowledgeGraph::add_edge: self loop");
   edges_.push_back(Edge{a, b, relation, weight});
   adjacency_[a].push_back(Neighbor{b, relation, weight});
   adjacency_[b].push_back(Neighbor{a, relation, weight});
@@ -42,9 +42,7 @@ void KnowledgeGraph::add_edge(NodeId a, NodeId b, Relation relation,
 void KnowledgeGraph::add_edge(const std::string& a, const std::string& b,
                               Relation relation, float weight) {
   const auto ia = find(a), ib = find(b);
-  if (!ia || !ib) {
-    throw std::invalid_argument("KnowledgeGraph::add_edge: unknown concept");
-  }
+  TAGLETS_CHECK(!(!ia || !ib), "KnowledgeGraph::add_edge: unknown concept");
   add_edge(*ia, *ib, relation, weight);
 }
 
@@ -71,9 +69,8 @@ std::vector<NodeId> KnowledgeGraph::all_nodes() const {
 
 std::optional<std::size_t> KnowledgeGraph::hop_distance(NodeId a,
                                                         NodeId b) const {
-  if (a >= names_.size() || b >= names_.size()) {
-    throw std::out_of_range("hop_distance: bad node id");
-  }
+  TAGLETS_CHECK(!(a >= names_.size() || b >= names_.size()),
+                "hop_distance: bad node id");
   if (a == b) return 0;
   std::vector<std::size_t> dist(names_.size(), SIZE_MAX);
   std::deque<NodeId> queue{a};
@@ -93,9 +90,7 @@ std::optional<std::size_t> KnowledgeGraph::hop_distance(NodeId a,
 
 std::vector<NodeId> KnowledgeGraph::neighborhood(NodeId center,
                                                  std::size_t radius) const {
-  if (center >= names_.size()) {
-    throw std::out_of_range("neighborhood: bad node id");
-  }
+  TAGLETS_CHECK_LT(center, names_.size(), "neighborhood: bad node id");
   std::vector<std::size_t> dist(names_.size(), SIZE_MAX);
   std::deque<NodeId> queue{center};
   dist[center] = 0;

@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "tensor/ops.hpp"
+#include "util/check.hpp"
 
 namespace taglets::graph {
 
@@ -13,22 +14,17 @@ Tensor retrofit_embeddings(
     const std::vector<std::optional<Tensor>>& word_vectors,
     const RetrofitConfig& config) {
   const std::size_t n = graph.node_count();
-  if (word_vectors.size() != n) {
-    throw std::invalid_argument("retrofit: word_vectors size mismatch");
-  }
+  TAGLETS_CHECK_EQ(word_vectors.size(), n,
+                   "retrofit: word_vectors size mismatch");
   std::size_t dim = 0;
   for (const auto& wv : word_vectors) {
     if (wv.has_value()) {
-      if (!wv->is_vector()) {
-        throw std::invalid_argument("retrofit: word vectors must be rank-1");
-      }
+      TAGLETS_CHECK(wv->is_vector(), "retrofit: word vectors must be rank-1");
       if (dim == 0) dim = wv->size();
-      if (wv->size() != dim) {
-        throw std::invalid_argument("retrofit: inconsistent dims");
-      }
+      TAGLETS_CHECK_EQ(wv->size(), dim, "retrofit: inconsistent dims");
     }
   }
-  if (dim == 0) throw std::invalid_argument("retrofit: all vectors missing");
+  TAGLETS_CHECK_NE(dim, 0, "retrofit: all vectors missing");
 
   // Initialize: in-vocab nodes start at their word vector, OOV at zero.
   Tensor current = Tensor::zeros(n, dim);

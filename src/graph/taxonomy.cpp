@@ -1,4 +1,5 @@
 #include "graph/taxonomy.hpp"
+#include "util/check.hpp"
 
 #include <stdexcept>
 
@@ -7,20 +8,20 @@ namespace taglets::graph {
 Taxonomy::Taxonomy(std::vector<std::size_t> parent)
     : parent_(std::move(parent)) {
   const std::size_t n = parent_.size();
-  if (n == 0) throw std::invalid_argument("Taxonomy: empty");
+  TAGLETS_CHECK_NE(n, 0, "Taxonomy: empty");
   children_.resize(n);
   bool root_found = false;
   for (std::size_t i = 0; i < n; ++i) {
-    if (parent_[i] >= n) throw std::invalid_argument("Taxonomy: bad parent id");
+    TAGLETS_CHECK_LT(parent_[i], n, "Taxonomy: bad parent id");
     if (parent_[i] == i) {
-      if (root_found) throw std::invalid_argument("Taxonomy: multiple roots");
+      TAGLETS_CHECK(!(root_found), "Taxonomy: multiple roots");
       root_ = i;
       root_found = true;
     } else {
       children_[parent_[i]].push_back(i);
     }
   }
-  if (!root_found) throw std::invalid_argument("Taxonomy: no root");
+  TAGLETS_CHECK(root_found, "Taxonomy: no root");
 
   // Compute depths iteratively (also validates acyclicity: a cycle would
   // leave some depth unset after the BFS from the root).
@@ -37,26 +38,26 @@ Taxonomy::Taxonomy(std::vector<std::size_t> parent)
       ++visited;
     }
   }
-  if (visited != n) throw std::invalid_argument("Taxonomy: cycle/forest");
+  TAGLETS_CHECK_EQ(visited, n, "Taxonomy: cycle/forest");
 }
 
 std::size_t Taxonomy::parent(std::size_t node) const {
-  if (node >= parent_.size()) throw std::out_of_range("Taxonomy::parent");
+  TAGLETS_CHECK_LT(node, parent_.size(), "Taxonomy::parent");
   return parent_[node];
 }
 
 const std::vector<std::size_t>& Taxonomy::children(std::size_t node) const {
-  if (node >= children_.size()) throw std::out_of_range("Taxonomy::children");
+  TAGLETS_CHECK_LT(node, children_.size(), "Taxonomy::children");
   return children_[node];
 }
 
 std::size_t Taxonomy::depth(std::size_t node) const {
-  if (node >= depth_.size()) throw std::out_of_range("Taxonomy::depth");
+  TAGLETS_CHECK_LT(node, depth_.size(), "Taxonomy::depth");
   return depth_[node];
 }
 
 std::vector<std::size_t> Taxonomy::subtree(std::size_t node) const {
-  if (node >= parent_.size()) throw std::out_of_range("Taxonomy::subtree");
+  TAGLETS_CHECK_LT(node, parent_.size(), "Taxonomy::subtree");
   std::vector<std::size_t> out;
   std::vector<std::size_t> stack{node};
   while (!stack.empty()) {

@@ -6,6 +6,7 @@
 
 #include "nn/trainer.hpp"
 #include "tensor/ops.hpp"
+#include "util/check.hpp"
 
 namespace taglets::modules {
 
@@ -104,10 +105,10 @@ nn::Classifier fixmatch_train(const synth::FewShotTask& task,
 }
 
 Taglet FixMatchModule::train(const ModuleContext& context) const {
-  if (context.task == nullptr || context.backbone == nullptr ||
-      context.selection == nullptr) {
-    throw std::invalid_argument("FixMatchModule: incomplete context");
-  }
+  TAGLETS_CHECK(!(context.task == nullptr ||
+                context.backbone == nullptr ||
+                context.selection == nullptr),
+                "FixMatchModule: incomplete context");
   util::Rng rng = module_rng(context, name());
 
   // SCADS phase: fine-tune the backbone on R before SSL (the module's

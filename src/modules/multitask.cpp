@@ -4,16 +4,17 @@
 
 #include "nn/trainer.hpp"
 #include "tensor/ops.hpp"
+#include "util/check.hpp"
 
 namespace taglets::modules {
 
 using tensor::Tensor;
 
 Taglet MultiTaskModule::train(const ModuleContext& context) const {
-  if (context.task == nullptr || context.backbone == nullptr ||
-      context.selection == nullptr) {
-    throw std::invalid_argument("MultiTaskModule: incomplete context");
-  }
+  TAGLETS_CHECK(!(context.task == nullptr ||
+                context.backbone == nullptr ||
+                context.selection == nullptr),
+                "MultiTaskModule: incomplete context");
   const auto& task = *context.task;
   const auto& aux = context.selection->data;
   util::Rng rng = module_rng(context, name());

@@ -3,16 +3,17 @@
 #include <stdexcept>
 
 #include "tensor/ops.hpp"
+#include "util/check.hpp"
 
 namespace taglets::modules {
 
 using tensor::Tensor;
 
 Taglet PrototypeModule::train(const ModuleContext& context) const {
-  if (context.task == nullptr || context.backbone == nullptr ||
-      context.selection == nullptr) {
-    throw std::invalid_argument("PrototypeModule: incomplete context");
-  }
+  TAGLETS_CHECK(!(context.task == nullptr ||
+                context.backbone == nullptr ||
+                context.selection == nullptr),
+                "PrototypeModule: incomplete context");
   const auto& task = *context.task;
   const auto& backbone = *context.backbone;
   nn::Sequential encoder = backbone.encoder;

@@ -7,6 +7,7 @@
 #include "modules/prototype.hpp"
 #include "modules/transfer.hpp"
 #include "modules/zsl_kg.hpp"
+#include "util/check.hpp"
 
 namespace taglets::modules {
 
@@ -42,7 +43,7 @@ ModuleRegistry ModuleRegistry::with_builtins() {
 
 void ModuleRegistry::register_module(const std::string& name,
                                      ModuleFactory factory) {
-  if (!factory) throw std::invalid_argument("register_module: null factory");
+  TAGLETS_CHECK(factory, "register_module: null factory");
   factories_[name] = std::move(factory);
 }
 
@@ -52,9 +53,8 @@ bool ModuleRegistry::contains(const std::string& name) const {
 
 std::unique_ptr<Module> ModuleRegistry::create(const std::string& name) const {
   auto it = factories_.find(name);
-  if (it == factories_.end()) {
-    throw std::invalid_argument("ModuleRegistry: unknown module " + name);
-  }
+  TAGLETS_CHECK_NE(it, factories_.end(),
+                   "ModuleRegistry: unknown module " + name);
   return it->second();
 }
 

@@ -3,14 +3,15 @@
 #include <stdexcept>
 
 #include "nn/trainer.hpp"
+#include "util/check.hpp"
 
 namespace taglets::modules {
 
 Taglet TransferModule::train(const ModuleContext& context) const {
-  if (context.task == nullptr || context.backbone == nullptr ||
-      context.selection == nullptr) {
-    throw std::invalid_argument("TransferModule: incomplete context");
-  }
+  TAGLETS_CHECK(!(context.task == nullptr ||
+                context.backbone == nullptr ||
+                context.selection == nullptr),
+                "TransferModule: incomplete context");
   const auto& task = *context.task;
   const auto& selection = *context.selection;
   util::Rng rng = module_rng(context, name());

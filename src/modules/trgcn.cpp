@@ -5,6 +5,7 @@
 
 #include "nn/init.hpp"
 #include "tensor/ops.hpp"
+#include "util/check.hpp"
 
 namespace taglets::modules {
 
@@ -74,12 +75,11 @@ Tensor TrGcn::neighbor_mean(const graph::KnowledgeGraph& graph,
 TrGcn::ForwardCache TrGcn::forward(const graph::KnowledgeGraph& graph,
                                    const Tensor& features,
                                    NodeId center) const {
-  if (!features.is_matrix() || features.cols() != config_.input_dim) {
-    throw std::invalid_argument("TrGcn::forward: feature width mismatch");
-  }
-  if (center >= features.rows()) {
-    throw std::out_of_range("TrGcn::forward: center has no features");
-  }
+  TAGLETS_CHECK(!(!features.is_matrix() ||
+                features.cols() != config_.input_dim),
+                "TrGcn::forward: feature width mismatch");
+  TAGLETS_CHECK_LT(center, features.rows(),
+                   "TrGcn::forward: center has no features");
   ForwardCache cache;
   cache.center = center;
   cache.hop1 = neighbors_of(graph, center);
@@ -129,9 +129,8 @@ Tensor TrGcn::predict(const graph::KnowledgeGraph& graph,
 }
 
 void TrGcn::backward(const ForwardCache& cache, const Tensor& grad_output) {
-  if (grad_output.size() != config_.output_dim) {
-    throw std::invalid_argument("TrGcn::backward: grad dim mismatch");
-  }
+  TAGLETS_CHECK_EQ(grad_output.size(), config_.output_dim,
+                   "TrGcn::backward: grad dim mismatch");
   // Layer 2 parameter grads.
   accumulate_grads(cache.h1[0], grad_output, w_self2_, b2_);
   {
@@ -194,7 +193,7 @@ std::vector<Tensor> TrGcn::snapshot() const {
 }
 
 void TrGcn::restore(const std::vector<Tensor>& snapshot) {
-  if (snapshot.size() != 6) throw std::invalid_argument("TrGcn::restore");
+  TAGLETS_CHECK_EQ(snapshot.size(), 6, "TrGcn::restore");
   w_self1_.value = snapshot[0];
   w_nbr1_.value = snapshot[1];
   b1_.value = snapshot[2];

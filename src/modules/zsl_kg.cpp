@@ -5,6 +5,7 @@
 
 #include "nn/loss.hpp"
 #include "nn/optimizer.hpp"
+#include "util/check.hpp"
 #include "util/logging.hpp"
 
 namespace taglets::modules {
@@ -118,10 +119,10 @@ nn::Linear ZslKgEngine::predict_head(
 }
 
 Taglet ZslKgModule::train(const ModuleContext& context) const {
-  if (context.zsl_engine == nullptr || context.scads == nullptr ||
-      context.task == nullptr) {
-    throw std::invalid_argument("ZslKgModule: incomplete context");
-  }
+  TAGLETS_CHECK(!(context.zsl_engine == nullptr ||
+                context.scads == nullptr ||
+                context.task == nullptr),
+                "ZslKgModule: incomplete context");
   nn::Linear head = context.zsl_engine->predict_head(
       *context.scads, context.task->class_names);
   nn::Classifier model(context.zsl_engine->encoder(), std::move(head));

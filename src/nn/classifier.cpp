@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "tensor/ops.hpp"
+#include "util/check.hpp"
 
 namespace taglets::nn {
 
@@ -78,9 +79,8 @@ void Classifier::replace_head(Linear head) {
   // The new head's input width must match the encoder output; validated
   // lazily at the first forward if the encoder is opaque, but we can
   // check against the old head immediately.
-  if (head.in_features() != head_->in_features()) {
-    throw std::invalid_argument("replace_head: feature width mismatch");
-  }
+  TAGLETS_CHECK_EQ(head.in_features(), head_->in_features(),
+                   "replace_head: feature width mismatch");
   head_ = std::make_unique<Linear>(std::move(head));
 }
 

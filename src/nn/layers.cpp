@@ -5,6 +5,7 @@
 
 #include "nn/init.hpp"
 #include "tensor/ops.hpp"
+#include "util/check.hpp"
 
 namespace taglets::nn {
 
@@ -17,10 +18,10 @@ Linear::Linear(std::size_t in_features, std::size_t out_features,
 
 Linear::Linear(Tensor weight, Tensor bias)
     : weight_(std::move(weight)), bias_(std::move(bias)) {
-  if (!weight_.value.is_matrix() || !bias_.value.is_vector() ||
-      bias_.value.size() != weight_.value.cols()) {
-    throw std::invalid_argument("Linear: weight/bias shape mismatch");
-  }
+  TAGLETS_CHECK(!(!weight_.value.is_matrix() ||
+                !bias_.value.is_vector() ||
+                bias_.value.size() != weight_.value.cols()),
+                "Linear: weight/bias shape mismatch");
 }
 
 Tensor Linear::forward(const Tensor& input, bool /*training*/) {
@@ -53,9 +54,8 @@ Tensor ReLU::backward(const Tensor& grad_output) {
   Tensor grad = grad_output;
   auto gd = grad.data();
   auto in = cached_input_.data();
-  if (gd.size() != in.size()) {
-    throw std::logic_error("ReLU::backward without matching forward");
-  }
+  TAGLETS_CHECK_EQ(gd.size(), in.size(),
+                   "ReLU::backward without matching forward");
   for (std::size_t i = 0; i < gd.size(); ++i) {
     if (in[i] <= 0.0f) gd[i] = 0.0f;
   }
@@ -75,9 +75,8 @@ Tensor Tanh::backward(const Tensor& grad_output) {
   Tensor grad = grad_output;
   auto gd = grad.data();
   auto od = cached_output_.data();
-  if (gd.size() != od.size()) {
-    throw std::logic_error("Tanh::backward without matching forward");
-  }
+  TAGLETS_CHECK_EQ(gd.size(), od.size(),
+                   "Tanh::backward without matching forward");
   for (std::size_t i = 0; i < gd.size(); ++i) gd[i] *= 1.0f - od[i] * od[i];
   return grad;
 }
@@ -85,9 +84,7 @@ Tensor Tanh::backward(const Tensor& grad_output) {
 std::unique_ptr<Layer> Tanh::clone() const { return std::make_unique<Tanh>(); }
 
 Dropout::Dropout(float p, util::Rng rng) : p_(p), rng_(rng) {
-  if (p < 0.0f || p >= 1.0f) {
-    throw std::invalid_argument("Dropout: p must be in [0, 1)");
-  }
+  TAGLETS_CHECK(!(p < 0.0f || p >= 1.0f), "Dropout: p must be in [0, 1)");
 }
 
 Tensor Dropout::forward(const Tensor& input, bool training) {

@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "tensor/ops.hpp"
+#include "util/check.hpp"
 
 namespace taglets::nn {
 
@@ -11,16 +12,15 @@ using tensor::Tensor;
 
 LossResult cross_entropy(const Tensor& logits,
                          std::span<const std::size_t> labels) {
-  if (!logits.is_matrix() || logits.rows() != labels.size()) {
-    throw std::invalid_argument("cross_entropy: shape mismatch");
-  }
+  TAGLETS_CHECK(!(!logits.is_matrix() || logits.rows() != labels.size()),
+                "cross_entropy: shape mismatch");
   const std::size_t n = logits.rows(), c = logits.cols();
   Tensor log_probs = tensor::log_softmax(logits);
   Tensor grad = tensor::softmax(logits);
   double loss = 0.0;
   const float inv_n = 1.0f / static_cast<float>(n);
   for (std::size_t i = 0; i < n; ++i) {
-    if (labels[i] >= c) throw std::out_of_range("cross_entropy: label");
+    TAGLETS_CHECK_LT(labels[i], c, "cross_entropy: label");
     loss -= log_probs.at(i, labels[i]);
     auto g = grad.row(i);
     g[labels[i]] -= 1.0f;
@@ -30,9 +30,8 @@ LossResult cross_entropy(const Tensor& logits,
 }
 
 LossResult soft_cross_entropy(const Tensor& logits, const Tensor& targets) {
-  if (!tensor::same_shape(logits, targets) || !logits.is_matrix()) {
-    throw std::invalid_argument("soft_cross_entropy: shape mismatch");
-  }
+  TAGLETS_CHECK(!(!tensor::same_shape(logits, targets) || !logits.is_matrix()),
+                "soft_cross_entropy: shape mismatch");
   const std::size_t n = logits.rows(), c = logits.cols();
   Tensor log_probs = tensor::log_softmax(logits);
   Tensor grad = tensor::softmax(logits);
@@ -51,9 +50,7 @@ LossResult soft_cross_entropy(const Tensor& logits, const Tensor& targets) {
 }
 
 LossResult mse(const Tensor& prediction, const Tensor& target) {
-  if (!tensor::same_shape(prediction, target)) {
-    throw std::invalid_argument("mse: shape mismatch");
-  }
+  TAGLETS_CHECK(tensor::same_shape(prediction, target), "mse: shape mismatch");
   const std::size_t n = prediction.size();
   Tensor grad = tensor::sub(prediction, target);
   double loss = 0.0;
@@ -65,9 +62,8 @@ LossResult mse(const Tensor& prediction, const Tensor& target) {
 }
 
 double accuracy(const Tensor& logits, std::span<const std::size_t> labels) {
-  if (!logits.is_matrix() || logits.rows() != labels.size()) {
-    throw std::invalid_argument("accuracy: shape mismatch");
-  }
+  TAGLETS_CHECK(!(!logits.is_matrix() || logits.rows() != labels.size()),
+                "accuracy: shape mismatch");
   if (labels.empty()) return 0.0;
   std::size_t correct = 0;
   for (std::size_t i = 0; i < logits.rows(); ++i) {

@@ -6,38 +6,33 @@
 #include <stdexcept>
 
 #include "tensor/ops.hpp"
+#include "util/check.hpp"
 
 namespace taglets::nn {
 
 ConfusionMatrix::ConfusionMatrix(std::size_t num_classes)
     : n_(num_classes), counts_(num_classes * num_classes, 0) {
-  if (num_classes == 0) {
-    throw std::invalid_argument("ConfusionMatrix: zero classes");
-  }
+  TAGLETS_CHECK_NE(num_classes, 0, "ConfusionMatrix: zero classes");
 }
 
 void ConfusionMatrix::add(std::size_t truth, std::size_t predicted) {
-  if (truth >= n_ || predicted >= n_) {
-    throw std::out_of_range("ConfusionMatrix::add: class out of range");
-  }
+  TAGLETS_CHECK(!(truth >= n_ || predicted >= n_),
+                "ConfusionMatrix::add: class out of range");
   counts_[truth * n_ + predicted]++;
   ++total_;
 }
 
 void ConfusionMatrix::add_batch(std::span<const std::size_t> truths,
                                 std::span<const std::size_t> predictions) {
-  if (truths.size() != predictions.size()) {
-    throw std::invalid_argument("ConfusionMatrix::add_batch: size mismatch");
-  }
+  TAGLETS_CHECK_EQ(truths.size(), predictions.size(),
+                   "ConfusionMatrix::add_batch: size mismatch");
   for (std::size_t i = 0; i < truths.size(); ++i) {
     add(truths[i], predictions[i]);
   }
 }
 
 std::size_t ConfusionMatrix::at(std::size_t truth, std::size_t predicted) const {
-  if (truth >= n_ || predicted >= n_) {
-    throw std::out_of_range("ConfusionMatrix::at");
-  }
+  TAGLETS_CHECK(!(truth >= n_ || predicted >= n_), "ConfusionMatrix::at");
   return counts_[truth * n_ + predicted];
 }
 
@@ -114,9 +109,8 @@ std::string ConfusionMatrix::report(
 
 ConfusionMatrix evaluate_confusion(const tensor::Tensor& logits,
                                    std::span<const std::size_t> labels) {
-  if (!logits.is_matrix() || logits.rows() != labels.size()) {
-    throw std::invalid_argument("evaluate_confusion: shape mismatch");
-  }
+  TAGLETS_CHECK(!(!logits.is_matrix() || logits.rows() != labels.size()),
+                "evaluate_confusion: shape mismatch");
   ConfusionMatrix cm(logits.cols());
   const auto predictions = tensor::argmax_rows(logits);
   cm.add_batch(labels, predictions);

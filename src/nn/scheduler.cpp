@@ -1,4 +1,5 @@
 #include "nn/scheduler.hpp"
+#include "util/check.hpp"
 
 #include <algorithm>
 #include <cmath>
@@ -11,9 +12,8 @@ StepDecayLr::StepDecayLr(double base_lr, std::vector<double> milestone_fractions
     : base_lr_(base_lr),
       milestones_(std::move(milestone_fractions)),
       factor_(factor) {
-  if (!std::is_sorted(milestones_.begin(), milestones_.end())) {
-    throw std::invalid_argument("StepDecayLr: milestones must ascend");
-  }
+  TAGLETS_CHECK(std::is_sorted(milestones_.begin(), milestones_.end()),
+                "StepDecayLr: milestones must ascend");
 }
 
 double StepDecayLr::rate(std::size_t step, std::size_t total_steps) const {
@@ -43,7 +43,7 @@ double HalfCosineLr::rate(std::size_t step, std::size_t total_steps) const {
 
 WarmupLr::WarmupLr(std::size_t warmup_steps, std::unique_ptr<LrSchedule> after)
     : warmup_steps_(warmup_steps), after_(std::move(after)) {
-  if (!after_) throw std::invalid_argument("WarmupLr: null schedule");
+  TAGLETS_CHECK(after_, "WarmupLr: null schedule");
 }
 
 double WarmupLr::rate(std::size_t step, std::size_t total_steps) const {

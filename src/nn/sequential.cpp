@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "tensor/serialize.hpp"
+#include "util/check.hpp"
 
 namespace taglets::nn {
 
@@ -22,7 +23,7 @@ Sequential& Sequential::operator=(const Sequential& other) {
 }
 
 void Sequential::add(std::unique_ptr<Layer> layer) {
-  if (!layer) throw std::invalid_argument("Sequential::add: null layer");
+  TAGLETS_CHECK(layer, "Sequential::add: null layer");
   layers_.push_back(std::move(layer));
 }
 
@@ -123,7 +124,7 @@ Sequential Sequential::load(std::istream& in, util::Rng& dropout_rng) {
 
 Sequential make_mlp(const std::vector<std::size_t>& dims, util::Rng& rng,
                     float dropout) {
-  if (dims.size() < 2) throw std::invalid_argument("make_mlp: need >= 2 dims");
+  TAGLETS_CHECK_GE(dims.size(), 2, "make_mlp: need >= 2 dims");
   Sequential seq;
   for (std::size_t i = 0; i + 1 < dims.size(); ++i) {
     seq.add(std::make_unique<Linear>(dims[i], dims[i + 1], rng));

@@ -6,6 +6,7 @@
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "tensor/ops.hpp"
+#include "util/check.hpp"
 
 namespace taglets::nn {
 
@@ -14,7 +15,7 @@ using tensor::Tensor;
 std::vector<std::vector<std::size_t>> make_batches(std::size_t n,
                                                    std::size_t batch_size,
                                                    util::Rng& rng) {
-  if (batch_size == 0) throw std::invalid_argument("make_batches: batch 0");
+  TAGLETS_CHECK_NE(batch_size, 0, "make_batches: batch 0");
   std::vector<std::size_t> order(n);
   for (std::size_t i = 0; i < n; ++i) order[i] = i;
   rng.shuffle(order);
@@ -113,9 +114,8 @@ FitReport run_fit(
 FitReport fit_hard(Classifier& model, const Tensor& inputs,
                    std::span<const std::size_t> labels, const FitConfig& config,
                    util::Rng& rng) {
-  if (!inputs.is_matrix() || inputs.rows() != labels.size()) {
-    throw std::invalid_argument("fit_hard: inputs/labels mismatch");
-  }
+  TAGLETS_CHECK(!(!inputs.is_matrix() || inputs.rows() != labels.size()),
+                "fit_hard: inputs/labels mismatch");
   return run_fit(model, inputs, labels.size(), config, rng,
                  [&](const Tensor& logits, const std::vector<std::size_t>& batch) {
                    std::vector<std::size_t> y(batch.size());
@@ -129,10 +129,10 @@ FitReport fit_hard(Classifier& model, const Tensor& inputs,
 FitReport fit_soft(Classifier& model, const Tensor& inputs,
                    const Tensor& targets, const FitConfig& config,
                    util::Rng& rng) {
-  if (!inputs.is_matrix() || !targets.is_matrix() ||
-      inputs.rows() != targets.rows()) {
-    throw std::invalid_argument("fit_soft: inputs/targets mismatch");
-  }
+  TAGLETS_CHECK(!(!inputs.is_matrix() ||
+                !targets.is_matrix() ||
+                inputs.rows() != targets.rows()),
+                "fit_soft: inputs/targets mismatch");
   return run_fit(model, inputs, inputs.rows(), config, rng,
                  [&](const Tensor& logits, const std::vector<std::size_t>& batch) {
                    Tensor t = targets.gather_rows(batch);

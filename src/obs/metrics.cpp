@@ -8,14 +8,14 @@
 #include <stdexcept>
 
 #include "obs/json.hpp"
+#include "util/check.hpp"
 
 namespace taglets::obs {
 
 Histogram::Histogram(std::vector<double> bounds)
     : bounds_(std::move(bounds)), counts_(bounds_.size() + 1) {
-  if (!std::is_sorted(bounds_.begin(), bounds_.end())) {
-    throw std::invalid_argument("Histogram: bucket bounds must be ascending");
-  }
+  TAGLETS_CHECK(std::is_sorted(bounds_.begin(), bounds_.end()),
+                "Histogram: bucket bounds must be ascending");
 }
 
 void Histogram::observe(double v) {
@@ -72,10 +72,9 @@ Counter& MetricsRegistry::counter(const std::string& name) {
   std::lock_guard<std::mutex> lock(s.mu);
   auto it = s.counters.find(name);
   if (it == s.counters.end()) {
-    if (s.name_taken(name)) {
-      throw std::invalid_argument("MetricsRegistry: '" + name +
-                                  "' already registered as another kind");
-    }
+    TAGLETS_CHECK(!(s.name_taken(name)),
+                  "MetricsRegistry: '" + name +
+                      "' already registered as another kind");
     it = s.counters.emplace(name, std::unique_ptr<Counter>(new Counter()))
              .first;
   }
@@ -87,10 +86,9 @@ Gauge& MetricsRegistry::gauge(const std::string& name) {
   std::lock_guard<std::mutex> lock(s.mu);
   auto it = s.gauges.find(name);
   if (it == s.gauges.end()) {
-    if (s.name_taken(name)) {
-      throw std::invalid_argument("MetricsRegistry: '" + name +
-                                  "' already registered as another kind");
-    }
+    TAGLETS_CHECK(!(s.name_taken(name)),
+                  "MetricsRegistry: '" + name +
+                      "' already registered as another kind");
     it = s.gauges.emplace(name, std::unique_ptr<Gauge>(new Gauge())).first;
   }
   return *it->second;
@@ -102,17 +100,17 @@ Histogram& MetricsRegistry::histogram(const std::string& name,
   std::lock_guard<std::mutex> lock(s.mu);
   auto it = s.histograms.find(name);
   if (it == s.histograms.end()) {
-    if (s.name_taken(name)) {
-      throw std::invalid_argument("MetricsRegistry: '" + name +
-                                  "' already registered as another kind");
-    }
+    TAGLETS_CHECK(!(s.name_taken(name)),
+                  "MetricsRegistry: '" + name +
+                      "' already registered as another kind");
     it = s.histograms
              .emplace(name,
                       std::unique_ptr<Histogram>(new Histogram(std::move(bounds))))
              .first;
-  } else if (it->second->bounds_ != bounds) {
-    throw std::invalid_argument("MetricsRegistry: histogram '" + name +
-                                "' re-registered with different buckets");
+  } else {
+    TAGLETS_CHECK_EQ(it->second->bounds_, bounds,
+                     "MetricsRegistry: histogram '" + name +
+                         "' re-registered with different buckets");
   }
   return *it->second;
 }

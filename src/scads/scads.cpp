@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "tensor/ops.hpp"
+#include "util/check.hpp"
 
 namespace taglets::scads {
 
@@ -19,9 +20,8 @@ Scads::Scads(const graph::KnowledgeGraph& graph,
 std::size_t Scads::install_dataset(synth::Dataset dataset) {
   dataset.validate();
   for (NodeId cnode : dataset.class_concepts) {
-    if (cnode != synth::kNoConcept && cnode >= graph_.node_count()) {
-      throw std::invalid_argument("install_dataset: concept id out of range");
-    }
+    TAGLETS_CHECK(!(cnode != synth::kNoConcept && cnode >= graph_.node_count()),
+                  "install_dataset: concept id out of range");
   }
   const std::size_t index = datasets_.size();
   datasets_.push_back(std::move(dataset));
@@ -43,7 +43,7 @@ void Scads::remove_dataset(const std::string& name) {
       found = true;
     }
   }
-  if (!found) throw std::invalid_argument("remove_dataset: unknown " + name);
+  TAGLETS_CHECK(found, "remove_dataset: unknown " + name);
   rebuild_example_map();
 }
 
@@ -67,18 +67,13 @@ const synth::Dataset& Scads::dataset(std::size_t index) const {
 NodeId Scads::add_novel_concept(
     const std::string& name,
     const std::vector<std::pair<std::string, graph::Relation>>& links) {
-  if (graph_.has_node(name)) {
-    throw std::invalid_argument("add_novel_concept: exists: " + name);
-  }
+  TAGLETS_CHECK(!(graph_.has_node(name)), "add_novel_concept: exists: " + name);
   const NodeId id = graph_.add_node(name);
   Tensor embedding = Tensor::zeros(index_->dim());
   std::size_t linked = 0;
   for (const auto& [target, relation] : links) {
     const auto tid = graph_.find(target);
-    if (!tid) {
-      throw std::invalid_argument("add_novel_concept: unknown link target " +
-                                  target);
-    }
+    TAGLETS_CHECK(tid, "add_novel_concept: unknown link target " + target);
     graph_.add_edge(id, *tid, relation);
     auto src = index_->vector(*tid);
     for (std::size_t d = 0; d < embedding.size(); ++d) embedding[d] += src[d];

@@ -2,17 +2,16 @@
 
 #include <stdexcept>
 
+#include "util/check.hpp"
 #include "util/parallel.hpp"
 
 namespace taglets::serve {
 
 void BatchingPolicy::validate() const {
-  if (max_batch_size == 0) {
-    throw std::invalid_argument("BatchingPolicy: max_batch_size must be >= 1");
-  }
-  if (max_delay_ms < 0.0) {
-    throw std::invalid_argument("BatchingPolicy: max_delay_ms must be >= 0");
-  }
+  TAGLETS_CHECK_NE(max_batch_size, 0,
+                   "BatchingPolicy: max_batch_size must be >= 1");
+  TAGLETS_CHECK_GE(max_delay_ms, 0.0,
+                   "BatchingPolicy: max_delay_ms must be >= 0");
 }
 
 std::chrono::nanoseconds BatchingPolicy::effective_delay() const {

@@ -1,4 +1,5 @@
 #include "serve/request_queue.hpp"
+#include "util/check.hpp"
 
 #include <stdexcept>
 
@@ -16,9 +17,7 @@ const char* status_name(Status status) {
 }
 
 RequestQueue::RequestQueue(std::size_t capacity) : capacity_(capacity) {
-  if (capacity_ == 0) {
-    throw std::invalid_argument("RequestQueue: capacity must be >= 1");
-  }
+  TAGLETS_CHECK_NE(capacity_, 0, "RequestQueue: capacity must be >= 1");
 }
 
 RequestQueue::Push RequestQueue::try_push(Request& request) {

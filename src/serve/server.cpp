@@ -6,6 +6,7 @@
 
 #include "obs/trace.hpp"
 #include "tensor/ops.hpp"
+#include "util/check.hpp"
 
 namespace taglets::serve {
 
@@ -26,12 +27,9 @@ Clock::time_point deadline_from(Clock::time_point now, double deadline_ms) {
 }  // namespace
 
 void ServerConfig::validate() const {
-  if (workers == 0) {
-    throw std::invalid_argument("ServerConfig: workers must be >= 1");
-  }
-  if (queue_capacity == 0) {
-    throw std::invalid_argument("ServerConfig: queue_capacity must be >= 1");
-  }
+  TAGLETS_CHECK_NE(workers, 0, "ServerConfig: workers must be >= 1");
+  TAGLETS_CHECK_NE(queue_capacity, 0,
+                   "ServerConfig: queue_capacity must be >= 1");
   batching.validate();
 }
 
@@ -85,11 +83,9 @@ std::future<Response> Server::submit(Tensor input) {
 }
 
 std::future<Response> Server::submit(Tensor input, double deadline_ms) {
-  if (!input.is_vector() || input.size() != input_dim_) {
-    throw std::invalid_argument(
-        "Server::submit: input must be a rank-1 tensor of length " +
-        std::to_string(input_dim_));
-  }
+  TAGLETS_CHECK(!(!input.is_vector() || input.size() != input_dim_),
+                "Server::submit: input must be a rank-1 tensor of length " +
+                    std::to_string(input_dim_));
   Request request;
   request.input = std::move(input);
   request.id = next_request_id_.fetch_add(1, std::memory_order_relaxed);

@@ -1,4 +1,5 @@
 #include "synth/dataset.hpp"
+#include "util/check.hpp"
 
 #include <stdexcept>
 
@@ -40,29 +41,23 @@ Dataset Dataset::subset(std::span<const std::size_t> indices) const {
 }
 
 void Dataset::validate() const {
-  if (!inputs.is_matrix() && size() > 0) {
-    throw std::logic_error("Dataset: inputs must be a matrix");
-  }
-  if (inputs.rows() != labels.size()) {
-    throw std::logic_error("Dataset: inputs/labels size mismatch");
-  }
-  if (class_concepts.size() != class_names.size()) {
-    throw std::logic_error("Dataset: class metadata size mismatch");
-  }
+  TAGLETS_CHECK(!(!inputs.is_matrix() && size() > 0),
+                "Dataset: inputs must be a matrix");
+  TAGLETS_CHECK_EQ(inputs.rows(), labels.size(),
+                   "Dataset: inputs/labels size mismatch");
+  TAGLETS_CHECK_EQ(class_concepts.size(), class_names.size(),
+                   "Dataset: class metadata size mismatch");
   for (std::size_t y : labels) {
-    if (y >= num_classes()) throw std::logic_error("Dataset: label out of range");
+    TAGLETS_CHECK_LT(y, num_classes(), "Dataset: label out of range");
   }
 }
 
 Dataset concat(const Dataset& a, const Dataset& b) {
-  if (a.class_names != b.class_names) {
-    throw std::invalid_argument("concat: class mismatch");
-  }
+  TAGLETS_CHECK_EQ(a.class_names, b.class_names, "concat: class mismatch");
   if (a.size() == 0) return b;
   if (b.size() == 0) return a;
-  if (a.inputs.cols() != b.inputs.cols()) {
-    throw std::invalid_argument("concat: input width mismatch");
-  }
+  TAGLETS_CHECK_EQ(a.inputs.cols(), b.inputs.cols(),
+                   "concat: input width mismatch");
   Dataset out = a;
   tensor::Tensor merged = tensor::Tensor::zeros(a.size() + b.size(), a.inputs.cols());
   for (std::size_t i = 0; i < a.size(); ++i) {

@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "util/check.hpp"
 #include "util/rng.hpp"
 
 namespace taglets::synth {
@@ -10,7 +11,7 @@ FewShotTask make_few_shot_task(const Dataset& pool, std::size_t shots,
                                std::size_t test_per_class,
                                std::uint64_t split_seed) {
   pool.validate();
-  if (shots == 0) throw std::invalid_argument("make_few_shot_task: 0 shots");
+  TAGLETS_CHECK_NE(shots, 0, "make_few_shot_task: 0 shots");
 
   // One generator for partitioning AND labeling (Appendix A.3: "We use
   // the same seed for both partitioning ... and subsequently choosing
@@ -21,10 +22,9 @@ FewShotTask make_few_shot_task(const Dataset& pool, std::size_t shots,
   std::vector<std::size_t> test_idx, labeled_idx, unlabeled_idx;
   for (std::size_t c = 0; c < pool.num_classes(); ++c) {
     std::vector<std::size_t> members = pool.indices_of_class(c);
-    if (members.size() < test_per_class + shots) {
-      throw std::invalid_argument(
-          "make_few_shot_task: class too small: " + pool.class_names[c]);
-    }
+    TAGLETS_CHECK_GE(members.size(), test_per_class + shots,
+                     "make_few_shot_task: class too small: " +
+                         pool.class_names[c]);
     rng.shuffle(members);
     std::size_t cursor = 0;
     for (std::size_t k = 0; k < test_per_class; ++k) {

@@ -7,6 +7,7 @@
 #include "graph/generators.hpp"
 #include "graph/retrofit.hpp"
 #include "tensor/ops.hpp"
+#include "util/check.hpp"
 #include "util/string_util.hpp"
 
 namespace taglets::synth {
@@ -48,9 +49,8 @@ World::World(const WorldConfig& config)
       if (taxonomy_.children(taxonomy_.parent(i)).size() < 2) continue;
       candidates.push_back(i);
     }
-    if (candidates.size() < config.named_concepts.size()) {
-      throw std::invalid_argument("World: not enough concepts to name");
-    }
+    TAGLETS_CHECK_GE(candidates.size(), config.named_concepts.size(),
+                     "World: not enough concepts to name");
     rng.shuffle(candidates);
     for (std::size_t k = 0; k < config.named_concepts.size(); ++k) {
       names[candidates[k]] = config.named_concepts[k];
@@ -194,19 +194,14 @@ std::optional<std::size_t> World::prototype_for_name(
 std::size_t World::add_blended_class(
     const std::string& name, std::span<const std::size_t> source_prototypes,
     double noise) {
-  if (name_to_prototype_.count(name) > 0) {
-    throw std::invalid_argument("add_blended_class: name exists: " + name);
-  }
-  if (source_prototypes.empty()) {
-    throw std::invalid_argument("add_blended_class: no sources");
-  }
+  TAGLETS_CHECK_LE(name_to_prototype_.count(name), 0,
+                   "add_blended_class: name exists: " + name);
+  TAGLETS_CHECK(!(source_prototypes.empty()), "add_blended_class: no sources");
   util::Rng rng(util::combine_seeds(
       {config_.seed, 77, static_cast<std::uint64_t>(prototypes_.rows())}));
   Tensor blended = Tensor::zeros(config_.latent_dim);
   for (std::size_t src : source_prototypes) {
-    if (src >= prototypes_.rows()) {
-      throw std::out_of_range("add_blended_class: bad source");
-    }
+    TAGLETS_CHECK_LT(src, prototypes_.rows(), "add_blended_class: bad source");
     auto row = prototypes_.row(src);
     for (std::size_t d = 0; d < config_.latent_dim; ++d) blended[d] += row[d];
   }
@@ -232,9 +227,8 @@ std::size_t World::add_blended_class(
 
 Tensor World::sample_image(std::size_t prototype_index, Domain domain,
                            util::Rng& rng) const {
-  if (prototype_index >= prototypes_.rows()) {
-    throw std::out_of_range("sample_image: bad prototype index");
-  }
+  TAGLETS_CHECK_LT(prototype_index, prototypes_.rows(),
+                   "sample_image: bad prototype index");
   const std::size_t L = config_.latent_dim, P = config_.pixel_dim;
   auto proto = prototypes_.row(prototype_index);
 
@@ -318,9 +312,7 @@ Dataset World::make_dataset(const std::string& dataset_name,
   std::size_t row = 0;
   for (std::size_t c = 0; c < class_names.size(); ++c) {
     const auto proto = prototype_for_name(class_names[c]);
-    if (!proto) {
-      throw std::invalid_argument("make_dataset: unknown class " + class_names[c]);
-    }
+    TAGLETS_CHECK(proto, "make_dataset: unknown class " + class_names[c]);
     // Record the graph concept when one exists (blended extras do not).
     ds.class_concepts.push_back(
         *proto < config_.concept_count ? *proto : kNoConcept);
@@ -349,9 +341,8 @@ Dataset World::make_auxiliary_corpus(std::span<const NodeId> concepts,
   ds.labels.reserve(n);
   std::size_t row = 0;
   for (std::size_t c = 0; c < concepts.size(); ++c) {
-    if (concepts[c] >= config_.concept_count) {
-      throw std::out_of_range("make_auxiliary_corpus: bad concept");
-    }
+    TAGLETS_CHECK_LT(concepts[c], config_.concept_count,
+                     "make_auxiliary_corpus: bad concept");
     ds.class_names.push_back(graph_.name(concepts[c]));
     for (std::size_t k = 0; k < per_class; ++k) {
       Tensor img = sample_image(concepts[c], Domain::kNatural, rng);
@@ -375,9 +366,8 @@ std::vector<NodeId> World::auxiliary_concepts() const {
 }
 
 std::vector<NodeId> World::auxiliary_subset(double fraction) const {
-  if (fraction <= 0.0 || fraction > 1.0) {
-    throw std::invalid_argument("auxiliary_subset: bad fraction");
-  }
+  TAGLETS_CHECK(!(fraction <= 0.0 || fraction > 1.0),
+                "auxiliary_subset: bad fraction");
   const std::size_t want = static_cast<std::size_t>(std::max(
       1.0, fraction * static_cast<double>(config_.concept_count - 1)));
   // Clustered sampling: whole subtrees at a time. A small pretraining

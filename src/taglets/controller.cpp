@@ -5,6 +5,7 @@
 #include "ensemble/ensemble.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "util/check.hpp"
 #include "util/logging.hpp"
 #include "util/parallel.hpp"
 #include "util/timer.hpp"
@@ -21,9 +22,8 @@ Controller::Controller(scads::Scads* scads, backbone::Zoo* zoo,
       zsl_engine_(zsl_engine),
       registry_(registry != nullptr ? registry
                                     : &modules::ModuleRegistry::global()) {
-  if (scads_ == nullptr || zoo_ == nullptr) {
-    throw std::invalid_argument("Controller: scads and zoo are required");
-  }
+  TAGLETS_CHECK(!(scads_ == nullptr || zoo_ == nullptr),
+                "Controller: scads and zoo are required");
 }
 
 scads::Selection Controller::select(const synth::FewShotTask& task,
@@ -36,9 +36,8 @@ scads::Selection Controller::select(const synth::FewShotTask& task,
 std::vector<modules::Taglet> Controller::train_taglets(
     const synth::FewShotTask& task, const scads::Selection& selection,
     const SystemConfig& config) {
-  if (config.module_names.empty()) {
-    throw std::invalid_argument("Controller: empty module line-up");
-  }
+  TAGLETS_CHECK(!(config.module_names.empty()),
+                "Controller: empty module line-up");
   const backbone::Pretrained& phi = zoo_->get(config.backbone);
 
   modules::ModuleContext context;

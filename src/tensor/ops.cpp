@@ -4,18 +4,14 @@
 #include <atomic>
 #include <cmath>
 #include <numeric>
-#include <stdexcept>
 
+#include "util/check.hpp"
 #include "util/env.hpp"
 #include "util/parallel.hpp"
 
 namespace taglets::tensor {
 
 namespace {
-
-void require(bool cond, const char* what) {
-  if (!cond) throw std::invalid_argument(what);
-}
 
 constexpr std::size_t kBlock = 64;
 
@@ -41,13 +37,9 @@ bool finite_checks_enabled() {
 // operands so the skip can never mask a poisoned tensor.
 void debug_check_finite(const Tensor& t, const char* what) {
   if (!finite_checks_enabled()) return;
-  for (float x : t.data()) {
-    if (!std::isfinite(x)) {
-      throw std::domain_error(std::string(what) +
-                              ": non-finite operand (zero-skip fast path "
-                              "would drop NaN/Inf propagation)");
-    }
-  }
+  TAGLETS_CHECK_FINITE(t, what,
+                       ": non-finite operand (zero-skip fast path would "
+                       "drop NaN/Inf propagation)");
 }
 
 }  // namespace
@@ -64,8 +56,8 @@ bool set_finite_checks(bool enabled) {
 // bitwise-identical at every thread count.
 
 Tensor matmul(const Tensor& a, const Tensor& b) {
-  require(a.is_matrix() && b.is_matrix(), "matmul: rank-2 required");
-  require(a.cols() == b.rows(), "matmul: inner dim mismatch");
+  TAGLETS_CHECK(a.is_matrix() && b.is_matrix(), "matmul: rank-2 required");
+  TAGLETS_CHECK(a.cols() == b.rows(), "matmul: inner dim mismatch");
   debug_check_finite(a, "matmul");
   debug_check_finite(b, "matmul");
   const std::size_t m = a.rows(), k = a.cols(), n = b.cols();
@@ -91,8 +83,8 @@ Tensor matmul(const Tensor& a, const Tensor& b) {
 }
 
 Tensor matmul_tn(const Tensor& a, const Tensor& b) {
-  require(a.is_matrix() && b.is_matrix(), "matmul_tn: rank-2 required");
-  require(a.rows() == b.rows(), "matmul_tn: inner dim mismatch");
+  TAGLETS_CHECK(a.is_matrix() && b.is_matrix(), "matmul_tn: rank-2 required");
+  TAGLETS_CHECK(a.rows() == b.rows(), "matmul_tn: inner dim mismatch");
   debug_check_finite(a, "matmul_tn");
   debug_check_finite(b, "matmul_tn");
   const std::size_t m = a.cols(), k = a.rows(), n = b.cols();
@@ -113,8 +105,8 @@ Tensor matmul_tn(const Tensor& a, const Tensor& b) {
 }
 
 Tensor matmul_nt(const Tensor& a, const Tensor& b) {
-  require(a.is_matrix() && b.is_matrix(), "matmul_nt: rank-2 required");
-  require(a.cols() == b.cols(), "matmul_nt: inner dim mismatch");
+  TAGLETS_CHECK(a.is_matrix() && b.is_matrix(), "matmul_nt: rank-2 required");
+  TAGLETS_CHECK(a.cols() == b.cols(), "matmul_nt: inner dim mismatch");
   const std::size_t m = a.rows(), k = a.cols(), n = b.rows();
   Tensor c = Tensor::zeros(m, n);
   util::parallel_for_ranges(m, [&](std::size_t r0, std::size_t r1) {
@@ -135,7 +127,7 @@ Tensor matmul_nt(const Tensor& a, const Tensor& b) {
 }
 
 Tensor transpose(const Tensor& a) {
-  require(a.is_matrix(), "transpose: rank-2 required");
+  TAGLETS_CHECK(a.is_matrix(), "transpose: rank-2 required");
   Tensor t = Tensor::zeros(a.cols(), a.rows());
   for (std::size_t i = 0; i < a.rows(); ++i) {
     for (std::size_t j = 0; j < a.cols(); ++j) t.at(j, i) = a.at(i, j);
@@ -144,7 +136,7 @@ Tensor transpose(const Tensor& a) {
 }
 
 Tensor add(const Tensor& a, const Tensor& b) {
-  require(same_shape(a, b), "add: shape mismatch");
+  TAGLETS_CHECK(same_shape(a, b), "add: shape mismatch");
   Tensor c = a;
   auto cd = c.data();
   auto bd = b.data();
@@ -153,7 +145,7 @@ Tensor add(const Tensor& a, const Tensor& b) {
 }
 
 Tensor sub(const Tensor& a, const Tensor& b) {
-  require(same_shape(a, b), "sub: shape mismatch");
+  TAGLETS_CHECK(same_shape(a, b), "sub: shape mismatch");
   Tensor c = a;
   auto cd = c.data();
   auto bd = b.data();
@@ -162,7 +154,7 @@ Tensor sub(const Tensor& a, const Tensor& b) {
 }
 
 Tensor hadamard(const Tensor& a, const Tensor& b) {
-  require(same_shape(a, b), "hadamard: shape mismatch");
+  TAGLETS_CHECK(same_shape(a, b), "hadamard: shape mismatch");
   Tensor c = a;
   auto cd = c.data();
   auto bd = b.data();
@@ -177,15 +169,15 @@ Tensor scale(const Tensor& a, float s) {
 }
 
 void add_scaled_inplace(Tensor& a, const Tensor& b, float s) {
-  require(same_shape(a, b), "add_scaled_inplace: shape mismatch");
+  TAGLETS_CHECK(same_shape(a, b), "add_scaled_inplace: shape mismatch");
   auto ad = a.data();
   auto bd = b.data();
   for (std::size_t i = 0; i < ad.size(); ++i) ad[i] += s * bd[i];
 }
 
 Tensor add_row_broadcast(const Tensor& a, const Tensor& bias) {
-  require(a.is_matrix(), "add_row_broadcast: matrix required");
-  require(bias.is_vector() && bias.size() == a.cols(),
+  TAGLETS_CHECK(a.is_matrix(), "add_row_broadcast: matrix required");
+  TAGLETS_CHECK(bias.is_vector() && bias.size() == a.cols(),
           "add_row_broadcast: bias size mismatch");
   Tensor c = a;
   for (std::size_t i = 0; i < c.rows(); ++i) {
@@ -196,7 +188,7 @@ Tensor add_row_broadcast(const Tensor& a, const Tensor& bias) {
 }
 
 float dot(std::span<const float> a, std::span<const float> b) {
-  require(a.size() == b.size(), "dot: size mismatch");
+  TAGLETS_CHECK(a.size() == b.size(), "dot: size mismatch");
   double s = 0.0;
   for (std::size_t i = 0; i < a.size(); ++i) s += static_cast<double>(a[i]) * b[i];
   return static_cast<float>(s);
@@ -215,7 +207,7 @@ float cosine_similarity(std::span<const float> a, std::span<const float> b) {
 }
 
 Tensor column_sums(const Tensor& a) {
-  require(a.is_matrix(), "column_sums: matrix required");
+  TAGLETS_CHECK(a.is_matrix(), "column_sums: matrix required");
   Tensor out = Tensor::zeros(a.cols());
   for (std::size_t i = 0; i < a.rows(); ++i) {
     auto row = a.row(i);
@@ -276,7 +268,8 @@ Tensor softmax(const Tensor& logits) {
 }
 
 Tensor log_softmax(const Tensor& logits) {
-  require(logits.is_matrix() || logits.is_vector(), "log_softmax: bad rank");
+  TAGLETS_CHECK(logits.is_matrix() || logits.is_vector(),
+                "log_softmax: bad rank");
   Tensor out = logits;
   const std::size_t rows = logits.is_matrix() ? logits.rows() : 1;
   const std::size_t cols = logits.is_matrix() ? logits.cols() : logits.size();
@@ -303,13 +296,13 @@ std::vector<std::size_t> argmax_rows(const Tensor& a) {
 }
 
 std::size_t argmax(std::span<const float> a) {
-  require(!a.empty(), "argmax: empty");
+  TAGLETS_CHECK(!a.empty(), "argmax: empty");
   return static_cast<std::size_t>(
       std::max_element(a.begin(), a.end()) - a.begin());
 }
 
 std::vector<float> max_rows(const Tensor& a) {
-  require(a.is_matrix(), "max_rows: matrix required");
+  TAGLETS_CHECK(a.is_matrix(), "max_rows: matrix required");
   std::vector<float> out;
   out.reserve(a.rows());
   for (std::size_t i = 0; i < a.rows(); ++i) {

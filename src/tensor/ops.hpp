@@ -3,8 +3,9 @@
 // cache-blocked loops parallelized over row blocks via util::Parallel
 // (bitwise-identical results at every TAGLETS_THREADS setting);
 // everything else is straightforward elementwise code. All functions
-// validate shapes and throw std::invalid_argument on mismatch so shape
-// bugs fail loudly rather than silently. The matmul zero-skip fast path
+// validate shapes via TAGLETS_CHECK (throwing util::ContractViolation,
+// see docs/CORRECTNESS.md) so shape bugs fail loudly rather than
+// silently. The matmul zero-skip fast path
 // additionally rejects non-finite operands in debug builds (or with
 // TAGLETS_CHECK_FINITE=1), since skipping 0 * NaN would silently drop
 // NaN/Inf propagation.

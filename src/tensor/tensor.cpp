@@ -2,7 +2,8 @@
 
 #include <cmath>
 #include <sstream>
-#include <stdexcept>
+
+#include "util/check.hpp"
 
 namespace taglets::tensor {
 
@@ -25,9 +26,7 @@ Tensor Tensor::from_vector(std::vector<float> values) {
 
 Tensor Tensor::from_matrix(std::size_t rows, std::size_t cols,
                            std::vector<float> values) {
-  if (values.size() != rows * cols) {
-    throw std::invalid_argument("Tensor::from_matrix: size mismatch");
-  }
+  TAGLETS_CHECK_EQ(values.size(), rows * cols, "Tensor::from_matrix");
   return Tensor(2, rows, cols, std::move(values));
 }
 
@@ -38,12 +37,14 @@ Tensor Tensor::identity(std::size_t n) {
 }
 
 std::span<float> Tensor::row(std::size_t r) {
-  assert(rank_ == 2 && r < rows_);
+  TAGLETS_DCHECK(rank_ == 2);
+  TAGLETS_DCHECK_LT(r, rows_);
   return std::span<float>(data_.data() + r * cols_, cols_);
 }
 
 std::span<const float> Tensor::row(std::size_t r) const {
-  assert(rank_ == 2 && r < rows_);
+  TAGLETS_DCHECK(rank_ == 2);
+  TAGLETS_DCHECK_LT(r, rows_);
   return std::span<const float>(data_.data() + r * cols_, cols_);
 }
 
@@ -53,10 +54,10 @@ Tensor Tensor::row_copy(std::size_t r) const {
 }
 
 Tensor Tensor::gather_rows(std::span<const std::size_t> indices) const {
-  if (rank_ != 2) throw std::logic_error("gather_rows: rank-2 required");
+  TAGLETS_CHECK(is_matrix(), "gather_rows: rank-2 required");
   Tensor out = zeros(indices.size(), cols_);
   for (std::size_t i = 0; i < indices.size(); ++i) {
-    if (indices[i] >= rows_) throw std::out_of_range("gather_rows: index");
+    TAGLETS_CHECK_LT(indices[i], rows_, "gather_rows");
     auto src = row(indices[i]);
     auto dst = out.row(i);
     std::copy(src.begin(), src.end(), dst.begin());
@@ -65,9 +66,7 @@ Tensor Tensor::gather_rows(std::span<const std::size_t> indices) const {
 }
 
 Tensor Tensor::reshape(std::size_t rows, std::size_t cols) const {
-  if (rows * cols != data_.size()) {
-    throw std::invalid_argument("Tensor::reshape: element count mismatch");
-  }
+  TAGLETS_CHECK_EQ(rows * cols, data_.size(), "Tensor::reshape");
   return Tensor(2, rows, cols, data_);
 }
 

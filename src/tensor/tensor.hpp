@@ -1,16 +1,18 @@
 // Dense row-major float tensor restricted to ranks 1 and 2 — the shapes
 // that appear in the TAGLETS pipeline (feature matrices, weight
 // matrices, probability vectors). Deliberately minimal: contiguous
-// storage, bounds-checked element access in debug builds, and value
-// semantics so layers can own their parameters directly.
+// storage, bounds-checked element access in debug builds (TAGLETS_DCHECK
+// — free in release, see docs/CORRECTNESS.md), and value semantics so
+// layers can own their parameters directly.
 #pragma once
 
-#include <cassert>
 #include <cstddef>
 #include <initializer_list>
 #include <span>
 #include <string>
 #include <vector>
+
+#include "util/check.hpp"
 
 namespace taglets::tensor {
 
@@ -43,21 +45,21 @@ class Tensor {
 
   /// Rank-1 element access.
   float& operator[](std::size_t i) {
-    assert(rank_ == 1 && i < data_.size());
+    TAGLETS_DCHECK(rank_ == 1 && i < data_.size());
     return data_[i];
   }
   float operator[](std::size_t i) const {
-    assert(rank_ == 1 && i < data_.size());
+    TAGLETS_DCHECK(rank_ == 1 && i < data_.size());
     return data_[i];
   }
 
   /// Rank-2 element access.
   float& at(std::size_t r, std::size_t c) {
-    assert(rank_ == 2 && r < rows_ && c < cols_);
+    TAGLETS_DCHECK(rank_ == 2 && r < rows_ && c < cols_);
     return data_[r * cols_ + c];
   }
   float at(std::size_t r, std::size_t c) const {
-    assert(rank_ == 2 && r < rows_ && c < cols_);
+    TAGLETS_DCHECK(rank_ == 2 && r < rows_ && c < cols_);
     return data_[r * cols_ + c];
   }
 

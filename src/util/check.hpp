@@ -1,0 +1,361 @@
+// Contracts library: the single way TAGLETS states and enforces
+// invariants. Three tiers (see docs/CORRECTNESS.md):
+//
+//   TAGLETS_CHECK*   — always on, for preconditions whose violation means
+//                      a programmer error at a module boundary. Throws
+//                      ContractViolation carrying the expression text,
+//                      operand values, and file:line.
+//   TAGLETS_DCHECK*  — hot-path invariants. Enabled in debug builds or
+//                      with -DTAGLETS_DEBUG_CHECKS; compiled to nothing
+//                      in release (BM_CheckDisabled guards the cost).
+//   Domain helpers   — TAGLETS_CHECK_SHAPE / _FINITE / _PROB_ROW encode
+//                      the shapes/finiteness/probability invariants the
+//                      pipeline relies on end to end.
+//
+// Environmental failures (unreadable file, truncated stream, exhausted
+// queue) are NOT contract violations — keep throwing std::runtime_error
+// for those. ContractViolation derives from std::invalid_argument so
+// existing handlers and tests that catch the standard logic-error
+// hierarchy keep working.
+//
+// This header is deliberately std-only with no project includes: it
+// sits below every layer (even obs) so any module may use it. The
+// layering lint rule allowlists it for exactly this reason.
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <type_traits>
+#include <utility>
+
+namespace taglets::util {
+
+/// Thrown by every TAGLETS_CHECK* macro. what() has the form
+///   file:line: TAGLETS_CHECK_EQ failed: a == b (3 vs. 5): detail
+class ContractViolation : public std::invalid_argument {
+ public:
+  explicit ContractViolation(const std::string& what_arg)
+      : std::invalid_argument(what_arg) {}
+};
+
+namespace check_detail {
+
+template <class T>
+concept Streamable = requires(std::ostream& os, const T& v) { os << v; };
+
+template <class T>
+void print_value(std::ostream& os, const T& v) {
+  if constexpr (std::is_same_v<std::remove_cvref_t<T>, bool>) {
+    os << (v ? "true" : "false");
+  } else if constexpr (Streamable<T>) {
+    os << v;
+  } else {
+    os << "<unprintable>";
+  }
+}
+
+inline void append_message(std::ostream&) {}
+template <class T, class... Rest>
+void append_message(std::ostream& os, const T& v, const Rest&... rest) {
+  print_value(os, v);
+  append_message(os, rest...);
+}
+
+/// Concatenates the optional trailing macro arguments into a detail
+/// string ("" when no extra arguments were given).
+template <class... Args>
+std::string message(const Args&... args) {
+  if constexpr (sizeof...(Args) == 0) {
+    return {};
+  } else {
+    std::ostringstream os;
+    append_message(os, args...);
+    return os.str();
+  }
+}
+
+// std::cmp_* make mixed signed/unsigned comparisons exact, but they
+// reject bool and character types, so route only "plain" integers
+// through them and use the built-in operators for everything else.
+template <class T>
+inline constexpr bool is_cmp_int_v =
+    std::is_integral_v<T> && !std::is_same_v<std::remove_cv_t<T>, bool> &&
+    !std::is_same_v<std::remove_cv_t<T>, char> &&
+    !std::is_same_v<std::remove_cv_t<T>, wchar_t> &&
+    !std::is_same_v<std::remove_cv_t<T>, char8_t> &&
+    !std::is_same_v<std::remove_cv_t<T>, char16_t> &&
+    !std::is_same_v<std::remove_cv_t<T>, char32_t>;
+
+template <class A, class B>
+constexpr bool cmp_eq(const A& a, const B& b) {
+  if constexpr (is_cmp_int_v<A> && is_cmp_int_v<B>) {
+    return std::cmp_equal(a, b);
+  } else {
+    return a == b;
+  }
+}
+template <class A, class B>
+constexpr bool cmp_ne(const A& a, const B& b) {
+  if constexpr (is_cmp_int_v<A> && is_cmp_int_v<B>) {
+    return std::cmp_not_equal(a, b);
+  } else {
+    return a != b;
+  }
+}
+template <class A, class B>
+constexpr bool cmp_lt(const A& a, const B& b) {
+  if constexpr (is_cmp_int_v<A> && is_cmp_int_v<B>) {
+    return std::cmp_less(a, b);
+  } else {
+    return a < b;
+  }
+}
+template <class A, class B>
+constexpr bool cmp_le(const A& a, const B& b) {
+  if constexpr (is_cmp_int_v<A> && is_cmp_int_v<B>) {
+    return std::cmp_less_equal(a, b);
+  } else {
+    return a <= b;
+  }
+}
+template <class A, class B>
+constexpr bool cmp_gt(const A& a, const B& b) {
+  return cmp_lt(b, a);
+}
+template <class A, class B>
+constexpr bool cmp_ge(const A& a, const B& b) {
+  return cmp_le(b, a);
+}
+
+[[noreturn]] inline void fail(const char* macro, const char* expr,
+                              const char* file, int line,
+                              const std::string& detail) {
+  std::ostringstream os;
+  os << file << ":" << line << ": " << macro << " failed: " << expr;
+  if (!detail.empty()) os << ": " << detail;
+  throw ContractViolation(os.str());
+}
+
+template <class A, class B>
+[[noreturn]] void fail_op(const char* macro, const char* expr, const A& a,
+                          const B& b, const char* file, int line,
+                          const std::string& detail) {
+  std::ostringstream os;
+  os << file << ":" << line << ": " << macro << " failed: " << expr << " (";
+  print_value(os, a);
+  os << " vs. ";
+  print_value(os, b);
+  os << ")";
+  if (!detail.empty()) os << ": " << detail;
+  throw ContractViolation(os.str());
+}
+
+/// Index of the first non-finite element, or npos when all are finite.
+inline constexpr std::size_t npos = static_cast<std::size_t>(-1);
+template <class Range>
+std::size_t first_non_finite(const Range& r) {
+  std::size_t i = 0;
+  for (float x : r) {
+    if (!std::isfinite(x)) return i;
+    ++i;
+  }
+  return npos;
+}
+
+inline constexpr float kProbElementEps = 1e-5f;
+inline constexpr float kProbSumEps = 1e-3f;
+
+/// True when every element is in [0,1] (within eps) and the row sums to
+/// 1 within kProbSumEps. Empty rows are rejected.
+template <class Range>
+bool is_prob_row(const Range& r, double* sum_out = nullptr) {
+  double sum = 0.0;
+  std::size_t n = 0;
+  bool in_range = true;
+  for (float x : r) {
+    if (!std::isfinite(x) || x < -kProbElementEps || x > 1.0f + kProbElementEps)
+      in_range = false;
+    sum += static_cast<double>(x);
+    ++n;
+  }
+  if (sum_out != nullptr) *sum_out = sum;
+  return n > 0 && in_range && std::abs(sum - 1.0) <= kProbSumEps;
+}
+
+template <class Range>
+[[noreturn]] void fail_prob_row(const char* expr, const Range& r,
+                                const char* file, int line,
+                                const std::string& detail) {
+  double sum = 0.0;
+  is_prob_row(r, &sum);
+  std::ostringstream os;
+  os << expr << " is not a probability row (sum=" << sum << ")";
+  fail("TAGLETS_CHECK_PROB_ROW", os.str().c_str(), file, line, detail);
+}
+
+}  // namespace check_detail
+}  // namespace taglets::util
+
+// ---- always-on checks ------------------------------------------------
+
+#define TAGLETS_CHECK(cond, ...)                                             \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      ::taglets::util::check_detail::fail(                                   \
+          "TAGLETS_CHECK", #cond, __FILE__, __LINE__,                        \
+          ::taglets::util::check_detail::message(__VA_ARGS__));              \
+    }                                                                        \
+  } while (false)
+
+#define TAGLETS_CHECK_OP_(macro, cmpfn, optext, a, b, ...)                   \
+  do {                                                                       \
+    const auto& taglets_check_a_ = (a);                                      \
+    const auto& taglets_check_b_ = (b);                                      \
+    if (!::taglets::util::check_detail::cmpfn(taglets_check_a_,              \
+                                              taglets_check_b_)) {           \
+      ::taglets::util::check_detail::fail_op(                                \
+          macro, #a " " optext " " #b, taglets_check_a_, taglets_check_b_,   \
+          __FILE__, __LINE__,                                                \
+          ::taglets::util::check_detail::message(__VA_ARGS__));              \
+    }                                                                        \
+  } while (false)
+
+#define TAGLETS_CHECK_EQ(a, b, ...)                                          \
+  TAGLETS_CHECK_OP_("TAGLETS_CHECK_EQ", cmp_eq, "==", a,                     \
+                    b __VA_OPT__(, ) __VA_ARGS__)
+#define TAGLETS_CHECK_NE(a, b, ...)                                          \
+  TAGLETS_CHECK_OP_("TAGLETS_CHECK_NE", cmp_ne, "!=", a,                     \
+                    b __VA_OPT__(, ) __VA_ARGS__)
+#define TAGLETS_CHECK_LT(a, b, ...)                                          \
+  TAGLETS_CHECK_OP_("TAGLETS_CHECK_LT", cmp_lt, "<", a,                      \
+                    b __VA_OPT__(, ) __VA_ARGS__)
+#define TAGLETS_CHECK_LE(a, b, ...)                                          \
+  TAGLETS_CHECK_OP_("TAGLETS_CHECK_LE", cmp_le, "<=", a,                     \
+                    b __VA_OPT__(, ) __VA_ARGS__)
+#define TAGLETS_CHECK_GT(a, b, ...)                                          \
+  TAGLETS_CHECK_OP_("TAGLETS_CHECK_GT", cmp_gt, ">", a,                      \
+                    b __VA_OPT__(, ) __VA_ARGS__)
+#define TAGLETS_CHECK_GE(a, b, ...)                                          \
+  TAGLETS_CHECK_OP_("TAGLETS_CHECK_GE", cmp_ge, ">=", a,                     \
+                    b __VA_OPT__(, ) __VA_ARGS__)
+
+// ---- domain helpers --------------------------------------------------
+
+/// `t` must be a rank-2 tensor (anything with is_matrix/rows/cols/
+/// shape_string) of exactly `r` x `c`.
+#define TAGLETS_CHECK_SHAPE(t, r, c, ...)                                    \
+  do {                                                                       \
+    const auto& taglets_check_t_ = (t);                                      \
+    const std::size_t taglets_check_r_ = (r);                                \
+    const std::size_t taglets_check_c_ = (c);                                \
+    if (!(taglets_check_t_.is_matrix() &&                                    \
+          taglets_check_t_.rows() == taglets_check_r_ &&                     \
+          taglets_check_t_.cols() == taglets_check_c_)) {                    \
+      ::taglets::util::check_detail::fail(                                   \
+          "TAGLETS_CHECK_SHAPE",                                            \
+          (std::string(#t) + " expected " +                                  \
+           std::to_string(taglets_check_r_) + "x" +                          \
+           std::to_string(taglets_check_c_) + ", got " +                     \
+           taglets_check_t_.shape_string())                                  \
+              .c_str(),                                                      \
+          __FILE__, __LINE__,                                                \
+          ::taglets::util::check_detail::message(__VA_ARGS__));              \
+    }                                                                        \
+  } while (false)
+
+/// Every element of `t.data()` must be finite (no NaN/Inf).
+#define TAGLETS_CHECK_FINITE(t, ...)                                         \
+  do {                                                                       \
+    const auto& taglets_check_t_ = (t);                                      \
+    const std::size_t taglets_check_i_ =                                     \
+        ::taglets::util::check_detail::first_non_finite(                     \
+            taglets_check_t_.data());                                        \
+    if (taglets_check_i_ != ::taglets::util::check_detail::npos) {           \
+      ::taglets::util::check_detail::fail(                                   \
+          "TAGLETS_CHECK_FINITE",                                           \
+          (std::string(#t) + " has non-finite element at index " +           \
+           std::to_string(taglets_check_i_))                                 \
+              .c_str(),                                                      \
+          __FILE__, __LINE__,                                                \
+          ::taglets::util::check_detail::message(__VA_ARGS__));              \
+    }                                                                        \
+  } while (false)
+
+/// `row` (any range of float) must be a probability distribution:
+/// elements in [0,1] and summing to 1 within a small tolerance.
+#define TAGLETS_CHECK_PROB_ROW(row, ...)                                     \
+  do {                                                                       \
+    const auto& taglets_check_row_ = (row);                                  \
+    if (!::taglets::util::check_detail::is_prob_row(taglets_check_row_)) {   \
+      ::taglets::util::check_detail::fail_prob_row(                          \
+          #row, taglets_check_row_, __FILE__, __LINE__,                      \
+          ::taglets::util::check_detail::message(__VA_ARGS__));              \
+    }                                                                        \
+  } while (false)
+
+// ---- debug checks ----------------------------------------------------
+
+#if !defined(NDEBUG) || defined(TAGLETS_DEBUG_CHECKS)
+#define TAGLETS_DCHECK_ENABLED 1
+#else
+#define TAGLETS_DCHECK_ENABLED 0
+#endif
+
+#if TAGLETS_DCHECK_ENABLED
+
+#define TAGLETS_DCHECK(cond, ...) TAGLETS_CHECK(cond __VA_OPT__(, ) __VA_ARGS__)
+#define TAGLETS_DCHECK_EQ(a, b, ...)                                         \
+  TAGLETS_CHECK_EQ(a, b __VA_OPT__(, ) __VA_ARGS__)
+#define TAGLETS_DCHECK_NE(a, b, ...)                                         \
+  TAGLETS_CHECK_NE(a, b __VA_OPT__(, ) __VA_ARGS__)
+#define TAGLETS_DCHECK_LT(a, b, ...)                                         \
+  TAGLETS_CHECK_LT(a, b __VA_OPT__(, ) __VA_ARGS__)
+#define TAGLETS_DCHECK_LE(a, b, ...)                                         \
+  TAGLETS_CHECK_LE(a, b __VA_OPT__(, ) __VA_ARGS__)
+#define TAGLETS_DCHECK_GT(a, b, ...)                                         \
+  TAGLETS_CHECK_GT(a, b __VA_OPT__(, ) __VA_ARGS__)
+#define TAGLETS_DCHECK_GE(a, b, ...)                                         \
+  TAGLETS_CHECK_GE(a, b __VA_OPT__(, ) __VA_ARGS__)
+#define TAGLETS_DCHECK_SHAPE(t, r, c, ...)                                   \
+  TAGLETS_CHECK_SHAPE(t, r, c __VA_OPT__(, ) __VA_ARGS__)
+#define TAGLETS_DCHECK_FINITE(t, ...)                                        \
+  TAGLETS_CHECK_FINITE(t __VA_OPT__(, ) __VA_ARGS__)
+#define TAGLETS_DCHECK_PROB_ROW(row, ...)                                    \
+  TAGLETS_CHECK_PROB_ROW(row __VA_OPT__(, ) __VA_ARGS__)
+
+#else  // release: type-check the operands, evaluate and emit nothing.
+
+#define TAGLETS_CHECK_DISCARD_(expr)                                         \
+  do {                                                                       \
+    if (false) {                                                             \
+      (void)(expr);                                                          \
+    }                                                                        \
+  } while (false)
+
+#define TAGLETS_DCHECK(cond, ...) TAGLETS_CHECK_DISCARD_(cond)
+#define TAGLETS_DCHECK_EQ(a, b, ...)                                         \
+  TAGLETS_CHECK_DISCARD_(::taglets::util::check_detail::cmp_eq((a), (b)))
+#define TAGLETS_DCHECK_NE(a, b, ...)                                         \
+  TAGLETS_CHECK_DISCARD_(::taglets::util::check_detail::cmp_ne((a), (b)))
+#define TAGLETS_DCHECK_LT(a, b, ...)                                         \
+  TAGLETS_CHECK_DISCARD_(::taglets::util::check_detail::cmp_lt((a), (b)))
+#define TAGLETS_DCHECK_LE(a, b, ...)                                         \
+  TAGLETS_CHECK_DISCARD_(::taglets::util::check_detail::cmp_le((a), (b)))
+#define TAGLETS_DCHECK_GT(a, b, ...)                                         \
+  TAGLETS_CHECK_DISCARD_(::taglets::util::check_detail::cmp_gt((a), (b)))
+#define TAGLETS_DCHECK_GE(a, b, ...)                                         \
+  TAGLETS_CHECK_DISCARD_(::taglets::util::check_detail::cmp_ge((a), (b)))
+#define TAGLETS_DCHECK_SHAPE(t, r, c, ...)                                   \
+  TAGLETS_CHECK_DISCARD_((t).is_matrix() && (t).rows() == (r) &&             \
+                         (t).cols() == (c))
+#define TAGLETS_DCHECK_FINITE(t, ...)                                        \
+  TAGLETS_CHECK_DISCARD_(                                                    \
+      ::taglets::util::check_detail::first_non_finite((t).data()))
+#define TAGLETS_DCHECK_PROB_ROW(row, ...)                                    \
+  TAGLETS_CHECK_DISCARD_(::taglets::util::check_detail::is_prob_row(row))
+
+#endif  // TAGLETS_DCHECK_ENABLED

@@ -1,0 +1,176 @@
+// Contracts-layer tests: diagnostics carry expression text, operand
+// values, and file:line; DCHECKs vanish in release builds; the domain
+// helpers accept valid tensors/rows and reject invalid ones.
+#include "util/check.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <functional>
+#include <limits>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace {
+
+using taglets::util::ContractViolation;
+using taglets::tensor::Tensor;
+
+std::string violation_message(const std::function<void()>& fn) {
+  try {
+    fn();
+  } catch (const ContractViolation& e) {
+    return e.what();
+  }
+  ADD_FAILURE() << "expected ContractViolation";
+  return {};
+}
+
+TEST(CheckTest, PassingChecksAreSilent) {
+  EXPECT_NO_THROW(TAGLETS_CHECK(1 + 1 == 2));
+  EXPECT_NO_THROW(TAGLETS_CHECK_EQ(4, 4));
+  EXPECT_NO_THROW(TAGLETS_CHECK_NE(4, 5));
+  EXPECT_NO_THROW(TAGLETS_CHECK_LT(4, 5));
+  EXPECT_NO_THROW(TAGLETS_CHECK_LE(5, 5));
+  EXPECT_NO_THROW(TAGLETS_CHECK_GT(5, 4));
+  EXPECT_NO_THROW(TAGLETS_CHECK_GE(5, 5));
+}
+
+TEST(CheckTest, MessageCarriesExpressionFileAndLine) {
+  const std::string msg =
+      violation_message([] { TAGLETS_CHECK(2 + 2 == 5, "arithmetic broke"); });
+  EXPECT_NE(msg.find("2 + 2 == 5"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("check_test.cpp"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("arithmetic broke"), std::string::npos) << msg;
+  // file:line format — a colon followed by a digit after the file name.
+  const auto file_pos = msg.find("check_test.cpp:");
+  ASSERT_NE(file_pos, std::string::npos) << msg;
+  EXPECT_TRUE(std::isdigit(static_cast<unsigned char>(
+      msg[file_pos + std::string("check_test.cpp:").size()])))
+      << msg;
+}
+
+TEST(CheckTest, OpMessageCarriesOperandValues) {
+  const int lhs = 3;
+  const std::size_t rhs = 7;
+  const std::string msg =
+      violation_message([&] { TAGLETS_CHECK_EQ(lhs, rhs, "dim mismatch"); });
+  EXPECT_NE(msg.find("lhs == rhs"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("(3 vs. 7)"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("dim mismatch"), std::string::npos) << msg;
+}
+
+TEST(CheckTest, MixedSignednessComparesExactly) {
+  // -1 as unsigned would be huge; std::cmp_* semantics keep it negative.
+  const int negative = -1;
+  const std::size_t zero = 0;
+  EXPECT_THROW(TAGLETS_CHECK_GE(negative, zero), ContractViolation);
+  EXPECT_NO_THROW(TAGLETS_CHECK_LT(negative, zero));
+}
+
+TEST(CheckTest, ViolationIsAnInvalidArgument) {
+  // Contract violations slot into the std::logic_error hierarchy so
+  // pre-existing handlers keep working.
+  EXPECT_THROW(TAGLETS_CHECK_EQ(1, 2), std::invalid_argument);
+  EXPECT_THROW(TAGLETS_CHECK_EQ(1, 2), std::logic_error);
+}
+
+TEST(CheckTest, MessageSupportsStreamedDetailPieces) {
+  const std::string msg = violation_message(
+      [] { TAGLETS_CHECK(false, "batch ", 12, " of ", 34); });
+  EXPECT_NE(msg.find("batch 12 of 34"), std::string::npos) << msg;
+}
+
+// ---- DCHECK tier -----------------------------------------------------
+
+TEST(CheckTest, DcheckMatchesBuildMode) {
+#if TAGLETS_DCHECK_ENABLED
+  EXPECT_THROW(TAGLETS_DCHECK(false), ContractViolation);
+  EXPECT_THROW(TAGLETS_DCHECK_EQ(1, 2), ContractViolation);
+#else
+  EXPECT_NO_THROW(TAGLETS_DCHECK(false));
+  EXPECT_NO_THROW(TAGLETS_DCHECK_EQ(1, 2));
+#endif
+}
+
+TEST(CheckTest, DcheckIsInertInRelease) {
+  int evaluations = 0;
+  TAGLETS_DCHECK([&] {
+    ++evaluations;
+    return true;
+  }());
+#if TAGLETS_DCHECK_ENABLED
+  EXPECT_EQ(evaluations, 1);
+#else
+  // Release: the condition is type-checked but never evaluated.
+  EXPECT_EQ(evaluations, 0);
+#endif
+}
+
+// ---- domain helpers --------------------------------------------------
+
+TEST(CheckTest, CheckShapeAcceptsMatchingMatrix) {
+  Tensor t = Tensor::zeros(3, 4);
+  EXPECT_NO_THROW(TAGLETS_CHECK_SHAPE(t, 3, 4));
+}
+
+TEST(CheckTest, CheckShapeRejectsWrongShapeWithDiagnostics) {
+  Tensor t = Tensor::zeros(2, 4);
+  const std::string msg =
+      violation_message([&] { TAGLETS_CHECK_SHAPE(t, 3, 4, "batch input"); });
+  EXPECT_NE(msg.find("expected 3x4"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("[2, 4]"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("batch input"), std::string::npos) << msg;
+}
+
+TEST(CheckTest, CheckShapeRejectsVectors) {
+  Tensor v = Tensor::zeros(4);
+  EXPECT_THROW(TAGLETS_CHECK_SHAPE(v, 4, 1), ContractViolation);
+}
+
+TEST(CheckTest, CheckFiniteAcceptsFiniteTensor) {
+  Tensor t = Tensor::full(2, 2, 0.5f);
+  EXPECT_NO_THROW(TAGLETS_CHECK_FINITE(t));
+}
+
+TEST(CheckTest, CheckFiniteNamesTheBadIndex) {
+  Tensor t = Tensor::full(1, 3, 1.0f);
+  t.at(0, 2) = std::numeric_limits<float>::quiet_NaN();
+  const std::string msg = violation_message([&] { TAGLETS_CHECK_FINITE(t); });
+  EXPECT_NE(msg.find("index 2"), std::string::npos) << msg;
+}
+
+TEST(CheckTest, CheckProbRowAcceptsDistributions) {
+  const std::vector<float> uniform = {0.25f, 0.25f, 0.25f, 0.25f};
+  const std::vector<float> peaked = {1.0f, 0.0f, 0.0f};
+  EXPECT_NO_THROW(TAGLETS_CHECK_PROB_ROW(uniform));
+  EXPECT_NO_THROW(TAGLETS_CHECK_PROB_ROW(peaked));
+}
+
+TEST(CheckTest, CheckProbRowRejectsBadRows) {
+  const std::vector<float> short_sum = {0.2f, 0.2f};
+  const std::vector<float> negative = {1.2f, -0.2f};
+  const std::vector<float> empty;
+  const std::vector<float> nan_row = {
+      0.5f, std::numeric_limits<float>::quiet_NaN(), 0.5f};
+  EXPECT_THROW(TAGLETS_CHECK_PROB_ROW(short_sum), ContractViolation);
+  EXPECT_THROW(TAGLETS_CHECK_PROB_ROW(negative), ContractViolation);
+  EXPECT_THROW(TAGLETS_CHECK_PROB_ROW(empty), ContractViolation);
+  EXPECT_THROW(TAGLETS_CHECK_PROB_ROW(nan_row), ContractViolation);
+  const std::string msg =
+      violation_message([&] { TAGLETS_CHECK_PROB_ROW(short_sum); });
+  EXPECT_NE(msg.find("sum=0.4"), std::string::npos) << msg;
+}
+
+TEST(CheckTest, ChecksWorkOnTensorRows) {
+  Tensor m = Tensor::zeros(2, 2);
+  m.at(0, 0) = 0.5f;
+  m.at(0, 1) = 0.5f;
+  EXPECT_NO_THROW(TAGLETS_CHECK_PROB_ROW(m.row(0)));
+  EXPECT_THROW(TAGLETS_CHECK_PROB_ROW(m.row(1)), ContractViolation);
+}
+
+}  // namespace

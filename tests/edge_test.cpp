@@ -9,6 +9,7 @@
 #include "synth/tasks.hpp"
 #include "taglets/controller.hpp"
 #include "test_support.hpp"
+#include "util/check.hpp"
 
 namespace taglets {
 namespace {
@@ -21,7 +22,7 @@ TEST(WorldEdge, BadPrototypeIndexThrows) {
   auto& world = taglets::testing::small_world();
   util::Rng rng(1);
   EXPECT_THROW(world.sample_image(999999, synth::Domain::kNatural, rng),
-               std::out_of_range);
+               taglets::util::ContractViolation);
 }
 
 TEST(WorldEdge, TooManyNamedConceptsThrows) {
@@ -42,7 +43,7 @@ TEST(WorldEdge, AuxiliaryCorpusRejectsBadConcepts) {
   auto& world = taglets::testing::small_world();
   util::Rng rng(3);
   std::vector<graph::NodeId> bad{999999};
-  EXPECT_THROW(world.make_auxiliary_corpus(bad, 2, rng), std::out_of_range);
+  EXPECT_THROW(world.make_auxiliary_corpus(bad, 2, rng), taglets::util::ContractViolation);
 }
 
 // ---------------------------------------------------------------- scads

@@ -11,6 +11,7 @@
 #include "ensemble/servable.hpp"
 #include "nn/trainer.hpp"
 #include "test_support.hpp"
+#include "util/check.hpp"
 
 namespace taglets::ensemble {
 namespace {
@@ -128,7 +129,7 @@ TEST(Distill, OneHotAndHarden) {
   EXPECT_FLOAT_EQ(oh.at(1, 0), 1.0f);
   EXPECT_FLOAT_EQ(oh.at(0, 0), 0.0f);
   std::vector<std::size_t> bad{7};
-  EXPECT_THROW(one_hot(bad, 3), std::out_of_range);
+  EXPECT_THROW(one_hot(bad, 3), taglets::util::ContractViolation);
 
   Tensor soft = Tensor::from_matrix(2, 2, {0.4f, 0.6f, 0.9f, 0.1f});
   Tensor hard = harden(soft);

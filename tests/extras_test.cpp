@@ -9,6 +9,7 @@
 #include "tensor/tensor.hpp"
 #include "util/args.hpp"
 #include "eval/results_log.hpp"
+#include "util/check.hpp"
 
 namespace taglets {
 namespace {
@@ -24,7 +25,7 @@ TEST(ConfusionMatrix, CountsAndAccuracy) {
   EXPECT_EQ(cm.total(), 4u);
   EXPECT_EQ(cm.at(0, 1), 1u);
   EXPECT_NEAR(cm.accuracy(), 0.75, 1e-12);
-  EXPECT_THROW(cm.add(3, 0), std::out_of_range);
+  EXPECT_THROW(cm.add(3, 0), taglets::util::ContractViolation);
   EXPECT_THROW(nn::ConfusionMatrix(0), std::invalid_argument);
 }
 

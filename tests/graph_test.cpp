@@ -8,6 +8,7 @@
 #include "graph/retrofit.hpp"
 #include "graph/taxonomy.hpp"
 #include "tensor/ops.hpp"
+#include "util/check.hpp"
 #include "util/rng.hpp"
 
 namespace taglets::graph {
@@ -50,7 +51,7 @@ TEST(KnowledgeGraph, RejectsSelfLoopAndUnknownNames) {
   const NodeId a = g.add_node("a");
   EXPECT_THROW(g.add_edge(a, a, Relation::kIsA), std::invalid_argument);
   EXPECT_THROW(g.add_edge("a", "nope", Relation::kIsA), std::invalid_argument);
-  EXPECT_THROW(g.add_edge(a, 99, Relation::kIsA), std::out_of_range);
+  EXPECT_THROW(g.add_edge(a, 99, Relation::kIsA), taglets::util::ContractViolation);
 }
 
 TEST(KnowledgeGraph, HopDistanceBfs) {
@@ -276,7 +277,11 @@ TEST(Retrofit, ValidatesInput) {
 
 TEST(EmbeddingIndex, TopKMatchesBruteForce) {
   KnowledgeGraph g;
-  for (int i = 0; i < 6; ++i) g.add_node("n" + std::to_string(i));
+  for (int i = 0; i < 6; ++i) {
+    std::string name = "n";  // += form: GCC 12 -Wrestrict FP (PR105329)
+    name += std::to_string(i);
+    g.add_node(name);
+  }
   util::Rng rng(7);
   Tensor embeddings = Tensor::zeros(6, 4);
   for (float& x : embeddings.data()) x = static_cast<float>(rng.normal());
@@ -302,7 +307,11 @@ TEST(EmbeddingIndex, TopKMatchesBruteForce) {
 
 TEST(EmbeddingIndex, RestrictedCandidates) {
   KnowledgeGraph g;
-  for (int i = 0; i < 4; ++i) g.add_node("n" + std::to_string(i));
+  for (int i = 0; i < 4; ++i) {
+    std::string name = "n";  // += form: GCC 12 -Wrestrict FP (PR105329)
+    name += std::to_string(i);
+    g.add_node(name);
+  }
   Tensor embeddings = Tensor::identity(4);
   EmbeddingIndex index(&g, embeddings);
   std::vector<float> query{1.0f, 0.0f, 0.0f, 0.0f};

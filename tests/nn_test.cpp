@@ -13,6 +13,7 @@
 #include "nn/sequential.hpp"
 #include "nn/trainer.hpp"
 #include "tensor/ops.hpp"
+#include "util/check.hpp"
 
 namespace taglets::nn {
 namespace {
@@ -259,7 +260,7 @@ TEST(Loss, AccuracyCountsArgmaxMatches) {
 TEST(Loss, LabelOutOfRangeThrows) {
   Tensor logits = Tensor::zeros(1, 2);
   std::vector<std::size_t> labels{5};
-  EXPECT_THROW(cross_entropy(logits, labels), std::out_of_range);
+  EXPECT_THROW(cross_entropy(logits, labels), taglets::util::ContractViolation);
 }
 
 // ------------------------------------------------------------ optimizer

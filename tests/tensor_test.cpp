@@ -7,6 +7,7 @@
 #include "tensor/ops.hpp"
 #include "tensor/serialize.hpp"
 #include "tensor/tensor.hpp"
+#include "util/check.hpp"
 #include "util/rng.hpp"
 
 namespace taglets::tensor {
@@ -92,7 +93,7 @@ TEST(Tensor, GatherRows) {
   EXPECT_EQ(g.at(1, 1), 2.0f);
   EXPECT_EQ(g.at(2, 0), 5.0f);
   std::vector<std::size_t> bad{5};
-  EXPECT_THROW(m.gather_rows(bad), std::out_of_range);
+  EXPECT_THROW(m.gather_rows(bad), taglets::util::ContractViolation);
 }
 
 TEST(Tensor, ReshapeAndFlatten) {
@@ -265,9 +266,9 @@ TEST(Ops, MatmulFiniteCheckGuardsZeroSkipFastPath) {
   const float nan = std::numeric_limits<float>::quiet_NaN();
   Tensor a = Tensor::from_matrix(2, 2, {0.0f, 1.0f, 2.0f, 3.0f});
   Tensor bad = Tensor::from_matrix(2, 2, {nan, 0.0f, 0.0f, 0.0f});
-  EXPECT_THROW(matmul(a, bad), std::domain_error);
-  EXPECT_THROW(matmul(bad, a), std::domain_error);
-  EXPECT_THROW(matmul_tn(bad, a), std::domain_error);
+  EXPECT_THROW(matmul(a, bad), taglets::util::ContractViolation);
+  EXPECT_THROW(matmul(bad, a), taglets::util::ContractViolation);
+  EXPECT_THROW(matmul_tn(bad, a), taglets::util::ContractViolation);
   set_finite_checks(false);
   // With the guard off the zero-skip fast path runs (and may drop
   // 0 * NaN, which is exactly why the guard exists).

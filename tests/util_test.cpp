@@ -349,7 +349,7 @@ TEST(Env, FallbacksAndParsing) {
 TEST(Timer, MeasuresElapsedTime) {
   Timer timer;
   volatile double sink = 0.0;
-  for (int i = 0; i < 100000; ++i) sink += i;
+  for (int i = 0; i < 100000; ++i) sink = sink + i;
   EXPECT_GE(timer.elapsed_seconds(), 0.0);
   EXPECT_GE(timer.elapsed_ms(), 0.0);
 }
@@ -627,7 +627,11 @@ TEST(Parallel, MatmulBitwiseIdenticalSerialVsParallel) {
 TEST(Parallel, EnsembleProbaBitwiseIdenticalSerialVsParallel) {
   std::vector<modules::Taglet> taglets;
   for (std::uint64_t t = 0; t < 4; ++t) {
-    taglets.push_back(random_taglet("t" + std::to_string(t), 12, 7, 100 + t));
+    // Two-step append dodges a GCC 12 -Wrestrict false positive on
+    // operator+(const char*, std::string&&) (PR105329).
+    std::string name = "t";
+    name += std::to_string(t);
+    taglets.push_back(random_taglet(name, 12, 7, 100 + t));
   }
   const tensor::Tensor inputs = random_matrix(128, 12, 9);
   Parallel serial(1);

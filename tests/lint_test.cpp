@@ -1,0 +1,241 @@
+// Self-test for tools/taglets_lint: builds synthetic source trees with
+// one deliberate violation per rule and asserts each rule fires (and
+// stays quiet on clean code). Keeps the linter honest — a rule that
+// silently stops matching would otherwise look like a clean tree.
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "lint.hpp"
+
+namespace fs = std::filesystem;
+using taglets::lint::Linter;
+using taglets::lint::Violation;
+
+namespace {
+
+// A scratch src/ tree under the system temp dir, removed on teardown.
+class LintTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    root_ = fs::temp_directory_path() / "taglets_lint_test" /
+            ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    fs::remove_all(root_);
+    fs::create_directories(root_);
+  }
+  void TearDown() override {
+    fs::remove_all(root_.parent_path());
+  }
+
+  void write(const std::string& rel, const std::string& text) {
+    const fs::path p = root_ / rel;
+    fs::create_directories(p.parent_path());
+    std::ofstream out(p);
+    out << text;
+  }
+
+  // The minimal two-module world: util (base) and serve (links util).
+  void write_base_modules() {
+    write("util/CMakeLists.txt", "add_library(taglets_util util.cpp)\n");
+    write("serve/CMakeLists.txt",
+          "add_library(taglets_serve serve.cpp)\n"
+          "target_link_libraries(taglets_serve PUBLIC taglets_util)\n");
+    write("util/util.hpp", "#pragma once\n");
+    write("util/util.cpp", "#include \"util/util.hpp\"\n");
+    write("serve/serve.hpp", "#pragma once\n");
+    write("serve/serve.cpp", "#include \"serve/serve.hpp\"\n");
+  }
+
+  std::vector<Violation> run(const std::set<std::string>& only = {}) {
+    return Linter{root_}.run(only);
+  }
+
+  static bool has(const std::vector<Violation>& vs, const std::string& rule,
+                  const std::string& file_suffix) {
+    for (const auto& v : vs) {
+      if (v.rule == rule && v.file.size() >= file_suffix.size() &&
+          v.file.compare(v.file.size() - file_suffix.size(),
+                         file_suffix.size(), file_suffix) == 0) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  fs::path root_;
+};
+
+TEST_F(LintTest, CleanTreeHasNoViolations) {
+  write_base_modules();
+  EXPECT_TRUE(run().empty());
+}
+
+TEST_F(LintTest, LayeringRuleFiresOnUpwardInclude) {
+  write_base_modules();
+  // util does not link serve, so this include points up the stack.
+  write("util/util.cpp",
+        "#include \"util/util.hpp\"\n#include \"serve/serve.hpp\"\n");
+  const auto vs = run({"layering"});
+  ASSERT_EQ(vs.size(), 1u);
+  EXPECT_EQ(vs[0].rule, "layering");
+  EXPECT_EQ(vs[0].line, 2u);
+  EXPECT_NE(vs[0].message.find("serve"), std::string::npos);
+  EXPECT_FALSE(vs[0].suggestion.empty());
+}
+
+TEST_F(LintTest, LayeringRuleAllowsDownwardAndAllowlistedIncludes) {
+  write_base_modules();
+  // serve links util: downward include is fine. util/check.hpp is the
+  // allowlisted layer-free contracts header, usable from anywhere.
+  write("serve/serve.cpp",
+        "#include \"serve/serve.hpp\"\n#include \"util/util.hpp\"\n");
+  write("obs/CMakeLists.txt", "add_library(taglets_obs obs.cpp)\n");
+  write("obs/obs.hpp", "#pragma once\n");
+  write("obs/obs.cpp",
+        "#include \"obs/obs.hpp\"\n#include \"util/check.hpp\"\n");
+  EXPECT_TRUE(run({"layering"}).empty());
+}
+
+TEST_F(LintTest, LayeringClosureIsTransitive) {
+  write_base_modules();
+  // eval -> serve -> util: eval may include util without linking it
+  // directly, because the closure is transitive.
+  write("eval/CMakeLists.txt",
+        "add_library(taglets_eval eval.cpp)\n"
+        "target_link_libraries(taglets_eval PUBLIC taglets_serve)\n");
+  write("eval/eval.hpp", "#pragma once\n");
+  write("eval/eval.cpp",
+        "#include \"eval/eval.hpp\"\n#include \"util/util.hpp\"\n");
+  const Linter linter{root_};
+  ASSERT_TRUE(linter.closure().count("eval"));
+  EXPECT_TRUE(linter.closure().at("eval").count("util"));
+  EXPECT_TRUE(linter.run({"layering"}).empty());
+}
+
+TEST_F(LintTest, NakedThreadRuleFiresOutsideUtil) {
+  write_base_modules();
+  write("serve/serve.cpp",
+        "#include \"serve/serve.hpp\"\n#include <thread>\n"
+        "void spin() { std::thread t([] {}); t.join(); }\n");
+  const auto vs = run({"naked-thread"});
+  ASSERT_EQ(vs.size(), 1u);
+  EXPECT_EQ(vs[0].rule, "naked-thread");
+  EXPECT_EQ(vs[0].line, 3u);
+  EXPECT_FALSE(vs[0].suggestion.empty());
+}
+
+TEST_F(LintTest, NakedThreadRuleAllowsUtilAndIgnoresComments) {
+  write_base_modules();
+  write("util/util.cpp",
+        "#include \"util/util.hpp\"\n#include <thread>\n"
+        "void pool() { std::thread t([] {}); t.join(); }\n");
+  write("serve/serve.cpp",
+        "#include \"serve/serve.hpp\"\n"
+        "// std::thread here is prose, not code\n"
+        "const char* kDoc = \"std::thread\";\n");
+  EXPECT_TRUE(run({"naked-thread"}).empty());
+}
+
+TEST_F(LintTest, RandTimeRuleFiresOutsideUtilRng) {
+  write_base_modules();
+  write("serve/serve.cpp",
+        "#include \"serve/serve.hpp\"\n#include <cstdlib>\n"
+        "int roll() { return rand(); }\n"
+        "long now() { return time(nullptr); }\n");
+  const auto vs = run({"rand-time"});
+  ASSERT_EQ(vs.size(), 2u);
+  EXPECT_TRUE(has(vs, "rand-time", "serve/serve.cpp"));
+  EXPECT_EQ(vs[0].line, 3u);
+  EXPECT_EQ(vs[1].line, 4u);
+}
+
+TEST_F(LintTest, RandTimeRuleIgnoresIdentifierSubstrings) {
+  write_base_modules();
+  // rand/time as substrings of longer identifiers, or as member calls,
+  // are not the C library functions.
+  write("serve/serve.cpp",
+        "#include \"serve/serve.hpp\"\n"
+        "int operand(int brand) { return brand; }\n"
+        "long wall(Clock& c) { return c.time(0) + p->time(1); }\n"
+        "int named = my_rand(3) + timestamp(4);\n");
+  EXPECT_TRUE(run({"rand-time"}).empty());
+}
+
+TEST_F(LintTest, OwnHeaderFirstRuleFiresWhenHeaderIsNotFirst) {
+  write_base_modules();
+  write("serve/serve.cpp",
+        "#include <vector>\n#include \"serve/serve.hpp\"\n");
+  const auto vs = run({"own-header-first"});
+  ASSERT_EQ(vs.size(), 1u);
+  EXPECT_EQ(vs[0].rule, "own-header-first");
+  EXPECT_NE(vs[0].suggestion.find("serve/serve.hpp"), std::string::npos);
+}
+
+TEST_F(LintTest, OwnHeaderFirstRuleQuietWithoutMatchingHeader) {
+  write_base_modules();
+  // A .cpp with no paired header (e.g. a main file) has no own header
+  // to demand.
+  write("serve/main_loop.cpp", "#include <vector>\nint main() {}\n");
+  EXPECT_TRUE(run({"own-header-first"}).empty());
+}
+
+TEST_F(LintTest, UsingNamespaceRuleFiresInHeadersOnly) {
+  write_base_modules();
+  write("serve/serve.hpp", "#pragma once\nusing namespace std;\n");
+  write("serve/serve.cpp",
+        "#include \"serve/serve.hpp\"\nusing namespace std;\n");
+  const auto vs = run({"using-namespace-header"});
+  ASSERT_EQ(vs.size(), 1u);
+  EXPECT_TRUE(has(vs, "using-namespace-header", "serve/serve.hpp"));
+  EXPECT_EQ(vs[0].line, 2u);
+}
+
+TEST_F(LintTest, RuleFilterRunsOnlySelectedRules) {
+  write_base_modules();
+  write("serve/serve.hpp", "#pragma once\nusing namespace std;\n");
+  write("serve/serve.cpp",
+        "#include \"serve/serve.hpp\"\n#include <cstdlib>\n"
+        "int roll() { return rand(); }\n");
+  EXPECT_EQ(run({"rand-time"}).size(), 1u);
+  EXPECT_EQ(run({"using-namespace-header"}).size(), 1u);
+  EXPECT_EQ(run().size(), 2u);
+}
+
+TEST(LintStripTest, RemovesCommentsAndStringsKeepingNewlines) {
+  const std::string in =
+      "int a; // std::thread\n"
+      "/* rand()\n   time( */ int b;\n"
+      "const char* s = \"using namespace\"; char c = 'x';\n";
+  const std::string out = taglets::lint::strip_comments_and_strings(in);
+  EXPECT_EQ(out.find("std::thread"), std::string::npos);
+  EXPECT_EQ(out.find("rand"), std::string::npos);
+  EXPECT_EQ(out.find("using namespace"), std::string::npos);
+  EXPECT_EQ(out.find('x'), std::string::npos);
+  EXPECT_NE(out.find("int a;"), std::string::npos);
+  EXPECT_NE(out.find("int b;"), std::string::npos);
+  // Line structure must survive so violation line numbers stay right.
+  EXPECT_EQ(std::count(in.begin(), in.end(), '\n'),
+            std::count(out.begin(), out.end(), '\n'));
+}
+
+TEST(LintRuleTableTest, EveryRuleHasIdAndDescription) {
+  const auto& rules = taglets::lint::rules();
+  ASSERT_EQ(rules.size(), 5u);
+  std::set<std::string> ids;
+  for (const auto& rule : rules) {
+    EXPECT_FALSE(rule.id.empty());
+    EXPECT_FALSE(rule.description.empty());
+    ids.insert(rule.id);
+    for (const auto& [path, why] : rule.allowlist) {
+      EXPECT_FALSE(path.empty());
+      EXPECT_FALSE(why.empty());
+    }
+  }
+  EXPECT_EQ(ids.size(), rules.size()) << "duplicate rule id";
+}
+
+}  // namespace

@@ -1,0 +1,90 @@
+// taglets_lint — project-invariant linter for the TAGLETS source tree.
+//
+// Enforces rules the compiler can't (see docs/CORRECTNESS.md for the
+// catalog): CMake layering (a module may only include modules its
+// library links, so obs < util < tensor < everything stays acyclic),
+// no naked std::thread outside util/, no C randomness/clock outside
+// util/rng, own-header-first includes, and no using-namespace in
+// headers. Std-only on purpose: the linter must build before (and
+// independently of) everything it checks.
+#pragma once
+
+#include <filesystem>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace taglets::lint {
+
+struct Violation {
+  std::string file;       // path relative to the scanned root's parent
+  std::size_t line = 0;   // 1-based; 0 when the finding is file-level
+  std::string rule;       // rule id
+  std::string message;
+  std::string suggestion; // --fix-style hint, always populated
+};
+
+struct Rule {
+  std::string id;
+  std::string description;
+  // Path suffixes (e.g. "serve/server.hpp") or include targets exempt
+  // from the rule, each with a recorded justification.
+  std::vector<std::pair<std::string, std::string>> allowlist;
+};
+
+/// The rule table. Order is the order findings are reported in.
+const std::vector<Rule>& rules();
+
+/// Remove //- and /* */-comments and string/char literal contents
+/// (keeping newlines) so token scans don't fire on prose. Exposed for
+/// tests.
+std::string strip_comments_and_strings(const std::string& text);
+
+class Linter {
+ public:
+  /// `src_root` is the directory holding one subdirectory per module,
+  /// each with its own CMakeLists.txt (i.e. the repo's src/).
+  explicit Linter(std::filesystem::path src_root);
+
+  /// Run every rule (or only `only` when non-empty) over the tree.
+  std::vector<Violation> run(const std::set<std::string>& only = {}) const;
+
+  /// Module dependency closure parsed from the CMakeLists files;
+  /// exposed for tests and for --explain output.
+  const std::map<std::string, std::set<std::string>>& closure() const {
+    return closure_;
+  }
+
+ private:
+  struct SourceFile {
+    std::filesystem::path path;
+    std::string module;      // first path component under src_root
+    std::string rel;         // "src/<module>/<name>"
+    std::string text;        // raw contents
+    std::string code;        // comments/strings stripped
+  };
+
+  void parse_cmake_layering();
+  std::vector<SourceFile> load_sources() const;
+
+  void check_layering(const SourceFile& f, std::vector<Violation>& out) const;
+  void check_naked_thread(const SourceFile& f,
+                          std::vector<Violation>& out) const;
+  void check_rand_time(const SourceFile& f, std::vector<Violation>& out) const;
+  void check_own_header_first(const SourceFile& f,
+                              std::vector<Violation>& out) const;
+  void check_using_namespace(const SourceFile& f,
+                             std::vector<Violation>& out) const;
+
+  std::filesystem::path src_root_;
+  // dir name -> library name (e.g. "taglets" -> "taglets_core")
+  std::map<std::string, std::string> dir_to_lib_;
+  // dir name -> set of dir names it may include (transitive, no self)
+  std::map<std::string, std::set<std::string>> closure_;
+};
+
+/// Render violations in "file:line: [rule] message" + suggestion form.
+std::string format_report(const std::vector<Violation>& violations);
+
+}  // namespace taglets::lint

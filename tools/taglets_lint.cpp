@@ -1,0 +1,76 @@
+// CLI for the project-invariant linter. Usage:
+//
+//   taglets_lint [--rules=a,b] [--list-rules] <src-dir>
+//
+// Exits 0 when the tree is clean, 1 when any rule fires (CI gates on
+// this), 2 on usage errors. See docs/CORRECTNESS.md for the catalog.
+#include <filesystem>
+#include <iostream>
+#include <set>
+#include <sstream>
+#include <string>
+
+#include "lint.hpp"
+
+namespace {
+
+int usage() {
+  std::cerr << "usage: taglets_lint [--rules=id,id] [--list-rules] <src-dir>\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::set<std::string> only;
+  std::string src;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--list-rules") {
+      for (const auto& rule : taglets::lint::rules()) {
+        std::cout << rule.id << ": " << rule.description << "\n";
+        for (const auto& [path, why] : rule.allowlist) {
+          std::cout << "  allowlisted: " << path << " (" << why << ")\n";
+        }
+      }
+      return 0;
+    } else if (arg.rfind("--rules=", 0) == 0) {
+      std::stringstream ss(arg.substr(std::string("--rules=").size()));
+      std::string id;
+      while (std::getline(ss, id, ',')) {
+        if (!id.empty()) only.insert(id);
+      }
+    } else if (!arg.empty() && arg[0] == '-') {
+      return usage();
+    } else if (src.empty()) {
+      src = arg;
+    } else {
+      return usage();
+    }
+  }
+  if (src.empty()) return usage();
+  if (!std::filesystem::is_directory(src)) {
+    std::cerr << "taglets_lint: not a directory: " << src << "\n";
+    return 2;
+  }
+
+  for (const std::string& id : only) {
+    bool known = false;
+    for (const auto& rule : taglets::lint::rules()) known |= rule.id == id;
+    if (!known) {
+      std::cerr << "taglets_lint: unknown rule '" << id
+                << "' (try --list-rules)\n";
+      return 2;
+    }
+  }
+
+  const taglets::lint::Linter linter{std::filesystem::path(src)};
+  const auto violations = linter.run(only);
+  if (violations.empty()) {
+    std::cout << "taglets_lint: clean\n";
+    return 0;
+  }
+  std::cout << taglets::lint::format_report(violations);
+  std::cout << violations.size() << " violation(s)\n";
+  return 1;
+}

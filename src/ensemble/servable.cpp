@@ -6,6 +6,7 @@
 #include <stdexcept>
 
 #include "tensor/ops.hpp"
+#include "util/atomic_io.hpp"
 #include "util/check.hpp"
 #include "util/parallel.hpp"
 
@@ -74,20 +75,22 @@ constexpr std::uint32_t kMaxNameLength = 1u << 12;
 }  // namespace
 
 void ServableModel::save(const std::string& path) const {
-  std::ofstream out(path, std::ios::binary);
-  if (!out) throw std::runtime_error("ServableModel::save: cannot open " + path);
-  out.write(kMagic, sizeof(kMagic));
-  const std::uint32_t n = static_cast<std::uint32_t>(class_names_.size());
-  out.write(reinterpret_cast<const char*>(&n), sizeof(n));
-  for (const std::string& name : class_names_) {
-    const std::uint32_t len = static_cast<std::uint32_t>(name.size());
-    out.write(reinterpret_cast<const char*>(&len), sizeof(len));
-    out.write(name.data(), len);
-  }
-  model_.save(out);
-  if (!out) {
-    throw std::runtime_error("ServableModel::save: write failed for " + path);
-  }
+  // Atomic write-temp-then-rename: a crash or injected fault
+  // (TAGLETS_FAULT=servable.save:N) never leaves a partial model file.
+  util::atomic_write_stream(path, "servable.save", [&](std::ostream& out) {
+    out.write(kMagic, sizeof(kMagic));
+    const std::uint32_t n = static_cast<std::uint32_t>(class_names_.size());
+    out.write(reinterpret_cast<const char*>(&n), sizeof(n));
+    for (const std::string& name : class_names_) {
+      const std::uint32_t len = static_cast<std::uint32_t>(name.size());
+      out.write(reinterpret_cast<const char*>(&len), sizeof(len));
+      out.write(name.data(), len);
+    }
+    model_.save(out);
+    if (!out) {
+      throw std::runtime_error("ServableModel::save: write failed for " + path);
+    }
+  });
 }
 
 ServableModel ServableModel::load(const std::string& path) {

@@ -84,30 +84,48 @@ util::MeanCi Harness::run_cell(const synth::TaskSpec& spec, std::size_t shots,
   return util::summarize(accs);
 }
 
-Harness::ModuleDiagnostics Harness::run_modules(const synth::TaskSpec& spec,
-                                                std::size_t shots,
-                                                std::size_t split,
-                                                backbone::Kind backbone,
-                                                int prune_level,
-                                                std::uint64_t seed) {
+namespace {
+
+/// Key for per-module maps: the module name, suffixed with "#<slot>"
+/// when the line-up repeats a name, so no entry silently overwrites
+/// another.
+std::string module_key(const std::map<std::string, double>& existing,
+                       const std::string& name, std::size_t slot) {
+  if (existing.count(name) == 0) return name;
+  return name + "#" + std::to_string(slot);
+}
+
+}  // namespace
+
+Harness::ModuleDiagnostics Harness::run_modules(
+    const synth::TaskSpec& spec, std::size_t shots, std::size_t split,
+    backbone::Kind backbone, int prune_level, std::uint64_t seed,
+    const std::vector<std::string>& modules) {
   synth::FewShotTask task = lab_.task(spec, shots, split);
   const std::uint64_t run_seed = util::combine_seeds(
       {seed + 1, shots, split, static_cast<std::uint64_t>(backbone),
        std::hash<std::string>{}(spec.name)});
   Controller controller(&lab_.scads(), &lab_.zoo(), &lab_.zsl_engine());
   SystemConfig config = system_config(backbone, prune_level, run_seed);
+  if (!modules.empty()) config.module_names = modules;
   SystemResult result = controller.run(task, config);
 
   ModuleDiagnostics diag;
   double sum = 0.0;
-  for (auto& taglet : result.taglets) {
+  for (std::size_t i = 0; i < result.taglets.size(); ++i) {
+    auto& taglet = result.taglets[i];
     const double acc = 100.0 * nn::evaluate_accuracy(
                                    taglet.model(), task.test_inputs,
                                    task.test_labels);
-    diag.module_accuracy[taglet.name()] = acc;
+    diag.module_accuracy[module_key(diag.module_accuracy, taglet.name(), i)] =
+        acc;
     sum += acc;
   }
-  diag.module_mean = sum / static_cast<double>(result.taglets.size());
+  // Guard the empty case: 0/0 would make the mean silently NaN and
+  // poison every downstream aggregate.
+  diag.module_mean = result.taglets.empty()
+                         ? 0.0
+                         : sum / static_cast<double>(result.taglets.size());
   diag.ensemble = 100.0 * ensemble::ensemble_accuracy(
                               result.taglets, task.test_inputs,
                               task.test_labels);
@@ -119,13 +137,15 @@ Harness::ModuleDiagnostics Harness::run_modules(const synth::TaskSpec& spec,
 
 std::map<std::string, double> Harness::run_leave_one_out(
     const synth::TaskSpec& spec, std::size_t shots, std::size_t split,
-    backbone::Kind backbone, std::uint64_t seed) {
+    backbone::Kind backbone, std::uint64_t seed,
+    const std::vector<std::string>& modules) {
   synth::FewShotTask task = lab_.task(spec, shots, split);
   const std::uint64_t run_seed = util::combine_seeds(
       {seed + 1, shots, split, static_cast<std::uint64_t>(backbone),
        std::hash<std::string>{}(spec.name)});
   Controller controller(&lab_.scads(), &lab_.zoo(), &lab_.zsl_engine());
   SystemConfig config = system_config(backbone, /*prune_level=*/-1, run_seed);
+  if (!modules.empty()) config.module_names = modules;
   scads::Selection selection = controller.select(task, config);
   std::vector<modules::Taglet> taglets =
       controller.train_taglets(task, selection, config);
@@ -140,7 +160,8 @@ std::map<std::string, double> Harness::run_leave_one_out(
     }
     const double acc = 100.0 * ensemble::ensemble_accuracy(
                                    subset, task.test_inputs, task.test_labels);
-    deltas[taglets[skip].name()] = acc - full;  // negative = removal hurts
+    // negative = removal hurts
+    deltas[module_key(deltas, taglets[skip].name(), skip)] = acc - full;
   }
   return deltas;
 }

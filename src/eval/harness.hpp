@@ -7,6 +7,7 @@
 
 #include <map>
 #include <string>
+#include <vector>
 
 #include "eval/lab.hpp"
 #include "taglets/controller.hpp"
@@ -49,7 +50,10 @@ class Harness {
 
   /// Per-module diagnostics for one TAGLETS run (Figures 4-6, 8-13):
   /// individual taglet accuracies, their mean, the ensemble accuracy,
-  /// and the distilled end-model accuracy, all in %.
+  /// and the distilled end-model accuracy, all in %. Map keys are
+  /// module names, disambiguated with "#<slot>" when the line-up
+  /// repeats a module. `modules` overrides the default line-up when
+  /// non-empty.
   struct ModuleDiagnostics {
     std::map<std::string, double> module_accuracy;
     double module_mean = 0.0;
@@ -58,15 +62,17 @@ class Harness {
   };
   ModuleDiagnostics run_modules(const synth::TaskSpec& spec, std::size_t shots,
                                 std::size_t split, backbone::Kind backbone,
-                                int prune_level, std::uint64_t seed);
+                                int prune_level, std::uint64_t seed,
+                                const std::vector<std::string>& modules = {});
 
   /// Leave-one-out ablation (Figure 6): accuracy delta (%) of the
-  /// ensemble when each module is removed, for one seed.
-  std::map<std::string, double> run_leave_one_out(const synth::TaskSpec& spec,
-                                                  std::size_t shots,
-                                                  std::size_t split,
-                                                  backbone::Kind backbone,
-                                                  std::uint64_t seed);
+  /// ensemble when each module is removed, for one seed. Keys follow
+  /// the run_modules disambiguation rule, so duplicate module names
+  /// never overwrite each other's entry.
+  std::map<std::string, double> run_leave_one_out(
+      const synth::TaskSpec& spec, std::size_t shots, std::size_t split,
+      backbone::Kind backbone, std::uint64_t seed,
+      const std::vector<std::string>& modules = {});
 
   /// TAGLETS SystemConfig for this harness (selection defaults etc.).
   SystemConfig system_config(backbone::Kind backbone, int prune_level,

@@ -5,6 +5,7 @@
 
 #include "eval/results_log.hpp"
 #include "obs/metrics.hpp"
+#include "util/atomic_io.hpp"
 #include "util/env.hpp"
 #include "util/stats.hpp"
 #include "util/string_util.hpp"
@@ -120,7 +121,9 @@ std::string render_accuracy_table(Harness& harness,
   const std::string metrics_path =
       util::env_string("TAGLETS_METRICS_OUT", "");
   if (!metrics_path.empty()) {
-    obs::MetricsRegistry::global().write_json(metrics_path);
+    util::atomic_write_file(metrics_path,
+                            obs::MetricsRegistry::global().to_json() + "\n",
+                            "metrics.export");
     out << "(metrics snapshot written to " << metrics_path << ")\n";
   }
   return out.str();

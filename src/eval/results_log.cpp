@@ -5,6 +5,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "util/atomic_io.hpp"
 #include "util/csv.hpp"
 #include "util/string_util.hpp"
 
@@ -58,17 +59,26 @@ std::string ResultsLog::to_csv() const {
 }
 
 void ResultsLog::write_csv(const std::string& path) const {
-  const bool exists = std::filesystem::exists(path);
-  std::ofstream out(path, std::ios::app);
-  if (!out) throw std::runtime_error("ResultsLog: cannot open " + path);
+  // Append semantics, implemented as read + atomic whole-file rewrite
+  // so an interrupted write cannot truncate or tear the accumulated
+  // results (docs/ROBUSTNESS.md).
+  std::string merged;
+  if (std::filesystem::exists(path)) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) throw std::runtime_error("ResultsLog: cannot read " + path);
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    merged = buffer.str();
+  }
   const std::string csv = to_csv();
-  if (exists) {
+  if (merged.empty()) {
+    merged = csv;
+  } else {
     // Skip the header line when appending to an existing file.
     const auto newline = csv.find('\n');
-    out << csv.substr(newline + 1);
-  } else {
-    out << csv;
+    merged += csv.substr(newline + 1);
   }
+  util::atomic_write_file(path, merged, "results.csv");
 }
 
 ResultsLog ResultsLog::from_csv(const std::string& text) {

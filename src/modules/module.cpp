@@ -2,8 +2,46 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <stdexcept>
 
 namespace taglets::modules {
+
+namespace {
+
+constexpr char kTagletMagic[4] = {'T', 'G', 'T', 'A'};
+constexpr std::uint32_t kMaxNameLength = 1u << 12;
+
+}  // namespace
+
+void Taglet::save(std::ostream& out) const {
+  out.write(kTagletMagic, sizeof(kTagletMagic));
+  const std::uint32_t len = static_cast<std::uint32_t>(name_.size());
+  out.write(reinterpret_cast<const char*>(&len), sizeof(len));
+  out.write(name_.data(), len);
+  model_.save(out);
+  if (!out) throw std::runtime_error("Taglet::save: stream failure");
+}
+
+Taglet Taglet::load(std::istream& in) {
+  char magic[4];
+  in.read(magic, sizeof(magic));
+  if (!in || std::memcmp(magic, kTagletMagic, sizeof(kTagletMagic)) != 0) {
+    throw std::runtime_error("Taglet::load: bad magic (not a taglet file)");
+  }
+  std::uint32_t len = 0;
+  in.read(reinterpret_cast<char*>(&len), sizeof(len));
+  if (!in) throw std::runtime_error("Taglet::load: truncated header");
+  if (len == 0 || len > kMaxNameLength) {
+    throw std::runtime_error("Taglet::load: corrupt name length");
+  }
+  std::string name(len, '\0');
+  in.read(name.data(), len);
+  if (!in) throw std::runtime_error("Taglet::load: truncated name");
+  util::Rng rng(0);
+  return Taglet(std::move(name), nn::Classifier::load(in, rng));
+}
 
 std::size_t scaled_epochs(std::size_t epochs, const ModuleContext& context) {
   const double scaled = std::max(1.0, std::floor(static_cast<double>(epochs) *

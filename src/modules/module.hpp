@@ -6,7 +6,9 @@
 // distillation stage.
 #pragma once
 
+#include <istream>
 #include <memory>
+#include <ostream>
 #include <string>
 
 #include "backbone/zoo.hpp"
@@ -35,6 +37,14 @@ class Taglet {
 
   nn::Classifier& model() { return model_; }
   const nn::Classifier& model() const { return model_; }
+
+  /// Binary (de)serialization for stage checkpointing
+  /// (docs/ROBUSTNESS.md): magic "TGTA", the module name, then the
+  /// classifier. Weights round-trip bit for bit, so a reloaded taglet
+  /// votes identically to the one that was trained. load throws
+  /// std::runtime_error on malformed input.
+  void save(std::ostream& out) const;
+  static Taglet load(std::istream& in);
 
  private:
   std::string name_;

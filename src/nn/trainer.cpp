@@ -1,5 +1,6 @@
 #include "nn/trainer.hpp"
 
+#include <atomic>
 #include <cmath>
 #include <stdexcept>
 
@@ -7,6 +8,7 @@
 #include "obs/trace.hpp"
 #include "tensor/ops.hpp"
 #include "util/check.hpp"
+#include "util/logging.hpp"
 
 namespace taglets::nn {
 
@@ -36,16 +38,18 @@ std::unique_ptr<Optimizer> make_optimizer(const FitConfig& config,
   return std::make_unique<Adam>(std::move(params), config.adam);
 }
 
-void clip_grad_norm(std::span<Parameter* const> params, double max_norm) {
-  if (max_norm <= 0.0) return;
+bool clip_grad_norm(std::span<Parameter* const> params, double max_norm) {
+  if (max_norm <= 0.0) return true;
   double total = 0.0;
   for (Parameter* p : params) total += p->grad.squared_norm();
   total = std::sqrt(total);
-  if (total <= max_norm) return;
+  if (!std::isfinite(total)) return false;
+  if (total <= max_norm) return true;
   const float scale = static_cast<float>(max_norm / (total + 1e-12));
   for (Parameter* p : params) {
     for (float& g : p->grad.data()) g *= scale;
   }
+  return true;
 }
 
 namespace {
@@ -89,12 +93,24 @@ FitReport run_fit(
       LossResult loss = loss_fn(logits, batch);
       model.zero_grad();
       model.backward(loss.grad_logits);
-      clip_grad_norm(params, config.max_grad_norm);
       const double lr = config.schedule
                             ? config.schedule->rate(step, total_steps)
                             : base_lr;
       optimizer->set_learning_rate(lr);
-      optimizer->step();
+      if (clip_grad_norm(params, config.max_grad_norm)) {
+        optimizer->step();
+      } else {
+        // A non-finite gradient norm means this batch's update would
+        // poison the parameters; drop it (the step/schedule still
+        // advance so the remaining updates match the planned run).
+        registry.counter("nn.skipped_nonfinite_steps").add();
+        static std::atomic<bool> warned{false};
+        if (!warned.exchange(true)) {
+          TAGLETS_LOG(kWarn)
+              << "non-finite gradient norm; skipping optimizer step "
+              << "(counted in nn.skipped_nonfinite_steps)";
+        }
+      }
       epoch_loss += loss.loss;
       ++batches_seen;
       ++step;

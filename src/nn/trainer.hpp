@@ -69,6 +69,10 @@ std::unique_ptr<Optimizer> make_optimizer(const FitConfig& config,
                                           std::vector<Parameter*> params);
 
 /// Scale gradients so their global L2 norm is at most `max_norm`.
-void clip_grad_norm(std::span<Parameter* const> params, double max_norm);
+/// Returns false — leaving the gradients untouched — when the norm is
+/// non-finite (an Inf/NaN gradient); the caller must skip the optimizer
+/// step, since scaling by a NaN norm would corrupt every parameter.
+/// Always returns true when clipping is disabled (max_norm <= 0).
+bool clip_grad_norm(std::span<Parameter* const> params, double max_norm);
 
 }  // namespace taglets::nn

@@ -1,11 +1,15 @@
 #include "scads/selection.hpp"
 
 #include <algorithm>
+#include <cstdint>
+#include <cstring>
 #include <stdexcept>
 
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "tensor/ops.hpp"
+#include "tensor/serialize.hpp"
+#include "util/check.hpp"
 
 namespace taglets::scads {
 
@@ -111,6 +115,9 @@ Selection select_auxiliary(const Scads& scads, const synth::FewShotTask& task,
   data.labels.reserve(picked.size());
   for (std::size_t i = 0; i < picked.size(); ++i) {
     auto src = scads.example_pixels(picked[i].first);
+    TAGLETS_CHECK_EQ(src.size(), pixel_dim,
+                     "select_auxiliary: example width differs from the first "
+                     "picked example (mixed-width installed datasets)");
     auto dst = data.inputs.row(i);
     std::copy(src.begin(), src.end(), dst.begin());
     data.labels.push_back(picked[i].second);
@@ -119,6 +126,119 @@ Selection select_auxiliary(const Scads& scads, const synth::FewShotTask& task,
   auto& registry = obs::MetricsRegistry::global();
   registry.counter("scads.concepts_selected_total").add(slots.size());
   registry.counter("scads.examples_selected_total").add(picked.size());
+  return selection;
+}
+
+namespace {
+
+constexpr char kSelectionMagic[4] = {'T', 'G', 'S', 'E'};
+// Caps so a corrupted header reports as such instead of allocating.
+constexpr std::uint64_t kMaxEntries = 1ull << 32;
+constexpr std::uint32_t kMaxStringLength = 1u << 16;
+
+template <typename T>
+void write_pod(std::ostream& out, T value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+T read_pod(std::istream& in) {
+  T value{};
+  in.read(reinterpret_cast<char*>(&value), sizeof(T));
+  if (!in) throw std::runtime_error("read_selection: truncated stream");
+  return value;
+}
+
+void write_string(std::ostream& out, const std::string& s) {
+  write_pod<std::uint32_t>(out, static_cast<std::uint32_t>(s.size()));
+  out.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+std::string read_string(std::istream& in) {
+  const auto len = read_pod<std::uint32_t>(in);
+  if (len > kMaxStringLength) {
+    throw std::runtime_error("read_selection: corrupt string length");
+  }
+  std::string s(len, '\0');
+  in.read(s.data(), len);
+  if (!in) throw std::runtime_error("read_selection: truncated string");
+  return s;
+}
+
+template <typename T>
+void write_u64_vector(std::ostream& out, const std::vector<T>& v) {
+  write_pod<std::uint64_t>(out, v.size());
+  for (const T& x : v) {
+    write_pod<std::uint64_t>(out, static_cast<std::uint64_t>(x));
+  }
+}
+
+template <typename T>
+std::vector<T> read_u64_vector(std::istream& in) {
+  const auto n = read_pod<std::uint64_t>(in);
+  if (n > kMaxEntries) {
+    throw std::runtime_error("read_selection: corrupt vector length");
+  }
+  std::vector<T> v(static_cast<std::size_t>(n));
+  for (auto& x : v) x = static_cast<T>(read_pod<std::uint64_t>(in));
+  return v;
+}
+
+}  // namespace
+
+void write_selection(std::ostream& out, const Selection& selection) {
+  out.write(kSelectionMagic, sizeof(kSelectionMagic));
+  const synth::Dataset& data = selection.data;
+  write_string(out, data.name);
+  write_pod<std::uint32_t>(out, static_cast<std::uint32_t>(data.domain));
+  tensor::write_tensor(out, data.inputs);
+  write_u64_vector(out, data.labels);
+  write_pod<std::uint64_t>(out, data.class_names.size());
+  for (const std::string& name : data.class_names) write_string(out, name);
+  write_u64_vector(out, data.class_concepts);
+  write_u64_vector(out, selection.selected_concepts);
+  write_u64_vector(out, selection.source_target_class);
+  write_pod<std::uint64_t>(out, selection.similarities.size());
+  for (float s : selection.similarities) write_pod<float>(out, s);
+  if (!out) throw std::runtime_error("write_selection: stream failure");
+}
+
+Selection read_selection(std::istream& in) {
+  char magic[4];
+  in.read(magic, sizeof(magic));
+  if (!in || std::memcmp(magic, kSelectionMagic, sizeof(kSelectionMagic)) != 0) {
+    throw std::runtime_error("read_selection: bad magic");
+  }
+  Selection selection;
+  synth::Dataset& data = selection.data;
+  data.name = read_string(in);
+  const auto domain = read_pod<std::uint32_t>(in);
+  if (domain > static_cast<std::uint32_t>(synth::Domain::kClipart)) {
+    throw std::runtime_error("read_selection: corrupt domain");
+  }
+  data.domain = static_cast<synth::Domain>(domain);
+  data.inputs = tensor::read_tensor(in);
+  data.labels = read_u64_vector<std::size_t>(in);
+  const auto classes = read_pod<std::uint64_t>(in);
+  if (classes > kMaxEntries) {
+    throw std::runtime_error("read_selection: corrupt class count");
+  }
+  data.class_names.reserve(static_cast<std::size_t>(classes));
+  for (std::uint64_t c = 0; c < classes; ++c) {
+    data.class_names.push_back(read_string(in));
+  }
+  data.class_concepts = read_u64_vector<graph::NodeId>(in);
+  selection.selected_concepts = read_u64_vector<graph::NodeId>(in);
+  selection.source_target_class = read_u64_vector<std::size_t>(in);
+  const auto sims = read_pod<std::uint64_t>(in);
+  if (sims > kMaxEntries) {
+    throw std::runtime_error("read_selection: corrupt similarity count");
+  }
+  selection.similarities.reserve(static_cast<std::size_t>(sims));
+  for (std::uint64_t s = 0; s < sims; ++s) {
+    selection.similarities.push_back(read_pod<float>(in));
+  }
+  if (!data.labels.empty()) data.validate();
   return selection;
 }
 

@@ -7,6 +7,8 @@
 // from the candidate pool before selection.
 #pragma once
 
+#include <istream>
+#include <ostream>
 #include <string>
 #include <unordered_set>
 #include <vector>
@@ -54,5 +56,13 @@ std::vector<graph::EmbeddingIndex::Hit> related_concepts(
 /// across target classes (each intermediate class appears once).
 Selection select_auxiliary(const Scads& scads, const synth::FewShotTask& task,
                            const SelectionConfig& config);
+
+/// Binary (de)serialization of a Selection for stage checkpointing
+/// (docs/ROBUSTNESS.md): magic "TGSE", the dataset (inputs via the
+/// tensor serializer, so floats round-trip bit for bit), and the
+/// provenance vectors. read_selection throws std::runtime_error on
+/// malformed input.
+void write_selection(std::ostream& out, const Selection& selection);
+Selection read_selection(std::istream& in);
 
 }  // namespace taglets::scads

@@ -1,0 +1,121 @@
+#include "taglets/checkpoint.hpp"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/atomic_io.hpp"
+#include "util/fault.hpp"
+#include "util/logging.hpp"
+
+namespace taglets {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+std::string read_text_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("Checkpoint: cannot read " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+}  // namespace
+
+Checkpoint::Checkpoint(std::string dir, bool resume,
+                       const std::string& fingerprint)
+    : dir_(std::move(dir)), resume_(resume) {
+  if (dir_.empty()) {
+    throw std::runtime_error("Checkpoint: empty directory");
+  }
+  fs::create_directories(dir_);
+  if (resume_ && fs::exists(manifest_path())) {
+    const std::string stored = read_text_file(manifest_path());
+    if (stored != fingerprint) {
+      throw std::runtime_error(
+          "Checkpoint: cannot resume from " + dir_ +
+          ": its MANIFEST records a different run configuration\n  stored:  " +
+          stored + "\n  current: " + fingerprint);
+    }
+  } else {
+    util::fault::retry_with_backoff(
+        "checkpoint manifest", util::fault::RetryPolicy::from_env(), [&] {
+          util::atomic_write_file(manifest_path(), fingerprint,
+                                  "checkpoint.manifest");
+        });
+  }
+}
+
+std::string Checkpoint::manifest_path() const { return dir_ + "/MANIFEST"; }
+
+std::string Checkpoint::selection_path() const {
+  return dir_ + "/selection.bin";
+}
+
+std::string Checkpoint::taglet_path(std::size_t index,
+                                    const std::string& name) const {
+  std::ostringstream path;
+  path << dir_ << "/taglet_" << (index < 10 ? "0" : "") << index << "_" << name
+       << ".bin";
+  return path.str();
+}
+
+bool Checkpoint::has_selection() const {
+  return enabled() && resume_ && fs::exists(selection_path());
+}
+
+scads::Selection Checkpoint::load_selection() const {
+  const std::string path = selection_path();
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("Checkpoint: cannot open " + path);
+  try {
+    return scads::read_selection(in);
+  } catch (const std::exception& e) {
+    throw std::runtime_error("Checkpoint: " + path + ": " + e.what());
+  }
+}
+
+void Checkpoint::save_selection(const scads::Selection& selection) const {
+  if (!enabled()) return;
+  util::fault::retry_with_backoff(
+      "checkpoint selection", util::fault::RetryPolicy::from_env(), [&] {
+        util::atomic_write_stream(
+            selection_path(), "checkpoint.selection",
+            [&](std::ostream& out) { scads::write_selection(out, selection); });
+      });
+  TAGLETS_LOG(kDebug) << "checkpointed selection to " << selection_path();
+}
+
+bool Checkpoint::has_taglet(std::size_t index, const std::string& name) const {
+  return enabled() && resume_ && fs::exists(taglet_path(index, name));
+}
+
+modules::Taglet Checkpoint::load_taglet(std::size_t index,
+                                        const std::string& name) const {
+  const std::string path = taglet_path(index, name);
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("Checkpoint: cannot open " + path);
+  try {
+    return modules::Taglet::load(in);
+  } catch (const std::exception& e) {
+    throw std::runtime_error("Checkpoint: " + path + ": " + e.what());
+  }
+}
+
+void Checkpoint::save_taglet(std::size_t index, const std::string& name,
+                             const modules::Taglet& taglet) const {
+  if (!enabled()) return;
+  util::fault::retry_with_backoff(
+      "checkpoint taglet " + name, util::fault::RetryPolicy::from_env(), [&] {
+        util::atomic_write_stream(
+            taglet_path(index, name), "checkpoint.taglet",
+            [&](std::ostream& out) { taglet.save(out); });
+      });
+  TAGLETS_LOG(kDebug) << "checkpointed taglet " << name << " to "
+                      << taglet_path(index, name);
+}
+
+}  // namespace taglets

@@ -1,0 +1,60 @@
+// Stage-level checkpointing for Controller::run (docs/ROBUSTNESS.md).
+// A checkpoint directory holds one crash-safe artifact per completed
+// pipeline stage:
+//
+//   <dir>/MANIFEST                     run-config fingerprint (text)
+//   <dir>/selection.bin                the SCADS Selection (stage 1)
+//   <dir>/taglet_<ii>_<module>.bin     one per trained taglet (stage 2)
+//
+// Every file is written through util::atomic_io, so an interrupted run
+// leaves only whole artifacts. Because each stage re-derives its RNG
+// from the config seed, a resumed run that loads these artifacts
+// produces a bitwise-identical end model to an uninterrupted one.
+// The MANIFEST guards against resuming with a different configuration:
+// load paths are only consulted when `resume` is set AND the stored
+// fingerprint matches the current config.
+#pragma once
+
+#include <string>
+
+#include "modules/module.hpp"
+#include "scads/selection.hpp"
+
+namespace taglets {
+
+class Checkpoint {
+ public:
+  /// Disabled checkpoint: has_* return false and save_* are no-ops.
+  Checkpoint() = default;
+
+  /// Opens (creating if needed) `dir` and writes/validates MANIFEST.
+  /// Throws std::runtime_error when resuming against a directory whose
+  /// MANIFEST records a different fingerprint.
+  Checkpoint(std::string dir, bool resume, const std::string& fingerprint);
+
+  bool enabled() const { return !dir_.empty(); }
+  bool resuming() const { return resume_; }
+
+  /// Stage 1: the SCADS selection.
+  bool has_selection() const;
+  scads::Selection load_selection() const;
+  void save_selection(const scads::Selection& selection) const;
+
+  /// Stage 2: one artifact per module slot. `index` keeps duplicate
+  /// module names in the line-up from sharing a file.
+  bool has_taglet(std::size_t index, const std::string& name) const;
+  modules::Taglet load_taglet(std::size_t index,
+                              const std::string& name) const;
+  void save_taglet(std::size_t index, const std::string& name,
+                   const modules::Taglet& taglet) const;
+
+  std::string manifest_path() const;
+  std::string selection_path() const;
+  std::string taglet_path(std::size_t index, const std::string& name) const;
+
+ private:
+  std::string dir_;
+  bool resume_ = false;
+};
+
+}  // namespace taglets

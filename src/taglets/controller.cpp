@@ -1,13 +1,17 @@
 #include "taglets/controller.hpp"
 
+#include <sstream>
 #include <stdexcept>
 
 #include "ensemble/ensemble.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "taglets/checkpoint.hpp"
 #include "util/check.hpp"
+#include "util/fault.hpp"
 #include "util/logging.hpp"
 #include "util/parallel.hpp"
+#include "util/string_util.hpp"
 #include "util/timer.hpp"
 
 namespace taglets {
@@ -33,9 +37,31 @@ scads::Selection Controller::select(const synth::FewShotTask& task,
   return scads::select_auxiliary(*scads_, task, selection);
 }
 
+std::string config_fingerprint(const SystemConfig& config) {
+  std::ostringstream os;
+  os << "modules=" << util::join(config.module_names, ",")
+     << " backbone=" << static_cast<int>(config.backbone)
+     << " seed=" << config.train_seed
+     << " epoch_scale=" << config.epoch_scale
+     << " selection=" << config.selection.related_per_class << "/"
+     << config.selection.images_per_concept << "/"
+     << config.selection.prune_level << "/" << config.selection.seed
+     << " end_model=" << config.end_model.epochs << "/"
+     << config.end_model.batch_size << "/" << config.end_model.min_steps
+     << "/" << config.end_model.lr << "/" << config.end_model.weight_decay
+     << "/" << (config.end_model.soft_targets ? "soft" : "hard");
+  return os.str();
+}
+
 std::vector<modules::Taglet> Controller::train_taglets(
     const synth::FewShotTask& task, const scads::Selection& selection,
     const SystemConfig& config) {
+  return train_taglets(task, selection, config, Checkpoint());
+}
+
+std::vector<modules::Taglet> Controller::train_taglets(
+    const synth::FewShotTask& task, const scads::Selection& selection,
+    const SystemConfig& config, const Checkpoint& checkpoint) {
   TAGLETS_CHECK(!(config.module_names.empty()),
                 "Controller: empty module line-up");
   const backbone::Pretrained& phi = zoo_->get(config.backbone);
@@ -56,11 +82,22 @@ std::vector<modules::Taglet> Controller::train_taglets(
 
   std::vector<std::optional<modules::Taglet>> slots(mods.size());
   auto train_one = [&](std::size_t i) {
+    const std::string name = mods[i]->name();
+    if (checkpoint.has_taglet(i, name)) {
+      TAGLETS_LOG(kInfo) << "resuming taglet " << name << " from "
+                         << checkpoint.taglet_path(i, name);
+      slots[i] = checkpoint.load_taglet(i, name);
+      obs::MetricsRegistry::global()
+          .counter("pipeline.modules_resumed_total")
+          .add();
+      return;
+    }
     TAGLETS_TRACE_SCOPE("module.train",
-                        {{"module", mods[i]->name()},
+                        {{"module", name},
                          {"epoch_scale", std::to_string(config.epoch_scale)}});
-    TAGLETS_LOG(kInfo) << "training module " << mods[i]->name();
+    TAGLETS_LOG(kInfo) << "training module " << name;
     slots[i] = mods[i]->train(context);
+    checkpoint.save_taglet(i, name, *slots[i]);
     obs::MetricsRegistry::global().counter("pipeline.modules_trained_total").add();
   };
   if (config.parallel_modules && mods.size() > 1) {
@@ -96,12 +133,31 @@ SystemResult Controller::run(const synth::FewShotTask& task,
   auto& registry = obs::MetricsRegistry::global();
   registry.counter("pipeline.runs_total").add();
 
+  // Stage checkpointing (docs/ROBUSTNESS.md). Each stage re-derives
+  // its RNG from config.train_seed, so loading a completed stage's
+  // artifact and continuing reproduces the uninterrupted run bit for
+  // bit. The pipeline.after_* fault sites mark the stage boundaries a
+  // crash can be injected at (TAGLETS_FAULT).
+  const Checkpoint checkpoint =
+      config.checkpoint_dir.empty()
+          ? Checkpoint()
+          : Checkpoint(config.checkpoint_dir, config.resume,
+                       config_fingerprint(config));
+
   // (1) SCADS selection of task-related auxiliary data.
   scads::Selection selection;
   {
     TAGLETS_TRACE_SCOPE("pipeline.scads_selection");
-    selection = select(task, config);
+    if (checkpoint.has_selection()) {
+      TAGLETS_LOG(kInfo) << "resuming selection from "
+                         << checkpoint.selection_path();
+      selection = checkpoint.load_selection();
+    } else {
+      selection = select(task, config);
+      checkpoint.save_selection(selection);
+    }
   }
+  util::fault::maybe_fail("pipeline.after_selection");
   TAGLETS_LOG(kInfo) << "selected " << selection.intermediate_classes()
                      << " auxiliary concepts, |R| = " << selection.data.size();
 
@@ -109,8 +165,9 @@ SystemResult Controller::run(const synth::FewShotTask& task,
   std::vector<modules::Taglet> taglets;
   {
     TAGLETS_TRACE_SCOPE("pipeline.module_training");
-    taglets = train_taglets(task, selection, config);
+    taglets = train_taglets(task, selection, config, checkpoint);
   }
+  util::fault::maybe_fail("pipeline.after_training");
 
   // (3) Ensemble pseudo labels for the unlabeled pool (Eq. 6).
   Tensor pseudo;
@@ -122,6 +179,7 @@ SystemResult Controller::run(const synth::FewShotTask& task,
                  ? ensemble::ensemble_proba(taglets, task.unlabeled_inputs)
                  : Tensor::zeros(0, task.num_classes());
   }
+  util::fault::maybe_fail("pipeline.after_ensemble");
 
   // (4) Distill into the end model (Eq. 7).
   util::Rng rng(util::combine_seeds({config.train_seed, 0xE4DULL}));

@@ -34,7 +34,21 @@ struct SystemConfig {
   double epoch_scale = 1.0;
   /// Train modules on a thread pool (results identical to serial).
   bool parallel_modules = false;
+  /// When non-empty, Controller::run checkpoints each completed stage
+  /// into this directory (crash-safe writes; see docs/ROBUSTNESS.md).
+  std::string checkpoint_dir;
+  /// Skip stages whose checkpoint artifacts already exist. Because
+  /// every stage re-derives its RNG from train_seed, a resumed run is
+  /// bitwise identical to an uninterrupted one.
+  bool resume = false;
 };
+
+/// One-line fingerprint of everything that determines a run's output;
+/// stored in the checkpoint MANIFEST so --resume refuses a directory
+/// produced under a different configuration.
+std::string config_fingerprint(const SystemConfig& config);
+
+class Checkpoint;
 
 struct SystemResult {
   ensemble::ServableModel end_model;
@@ -66,6 +80,11 @@ class Controller {
                                              const SystemConfig& config);
 
  private:
+  std::vector<modules::Taglet> train_taglets(const synth::FewShotTask& task,
+                                             const scads::Selection& selection,
+                                             const SystemConfig& config,
+                                             const Checkpoint& checkpoint);
+
   scads::Scads* scads_;
   backbone::Zoo* zoo_;
   modules::ZslKgEngine* zsl_engine_;

@@ -1,0 +1,50 @@
+#include "util/atomic_io.hpp"
+
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+
+#include "util/fault.hpp"
+
+namespace taglets::util {
+
+namespace fs = std::filesystem;
+
+std::string atomic_temp_path(const std::string& path) { return path + ".tmp"; }
+
+void atomic_write_stream(const std::string& path, const std::string& site,
+                         const std::function<void(std::ostream&)>& writer) {
+  const std::string temp = atomic_temp_path(path);
+  try {
+    fault::maybe_fail(site);  // call 1: open/write failure
+    std::ofstream out(temp, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      throw std::runtime_error("atomic_write: cannot open " + temp);
+    }
+    writer(out);
+    out.flush();
+    if (!out) {
+      throw std::runtime_error("atomic_write: write failed for " + temp);
+    }
+    out.close();
+    if (out.fail()) {
+      throw std::runtime_error("atomic_write: close failed for " + temp);
+    }
+    fault::maybe_fail(site);  // call 2: temp complete, rename lost
+    fs::rename(temp, path);
+  } catch (...) {
+    std::error_code ec;
+    fs::remove(temp, ec);  // best effort; never mask the original error
+    throw;
+  }
+}
+
+void atomic_write_file(const std::string& path, std::string_view contents,
+                       const std::string& site) {
+  atomic_write_stream(path, site, [&](std::ostream& out) {
+    out.write(contents.data(),
+              static_cast<std::streamsize>(contents.size()));
+  });
+}
+
+}  // namespace taglets::util

@@ -1,0 +1,37 @@
+// Crash-safe file writes (docs/ROBUSTNESS.md). Every artifact the
+// system persists — servable models, checkpoints, trace/metrics
+// snapshots, results CSVs — goes through these helpers, which write to
+// a temp file in the destination directory, flush and error-check the
+// close, and only then rename over the final path. A crash, full disk,
+// or injected fault at any point leaves either the old file or no file;
+// never a partial one. The temp file is removed on failure.
+//
+// Each call names a fault-injection site (util/fault.hpp). The site is
+// checked twice per write — call 1 models an open/write failure (no
+// temp data survives), call 2 models a failure after the temp file is
+// fully written but before the rename — so `site:1` and `site:2` in
+// TAGLETS_FAULT cover both halves of the protocol deterministically.
+#pragma once
+
+#include <functional>
+#include <ostream>
+#include <string>
+#include <string_view>
+
+namespace taglets::util {
+
+/// Atomically replaces `path` with the bytes `writer` streams out
+/// (opened in binary mode). Throws std::runtime_error (or the writer's
+/// exception) on failure; `path` is untouched in that case.
+void atomic_write_stream(const std::string& path, const std::string& site,
+                         const std::function<void(std::ostream&)>& writer);
+
+/// Convenience form for pre-rendered content.
+void atomic_write_file(const std::string& path, std::string_view contents,
+                       const std::string& site = "atomic_io.write");
+
+/// The temp path atomic_write_stream stages into ("<path>.tmp");
+/// exposed so tests and the CI fault matrix can assert it is cleaned up.
+std::string atomic_temp_path(const std::string& path);
+
+}  // namespace taglets::util

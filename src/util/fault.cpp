@@ -1,0 +1,122 @@
+#include "util/fault.hpp"
+
+#include <atomic>
+#include <map>
+#include <mutex>
+
+#include "util/env.hpp"
+#include "util/string_util.hpp"
+
+namespace taglets::util::fault {
+
+namespace {
+
+struct State {
+  std::mutex mu;
+  std::map<std::string, long> target;  // site -> 1-based failing call
+  std::map<std::string, long> count;   // site -> calls observed so far
+};
+
+State& state() {
+  static State s;
+  return s;
+}
+
+/// Fast-path arm flag; sites only count calls while armed, so runs
+/// without TAGLETS_FAULT pay a single relaxed load per site.
+std::atomic<bool>& armed_flag() {
+  static std::atomic<bool> armed{false};
+  return armed;
+}
+
+/// Parses "site:nth,site:nth" (nth optional, default 1). Throws
+/// std::invalid_argument on empty sites or unparsable counts so a typo
+/// in TAGLETS_FAULT fails the run loudly instead of injecting nothing.
+std::map<std::string, long> parse_spec(const std::string& spec) {
+  std::map<std::string, long> target;
+  for (const std::string& entry : split(spec, ',')) {
+    if (entry.empty()) continue;
+    const auto colon = entry.rfind(':');
+    std::string site = entry.substr(0, colon);
+    long nth = 1;
+    if (colon != std::string::npos) {
+      const std::string count_text = entry.substr(colon + 1);
+      try {
+        std::size_t used = 0;
+        nth = std::stol(count_text, &used);
+        if (used != count_text.size()) throw std::invalid_argument(count_text);
+      } catch (const std::exception&) {
+        throw std::invalid_argument("TAGLETS_FAULT: bad call count '" +
+                                    count_text + "' in entry '" + entry + "'");
+      }
+    }
+    if (site.empty() || nth < 1) {
+      throw std::invalid_argument("TAGLETS_FAULT: bad entry '" + entry + "'");
+    }
+    target[site] = nth;
+  }
+  return target;
+}
+
+void install_spec(const std::string& spec) {
+  auto target = parse_spec(spec);
+  State& s = state();
+  std::lock_guard<std::mutex> lock(s.mu);
+  s.target = std::move(target);
+  s.count.clear();
+  armed_flag().store(!s.target.empty(), std::memory_order_release);
+}
+
+/// One-time TAGLETS_FAULT read; test hooks re-install over it.
+void ensure_env_loaded() {
+  static const bool loaded = [] {
+    install_spec(env_string("TAGLETS_FAULT", ""));
+    return true;
+  }();
+  (void)loaded;
+}
+
+}  // namespace
+
+void maybe_fail(const std::string& site) {
+  ensure_env_loaded();
+  if (!armed_flag().load(std::memory_order_acquire)) return;
+  State& s = state();
+  std::lock_guard<std::mutex> lock(s.mu);
+  const auto it = s.target.find(site);
+  if (it == s.target.end()) return;
+  const long seen = ++s.count[site];
+  if (seen == it->second) {
+    throw FaultInjected("injected fault at site '" + site + "' (call #" +
+                        std::to_string(seen) + ")");
+  }
+}
+
+bool any_armed() {
+  ensure_env_loaded();
+  return armed_flag().load(std::memory_order_acquire);
+}
+
+void set_spec_for_testing(const std::string& spec) {
+  ensure_env_loaded();
+  install_spec(spec);
+}
+
+void reset_counters_for_testing() {
+  ensure_env_loaded();
+  State& s = state();
+  std::lock_guard<std::mutex> lock(s.mu);
+  s.count.clear();
+}
+
+RetryPolicy RetryPolicy::from_env() {
+  RetryPolicy policy;
+  policy.max_attempts =
+      static_cast<int>(env_long("TAGLETS_IO_RETRIES", policy.max_attempts));
+  if (policy.max_attempts < 1) policy.max_attempts = 1;
+  const long backoff = env_long("TAGLETS_IO_RETRY_BACKOFF_MS", -1);
+  if (backoff >= 0) policy.initial_backoff_ms = static_cast<double>(backoff);
+  return policy;
+}
+
+}  // namespace taglets::util::fault

@@ -1,0 +1,90 @@
+// Deterministic fault injection for the I/O and stage-boundary paths
+// (docs/ROBUSTNESS.md). Every durable side effect in the system passes
+// through a named *site*; setting
+//
+//   TAGLETS_FAULT=<site>:<nth>[,<site>:<nth>...]
+//
+// makes the <nth> call (1-based) at that site throw FaultInjected, so a
+// crash at any point of the pipeline can be reproduced bit for bit.
+// Sites are plain dotted strings ("servable.save", "checkpoint.taglet",
+// "pipeline.after_training"); the catalog lives in docs/ROBUSTNESS.md.
+//
+// The companion retry_with_backoff() helper bounds recovery from
+// transient environmental failures (full disk, NFS hiccup): it retries
+// std::runtime_error-family exceptions — including injected faults —
+// with exponential backoff, and never retries logic errors
+// (ContractViolation et al.), which indicate a bug rather than a flaky
+// environment.
+#pragma once
+
+#include <chrono>
+#include <stdexcept>
+#include <string>
+#include <thread>
+
+#include "util/check.hpp"
+#include "util/logging.hpp"
+
+namespace taglets::util::fault {
+
+/// Thrown by maybe_fail() when the configured call count is reached.
+/// Derives from std::runtime_error: injected faults model environmental
+/// failures, so every handler and retry policy treats them as such.
+class FaultInjected : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Marks one I/O (or stage-boundary) call at a named site. Throws
+/// FaultInjected iff TAGLETS_FAULT arms this site and this is the Nth
+/// call. Disarmed cost is one relaxed atomic load.
+void maybe_fail(const std::string& site);
+
+/// True when any site is armed (the spec parsed to at least one entry).
+bool any_armed();
+
+/// Test hooks: install a spec string as if it came from TAGLETS_FAULT
+/// (empty disarms everything) and reset all per-site call counters.
+/// Malformed specs throw std::invalid_argument.
+void set_spec_for_testing(const std::string& spec);
+void reset_counters_for_testing();
+
+/// Bounded retry policy for transient failures. max_attempts counts the
+/// initial try, so 1 means "no retries" — the default, because every
+/// write in this codebase is cheap to redo at a higher level and silent
+/// retry loops hide real breakage. TAGLETS_IO_RETRIES (attempts) and
+/// TAGLETS_IO_RETRY_BACKOFF_MS override the defaults for deployments
+/// where storage genuinely flakes.
+struct RetryPolicy {
+  int max_attempts = 1;
+  double initial_backoff_ms = 1.0;
+  double multiplier = 2.0;
+
+  static RetryPolicy from_env();
+};
+
+/// Runs `fn`, retrying per `policy` on std::runtime_error (which covers
+/// FaultInjected). Logic errors propagate immediately: a contract
+/// violation will not become correct by trying again.
+template <class Fn>
+auto retry_with_backoff(const std::string& what, const RetryPolicy& policy,
+                        Fn&& fn) -> decltype(fn()) {
+  double backoff_ms = policy.initial_backoff_ms;
+  for (int attempt = 1;; ++attempt) {
+    try {
+      return fn();
+    } catch (const std::logic_error&) {
+      throw;
+    } catch (const std::runtime_error& e) {
+      if (attempt >= policy.max_attempts) throw;
+      TAGLETS_LOG(kWarn) << what << ": attempt " << attempt << "/"
+                         << policy.max_attempts << " failed (" << e.what()
+                         << "), retrying in " << backoff_ms << "ms";
+      std::this_thread::sleep_for(
+          std::chrono::duration<double, std::milli>(backoff_ms));
+      backoff_ms *= policy.multiplier;
+    }
+  }
+}
+
+}  // namespace taglets::util::fault

@@ -202,6 +202,26 @@ TEST_F(HarnessTest, LeaveOneOutCoversEveryModule) {
   }
 }
 
+TEST_F(HarnessTest, LeaveOneOutKeepsDuplicateModulesDistinct) {
+  // Regression: duplicate module names in the line-up collapsed onto one
+  // map key, so run_leave_one_out silently dropped all but the last
+  // slot's delta (and run_modules its accuracy).
+  eval::Harness harness(lab(), 1, 0.1);
+  auto deltas = harness.run_leave_one_out(synth::fmd_spec(), 1, 0,
+                                          backbone::Kind::kRn50S, 0,
+                                          {"transfer", "transfer"});
+  EXPECT_EQ(deltas.size(), 2u);
+  EXPECT_TRUE(deltas.count("transfer"));
+  EXPECT_TRUE(deltas.count("transfer#1"));
+
+  auto diag = harness.run_modules(synth::fmd_spec(), 1, 0,
+                                  backbone::Kind::kRn50S, -1, 0,
+                                  {"transfer", "transfer"});
+  EXPECT_EQ(diag.module_accuracy.size(), 2u);
+  EXPECT_TRUE(diag.module_accuracy.count("transfer"));
+  EXPECT_TRUE(diag.module_accuracy.count("transfer#1"));
+}
+
 TEST_F(HarnessTest, UnknownMethodThrows) {
   eval::Harness harness(lab(), 1, 0.1);
   EXPECT_THROW(harness.run_once(synth::fmd_spec(), 1, 0,

@@ -19,6 +19,16 @@
 //   --report   print the per-class confusion report
 //   --compare  also run the fine-tuning baseline
 //
+// Crash safety (docs/ROBUSTNESS.md):
+//   --checkpoint-dir DIR  checkpoint each completed pipeline stage
+//                         (selection, per-module taglets) into DIR
+//                         with atomic writes
+//   --resume              skip stages whose checkpoints exist in DIR;
+//                         the resumed run's end model is bitwise
+//                         identical to an uninterrupted run
+// TAGLETS_FAULT=<site>:<nth> deterministically fails the Nth I/O call
+// at a named site (fault-injection testing; see docs/ROBUSTNESS.md).
+//
 // Observability (both pipeline and --serve/--load modes):
 //   --trace-out FILE    enable tracing and write a Chrome-trace /
 //                       Perfetto JSON file of the run's spans
@@ -53,6 +63,7 @@
 #include "serve/server.hpp"
 #include "taglets/controller.hpp"
 #include "util/args.hpp"
+#include "util/atomic_io.hpp"
 #include "util/string_util.hpp"
 #include "util/timer.hpp"
 
@@ -192,17 +203,21 @@ void run_serve_load_test(ensemble::ServableModel& model,
 
 /// Write the observability artifacts the run asked for. Called on
 /// every successful exit path so pipeline, --serve, and --load runs
-/// all export the same way.
+/// all export the same way. Both artifacts go through the atomic
+/// write path, so a failed export never leaves a partial JSON file.
 void write_observability_artifacts(const util::ArgParser& args) {
   if (args.has("trace-out")) {
     const std::string path = args.get("trace-out", "");
-    obs::trace_export_json(path);
+    util::atomic_write_file(path, obs::trace_export_json() + "\n",
+                            "trace.export");
     std::cout << "wrote trace (" << obs::Tracer::global().snapshot().size()
               << " spans) to " << path << "\n";
   }
   if (args.has("metrics-out")) {
     const std::string path = args.get("metrics-out", "");
-    obs::MetricsRegistry::global().write_json(path);
+    util::atomic_write_file(path,
+                            obs::MetricsRegistry::global().to_json() + "\n",
+                            "metrics.export");
     std::cout << "wrote metrics snapshot to " << path << "\n";
   }
 }
@@ -254,6 +269,11 @@ int main(int argc, char** argv) {
     config.epoch_scale = args.get_double("scale", 1.0);
     if (args.has("modules")) {
       config.module_names = util::split(args.get("modules", ""), ',');
+    }
+    config.checkpoint_dir = args.get("checkpoint-dir", "");
+    config.resume = args.get_flag("resume");
+    if (config.resume && config.checkpoint_dir.empty()) {
+      throw std::invalid_argument("--resume requires --checkpoint-dir");
     }
 
     const bool needs_zsl =

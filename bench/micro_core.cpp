@@ -9,6 +9,7 @@
 #include <benchmark/benchmark.h>
 
 #include "ensemble/ensemble.hpp"
+#include "ensemble/servable.hpp"
 #include "graph/retrofit.hpp"
 #include "modules/module.hpp"
 #include "nn/classifier.hpp"
@@ -18,7 +19,9 @@
 #include "obs/trace.hpp"
 #include "synth/split.hpp"
 #include "synth/tasks.hpp"
+#include "tensor/backend.hpp"
 #include "tensor/ops.hpp"
+#include "tensor/quant.hpp"
 #include "util/check.hpp"
 #include "util/parallel.hpp"
 #include "util/timer.hpp"
@@ -111,6 +114,115 @@ void BM_MatmulThreads(benchmark::State& state) {
                           static_cast<std::int64_t>(2 * n * n * n));
 }
 BENCHMARK(BM_MatmulThreads)->Arg(1)->Arg(2)->Arg(4)->UseRealTime();
+
+// ------------------------------------------------------ SIMD backends
+// scalar vs the best native backend over the same kernels, pinned to
+// the serial pool so the comparison isolates the inner loops.
+// items_per_second is FLOP/s (2*n^3 per product); the committed
+// BENCH_micro_core.json trajectory tracks the native/scalar ratio
+// (>= 2x expected on AVX2 hardware).
+
+/// Force one backend for the duration of a benchmark run (nullptr =
+/// re-resolve the best native backend from the environment).
+class BenchBackendOverride {
+ public:
+  explicit BenchBackendOverride(const tensor::backend::Kernels* kernels)
+      : prev_(tensor::backend::exchange_active(kernels)) {}
+  ~BenchBackendOverride() { tensor::backend::exchange_active(prev_); }
+
+ private:
+  const tensor::backend::Kernels* prev_;
+};
+
+void run_matmul_backend(benchmark::State& state,
+                        const tensor::backend::Kernels* kernels) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  util::Parallel pool(1);
+  BenchParallelOverride pool_guard(&pool);
+  BenchBackendOverride backend_guard(kernels);
+  tensor::Tensor a = bench_random_matrix(n, n, 3);
+  tensor::Tensor b = bench_random_matrix(n, n, 4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tensor::matmul(a, b));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(2 * n * n * n));
+}
+
+void BM_MatmulBackendScalar(benchmark::State& state) {
+  run_matmul_backend(state, tensor::backend::lookup("scalar"));
+}
+BENCHMARK(BM_MatmulBackendScalar)->Arg(128)->Arg(256)->Arg(512);
+
+void BM_MatmulBackendNative(benchmark::State& state) {
+  run_matmul_backend(state, nullptr);
+}
+BENCHMARK(BM_MatmulBackendNative)->Arg(128)->Arg(256)->Arg(512);
+
+void run_matmul_nt_backend(benchmark::State& state,
+                           const tensor::backend::Kernels* kernels) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  util::Parallel pool(1);
+  BenchParallelOverride pool_guard(&pool);
+  BenchBackendOverride backend_guard(kernels);
+  tensor::Tensor a = bench_random_matrix(n, n, 5);
+  tensor::Tensor b = bench_random_matrix(n, n, 6);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tensor::matmul_nt(a, b));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(2 * n * n * n));
+}
+
+void BM_MatmulNtBackendScalar(benchmark::State& state) {
+  run_matmul_nt_backend(state, tensor::backend::lookup("scalar"));
+}
+BENCHMARK(BM_MatmulNtBackendScalar)->Arg(128)->Arg(256);
+
+void BM_MatmulNtBackendNative(benchmark::State& state) {
+  run_matmul_nt_backend(state, nullptr);
+}
+BENCHMARK(BM_MatmulNtBackendNative)->Arg(128)->Arg(256);
+
+void run_softmax_backend(benchmark::State& state,
+                         const tensor::backend::Kernels* kernels) {
+  util::Parallel pool(1);
+  BenchParallelOverride pool_guard(&pool);
+  BenchBackendOverride backend_guard(kernels);
+  tensor::Tensor logits = bench_random_matrix(256, 65, 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tensor::softmax(logits));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(logits.size()));
+}
+
+void BM_SoftmaxBackendScalar(benchmark::State& state) {
+  run_softmax_backend(state, tensor::backend::lookup("scalar"));
+}
+BENCHMARK(BM_SoftmaxBackendScalar);
+
+void BM_SoftmaxBackendNative(benchmark::State& state) {
+  run_softmax_backend(state, nullptr);
+}
+BENCHMARK(BM_SoftmaxBackendNative);
+
+// Weight-only int8 GEMM (the serving path) vs the float GEMM it
+// replaces, at a serving-sized batch of 16 rows.
+void BM_Int8Matmul(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  util::Parallel pool(1);
+  BenchParallelOverride pool_guard(&pool);
+  tensor::Tensor x = bench_random_matrix(16, n, 7);
+  tensor::Tensor w = bench_random_matrix(n, n, 8);
+  const tensor::QuantizedMatrix q = tensor::quantize_rows(w);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tensor::matmul_quant(x, q));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(2 * 16 * n * n));
+}
+BENCHMARK(BM_Int8Matmul)->Arg(128)->Arg(256);
 
 void BM_EnsembleProbaThreads(benchmark::State& state) {
   util::Parallel pool(static_cast<std::size_t>(state.range(0)));
@@ -216,6 +328,23 @@ void BM_ServeEndModel(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ServeEndModel);
+
+/// Same single-example serving loop as BM_ServeEndModel, but through
+/// the int8-quantized ServableModel path (weight-only quantization).
+void BM_ServeEndModelInt8(benchmark::State& state) {
+  std::vector<std::string> names;
+  for (int i = 0; i < 65; ++i) names.push_back("class-" + std::to_string(i));
+  ensemble::ServableModel model(make_serving_model(65), std::move(names));
+  model.set_precision(ensemble::Precision::kInt8);
+  util::Rng rng(4);
+  tensor::Tensor example =
+      bench_world().sample_image(10, synth::Domain::kProduct, rng);
+  tensor::Tensor batch = example.reshape(1, example.size());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.predict_proba(batch));
+  }
+}
+BENCHMARK(BM_ServeEndModelInt8);
 
 void BM_ServeFullEnsemble(benchmark::State& state) {
   std::vector<nn::Classifier> ensemble;

@@ -8,14 +8,25 @@
 // instance must not run two forward passes at once (layers cache
 // activations on the instance — see nn/layers.hpp). Concurrent serving
 // uses one replica per thread; serve::Server does exactly that.
+//
+// Precision: serving can run the distilled model with int8-quantized
+// weights (per-row affine, tensor/quant.hpp) — activations stay float32
+// and accuracy loss is bounded by the eval::int8_accuracy_gate check.
+// Select with set_precision(Precision::kInt8) or TAGLETS_SERVE_INT8=1
+// (applied at load()). Training never sees the quantized weights; see
+// docs/PERFORMANCE.md.
 #pragma once
 
 #include <string>
 
 #include "nn/classifier.hpp"
+#include "tensor/quant.hpp"
 #include "util/timer.hpp"
 
 namespace taglets::ensemble {
+
+/// Numeric precision of the serving forward pass.
+enum class Precision { kFloat32, kInt8 };
 
 class ServableModel {
  public:
@@ -39,16 +50,40 @@ class ServableModel {
 
   const util::LatencyRecorder& latency() const { return latency_; }
 
+  /// Switch the serving forward pass between float32 and int8. The
+  /// first switch to kInt8 quantizes every Linear weight matrix
+  /// (per-row, tensor/quant.hpp) and caches the quantized program;
+  /// switching back to kFloat32 is free. Throws if the model contains a
+  /// layer kind the quantized path cannot execute.
+  void set_precision(Precision precision);
+  Precision precision() const { return precision_; }
+
   nn::Classifier& model() { return model_; }
   const nn::Classifier& model() const { return model_; }
 
   void save(const std::string& path) const;
+  /// Loads the model; honours TAGLETS_SERVE_INT8=1 by switching the
+  /// loaded instance to Precision::kInt8.
   static ServableModel load(const std::string& path);
 
  private:
+  // One step of the cached int8 forward program (flattened from the
+  // encoder Sequential + head; Dropout is identity at eval and dropped).
+  struct QuantOp {
+    enum class Kind { kLinear, kRelu, kTanh };
+    Kind kind;
+    tensor::QuantizedMatrix weight;  // kLinear only
+    tensor::Tensor bias;             // kLinear only
+  };
+
+  tensor::Tensor quant_logits(const tensor::Tensor& inputs) const;
+  std::vector<std::size_t> batch_labels(const tensor::Tensor& inputs);
+
   nn::Classifier model_;
   std::vector<std::string> class_names_;
   util::LatencyRecorder latency_;
+  Precision precision_ = Precision::kFloat32;
+  std::vector<QuantOp> quant_ops_;
 };
 
 }  // namespace taglets::ensemble

@@ -5,6 +5,7 @@
 #include <cmath>
 #include <numeric>
 
+#include "tensor/backend.hpp"
 #include "util/check.hpp"
 #include "util/env.hpp"
 #include "util/parallel.hpp"
@@ -17,19 +18,6 @@ constexpr std::size_t kBlock = 64;
 
 // -1 = resolve lazily from build mode / TAGLETS_CHECK_FINITE.
 std::atomic<int> g_finite_checks{-1};
-
-bool finite_checks_enabled() {
-  int v = g_finite_checks.load(std::memory_order_relaxed);
-  if (v < 0) {
-#ifndef NDEBUG
-    v = 1;
-#else
-    v = util::env_flag("TAGLETS_CHECK_FINITE") ? 1 : 0;
-#endif
-    g_finite_checks.store(v, std::memory_order_relaxed);
-  }
-  return v != 0;
-}
 
 // The matmul kernels skip zero multiplicands for speed, which silently
 // drops NaN/Inf propagation (0 * NaN must be NaN). Keep the fast path,
@@ -50,10 +38,25 @@ bool set_finite_checks(bool enabled) {
   return prev > 0;
 }
 
+bool finite_checks_enabled() {
+  int v = g_finite_checks.load(std::memory_order_relaxed);
+  if (v < 0) {
+#ifndef NDEBUG
+    v = 1;
+#else
+    v = util::env_flag("TAGLETS_CHECK_FINITE") ? 1 : 0;
+#endif
+    g_finite_checks.store(v, std::memory_order_relaxed);
+  }
+  return v != 0;
+}
+
 // All three matmul variants parallelize over disjoint row blocks of C
-// through util::Parallel. Each output row is accumulated by exactly one
+// through util::Parallel and hand each row block to the active backend
+// (tensor/backend.hpp). Each output row is accumulated by exactly one
 // chunk in the same p-order as the serial loop, so results are
-// bitwise-identical at every thread count.
+// bitwise-identical at every thread count — and, by the backend
+// determinism contract, at every TAGLETS_TENSOR_BACKEND setting.
 
 Tensor matmul(const Tensor& a, const Tensor& b) {
   TAGLETS_CHECK(a.is_matrix() && b.is_matrix(), "matmul: rank-2 required");
@@ -62,20 +65,23 @@ Tensor matmul(const Tensor& a, const Tensor& b) {
   debug_check_finite(b, "matmul");
   const std::size_t m = a.rows(), k = a.cols(), n = b.cols();
   Tensor c = Tensor::zeros(m, n);
-  // i-k-j loop order with blocking on k: the innermost loop walks both
-  // B and C rows contiguously.
+  const backend::Kernels& kern = backend::active();
+  const float* bp = b.data().data();
+  // i-k-j loop order with blocking on k: the innermost (backend) loop
+  // walks both B and C rows contiguously.
   util::parallel_for_ranges(m, [&](std::size_t r0, std::size_t r1) {
     for (std::size_t kk = 0; kk < k; kk += kBlock) {
       const std::size_t kend = std::min(k, kk + kBlock);
-      for (std::size_t i = r0; i < r1; ++i) {
-        const float* arow = a.row(i).data();
-        float* crow = c.row(i).data();
-        for (std::size_t p = kk; p < kend; ++p) {
-          const float av = arow[p];
-          if (av == 0.0f) continue;
-          const float* brow = b.row(p).data();
-          for (std::size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
-        }
+      // Paired rows share each loaded B strip (see gemm_rowblock2);
+      // results are bitwise identical to the single-row path.
+      std::size_t i = r0;
+      for (; i + 1 < r1; i += 2) {
+        kern.gemm_rowblock2(a.row(i).data(), a.row(i + 1).data(), kk, kend,
+                            bp, n, n, c.row(i).data(), c.row(i + 1).data());
+      }
+      if (i < r1) {
+        kern.gemm_rowblock(a.row(i).data(), kk, kend, bp, n, n,
+                           c.row(i).data());
       }
     }
   });
@@ -89,15 +95,17 @@ Tensor matmul_tn(const Tensor& a, const Tensor& b) {
   debug_check_finite(b, "matmul_tn");
   const std::size_t m = a.cols(), k = a.rows(), n = b.cols();
   Tensor c = Tensor::zeros(m, n);
+  const backend::Kernels& kern = backend::active();
   util::parallel_for_ranges(m, [&](std::size_t r0, std::size_t r1) {
     for (std::size_t p = 0; p < k; ++p) {
       const float* arow = a.row(p).data();
       const float* brow = b.row(p).data();
       for (std::size_t i = r0; i < r1; ++i) {
         const float av = arow[i];
+        // The zero-skip decision lives here, in backend-independent
+        // caller code, so every backend sees the identical policy.
         if (av == 0.0f) continue;
-        float* crow = c.row(i).data();
-        for (std::size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+        kern.axpy(n, av, brow, c.row(i).data());
       }
     }
   });
@@ -109,18 +117,11 @@ Tensor matmul_nt(const Tensor& a, const Tensor& b) {
   TAGLETS_CHECK(a.cols() == b.cols(), "matmul_nt: inner dim mismatch");
   const std::size_t m = a.rows(), k = a.cols(), n = b.rows();
   Tensor c = Tensor::zeros(m, n);
+  const backend::Kernels& kern = backend::active();
+  const float* bp = b.data().data();
   util::parallel_for_ranges(m, [&](std::size_t r0, std::size_t r1) {
     for (std::size_t i = r0; i < r1; ++i) {
-      const float* arow = a.row(i).data();
-      float* crow = c.row(i).data();
-      for (std::size_t j = 0; j < n; ++j) {
-        const float* brow = b.row(j).data();
-        double s = 0.0;
-        for (std::size_t p = 0; p < k; ++p) {
-          s += static_cast<double>(arow[p]) * brow[p];
-        }
-        crow[j] = static_cast<float>(s);
-      }
+      kern.gemm_nt_row(a.row(i).data(), bp, k, n, k, c.row(i).data());
     }
   });
   return c;
@@ -138,41 +139,36 @@ Tensor transpose(const Tensor& a) {
 Tensor add(const Tensor& a, const Tensor& b) {
   TAGLETS_CHECK(same_shape(a, b), "add: shape mismatch");
   Tensor c = a;
-  auto cd = c.data();
-  auto bd = b.data();
-  for (std::size_t i = 0; i < cd.size(); ++i) cd[i] += bd[i];
+  backend::active().ew_add(c.size(), b.data().data(), c.data().data());
   return c;
 }
 
 Tensor sub(const Tensor& a, const Tensor& b) {
   TAGLETS_CHECK(same_shape(a, b), "sub: shape mismatch");
   Tensor c = a;
-  auto cd = c.data();
-  auto bd = b.data();
-  for (std::size_t i = 0; i < cd.size(); ++i) cd[i] -= bd[i];
+  backend::active().ew_sub(c.size(), b.data().data(), c.data().data());
   return c;
 }
 
 Tensor hadamard(const Tensor& a, const Tensor& b) {
   TAGLETS_CHECK(same_shape(a, b), "hadamard: shape mismatch");
   Tensor c = a;
-  auto cd = c.data();
-  auto bd = b.data();
-  for (std::size_t i = 0; i < cd.size(); ++i) cd[i] *= bd[i];
+  backend::active().ew_mul(c.size(), b.data().data(), c.data().data());
   return c;
 }
 
 Tensor scale(const Tensor& a, float s) {
   Tensor c = a;
-  for (float& x : c.data()) x *= s;
+  backend::active().ew_scale(c.size(), s, c.data().data());
   return c;
 }
 
 void add_scaled_inplace(Tensor& a, const Tensor& b, float s) {
   TAGLETS_CHECK(same_shape(a, b), "add_scaled_inplace: shape mismatch");
-  auto ad = a.data();
-  auto bd = b.data();
-  for (std::size_t i = 0; i < ad.size(); ++i) ad[i] += s * bd[i];
+  // No zero-skip on s: unlike matmul this is a single pass, and the
+  // optimizer update path relies on a += 0 * b normalizing -0.0 the
+  // same way the historical loop did.
+  backend::active().axpy(a.size(), s, b.data().data(), a.data().data());
 }
 
 Tensor add_row_broadcast(const Tensor& a, const Tensor& bias) {
@@ -180,9 +176,10 @@ Tensor add_row_broadcast(const Tensor& a, const Tensor& bias) {
   TAGLETS_CHECK(bias.is_vector() && bias.size() == a.cols(),
           "add_row_broadcast: bias size mismatch");
   Tensor c = a;
+  const backend::Kernels& kern = backend::active();
+  const float* bp = bias.data().data();
   for (std::size_t i = 0; i < c.rows(); ++i) {
-    auto row = c.row(i);
-    for (std::size_t j = 0; j < row.size(); ++j) row[j] += bias[j];
+    kern.ew_add(c.cols(), bp, c.row(i).data());
   }
   return c;
 }
@@ -209,9 +206,10 @@ float cosine_similarity(std::span<const float> a, std::span<const float> b) {
 Tensor column_sums(const Tensor& a) {
   TAGLETS_CHECK(a.is_matrix(), "column_sums: matrix required");
   Tensor out = Tensor::zeros(a.cols());
+  const backend::Kernels& kern = backend::active();
+  float* op = out.data().data();
   for (std::size_t i = 0; i < a.rows(); ++i) {
-    auto row = a.row(i);
-    for (std::size_t j = 0; j < row.size(); ++j) out[j] += row[j];
+    kern.ew_add(a.cols(), a.row(i).data(), op);
   }
   return out;
 }
@@ -226,27 +224,11 @@ Tensor row_mean(const Tensor& a) {
   return out;
 }
 
-namespace {
-
-void softmax_row(std::span<const float> in, std::span<float> out) {
-  if (in.empty()) return;  // *max_element on an empty span is UB
-  const float mx = *std::max_element(in.begin(), in.end());
-  double sum = 0.0;
-  for (std::size_t j = 0; j < in.size(); ++j) {
-    out[j] = std::exp(in[j] - mx);
-    sum += out[j];
-  }
-  const float inv = static_cast<float>(1.0 / sum);
-  for (std::size_t j = 0; j < out.size(); ++j) out[j] *= inv;
-}
-
-}  // namespace
-
 Tensor softmax(const Tensor& logits) {
+  const backend::Kernels& kern = backend::active();
   if (logits.is_vector()) {
     Tensor out = Tensor::zeros(logits.size());
-    std::vector<float> in(logits.data().begin(), logits.data().end());
-    softmax_row(in, out.data());
+    kern.softmax_row(logits.data().data(), logits.size(), out.data().data());
     return out;
   }
   Tensor out = Tensor::zeros(logits.rows(), logits.cols());
@@ -256,7 +238,8 @@ Tensor softmax(const Tensor& logits) {
   constexpr std::size_t kParallelMinRows = 64;
   auto run_rows = [&](std::size_t begin, std::size_t end) {
     for (std::size_t i = begin; i < end; ++i) {
-      softmax_row(logits.row(i), out.row(i));
+      kern.softmax_row(logits.row(i).data(), logits.cols(),
+                       out.row(i).data());
     }
   };
   if (logits.rows() >= kParallelMinRows) {

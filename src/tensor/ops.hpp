@@ -1,14 +1,16 @@
 // Tensor operations used by the NN substrate, the graph-embedding code
 // (retrofitting, cosine search), and the ensemble math. Matmul uses
 // cache-blocked loops parallelized over row blocks via util::Parallel
-// (bitwise-identical results at every TAGLETS_THREADS setting);
-// everything else is straightforward elementwise code. All functions
-// validate shapes via TAGLETS_CHECK (throwing util::ContractViolation,
-// see docs/CORRECTNESS.md) so shape bugs fail loudly rather than
-// silently. The matmul zero-skip fast path
-// additionally rejects non-finite operands in debug builds (or with
-// TAGLETS_CHECK_FINITE=1), since skipping 0 * NaN would silently drop
-// NaN/Inf propagation.
+// (bitwise-identical results at every TAGLETS_THREADS setting); the
+// inner row kernels are dispatched through tensor/backend.hpp
+// (TAGLETS_TENSOR_BACKEND = scalar | avx2 | neon | native) under a
+// bitwise-determinism contract, so results are also identical at every
+// backend setting — see docs/PERFORMANCE.md. All functions validate
+// shapes via TAGLETS_CHECK (throwing util::ContractViolation, see
+// docs/CORRECTNESS.md) so shape bugs fail loudly rather than silently.
+// The matmul zero-skip fast path additionally rejects non-finite
+// operands in debug builds (or with TAGLETS_CHECK_FINITE=1), since
+// skipping 0 * NaN would silently drop NaN/Inf propagation.
 #pragma once
 
 #include <cstddef>
@@ -22,6 +24,9 @@ namespace taglets::tensor {
 /// Toggle the matmul finiteness guard at runtime (defaults: on in debug
 /// builds, TAGLETS_CHECK_FINITE elsewhere). Returns the previous value.
 bool set_finite_checks(bool enabled);
+/// Whether the matmul finiteness guard is currently active (shared by
+/// all kernels with a zero-skip fast path, including matmul_quant).
+bool finite_checks_enabled();
 
 // ---- matrix products -------------------------------------------------
 

@@ -1,0 +1,48 @@
+// Weight-only int8 quantization for the serving path. Classifier weight
+// matrices are quantized once at ServableModel::load time with a
+// per-row affine scheme (scale + zero-point per row, range always
+// covering 0.0), and matmul_quant dequantizes on accumulate — the
+// activations and the accumulator stay float32, so accuracy loss comes
+// only from rounding the weights. An accuracy-delta gate in eval
+// (eval::int8_accuracy_gate) rejects models where that loss exceeds a
+// budget; the training path never touches this code and stays bitwise
+// deterministic.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace taglets::tensor {
+
+/// A rank-2 matrix with each row quantized to int8: for row r,
+/// float_value(r, j) ~= scales[r] * (values[r*cols + j] - zero_points[r]).
+struct QuantizedMatrix {
+  std::size_t rows = 0;
+  std::size_t cols = 0;
+  std::vector<std::int8_t> values;      // rows * cols, row-major
+  std::vector<float> scales;            // per row
+  std::vector<std::int32_t> zero_points;  // per row
+
+  bool empty() const { return values.empty(); }
+};
+
+/// Quantize each row of a rank-2 tensor to int8 with an affine
+/// (scale, zero_point) per row. The quantized range always includes
+/// 0.0f so zero weights stay exactly zero; an all-zero (or constant-0)
+/// row gets scale 1, zero_point 0.
+QuantizedMatrix quantize_rows(const Tensor& w);
+
+/// Reconstruct the float matrix the quantized form represents (used by
+/// tests and the accuracy gate; serving never materializes this).
+Tensor dequantize(const QuantizedMatrix& q);
+
+/// C = X(mxk) * dequantize(W)(kxn), mirroring matmul's i-k-j loop
+/// structure, row-block parallelism, and zero-skip policy on the float
+/// activations, with the inner row kernel dispatched through
+/// tensor/backend.hpp (axpy_q8). X must have k == q.rows.
+Tensor matmul_quant(const Tensor& x, const QuantizedMatrix& q);
+
+}  // namespace taglets::tensor

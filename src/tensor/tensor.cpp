@@ -8,26 +8,28 @@
 namespace taglets::tensor {
 
 Tensor Tensor::zeros(std::size_t n) {
-  return Tensor(1, n, 1, std::vector<float>(n, 0.0f));
+  return Tensor(1, n, 1, AlignedVector(n, 0.0f));
 }
 
 Tensor Tensor::zeros(std::size_t rows, std::size_t cols) {
-  return Tensor(2, rows, cols, std::vector<float>(rows * cols, 0.0f));
+  return Tensor(2, rows, cols, AlignedVector(rows * cols, 0.0f));
 }
 
 Tensor Tensor::full(std::size_t rows, std::size_t cols, float value) {
-  return Tensor(2, rows, cols, std::vector<float>(rows * cols, value));
+  return Tensor(2, rows, cols, AlignedVector(rows * cols, value));
 }
 
 Tensor Tensor::from_vector(std::vector<float> values) {
+  // Copies into aligned storage (std::vector<float> has no alignment
+  // guarantee beyond alignof(float)).
   const std::size_t n = values.size();
-  return Tensor(1, n, 1, std::move(values));
+  return Tensor(1, n, 1, AlignedVector(values.begin(), values.end()));
 }
 
 Tensor Tensor::from_matrix(std::size_t rows, std::size_t cols,
                            std::vector<float> values) {
   TAGLETS_CHECK_EQ(values.size(), rows * cols, "Tensor::from_matrix");
-  return Tensor(2, rows, cols, std::move(values));
+  return Tensor(2, rows, cols, AlignedVector(values.begin(), values.end()));
 }
 
 Tensor Tensor::identity(std::size_t n) {

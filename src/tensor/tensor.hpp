@@ -4,10 +4,17 @@
 // storage, bounds-checked element access in debug builds (TAGLETS_DCHECK
 // — free in release, see docs/CORRECTNESS.md), and value semantics so
 // layers can own their parameters directly.
+//
+// Storage is 32-byte aligned (kAlignment) so the SIMD backends
+// (tensor/backend.hpp) never touch an under-aligned base pointer —
+// row starts are only as aligned as `cols` allows, so kernels still use
+// unaligned loads, but the base alignment avoids cache-line-split
+// traffic on the common power-of-two widths.
 #pragma once
 
 #include <cstddef>
 #include <initializer_list>
+#include <new>
 #include <span>
 #include <string>
 #include <vector>
@@ -15,6 +22,42 @@
 #include "util/check.hpp"
 
 namespace taglets::tensor {
+
+/// Guaranteed alignment (bytes) of every Tensor's backing storage; one
+/// AVX2 vector. Regression-tested in tensor_test.
+inline constexpr std::size_t kAlignment = 32;
+
+/// Minimal aligned allocator so Tensor storage can stay a std::vector
+/// while guaranteeing kAlignment. Stateless: all instances compare
+/// equal.
+template <class T>
+struct AlignedAllocator {
+  using value_type = T;
+
+  AlignedAllocator() = default;
+  template <class U>
+  AlignedAllocator(const AlignedAllocator<U>&) {}  // NOLINT(runtime/explicit)
+
+  T* allocate(std::size_t n) {
+    return static_cast<T*>(
+        ::operator new(n * sizeof(T), std::align_val_t(kAlignment)));
+  }
+  void deallocate(T* p, std::size_t) noexcept {
+    ::operator delete(p, std::align_val_t(kAlignment));
+  }
+
+  template <class U>
+  bool operator==(const AlignedAllocator<U>&) const {
+    return true;
+  }
+  template <class U>
+  bool operator!=(const AlignedAllocator<U>&) const {
+    return false;
+  }
+};
+
+/// The aligned float buffer Tensor owns.
+using AlignedVector = std::vector<float, AlignedAllocator<float>>;
 
 class Tensor {
  public:
@@ -85,13 +128,13 @@ class Tensor {
   std::string shape_string() const;
 
  private:
-  Tensor(int rank, std::size_t rows, std::size_t cols, std::vector<float> data)
+  Tensor(int rank, std::size_t rows, std::size_t cols, AlignedVector data)
       : rank_(rank), rows_(rows), cols_(cols), data_(std::move(data)) {}
 
   int rank_ = 0;
   std::size_t rows_ = 0;
   std::size_t cols_ = 0;
-  std::vector<float> data_;
+  AlignedVector data_;
 };
 
 /// Exact shape equality (rank, rows, cols).

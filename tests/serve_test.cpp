@@ -39,7 +39,11 @@ ensemble::ServableModel make_mlp_servable(std::size_t dim, std::size_t hidden,
   util::Rng rng(17);
   nn::Sequential encoder = nn::make_mlp({dim, hidden, hidden / 2}, rng);
   std::vector<std::string> names;
-  for (std::size_t c = 0; c < classes; ++c) names.push_back("c" + std::to_string(c));
+  for (std::size_t c = 0; c < classes; ++c) {
+    std::string name = "c";  // += form: GCC 12 -Wrestrict FP (PR105329)
+    name += std::to_string(c);
+    names.push_back(std::move(name));
+  }
   return ensemble::ServableModel(
       nn::Classifier(encoder, hidden / 2, classes, rng), std::move(names));
 }

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
 #include <limits>
 #include <sstream>
 
@@ -42,6 +43,29 @@ void expect_close(const Tensor& a, const Tensor& b, float tol = 1e-4f) {
 }
 
 // -------------------------------------------------------- construction
+
+// Regression: Tensor storage must honour kAlignment (32 bytes) on
+// every construction path, including the copy-in ones — the SIMD
+// backends rely on an aligned base pointer (see tensor/tensor.hpp).
+TEST(Tensor, StorageIsThirtyTwoByteAligned) {
+  auto aligned = [](const Tensor& t) {
+    return reinterpret_cast<std::uintptr_t>(t.data().data()) % kAlignment == 0;
+  };
+  EXPECT_TRUE(aligned(Tensor::zeros(7)));
+  EXPECT_TRUE(aligned(Tensor::zeros(3, 5)));
+  EXPECT_TRUE(aligned(Tensor::full(2, 9, 1.0f)));
+  EXPECT_TRUE(aligned(Tensor::from_vector({1.0f, 2.0f, 3.0f})));
+  EXPECT_TRUE(aligned(Tensor::from_matrix(2, 2, {1.0f, 2.0f, 3.0f, 4.0f})));
+  EXPECT_TRUE(aligned(Tensor::identity(5)));
+  const Tensor m = Tensor::from_matrix(2, 3, {1, 2, 3, 4, 5, 6});
+  EXPECT_TRUE(aligned(m.reshape(3, 2)));
+  EXPECT_TRUE(aligned(m.flatten()));
+  EXPECT_TRUE(aligned(m.row_copy(1)));
+  const std::size_t idx[] = {1, 0};
+  EXPECT_TRUE(aligned(m.gather_rows(idx)));
+  Tensor copy = m;  // copy construction must preserve alignment too
+  EXPECT_TRUE(aligned(copy));
+}
 
 TEST(Tensor, ZerosVector) {
   Tensor v = Tensor::zeros(5);

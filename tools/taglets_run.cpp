@@ -49,13 +49,24 @@
 //   --serve-queue        submission queue capacity         (default 256)
 //   --serve-deadline-ms  per-request deadline, 0 = none    (default 0)
 //   --serve-json         also print the stats JSON blob
+//
+// Tensor backend / quantized serving (docs/PERFORMANCE.md):
+//   --backend-info       print the active and available tensor SIMD
+//                        backends (TAGLETS_TENSOR_BACKEND) and exit
+//   TAGLETS_SERVE_INT8=1 serve the end model with int8-quantized
+//                        weights; after training, the accuracy-delta
+//                        gate vs float32 runs and a failing gate makes
+//                        the run exit non-zero
 #include <array>
 #include <future>
 #include <iostream>
 #include <thread>
 
 #include "baselines/finetune.hpp"
+#include "eval/harness.hpp"
 #include "eval/lab.hpp"
+#include "tensor/backend.hpp"
+#include "util/env.hpp"
 #include "nn/metrics.hpp"
 #include "nn/trainer.hpp"
 #include "obs/metrics.hpp"
@@ -231,12 +242,28 @@ int main(int argc, char** argv) {
     // on for the whole run (TAGLETS_TRACE=1 also works).
     if (args.has("trace-out")) obs::set_trace_enabled(true);
 
+    if (args.get_flag("backend-info")) {
+      // Dispatch smoke check: which SIMD backend this process resolved
+      // (CI greps this to confirm dispatch works on the runner).
+      std::cout << "tensor backend: " << tensor::backend::active_name()
+                << "\navailable:";
+      for (const auto& name : tensor::backend::available()) {
+        std::cout << " " << name;
+      }
+      std::cout << "\n";
+      return 0;
+    }
+
     if (args.has("load")) {
       // Serving-only path: restore a saved end model and skip training.
       ensemble::ServableModel model =
           ensemble::ServableModel::load(args.get("load", ""));
       std::cout << "loaded servable model (" << model.num_classes()
-                << " classes, " << model.parameter_count() << " parameters)\n";
+                << " classes, " << model.parameter_count() << " parameters, "
+                << (model.precision() == ensemble::Precision::kInt8
+                        ? "int8"
+                        : "float32")
+                << " serving)\n";
       if (args.get_flag("serve")) {
         run_serve_load_test(model, nullptr, args);
       }
@@ -311,6 +338,21 @@ int main(int argc, char** argv) {
 
     if (args.get_flag("report")) {
       std::cout << cm.report(task.class_names);
+    }
+
+    if (util::env_flag("TAGLETS_SERVE_INT8")) {
+      // Quantized serving was requested: the accuracy-delta gate must
+      // pass on the test set before the int8 model is allowed out.
+      const auto gate = eval::int8_accuracy_gate(
+          result.end_model, task.test_inputs, task.test_labels);
+      std::cout << "int8 gate: float32=" << gate.float32_accuracy
+                << "% int8=" << gate.int8_accuracy << "% delta="
+                << gate.delta_pp << "pp limit=" << gate.limit_pp << "pp "
+                << (gate.pass ? "PASS" : "FAIL") << "\n";
+      if (!gate.pass) {
+        throw std::runtime_error("int8 accuracy gate failed");
+      }
+      result.end_model.set_precision(ensemble::Precision::kInt8);
     }
 
     if (args.has("save")) {

@@ -1,0 +1,304 @@
+// Fleet load generator: the serving-fleet counterpart of
+// serve_loadgen. Spawns three real shard processes (this binary
+// re-execs itself with --fleet-child-shard), runs a frontend over
+// them, drives open-loop load through Frontend::route, and SIGKILLs
+// one shard mid-run — the scenario docs/FLEET.md promises costs
+// retries, not errors. Reports throughput, client-observed latency
+// percentiles, and failover recovery time (the widest gap between
+// consecutive successful completions after the kill: how long the
+// kill was visible in the completion stream).
+//
+// Knobs (environment, like every other bench):
+//   TAGLETS_FLEET_REQUESTS  total open-loop submissions  (default 4000)
+//   TAGLETS_FLEET_RATE_RPS  submission rate              (default 2000)
+//   TAGLETS_FLEET_JSON_OUT  also write summary JSON to this path
+//
+// Exits non-zero when any request fails or goes unresolved: with two
+// surviving shards the error budget for one SIGKILL is exactly zero.
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <condition_variable>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <sys/stat.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "ensemble/servable.hpp"
+#include "fleet/frontend.hpp"
+#include "fleet/shard.hpp"
+#include "fleet/socket.hpp"
+#include "nn/sequential.hpp"
+#include "util/env.hpp"
+#include "util/rng.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+using namespace taglets;
+using Clock = std::chrono::steady_clock;
+
+volatile std::sig_atomic_t g_child_term = 0;
+
+/// Same serving-sized MLP as serve_loadgen: forward pass dominates.
+ensemble::ServableModel make_model() {
+  util::Rng rng(23);
+  nn::Sequential encoder = nn::make_mlp({256, 512, 128}, rng);
+  std::vector<std::string> names;
+  for (std::size_t c = 0; c < 64; ++c) {
+    std::string name = "c";  // += form: GCC 12 -Wrestrict FP (PR105329)
+    name += std::to_string(c);
+    names.push_back(name);
+  }
+  return ensemble::ServableModel(nn::Classifier(encoder, 128, 64, rng),
+                                 std::move(names));
+}
+
+int run_child_shard(const char* endpoint, const char* model_path) {
+  try {
+    fleet::ShardConfig config;
+    config.endpoint = endpoint;
+    config.server.workers = 2;
+    config.server.queue_capacity = 1024;
+    config.server.batching.max_batch_size = 8;
+    config.server.batching.max_delay_ms = 0.3;
+    fleet::ShardServer shard(ensemble::ServableModel::load(model_path),
+                             config);
+    shard.start();
+    std::signal(SIGTERM, [](int) { g_child_term = 1; });
+    while (g_child_term == 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+    shard.stop();
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "[fleet_loadgen child] %s\n", e.what());
+    return 1;
+  }
+}
+
+pid_t spawn_shard(const std::string& exe, const std::string& endpoint,
+                  const std::string& model_path) {
+  const pid_t pid = fork();
+  if (pid == 0) {
+    execl(exe.c_str(), exe.c_str(), "--fleet-child-shard", endpoint.c_str(),
+          model_path.c_str(), static_cast<char*>(nullptr));
+    _exit(127);
+  }
+  return pid;
+}
+
+bool wait_reachable(const std::string& endpoint) {
+  const fleet::Endpoint ep = fleet::Endpoint::parse(endpoint);
+  for (int attempt = 0; attempt < 400; ++attempt) {
+    try {
+      const fleet::Connection probe =
+          fleet::Connection::connect(ep, std::chrono::milliseconds(250));
+      (void)probe;
+      return true;
+    } catch (const fleet::SocketError&) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(25));
+    }
+  }
+  return false;
+}
+
+double percentile(std::vector<double>& xs, double p) {
+  if (xs.empty()) return 0.0;
+  std::sort(xs.begin(), xs.end());
+  const auto idx = static_cast<std::size_t>(
+      p * static_cast<double>(xs.size() - 1) + 0.5);
+  return xs[std::min(idx, xs.size() - 1)];
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc == 4 && std::string(argv[1]) == "--fleet-child-shard") {
+    return run_child_shard(argv[2], argv[3]);
+  }
+
+  const auto requests = static_cast<std::size_t>(
+      util::env_long("TAGLETS_FLEET_REQUESTS", 4000));
+  const double rate_rps =
+      static_cast<double>(util::env_long("TAGLETS_FLEET_RATE_RPS", 2000));
+  const std::string json_out =
+      util::env_string("TAGLETS_FLEET_JSON_OUT", "");
+
+  std::string dir = "/tmp/taglets_fleet_bench_";
+  dir += std::to_string(getpid());
+  (void)mkdir(dir.c_str(), 0755);
+  const std::string model_path = dir + "/model.bin";
+  make_model().save(model_path);
+
+  std::cout << "##### fleet_loadgen #####\n"
+            << "requests=" << requests << " rate=" << rate_rps
+            << " req/s shards=3 (1 SIGKILLed mid-run)\n";
+
+  std::vector<std::string> eps;
+  std::vector<pid_t> pids;
+  for (int s = 0; s < 3; ++s) {
+    std::string ep = "unix:";
+    ep += dir;
+    ep += "/s";
+    ep += std::to_string(s);
+    ep += ".sock";
+    eps.push_back(ep);
+    pids.push_back(spawn_shard(argv[0], ep, model_path));
+    if (pids.back() <= 0) {
+      std::cerr << "FAIL: fork failed\n";
+      return 1;
+    }
+  }
+  for (const auto& ep : eps) {
+    if (!wait_reachable(ep)) {
+      std::cerr << "FAIL: shard " << ep << " never came up\n";
+      return 1;
+    }
+  }
+
+  fleet::FrontendConfig config;
+  config.endpoint = "unix:" + dir + "/front.sock";
+  for (std::size_t g = 0; g < eps.size(); ++g) {
+    std::string name = "g";
+    name += std::to_string(g);
+    config.groups.push_back({std::move(name), {eps[g]}});
+  }
+  config.heartbeat_interval_ms = 25.0;
+  config.health.suspect_after_ms = 150.0;
+  config.health.dead_after_ms = 500.0;
+  fleet::Frontend frontend(config);
+  frontend.start();
+  if (!frontend.wait_until_ready(3, std::chrono::seconds(10))) {
+    std::cerr << "FAIL: fleet never became ready\n";
+    return 1;
+  }
+
+  // Open-loop: submissions are paced by the clock, not by responses,
+  // so a slow/killed shard cannot throttle the offered load.
+  util::Rng rng(5);
+  std::vector<std::vector<float>> inputs(64);
+  for (auto& x : inputs) {
+    x.resize(256);
+    for (float& v : x) v = static_cast<float>(rng.normal());
+  }
+
+  std::mutex done_mu;
+  std::condition_variable done_cv;
+  std::size_t resolved = 0, ok = 0;
+  std::vector<double> latencies_ms;
+  std::vector<double> ok_done_ms;  // completion times, for recovery calc
+  latencies_ms.reserve(requests);
+  ok_done_ms.reserve(requests);
+
+  const auto t_start = Clock::now();
+  const auto since_start_ms = [t_start](Clock::time_point t) {
+    return std::chrono::duration<double, std::milli>(t - t_start).count();
+  };
+  const std::size_t kill_at = requests / 3;
+  double kill_ms = 0.0;
+  util::Timer wall;
+  for (std::size_t i = 0; i < requests; ++i) {
+    if (i == kill_at) {
+      kill_ms = since_start_ms(Clock::now());
+      kill(pids[0], SIGKILL);
+      int status = 0;
+      waitpid(pids[0], &status, 0);
+    }
+    fleet::PredictRequest request;
+    request.id = i + 1;
+    request.routing_key = i;
+    request.features = inputs[i % inputs.size()];
+    const auto t0 = Clock::now();
+    frontend.route(std::move(request), [&, t0](fleet::PredictResponse resp) {
+      const auto now = Clock::now();
+      std::lock_guard<std::mutex> lock(done_mu);
+      ++resolved;
+      latencies_ms.push_back(
+          std::chrono::duration<double, std::milli>(now - t0).count());
+      if (resp.status == fleet::Status::kOk) {
+        ++ok;
+        ok_done_ms.push_back(since_start_ms(now));
+      }
+      done_cv.notify_all();
+    });
+    // Pace to the target rate against the wall clock (open loop).
+    const double target_ms = static_cast<double>(i + 1) * 1000.0 / rate_rps;
+    const double now_ms = since_start_ms(Clock::now());
+    if (now_ms < target_ms) {
+      std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
+          target_ms - now_ms));
+    }
+  }
+  {
+    std::unique_lock<std::mutex> lock(done_mu);
+    const bool all = done_cv.wait_for(lock, std::chrono::seconds(30), [&] {
+      return resolved == requests;
+    });
+    if (!all) {
+      std::cerr << "FAIL: " << (requests - resolved)
+                << " requests never resolved\n";
+      return 1;
+    }
+  }
+  const double seconds = wall.elapsed_seconds();
+
+  // Recovery time: widest silence between consecutive successful
+  // completions once the kill happened.
+  std::sort(ok_done_ms.begin(), ok_done_ms.end());
+  double recovery_ms = 0.0;
+  double prev = kill_ms;
+  for (const double t : ok_done_ms) {
+    if (t < kill_ms) continue;
+    recovery_ms = std::max(recovery_ms, t - prev);
+    prev = t;
+  }
+
+  const double throughput = static_cast<double>(ok) / seconds;
+  const double p50 = percentile(latencies_ms, 0.50);
+  const double p99 = percentile(latencies_ms, 0.99);
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(3);
+  os << "{\"bench\":\"fleet_loadgen\",\"shards\":3,\"requests\":" << requests
+     << ",\"rate_rps\":" << rate_rps << ",\"ok\":" << ok
+     << ",\"failed\":" << (requests - ok)
+     << ",\"throughput_rps\":" << throughput << ",\"p50_ms\":" << p50
+     << ",\"p99_ms\":" << p99 << ",\"kill_at_ms\":" << kill_ms
+     << ",\"failover_recovery_ms\":" << recovery_ms << "}";
+  std::cout << "ok=" << ok << "/" << requests << " throughput=" << throughput
+            << " req/s p50=" << p50 << "ms p99=" << p99
+            << "ms failover_recovery=" << recovery_ms << "ms\n"
+            << os.str() << "\n";
+
+  if (!json_out.empty()) {
+    std::ofstream out(json_out);
+    out << os.str() << "\n";
+    std::cout << "[fleet_loadgen] wrote " << json_out << "\n";
+  }
+
+  frontend.stop();
+  for (std::size_t s = 1; s < pids.size(); ++s) {
+    kill(pids[s], SIGTERM);
+    int status = 0;
+    waitpid(pids[s], &status, 0);
+  }
+
+  if (ok != requests) {
+    std::cerr << "FAIL: " << (requests - ok)
+              << " non-ok responses; the one-SIGKILL error budget is zero\n";
+    return 1;
+  }
+  return 0;
+}

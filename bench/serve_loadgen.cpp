@@ -1,6 +1,8 @@
 // Serving load generator: drives the in-process dynamic-batching
 // server (src/serve/) with closed-loop clients at 1/2/4 worker threads
-// and records throughput and tail latency. The shared util::Parallel
+// and records throughput and tail latency. The multi-process serving
+// tier has its own bench (fleet_loadgen.cpp) layered on the same
+// ServerStats surface; this one isolates the single-server core. The shared util::Parallel
 // pool is pinned to serial for the whole run so the worker count is the
 // *only* source of parallelism — the worker-scaling curve is then a
 // clean property of the serve layer, not of how many cores the GEMMs

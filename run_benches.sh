@@ -19,3 +19,8 @@ for b in build/bench/table1_officehome build/bench/table2_grocery_fmd \
          build/bench/fig11_13_ensemble_gain_all; do
   $b
 done
+
+# Fleet serving bench: 3 shard processes, one SIGKILLed mid-run.
+# Emits the committed BENCH_fleet.json snapshot (throughput, latency
+# percentiles, failover recovery time) tracked across PRs.
+TAGLETS_FLEET_JSON_OUT=BENCH_fleet.json build/bench/fleet_loadgen

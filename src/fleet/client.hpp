@@ -1,0 +1,91 @@
+// Client half of the fleet protocol. One FleetClient owns one
+// connection (to a frontend, or directly to a shard — same wire
+// language) and pipelines predicts over it: submit() returns a future
+// immediately and a reader thread matches responses to futures by id,
+// so responses may resolve out of submission order when the peer is a
+// frontend multiplexing several shards.
+//
+// Control calls (ping / reload / stats) share the connection; they are
+// serialized against each other but ride alongside in-flight predicts.
+//
+// When the connection breaks, every outstanding future resolves with
+// kUnavailable and later calls throw SocketError — a client is
+// single-use, like the connection it wraps.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "fleet/protocol.hpp"
+#include "fleet/socket.hpp"
+
+namespace taglets::fleet {
+
+struct FleetClientConfig {
+  std::string endpoint;
+  double connect_timeout_ms = 2000.0;
+  double io_timeout_ms = 10000.0;
+};
+
+class FleetClient {
+ public:
+  /// Connects eagerly; throws SocketError when the peer is unreachable.
+  explicit FleetClient(FleetClientConfig config);
+  ~FleetClient();
+
+  FleetClient(const FleetClient&) = delete;
+  FleetClient& operator=(const FleetClient&) = delete;
+
+  /// Pipelined predict. The future always resolves: with the peer's
+  /// response, or with kUnavailable when the connection dies first.
+  std::future<PredictResponse> submit(std::vector<float> features,
+                                      std::uint64_t routing_key = 0,
+                                      double deadline_ms = 0.0);
+  /// submit + wait.
+  PredictResponse predict(std::vector<float> features,
+                          std::uint64_t routing_key = 0,
+                          double deadline_ms = 0.0);
+
+  /// Heartbeat round-trip. Throws SocketError on a dead connection or
+  /// reply timeout.
+  Pong ping();
+  /// Ask the peer to hot-swap its model (a frontend broadcasts).
+  ReloadResponse reload(const std::string& path);
+  /// Peer stats JSON (shard ServerStats or frontend aggregate).
+  std::string stats();
+
+  /// Fail outstanding futures, close, join. Idempotent.
+  void close();
+  bool connected() const { return !broken_.load(std::memory_order_acquire); }
+
+ private:
+  struct Waiters;
+
+  void reader_loop();
+  void fail_all_pending();
+  void send_locked_checked(const std::vector<std::uint8_t>& frame);
+
+  FleetClientConfig config_;
+  Connection conn_;
+  std::mutex write_mu_;
+
+  std::mutex pending_mu_;  // guards pending_ and the control waiters
+  std::unordered_map<std::uint64_t, std::promise<PredictResponse>> pending_;
+  std::unique_ptr<Waiters> waiters_;
+
+  std::mutex control_mu_;  // one control round-trip at a time
+  std::atomic<std::uint64_t> next_id_{1};
+  std::atomic<std::uint64_t> next_seq_{1};
+  std::atomic<bool> broken_{false};
+  std::atomic<bool> closed_{false};
+  std::thread reader_;
+};
+
+}  // namespace taglets::fleet

@@ -1,0 +1,681 @@
+#include "fleet/frontend.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+#include "obs/metrics.hpp"
+#include "util/check.hpp"
+
+namespace taglets::fleet {
+
+namespace {
+
+std::chrono::milliseconds ms(double v) {
+  return std::chrono::milliseconds(static_cast<long>(v));
+}
+
+/// Idle client/replica channels are legal (a client may hold a
+/// connection open between bursts); only stop()/shutdown_rw unblocks
+/// a reader early.
+constexpr std::chrono::milliseconds kIdleRecvBudget{3'600'000};
+
+}  // namespace
+
+void FrontendConfig::validate() const {
+  if (endpoint.empty()) {
+    throw std::invalid_argument("FrontendConfig: endpoint must be set");
+  }
+  if (groups.empty()) {
+    throw std::invalid_argument("FrontendConfig: need at least one group");
+  }
+  std::vector<std::string> names;
+  std::vector<std::string> endpoints;
+  for (const GroupSpec& group : groups) {
+    if (group.name.empty()) {
+      throw std::invalid_argument("FrontendConfig: group name must be set");
+    }
+    if (group.replicas.empty()) {
+      throw std::invalid_argument("FrontendConfig: group " + group.name +
+                                  " has no replicas");
+    }
+    names.push_back(group.name);
+    for (const std::string& ep : group.replicas) endpoints.push_back(ep);
+  }
+  std::sort(names.begin(), names.end());
+  if (std::adjacent_find(names.begin(), names.end()) != names.end()) {
+    throw std::invalid_argument("FrontendConfig: duplicate group name");
+  }
+  std::sort(endpoints.begin(), endpoints.end());
+  if (std::adjacent_find(endpoints.begin(), endpoints.end()) !=
+      endpoints.end()) {
+    throw std::invalid_argument("FrontendConfig: duplicate replica endpoint");
+  }
+  if (heartbeat_interval_ms <= 0.0 || connect_timeout_ms <= 0.0 ||
+      io_timeout_ms <= 0.0) {
+    throw std::invalid_argument("FrontendConfig: timeouts must be > 0");
+  }
+  if (ring_vnodes == 0) {
+    throw std::invalid_argument("FrontendConfig: ring_vnodes must be >= 1");
+  }
+  health.validate();
+}
+
+/// One upstream shard replica: a lazily (re)connected channel, its
+/// health tracker, and the predicts in flight on it. The reader thread
+/// never takes conn_mu — senders hold conn_mu, the reader only reads
+/// the fd (full-duplex socket), and teardown synchronizes through the
+/// `broken` flag + join.
+struct Frontend::Replica {
+  explicit Replica(HealthPolicy policy) : tracker(policy) {}
+
+  std::string group;
+  std::string endpoint;
+  Endpoint parsed;
+  HealthTracker tracker;
+
+  std::mutex conn_mu;  // guards conn/connected/reader lifecycle + sends
+  Connection conn;
+  bool connected = false;
+  std::atomic<bool> broken{false};  // reader exited; reset under conn_mu
+  std::thread reader;
+
+  std::mutex pending_mu;
+  std::unordered_map<std::uint64_t, std::shared_ptr<RouteTask>> pending;
+
+  // Shard-reported load from the latest pong (routing reads these).
+  std::atomic<std::uint32_t> queue_depth{0};
+  std::atomic<std::uint32_t> queue_capacity{0};
+  std::atomic<std::uint64_t> model_version{0};
+};
+
+/// One client request making its way through the candidate list. At
+/// any moment exactly one thread owns the cursor (the dispatcher, or
+/// the replica reader that popped it from a pending map), but a
+/// broken-channel redispatch can race a failing send — `next` and
+/// `completed` are atomic so the overlap is at worst a duplicated
+/// (idempotent) predict, never a double client reply.
+struct Frontend::RouteTask {
+  PredictRequest request;  // original client id preserved
+  Completion done;
+  std::vector<Replica*> candidates;
+  std::atomic<std::size_t> next{0};
+  std::atomic<bool> saw_overload{false};
+  std::atomic<bool> completed{false};
+};
+
+struct Frontend::ClientConn {
+  Connection conn;
+  std::mutex write_mu;
+  std::thread reader;
+  std::atomic<bool> finished{false};
+};
+
+// ------------------------------------------------------------ lifecycle
+
+Frontend::Frontend(FrontendConfig config)
+    : config_((config.validate(), std::move(config))),
+      ring_(config_.ring_vnodes) {
+  for (const GroupSpec& group : config_.groups) {
+    std::vector<Replica*>& members = group_members_[group.name];
+    for (const std::string& ep : group.replicas) {
+      auto replica = std::make_unique<Replica>(config_.health);
+      replica->group = group.name;
+      replica->endpoint = ep;
+      replica->parsed = Endpoint::parse(ep);
+      by_endpoint_[ep] = replica.get();
+      members.push_back(replica.get());
+      replicas_.push_back(std::move(replica));
+    }
+    ring_.add_node(group.name);
+  }
+  auto& registry = obs::MetricsRegistry::global();
+  requests_total_ = &registry.counter("fleet.frontend.requests_total");
+  failovers_total_ = &registry.counter("fleet.frontend.failovers_total");
+  overloaded_total_ = &registry.counter("fleet.frontend.overloaded_total");
+  unavailable_total_ = &registry.counter("fleet.frontend.unavailable_total");
+  evicted_groups_total_ =
+      &registry.counter("fleet.frontend.evicted_groups_total");
+  alive_replicas_gauge_ = &registry.gauge("fleet.frontend.alive_replicas");
+  ring_groups_gauge_ = &registry.gauge("fleet.frontend.ring_groups");
+  ring_groups_gauge_->set(static_cast<double>(config_.groups.size()));
+}
+
+Frontend::~Frontend() { stop(); }
+
+void Frontend::start() {
+  std::lock_guard<std::mutex> lifecycle(lifecycle_mu_);
+  if (running_.load(std::memory_order_acquire)) return;
+  if (stopping_.load(std::memory_order_acquire)) {
+    throw std::runtime_error("Frontend::start: already stopped");
+  }
+  listener_ = std::make_unique<Listener>(Endpoint::parse(config_.endpoint));
+  accept_thread_ = std::thread([this] { accept_loop(); });
+  heartbeat_thread_ = std::thread([this] { heartbeat_loop(); });
+  running_.store(true, std::memory_order_release);
+}
+
+void Frontend::stop() {
+  std::lock_guard<std::mutex> lifecycle(lifecycle_mu_);
+  if (stopping_.exchange(true, std::memory_order_acq_rel)) return;
+  running_.store(false, std::memory_order_release);
+  heartbeat_cv_.notify_all();
+  if (listener_) listener_->shutdown();
+  if (accept_thread_.joinable()) accept_thread_.join();
+  if (heartbeat_thread_.joinable()) heartbeat_thread_.join();
+  // Wake and join replica readers. Join OUTSIDE conn_mu: a reader's
+  // exit path redispatches its pending tasks, which locks other
+  // replicas' conn_mu — joining under our own would close a lock cycle
+  // between two exiting readers.
+  for (auto& replica : replicas_) {
+    std::thread reader;
+    {
+      std::lock_guard<std::mutex> lock(replica->conn_mu);
+      if (replica->connected) replica->conn.shutdown_rw();
+      reader = std::move(replica->reader);
+    }
+    if (reader.joinable()) reader.join();
+  }
+  // Readers redispatched their pending sets on exit; with stopping_
+  // set those dispatches terminated with kShutdown, so nothing is in
+  // flight past this point.
+  std::vector<std::shared_ptr<ClientConn>> clients;
+  {
+    std::lock_guard<std::mutex> lock(clients_mu_);
+    clients.swap(clients_);
+  }
+  for (auto& client : clients) client->conn.shutdown_rw();
+  for (auto& client : clients) {
+    if (client->reader.joinable()) client->reader.join();
+  }
+  listener_.reset();
+}
+
+bool Frontend::wait_until_ready(std::size_t min_alive,
+                                std::chrono::milliseconds timeout) {
+  const auto deadline = HealthTracker::Clock::now() + timeout;
+  for (;;) {
+    std::size_t alive = 0;
+    for (const auto& replica : replicas_) {
+      if (replica->tracker.state() == HealthState::kAlive) ++alive;
+    }
+    if (alive >= min_alive) return true;
+    if (HealthTracker::Clock::now() >= deadline) return false;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+}
+
+// ------------------------------------------------------------- routing
+
+void Frontend::route(PredictRequest request, Completion done) {
+  requests_total_->add();
+  auto task = std::make_shared<RouteTask>();
+  task->request = std::move(request);
+  task->done = std::move(done);
+  task->candidates = candidates_for(task->request.routing_key);
+  dispatch(std::move(task));
+}
+
+std::vector<Frontend::Replica*> Frontend::candidates_for(std::uint64_t key) {
+  std::vector<std::string> order;
+  {
+    std::lock_guard<std::mutex> lock(ring_mu_);
+    if (ring_.node_count() > 0) order = ring_.successors(key);
+  }
+  // Evicted groups are gone from `order` already; within each group
+  // prefer confirmed-healthy replicas, try never-seen ones
+  // optimistically, keep Suspect as the last resort, never Dead.
+  static constexpr HealthState kPasses[] = {
+      HealthState::kAlive, HealthState::kUnknown, HealthState::kSuspect};
+  std::vector<Replica*> out;
+  for (const std::string& group : order) {
+    const auto it = group_members_.find(group);
+    if (it == group_members_.end()) continue;
+    for (const HealthState pass : kPasses) {
+      for (Replica* replica : it->second) {
+        if (replica->tracker.state() == pass) out.push_back(replica);
+      }
+    }
+  }
+  return out;
+}
+
+void Frontend::dispatch(std::shared_ptr<RouteTask> task) {
+  const auto now = [] { return HealthTracker::Clock::now(); };
+  for (;;) {
+    const std::size_t i =
+        task->next.fetch_add(1, std::memory_order_acq_rel);
+    if (i >= task->candidates.size()) break;
+    if (i > 0) failovers_total_->add();
+    Replica* replica = task->candidates[i];
+    if (replica->tracker.state() == HealthState::kDead) continue;
+    const std::uint32_t capacity =
+        replica->queue_capacity.load(std::memory_order_relaxed);
+    if (capacity != 0 &&
+        replica->queue_depth.load(std::memory_order_relaxed) >= capacity) {
+      task->saw_overload.store(true, std::memory_order_relaxed);
+      continue;  // shard-reported saturation: skip, don't pile on
+    }
+    if (send_to(*replica, task)) return;  // now pending on this replica
+    replica->tracker.record_failure(now());
+  }
+  PredictResponse resp;
+  resp.id = task->request.id;
+  if (stopping_.load(std::memory_order_acquire)) {
+    resp.status = Status::kShutdown;
+    resp.error = "frontend stopping";
+  } else if (task->saw_overload.load(std::memory_order_relaxed)) {
+    resp.status = Status::kOverloaded;
+    resp.error = "all candidate replicas saturated";
+    overloaded_total_->add();
+  } else {
+    resp.status = Status::kUnavailable;
+    resp.error = "no routable replica";
+    unavailable_total_->add();
+  }
+  complete(task, std::move(resp));
+}
+
+bool Frontend::send_to(Replica& replica,
+                       const std::shared_ptr<RouteTask>& task) {
+  const std::uint64_t wire_id =
+      next_wire_id_.fetch_add(1, std::memory_order_relaxed);
+  PredictRequest wire = task->request;
+  wire.id = wire_id;
+  std::lock_guard<std::mutex> conn_lock(replica.conn_mu);
+  if (!ensure_connected_locked(replica)) return false;
+  {
+    std::lock_guard<std::mutex> lock(replica.pending_mu);
+    replica.pending.emplace(wire_id, task);
+  }
+  try {
+    replica.conn.send_frame(encode(wire), ms(config_.io_timeout_ms));
+  } catch (const SocketError&) {
+    {
+      std::lock_guard<std::mutex> lock(replica.pending_mu);
+      replica.pending.erase(wire_id);
+    }
+    replica.conn.shutdown_rw();  // reader exits, redispatches the rest
+    return false;
+  }
+  return true;
+}
+
+bool Frontend::ensure_connected_locked(Replica& replica) {
+  if (stopping_.load(std::memory_order_acquire)) return false;
+  if (replica.broken.load(std::memory_order_acquire)) {
+    if (replica.reader.joinable()) replica.reader.join();
+    replica.conn.close();
+    replica.connected = false;
+    replica.broken.store(false, std::memory_order_release);
+  }
+  if (replica.connected) return true;
+  if (replica.tracker.state() == HealthState::kDead) return false;
+  try {
+    replica.conn =
+        Connection::connect(replica.parsed, ms(config_.connect_timeout_ms));
+  } catch (const SocketError&) {
+    return false;
+  }
+  replica.connected = true;
+  Replica* raw = &replica;
+  replica.reader = std::thread([this, raw] { replica_reader(raw); });
+  return true;
+}
+
+void Frontend::replica_reader(Replica* replica) {
+  for (;;) {
+    std::optional<std::vector<std::uint8_t>> frame;
+    try {
+      frame = replica->conn.recv_frame(kIdleRecvBudget);
+    } catch (const SocketError&) {
+      break;
+    }
+    if (!frame) break;
+    const auto now = HealthTracker::Clock::now();
+    try {
+      switch (peek_type(*frame)) {
+        case MsgType::kPredictResponse: {
+          PredictResponse resp = decode_predict_response(*frame);
+          std::shared_ptr<RouteTask> task;
+          {
+            std::lock_guard<std::mutex> lock(replica->pending_mu);
+            const auto it = replica->pending.find(resp.id);
+            if (it != replica->pending.end()) {
+              task = it->second;
+              replica->pending.erase(it);
+            }
+          }
+          if (!task) break;  // stale (already redispatched elsewhere)
+          if (resp.status == Status::kOverloaded) {
+            // This replica is full, others may not be: fail over.
+            task->saw_overload.store(true, std::memory_order_relaxed);
+            dispatch(std::move(task));
+            break;
+          }
+          if (resp.status == Status::kShutdown) {
+            replica->tracker.record_failure(now);
+            dispatch(std::move(task));
+            break;
+          }
+          replica->tracker.record_success(now);
+          resp.id = task->request.id;
+          complete(task, std::move(resp));
+          break;
+        }
+        case MsgType::kPong: {
+          const Pong pong = decode_pong(*frame);
+          replica->queue_depth.store(pong.queue_depth,
+                                     std::memory_order_relaxed);
+          replica->queue_capacity.store(pong.queue_capacity,
+                                        std::memory_order_relaxed);
+          replica->model_version.store(pong.model_version,
+                                       std::memory_order_relaxed);
+          replica->tracker.record_success(now);
+          break;
+        }
+        default:
+          break;  // tolerated: unknown-but-well-formed frame
+      }
+    } catch (const ProtocolError&) {
+      break;  // corrupt peer: drop the channel
+    }
+  }
+  replica->broken.store(true, std::memory_order_release);
+  replica->tracker.record_failure(HealthTracker::Clock::now());
+  redispatch_pending(*replica);
+}
+
+void Frontend::redispatch_pending(Replica& replica) {
+  std::vector<std::shared_ptr<RouteTask>> tasks;
+  {
+    std::lock_guard<std::mutex> lock(replica.pending_mu);
+    tasks.reserve(replica.pending.size());
+    for (auto& [id, task] : replica.pending) tasks.push_back(task);
+    replica.pending.clear();
+  }
+  for (auto& task : tasks) dispatch(std::move(task));
+}
+
+void Frontend::complete(const std::shared_ptr<RouteTask>& task,
+                        PredictResponse resp) {
+  if (task->completed.exchange(true, std::memory_order_acq_rel)) return;
+  task->done(std::move(resp));
+}
+
+// ------------------------------------------------------------ heartbeat
+
+void Frontend::heartbeat_loop() {
+  std::unique_lock<std::mutex> lock(heartbeat_mu_);
+  while (!stopping_.load(std::memory_order_acquire)) {
+    lock.unlock();
+    heartbeat_round();
+    lock.lock();
+    heartbeat_cv_.wait_for(lock, ms(config_.heartbeat_interval_ms), [this] {
+      return stopping_.load(std::memory_order_acquire);
+    });
+  }
+}
+
+void Frontend::heartbeat_round() {
+  const auto now = HealthTracker::Clock::now();
+  std::size_t alive = 0;
+  for (auto& entry : replicas_) {
+    Replica& replica = *entry;
+    if (replica.tracker.state() != HealthState::kDead) {
+      Ping ping;
+      ping.seq = next_ping_seq_.fetch_add(1, std::memory_order_relaxed);
+      std::lock_guard<std::mutex> conn_lock(replica.conn_mu);
+      if (ensure_connected_locked(replica)) {
+        try {
+          replica.conn.send_frame(encode(ping), ms(config_.io_timeout_ms));
+        } catch (const SocketError&) {
+          replica.conn.shutdown_rw();
+          replica.tracker.record_failure(now);
+        }
+      } else {
+        replica.tracker.record_failure(now);
+      }
+    }
+    replica.tracker.tick(now);
+    if (replica.tracker.state() == HealthState::kAlive) ++alive;
+  }
+  alive_replicas_gauge_->set(static_cast<double>(alive));
+  // Evict groups whose every replica is Dead: the ring must never map
+  // a key to a shard that cannot come back.
+  std::lock_guard<std::mutex> ring_lock(ring_mu_);
+  for (const auto& [group, members] : group_members_) {
+    const bool all_dead =
+        std::all_of(members.begin(), members.end(), [](Replica* r) {
+          return r->tracker.state() == HealthState::kDead;
+        });
+    if (all_dead && ring_.contains(group)) {
+      ring_.remove_node(group);
+      evicted_groups_total_->add();
+    }
+  }
+  ring_groups_gauge_->set(static_cast<double>(ring_.node_count()));
+}
+
+// ------------------------------------------------------------- control
+
+ReloadOutcome Frontend::reload_all(const std::string& path) {
+  ReloadOutcome out;
+  out.ok = true;
+  std::string detail;
+  std::uint64_t min_version = std::numeric_limits<std::uint64_t>::max();
+  bool any_swapped = false;
+  for (auto& entry : replicas_) {
+    Replica& replica = *entry;
+    if (replica.tracker.state() == HealthState::kDead) {
+      detail += replica.endpoint + ": dead, skipped; ";
+      continue;
+    }
+    try {
+      Connection control =
+          Connection::connect(replica.parsed, ms(config_.connect_timeout_ms));
+      ReloadRequest request;
+      request.path = path;
+      control.send_frame(encode(request), ms(config_.io_timeout_ms));
+      // Loading + starting the replacement server takes real time.
+      const auto frame =
+          control.recv_frame(std::chrono::milliseconds(60'000));
+      if (!frame) throw SocketError("eof before reload response");
+      const ReloadResponse resp = decode_reload_response(*frame);
+      if (resp.ok) {
+        any_swapped = true;
+        min_version = std::min(min_version, resp.model_version);
+        replica.model_version.store(resp.model_version,
+                                    std::memory_order_relaxed);
+      } else {
+        out.ok = false;
+        detail += replica.endpoint + ": " + resp.message + "; ";
+      }
+    } catch (const std::exception& e) {
+      out.ok = false;
+      detail += replica.endpoint + ": " + e.what() + "; ";
+    }
+  }
+  if (any_swapped &&
+      min_version != std::numeric_limits<std::uint64_t>::max()) {
+    out.model_version = min_version;
+  }
+  out.message = detail;
+  return out;
+}
+
+Pong Frontend::make_aggregate_pong(std::uint64_t seq) const {
+  Pong pong;
+  pong.seq = seq;
+  std::uint64_t min_version = std::numeric_limits<std::uint64_t>::max();
+  for (const auto& replica : replicas_) {
+    if (replica->tracker.state() == HealthState::kDead) continue;
+    pong.queue_depth += replica->queue_depth.load(std::memory_order_relaxed);
+    pong.queue_capacity +=
+        replica->queue_capacity.load(std::memory_order_relaxed);
+    const std::uint64_t version =
+        replica->model_version.load(std::memory_order_relaxed);
+    if (version != 0) min_version = std::min(min_version, version);
+  }
+  if (min_version != std::numeric_limits<std::uint64_t>::max()) {
+    pong.model_version = min_version;
+  }
+  pong.requests_ok = requests_total_->value();
+  pong.requests_rejected = overloaded_total_->value();
+  return pong;
+}
+
+std::string Frontend::stats_json() const {
+  std::ostringstream os;
+  os << "{\"groups\":[";
+  bool first_group = true;
+  for (const GroupSpec& group : config_.groups) {
+    if (!first_group) os << ",";
+    first_group = false;
+    os << "{\"name\":\"" << group.name << "\",\"on_ring\":"
+       << (([this, &group] {
+            std::lock_guard<std::mutex> lock(ring_mu_);
+            return ring_.contains(group.name);
+          }())
+               ? "true"
+               : "false")
+       << ",\"replicas\":[";
+    bool first_replica = true;
+    for (const std::string& ep : group.replicas) {
+      if (!first_replica) os << ",";
+      first_replica = false;
+      const Replica* replica = by_endpoint_.at(ep);
+      os << "{\"endpoint\":\"" << ep << "\",\"state\":\""
+         << health_state_name(replica->tracker.state())
+         << "\",\"model_version\":"
+         << replica->model_version.load(std::memory_order_relaxed)
+         << ",\"queue_depth\":"
+         << replica->queue_depth.load(std::memory_order_relaxed)
+         << ",\"queue_capacity\":"
+         << replica->queue_capacity.load(std::memory_order_relaxed) << "}";
+    }
+    os << "]}";
+  }
+  os << "],\"requests_total\":" << requests_total_->value()
+     << ",\"failovers_total\":" << failovers_total_->value()
+     << ",\"overloaded_total\":" << overloaded_total_->value()
+     << ",\"unavailable_total\":" << unavailable_total_->value()
+     << ",\"evicted_groups_total\":" << evicted_groups_total_->value() << "}";
+  return os.str();
+}
+
+HealthState Frontend::replica_state(const std::string& endpoint) const {
+  const auto it = by_endpoint_.find(endpoint);
+  if (it == by_endpoint_.end()) return HealthState::kDead;
+  return it->second->tracker.state();
+}
+
+std::vector<std::string> Frontend::ring_groups() const {
+  std::lock_guard<std::mutex> lock(ring_mu_);
+  return ring_.nodes();
+}
+
+// --------------------------------------------------------- client front
+
+void Frontend::accept_loop() {
+  while (!stopping_.load(std::memory_order_acquire)) {
+    std::optional<Connection> peer;
+    try {
+      peer = listener_->accept(std::chrono::milliseconds(200));
+    } catch (const SocketError&) {
+      break;
+    }
+    if (!peer) {
+      reap_finished_clients();
+      continue;
+    }
+    auto client = std::make_shared<ClientConn>();
+    client->conn = std::move(*peer);
+    client->reader =
+        std::thread([this, client] { client_reader(client); });
+    {
+      std::lock_guard<std::mutex> lock(clients_mu_);
+      clients_.push_back(std::move(client));
+    }
+    reap_finished_clients();
+  }
+}
+
+void Frontend::reap_finished_clients() {
+  std::lock_guard<std::mutex> lock(clients_mu_);
+  for (auto it = clients_.begin(); it != clients_.end();) {
+    if ((*it)->finished.load(std::memory_order_acquire)) {
+      if ((*it)->reader.joinable()) (*it)->reader.join();
+      it = clients_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void Frontend::client_reader(std::shared_ptr<ClientConn> client) {
+  for (;;) {
+    std::optional<std::vector<std::uint8_t>> frame;
+    try {
+      frame = client->conn.recv_frame(kIdleRecvBudget);
+    } catch (const SocketError&) {
+      break;
+    }
+    if (!frame) break;
+    try {
+      switch (peek_type(*frame)) {
+        case MsgType::kPredictRequest: {
+          PredictRequest request = decode_predict_request(*frame);
+          route(std::move(request), [this, client](PredictResponse resp) {
+            std::lock_guard<std::mutex> lock(client->write_mu);
+            try {
+              client->conn.send_frame(encode(resp),
+                                      ms(config_.io_timeout_ms));
+            } catch (const SocketError&) {
+              // Client gone; the outcome is already counted.
+            }
+          });
+          break;
+        }
+        case MsgType::kPing: {
+          const Ping ping = decode_ping(*frame);
+          const std::vector<std::uint8_t> reply =
+              encode(make_aggregate_pong(ping.seq));
+          std::lock_guard<std::mutex> lock(client->write_mu);
+          client->conn.send_frame(reply, ms(config_.io_timeout_ms));
+          break;
+        }
+        case MsgType::kReloadRequest: {
+          const ReloadRequest request = decode_reload_request(*frame);
+          const ReloadOutcome outcome = reload_all(request.path);
+          ReloadResponse resp;
+          resp.ok = outcome.ok ? 1 : 0;
+          resp.model_version = outcome.model_version;
+          resp.message = outcome.message;
+          const std::vector<std::uint8_t> reply = encode(resp);
+          std::lock_guard<std::mutex> lock(client->write_mu);
+          client->conn.send_frame(reply, ms(config_.io_timeout_ms));
+          break;
+        }
+        case MsgType::kStatsRequest: {
+          StatsResponse resp;
+          resp.json = stats_json();
+          const std::vector<std::uint8_t> reply = encode(resp);
+          std::lock_guard<std::mutex> lock(client->write_mu);
+          client->conn.send_frame(reply, ms(config_.io_timeout_ms));
+          break;
+        }
+        default:
+          throw ProtocolError("unexpected message type from a client");
+      }
+    } catch (const std::exception&) {
+      break;
+    }
+    if (stopping_.load(std::memory_order_acquire)) break;
+  }
+  client->finished.store(true, std::memory_order_release);
+}
+
+}  // namespace taglets::fleet

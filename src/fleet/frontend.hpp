@@ -1,0 +1,168 @@
+// Fleet frontend: the process clients talk to. Routes each predict to
+// a shard replica group via the consistent-hash ring, picks a replica
+// inside the group by health (Alive first, Unknown optimistically
+// next, Suspect as a last resort, Dead never), and fails over — a
+// request in flight on a replica whose connection breaks is re-sent to
+// the next candidate, so a SIGKILLed shard costs retries, not errors.
+//
+// Health: one heartbeat thread pings every replica each interval; the
+// pong carries queue depth/capacity, so saturation decisions ride on
+// shard-reported state. Trackers move Unknown -> Alive -> Suspect ->
+// Dead per fleet/health.hpp; when every replica of a group is Dead the
+// group is evicted from the ring (the ring never maps to a Dead shard).
+//
+// Backpressure: a replica whose last pong reported a full queue is
+// skipped; if every candidate is saturated (or answers kOverloaded)
+// the client gets kOverloaded immediately — the frontend buffers
+// nothing. With no routable candidate at all the answer is
+// kUnavailable.
+//
+// Control: reload/stats requests from clients fan out to every replica
+// over dedicated one-shot connections (they never head-of-line-block
+// the data channels).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "fleet/health.hpp"
+#include "fleet/protocol.hpp"
+#include "fleet/ring.hpp"
+#include "fleet/shard.hpp"  // ReloadOutcome
+#include "fleet/socket.hpp"
+
+namespace taglets::fleet {
+
+/// One shard: a named replica group. The group is the unit of ring
+/// placement; its replicas are interchangeable servers of the same
+/// key range.
+struct GroupSpec {
+  std::string name;
+  std::vector<std::string> replicas;  // endpoints ("unix:..." / "tcp:...")
+};
+
+struct FrontendConfig {
+  /// Client-facing listen endpoint.
+  std::string endpoint;
+  std::vector<GroupSpec> groups;
+  HealthPolicy health;
+  double heartbeat_interval_ms = 50.0;
+  double connect_timeout_ms = 1000.0;
+  /// Per-frame socket send/recv budget on replica and client channels.
+  double io_timeout_ms = 5000.0;
+  std::size_t ring_vnodes = 64;
+
+  void validate() const;  // throws std::invalid_argument
+};
+
+class Frontend {
+ public:
+  explicit Frontend(FrontendConfig config);
+  ~Frontend();
+
+  Frontend(const Frontend&) = delete;
+  Frontend& operator=(const Frontend&) = delete;
+
+  /// Bind the client endpoint, start the heartbeat and accept threads.
+  void start();
+  /// Stop accepting, fail in-flight work deterministically, join all
+  /// threads. Idempotent.
+  void stop();
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+  /// Wait until at least `min_alive` replicas are Alive (heartbeats
+  /// answered). Returns false on timeout.
+  bool wait_until_ready(std::size_t min_alive, std::chrono::milliseconds timeout);
+
+  /// In-process routing entry (the socket front calls this too).
+  /// `done` is invoked exactly once — possibly on an internal I/O
+  /// thread, possibly before route() returns — with response.id equal
+  /// to request.id.
+  using Completion = std::function<void(PredictResponse)>;
+  void route(PredictRequest request, Completion done);
+
+  /// Broadcast a model reload to every replica (dedicated one-shot
+  /// control connections). ok only when every reachable replica
+  /// swapped; Dead replicas are skipped and reported in the message.
+  ReloadOutcome reload_all(const std::string& path);
+
+  /// Aggregate fleet state as JSON (groups, replica health, versions,
+  /// frontend counters).
+  std::string stats_json() const;
+
+  /// Health state of one replica endpoint (kDead for unknown names).
+  HealthState replica_state(const std::string& endpoint) const;
+  /// Group names currently on the ring (all-Dead groups are evicted).
+  std::vector<std::string> ring_groups() const;
+
+ private:
+  struct Replica;
+  struct RouteTask;
+  struct ClientConn;
+
+  void heartbeat_loop();
+  void heartbeat_round();
+  void accept_loop();
+  void client_reader(std::shared_ptr<ClientConn> client);
+  void reap_finished_clients();
+
+  /// Health-ordered candidate list for a key: ring successor groups,
+  /// replicas Alive < Unknown < Suspect within each, Dead skipped.
+  std::vector<Replica*> candidates_for(std::uint64_t key);
+  /// Try candidates from task->next onward; completes the task when a
+  /// send sticks, or terminally when the list is exhausted.
+  void dispatch(std::shared_ptr<RouteTask> task);
+  /// Send to one replica; registers the task in the pending map first.
+  bool send_to(Replica& replica, const std::shared_ptr<RouteTask>& task);
+  /// conn_mu held. Reconnects a broken/unopened channel unless the
+  /// tracker is Dead or the frontend is stopping.
+  bool ensure_connected_locked(Replica& replica);
+  void replica_reader(Replica* replica);
+  /// Fail every pending task on a broken channel back into dispatch().
+  void redispatch_pending(Replica& replica);
+  void complete(const std::shared_ptr<RouteTask>& task, PredictResponse resp);
+  Pong make_aggregate_pong(std::uint64_t seq) const;
+
+  FrontendConfig config_;
+  std::vector<std::unique_ptr<Replica>> replicas_;  // fixed after ctor
+  std::unordered_map<std::string, Replica*> by_endpoint_;
+  std::unordered_map<std::string, std::vector<Replica*>> group_members_;
+
+  mutable std::mutex ring_mu_;
+  HashRing ring_;
+
+  std::atomic<std::uint64_t> next_wire_id_{1};
+  std::atomic<std::uint64_t> next_ping_seq_{1};
+
+  std::unique_ptr<Listener> listener_;
+  std::thread accept_thread_;
+  std::thread heartbeat_thread_;
+  std::mutex heartbeat_mu_;
+  std::condition_variable heartbeat_cv_;
+
+  std::mutex clients_mu_;
+  std::vector<std::shared_ptr<ClientConn>> clients_;
+
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stopping_{false};
+  std::mutex lifecycle_mu_;
+
+  // Cached registry references (fleet.frontend.* namespace).
+  obs::Counter* requests_total_ = nullptr;
+  obs::Counter* failovers_total_ = nullptr;
+  obs::Counter* overloaded_total_ = nullptr;
+  obs::Counter* unavailable_total_ = nullptr;
+  obs::Counter* evicted_groups_total_ = nullptr;
+  obs::Gauge* alive_replicas_gauge_ = nullptr;
+  obs::Gauge* ring_groups_gauge_ = nullptr;
+};
+
+}  // namespace taglets::fleet

@@ -1,0 +1,121 @@
+#include "fleet/health.hpp"
+
+#include <stdexcept>
+
+#include "util/check.hpp"
+
+namespace taglets::fleet {
+
+const char* health_state_name(HealthState s) {
+  switch (s) {
+    case HealthState::kUnknown: return "unknown";
+    case HealthState::kAlive: return "alive";
+    case HealthState::kSuspect: return "suspect";
+    case HealthState::kDead: return "dead";
+  }
+  return "?";
+}
+
+bool transition_valid(HealthState from, HealthState to) {
+  if (from == to) return true;
+  switch (from) {
+    case HealthState::kUnknown:
+      return to == HealthState::kAlive;
+    case HealthState::kAlive:
+      return to == HealthState::kSuspect;
+    case HealthState::kSuspect:
+      return to == HealthState::kAlive || to == HealthState::kDead;
+    case HealthState::kDead:
+      return false;  // terminal
+  }
+  return false;
+}
+
+void HealthPolicy::validate() const {
+  if (suspect_after_ms <= 0.0 || dead_after_ms <= suspect_after_ms) {
+    throw std::invalid_argument(
+        "HealthPolicy: need 0 < suspect_after_ms < dead_after_ms");
+  }
+  if (failure_threshold == 0) {
+    throw std::invalid_argument("HealthPolicy: failure_threshold must be >= 1");
+  }
+}
+
+HealthTracker::HealthTracker(HealthPolicy policy) : policy_(policy) {
+  policy_.validate();
+}
+
+void HealthTracker::move_to(HealthState next, Clock::time_point now) {
+  if (state_ == next) return;
+  TAGLETS_CHECK(transition_valid(state_, next),
+                std::string("HealthTracker: invalid transition ") +
+                    health_state_name(state_) + " -> " +
+                    health_state_name(next));
+  // Cap flap history: keep the machine's memory bounded under a
+  // replica that oscillates Alive <-> Suspect for hours.
+  if (transitions_.size() >= 64) {
+    transitions_.erase(transitions_.begin());
+  }
+  transitions_.push_back({state_, next, now});
+  state_ = next;
+}
+
+void HealthTracker::record_success(Clock::time_point now) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (state_ == HealthState::kDead) return;  // terminal
+  last_success_ = now;
+  ever_succeeded_ = true;
+  consecutive_failures_ = 0;
+  move_to(HealthState::kAlive, now);
+}
+
+void HealthTracker::record_failure(Clock::time_point now) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (state_ == HealthState::kDead) return;
+  ++consecutive_failures_;
+  if (state_ == HealthState::kAlive &&
+      consecutive_failures_ >= policy_.failure_threshold) {
+    move_to(HealthState::kSuspect, now);
+  }
+}
+
+void HealthTracker::tick(Clock::time_point now) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (state_ == HealthState::kDead || !ever_succeeded_) {
+    // Unknown never times out into Suspect/Dead: a node that was never
+    // reachable is simply not yet a member (see header diagram).
+    return;
+  }
+  const double silence_ms =
+      std::chrono::duration<double, std::milli>(now - last_success_).count();
+  if (state_ == HealthState::kAlive && silence_ms > policy_.suspect_after_ms) {
+    move_to(HealthState::kSuspect, now);
+  }
+  // Separate `if`, not else: one late tick may legally step
+  // Alive -> Suspect -> Dead when silence already exceeds both bounds.
+  if (state_ == HealthState::kSuspect && silence_ms > policy_.dead_after_ms) {
+    move_to(HealthState::kDead, now);
+  }
+}
+
+HealthState HealthTracker::state() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return state_;
+}
+
+bool HealthTracker::routable() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return state_ == HealthState::kAlive || state_ == HealthState::kSuspect;
+}
+
+std::uint32_t HealthTracker::consecutive_failures() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return consecutive_failures_;
+}
+
+std::vector<HealthTracker::Transition> HealthTracker::transitions() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return transitions_;
+}
+
+}  // namespace taglets::fleet

@@ -1,0 +1,93 @@
+// Replica health state machine, modeled on the heartbeat/membership
+// specs referenced in SNIPPETS.md (EK-KOR2): the only valid edges are
+//
+//        heartbeat            silence > suspect_after
+//   Unknown ------> Alive <---------------------------> Suspect
+//                                                          |
+//                                  silence > dead_after    v
+//                                                         Dead (terminal)
+//
+// Alive -> Suspect also fires after `failure_threshold` consecutive
+// request failures (a replica can be heartbeating yet failing work).
+// Suspect -> Alive requires a successful contact; Dead is terminal —
+// a revived process re-registers as a new tracker. transition_valid()
+// is the machine's ground truth and tests/property_test.cpp asserts
+// every transition a tracker ever takes is in it.
+//
+// Time is passed in (steady-clock points), never read inside, so tests
+// drive the machine deterministically.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+namespace taglets::fleet {
+
+enum class HealthState : std::uint8_t { kUnknown = 0, kAlive, kSuspect, kDead };
+
+const char* health_state_name(HealthState s);
+
+/// True for edges the machine may take (self-edges included: repeated
+/// heartbeats keep a node Alive).
+bool transition_valid(HealthState from, HealthState to);
+
+struct HealthPolicy {
+  /// Silence after the last successful contact before Alive -> Suspect.
+  double suspect_after_ms = 250.0;
+  /// Silence before Suspect -> Dead (measured from last success too,
+  /// so must be > suspect_after_ms).
+  double dead_after_ms = 1000.0;
+  /// Consecutive request/heartbeat failures before Alive -> Suspect
+  /// even without silence.
+  std::uint32_t failure_threshold = 3;
+
+  void validate() const;  // throws std::invalid_argument
+};
+
+/// One replica's tracker. Thread-safe: the heartbeat thread, request
+/// path, and metric readers may call concurrently.
+class HealthTracker {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  explicit HealthTracker(HealthPolicy policy = {});
+
+  /// Successful contact (heartbeat reply or served request).
+  /// Unknown/Suspect -> Alive; Dead stays Dead.
+  void record_success(Clock::time_point now);
+  /// Failed contact (broken connection, timeout, error reply).
+  void record_failure(Clock::time_point now);
+  /// Apply the timing thresholds at `now` (heartbeat tick).
+  void tick(Clock::time_point now);
+
+  HealthState state() const;
+  /// Alive or Suspect — may still be routed to (Suspect only as a
+  /// last resort; the router prefers Alive).
+  bool routable() const;
+  std::uint32_t consecutive_failures() const;
+
+  struct Transition {
+    HealthState from;
+    HealthState to;
+    Clock::time_point at;
+  };
+  /// Every state change taken so far, in order (bounded: the machine
+  /// has at most 3 forward edges plus Alive<->Suspect flaps; flap
+  /// history is capped at 64 entries, oldest dropped).
+  std::vector<Transition> transitions() const;
+
+ private:
+  void move_to(HealthState next, Clock::time_point now);  // mu_ held
+
+  HealthPolicy policy_;
+  mutable std::mutex mu_;
+  HealthState state_ = HealthState::kUnknown;
+  Clock::time_point last_success_{};
+  bool ever_succeeded_ = false;
+  std::uint32_t consecutive_failures_ = 0;
+  std::vector<Transition> transitions_;
+};
+
+}  // namespace taglets::fleet

@@ -1,0 +1,325 @@
+#include "fleet/protocol.hpp"
+
+#include <cstring>
+
+namespace taglets::fleet {
+
+const char* status_name(Status status) {
+  switch (status) {
+    case Status::kOk: return "ok";
+    case Status::kOverloaded: return "overloaded";
+    case Status::kUnavailable: return "unavailable";
+    case Status::kDeadlineExceeded: return "deadline_exceeded";
+    case Status::kError: return "error";
+    case Status::kShutdown: return "shutdown";
+  }
+  return "unknown";
+}
+
+// ----------------------------------------------------------- FrameWriter
+
+void FrameWriter::u8(std::uint8_t v) { buf_.push_back(v); }
+
+void FrameWriter::u32(std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+void FrameWriter::u64(std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+void FrameWriter::f32(float v) {
+  std::uint32_t bits = 0;
+  std::memcpy(&bits, &v, sizeof bits);
+  u32(bits);
+}
+
+void FrameWriter::f64(double v) {
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &v, sizeof bits);
+  u64(bits);
+}
+
+void FrameWriter::str(const std::string& s) {
+  if (s.size() > kMaxFrameBytes) throw ProtocolError("string too large");
+  u32(static_cast<std::uint32_t>(s.size()));
+  buf_.insert(buf_.end(), s.begin(), s.end());
+}
+
+void FrameWriter::floats(const std::vector<float>& v) {
+  if (v.size() > kMaxFrameBytes / sizeof(float)) {
+    throw ProtocolError("float array too large");
+  }
+  u32(static_cast<std::uint32_t>(v.size()));
+  const std::size_t offset = buf_.size();
+  buf_.resize(offset + v.size() * sizeof(float));
+  if (!v.empty()) {
+    std::memcpy(buf_.data() + offset, v.data(), v.size() * sizeof(float));
+  }
+}
+
+// ----------------------------------------------------------- FrameReader
+
+void FrameReader::need(std::size_t n) const {
+  if (buf_.size() - pos_ < n) throw ProtocolError("truncated frame");
+}
+
+std::uint8_t FrameReader::u8() {
+  need(1);
+  return buf_[pos_++];
+}
+
+std::uint32_t FrameReader::u32() {
+  need(4);
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<std::uint32_t>(buf_[pos_ + static_cast<std::size_t>(i)])
+         << (8 * i);
+  }
+  pos_ += 4;
+  return v;
+}
+
+std::uint64_t FrameReader::u64() {
+  need(8);
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(buf_[pos_ + static_cast<std::size_t>(i)])
+         << (8 * i);
+  }
+  pos_ += 8;
+  return v;
+}
+
+float FrameReader::f32() {
+  const std::uint32_t bits = u32();
+  float v = 0.0f;
+  std::memcpy(&v, &bits, sizeof v);
+  return v;
+}
+
+double FrameReader::f64() {
+  const std::uint64_t bits = u64();
+  double v = 0.0;
+  std::memcpy(&v, &bits, sizeof v);
+  return v;
+}
+
+std::string FrameReader::str() {
+  const std::uint32_t n = u32();
+  need(n);
+  std::string s(reinterpret_cast<const char*>(buf_.data() + pos_), n);
+  pos_ += n;
+  return s;
+}
+
+std::vector<float> FrameReader::floats() {
+  const std::uint32_t n = u32();
+  need(static_cast<std::size_t>(n) * sizeof(float));
+  std::vector<float> v(n);
+  if (n != 0) {
+    std::memcpy(v.data(), buf_.data() + pos_,
+                static_cast<std::size_t>(n) * sizeof(float));
+  }
+  pos_ += static_cast<std::size_t>(n) * sizeof(float);
+  return v;
+}
+
+void FrameReader::expect_end() const {
+  if (remaining() != 0) throw ProtocolError("trailing bytes in frame");
+}
+
+// ------------------------------------------------------------- messages
+
+MsgType peek_type(const std::vector<std::uint8_t>& payload) {
+  if (payload.empty()) throw ProtocolError("empty frame");
+  const std::uint8_t t = payload.front();
+  if (t < static_cast<std::uint8_t>(MsgType::kPredictRequest) ||
+      t > static_cast<std::uint8_t>(MsgType::kStatsResponse)) {
+    throw ProtocolError("unknown message type " + std::to_string(t));
+  }
+  return static_cast<MsgType>(t);
+}
+
+namespace {
+
+/// Consumes and checks the type byte at the head of a payload.
+FrameReader open(const std::vector<std::uint8_t>& payload, MsgType expected) {
+  const MsgType got = peek_type(payload);
+  if (got != expected) {
+    throw ProtocolError("expected message type " +
+                        std::to_string(static_cast<int>(expected)) + ", got " +
+                        std::to_string(static_cast<int>(got)));
+  }
+  FrameReader reader(payload);
+  reader.u8();  // type byte
+  return reader;
+}
+
+Status decode_status(std::uint8_t raw) {
+  if (raw > static_cast<std::uint8_t>(Status::kShutdown)) {
+    throw ProtocolError("unknown status " + std::to_string(raw));
+  }
+  return static_cast<Status>(raw);
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encode(const PredictRequest& m) {
+  FrameWriter w;
+  w.u8(static_cast<std::uint8_t>(MsgType::kPredictRequest));
+  w.u64(m.id);
+  w.u64(m.routing_key);
+  w.f64(m.deadline_ms);
+  w.floats(m.features);
+  return w.take();
+}
+
+PredictRequest decode_predict_request(const std::vector<std::uint8_t>& p) {
+  FrameReader r = open(p, MsgType::kPredictRequest);
+  PredictRequest m;
+  m.id = r.u64();
+  m.routing_key = r.u64();
+  m.deadline_ms = r.f64();
+  m.features = r.floats();
+  r.expect_end();
+  return m;
+}
+
+std::vector<std::uint8_t> encode(const PredictResponse& m) {
+  FrameWriter w;
+  w.u8(static_cast<std::uint8_t>(MsgType::kPredictResponse));
+  w.u64(m.id);
+  w.u8(static_cast<std::uint8_t>(m.status));
+  w.u32(m.label);
+  w.f32(m.confidence);
+  w.str(m.class_name);
+  w.str(m.error);
+  w.f64(m.shard_ms);
+  return w.take();
+}
+
+PredictResponse decode_predict_response(const std::vector<std::uint8_t>& p) {
+  FrameReader r = open(p, MsgType::kPredictResponse);
+  PredictResponse m;
+  m.id = r.u64();
+  m.status = decode_status(r.u8());
+  m.label = r.u32();
+  m.confidence = r.f32();
+  m.class_name = r.str();
+  m.error = r.str();
+  m.shard_ms = r.f64();
+  r.expect_end();
+  return m;
+}
+
+std::vector<std::uint8_t> encode(const Ping& m) {
+  FrameWriter w;
+  w.u8(static_cast<std::uint8_t>(MsgType::kPing));
+  w.u64(m.seq);
+  return w.take();
+}
+
+Ping decode_ping(const std::vector<std::uint8_t>& p) {
+  FrameReader r = open(p, MsgType::kPing);
+  Ping m;
+  m.seq = r.u64();
+  r.expect_end();
+  return m;
+}
+
+std::vector<std::uint8_t> encode(const Pong& m) {
+  FrameWriter w;
+  w.u8(static_cast<std::uint8_t>(MsgType::kPong));
+  w.u64(m.seq);
+  w.u64(m.model_version);
+  w.u32(m.queue_depth);
+  w.u32(m.queue_capacity);
+  w.u64(m.requests_ok);
+  w.u64(m.requests_rejected);
+  w.u64(m.requests_deadline_missed);
+  w.u8(m.draining);
+  return w.take();
+}
+
+Pong decode_pong(const std::vector<std::uint8_t>& p) {
+  FrameReader r = open(p, MsgType::kPong);
+  Pong m;
+  m.seq = r.u64();
+  m.model_version = r.u64();
+  m.queue_depth = r.u32();
+  m.queue_capacity = r.u32();
+  m.requests_ok = r.u64();
+  m.requests_rejected = r.u64();
+  m.requests_deadline_missed = r.u64();
+  m.draining = r.u8();
+  r.expect_end();
+  return m;
+}
+
+std::vector<std::uint8_t> encode(const ReloadRequest& m) {
+  FrameWriter w;
+  w.u8(static_cast<std::uint8_t>(MsgType::kReloadRequest));
+  w.str(m.path);
+  return w.take();
+}
+
+ReloadRequest decode_reload_request(const std::vector<std::uint8_t>& p) {
+  FrameReader r = open(p, MsgType::kReloadRequest);
+  ReloadRequest m;
+  m.path = r.str();
+  r.expect_end();
+  return m;
+}
+
+std::vector<std::uint8_t> encode(const ReloadResponse& m) {
+  FrameWriter w;
+  w.u8(static_cast<std::uint8_t>(MsgType::kReloadResponse));
+  w.u8(m.ok);
+  w.u64(m.model_version);
+  w.str(m.message);
+  return w.take();
+}
+
+ReloadResponse decode_reload_response(const std::vector<std::uint8_t>& p) {
+  FrameReader r = open(p, MsgType::kReloadResponse);
+  ReloadResponse m;
+  m.ok = r.u8();
+  m.model_version = r.u64();
+  m.message = r.str();
+  r.expect_end();
+  return m;
+}
+
+std::vector<std::uint8_t> encode(const StatsRequest&) {
+  FrameWriter w;
+  w.u8(static_cast<std::uint8_t>(MsgType::kStatsRequest));
+  return w.take();
+}
+
+StatsRequest decode_stats_request(const std::vector<std::uint8_t>& p) {
+  FrameReader r = open(p, MsgType::kStatsRequest);
+  r.expect_end();
+  return StatsRequest{};
+}
+
+std::vector<std::uint8_t> encode(const StatsResponse& m) {
+  FrameWriter w;
+  w.u8(static_cast<std::uint8_t>(MsgType::kStatsResponse));
+  w.str(m.json);
+  return w.take();
+}
+
+StatsResponse decode_stats_response(const std::vector<std::uint8_t>& p) {
+  FrameReader r = open(p, MsgType::kStatsResponse);
+  StatsResponse m;
+  m.json = r.str();
+  r.expect_end();
+  return m;
+}
+
+}  // namespace taglets::fleet

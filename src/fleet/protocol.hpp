@@ -1,0 +1,185 @@
+// Wire protocol of the serving fleet (docs/FLEET.md). Every message —
+// client → frontend, frontend → shard, and the control/heartbeat
+// traffic between them — travels as one length-prefixed binary frame:
+//
+//   uint32 payload_length (little-endian) | payload
+//   payload = uint8 message type | type-specific body
+//
+// Integers are fixed-width little-endian, floats are IEEE-754 bit
+// copies, strings and float arrays are length-prefixed. Encoding is
+// deterministic (the same message always produces the same bytes) and
+// decoding validates every length against the frame it arrived in, so
+// a truncated or hostile frame raises ProtocolError instead of reading
+// out of bounds. The frame length itself is capped (kMaxFrameBytes) to
+// bound what one connection can make a peer buffer.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace taglets::fleet {
+
+/// Hard upper bound on one frame's payload; admission control for the
+/// transport itself (a 4096-dim float request is ~16 KiB, so this
+/// leaves three orders of magnitude of headroom).
+inline constexpr std::uint32_t kMaxFrameBytes = 16u << 20;
+
+/// Thrown on any malformed, truncated, or oversized frame.
+class ProtocolError : public std::runtime_error {
+ public:
+  explicit ProtocolError(const std::string& what)
+      : std::runtime_error("fleet protocol: " + what) {}
+};
+
+/// Payload discriminator, first byte of every frame.
+enum class MsgType : std::uint8_t {
+  kPredictRequest = 1,
+  kPredictResponse = 2,
+  kPing = 3,
+  kPong = 4,
+  kReloadRequest = 5,
+  kReloadResponse = 6,
+  kStatsRequest = 7,
+  kStatsResponse = 8,
+};
+
+/// Terminal outcome of one fleet request, superset of the shard-local
+/// serve::Status: the fleet adds outcomes that only exist once there is
+/// routing (no live replica) and cross-process backpressure.
+enum class Status : std::uint8_t {
+  kOk = 0,
+  kOverloaded = 1,        // every candidate replica is saturated
+  kUnavailable = 2,       // no Alive/Suspect replica reachable
+  kDeadlineExceeded = 3,  // shard-side deadline miss
+  kError = 4,             // model execution / decode failure
+  kShutdown = 5,          // shard or frontend stopping
+};
+
+/// Stable lowercase name ("ok", "overloaded", ...).
+const char* status_name(Status status);
+
+// ----------------------------------------------------------- messages
+
+struct PredictRequest {
+  std::uint64_t id = 0;           // caller-chosen; echoed in the response
+  std::uint64_t routing_key = 0;  // consistent-hash key (e.g. user id)
+  double deadline_ms = 0.0;       // per-request deadline, <= 0 = none
+  std::vector<float> features;    // rank-1 input of the model's dim
+};
+
+struct PredictResponse {
+  std::uint64_t id = 0;
+  Status status = Status::kError;
+  std::uint32_t label = 0;
+  float confidence = 0.0f;
+  std::string class_name;
+  std::string error;       // diagnostic for kError
+  double shard_ms = 0.0;   // shard-side admission -> response
+};
+
+/// Heartbeat probe. `seq` must be echoed in the matching Pong.
+struct Ping {
+  std::uint64_t seq = 0;
+};
+
+/// Heartbeat reply carrying the shard's load so the frontend's health
+/// and backpressure decisions ride on data the shard already has.
+struct Pong {
+  std::uint64_t seq = 0;
+  std::uint64_t model_version = 0;
+  std::uint32_t queue_depth = 0;
+  std::uint32_t queue_capacity = 0;
+  std::uint64_t requests_ok = 0;
+  std::uint64_t requests_rejected = 0;
+  std::uint64_t requests_deadline_missed = 0;
+  std::uint8_t draining = 0;  // mid model-swap
+};
+
+/// Hot model swap: validate the ServableModel at `path`, then flip.
+struct ReloadRequest {
+  std::string path;
+};
+
+struct ReloadResponse {
+  std::uint8_t ok = 0;
+  std::uint64_t model_version = 0;  // active version after the attempt
+  std::string message;              // failure reason, or "" on success
+};
+
+struct StatsRequest {};
+
+struct StatsResponse {
+  std::string json;  // shard ServerStats::to_json / frontend aggregate
+};
+
+// ------------------------------------------------- encoding / decoding
+
+/// Appends fixed-width little-endian scalars and length-prefixed blobs.
+class FrameWriter {
+ public:
+  void u8(std::uint8_t v);
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  void f32(float v);
+  void f64(double v);
+  void str(const std::string& s);             // u32 length + bytes
+  void floats(const std::vector<float>& v);   // u32 count + raw floats
+
+  const std::vector<std::uint8_t>& bytes() const { return buf_; }
+  std::vector<std::uint8_t> take() { return std::move(buf_); }
+
+ private:
+  std::vector<std::uint8_t> buf_;
+};
+
+/// Reads the same encoding back; every accessor throws ProtocolError
+/// on underflow instead of reading past the payload.
+class FrameReader {
+ public:
+  explicit FrameReader(const std::vector<std::uint8_t>& buf) : buf_(buf) {}
+
+  std::uint8_t u8();
+  std::uint32_t u32();
+  std::uint64_t u64();
+  float f32();
+  double f64();
+  std::string str();
+  std::vector<float> floats();
+
+  std::size_t remaining() const { return buf_.size() - pos_; }
+  /// Throws ProtocolError when payload bytes are left over (a frame
+  /// must be consumed exactly).
+  void expect_end() const;
+
+ private:
+  void need(std::size_t n) const;
+  const std::vector<std::uint8_t>& buf_;
+  std::size_t pos_ = 0;
+};
+
+/// First byte of a payload; throws on an empty or unknown-typed frame.
+MsgType peek_type(const std::vector<std::uint8_t>& payload);
+
+std::vector<std::uint8_t> encode(const PredictRequest& m);
+std::vector<std::uint8_t> encode(const PredictResponse& m);
+std::vector<std::uint8_t> encode(const Ping& m);
+std::vector<std::uint8_t> encode(const Pong& m);
+std::vector<std::uint8_t> encode(const ReloadRequest& m);
+std::vector<std::uint8_t> encode(const ReloadResponse& m);
+std::vector<std::uint8_t> encode(const StatsRequest& m);
+std::vector<std::uint8_t> encode(const StatsResponse& m);
+
+/// Each decode checks the type byte and consumes the payload exactly.
+PredictRequest decode_predict_request(const std::vector<std::uint8_t>& p);
+PredictResponse decode_predict_response(const std::vector<std::uint8_t>& p);
+Ping decode_ping(const std::vector<std::uint8_t>& p);
+Pong decode_pong(const std::vector<std::uint8_t>& p);
+ReloadRequest decode_reload_request(const std::vector<std::uint8_t>& p);
+ReloadResponse decode_reload_response(const std::vector<std::uint8_t>& p);
+StatsRequest decode_stats_request(const std::vector<std::uint8_t>& p);
+StatsResponse decode_stats_response(const std::vector<std::uint8_t>& p);
+
+}  // namespace taglets::fleet

@@ -1,0 +1,101 @@
+#include "fleet/ring.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/check.hpp"
+
+namespace taglets::fleet {
+
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+std::uint64_t hash_bytes(const std::string& s) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;  // FNV-1a offset basis
+  for (const char c : s) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return mix64(h);
+}
+
+HashRing::HashRing(std::size_t vnodes) : vnodes_(vnodes) {
+  TAGLETS_CHECK_NE(vnodes_, 0, "HashRing: vnodes must be >= 1");
+}
+
+void HashRing::add_node(const std::string& name) {
+  if (name.empty()) {
+    throw std::invalid_argument("HashRing::add_node: empty name");
+  }
+  const auto it = std::lower_bound(nodes_.begin(), nodes_.end(), name);
+  if (it != nodes_.end() && *it == name) return;
+  nodes_.insert(it, name);
+  rebuild();
+}
+
+void HashRing::remove_node(const std::string& name) {
+  const auto it = std::lower_bound(nodes_.begin(), nodes_.end(), name);
+  if (it == nodes_.end() || *it != name) return;
+  nodes_.erase(it);
+  rebuild();
+}
+
+bool HashRing::contains(const std::string& name) const {
+  return std::binary_search(nodes_.begin(), nodes_.end(), name);
+}
+
+void HashRing::rebuild() {
+  points_.clear();
+  points_.reserve(nodes_.size() * vnodes_);
+  for (std::uint32_t n = 0; n < nodes_.size(); ++n) {
+    const std::uint64_t base = hash_bytes(nodes_[n]);
+    for (std::size_t v = 0; v < vnodes_; ++v) {
+      // Point position depends only on (node name, vnode index): a
+      // node's points never move when other nodes come or go, which is
+      // what bounds remapping to the departed/arrived node's arcs.
+      points_.push_back({mix64(base + v), n});
+    }
+  }
+  std::sort(points_.begin(), points_.end(), [](const Point& a, const Point& b) {
+    if (a.hash != b.hash) return a.hash < b.hash;
+    return a.node < b.node;  // 64-bit collisions: deterministic order
+  });
+}
+
+const std::string& HashRing::lookup(std::uint64_t key) const {
+  if (points_.empty()) throw std::logic_error("HashRing::lookup: empty ring");
+  const std::uint64_t h = mix64(key);
+  auto it = std::lower_bound(
+      points_.begin(), points_.end(), h,
+      [](const Point& p, std::uint64_t value) { return p.hash < value; });
+  if (it == points_.end()) it = points_.begin();  // wrap around
+  return nodes_[it->node];
+}
+
+std::vector<std::string> HashRing::successors(std::uint64_t key) const {
+  std::vector<std::string> out;
+  if (points_.empty()) return out;
+  const std::uint64_t h = mix64(key);
+  auto start = std::lower_bound(
+      points_.begin(), points_.end(), h,
+      [](const Point& p, std::uint64_t value) { return p.hash < value; });
+  if (start == points_.end()) start = points_.begin();
+  std::vector<bool> seen(nodes_.size(), false);
+  auto it = start;
+  do {
+    if (!seen[it->node]) {
+      seen[it->node] = true;
+      out.push_back(nodes_[it->node]);
+      if (out.size() == nodes_.size()) break;
+    }
+    ++it;
+    if (it == points_.end()) it = points_.begin();
+  } while (it != start);
+  return out;
+}
+
+}  // namespace taglets::fleet

@@ -1,0 +1,59 @@
+// Consistent-hash ring for shard routing. Each node (a shard replica
+// group) is projected onto the ring at `vnodes` pseudo-random points;
+// a key routes to the first node point clockwise from hash(key). The
+// properties the fleet depends on — and tests/property_test.cpp checks:
+//
+//  * determinism: node set + key -> same node in every process (the
+//    hash is our own splitmix64 mix, not std::hash, which the standard
+//    allows to vary between processes);
+//  * bounded remapping: adding or removing one of N nodes remaps about
+//    K/N of K keys (virtual nodes keep the variance small);
+//  * failover order: successors(key) lists every node exactly once, in
+//    deterministic ring order, so "skip the Suspect/Dead node and take
+//    the next" is the same decision on every frontend.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace taglets::fleet {
+
+/// Process-independent 64-bit mix (splitmix64 finalizer).
+std::uint64_t mix64(std::uint64_t x);
+/// Process-independent string hash (FNV-1a folded through mix64).
+std::uint64_t hash_bytes(const std::string& s);
+
+class HashRing {
+ public:
+  /// `vnodes` points per node; must be >= 1.
+  explicit HashRing(std::size_t vnodes = 64);
+
+  /// Idempotent. Throws std::invalid_argument on an empty name.
+  void add_node(const std::string& name);
+  /// No-op when absent.
+  void remove_node(const std::string& name);
+  bool contains(const std::string& name) const;
+  std::size_t node_count() const { return nodes_.size(); }
+  std::vector<std::string> nodes() const { return nodes_; }
+
+  /// Node owning `key`. Throws std::logic_error on an empty ring.
+  const std::string& lookup(std::uint64_t key) const;
+
+  /// Every node exactly once, starting at the owner of `key` and
+  /// continuing in ring order — the failover candidate sequence.
+  std::vector<std::string> successors(std::uint64_t key) const;
+
+ private:
+  struct Point {
+    std::uint64_t hash;
+    std::uint32_t node;  // index into nodes_
+  };
+  void rebuild();
+
+  std::size_t vnodes_;
+  std::vector<std::string> nodes_;  // sorted for deterministic rebuilds
+  std::vector<Point> points_;       // sorted by hash
+};
+
+}  // namespace taglets::fleet

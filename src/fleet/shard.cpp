@@ -1,0 +1,424 @@
+#include "fleet/shard.hpp"
+
+#include <condition_variable>
+#include <cstring>
+#include <deque>
+#include <stdexcept>
+#include <utility>
+
+#include "obs/metrics.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace taglets::fleet {
+
+using tensor::Tensor;
+
+namespace {
+
+Status to_fleet_status(serve::Status s) {
+  switch (s) {
+    case serve::Status::kOk: return Status::kOk;
+    case serve::Status::kRejected: return Status::kOverloaded;
+    case serve::Status::kDeadlineExceeded: return Status::kDeadlineExceeded;
+    case serve::Status::kShutdown: return Status::kShutdown;
+    case serve::Status::kError: return Status::kError;
+  }
+  return Status::kError;
+}
+
+std::chrono::milliseconds ms(double v) {
+  return std::chrono::milliseconds(static_cast<long>(v));
+}
+
+/// Waiting for the NEXT frame is idleness, not an I/O in progress, so
+/// the reader's recv budget is hours, not io_timeout_ms — an idle but
+/// healthy client keeps its connection. stop() wakes blocked readers
+/// via shutdown_rw.
+constexpr std::chrono::milliseconds kIdleRecvBudget{3'600'000};
+
+}  // namespace
+
+double int8_disagreement_fraction(ensemble::ServableModel& model,
+                                  std::size_t probe_rows) {
+  TAGLETS_CHECK_NE(probe_rows, 0, "int8 probe needs >= 1 row");
+  util::Rng rng(20260807);  // fixed: the gate must be deterministic
+  Tensor probe = Tensor::zeros(probe_rows, model.model().input_dim());
+  for (float& v : probe.data()) v = static_cast<float>(rng.normal());
+  model.set_precision(ensemble::Precision::kFloat32);
+  const std::vector<std::size_t> base = model.predict_batch(probe);
+  model.set_precision(ensemble::Precision::kInt8);
+  const std::vector<std::size_t> quant = model.predict_batch(probe);
+  std::size_t disagree = 0;
+  for (std::size_t i = 0; i < probe_rows; ++i) {
+    if (base[i] != quant[i]) ++disagree;
+  }
+  return static_cast<double>(disagree) / static_cast<double>(probe_rows);
+}
+
+void ShardConfig::validate() const {
+  if (endpoint.empty()) {
+    throw std::invalid_argument("ShardConfig: endpoint must be set");
+  }
+  if (io_timeout_ms <= 0.0) {
+    throw std::invalid_argument("ShardConfig: io_timeout_ms must be > 0");
+  }
+  if (max_inflight_per_connection == 0) {
+    throw std::invalid_argument(
+        "ShardConfig: max_inflight_per_connection must be >= 1");
+  }
+  if (int8_agree_limit < 0.0 || int8_agree_limit > 1.0) {
+    throw std::invalid_argument("ShardConfig: int8_agree_limit not in [0,1]");
+  }
+  if (int8_probe_rows == 0) {
+    throw std::invalid_argument("ShardConfig: int8_probe_rows must be >= 1");
+  }
+  server.validate();
+}
+
+/// Per-connection I/O pair: the reader decodes and dispatches frames,
+/// the writer resolves pipelined predict futures in FIFO order and
+/// sends the responses. Control traffic (ping/reload/stats) is
+/// answered inline by the reader under the shared write lock, so a
+/// heartbeat never queues behind a slow batch.
+struct ShardServer::ConnectionHandler {
+  ShardServer* shard = nullptr;
+  Connection conn;
+  std::mutex write_mu;
+
+  struct Pending {
+    std::uint64_t id = 0;
+    serve::Clock::time_point t0{};
+    std::future<serve::Response> future;
+  };
+  std::mutex q_mu;
+  std::condition_variable q_cv;
+  std::deque<Pending> q;
+  bool closing = false;
+
+  std::thread reader;
+  std::thread writer;
+  std::atomic<int> live_threads{2};
+
+  void send(const std::vector<std::uint8_t>& frame) {
+    std::lock_guard<std::mutex> lock(write_mu);
+    conn.send_frame(frame, ms(shard->config_.io_timeout_ms));
+  }
+
+  void begin_close() {
+    {
+      std::lock_guard<std::mutex> lock(q_mu);
+      closing = true;
+    }
+    q_cv.notify_all();
+    conn.shutdown_rw();
+  }
+
+  bool finished() const { return live_threads.load(std::memory_order_acquire) == 0; }
+
+  void reader_loop();
+  void writer_loop();
+  void dispatch(const std::vector<std::uint8_t>& frame);
+};
+
+void ShardServer::ConnectionHandler::reader_loop() {
+  for (;;) {
+    std::optional<std::vector<std::uint8_t>> frame;
+    try {
+      frame = conn.recv_frame(kIdleRecvBudget);
+    } catch (const SocketError&) {
+      break;  // broken/killed peer, or shutdown_rw from stop()
+    }
+    if (!frame) break;  // clean EOF
+    try {
+      dispatch(*frame);
+    } catch (const std::exception&) {
+      break;  // malformed frame or dead peer: drop the connection
+    }
+    if (shard->stopping_.load(std::memory_order_acquire)) break;
+  }
+  begin_close();
+  live_threads.fetch_sub(1, std::memory_order_acq_rel);
+}
+
+void ShardServer::ConnectionHandler::dispatch(
+    const std::vector<std::uint8_t>& frame) {
+  switch (peek_type(frame)) {
+    case MsgType::kPredictRequest: {
+      const PredictRequest req = decode_predict_request(frame);
+      shard->predicts_total_->add();
+      PredictResponse early;
+      early.id = req.id;
+      {
+        std::lock_guard<std::mutex> lock(q_mu);
+        if (q.size() >= shard->config_.max_inflight_per_connection) {
+          early.status = Status::kOverloaded;
+          early.error = "per-connection inflight window full";
+        }
+      }
+      if (early.status != Status::kOverloaded &&
+          req.features.size() != shard->input_dim_) {
+        early.status = Status::kError;
+        early.error = "input dim " + std::to_string(req.features.size()) +
+                      " != model dim " + std::to_string(shard->input_dim_);
+      }
+      if (early.status == Status::kOverloaded ||
+          !early.error.empty()) {
+        if (early.status == Status::kOverloaded) shard->overloaded_total_->add();
+        send(encode(early));
+        return;
+      }
+      Tensor input = Tensor::zeros(req.features.size());
+      std::memcpy(input.data().data(), req.features.data(),
+                  req.features.size() * sizeof(float));
+      Pending pending;
+      pending.id = req.id;
+      pending.t0 = serve::Clock::now();
+      {
+        // Shared lock: the pointer read and the enqueue are atomic
+        // with respect to a reload's pointer flip, so a request can
+        // never land in a queue that is already being drained.
+        std::shared_lock<std::shared_mutex> swap(shard->swap_mu_);
+        pending.future =
+            shard->active_->submit(std::move(input), req.deadline_ms);
+      }
+      {
+        std::lock_guard<std::mutex> lock(q_mu);
+        q.push_back(std::move(pending));
+      }
+      q_cv.notify_one();
+      return;
+    }
+    case MsgType::kPing: {
+      const Ping ping = decode_ping(frame);
+      send(encode(shard->make_pong(ping.seq)));
+      return;
+    }
+    case MsgType::kReloadRequest: {
+      const ReloadRequest req = decode_reload_request(frame);
+      const ReloadOutcome out = shard->reload(req.path);
+      ReloadResponse resp;
+      resp.ok = out.ok ? 1 : 0;
+      resp.model_version = out.model_version;
+      resp.message = out.message;
+      send(encode(resp));
+      return;
+    }
+    case MsgType::kStatsRequest: {
+      StatsResponse resp;
+      resp.json = shard->active()->stats().json();
+      send(encode(resp));
+      return;
+    }
+    default:
+      throw ProtocolError("unexpected message type on a shard connection");
+  }
+}
+
+void ShardServer::ConnectionHandler::writer_loop() {
+  for (;;) {
+    Pending pending;
+    {
+      std::unique_lock<std::mutex> lock(q_mu);
+      q_cv.wait(lock, [this] { return closing || !q.empty(); });
+      if (q.empty()) break;  // closing and fully drained
+      pending = std::move(q.front());
+      q.pop_front();
+    }
+    // Resolves exactly once whatever happens to the server (drain,
+    // reload adoption, shutdown) — the serve layer's contract.
+    const serve::Response r = pending.future.get();
+    PredictResponse resp;
+    resp.id = pending.id;
+    resp.status = to_fleet_status(r.status);
+    resp.label = static_cast<std::uint32_t>(r.label);
+    resp.confidence = r.confidence;
+    resp.class_name = r.class_name;
+    resp.error = r.error;
+    resp.shard_ms = r.total_ms;
+    try {
+      send(encode(resp));
+    } catch (const SocketError&) {
+      break;  // peer gone; remaining futures resolve into the void
+    }
+  }
+  live_threads.fetch_sub(1, std::memory_order_acq_rel);
+}
+
+// ------------------------------------------------------------ ShardServer
+
+ShardServer::ShardServer(ensemble::ServableModel model, ShardConfig config)
+    : config_((config.validate(), std::move(config))) {
+  input_dim_ = model.model().input_dim();
+  active_ = std::make_shared<serve::Server>(model, config_.server);
+  auto& registry = obs::MetricsRegistry::global();
+  predicts_total_ = &registry.counter("fleet.shard.predicts_total");
+  overloaded_total_ = &registry.counter("fleet.shard.overloaded_total");
+  reloads_total_ = &registry.counter("fleet.shard.reloads_total");
+  reload_failures_total_ =
+      &registry.counter("fleet.shard.reload_failures_total");
+  model_version_gauge_ = &registry.gauge("fleet.shard.model_version");
+  model_version_gauge_->set(1.0);
+}
+
+ShardServer::~ShardServer() { stop(); }
+
+std::shared_ptr<serve::Server> ShardServer::active() const {
+  std::shared_lock<std::shared_mutex> lock(swap_mu_);
+  return active_;
+}
+
+void ShardServer::start() {
+  std::lock_guard<std::mutex> lifecycle(lifecycle_mu_);
+  if (running_.load(std::memory_order_acquire)) return;
+  if (stopping_.load(std::memory_order_acquire)) {
+    throw std::runtime_error("ShardServer::start: already stopped");
+  }
+  active()->start();
+  listener_ = std::make_unique<Listener>(Endpoint::parse(config_.endpoint));
+  accept_thread_ = std::thread([this] { accept_loop(); });
+  running_.store(true, std::memory_order_release);
+}
+
+void ShardServer::stop() {
+  std::lock_guard<std::mutex> lifecycle(lifecycle_mu_);
+  if (stopping_.exchange(true, std::memory_order_acq_rel)) return;
+  running_.store(false, std::memory_order_release);
+  if (listener_) listener_->shutdown();
+  if (accept_thread_.joinable()) accept_thread_.join();
+  // Resolve every admitted request (queued ones fail with kShutdown)
+  // *before* tearing down connections, so writers can still deliver
+  // the terminal responses to connected peers.
+  active()->stop();
+  std::vector<std::unique_ptr<ConnectionHandler>> handlers;
+  {
+    std::lock_guard<std::mutex> lock(handlers_mu_);
+    handlers.swap(handlers_);
+  }
+  for (auto& h : handlers) h->begin_close();
+  for (auto& h : handlers) {
+    if (h->reader.joinable()) h->reader.join();
+    if (h->writer.joinable()) h->writer.join();
+  }
+  listener_.reset();
+}
+
+void ShardServer::accept_loop() {
+  while (!stopping_.load(std::memory_order_acquire)) {
+    std::optional<Connection> peer;
+    try {
+      peer = listener_->accept(std::chrono::milliseconds(200));
+    } catch (const SocketError&) {
+      break;
+    }
+    if (!peer) {
+      reap_finished_handlers();
+      continue;
+    }
+    auto handler = std::make_unique<ConnectionHandler>();
+    handler->shard = this;
+    handler->conn = std::move(*peer);
+    ConnectionHandler* raw = handler.get();
+    handler->reader = std::thread([raw] { raw->reader_loop(); });
+    handler->writer = std::thread([raw] { raw->writer_loop(); });
+    {
+      std::lock_guard<std::mutex> lock(handlers_mu_);
+      handlers_.push_back(std::move(handler));
+    }
+    reap_finished_handlers();
+  }
+}
+
+void ShardServer::reap_finished_handlers() {
+  std::lock_guard<std::mutex> lock(handlers_mu_);
+  for (auto it = handlers_.begin(); it != handlers_.end();) {
+    if ((*it)->finished()) {
+      if ((*it)->reader.joinable()) (*it)->reader.join();
+      if ((*it)->writer.joinable()) (*it)->writer.join();
+      it = handlers_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+Pong ShardServer::make_pong(std::uint64_t seq) const {
+  Pong pong;
+  pong.seq = seq;
+  pong.model_version = model_version();
+  const std::shared_ptr<serve::Server> srv = active();
+  pong.queue_depth = static_cast<std::uint32_t>(srv->queue_depth());
+  pong.queue_capacity =
+      static_cast<std::uint32_t>(srv->config().queue_capacity);
+  const serve::ServerStats::Snapshot s = srv->stats().snapshot();
+  pong.requests_ok = s.completed;
+  pong.requests_rejected = s.rejected_total();
+  pong.requests_deadline_missed = s.deadline_missed;
+  pong.draining = draining_.load(std::memory_order_acquire) ? 1 : 0;
+  return pong;
+}
+
+serve::ServerStats::Snapshot ShardServer::stats_snapshot() const {
+  return active()->stats().snapshot();
+}
+
+ReloadOutcome ShardServer::reload(const std::string& path) {
+  std::lock_guard<std::mutex> serialize(reload_mu_);
+  ReloadOutcome out;
+  out.model_version = model_version();
+  try {
+    // 1. Load and validate off to the side; the old model serves on.
+    ensemble::ServableModel fresh = ensemble::ServableModel::load(path);
+    if (fresh.model().input_dim() != input_dim_) {
+      reload_failures_total_->add();
+      out.message = "reload rejected: input_dim " +
+                    std::to_string(fresh.model().input_dim()) +
+                    " != serving dim " + std::to_string(input_dim_);
+      return out;
+    }
+    if (fresh.precision() == ensemble::Precision::kInt8) {
+      const double disagree =
+          int8_disagreement_fraction(fresh, config_.int8_probe_rows);
+      if (disagree > config_.int8_agree_limit) {
+        reload_failures_total_->add();
+        out.message = "reload rejected: int8 agreement gate failed (" +
+                      std::to_string(disagree) + " > " +
+                      std::to_string(config_.int8_agree_limit) + ")";
+        return out;
+      }
+    }
+    // 2. Start the replacement beside the old server.
+    auto next = std::make_shared<serve::Server>(fresh, config_.server);
+    next->start();
+    // 3. Flip. New submissions land on the new server from here on.
+    draining_.store(true, std::memory_order_release);
+    std::shared_ptr<serve::Server> old;
+    {
+      std::unique_lock<std::shared_mutex> swap(swap_mu_);
+      old = active_;
+      active_ = next;
+    }
+    // 4. In-flight batches finish on the old model; still-queued
+    // requests transfer to the new server with promises intact.
+    std::vector<serve::Request> pending = old->close_and_drain();
+    for (serve::Request& request : pending) {
+      next->adopt(std::move(request));
+    }
+    old.reset();
+    draining_.store(false, std::memory_order_release);
+    const std::uint64_t version =
+        model_version_.fetch_add(1, std::memory_order_acq_rel) + 1;
+    model_version_gauge_->set(static_cast<double>(version));
+    reloads_total_->add();
+    out.ok = true;
+    out.model_version = version;
+    return out;
+  } catch (const std::exception& e) {
+    draining_.store(false, std::memory_order_release);
+    reload_failures_total_->add();
+    out.message = e.what();
+    return out;
+  }
+}
+
+}  // namespace taglets::fleet

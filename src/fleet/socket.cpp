@@ -1,0 +1,364 @@
+#include "fleet/socket.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "fleet/protocol.hpp"
+
+namespace taglets::fleet {
+
+namespace {
+
+std::string errno_text(const std::string& op) {
+  return op + ": " + std::strerror(errno);
+}
+
+/// poll() one fd for `events`, honouring the deadline. Returns false on
+/// timeout. EINTR retries with the remaining budget.
+bool poll_fd(int fd, short events, std::chrono::steady_clock::time_point deadline) {
+  for (;;) {
+    const auto now = std::chrono::steady_clock::now();
+    if (now >= deadline) return false;
+    const auto left =
+        std::chrono::duration_cast<std::chrono::milliseconds>(deadline - now);
+    struct pollfd pfd{};
+    pfd.fd = fd;
+    pfd.events = events;
+    const int rc = ::poll(&pfd, 1, static_cast<int>(left.count()) + 1);
+    if (rc > 0) return true;
+    if (rc == 0) return false;
+    if (errno != EINTR) throw SocketError(errno_text("poll"));
+  }
+}
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    throw SocketError(errno_text("fcntl O_NONBLOCK"));
+  }
+}
+
+void set_cloexec(int fd) {
+  // Fleet tests fork+exec child shards; leaking a listener fd into a
+  // child keeps the endpoint bound after the parent dies.
+  (void)::fcntl(fd, F_SETFD, FD_CLOEXEC);
+}
+
+struct SockAddr {
+  union {
+    sockaddr base;
+    sockaddr_un un;
+    sockaddr_in in;
+  } addr{};
+  socklen_t len = 0;
+  int family = AF_UNIX;
+};
+
+SockAddr make_addr(const Endpoint& endpoint) {
+  SockAddr out;
+  if (endpoint.kind == Endpoint::Kind::kUnix) {
+    out.family = AF_UNIX;
+    out.addr.un.sun_family = AF_UNIX;
+    if (endpoint.path.size() + 1 > sizeof(out.addr.un.sun_path)) {
+      throw SocketError("unix path too long: " + endpoint.path);
+    }
+    std::memcpy(out.addr.un.sun_path, endpoint.path.c_str(),
+                endpoint.path.size() + 1);
+    out.len = static_cast<socklen_t>(offsetof(sockaddr_un, sun_path) +
+                                     endpoint.path.size() + 1);
+  } else {
+    out.family = AF_INET;
+    out.addr.in.sin_family = AF_INET;
+    out.addr.in.sin_port = htons(endpoint.port);
+    if (::inet_pton(AF_INET, endpoint.host.c_str(), &out.addr.in.sin_addr) !=
+        1) {
+      throw SocketError("bad tcp host (use a dotted IPv4 address): " +
+                        endpoint.host);
+    }
+    out.len = sizeof(sockaddr_in);
+  }
+  return out;
+}
+
+}  // namespace
+
+// -------------------------------------------------------------- Endpoint
+
+Endpoint Endpoint::parse(const std::string& spec) {
+  Endpoint e;
+  if (spec.rfind("unix:", 0) == 0) {
+    e.kind = Kind::kUnix;
+    e.path = spec.substr(5);
+    if (e.path.empty()) throw SocketError("empty unix path in: " + spec);
+    return e;
+  }
+  if (spec.rfind("tcp:", 0) == 0) {
+    e.kind = Kind::kTcp;
+    const std::string rest = spec.substr(4);
+    const std::size_t colon = rest.rfind(':');
+    if (colon == std::string::npos || colon == 0 || colon + 1 >= rest.size()) {
+      throw SocketError("tcp endpoint must be tcp:host:port, got: " + spec);
+    }
+    e.host = rest.substr(0, colon);
+    const long port = std::strtol(rest.c_str() + colon + 1, nullptr, 10);
+    if (port <= 0 || port > 65535) {
+      throw SocketError("bad tcp port in: " + spec);
+    }
+    e.port = static_cast<std::uint16_t>(port);
+    return e;
+  }
+  throw SocketError("endpoint must start with unix: or tcp:, got: " + spec);
+}
+
+std::string Endpoint::to_string() const {
+  if (kind == Kind::kUnix) return "unix:" + path;
+  return "tcp:" + host + ":" + std::to_string(port);
+}
+
+// ------------------------------------------------------------ Connection
+
+Connection::~Connection() { close(); }
+
+Connection::Connection(Connection&& other) noexcept : fd_(other.fd_) {
+  other.fd_ = -1;
+}
+
+Connection& Connection::operator=(Connection&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void Connection::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void Connection::shutdown_rw() {
+  if (fd_ >= 0) (void)::shutdown(fd_, SHUT_RDWR);
+}
+
+Connection Connection::connect(const Endpoint& endpoint,
+                               std::chrono::milliseconds timeout) {
+  const SockAddr addr = make_addr(endpoint);
+  const int fd = ::socket(addr.family, SOCK_STREAM, 0);
+  if (fd < 0) throw SocketError(errno_text("socket"));
+  Connection conn(fd);
+  set_cloexec(fd);
+  set_nonblocking(fd);
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  if (::connect(fd, &addr.addr.base, addr.len) < 0) {
+    if (errno != EINPROGRESS && errno != EAGAIN) {
+      throw SocketError("connect " + endpoint.to_string() + ": " +
+                        std::strerror(errno));
+    }
+    if (!poll_fd(fd, POLLOUT, deadline)) {
+      throw SocketError("connect timeout: " + endpoint.to_string());
+    }
+    int err = 0;
+    socklen_t len = sizeof err;
+    if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len) < 0 || err != 0) {
+      throw SocketError("connect " + endpoint.to_string() + ": " +
+                        std::strerror(err != 0 ? err : errno));
+    }
+  }
+  if (addr.family == AF_INET) {
+    const int one = 1;
+    (void)::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  }
+  return conn;
+}
+
+void Connection::write_all(const std::uint8_t* data, std::size_t n,
+                           std::chrono::milliseconds timeout) {
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  std::size_t done = 0;
+  while (done < n) {
+    const ssize_t rc =
+        ::send(fd_, data + done, n - done, MSG_NOSIGNAL);
+    if (rc > 0) {
+      done += static_cast<std::size_t>(rc);
+      continue;
+    }
+    if (rc < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      if (!poll_fd(fd_, POLLOUT, deadline)) {
+        throw SocketError("send timeout");
+      }
+      continue;
+    }
+    if (rc < 0 && errno == EINTR) continue;
+    throw SocketError(errno_text("send"));
+  }
+}
+
+bool Connection::read_all(std::uint8_t* data, std::size_t n,
+                          std::chrono::milliseconds timeout, bool eof_ok) {
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  std::size_t done = 0;
+  while (done < n) {
+    const ssize_t rc = ::recv(fd_, data + done, n - done, 0);
+    if (rc > 0) {
+      done += static_cast<std::size_t>(rc);
+      continue;
+    }
+    if (rc == 0) {
+      if (done == 0 && eof_ok) return false;
+      throw SocketError("peer closed mid-frame");
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      if (!poll_fd(fd_, POLLIN, deadline)) {
+        throw SocketError("recv timeout");
+      }
+      continue;
+    }
+    if (errno == EINTR) continue;
+    throw SocketError(errno_text("recv"));
+  }
+  return true;
+}
+
+void Connection::send_frame(const std::vector<std::uint8_t>& payload,
+                            std::chrono::milliseconds timeout) {
+  if (!valid()) throw SocketError("send on closed connection");
+  if (payload.size() > kMaxFrameBytes) throw SocketError("frame too large");
+  std::uint8_t header[4];
+  const auto n = static_cast<std::uint32_t>(payload.size());
+  for (int i = 0; i < 4; ++i) {
+    header[i] = static_cast<std::uint8_t>(n >> (8 * i));
+  }
+  // Header and payload as one buffer: a frame is one write sequence, so
+  // concurrent senders must hold the caller's write lock — see
+  // client.cpp / frontend.cpp.
+  std::vector<std::uint8_t> wire;
+  wire.reserve(4 + payload.size());
+  wire.insert(wire.end(), header, header + 4);
+  wire.insert(wire.end(), payload.begin(), payload.end());
+  write_all(wire.data(), wire.size(), timeout);
+}
+
+std::optional<std::vector<std::uint8_t>> Connection::recv_frame(
+    std::chrono::milliseconds timeout) {
+  if (!valid()) throw SocketError("recv on closed connection");
+  std::uint8_t header[4];
+  if (!read_all(header, 4, timeout, /*eof_ok=*/true)) return std::nullopt;
+  std::uint32_t n = 0;
+  for (int i = 0; i < 4; ++i) {
+    n |= static_cast<std::uint32_t>(header[i]) << (8 * i);
+  }
+  if (n > kMaxFrameBytes) {
+    throw SocketError("oversized frame: " + std::to_string(n) + " bytes");
+  }
+  std::vector<std::uint8_t> payload(n);
+  if (n != 0) read_all(payload.data(), n, timeout, /*eof_ok=*/false);
+  return payload;
+}
+
+// -------------------------------------------------------------- Listener
+
+Listener::Listener(const Endpoint& endpoint) : endpoint_(endpoint) {
+  const SockAddr addr = make_addr(endpoint_);
+  fd_ = ::socket(addr.family, SOCK_STREAM, 0);
+  if (fd_ < 0) throw SocketError(errno_text("socket"));
+  set_cloexec(fd_);
+  if (addr.family == AF_UNIX) {
+    // A socket file left by a SIGKILLed process would make bind fail
+    // forever; unlinking first makes restart-in-place work.
+    (void)::unlink(endpoint_.path.c_str());
+  } else {
+    const int one = 1;
+    (void)::setsockopt(fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  }
+  if (::bind(fd_, &addr.addr.base, addr.len) < 0) {
+    const std::string what =
+        "bind " + endpoint_.to_string() + ": " + std::strerror(errno);
+    ::close(fd_);
+    fd_ = -1;
+    throw SocketError(what);
+  }
+  if (::listen(fd_, 128) < 0) {
+    const std::string what = errno_text("listen");
+    ::close(fd_);
+    fd_ = -1;
+    throw SocketError(what);
+  }
+  set_nonblocking(fd_);
+  int pipe_fds[2];
+  if (::pipe(pipe_fds) < 0) {
+    ::close(fd_);
+    fd_ = -1;
+    throw SocketError(errno_text("pipe"));
+  }
+  wake_read_ = pipe_fds[0];
+  wake_write_ = pipe_fds[1];
+  set_cloexec(wake_read_);
+  set_cloexec(wake_write_);
+}
+
+Listener::~Listener() {
+  if (fd_ >= 0) ::close(fd_);
+  if (wake_read_ >= 0) ::close(wake_read_);
+  if (wake_write_ >= 0) ::close(wake_write_);
+  if (endpoint_.kind == Endpoint::Kind::kUnix) {
+    (void)::unlink(endpoint_.path.c_str());
+  }
+}
+
+void Listener::shutdown() {
+  const std::uint8_t byte = 1;
+  // Write end stays open; one byte is enough because accept() never
+  // drains the pipe — once woken it stays woken.
+  (void)!::write(wake_write_, &byte, 1);
+}
+
+std::optional<Connection> Listener::accept(std::chrono::milliseconds timeout) {
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  for (;;) {
+    struct pollfd pfds[2];
+    pfds[0].fd = fd_;
+    pfds[0].events = POLLIN;
+    pfds[1].fd = wake_read_;
+    pfds[1].events = POLLIN;
+    const auto now = std::chrono::steady_clock::now();
+    if (now >= deadline) return std::nullopt;
+    const auto left =
+        std::chrono::duration_cast<std::chrono::milliseconds>(deadline - now);
+    const int rc = ::poll(pfds, 2, static_cast<int>(left.count()) + 1);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      throw SocketError(errno_text("poll"));
+    }
+    if (rc == 0) return std::nullopt;
+    if ((pfds[1].revents & POLLIN) != 0) return std::nullopt;  // shutdown()
+    const int peer = ::accept(fd_, nullptr, nullptr);
+    if (peer < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR ||
+          errno == ECONNABORTED) {
+        continue;
+      }
+      throw SocketError(errno_text("accept"));
+    }
+    set_cloexec(peer);
+    set_nonblocking(peer);
+    if (endpoint_.kind == Endpoint::Kind::kTcp) {
+      const int one = 1;
+      (void)::setsockopt(peer, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+    }
+    return Connection(peer);
+  }
+}
+
+}  // namespace taglets::fleet

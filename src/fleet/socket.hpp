@@ -1,0 +1,118 @@
+// POSIX socket transport for the fleet protocol. Endpoints are strings:
+//
+//   unix:/path/to.sock       Unix-domain stream socket
+//   tcp:127.0.0.1:9100       loopback/LAN TCP stream socket
+//
+// Connection is an RAII fd with blocking frame I/O under poll()-based
+// deadlines: send_frame prefixes the 4-byte little-endian length,
+// recv_frame reads exactly one frame or reports a clean EOF. Partial
+// reads/writes are always resumed — a frame either transfers whole or
+// the connection is reported broken, never a torn message. All methods
+// throw SocketError on transport failure; a peer that vanishes
+// mid-frame (SIGKILL failover testing does exactly this) surfaces as
+// SocketError/EOF on the next I/O, not as corrupted data.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace taglets::fleet {
+
+class SocketError : public std::runtime_error {
+ public:
+  explicit SocketError(const std::string& what)
+      : std::runtime_error("fleet socket: " + what) {}
+};
+
+/// Parsed endpoint; see file comment for the accepted spellings.
+struct Endpoint {
+  enum class Kind { kUnix, kTcp };
+  Kind kind = Kind::kUnix;
+  std::string path;       // kUnix
+  std::string host;       // kTcp
+  std::uint16_t port = 0; // kTcp
+
+  /// Throws SocketError on an unrecognized spec.
+  static Endpoint parse(const std::string& spec);
+  std::string to_string() const;
+};
+
+/// One connected stream socket (client side of connect() or one
+/// accept()ed peer). Movable, not copyable; closes on destruction.
+class Connection {
+ public:
+  Connection() = default;
+  explicit Connection(int fd) : fd_(fd) {}
+  ~Connection();
+  Connection(Connection&& other) noexcept;
+  Connection& operator=(Connection&& other) noexcept;
+  Connection(const Connection&) = delete;
+  Connection& operator=(const Connection&) = delete;
+
+  /// Connect to `endpoint`, waiting at most `timeout` for the TCP/Unix
+  /// handshake. Throws SocketError on refusal or timeout.
+  static Connection connect(const Endpoint& endpoint,
+                            std::chrono::milliseconds timeout);
+
+  bool valid() const { return fd_ >= 0; }
+  void close();
+  /// shutdown(2) both directions: any thread blocked in recv_frame /
+  /// send_frame on this connection wakes with EOF/SocketError, while
+  /// the fd itself stays valid (safe to call from another thread,
+  /// unlike close()). Idempotent.
+  void shutdown_rw();
+
+  /// Write one length-prefixed frame; resumes partial writes. Throws
+  /// SocketError when the peer is gone or `timeout` elapses mid-write.
+  void send_frame(const std::vector<std::uint8_t>& payload,
+                  std::chrono::milliseconds timeout);
+
+  /// Read one frame. Returns std::nullopt on clean EOF at a frame
+  /// boundary (peer closed). Throws SocketError on timeout, a torn
+  /// frame (EOF mid-payload), or an oversized length prefix.
+  std::optional<std::vector<std::uint8_t>> recv_frame(
+      std::chrono::milliseconds timeout);
+
+ private:
+  void write_all(const std::uint8_t* data, std::size_t n,
+                 std::chrono::milliseconds timeout);
+  /// Reads exactly n bytes; returns false on EOF before the first byte
+  /// when eof_ok, throws otherwise.
+  bool read_all(std::uint8_t* data, std::size_t n,
+                std::chrono::milliseconds timeout, bool eof_ok);
+
+  int fd_ = -1;
+};
+
+/// Listening socket bound to an endpoint. For unix: endpoints the
+/// socket file is unlinked on bind (stale file from a killed process)
+/// and on destruction.
+class Listener {
+ public:
+  explicit Listener(const Endpoint& endpoint);
+  ~Listener();
+  Listener(const Listener&) = delete;
+  Listener& operator=(const Listener&) = delete;
+
+  /// Accept one peer, waiting at most `timeout`; std::nullopt on
+  /// timeout or after shutdown(). Throws SocketError on hard failure.
+  std::optional<Connection> accept(std::chrono::milliseconds timeout);
+
+  /// Unblock pending/future accepts (thread-safe, idempotent); accept
+  /// then returns std::nullopt immediately.
+  void shutdown();
+
+  const Endpoint& endpoint() const { return endpoint_; }
+
+ private:
+  Endpoint endpoint_;
+  int fd_ = -1;
+  int wake_read_ = -1;   // self-pipe: shutdown() wakes poll()
+  int wake_write_ = -1;
+};
+
+}  // namespace taglets::fleet

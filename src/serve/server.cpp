@@ -39,6 +39,7 @@ Server::Server(const ensemble::ServableModel& model, ServerConfig config)
   replicas_.reserve(config_.workers);
   for (std::size_t w = 0; w < config_.workers; ++w) replicas_.push_back(model);
   input_dim_ = replicas_.front().model().input_dim();
+  stats_.set_workers(config_.workers);
   queue_depth_gauge_ = &obs::MetricsRegistry::global().gauge("serve.queue_depth");
 }
 
@@ -57,18 +58,26 @@ void Server::start() {
   running_.store(true, std::memory_order_release);
 }
 
-void Server::stop() {
+std::vector<Request> Server::close_and_drain() {
   std::lock_guard<std::mutex> lifecycle(lifecycle_mu_);
-  if (stopped_.exchange(true, std::memory_order_acq_rel)) return;
+  if (stopped_.exchange(true, std::memory_order_acq_rel)) return {};
   running_.store(false, std::memory_order_release);
   // Closing the queue lets each worker finish the batch it already
-  // claimed (in-flight work completes) and then exit; requests still
-  // queued are left for the deterministic fail pass below.
+  // claimed (in-flight work completes) and then exit. Because close()
+  // and try_push() serialize on the queue mutex, a racing submit()
+  // either lands its request before the close — and is part of the
+  // drained set below — or observes kClosed and resolves its own
+  // future with kShutdown. Either way no future is left dangling.
   queue_.close();
   for (auto& worker : workers_) worker.join();
   workers_.clear();
+  return queue_.drain();
+}
+
+void Server::stop() {
+  std::vector<Request> pending = close_and_drain();
   const Clock::time_point now = Clock::now();
-  for (Request& request : queue_.drain()) {
+  for (Request& request : pending) {
     Response response;
     response.status = request.expired(now) ? Status::kDeadlineExceeded
                                            : Status::kShutdown;
@@ -76,6 +85,25 @@ void Server::stop() {
     response.total_ms = response.queue_ms;
     resolve(request, std::move(response));
   }
+}
+
+void Server::adopt(Request request) {
+  TAGLETS_CHECK(request.input.is_vector() && request.input.size() == input_dim_,
+                "Server::adopt: input must be a rank-1 tensor of length " +
+                    std::to_string(input_dim_));
+  const RequestQueue::Push outcome = queue_.try_push(request);
+  if (outcome == RequestQueue::Push::kOk) {
+    const std::size_t depth = queue_.size();
+    stats_.record_submitted(depth);
+    queue_depth_gauge_->set(static_cast<double>(depth));
+    return;
+  }
+  Response response;
+  response.status = outcome == RequestQueue::Push::kFull ? Status::kRejected
+                                                         : Status::kShutdown;
+  response.request_id = request.id;
+  stats_.record_rejected(response.status);
+  request.promise.set_value(std::move(response));
 }
 
 std::future<Response> Server::submit(Tensor input) {
@@ -153,15 +181,25 @@ void Server::run_batch(ensemble::ServableModel& model,
   }
   if (live.empty()) return;
 
-  stats_.record_batch(live.size());
-  Tensor inputs = Tensor::zeros(live.size(), input_dim_);
-  for (std::size_t i = 0; i < live.size(); ++i) {
-    auto row = inputs.row(i);
-    const auto data = live[i].input.data();
-    std::copy(data.begin(), data.end(), row.begin());
-  }
-
+  // Exactly-once bookkeeping: a throw anywhere below (the forward
+  // pass, but also response assembly for request i after 0..i-1 were
+  // already resolved) must fail only the *unresolved* remainder.
+  // Without this flag a mid-loop throw would re-resolve the early
+  // requests in the catch block — std::future_error out of a catch
+  // block, taking the worker thread (and the process) with it.
+  std::vector<bool> resolved(live.size(), false);
+  auto resolve_at = [&](std::size_t i, Response response) {
+    resolve(live[i], std::move(response));
+    resolved[i] = true;
+  };
   try {
+    stats_.record_batch(live.size());
+    Tensor inputs = Tensor::zeros(live.size(), input_dim_);
+    for (std::size_t i = 0; i < live.size(); ++i) {
+      auto row = inputs.row(i);
+      const auto data = live[i].input.data();
+      std::copy(data.begin(), data.end(), row.begin());
+    }
     Tensor proba;
     {
       TAGLETS_TRACE_SCOPE("serve.forward",
@@ -179,18 +217,19 @@ void Server::run_batch(ensemble::ServableModel& model,
       response.queue_ms = ms_between(live[i].enqueued_at, dispatch);
       response.total_ms = ms_between(live[i].enqueued_at, done);
       response.batch_size = live.size();
-      resolve(live[i], std::move(response));
+      resolve_at(i, std::move(response));
     }
   } catch (const std::exception& e) {
     const Clock::time_point done = Clock::now();
-    for (Request& request : live) {
+    for (std::size_t i = 0; i < live.size(); ++i) {
+      if (resolved[i]) continue;
       Response response;
       response.status = Status::kError;
       response.error = e.what();
-      response.queue_ms = ms_between(request.enqueued_at, dispatch);
-      response.total_ms = ms_between(request.enqueued_at, done);
+      response.queue_ms = ms_between(live[i].enqueued_at, dispatch);
+      response.total_ms = ms_between(live[i].enqueued_at, done);
       response.batch_size = live.size();
-      resolve(request, std::move(response));
+      resolve_at(i, std::move(response));
     }
   }
 }

@@ -65,6 +65,21 @@ class Server {
   /// Drain and shut down (see lifecycle above). Idempotent, blocks
   /// until every admitted request has resolved.
   void stop();
+  /// Stop pulling new work without deciding the pending requests'
+  /// fate: closes the queue, waits for in-flight batches to finish,
+  /// and returns every request still queued with its promise
+  /// *unresolved* — the caller owns them now. This is the hot-swap
+  /// hook: fleet shards hand the pending set to the replacement
+  /// server via adopt(), so a model reload fails zero requests.
+  /// stop() is exactly close_and_drain() + fail-the-pending-set.
+  /// Idempotent: later calls return empty.
+  std::vector<Request> close_and_drain();
+  /// Enqueue an already-built request, preserving its id and promise
+  /// (the reload handoff path). Like submit(), never blocks: on a
+  /// full or closed queue the request resolves immediately with
+  /// kRejected/kShutdown, so the caller never holds an unresolved
+  /// promise afterwards. Throws on a wrong-shape input.
+  void adopt(Request request);
   bool running() const { return running_.load(std::memory_order_acquire); }
 
   /// Enqueue one example (rank-1, length input_dim()) under the

@@ -38,6 +38,10 @@ ServerStats::ServerStats() {
                                            obs::default_latency_buckets_ms());
 }
 
+void ServerStats::set_workers(std::size_t workers) {
+  workers_.store(workers, std::memory_order_relaxed);
+}
+
 void ServerStats::record_submitted(std::size_t queue_depth) {
   submitted_.fetch_add(1, std::memory_order_relaxed);
   reg_submitted_->add();
@@ -93,6 +97,7 @@ void ServerStats::record_response(const Response& response) {
 
 ServerStats::Snapshot ServerStats::snapshot() const {
   Snapshot s;
+  s.workers = workers_.load(std::memory_order_relaxed);
   s.submitted = submitted_.load(std::memory_order_relaxed);
   s.completed = completed_.load(std::memory_order_relaxed);
   s.rejected_full = rejected_full_.load(std::memory_order_relaxed);
@@ -134,6 +139,7 @@ std::string ServerStats::report() const {
   os.setf(std::ios::fixed);
   os.precision(3);
   os << "serve stats:\n"
+     << "  workers: " << s.workers << "\n"
      << "  requests: submitted=" << s.submitted << " ok=" << s.completed
      << " rejected_full=" << s.rejected_full
      << " rejected_shutdown=" << s.rejected_shutdown
@@ -164,15 +170,20 @@ std::string ServerStats::json() const {
   std::ostringstream os;
   os.setf(std::ios::fixed);
   os.precision(4);
-  os << "{\"submitted\":" << s.submitted << ",\"ok\":" << s.completed
+  os << "{\"workers\":" << s.workers << ",\"submitted\":" << s.submitted
+     << ",\"ok\":" << s.completed
      << ",\"rejected_full\":" << s.rejected_full
      << ",\"rejected_shutdown\":" << s.rejected_shutdown
+     << ",\"rejected_total\":" << s.rejected_total()
      << ",\"deadline_missed\":" << s.deadline_missed
      << ",\"failed_shutdown\":" << s.failed_shutdown
-     << ",\"failed_error\":" << s.failed_error << ",\"batches\":" << s.batches
+     << ",\"failed_error\":" << s.failed_error
+     << ",\"failed_total\":" << s.failed_total()
+     << ",\"batches\":" << s.batches
      << ",\"mean_batch_size\":" << s.mean_batch_size
      << ",\"peak_queue_depth\":" << s.peak_queue_depth
      << ",\"queue_p50_ms\":" << s.queue_p50_ms
+     << ",\"queue_p95_ms\":" << s.queue_p95_ms
      << ",\"queue_p99_ms\":" << s.queue_p99_ms
      << ",\"latency_mean_ms\":" << s.latency_mean_ms
      << ",\"latency_p50_ms\":" << s.latency_p50_ms

@@ -28,6 +28,10 @@ namespace taglets::serve {
 class ServerStats {
  public:
   ServerStats();
+  /// Number of worker replicas serving this stats surface; set once by
+  /// the owning Server so exports carry the capacity context (fleet
+  /// aggregation joins on it instead of re-deriving from config).
+  void set_workers(std::size_t workers);
   /// One request admitted; `queue_depth` is the submission-queue depth
   /// observed right after the push.
   void record_submitted(std::size_t queue_depth);
@@ -41,6 +45,7 @@ class ServerStats {
 
   /// Point-in-time copy of every counter and distribution.
   struct Snapshot {
+    std::size_t workers = 0;             // replica/worker count
     std::uint64_t submitted = 0;         // admitted into the queue
     std::uint64_t completed = 0;         // resolved kOk
     std::uint64_t rejected_full = 0;     // load shed: queue full
@@ -62,6 +67,16 @@ class ServerStats {
     std::uint64_t resolved() const {
       return completed + deadline_missed + failed_shutdown + failed_error;
     }
+    /// Turned away at admission (load shed + post-stop), the "reject"
+    /// side of the reject-vs-deadline breakdown fleet aggregation uses.
+    std::uint64_t rejected_total() const {
+      return rejected_full + rejected_shutdown;
+    }
+    /// Admitted but not served (deadline misses + shutdown fails +
+    /// model errors).
+    std::uint64_t failed_total() const {
+      return deadline_missed + failed_shutdown + failed_error;
+    }
   };
   Snapshot snapshot() const;
 
@@ -71,6 +86,7 @@ class ServerStats {
   std::string json() const;
 
  private:
+  std::atomic<std::size_t> workers_{0};
   std::atomic<std::uint64_t> submitted_{0};
   std::atomic<std::uint64_t> completed_{0};
   std::atomic<std::uint64_t> rejected_full_{0};

@@ -1,0 +1,689 @@
+// Fleet subsystem tests: protocol framing, transport, health machine,
+// shard serving, hot reload, and the multi-process failover drill.
+//
+// This binary has a custom main: invoked as
+//   fleet_test --fleet-child-shard <endpoint> <model-path>
+// it becomes a shard process instead of a test runner. The SIGKILL
+// failover tests re-exec this same binary to get real processes to
+// kill — a thread can't be SIGKILLed, only a process can.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <sys/stat.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "fleet/client.hpp"
+#include "fleet/frontend.hpp"
+#include "fleet/health.hpp"
+#include "fleet/protocol.hpp"
+#include "fleet/ring.hpp"
+#include "fleet/shard.hpp"
+#include "fleet/socket.hpp"
+#include "nn/sequential.hpp"
+#include "util/rng.hpp"
+
+namespace {
+std::string g_self_exe;           // argv[0], for re-exec
+volatile std::sig_atomic_t g_child_term = 0;
+}  // namespace
+
+namespace taglets::fleet {
+namespace {
+
+using tensor::Tensor;
+
+// ------------------------------------------------------------ fixtures
+
+/// dim == classes; logits are the input itself, so the expected label
+/// is the argmax of the submitted features.
+ensemble::ServableModel make_identity_servable(std::size_t dim) {
+  nn::Sequential encoder;
+  encoder.add(std::make_unique<nn::Linear>(Tensor::identity(dim),
+                                           Tensor::zeros(dim)));
+  std::vector<std::string> names;
+  for (std::size_t c = 0; c < dim; ++c) {
+    names.push_back("class" + std::to_string(c));
+  }
+  return ensemble::ServableModel(
+      nn::Classifier(encoder, nn::Linear(Tensor::identity(dim),
+                                         Tensor::zeros(dim))),
+      std::move(names));
+}
+
+constexpr std::size_t kDim = 8;
+
+std::string unique_dir() {
+  static std::atomic<int> counter{0};
+  const std::string dir = "/tmp/taglets_fleet_" + std::to_string(getpid()) +
+                          "_" + std::to_string(counter.fetch_add(1));
+  (void)mkdir(dir.c_str(), 0755);
+  return dir;
+}
+
+std::vector<float> random_features(util::Rng& rng, std::size_t dim = kDim) {
+  std::vector<float> f(dim);
+  for (float& v : f) v = static_cast<float>(rng.normal());
+  return f;
+}
+
+std::size_t argmax_of(const std::vector<float>& v) {
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < v.size(); ++i) {
+    if (v[i] > v[best]) best = i;
+  }
+  return best;
+}
+
+ShardConfig shard_config(const std::string& endpoint) {
+  ShardConfig config;
+  config.endpoint = endpoint;
+  config.server.workers = 2;
+  config.server.queue_capacity = 1024;
+  config.server.batching.max_batch_size = 8;
+  config.server.batching.max_delay_ms = 0.2;
+  return config;
+}
+
+/// Fast health policy so Suspect/Dead fire within test patience.
+HealthPolicy fast_health() {
+  HealthPolicy policy;
+  policy.suspect_after_ms = 200.0;
+  policy.dead_after_ms = 600.0;
+  policy.failure_threshold = 3;
+  return policy;
+}
+
+// ------------------------------------------------------------- protocol
+
+TEST(FleetProtocol, PredictRoundTrip) {
+  PredictRequest req;
+  req.id = 42;
+  req.routing_key = 0xdeadbeef;
+  req.deadline_ms = 12.5;
+  req.features = {1.0f, -2.5f, 0.0f};
+  const auto wire = encode(req);
+  EXPECT_EQ(peek_type(wire), MsgType::kPredictRequest);
+  const PredictRequest back = decode_predict_request(wire);
+  EXPECT_EQ(back.id, 42u);
+  EXPECT_EQ(back.routing_key, 0xdeadbeefu);
+  EXPECT_DOUBLE_EQ(back.deadline_ms, 12.5);
+  EXPECT_EQ(back.features, req.features);
+
+  PredictResponse resp;
+  resp.id = 42;
+  resp.status = Status::kOk;
+  resp.label = 3;
+  resp.confidence = 0.75f;
+  resp.class_name = "cat";
+  resp.shard_ms = 1.25;
+  const PredictResponse rback = decode_predict_response(encode(resp));
+  EXPECT_EQ(rback.id, 42u);
+  EXPECT_EQ(rback.status, Status::kOk);
+  EXPECT_EQ(rback.label, 3u);
+  EXPECT_FLOAT_EQ(rback.confidence, 0.75f);
+  EXPECT_EQ(rback.class_name, "cat");
+  EXPECT_DOUBLE_EQ(rback.shard_ms, 1.25);
+}
+
+TEST(FleetProtocol, ControlRoundTrips) {
+  Pong pong;
+  pong.seq = 7;
+  pong.model_version = 3;
+  pong.queue_depth = 10;
+  pong.queue_capacity = 256;
+  pong.requests_ok = 1000;
+  pong.requests_rejected = 5;
+  pong.requests_deadline_missed = 2;
+  pong.draining = 1;
+  const Pong pback = decode_pong(encode(pong));
+  EXPECT_EQ(pback.seq, 7u);
+  EXPECT_EQ(pback.model_version, 3u);
+  EXPECT_EQ(pback.queue_depth, 10u);
+  EXPECT_EQ(pback.queue_capacity, 256u);
+  EXPECT_EQ(pback.requests_ok, 1000u);
+  EXPECT_EQ(pback.draining, 1);
+
+  ReloadRequest reload;
+  reload.path = "/tmp/model.bin";
+  EXPECT_EQ(decode_reload_request(encode(reload)).path, "/tmp/model.bin");
+  ReloadResponse rr;
+  rr.ok = 1;
+  rr.model_version = 4;
+  rr.message = "fine";
+  const ReloadResponse rrb = decode_reload_response(encode(rr));
+  EXPECT_EQ(rrb.ok, 1);
+  EXPECT_EQ(rrb.model_version, 4u);
+  EXPECT_EQ(rrb.message, "fine");
+  EXPECT_EQ(decode_ping(encode(Ping{9})).seq, 9u);
+  StatsResponse stats;
+  stats.json = "{\"a\":1}";
+  EXPECT_EQ(decode_stats_response(encode(stats)).json, "{\"a\":1}");
+}
+
+TEST(FleetProtocol, TruncatedAndTrailingFramesThrow) {
+  PredictRequest req;
+  req.features = {1.0f, 2.0f};
+  auto wire = encode(req);
+  auto truncated = wire;
+  truncated.resize(truncated.size() - 3);
+  EXPECT_THROW(decode_predict_request(truncated), ProtocolError);
+  auto trailing = wire;
+  trailing.push_back(0);
+  EXPECT_THROW(decode_predict_request(trailing), ProtocolError);
+  EXPECT_THROW(decode_ping(wire), ProtocolError);  // wrong type byte
+  EXPECT_THROW(peek_type(std::vector<std::uint8_t>{}), ProtocolError);
+  // A length prefix claiming more floats than the frame holds must not
+  // read out of bounds.
+  FrameWriter w;
+  w.u8(static_cast<std::uint8_t>(MsgType::kPredictRequest));
+  w.u64(1);
+  w.u64(0);
+  w.f64(0.0);
+  w.u32(1000);  // features count, but no feature bytes follow
+  EXPECT_THROW(decode_predict_request(w.take()), ProtocolError);
+}
+
+// ------------------------------------------------------------ transport
+
+TEST(FleetSocket, EndpointParse) {
+  const Endpoint u = Endpoint::parse("unix:/tmp/x.sock");
+  EXPECT_EQ(u.kind, Endpoint::Kind::kUnix);
+  EXPECT_EQ(u.path, "/tmp/x.sock");
+  const Endpoint t = Endpoint::parse("tcp:127.0.0.1:9100");
+  EXPECT_EQ(t.kind, Endpoint::Kind::kTcp);
+  EXPECT_EQ(t.host, "127.0.0.1");
+  EXPECT_EQ(t.port, 9100);
+  EXPECT_THROW(Endpoint::parse("http://nope"), SocketError);
+  EXPECT_THROW(Endpoint::parse("tcp:host"), SocketError);
+}
+
+TEST(FleetSocket, FrameRoundTripAndEof) {
+  const std::string dir = unique_dir();
+  const Endpoint ep = Endpoint::parse("unix:" + dir + "/echo.sock");
+  Listener listener(ep);
+  std::thread server([&listener] {
+    auto peer = listener.accept(std::chrono::seconds(5));
+    ASSERT_TRUE(peer.has_value());
+    for (;;) {
+      auto frame = peer->recv_frame(std::chrono::seconds(5));
+      if (!frame) break;  // clean EOF
+      peer->send_frame(*frame, std::chrono::seconds(5));
+    }
+  });
+  {
+    Connection conn = Connection::connect(ep, std::chrono::seconds(2));
+    // A large frame exercises partial read/write resumption.
+    std::vector<std::uint8_t> big(512 * 1024);
+    for (std::size_t i = 0; i < big.size(); ++i) {
+      big[i] = static_cast<std::uint8_t>(i * 31);
+    }
+    conn.send_frame(big, std::chrono::seconds(5));
+    auto back = conn.recv_frame(std::chrono::seconds(5));
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(*back, big);
+  }  // close -> server sees clean EOF
+  server.join();
+}
+
+TEST(FleetSocket, ShutdownUnblocksReader) {
+  const std::string dir = unique_dir();
+  const Endpoint ep = Endpoint::parse("unix:" + dir + "/wake.sock");
+  Listener listener(ep);
+  Connection client = Connection::connect(ep, std::chrono::seconds(2));
+  auto peer = listener.accept(std::chrono::seconds(2));
+  ASSERT_TRUE(peer.has_value());
+  std::thread reader([&client] {
+    // Blocked with a long budget; shutdown_rw must wake it with EOF.
+    EXPECT_FALSE(client.recv_frame(std::chrono::seconds(60)).has_value());
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  client.shutdown_rw();
+  reader.join();
+  listener.shutdown();
+  EXPECT_FALSE(listener.accept(std::chrono::seconds(1)).has_value());
+}
+
+// --------------------------------------------------------------- health
+
+TEST(FleetHealth, LifecycleAndTerminalDead) {
+  using Clock = HealthTracker::Clock;
+  const auto t0 = Clock::now();
+  const auto at = [t0](double ms) {
+    return t0 + std::chrono::microseconds(static_cast<long>(ms * 1000));
+  };
+  HealthTracker tracker(fast_health());
+  EXPECT_EQ(tracker.state(), HealthState::kUnknown);
+  EXPECT_FALSE(tracker.routable());
+  // Unknown never times out — a node that never answered is not a
+  // member yet, not a corpse.
+  tracker.tick(at(10'000));
+  EXPECT_EQ(tracker.state(), HealthState::kUnknown);
+
+  tracker.record_success(at(10'000));
+  EXPECT_EQ(tracker.state(), HealthState::kAlive);
+  tracker.tick(at(10'100));
+  EXPECT_EQ(tracker.state(), HealthState::kAlive);
+  tracker.tick(at(10'300));  // 300ms silent > 200ms
+  EXPECT_EQ(tracker.state(), HealthState::kSuspect);
+  EXPECT_TRUE(tracker.routable());
+  tracker.record_success(at(10'350));
+  EXPECT_EQ(tracker.state(), HealthState::kAlive);
+  tracker.tick(at(11'000));  // 650ms silent > 600ms: one late tick
+  EXPECT_EQ(tracker.state(), HealthState::kDead);
+  EXPECT_FALSE(tracker.routable());
+  // Terminal: neither success nor failure revives a Dead tracker.
+  tracker.record_success(at(11'100));
+  tracker.record_failure(at(11'100));
+  EXPECT_EQ(tracker.state(), HealthState::kDead);
+  for (const auto& t : tracker.transitions()) {
+    EXPECT_TRUE(transition_valid(t.from, t.to));
+  }
+}
+
+TEST(FleetHealth, ConsecutiveFailuresSuspectAliveNode) {
+  using Clock = HealthTracker::Clock;
+  const auto now = Clock::now();
+  HealthTracker tracker(fast_health());
+  tracker.record_failure(now);  // failures before first success: Unknown
+  EXPECT_EQ(tracker.state(), HealthState::kUnknown);
+  tracker.record_success(now);
+  tracker.record_failure(now);
+  tracker.record_failure(now);
+  EXPECT_EQ(tracker.state(), HealthState::kAlive);  // below threshold
+  tracker.record_failure(now);
+  EXPECT_EQ(tracker.state(), HealthState::kSuspect);
+  tracker.record_success(now);
+  EXPECT_EQ(tracker.state(), HealthState::kAlive);
+  EXPECT_EQ(tracker.consecutive_failures(), 0u);
+}
+
+// ---------------------------------------------------------------- shard
+
+TEST(FleetShard, ServesPredictsOverSocket) {
+  const std::string dir = unique_dir();
+  ShardServer shard(make_identity_servable(kDim),
+                    shard_config("unix:" + dir + "/shard.sock"));
+  shard.start();
+  FleetClient client({"unix:" + dir + "/shard.sock"});
+
+  util::Rng rng(5);
+  std::vector<std::vector<float>> features;
+  std::vector<std::future<PredictResponse>> pending;
+  for (int i = 0; i < 64; ++i) {
+    features.push_back(random_features(rng));
+    pending.push_back(client.submit(features.back()));
+  }
+  for (std::size_t i = 0; i < pending.size(); ++i) {
+    const PredictResponse resp = pending[i].get();
+    ASSERT_EQ(resp.status, Status::kOk) << resp.error;
+    EXPECT_EQ(resp.label, argmax_of(features[i]));
+    EXPECT_EQ(resp.class_name, "class" + std::to_string(resp.label));
+    EXPECT_GE(resp.shard_ms, 0.0);
+  }
+
+  const Pong pong = client.ping();
+  EXPECT_EQ(pong.model_version, 1u);
+  EXPECT_EQ(pong.queue_capacity, 1024u);
+  EXPECT_GE(pong.requests_ok, 64u);
+  EXPECT_EQ(pong.draining, 0);
+
+  const std::string stats = client.stats();
+  EXPECT_NE(stats.find("\"workers\":2"), std::string::npos);
+  shard.stop();
+}
+
+TEST(FleetShard, WrongDimensionAnswersErrorNotDisconnect) {
+  const std::string dir = unique_dir();
+  ShardServer shard(make_identity_servable(kDim),
+                    shard_config("unix:" + dir + "/shard.sock"));
+  shard.start();
+  FleetClient client({"unix:" + dir + "/shard.sock"});
+  const PredictResponse bad = client.predict({1.0f, 2.0f});  // dim 2 != 8
+  EXPECT_EQ(bad.status, Status::kError);
+  EXPECT_NE(bad.error.find("dim"), std::string::npos);
+  // The connection survives a bad request.
+  util::Rng rng(6);
+  const auto features = random_features(rng);
+  const PredictResponse good = client.predict(features);
+  EXPECT_EQ(good.status, Status::kOk);
+  EXPECT_EQ(good.label, argmax_of(features));
+  shard.stop();
+}
+
+TEST(FleetShard, ReloadSwapsVersionAndBadPathKeepsServing) {
+  const std::string dir = unique_dir();
+  const std::string model_path = dir + "/v2.bin";
+  make_identity_servable(kDim).save(model_path);
+  ShardServer shard(make_identity_servable(kDim),
+                    shard_config("unix:" + dir + "/shard.sock"));
+  shard.start();
+  FleetClient client({"unix:" + dir + "/shard.sock"});
+
+  const ReloadResponse ok = client.reload(model_path);
+  EXPECT_EQ(ok.ok, 1) << ok.message;
+  EXPECT_EQ(ok.model_version, 2u);
+  EXPECT_EQ(shard.model_version(), 2u);
+
+  const ReloadResponse bad = client.reload(dir + "/missing.bin");
+  EXPECT_EQ(bad.ok, 0);
+  EXPECT_EQ(bad.model_version, 2u);  // old model stayed active
+  EXPECT_FALSE(bad.message.empty());
+
+  // Dimension mismatch is rejected by validation, not by crashing.
+  make_identity_servable(kDim + 1).save(dir + "/wrongdim.bin");
+  const ReloadResponse wrong = client.reload(dir + "/wrongdim.bin");
+  EXPECT_EQ(wrong.ok, 0);
+  EXPECT_NE(wrong.message.find("dim"), std::string::npos);
+
+  util::Rng rng(7);
+  const auto features = random_features(rng);
+  const PredictResponse resp = client.predict(features);
+  EXPECT_EQ(resp.status, Status::kOk);
+  EXPECT_EQ(resp.label, argmax_of(features));
+  shard.stop();
+}
+
+TEST(FleetShard, Int8DisagreementGateIsLabelFreeAndDeterministic) {
+  ensemble::ServableModel model = make_identity_servable(kDim);
+  const double d1 = int8_disagreement_fraction(model, 128);
+  const double d2 = int8_disagreement_fraction(model, 128);
+  EXPECT_DOUBLE_EQ(d1, d2);
+  // Identity weights quantize exactly: argmax cannot flip.
+  EXPECT_DOUBLE_EQ(d1, 0.0);
+  EXPECT_EQ(model.precision(), ensemble::Precision::kInt8);
+}
+
+TEST(FleetShard, HotReloadUnderLoadLosesNothing) {
+  const std::string dir = unique_dir();
+  const std::string model_path = dir + "/next.bin";
+  make_identity_servable(kDim).save(model_path);
+  ShardServer shard(make_identity_servable(kDim),
+                    shard_config("unix:" + dir + "/shard.sock"));
+  shard.start();
+  FleetClient client({"unix:" + dir + "/shard.sock"});
+
+  // Open-loop-ish producer pipelining predicts while reloads flip the
+  // model underneath. The acceptance bar: zero swap-attributable
+  // failures — every response is kOk, every future resolves.
+  std::atomic<bool> stop_producer{false};
+  std::vector<PredictResponse> responses;
+  std::thread producer([&] {
+    util::Rng rng(8);
+    std::vector<std::future<PredictResponse>> pending;
+    while (!stop_producer.load()) {
+      pending.push_back(client.submit(random_features(rng)));
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+    for (auto& f : pending) responses.push_back(f.get());
+  });
+
+  std::size_t swaps = 0;
+  for (int i = 0; i < 5; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(40));
+    const ReloadOutcome out = shard.reload(model_path);
+    ASSERT_TRUE(out.ok) << out.message;
+    ++swaps;
+  }
+  stop_producer.store(true);
+  producer.join();
+
+  EXPECT_EQ(shard.model_version(), 1u + swaps);
+  ASSERT_GT(responses.size(), 100u);
+  for (const PredictResponse& resp : responses) {
+    EXPECT_EQ(resp.status, Status::kOk)
+        << status_name(resp.status) << ": " << resp.error;
+  }
+  shard.stop();
+}
+
+// ------------------------------------------------------------- frontend
+
+FrontendConfig frontend_config(const std::string& dir,
+                               const std::vector<std::string>& shard_eps) {
+  FrontendConfig config;
+  std::string ep = "unix:";  // += form: GCC 12 -Wrestrict FP (PR105329)
+  ep += dir;
+  ep += "/front.sock";
+  config.endpoint = std::move(ep);
+  for (std::size_t g = 0; g < shard_eps.size(); ++g) {
+    std::string name = "g";  // += form: GCC 12 -Wrestrict FP (PR105329)
+    name += std::to_string(g);
+    config.groups.push_back({std::move(name), {shard_eps[g]}});
+  }
+  config.health = fast_health();
+  config.heartbeat_interval_ms = 20.0;
+  return config;
+}
+
+TEST(FleetFrontend, RoutesAcrossShardsAndAggregates) {
+  const std::string dir = unique_dir();
+  std::vector<std::unique_ptr<ShardServer>> shards;
+  std::vector<std::string> eps;
+  for (int s = 0; s < 3; ++s) {
+    eps.push_back("unix:" + dir + "/s" + std::to_string(s) + ".sock");
+    shards.push_back(std::make_unique<ShardServer>(
+        make_identity_servable(kDim), shard_config(eps.back())));
+    shards.back()->start();
+  }
+  Frontend frontend(frontend_config(dir, eps));
+  frontend.start();
+  ASSERT_TRUE(frontend.wait_until_ready(3, std::chrono::seconds(5)));
+  for (const auto& ep : eps) {
+    EXPECT_EQ(frontend.replica_state(ep), HealthState::kAlive);
+  }
+
+  FleetClient client({"unix:" + dir + "/front.sock"});
+  util::Rng rng(9);
+  std::vector<std::vector<float>> features;
+  std::vector<std::future<PredictResponse>> pending;
+  for (std::uint64_t key = 0; key < 300; ++key) {
+    features.push_back(random_features(rng));
+    pending.push_back(client.submit(features.back(), key));
+  }
+  for (std::size_t i = 0; i < pending.size(); ++i) {
+    const PredictResponse resp = pending[i].get();
+    ASSERT_EQ(resp.status, Status::kOk) << resp.error;
+    EXPECT_EQ(resp.label, argmax_of(features[i]));
+  }
+  // Consistent hashing spread the keys: every shard served some.
+  for (const auto& shard : shards) {
+    EXPECT_GT(shard->stats_snapshot().completed, 0u);
+  }
+
+  const std::string stats = client.stats();
+  EXPECT_NE(stats.find("\"state\":\"alive\""), std::string::npos);
+  EXPECT_NE(stats.find("\"requests_total\":"), std::string::npos);
+  const Pong pong = client.ping();
+  EXPECT_EQ(pong.model_version, 1u);
+
+  // Broadcast reload bumps every shard.
+  const std::string model_path = dir + "/v2.bin";
+  make_identity_servable(kDim).save(model_path);
+  const ReloadResponse reload = client.reload(model_path);
+  EXPECT_EQ(reload.ok, 1) << reload.message;
+  EXPECT_EQ(reload.model_version, 2u);
+  for (const auto& shard : shards) EXPECT_EQ(shard->model_version(), 2u);
+
+  frontend.stop();
+  for (auto& shard : shards) shard->stop();
+}
+
+// ------------------------------------------- multi-process failover E2E
+
+pid_t spawn_shard_process(const std::string& endpoint,
+                          const std::string& model_path) {
+  const pid_t pid = fork();
+  if (pid == 0) {
+    execl(g_self_exe.c_str(), g_self_exe.c_str(), "--fleet-child-shard",
+          endpoint.c_str(), model_path.c_str(), static_cast<char*>(nullptr));
+    _exit(127);  // exec failed
+  }
+  return pid;
+}
+
+void wait_shard_reachable(const std::string& endpoint) {
+  const Endpoint ep = Endpoint::parse(endpoint);
+  for (int attempt = 0; attempt < 200; ++attempt) {
+    try {
+      const Connection probe =
+          Connection::connect(ep, std::chrono::milliseconds(250));
+      (void)probe;
+      return;
+    } catch (const SocketError&) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(25));
+    }
+  }
+  FAIL() << "shard at " << endpoint << " never became reachable";
+}
+
+void reap(pid_t pid, int sig) {
+  kill(pid, sig);
+  int status = 0;
+  waitpid(pid, &status, 0);
+}
+
+TEST(FleetFailover, SigkilledShardCostsNoRequests) {
+  const std::string dir = unique_dir();
+  const std::string model_path = dir + "/model.bin";
+  make_identity_servable(kDim).save(model_path);
+
+  std::vector<std::string> eps;
+  std::vector<pid_t> pids;
+  for (int s = 0; s < 3; ++s) {
+    eps.push_back("unix:" + dir + "/s" + std::to_string(s) + ".sock");
+    pids.push_back(spawn_shard_process(eps.back(), model_path));
+    ASSERT_GT(pids.back(), 0);
+  }
+  for (const auto& ep : eps) wait_shard_reachable(ep);
+
+  Frontend frontend(frontend_config(dir, eps));
+  frontend.start();
+  ASSERT_TRUE(frontend.wait_until_ready(3, std::chrono::seconds(5)));
+
+  // Open-loop load from three client threads while shard 0 dies by
+  // SIGKILL mid-traffic. Acceptance: every future resolves kOk — the
+  // frontend absorbs the kill with failover, clients never see it.
+  constexpr int kClients = 3;
+  constexpr int kPerClient = 250;
+  std::atomic<std::size_t> ok{0};
+  std::vector<std::string> failures;
+  std::mutex failures_mu;
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      FleetClient client({"unix:" + dir + "/front.sock"});
+      util::Rng rng(100 + c);
+      std::vector<std::future<PredictResponse>> pending;
+      for (int i = 0; i < kPerClient; ++i) {
+        pending.push_back(client.submit(
+            random_features(rng),
+            static_cast<std::uint64_t>(c * kPerClient + i)));
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+      for (auto& f : pending) {
+        const PredictResponse resp = f.get();
+        if (resp.status == Status::kOk) {
+          ok.fetch_add(1);
+        } else {
+          std::lock_guard<std::mutex> lock(failures_mu);
+          failures.push_back(std::string(status_name(resp.status)) + ": " +
+                             resp.error);
+        }
+      }
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(80));
+  kill(pids[0], SIGKILL);  // mid-traffic
+  int status = 0;
+  waitpid(pids[0], &status, 0);
+  for (auto& t : clients) t.join();
+
+  EXPECT_EQ(ok.load(), static_cast<std::size_t>(kClients * kPerClient))
+      << failures.size() << " failures, first: "
+      << (failures.empty() ? "-" : failures.front());
+
+  // The dead replica is detected and its single-replica group leaves
+  // the ring.
+  const auto deadline =
+      HealthTracker::Clock::now() + std::chrono::seconds(5);
+  while (frontend.replica_state(eps[0]) != HealthState::kDead &&
+         HealthTracker::Clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  EXPECT_EQ(frontend.replica_state(eps[0]), HealthState::kDead);
+  while (frontend.ring_groups().size() != 2 &&
+         HealthTracker::Clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  const auto groups = frontend.ring_groups();
+  EXPECT_EQ(groups.size(), 2u);
+  for (const auto& g : groups) EXPECT_NE(g, "g0");
+
+  // Survivors serve 100% after the kill.
+  {
+    FleetClient client({"unix:" + dir + "/front.sock"});
+    util::Rng rng(200);
+    for (int i = 0; i < 100; ++i) {
+      const PredictResponse resp =
+          client.predict(random_features(rng), static_cast<std::uint64_t>(i));
+      ASSERT_EQ(resp.status, Status::kOk) << resp.error;
+    }
+  }
+
+  frontend.stop();
+  reap(pids[1], SIGTERM);
+  reap(pids[2], SIGTERM);
+}
+
+}  // namespace
+}  // namespace taglets::fleet
+
+// ------------------------------------------------------------ child mode
+
+namespace {
+
+int run_child_shard(const char* endpoint, const char* model_path) {
+  using namespace taglets;
+  try {
+    ensemble::ServableModel model = ensemble::ServableModel::load(model_path);
+    fleet::ShardConfig config;
+    config.endpoint = endpoint;
+    config.server.workers = 2;
+    config.server.queue_capacity = 1024;
+    config.server.batching.max_batch_size = 8;
+    config.server.batching.max_delay_ms = 0.2;
+    fleet::ShardServer shard(std::move(model), config);
+    shard.start();
+    std::signal(SIGTERM, [](int) { g_child_term = 1; });
+    while (g_child_term == 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+    shard.stop();
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "child shard failed: %s\n", e.what());
+    return 1;
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  g_self_exe = argv[0];
+  if (argc == 4 && std::string(argv[1]) == "--fleet-child-shard") {
+    return run_child_shard(argv[2], argv[3]);
+  }
+  ::testing::InitGoogleTest(&argc, argv);
+  return RUN_ALL_TESTS();
+}

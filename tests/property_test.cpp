@@ -9,6 +9,8 @@
 
 #include "ensemble/distill.hpp"
 #include "eval/reporting.hpp"
+#include "fleet/health.hpp"
+#include "fleet/ring.hpp"
 #include "graph/generators.hpp"
 #include "graph/retrofit.hpp"
 #include "nn/grad_check.hpp"
@@ -385,6 +387,145 @@ TEST_P(CiSweepTest, CiShrinksWithSampleSize) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Sizes, CiSweepTest, ::testing::Values(8, 32, 128));
+
+// --------------------------------------------------- fleet hash ring
+
+namespace {
+
+std::vector<std::string> ring_node_names(std::size_t n) {
+  std::vector<std::string> names;
+  for (std::size_t i = 0; i < n; ++i) {
+    std::string name = "shard-";  // += form: GCC 12 -Wrestrict FP
+    name += std::to_string(i);
+    names.push_back(std::move(name));
+  }
+  return names;
+}
+
+}  // namespace
+
+class HashRingSweepTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(HashRingSweepTest, LookupIsInsertionOrderIndependent) {
+  const std::size_t n = GetParam();
+  const auto names = ring_node_names(n);
+  fleet::HashRing forward, backward;
+  for (std::size_t i = 0; i < n; ++i) forward.add_node(names[i]);
+  for (std::size_t i = n; i > 0; --i) backward.add_node(names[i - 1]);
+  for (std::uint64_t key = 0; key < 2000; ++key) {
+    const std::uint64_t h = fleet::mix64(key);
+    EXPECT_EQ(forward.lookup(h), backward.lookup(h));
+    EXPECT_EQ(forward.successors(h), backward.successors(h));
+  }
+}
+
+TEST_P(HashRingSweepTest, AddingOneNodeRemapsAboutKOverN) {
+  const std::size_t n = GetParam();
+  constexpr std::uint64_t kKeys = 4000;
+  fleet::HashRing ring;
+  for (const auto& name : ring_node_names(n)) ring.add_node(name);
+  std::vector<std::string> before;
+  for (std::uint64_t key = 0; key < kKeys; ++key) {
+    before.push_back(ring.lookup(fleet::mix64(key)));
+  }
+  ring.add_node("shard-new");
+  std::size_t remapped = 0;
+  for (std::uint64_t key = 0; key < kKeys; ++key) {
+    const std::string& after = ring.lookup(fleet::mix64(key));
+    if (after != before[key]) {
+      ++remapped;
+      // Consistent hashing's exact invariant: a key may only move TO
+      // the new node, never between old ones.
+      EXPECT_EQ(after, "shard-new");
+    }
+  }
+  // Expectation is K/(N+1); allow generous variance from vnode
+  // placement but reject anything resembling full reshuffling.
+  const double expected = static_cast<double>(kKeys) / (n + 1);
+  EXPECT_GT(remapped, 0u);
+  EXPECT_LT(static_cast<double>(remapped), expected * 3.0);
+}
+
+TEST_P(HashRingSweepTest, RemovingOneNodeOnlyRemapsItsOwnKeys) {
+  const std::size_t n = GetParam();
+  constexpr std::uint64_t kKeys = 4000;
+  const auto names = ring_node_names(n);
+  fleet::HashRing ring;
+  for (const auto& name : names) ring.add_node(name);
+  std::vector<std::string> before;
+  for (std::uint64_t key = 0; key < kKeys; ++key) {
+    before.push_back(ring.lookup(fleet::mix64(key)));
+  }
+  const std::string& victim = names[n / 2];
+  ring.remove_node(victim);
+  EXPECT_FALSE(ring.contains(victim));
+  for (std::uint64_t key = 0; key < kKeys; ++key) {
+    const std::string& after = ring.lookup(fleet::mix64(key));
+    // The evicted node is never routed to again...
+    EXPECT_NE(after, victim);
+    // ...and survivors keep every key they already owned.
+    if (before[key] != victim) {
+      EXPECT_EQ(after, before[key]);
+    }
+  }
+}
+
+TEST_P(HashRingSweepTest, SuccessorsVisitEveryNodeExactlyOnce) {
+  const std::size_t n = GetParam();
+  fleet::HashRing ring;
+  for (const auto& name : ring_node_names(n)) ring.add_node(name);
+  for (std::uint64_t key = 0; key < 200; ++key) {
+    const std::uint64_t h = fleet::mix64(key * 7919);
+    const auto order = ring.successors(h);
+    ASSERT_EQ(order.size(), n);
+    EXPECT_EQ(order.front(), ring.lookup(h));
+    const std::set<std::string> unique(order.begin(), order.end());
+    EXPECT_EQ(unique.size(), n);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(NodeCounts, HashRingSweepTest,
+                         ::testing::Values(2, 3, 5, 8, 16));
+
+// ------------------------------------------------ fleet health machine
+
+class HealthMachineSweepTest : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(HealthMachineSweepTest, RandomEventSequencesOnlyTakeValidEdges) {
+  util::Rng rng(GetParam());
+  fleet::HealthPolicy policy;
+  policy.suspect_after_ms = 50.0;
+  policy.dead_after_ms = 200.0;
+  policy.failure_threshold = 2;
+  fleet::HealthTracker tracker(policy);
+  auto now = fleet::HealthTracker::Clock::now();
+  bool was_dead = false;
+  for (int step = 0; step < 400; ++step) {
+    now += std::chrono::milliseconds(rng.uniform_index(40));
+    switch (rng.uniform_index(3)) {
+      case 0: tracker.record_success(now); break;
+      case 1: tracker.record_failure(now); break;
+      default: tracker.tick(now); break;
+    }
+    if (was_dead) {
+      // Dead is terminal under every event.
+      EXPECT_EQ(tracker.state(), fleet::HealthState::kDead);
+    }
+    was_dead = tracker.state() == fleet::HealthState::kDead;
+    EXPECT_EQ(tracker.routable(),
+              tracker.state() == fleet::HealthState::kAlive ||
+                  tracker.state() == fleet::HealthState::kSuspect);
+  }
+  for (const auto& t : tracker.transitions()) {
+    EXPECT_TRUE(fleet::transition_valid(t.from, t.to))
+        << fleet::health_state_name(t.from) << " -> "
+        << fleet::health_state_name(t.to);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HealthMachineSweepTest,
+                         ::testing::Values(3, 17, 171, 2026));
 
 }  // namespace
 }  // namespace taglets

@@ -404,10 +404,75 @@ TEST(Server, ShutdownMidLoadDrainsInFlightAndFailsPending) {
   server.stop();
 }
 
+// Regression: a drain racing a mid-flush enqueue must never strand a
+// future. Producers hammer submit() while close_and_drain() runs; the
+// returned pending set is handed to a second server (the hot-swap
+// path). Every future — served, drained-and-adopted, or turned away at
+// the closing door — must resolve exactly once.
+TEST(Server, DrainUnderConcurrentEnqueueResolvesEveryFutureOnce) {
+  auto model = make_identity_servable(4);
+  ServerConfig config;
+  config.workers = 2;
+  config.queue_capacity = 64;
+  config.batching.max_batch_size = 4;
+  config.batching.max_delay_ms = 0.1;
+  Server old_server(model, config);
+  old_server.start();
+
+  constexpr int kProducers = 4;
+  std::atomic<bool> stop_producing{false};
+  std::mutex futures_mu;
+  std::vector<std::future<Response>> futures;
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      util::Rng rng(static_cast<std::uint64_t>(p) + 1);
+      while (!stop_producing.load()) {
+        Tensor x = Tensor::zeros(4);
+        for (float& v : x.data()) v = static_cast<float>(rng.normal());
+        auto f = old_server.submit(std::move(x));
+        std::lock_guard<std::mutex> lock(futures_mu);
+        futures.push_back(std::move(f));
+      }
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+
+  // Drain while the producers are still enqueueing full-tilt.
+  std::vector<Request> pending = old_server.close_and_drain();
+  Server new_server(model, config);
+  new_server.start();
+  for (auto& r : pending) new_server.adopt(std::move(r));
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  stop_producing.store(true);
+  for (auto& t : producers) t.join();
+  // Second drain is idempotent and returns nothing new.
+  EXPECT_TRUE(old_server.close_and_drain().empty());
+  old_server.stop();
+  new_server.stop();
+
+  std::size_t ok = 0, turned_away = 0, other = 0;
+  for (auto& f : futures) {
+    // Resolved exactly once, with no stranded futures: ready NOW.
+    ASSERT_EQ(f.wait_for(std::chrono::seconds(0)), std::future_status::ready);
+    switch (f.get().status) {
+      case Status::kOk: ++ok; break;
+      case Status::kShutdown:
+      case Status::kRejected: ++turned_away; break;
+      default: ++other; break;
+    }
+  }
+  EXPECT_EQ(other, 0u);
+  EXPECT_GE(ok, 1u);
+  EXPECT_EQ(ok + turned_away, futures.size());
+}
+
 // ----------------------------------------------------------------- stats
 
 TEST(ServerStats, ReportAndJsonCarryTheCounters) {
   ServerStats stats;
+  stats.set_workers(3);
   stats.record_submitted(3);
   stats.record_submitted(7);
   stats.record_batch(2);
@@ -439,6 +504,14 @@ TEST(ServerStats, ReportAndJsonCarryTheCounters) {
   EXPECT_EQ(json.back(), '}');
   EXPECT_NE(json.find("\"submitted\":2"), std::string::npos);
   EXPECT_NE(json.find("\"latency_p99_ms\":"), std::string::npos);
+  // Fleet aggregation joins on capacity and the reject-vs-deadline
+  // breakdown, so the export must carry all three.
+  EXPECT_NE(json.find("\"workers\":3"), std::string::npos);
+  EXPECT_NE(json.find("\"rejected_total\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"failed_total\":1"), std::string::npos);
+  EXPECT_EQ(s.workers, 3u);
+  EXPECT_EQ(s.rejected_total(), 1u);
+  EXPECT_EQ(s.failed_total(), 1u);
 }
 
 TEST(ServerStats, ConcurrentRecordingIsSafe) {

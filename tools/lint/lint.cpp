@@ -24,7 +24,25 @@ const std::vector<Rule>& rules() {
          "semantics need raw join control)"},
         {"serve/server.cpp",
          "the server owns its worker threads by design (drain/shutdown "
-         "semantics need raw join control)"}}},
+         "semantics need raw join control)"},
+        {"fleet/shard.hpp",
+         "socket accept/reader/writer threads need raw join control for "
+         "drain and SIGKILL-failover semantics"},
+        {"fleet/shard.cpp",
+         "socket accept/reader/writer threads need raw join control for "
+         "drain and SIGKILL-failover semantics"},
+        {"fleet/frontend.hpp",
+         "heartbeat/accept/channel-reader threads need raw join control "
+         "for failover and eviction semantics"},
+        {"fleet/frontend.cpp",
+         "heartbeat/accept/channel-reader threads need raw join control "
+         "for failover and eviction semantics"},
+        {"fleet/client.hpp",
+         "the response-matching reader thread is the client's core "
+         "pipelining mechanism"},
+        {"fleet/client.cpp",
+         "the response-matching reader thread is the client's core "
+         "pipelining mechanism"}}},
       {"rand-time",
        "no rand()/srand()/time() outside util/rng — randomness must be "
        "seeded and reproducible via util::Rng",

@@ -57,7 +57,23 @@
 //                        weights; after training, the accuracy-delta
 //                        gate vs float32 runs and a failing gate makes
 //                        the run exit non-zero
+//
+// Serving fleet (docs/FLEET.md) — multi-process sharded serving:
+//   --fleet-shard --load M.bin --fleet-endpoint unix:/tmp/s0.sock
+//       run one shard process until SIGTERM/SIGINT (SIGKILL is the
+//       failover drill). Reuses the --serve-* server knobs above.
+//   --fleet-frontend --fleet-endpoint tcp:127.0.0.1:9100
+//       --fleet-groups "g0=unix:/tmp/s0.sock;g1=unix:/tmp/s1.sock"
+//       run the routing frontend over those shard groups
+//       (--fleet-heartbeat-ms / --fleet-suspect-ms / --fleet-dead-ms
+//       tune the health machine).
+//   --fleet-connect EP with one of:
+//     --fleet-ping           print the peer's pong (readiness probe)
+//     --fleet-reload PATH    hot-swap the serving model
+//     --fleet-stats          print the peer's stats JSON
+//     --fleet-predict N      send N pipelined predicts, print outcomes
 #include <array>
+#include <csignal>
 #include <future>
 #include <iostream>
 #include <thread>
@@ -65,6 +81,9 @@
 #include "baselines/finetune.hpp"
 #include "eval/harness.hpp"
 #include "eval/lab.hpp"
+#include "fleet/client.hpp"
+#include "fleet/frontend.hpp"
+#include "fleet/shard.hpp"
 #include "tensor/backend.hpp"
 #include "util/env.hpp"
 #include "nn/metrics.hpp"
@@ -233,6 +252,148 @@ void write_observability_artifacts(const util::ArgParser& args) {
   }
 }
 
+// --------------------------------------------------------- fleet modes
+
+std::atomic<bool> g_fleet_stop{false};
+void handle_fleet_stop(int) { g_fleet_stop.store(true); }
+
+/// Block until SIGTERM/SIGINT (the smoke script's graceful stop).
+void wait_for_stop_signal() {
+  std::signal(SIGINT, handle_fleet_stop);
+  std::signal(SIGTERM, handle_fleet_stop);
+  while (!g_fleet_stop.load()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+}
+
+serve::ServerConfig serve_config_from(const util::ArgParser& args) {
+  serve::ServerConfig config;
+  config.workers =
+      std::max<std::size_t>(1, static_cast<std::size_t>(
+                                   args.get_long("serve-workers", 2)));
+  config.queue_capacity =
+      static_cast<std::size_t>(args.get_long("serve-queue", 256));
+  config.batching.max_batch_size =
+      static_cast<std::size_t>(args.get_long("serve-batch", 16));
+  config.batching.max_delay_ms = args.get_double("serve-delay-ms", 1.0);
+  config.default_deadline_ms = args.get_double("serve-deadline-ms", 0.0);
+  return config;
+}
+
+int run_fleet_shard(const util::ArgParser& args) {
+  ensemble::ServableModel model =
+      ensemble::ServableModel::load(args.get("load", ""));
+  fleet::ShardConfig config;
+  config.endpoint = args.get("fleet-endpoint", "");
+  config.server = serve_config_from(args);
+  fleet::ShardServer shard(std::move(model), config);
+  shard.start();
+  // The trailing endl flushes: launchers wait for this line.
+  std::cout << "[fleet-shard] serving on " << config.endpoint << " (model v"
+            << shard.model_version() << ", " << config.server.workers
+            << " workers)" << std::endl;
+  wait_for_stop_signal();
+  shard.stop();
+  write_observability_artifacts(args);
+  std::cout << "[fleet-shard] stopped\n";
+  return 0;
+}
+
+/// "--fleet-groups g0=unix:/a.sock;g1=unix:/b.sock,unix:/c.sock":
+/// ';' between groups, '=' after the group name, ',' between replicas.
+std::vector<fleet::GroupSpec> parse_fleet_groups(const std::string& spec) {
+  std::vector<fleet::GroupSpec> groups;
+  for (const std::string& part : util::split(spec, ';')) {
+    if (part.empty()) continue;
+    const auto eq = part.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      throw std::invalid_argument("--fleet-groups: expected name=endpoints in '" +
+                                  part + "'");
+    }
+    fleet::GroupSpec group;
+    group.name = part.substr(0, eq);
+    group.replicas = util::split(part.substr(eq + 1), ',');
+    groups.push_back(std::move(group));
+  }
+  return groups;
+}
+
+int run_fleet_frontend(const util::ArgParser& args) {
+  fleet::FrontendConfig config;
+  config.endpoint = args.get("fleet-endpoint", "");
+  config.groups = parse_fleet_groups(args.get("fleet-groups", ""));
+  config.heartbeat_interval_ms = args.get_double("fleet-heartbeat-ms", 50.0);
+  config.health.suspect_after_ms = args.get_double("fleet-suspect-ms", 250.0);
+  config.health.dead_after_ms = args.get_double("fleet-dead-ms", 1000.0);
+  fleet::Frontend frontend(config);
+  frontend.start();
+  std::cout << "[fleet-frontend] serving on " << config.endpoint << " ("
+            << config.groups.size() << " groups)" << std::endl;
+  wait_for_stop_signal();
+  frontend.stop();
+  write_observability_artifacts(args);
+  std::cout << "[fleet-frontend] stopped\n";
+  return 0;
+}
+
+int run_fleet_client(const util::ArgParser& args) {
+  fleet::FleetClientConfig config;
+  config.endpoint = args.get("fleet-connect", "");
+  if (config.endpoint.empty()) {
+    throw std::invalid_argument("--fleet-connect ENDPOINT is required");
+  }
+  fleet::FleetClient client(config);
+  if (args.get_flag("fleet-ping")) {
+    const fleet::Pong pong = client.ping();
+    std::cout << "[fleet-ping] model_version=" << pong.model_version
+              << " queue=" << pong.queue_depth << "/" << pong.queue_capacity
+              << " ok=" << pong.requests_ok << " rejected="
+              << pong.requests_rejected << " deadline_missed="
+              << pong.requests_deadline_missed
+              << " draining=" << static_cast<int>(pong.draining) << "\n";
+    return 0;
+  }
+  if (args.has("fleet-reload")) {
+    const fleet::ReloadResponse resp =
+        client.reload(args.get("fleet-reload", ""));
+    std::cout << "[fleet-reload] " << (resp.ok ? "ok" : "FAILED")
+              << " model_version=" << resp.model_version
+              << (resp.message.empty() ? "" : " (" + resp.message + ")")
+              << "\n";
+    return resp.ok ? 0 : 1;
+  }
+  if (args.get_flag("fleet-stats")) {
+    std::cout << client.stats() << "\n";
+    return 0;
+  }
+  if (args.has("fleet-predict")) {
+    const std::size_t requests =
+        static_cast<std::size_t>(args.get_long("fleet-predict", 100));
+    const std::size_t dim =
+        static_cast<std::size_t>(args.get_long("fleet-dim", 64));
+    util::Rng rng(31);
+    std::vector<std::future<fleet::PredictResponse>> pending;
+    pending.reserve(requests);
+    for (std::size_t i = 0; i < requests; ++i) {
+      std::vector<float> features(dim);
+      for (float& v : features) v = static_cast<float>(rng.normal());
+      pending.push_back(client.submit(std::move(features), i));
+    }
+    std::array<std::size_t, 6> counts{};
+    for (auto& f : pending) {
+      ++counts[static_cast<std::size_t>(f.get().status)];
+    }
+    std::cout << "[fleet-predict] sent=" << requests << " ok=" << counts[0]
+              << " overloaded=" << counts[1] << " unavailable=" << counts[2]
+              << " deadline=" << counts[3] << " error=" << counts[4]
+              << " shutdown=" << counts[5] << "\n";
+    return counts[0] == requests ? 0 : 1;
+  }
+  throw std::invalid_argument(
+      "--fleet-connect needs one of --fleet-ping / --fleet-reload / "
+      "--fleet-stats / --fleet-predict");
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -253,6 +414,10 @@ int main(int argc, char** argv) {
       std::cout << "\n";
       return 0;
     }
+
+    if (args.get_flag("fleet-shard")) return run_fleet_shard(args);
+    if (args.get_flag("fleet-frontend")) return run_fleet_frontend(args);
+    if (args.has("fleet-connect")) return run_fleet_client(args);
 
     if (args.has("load")) {
       // Serving-only path: restore a saved end model and skip training.

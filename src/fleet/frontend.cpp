@@ -66,8 +66,12 @@ void FrontendConfig::validate() const {
 /// One upstream shard replica: a lazily (re)connected channel, its
 /// health tracker, and the predicts in flight on it. The reader thread
 /// never takes conn_mu — senders hold conn_mu, the reader only reads
-/// the fd (full-duplex socket), and teardown synchronizes through the
-/// `broken` flag + join.
+/// the fd (full-duplex socket). Teardown synchronizes through
+/// `accepting` + `broken`: the exiting reader turns `accepting` off
+/// and drains `pending` *before* raising `broken`, so whoever observes
+/// `broken` under conn_mu knows the drain is over and may rebuild the
+/// channel without joining the old thread (joins happen later, on the
+/// retired list, outside every conn_mu — see ensure_connected_locked).
 struct Frontend::Replica {
   explicit Replica(HealthPolicy policy) : tracker(policy) {}
 
@@ -79,11 +83,19 @@ struct Frontend::Replica {
   std::mutex conn_mu;  // guards conn/connected/reader lifecycle + sends
   Connection conn;
   bool connected = false;
-  std::atomic<bool> broken{false};  // reader exited; reset under conn_mu
+  std::atomic<bool> broken{false};  // reader drained pending; reset under conn_mu
   std::thread reader;
+  std::shared_ptr<std::atomic<bool>> reader_done;  // set as the thread's last act
 
   std::mutex pending_mu;
+  /// Admission gate for `pending`: true while the current reader is
+  /// live. The exiting reader turns it off before draining, so a
+  /// racing send_to can never register a predict nobody will drain.
+  bool accepting = false;
   std::unordered_map<std::uint64_t, std::shared_ptr<RouteTask>> pending;
+
+  /// Heartbeat-thread-only: last Dead-endpoint reconnect probe.
+  HealthTracker::Clock::time_point last_dead_probe{};
 
   // Shard-reported load from the latest pong (routing reads these).
   std::atomic<std::uint32_t> queue_depth{0};
@@ -133,11 +145,13 @@ Frontend::Frontend(FrontendConfig config)
   }
   auto& registry = obs::MetricsRegistry::global();
   requests_total_ = &registry.counter("fleet.frontend.requests_total");
+  requests_ok_total_ = &registry.counter("fleet.frontend.requests_ok_total");
   failovers_total_ = &registry.counter("fleet.frontend.failovers_total");
   overloaded_total_ = &registry.counter("fleet.frontend.overloaded_total");
   unavailable_total_ = &registry.counter("fleet.frontend.unavailable_total");
   evicted_groups_total_ =
       &registry.counter("fleet.frontend.evicted_groups_total");
+  dead_rejoins_total_ = &registry.counter("fleet.frontend.dead_rejoins_total");
   alive_replicas_gauge_ = &registry.gauge("fleet.frontend.alive_replicas");
   ring_groups_gauge_ = &registry.gauge("fleet.frontend.ring_groups");
   ring_groups_gauge_->set(static_cast<double>(config_.groups.size()));
@@ -178,6 +192,9 @@ void Frontend::stop() {
     }
     if (reader.joinable()) reader.join();
   }
+  // Plus any readers of previously-broken channels still parked on the
+  // retired list (stopping_ is set, so nothing retires after this).
+  reap_retired_readers(/*wait=*/true);
   // Readers redispatched their pending sets on exit; with stopping_
   // set those dispatches terminated with kShutdown, so nothing is in
   // flight past this point.
@@ -288,6 +305,10 @@ bool Frontend::send_to(Replica& replica,
   if (!ensure_connected_locked(replica)) return false;
   {
     std::lock_guard<std::mutex> lock(replica.pending_mu);
+    // The reader may have exited (and drained pending) between the
+    // connect check and here; registering now would orphan the task —
+    // nobody would ever redispatch it. Fail over instead.
+    if (!replica.accepting) return false;
     replica.pending.emplace(wire_id, task);
   }
   try {
@@ -306,7 +327,14 @@ bool Frontend::send_to(Replica& replica,
 bool Frontend::ensure_connected_locked(Replica& replica) {
   if (stopping_.load(std::memory_order_acquire)) return false;
   if (replica.broken.load(std::memory_order_acquire)) {
-    if (replica.reader.joinable()) replica.reader.join();
+    // The exited reader already turned `accepting` off and drained its
+    // pending set (it raises `broken` only after the drain), so the
+    // channel can be rebuilt immediately. Do NOT join it here: a
+    // reader's exit path dispatches into other replicas' conn_mu, so
+    // two readers failing over into each other (or the heartbeat
+    // thread holding this conn_mu) joining under conn_mu would
+    // deadlock. Park the thread for the heartbeat reaper instead.
+    retire_reader_locked(replica);
     replica.conn.close();
     replica.connected = false;
     replica.broken.store(false, std::memory_order_release);
@@ -320,9 +348,44 @@ bool Frontend::ensure_connected_locked(Replica& replica) {
     return false;
   }
   replica.connected = true;
+  {
+    std::lock_guard<std::mutex> lock(replica.pending_mu);
+    replica.accepting = true;
+  }
+  auto done = std::make_shared<std::atomic<bool>>(false);
+  replica.reader_done = done;
   Replica* raw = &replica;
-  replica.reader = std::thread([this, raw] { replica_reader(raw); });
+  replica.reader = std::thread([this, raw, done] {
+    replica_reader(raw);
+    done->store(true, std::memory_order_release);
+  });
   return true;
+}
+
+void Frontend::retire_reader_locked(Replica& replica) {
+  if (!replica.reader.joinable()) return;
+  std::lock_guard<std::mutex> lock(retired_mu_);
+  retired_readers_.emplace_back(std::move(replica.reader),
+                                std::move(replica.reader_done));
+}
+
+void Frontend::reap_retired_readers(bool wait) {
+  std::vector<std::thread> joinable;
+  {
+    std::lock_guard<std::mutex> lock(retired_mu_);
+    for (auto it = retired_readers_.begin(); it != retired_readers_.end();) {
+      if (wait ||
+          (it->second && it->second->load(std::memory_order_acquire))) {
+        joinable.push_back(std::move(it->first));
+        it = retired_readers_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  for (std::thread& thread : joinable) {
+    if (thread.joinable()) thread.join();
+  }
 }
 
 void Frontend::replica_reader(Replica* replica) {
@@ -383,25 +446,32 @@ void Frontend::replica_reader(Replica* replica) {
       break;  // corrupt peer: drop the channel
     }
   }
-  replica->broken.store(true, std::memory_order_release);
-  replica->tracker.record_failure(HealthTracker::Clock::now());
-  redispatch_pending(*replica);
-}
-
-void Frontend::redispatch_pending(Replica& replica) {
-  std::vector<std::shared_ptr<RouteTask>> tasks;
+  // Exit order matters: close admissions and drain pending BEFORE
+  // raising `broken` — once `broken` is observed (under conn_mu) the
+  // channel may be rebuilt and the pending map reused, so the drain
+  // must already be over. Dispatching the drained tasks happens last;
+  // it may route back here, in which case ensure_connected_locked
+  // retires this very thread (moves the std::thread object, no join)
+  // and rebuilds the channel.
+  std::vector<std::shared_ptr<RouteTask>> stranded;
   {
-    std::lock_guard<std::mutex> lock(replica.pending_mu);
-    tasks.reserve(replica.pending.size());
-    for (auto& [id, task] : replica.pending) tasks.push_back(task);
-    replica.pending.clear();
+    std::lock_guard<std::mutex> lock(replica->pending_mu);
+    replica->accepting = false;
+    stranded.reserve(replica->pending.size());
+    for (auto& [id, task] : replica->pending) {
+      stranded.push_back(std::move(task));
+    }
+    replica->pending.clear();
   }
-  for (auto& task : tasks) dispatch(std::move(task));
+  replica->tracker.record_failure(HealthTracker::Clock::now());
+  replica->broken.store(true, std::memory_order_release);
+  for (auto& task : stranded) dispatch(std::move(task));
 }
 
 void Frontend::complete(const std::shared_ptr<RouteTask>& task,
                         PredictResponse resp) {
   if (task->completed.exchange(true, std::memory_order_acq_rel)) return;
+  if (resp.status == Status::kOk) requests_ok_total_->add();
   task->done(std::move(resp));
 }
 
@@ -421,6 +491,10 @@ void Frontend::heartbeat_loop() {
 
 void Frontend::heartbeat_round() {
   const auto now = HealthTracker::Clock::now();
+  // Join readers of channels that broke since the last round. This
+  // thread is the single reaper (stop() aside), and it joins outside
+  // every conn_mu — the exiting readers' dispatch calls may need those.
+  reap_retired_readers(/*wait=*/false);
   std::size_t alive = 0;
   for (auto& entry : replicas_) {
     Replica& replica = *entry;
@@ -438,25 +512,55 @@ void Frontend::heartbeat_round() {
       } else {
         replica.tracker.record_failure(now);
       }
+    } else if (config_.dead_probe_interval_ms > 0.0) {
+      probe_dead_replica(replica, now);
     }
     replica.tracker.tick(now);
     if (replica.tracker.state() == HealthState::kAlive) ++alive;
   }
   alive_replicas_gauge_->set(static_cast<double>(alive));
-  // Evict groups whose every replica is Dead: the ring must never map
-  // a key to a shard that cannot come back.
+  // Evict groups whose every replica is Dead — the ring must never map
+  // a key to a shard nobody can reach — and re-add a group as soon as
+  // a probed-back replica revives it.
   std::lock_guard<std::mutex> ring_lock(ring_mu_);
   for (const auto& [group, members] : group_members_) {
     const bool all_dead =
         std::all_of(members.begin(), members.end(), [](Replica* r) {
           return r->tracker.state() == HealthState::kDead;
         });
-    if (all_dead && ring_.contains(group)) {
-      ring_.remove_node(group);
-      evicted_groups_total_->add();
+    if (all_dead) {
+      if (ring_.contains(group)) {
+        ring_.remove_node(group);
+        evicted_groups_total_->add();
+      }
+    } else if (!ring_.contains(group)) {
+      ring_.add_node(group);
     }
   }
   ring_groups_gauge_->set(static_cast<double>(ring_.node_count()));
+}
+
+void Frontend::probe_dead_replica(Replica& replica,
+                                  HealthTracker::Clock::time_point now) {
+  if (replica.last_dead_probe != HealthTracker::Clock::time_point{} &&
+      std::chrono::duration<double, std::milli>(now - replica.last_dead_probe)
+              .count() < config_.dead_probe_interval_ms) {
+    return;
+  }
+  replica.last_dead_probe = now;
+  try {
+    const Connection probe =
+        Connection::connect(replica.parsed, ms(config_.connect_timeout_ms));
+    (void)probe;
+  } catch (const SocketError&) {
+    return;  // still down; next probe after the interval
+  }
+  // The endpoint answers again. Dead stays terminal inside the state
+  // machine — recovery is re-registration: the tracker restarts as a
+  // brand-new Unknown member (docs/FLEET.md) and the next round's ping
+  // walks it back toward Alive.
+  replica.tracker.reset();
+  dead_rejoins_total_->add();
 }
 
 // ------------------------------------------------------------- control
@@ -522,8 +626,12 @@ Pong Frontend::make_aggregate_pong(std::uint64_t seq) const {
   if (min_version != std::numeric_limits<std::uint64_t>::max()) {
     pong.model_version = min_version;
   }
-  pong.requests_ok = requests_total_->value();
-  pong.requests_rejected = overloaded_total_->value();
+  // ok = completions the clients actually saw as kOk (not merely
+  // routed); rejected = every request the frontend turned away,
+  // whether for saturation or for want of a routable replica.
+  pong.requests_ok = requests_ok_total_->value();
+  pong.requests_rejected =
+      overloaded_total_->value() + unavailable_total_->value();
   return pong;
 }
 
@@ -559,10 +667,12 @@ std::string Frontend::stats_json() const {
     os << "]}";
   }
   os << "],\"requests_total\":" << requests_total_->value()
+     << ",\"requests_ok_total\":" << requests_ok_total_->value()
      << ",\"failovers_total\":" << failovers_total_->value()
      << ",\"overloaded_total\":" << overloaded_total_->value()
      << ",\"unavailable_total\":" << unavailable_total_->value()
-     << ",\"evicted_groups_total\":" << evicted_groups_total_->value() << "}";
+     << ",\"evicted_groups_total\":" << evicted_groups_total_->value()
+     << ",\"dead_rejoins_total\":" << dead_rejoins_total_->value() << "}";
   return os.str();
 }
 

@@ -10,6 +10,10 @@
 // shard-reported state. Trackers move Unknown -> Alive -> Suspect ->
 // Dead per fleet/health.hpp; when every replica of a group is Dead the
 // group is evicted from the ring (the ring never maps to a Dead shard).
+// Dead replicas are re-probed at dead_probe_interval_ms: when the
+// endpoint answers again the replica re-registers as a new member
+// (tracker reset to Unknown) and its group rejoins the ring, so a
+// restarted shard recovers without a frontend restart.
 //
 // Backpressure: a replica whose last pong reported a full queue is
 // skipped; if every candidate is saturated (or answers kOverloaded)
@@ -59,6 +63,12 @@ struct FrontendConfig {
   /// Per-frame socket send/recv budget on replica and client channels.
   double io_timeout_ms = 5000.0;
   std::size_t ring_vnodes = 64;
+  /// While a replica is Dead the heartbeat thread re-probes its
+  /// endpoint at this interval; a successful connect re-registers the
+  /// replica as a brand-new member (tracker back to Unknown) and its
+  /// group rejoins the ring. <= 0 disables probing, making Dead
+  /// effectively terminal until the frontend restarts.
+  double dead_probe_interval_ms = 1000.0;
 
   void validate() const;  // throws std::invalid_argument
 };
@@ -123,11 +133,20 @@ class Frontend {
   /// Send to one replica; registers the task in the pending map first.
   bool send_to(Replica& replica, const std::shared_ptr<RouteTask>& task);
   /// conn_mu held. Reconnects a broken/unopened channel unless the
-  /// tracker is Dead or the frontend is stopping.
+  /// tracker is Dead or the frontend is stopping. Never blocks on a
+  /// thread join: a broken reader is parked for reap_retired_readers.
   bool ensure_connected_locked(Replica& replica);
   void replica_reader(Replica* replica);
-  /// Fail every pending task on a broken channel back into dispatch().
-  void redispatch_pending(Replica& replica);
+  /// conn_mu held: park the exited reader thread (and its done flag)
+  /// on the retired list for the heartbeat thread / stop() to join.
+  void retire_reader_locked(Replica& replica);
+  /// Join parked reader threads. `wait` joins unconditionally (stop
+  /// path); otherwise only threads whose done flag is already set, so
+  /// the heartbeat loop never blocks on a still-exiting reader.
+  void reap_retired_readers(bool wait);
+  /// Heartbeat-thread-only: attempt a reconnect to a Dead replica at
+  /// dead_probe_interval_ms; success re-registers it (fresh tracker).
+  void probe_dead_replica(Replica& replica, HealthTracker::Clock::time_point now);
   void complete(const std::shared_ptr<RouteTask>& task, PredictResponse resp);
   Pong make_aggregate_pong(std::uint64_t seq) const;
 
@@ -151,16 +170,29 @@ class Frontend {
   std::mutex clients_mu_;
   std::vector<std::shared_ptr<ClientConn>> clients_;
 
+  /// Reader threads of broken channels, parked until a single owner
+  /// (heartbeat thread, or stop()) joins them outside every conn_mu.
+  /// The paired flag is set as the thread's last act, so a reap with
+  /// wait=false never blocks. Joining a reader from another reader's
+  /// exit path (two replicas failing over into each other) or under a
+  /// conn_mu the exiting reader needs would deadlock — see
+  /// ensure_connected_locked.
+  std::mutex retired_mu_;
+  std::vector<std::pair<std::thread, std::shared_ptr<std::atomic<bool>>>>
+      retired_readers_;
+
   std::atomic<bool> running_{false};
   std::atomic<bool> stopping_{false};
   std::mutex lifecycle_mu_;
 
   // Cached registry references (fleet.frontend.* namespace).
   obs::Counter* requests_total_ = nullptr;
+  obs::Counter* requests_ok_total_ = nullptr;
   obs::Counter* failovers_total_ = nullptr;
   obs::Counter* overloaded_total_ = nullptr;
   obs::Counter* unavailable_total_ = nullptr;
   obs::Counter* evicted_groups_total_ = nullptr;
+  obs::Counter* dead_rejoins_total_ = nullptr;
   obs::Gauge* alive_replicas_gauge_ = nullptr;
   obs::Gauge* ring_groups_gauge_ = nullptr;
 };

@@ -98,6 +98,15 @@ void HealthTracker::tick(Clock::time_point now) {
   }
 }
 
+void HealthTracker::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  state_ = HealthState::kUnknown;
+  last_success_ = {};
+  ever_succeeded_ = false;
+  consecutive_failures_ = 0;
+  transitions_.clear();
+}
+
 HealthState HealthTracker::state() const {
   std::lock_guard<std::mutex> lock(mu_);
   return state_;

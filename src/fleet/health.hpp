@@ -10,7 +10,8 @@
 // Alive -> Suspect also fires after `failure_threshold` consecutive
 // request failures (a replica can be heartbeating yet failing work).
 // Suspect -> Alive requires a successful contact; Dead is terminal —
-// a revived process re-registers as a new tracker. transition_valid()
+// a revived process re-registers as a new tracker, which is what
+// reset() implements in place. transition_valid()
 // is the machine's ground truth and tests/property_test.cpp asserts
 // every transition a tracker ever takes is in it.
 //
@@ -61,6 +62,13 @@ class HealthTracker {
   void record_failure(Clock::time_point now);
   /// Apply the timing thresholds at `now` (heartbeat tick).
   void tick(Clock::time_point now);
+
+  /// Re-register the replica as a brand-new member: back to Unknown
+  /// with all history cleared. This is how a revived process escapes
+  /// terminal Dead — the state machine itself never takes a Dead -> *
+  /// edge (transition_valid stays the ground truth); the tracker is
+  /// simply replaced, per the header diagram's re-registration rule.
+  void reset();
 
   HealthState state() const;
   /// Alive or Suspect — may still be routed to (Suspect only as a

@@ -400,6 +400,9 @@ ReloadOutcome ShardServer::reload(const std::string& path) {
     }
     // 4. In-flight batches finish on the old model; still-queued
     // requests transfer to the new server with promises intact.
+    // adopt() bypasses the replacement queue's capacity bound: new
+    // submissions landed there since the flip, and already-admitted
+    // work must not be re-rejected because of them.
     std::vector<serve::Request> pending = old->close_and_drain();
     for (serve::Request& request : pending) {
       next->adopt(std::move(request));

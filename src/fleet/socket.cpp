@@ -10,6 +10,7 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <cstdlib>
 #include <cstring>
 
 #include "fleet/protocol.hpp"
@@ -109,8 +110,15 @@ Endpoint Endpoint::parse(const std::string& spec) {
       throw SocketError("tcp endpoint must be tcp:host:port, got: " + spec);
     }
     e.host = rest.substr(0, colon);
-    const long port = std::strtol(rest.c_str() + colon + 1, nullptr, 10);
-    if (port <= 0 || port > 65535) {
+    // Strict digits-only port: strtol alone would accept leading
+    // whitespace/sign and silently ignore trailing garbage ("80xyz").
+    const char* digits = rest.c_str() + colon + 1;
+    if (*digits < '0' || *digits > '9') {
+      throw SocketError("bad tcp port in: " + spec);
+    }
+    char* end = nullptr;
+    const long port = std::strtol(digits, &end, 10);
+    if (*end != '\0' || port <= 0 || port > 65535) {
       throw SocketError("bad tcp port in: " + spec);
     }
     e.port = static_cast<std::uint16_t>(port);

@@ -31,6 +31,16 @@ RequestQueue::Push RequestQueue::try_push(Request& request) {
   return Push::kOk;
 }
 
+RequestQueue::Push RequestQueue::force_push(Request& request) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (closed_) return Push::kClosed;
+    items_.push_back(std::move(request));
+  }
+  cv_.notify_one();
+  return Push::kOk;
+}
+
 std::vector<Request> RequestQueue::pop_batch(
     std::size_t max_batch, std::chrono::nanoseconds max_delay) {
   std::vector<Request> batch;

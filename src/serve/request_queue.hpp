@@ -90,6 +90,13 @@ class RequestQueue {
   /// untouched in `request` so the caller still owns the promise.
   Push try_push(Request& request);
 
+  /// Admission for a request that was already admitted once (the
+  /// reload-handoff path, Server::adopt): ignores the capacity bound,
+  /// so a replacement queue that filled up during the drain cannot
+  /// re-reject work the old server accepted. Never returns kFull;
+  /// kClosed (a shutdown race) is still reported, request untouched.
+  Push force_push(Request& request);
+
   /// Pop up to `max_batch` requests as one micro-batch. Blocks until at
   /// least one request is queued or the queue is closed. Once the first
   /// request of a batch is claimed, waits at most `max_delay` for more

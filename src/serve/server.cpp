@@ -91,7 +91,12 @@ void Server::adopt(Request request) {
   TAGLETS_CHECK(request.input.is_vector() && request.input.size() == input_dim_,
                 "Server::adopt: input must be a rank-1 tensor of length " +
                     std::to_string(input_dim_));
-  const RequestQueue::Push outcome = queue_.try_push(request);
+  // Adopted work was already admitted by the predecessor server, so it
+  // bypasses the capacity bound: a queue that saturated while the old
+  // server drained must not re-reject requests it contractually owns
+  // (a reload fails zero admitted requests). Only a closed queue — a
+  // shutdown racing the handoff — can still fail the request.
+  const RequestQueue::Push outcome = queue_.force_push(request);
   if (outcome == RequestQueue::Push::kOk) {
     const std::size_t depth = queue_.size();
     stats_.record_submitted(depth);
@@ -99,8 +104,7 @@ void Server::adopt(Request request) {
     return;
   }
   Response response;
-  response.status = outcome == RequestQueue::Push::kFull ? Status::kRejected
-                                                         : Status::kShutdown;
+  response.status = Status::kShutdown;
   response.request_id = request.id;
   stats_.record_rejected(response.status);
   request.promise.set_value(std::move(response));

@@ -75,10 +75,13 @@ class Server {
   /// Idempotent: later calls return empty.
   std::vector<Request> close_and_drain();
   /// Enqueue an already-built request, preserving its id and promise
-  /// (the reload handoff path). Like submit(), never blocks: on a
-  /// full or closed queue the request resolves immediately with
-  /// kRejected/kShutdown, so the caller never holds an unresolved
-  /// promise afterwards. Throws on a wrong-shape input.
+  /// (the reload handoff path). Unlike submit(), adoption bypasses the
+  /// capacity bound — the request was admitted once and must not be
+  /// re-rejected just because new traffic saturated this queue during
+  /// the drain. Never blocks; only a closed queue (shutdown racing the
+  /// handoff) resolves the request, with kShutdown, so the caller
+  /// never holds an unresolved promise afterwards. Throws on a
+  /// wrong-shape input.
   void adopt(Request request);
   bool running() const { return running_.load(std::memory_order_acquire); }
 

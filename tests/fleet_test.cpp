@@ -206,6 +206,13 @@ TEST(FleetSocket, EndpointParse) {
   EXPECT_EQ(t.port, 9100);
   EXPECT_THROW(Endpoint::parse("http://nope"), SocketError);
   EXPECT_THROW(Endpoint::parse("tcp:host"), SocketError);
+  // Strict digits-only port: trailing garbage, signs/whitespace, and
+  // out-of-range values are rejected, never silently truncated.
+  EXPECT_THROW(Endpoint::parse("tcp:127.0.0.1:80garbage"), SocketError);
+  EXPECT_THROW(Endpoint::parse("tcp:127.0.0.1:+80"), SocketError);
+  EXPECT_THROW(Endpoint::parse("tcp:127.0.0.1: 80"), SocketError);
+  EXPECT_THROW(Endpoint::parse("tcp:127.0.0.1:0"), SocketError);
+  EXPECT_THROW(Endpoint::parse("tcp:127.0.0.1:70000"), SocketError);
 }
 
 TEST(FleetSocket, FrameRoundTripAndEof) {
@@ -286,6 +293,33 @@ TEST(FleetHealth, LifecycleAndTerminalDead) {
   tracker.record_success(at(11'100));
   tracker.record_failure(at(11'100));
   EXPECT_EQ(tracker.state(), HealthState::kDead);
+  for (const auto& t : tracker.transitions()) {
+    EXPECT_TRUE(transition_valid(t.from, t.to));
+  }
+}
+
+TEST(FleetHealth, ResetReRegistersADeadTracker) {
+  using Clock = HealthTracker::Clock;
+  const auto t0 = Clock::now();
+  const auto at = [t0](double ms) {
+    return t0 + std::chrono::microseconds(static_cast<long>(ms * 1000));
+  };
+  HealthTracker tracker(fast_health());
+  tracker.record_success(at(0));
+  tracker.tick(at(1'000));  // silence past both bounds
+  ASSERT_EQ(tracker.state(), HealthState::kDead);
+  // reset() is re-registration, not a state-machine edge: the tracker
+  // restarts as a brand-new Unknown member with its history cleared.
+  tracker.reset();
+  EXPECT_EQ(tracker.state(), HealthState::kUnknown);
+  EXPECT_FALSE(tracker.routable());
+  EXPECT_TRUE(tracker.transitions().empty());
+  EXPECT_EQ(tracker.consecutive_failures(), 0u);
+  // Unknown never times out; a heartbeat answer walks it back Alive.
+  tracker.tick(at(10'000));
+  EXPECT_EQ(tracker.state(), HealthState::kUnknown);
+  tracker.record_success(at(10'000));
+  EXPECT_EQ(tracker.state(), HealthState::kAlive);
   for (const auto& t : tracker.transitions()) {
     EXPECT_TRUE(transition_valid(t.from, t.to));
   }
@@ -644,6 +678,162 @@ TEST(FleetFailover, SigkilledShardCostsNoRequests) {
   frontend.stop();
   reap(pids[1], SIGTERM);
   reap(pids[2], SIGTERM);
+}
+
+// Regression for a mutual-join deadlock: when two replica channels
+// broke near-simultaneously with requests in flight, each exiting
+// reader used to redispatch its pending set into the other replica and
+// join the other (still-exiting) reader under that replica's conn_mu —
+// reader A waiting on reader B waiting on reader A, hanging the
+// frontend and any later stop(). Broken readers are now parked and
+// reaped by the heartbeat thread, so crossing failovers must complete.
+TEST(FleetFailover, TwoSimultaneousKillsFailOverWithoutDeadlock) {
+  const std::string dir = unique_dir();
+  const std::string model_path = dir + "/model.bin";
+  make_identity_servable(kDim).save(model_path);
+
+  std::vector<std::string> eps;
+  std::vector<pid_t> pids;
+  for (int s = 0; s < 3; ++s) {
+    eps.push_back("unix:" + dir + "/s" + std::to_string(s) + ".sock");
+    pids.push_back(spawn_shard_process(eps.back(), model_path));
+    ASSERT_GT(pids.back(), 0);
+  }
+  for (const auto& ep : eps) wait_shard_reachable(ep);
+
+  Frontend frontend(frontend_config(dir, eps));
+  frontend.start();
+  ASSERT_TRUE(frontend.wait_until_ready(3, std::chrono::seconds(5)));
+
+  // Unpaced bursts keep every replica's pending map deep, so when both
+  // kills land there are predicts in flight on both channels whose
+  // failovers cross into each other's replica.
+  constexpr int kClients = 4;
+  constexpr int kPerClient = 400;
+  std::atomic<std::size_t> ok{0};
+  std::vector<std::string> failures;
+  std::mutex failures_mu;
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      FleetClient client({"unix:" + dir + "/front.sock"});
+      util::Rng rng(300 + c);
+      std::vector<std::future<PredictResponse>> pending;
+      for (int i = 0; i < kPerClient; ++i) {
+        pending.push_back(client.submit(
+            random_features(rng),
+            static_cast<std::uint64_t>(c * kPerClient + i)));
+      }
+      for (auto& f : pending) {
+        const PredictResponse resp = f.get();
+        if (resp.status == Status::kOk) {
+          ok.fetch_add(1);
+        } else {
+          std::lock_guard<std::mutex> lock(failures_mu);
+          failures.push_back(std::string(status_name(resp.status)) + ": " +
+                             resp.error);
+        }
+      }
+    });
+  }
+  // Kill mid-burst, while the submission loops are still running.
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  kill(pids[0], SIGKILL);
+  kill(pids[1], SIGKILL);
+  int status = 0;
+  waitpid(pids[0], &status, 0);
+  waitpid(pids[1], &status, 0);
+  // The regression bar is liveness, not zero shed: every future must
+  // resolve (a mutual join would hang these .get()s and trip the test
+  // timeout). Under this burst one surviving shard may legally shed
+  // load — but only as explicit backpressure, never as an error.
+  for (auto& t : clients) t.join();
+  EXPECT_GT(ok.load(), 0u);
+  for (const std::string& failure : failures) {
+    EXPECT_TRUE(failure.rfind("overloaded", 0) == 0 ||
+                failure.rfind("unavailable", 0) == 0)
+        << failure;
+  }
+
+  // And the survivor serves 100% once the burst clears.
+  {
+    FleetClient client({"unix:" + dir + "/front.sock"});
+    util::Rng rng(350);
+    for (int i = 0; i < 50; ++i) {
+      const PredictResponse resp = client.predict(
+          random_features(rng), static_cast<std::uint64_t>(i));
+      ASSERT_EQ(resp.status, Status::kOk) << resp.error;
+    }
+  }
+
+  frontend.stop();
+  reap(pids[2], SIGTERM);
+}
+
+// A shard that restarts after an outage rejoins the fleet without a
+// frontend restart: the heartbeat thread re-probes Dead endpoints, a
+// successful connect re-registers the replica (fresh tracker), and its
+// group returns to the ring.
+TEST(FleetFailover, RestartedShardRejoinsFleet) {
+  const std::string dir = unique_dir();
+  const std::string model_path = dir + "/model.bin";
+  make_identity_servable(kDim).save(model_path);
+
+  std::vector<std::string> eps;
+  std::vector<pid_t> pids;
+  for (int s = 0; s < 2; ++s) {
+    eps.push_back("unix:" + dir + "/s" + std::to_string(s) + ".sock");
+    pids.push_back(spawn_shard_process(eps.back(), model_path));
+    ASSERT_GT(pids.back(), 0);
+  }
+  for (const auto& ep : eps) wait_shard_reachable(ep);
+
+  FrontendConfig config = frontend_config(dir, eps);
+  config.dead_probe_interval_ms = 50.0;
+  Frontend frontend(config);
+  frontend.start();
+  ASSERT_TRUE(frontend.wait_until_ready(2, std::chrono::seconds(5)));
+
+  kill(pids[0], SIGKILL);
+  int status = 0;
+  waitpid(pids[0], &status, 0);
+  const auto death_deadline =
+      HealthTracker::Clock::now() + std::chrono::seconds(5);
+  while ((frontend.replica_state(eps[0]) != HealthState::kDead ||
+          frontend.ring_groups().size() != 1) &&
+         HealthTracker::Clock::now() < death_deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  ASSERT_EQ(frontend.replica_state(eps[0]), HealthState::kDead);
+  ASSERT_EQ(frontend.ring_groups().size(), 1u);
+
+  // Restart in place on the same endpoint; the probe path must bring
+  // the replica back to Alive and re-add its group to the ring.
+  pids[0] = spawn_shard_process(eps[0], model_path);
+  ASSERT_GT(pids[0], 0);
+  wait_shard_reachable(eps[0]);
+  const auto rejoin_deadline =
+      HealthTracker::Clock::now() + std::chrono::seconds(5);
+  while ((frontend.replica_state(eps[0]) != HealthState::kAlive ||
+          frontend.ring_groups().size() != 2) &&
+         HealthTracker::Clock::now() < rejoin_deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  EXPECT_EQ(frontend.replica_state(eps[0]), HealthState::kAlive);
+  EXPECT_EQ(frontend.ring_groups().size(), 2u);
+
+  // The whole fleet serves again, rejoined shard included.
+  FleetClient client({"unix:" + dir + "/front.sock"});
+  util::Rng rng(400);
+  for (int i = 0; i < 50; ++i) {
+    const PredictResponse resp =
+        client.predict(random_features(rng), static_cast<std::uint64_t>(i));
+    ASSERT_EQ(resp.status, Status::kOk) << resp.error;
+  }
+
+  frontend.stop();
+  reap(pids[0], SIGTERM);
+  reap(pids[1], SIGTERM);
 }
 
 }  // namespace

@@ -82,6 +82,23 @@ TEST(RequestQueue, AdmissionControlRejectsWhenFull) {
   for (auto& r : pending) r.promise.set_value(Response{});
 }
 
+TEST(RequestQueue, ForcePushBypassesCapacityButNotClose) {
+  RequestQueue queue(1);
+  Request a = make_request(3), b = make_request(3);
+  EXPECT_EQ(queue.try_push(a), RequestQueue::Push::kOk);
+  // Past capacity: try_push sheds, force_push (the adoption path)
+  // still admits — the request was already admitted once upstream.
+  EXPECT_EQ(queue.force_push(b), RequestQueue::Push::kOk);
+  EXPECT_EQ(queue.size(), 2u);
+  queue.close();
+  Request c = make_request(3);
+  EXPECT_EQ(queue.force_push(c), RequestQueue::Push::kClosed);
+  c.promise.set_value(Response{});
+  auto pending = queue.drain();
+  EXPECT_EQ(pending.size(), 2u);
+  for (auto& r : pending) r.promise.set_value(Response{});
+}
+
 TEST(RequestQueue, PopBatchRespectsMaxBatch) {
   RequestQueue queue(8);
   for (int i = 0; i < 5; ++i) {
@@ -312,6 +329,29 @@ TEST(Server, QueueFullShedsLoadWithoutBlocking) {
   const auto s = server.stats().snapshot();
   EXPECT_EQ(s.submitted, 2u);
   EXPECT_EQ(s.rejected_full, 1u);
+}
+
+TEST(Server, AdoptBypassesCapacityForAlreadyAdmittedWork) {
+  auto model = make_identity_servable(3);
+  ServerConfig config;
+  config.queue_capacity = 1;
+  Server server(model, config);  // not started: requests park in the queue
+  auto parked = server.submit(one_hot_input(3, 0));  // queue now full
+  // A reload handoff must not re-reject work the old server admitted,
+  // even when new traffic saturated the replacement's queue first.
+  Request handoff;
+  handoff.input = one_hot_input(3, 2);
+  handoff.id = 77;
+  handoff.enqueued_at = Clock::now();
+  auto adopted = handoff.promise.get_future();
+  server.adopt(std::move(handoff));
+  EXPECT_EQ(server.queue_depth(), 2u);  // admitted past capacity
+  server.start();
+  EXPECT_EQ(parked.get().label, 0u);
+  const Response resp = adopted.get();
+  EXPECT_EQ(resp.status, Status::kOk);
+  EXPECT_EQ(resp.label, 2u);
+  server.stop();
 }
 
 TEST(Server, ExpiredRequestNeverRunsTheModel) {

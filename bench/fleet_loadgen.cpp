@@ -12,6 +12,12 @@
 //   TAGLETS_FLEET_REQUESTS  total open-loop submissions  (default 4000)
 //   TAGLETS_FLEET_RATE_RPS  submission rate              (default 2000)
 //   TAGLETS_FLEET_JSON_OUT  also write summary JSON to this path
+//   TAGLETS_FLEET_TRACE_OUT    enable tracing fleet-wide (the children
+//                              inherit TAGLETS_TRACE=1) and write one
+//                              merged Chrome trace with per-process
+//                              lanes after the drill
+//   TAGLETS_FLEET_METRICS_OUT  write the federated metrics snapshot
+//                              (per-shard labeled) after the drill
 //
 // Exits non-zero when any request fails or goes unresolved: with two
 // surviving shards the error budget for one SIGKILL is exactly zero.
@@ -39,7 +45,11 @@
 #include "fleet/frontend.hpp"
 #include "fleet/shard.hpp"
 #include "fleet/socket.hpp"
+#include "fleet/trace_merge.hpp"
 #include "nn/sequential.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "util/atomic_io.hpp"
 #include "util/env.hpp"
 #include "util/rng.hpp"
 #include "util/timer.hpp"
@@ -67,6 +77,7 @@ ensemble::ServableModel make_model() {
 
 int run_child_shard(const char* endpoint, const char* model_path) {
   try {
+    obs::set_process_name(std::string("shard ") + endpoint);
     fleet::ShardConfig config;
     config.endpoint = endpoint;
     config.server.workers = 2;
@@ -135,6 +146,18 @@ int main(int argc, char** argv) {
       static_cast<double>(util::env_long("TAGLETS_FLEET_RATE_RPS", 2000));
   const std::string json_out =
       util::env_string("TAGLETS_FLEET_JSON_OUT", "");
+  const std::string trace_out =
+      util::env_string("TAGLETS_FLEET_TRACE_OUT", "");
+  const std::string metrics_out =
+      util::env_string("TAGLETS_FLEET_METRICS_OUT", "");
+
+  obs::set_process_name("frontend");
+  if (!trace_out.empty()) {
+    // Children re-exec this binary, so the env var (not the in-process
+    // flag) is what turns tracing on fleet-wide.
+    setenv("TAGLETS_TRACE", "1", 1);
+    obs::set_trace_enabled(true);
+  }
 
   std::string dir = "/tmp/taglets_fleet_bench_";
   dir += std::to_string(getpid());
@@ -286,6 +309,33 @@ int main(int argc, char** argv) {
     std::ofstream out(json_out);
     out << os.str() << "\n";
     std::cout << "[fleet_loadgen] wrote " << json_out << "\n";
+  }
+
+  // Observability exports run while the surviving shards are still up:
+  // both pull over one-shot control connections.
+  if (!trace_out.empty()) {
+    const fleet::TraceExportResponse traces = frontend.collect_traces();
+    std::size_t spans = 0;
+    for (const auto& proc : traces.processes) spans += proc.spans.size();
+    util::atomic_write_file(trace_out,
+                            fleet::render_chrome_trace(traces.processes) + "\n",
+                            "fleet.trace.export");
+    std::cout << "[fleet_loadgen] wrote merged trace (" << spans
+              << " spans, " << traces.processes.size() << " processes) to "
+              << trace_out << "\n";
+  }
+  if (!metrics_out.empty()) {
+    const fleet::MetricsResponse metrics = frontend.federated_metrics();
+    std::string doc = "{\"snapshots\":[";
+    for (std::size_t i = 0; i < metrics.snapshots.size(); ++i) {
+      if (i > 0) doc += ",";
+      doc += metrics.snapshots[i].to_json();
+    }
+    doc += "]}";
+    util::atomic_write_file(metrics_out, doc + "\n", "fleet.metrics.export");
+    std::cout << "[fleet_loadgen] wrote federated metrics ("
+              << metrics.snapshots.size() << " snapshots) to " << metrics_out
+              << "\n";
   }
 
   frontend.stop();

@@ -20,7 +20,34 @@ for b in build/bench/table1_officehome build/bench/table2_grocery_fmd \
   $b
 done
 
-# Fleet serving bench: 3 shard processes, one SIGKILLed mid-run.
-# Emits the committed BENCH_fleet.json snapshot (throughput, latency
-# percentiles, failover recovery time) tracked across PRs.
+# Serving benches: each emits a committed BENCH_*.json snapshot
+# tracked across PRs (in-process server, micro kernels, and the fleet
+# drill: 3 shard processes, one SIGKILLed mid-run).
+TAGLETS_SERVE_JSON_OUT=BENCH_serve.json build/bench/serve_loadgen
+build/bench/micro_core --benchmark_out=BENCH_micro_core.json \
+  --benchmark_out_format=json
 TAGLETS_FLEET_JSON_OUT=BENCH_fleet.json build/bench/fleet_loadgen
+
+# Stamp every snapshot with its provenance — the numbers are
+# meaningless in a trajectory without knowing what produced them.
+sha=$(git rev-parse --short HEAD 2>/dev/null || echo unknown)
+dirty=$(git diff --quiet 2>/dev/null || echo "-dirty")
+backend=$(build/tools/taglets_run --backend-info | head -1 | sed 's/^tensor backend: //')
+threads=${TAGLETS_THREADS:-$(nproc)}
+for f in BENCH_*.json; do
+  python3 - "$f" "$sha$dirty" "$backend" "$threads" <<'EOF'
+import json, sys
+path, sha, backend, threads = sys.argv[1:5]
+with open(path) as fh:
+    doc = json.load(fh)
+doc["provenance"] = {
+    "git_sha": sha,
+    "tensor_backend": backend,
+    "threads": int(threads),
+}
+with open(path, "w") as fh:
+    json.dump(doc, fh, indent=1 if path.endswith("micro_core.json") else None)
+    fh.write("\n")
+EOF
+done
+echo "[run_benches] stamped BENCH_*.json with git_sha=$sha$dirty backend=$backend threads=$threads"

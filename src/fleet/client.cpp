@@ -25,6 +25,10 @@ struct FleetClient::Waiters {
   std::promise<ReloadResponse> reload;
   bool stats_armed = false;
   std::promise<StatsResponse> stats;
+  bool trace_armed = false;
+  std::promise<TraceExportResponse> trace;
+  bool metrics_armed = false;
+  std::promise<MetricsResponse> metrics;
 };
 
 FleetClient::FleetClient(FleetClientConfig config)
@@ -55,11 +59,13 @@ void FleetClient::send_locked_checked(
 
 std::future<PredictResponse> FleetClient::submit(std::vector<float> features,
                                                  std::uint64_t routing_key,
-                                                 double deadline_ms) {
+                                                 double deadline_ms,
+                                                 std::uint64_t trace_id) {
   PredictRequest request;
   request.id = next_id_.fetch_add(1, std::memory_order_relaxed);
   request.routing_key = routing_key;
   request.deadline_ms = deadline_ms;
+  request.trace_id = trace_id;
   request.features = std::move(features);
 
   std::promise<PredictResponse> promise;
@@ -96,8 +102,10 @@ std::future<PredictResponse> FleetClient::submit(std::vector<float> features,
 
 PredictResponse FleetClient::predict(std::vector<float> features,
                                      std::uint64_t routing_key,
-                                     double deadline_ms) {
-  return submit(std::move(features), routing_key, deadline_ms).get();
+                                     double deadline_ms,
+                                     std::uint64_t trace_id) {
+  return submit(std::move(features), routing_key, deadline_ms, trace_id)
+      .get();
 }
 
 Pong FleetClient::ping() {
@@ -194,6 +202,66 @@ std::string FleetClient::stats() {
   return future.get().json;
 }
 
+TraceExportResponse FleetClient::trace_export() {
+  std::lock_guard<std::mutex> control(control_mu_);
+  std::future<TraceExportResponse> future;
+  {
+    std::lock_guard<std::mutex> lock(pending_mu_);
+    if (broken_.load(std::memory_order_acquire)) {
+      throw SocketError("connection closed");
+    }
+    waiters_->trace = std::promise<TraceExportResponse>();
+    future = waiters_->trace.get_future();
+    waiters_->trace_armed = true;
+  }
+  try {
+    send_locked_checked(encode(TraceExportRequest{}));
+  } catch (const SocketError&) {
+    std::lock_guard<std::mutex> lock(pending_mu_);
+    waiters_->trace_armed = false;
+    throw;
+  }
+  if (future.wait_for(ms(config_.io_timeout_ms)) !=
+      std::future_status::ready) {
+    std::lock_guard<std::mutex> lock(pending_mu_);
+    if (waiters_->trace_armed) {
+      waiters_->trace_armed = false;
+      throw SocketError("trace export reply timeout");
+    }
+  }
+  return future.get();
+}
+
+MetricsResponse FleetClient::fleet_metrics() {
+  std::lock_guard<std::mutex> control(control_mu_);
+  std::future<MetricsResponse> future;
+  {
+    std::lock_guard<std::mutex> lock(pending_mu_);
+    if (broken_.load(std::memory_order_acquire)) {
+      throw SocketError("connection closed");
+    }
+    waiters_->metrics = std::promise<MetricsResponse>();
+    future = waiters_->metrics.get_future();
+    waiters_->metrics_armed = true;
+  }
+  try {
+    send_locked_checked(encode(MetricsRequest{}));
+  } catch (const SocketError&) {
+    std::lock_guard<std::mutex> lock(pending_mu_);
+    waiters_->metrics_armed = false;
+    throw;
+  }
+  if (future.wait_for(ms(config_.io_timeout_ms)) !=
+      std::future_status::ready) {
+    std::lock_guard<std::mutex> lock(pending_mu_);
+    if (waiters_->metrics_armed) {
+      waiters_->metrics_armed = false;
+      throw SocketError("metrics reply timeout");
+    }
+  }
+  return future.get();
+}
+
 void FleetClient::reader_loop() {
   for (;;) {
     std::optional<std::vector<std::uint8_t>> frame;
@@ -248,6 +316,24 @@ void FleetClient::reader_loop() {
           }
           break;
         }
+        case MsgType::kTraceExportResponse: {
+          TraceExportResponse resp = decode_trace_export_response(*frame);
+          std::lock_guard<std::mutex> lock(pending_mu_);
+          if (waiters_->trace_armed) {
+            waiters_->trace_armed = false;
+            waiters_->trace.set_value(std::move(resp));
+          }
+          break;
+        }
+        case MsgType::kMetricsResponse: {
+          MetricsResponse resp = decode_metrics_response(*frame);
+          std::lock_guard<std::mutex> lock(pending_mu_);
+          if (waiters_->metrics_armed) {
+            waiters_->metrics_armed = false;
+            waiters_->metrics.set_value(std::move(resp));
+          }
+          break;
+        }
         default:
           break;
       }
@@ -277,6 +363,14 @@ void FleetClient::fail_all_pending() {
     if (waiters_->stats_armed) {
       waiters_->stats_armed = false;
       waiters_->stats.set_exception(gone);
+    }
+    if (waiters_->trace_armed) {
+      waiters_->trace_armed = false;
+      waiters_->trace.set_exception(gone);
+    }
+    if (waiters_->metrics_armed) {
+      waiters_->metrics_armed = false;
+      waiters_->metrics.set_exception(gone);
     }
   }
   for (auto& [id, promise] : orphans) {

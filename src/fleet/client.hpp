@@ -45,13 +45,17 @@ class FleetClient {
 
   /// Pipelined predict. The future always resolves: with the peer's
   /// response, or with kUnavailable when the connection dies first.
+  /// `trace_id` propagates distributed-trace context (0 = let the
+  /// frontend originate one when tracing is on).
   std::future<PredictResponse> submit(std::vector<float> features,
                                       std::uint64_t routing_key = 0,
-                                      double deadline_ms = 0.0);
+                                      double deadline_ms = 0.0,
+                                      std::uint64_t trace_id = 0);
   /// submit + wait.
   PredictResponse predict(std::vector<float> features,
                           std::uint64_t routing_key = 0,
-                          double deadline_ms = 0.0);
+                          double deadline_ms = 0.0,
+                          std::uint64_t trace_id = 0);
 
   /// Heartbeat round-trip. Throws SocketError on a dead connection or
   /// reply timeout.
@@ -60,6 +64,13 @@ class FleetClient {
   ReloadResponse reload(const std::string& path);
   /// Peer stats JSON (shard ServerStats or frontend aggregate).
   std::string stats();
+  /// Pull the peer's span buffers (a frontend answers with every fleet
+  /// process's trace, clock-aligned onto its own epoch). Render with
+  /// render_chrome_trace(). Throws SocketError on a dead connection.
+  TraceExportResponse trace_export();
+  /// Pull the peer's structured metrics (a frontend answers with the
+  /// whole federation, per-shard labeled). Throws SocketError.
+  MetricsResponse fleet_metrics();
 
   /// Fail outstanding futures, close, join. Idempotent.
   void close();

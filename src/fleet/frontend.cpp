@@ -1,12 +1,18 @@
 #include "fleet/frontend.hpp"
 
+#include <unistd.h>
+
 #include <algorithm>
+#include <chrono>
 #include <limits>
 #include <sstream>
 #include <stdexcept>
 #include <utility>
 
+#include "fleet/trace_merge.hpp"
+#include "obs/json.hpp"
 #include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/check.hpp"
 
 namespace taglets::fleet {
@@ -101,6 +107,20 @@ struct Frontend::Replica {
   std::atomic<std::uint32_t> queue_depth{0};
   std::atomic<std::uint32_t> queue_capacity{0};
   std::atomic<std::uint64_t> model_version{0};
+
+  /// Heartbeat-thread-only: last state written to the event log, so
+  /// transitions are logged once at heartbeat granularity.
+  HealthState last_logged_state = HealthState::kUnknown;
+  /// Lifetime rejoin count (tracker.reset() wipes transition history).
+  std::atomic<std::uint64_t> rejoins{0};
+
+  // Latency attribution histograms, shared per group (same registry
+  // names resolve to the same instances): end-to-end as the frontend
+  // saw it, plus the network / queue-wait / compute decomposition.
+  obs::Histogram* latency_hist = nullptr;     // ..latency_ms{shard=G}
+  obs::Histogram* network_hist = nullptr;     // total - shard_ms
+  obs::Histogram* queue_wait_hist = nullptr;  // shard admission->dispatch
+  obs::Histogram* compute_hist = nullptr;     // shard dispatch->done
 };
 
 /// One client request making its way through the candidate list. At
@@ -113,6 +133,7 @@ struct Frontend::RouteTask {
   PredictRequest request;  // original client id preserved
   Completion done;
   std::vector<Replica*> candidates;
+  obs::TraceClock::time_point t_start{};  // admission at the frontend
   std::atomic<std::size_t> next{0};
   std::atomic<bool> saw_overload{false};
   std::atomic<bool> completed{false};
@@ -155,6 +176,28 @@ Frontend::Frontend(FrontendConfig config)
   alive_replicas_gauge_ = &registry.gauge("fleet.frontend.alive_replicas");
   ring_groups_gauge_ = &registry.gauge("fleet.frontend.ring_groups");
   ring_groups_gauge_->set(static_cast<double>(config_.groups.size()));
+  // Per-group latency decomposition; replicas of one group share the
+  // registry instances (histogram() returns the existing one).
+  for (auto& replica : replicas_) {
+    const std::string suffix = "_ms{shard=" + replica->group + "}";
+    replica->latency_hist = &registry.histogram(
+        "fleet.frontend.latency" + suffix, obs::default_latency_buckets_ms());
+    replica->network_hist = &registry.histogram(
+        "fleet.frontend.network" + suffix, obs::default_latency_buckets_ms());
+    replica->queue_wait_hist =
+        &registry.histogram("fleet.frontend.queue_wait" + suffix,
+                            obs::default_latency_buckets_ms());
+    replica->compute_hist = &registry.histogram(
+        "fleet.frontend.compute" + suffix, obs::default_latency_buckets_ms());
+  }
+  if (!config_.event_log_path.empty()) {
+    event_log_ = std::make_unique<std::ofstream>(config_.event_log_path,
+                                                 std::ios::app);
+    if (!*event_log_) {
+      throw std::runtime_error("Frontend: cannot open event log " +
+                               config_.event_log_path);
+    }
+  }
 }
 
 Frontend::~Frontend() { stop(); }
@@ -231,6 +274,14 @@ void Frontend::route(PredictRequest request, Completion done) {
   auto task = std::make_shared<RouteTask>();
   task->request = std::move(request);
   task->done = std::move(done);
+  task->t_start = obs::TraceClock::now();
+  if (obs::trace_enabled() && task->request.trace_id == 0) {
+    // Originate trace context here when the client sent none: pid in
+    // the high bits keeps ids distinct across fleet processes.
+    task->request.trace_id =
+        (static_cast<std::uint64_t>(::getpid()) << 32) ^
+        next_trace_seq_.fetch_add(1, std::memory_order_relaxed);
+  }
   task->candidates = candidates_for(task->request.routing_key);
   dispatch(std::move(task));
 }
@@ -292,7 +343,7 @@ void Frontend::dispatch(std::shared_ptr<RouteTask> task) {
     resp.error = "no routable replica";
     unavailable_total_->add();
   }
-  complete(task, std::move(resp));
+  complete(task, std::move(resp), nullptr);
 }
 
 bool Frontend::send_to(Replica& replica,
@@ -425,7 +476,7 @@ void Frontend::replica_reader(Replica* replica) {
           }
           replica->tracker.record_success(now);
           resp.id = task->request.id;
-          complete(task, std::move(resp));
+          complete(task, std::move(resp), replica);
           break;
         }
         case MsgType::kPong: {
@@ -465,13 +516,42 @@ void Frontend::replica_reader(Replica* replica) {
   }
   replica->tracker.record_failure(HealthTracker::Clock::now());
   replica->broken.store(true, std::memory_order_release);
+  if (!stranded.empty()) {
+    log_event("failover", "\"endpoint\":\"" +
+                              obs::json_escape(replica->endpoint) +
+                              "\",\"group\":\"" +
+                              obs::json_escape(replica->group) +
+                              "\",\"redispatched\":" +
+                              std::to_string(stranded.size()));
+  }
   for (auto& task : stranded) dispatch(std::move(task));
 }
 
 void Frontend::complete(const std::shared_ptr<RouteTask>& task,
-                        PredictResponse resp) {
+                        PredictResponse resp, Replica* served_by) {
   if (task->completed.exchange(true, std::memory_order_acq_rel)) return;
   if (resp.status == Status::kOk) requests_ok_total_->add();
+  const obs::TraceClock::time_point now = obs::TraceClock::now();
+  const double total_ms =
+      std::chrono::duration<double, std::milli>(now - task->t_start).count();
+  if (served_by != nullptr) {
+    // Attribute where the time went: everything the shard did not
+    // account for is transport + frontend queueing ("network").
+    served_by->latency_hist->observe(total_ms);
+    served_by->network_hist->observe(std::max(0.0, total_ms - resp.shard_ms));
+    served_by->queue_wait_hist->observe(resp.queue_wait_ms);
+    served_by->compute_hist->observe(resp.compute_ms);
+  }
+  if (obs::trace_enabled()) {
+    obs::TraceAttrs attrs = {{"id", std::to_string(task->request.id)},
+                             {"status", status_name(resp.status)}};
+    if (task->request.trace_id != 0) {
+      attrs.emplace_back("trace_id", std::to_string(task->request.trace_id));
+    }
+    if (served_by != nullptr) attrs.emplace_back("shard", served_by->group);
+    obs::Tracer::global().record_complete("fleet.request", task->t_start, now,
+                                          std::move(attrs));
+  }
   task->done(std::move(resp));
 }
 
@@ -516,7 +596,19 @@ void Frontend::heartbeat_round() {
       probe_dead_replica(replica, now);
     }
     replica.tracker.tick(now);
-    if (replica.tracker.state() == HealthState::kAlive) ++alive;
+    const HealthState state = replica.tracker.state();
+    if (state != replica.last_logged_state) {
+      log_event("health", "\"endpoint\":\"" +
+                              obs::json_escape(replica.endpoint) +
+                              "\",\"group\":\"" +
+                              obs::json_escape(replica.group) +
+                              "\",\"from\":\"" +
+                              health_state_name(replica.last_logged_state) +
+                              "\",\"to\":\"" + health_state_name(state) +
+                              "\"");
+      replica.last_logged_state = state;
+    }
+    if (state == HealthState::kAlive) ++alive;
   }
   alive_replicas_gauge_->set(static_cast<double>(alive));
   // Evict groups whose every replica is Dead — the ring must never map
@@ -560,7 +652,11 @@ void Frontend::probe_dead_replica(Replica& replica,
   // brand-new Unknown member (docs/FLEET.md) and the next round's ping
   // walks it back toward Alive.
   replica.tracker.reset();
+  replica.rejoins.fetch_add(1, std::memory_order_relaxed);
   dead_rejoins_total_->add();
+  log_event("rejoin", "\"endpoint\":\"" + obs::json_escape(replica.endpoint) +
+                          "\",\"group\":\"" + obs::json_escape(replica.group) +
+                          "\"");
 }
 
 // ------------------------------------------------------------- control
@@ -607,6 +703,94 @@ ReloadOutcome Frontend::reload_all(const std::string& path) {
     out.model_version = min_version;
   }
   out.message = detail;
+  log_event("reload", "\"path\":\"" + obs::json_escape(path) +
+                          "\",\"ok\":" + (out.ok ? "true" : "false") +
+                          ",\"model_version\":" +
+                          std::to_string(out.model_version) + ",\"detail\":\"" +
+                          obs::json_escape(detail) + "\"");
+  return out;
+}
+
+void Frontend::log_event(const std::string& type, const std::string& fields) {
+  if (!event_log_) return;
+  const auto wall_ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                           std::chrono::system_clock::now().time_since_epoch())
+                           .count();
+  std::lock_guard<std::mutex> lock(event_mu_);
+  *event_log_ << "{\"ts_ms\":" << wall_ms << ",\"event\":\""
+              << obs::json_escape(type) << "\"";
+  if (!fields.empty()) *event_log_ << "," << fields;
+  *event_log_ << "}\n";
+  event_log_->flush();  // ops tail this file; a buffered line is invisible
+}
+
+TraceExportResponse Frontend::collect_traces() {
+  obs::Tracer& tracer = obs::Tracer::global();
+  TraceExportResponse out;
+  out.processes.push_back(build_local_process_trace());  // offset 0: us
+  for (auto& entry : replicas_) {
+    Replica& replica = *entry;
+    if (replica.tracker.state() == HealthState::kDead) continue;
+    try {
+      Connection control =
+          Connection::connect(replica.parsed, ms(config_.connect_timeout_ms));
+      // The round-trip IS the clock-alignment handshake: the shard
+      // stamps its tracer clock while answering, and we assume that
+      // instant fell halfway between t0 and t1 on ours.
+      const double t0 = tracer.now_us();
+      control.send_frame(encode(TraceExportRequest{}),
+                         ms(config_.io_timeout_ms));
+      const auto frame = control.recv_frame(ms(config_.io_timeout_ms));
+      const double t1 = tracer.now_us();
+      if (!frame) continue;  // shard died mid-export; skip its lane
+      TraceExportResponse shard_trace = decode_trace_export_response(*frame);
+      for (ProcessTrace& proc : shard_trace.processes) {
+        proc.align_offset_us = estimate_clock_offset_us(t0, t1, proc.now_us);
+        out.processes.push_back(std::move(proc));
+      }
+    } catch (const std::exception&) {
+      // Unreachable or hostile shard: the merged trace simply misses
+      // its lane; health tracking handles the rest.
+    }
+  }
+  return out;
+}
+
+MetricsResponse Frontend::federated_metrics() {
+  MetricsResponse out;
+  obs::MetricsSnapshot own =
+      obs::MetricsRegistry::global().snapshot(obs::process_name());
+  own.meta.emplace_back("endpoint", config_.endpoint);
+  out.snapshots.push_back(std::move(own));
+  for (auto& entry : replicas_) {
+    Replica& replica = *entry;
+    if (replica.tracker.state() == HealthState::kDead) continue;
+    try {
+      Connection control =
+          Connection::connect(replica.parsed, ms(config_.connect_timeout_ms));
+      control.send_frame(encode(MetricsRequest{}), ms(config_.io_timeout_ms));
+      const auto frame = control.recv_frame(ms(config_.io_timeout_ms));
+      if (!frame) continue;
+      MetricsResponse shard_metrics = decode_metrics_response(*frame);
+      for (obs::MetricsSnapshot& snap : shard_metrics.snapshots) {
+        // Per-shard labels: the aggregator, not the shard, knows where
+        // this snapshot sits in the fleet.
+        if (snap.source.empty()) snap.source = replica.endpoint;
+        snap.meta.emplace_back("group", replica.group);
+        snap.meta.emplace_back("replica_endpoint", replica.endpoint);
+        snap.meta.emplace_back(
+            "health", health_state_name(replica.tracker.state()));
+        snap.meta.emplace_back(
+            "flaps", std::to_string(replica.tracker.transitions().size()));
+        snap.meta.emplace_back(
+            "rejoins",
+            std::to_string(replica.rejoins.load(std::memory_order_relaxed)));
+        out.snapshots.push_back(std::move(snap));
+      }
+    } catch (const std::exception&) {
+      // Skipped: the federation reports what answered.
+    }
+  }
   return out;
 }
 
@@ -773,6 +957,20 @@ void Frontend::client_reader(std::shared_ptr<ClientConn> client) {
           StatsResponse resp;
           resp.json = stats_json();
           const std::vector<std::uint8_t> reply = encode(resp);
+          std::lock_guard<std::mutex> lock(client->write_mu);
+          client->conn.send_frame(reply, ms(config_.io_timeout_ms));
+          break;
+        }
+        case MsgType::kTraceExportRequest: {
+          (void)decode_trace_export_request(*frame);
+          const std::vector<std::uint8_t> reply = encode(collect_traces());
+          std::lock_guard<std::mutex> lock(client->write_mu);
+          client->conn.send_frame(reply, ms(config_.io_timeout_ms));
+          break;
+        }
+        case MsgType::kMetricsRequest: {
+          (void)decode_metrics_request(*frame);
+          const std::vector<std::uint8_t> reply = encode(federated_metrics());
           std::lock_guard<std::mutex> lock(client->write_mu);
           client->conn.send_frame(reply, ms(config_.io_timeout_ms));
           break;

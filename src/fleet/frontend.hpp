@@ -29,6 +29,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <fstream>
 #include <functional>
 #include <memory>
 #include <mutex>
@@ -69,6 +70,10 @@ struct FrontendConfig {
   /// group rejoins the ring. <= 0 disables probing, making Dead
   /// effectively terminal until the frontend restarts.
   double dead_probe_interval_ms = 1000.0;
+  /// Structured JSON-lines operational event log (health transitions,
+  /// failover drains, dead-replica rejoins, reload broadcasts),
+  /// appended to this path. Empty disables.
+  std::string event_log_path;
 
   void validate() const;  // throws std::invalid_argument
 };
@@ -107,6 +112,19 @@ class Frontend {
   /// Aggregate fleet state as JSON (groups, replica health, versions,
   /// frontend counters).
   std::string stats_json() const;
+
+  /// Pull every reachable shard's span buffer over one-shot control
+  /// connections and return it with this process's own, each shard's
+  /// clock offset estimated from its export round-trip (ping-RTT
+  /// midpoint). Render with render_chrome_trace() for one merged
+  /// per-process-lane Chrome trace.
+  TraceExportResponse collect_traces();
+
+  /// Metrics federation: this process's structured registry snapshot
+  /// plus one per reachable shard (one-shot control connections), each
+  /// annotated with group, endpoint, health state, flap and rejoin
+  /// context — the structured replacement for the opaque stats JSON.
+  MetricsResponse federated_metrics();
 
   /// Health state of one replica endpoint (kDead for unknown names).
   HealthState replica_state(const std::string& endpoint) const;
@@ -147,8 +165,15 @@ class Frontend {
   /// Heartbeat-thread-only: attempt a reconnect to a Dead replica at
   /// dead_probe_interval_ms; success re-registers it (fresh tracker).
   void probe_dead_replica(Replica& replica, HealthTracker::Clock::time_point now);
-  void complete(const std::shared_ptr<RouteTask>& task, PredictResponse resp);
+  /// Terminal delivery: latency attribution (network vs queue vs
+  /// compute, labeled per shard group when `served_by` is known), the
+  /// "fleet.request" span, then the client callback — exactly once.
+  void complete(const std::shared_ptr<RouteTask>& task, PredictResponse resp,
+                Replica* served_by);
   Pong make_aggregate_pong(std::uint64_t seq) const;
+  /// Append {"ts_ms":...,"event":type,<fields>} to the event log (no-op
+  /// when disabled). `fields` is a pre-rendered JSON fragment.
+  void log_event(const std::string& type, const std::string& fields);
 
   FrontendConfig config_;
   std::vector<std::unique_ptr<Replica>> replicas_;  // fixed after ctor
@@ -160,6 +185,10 @@ class Frontend {
 
   std::atomic<std::uint64_t> next_wire_id_{1};
   std::atomic<std::uint64_t> next_ping_seq_{1};
+  std::atomic<std::uint64_t> next_trace_seq_{1};
+
+  std::mutex event_mu_;
+  std::unique_ptr<std::ofstream> event_log_;  // null when disabled
 
   std::unique_ptr<Listener> listener_;
   std::thread accept_thread_;

@@ -139,7 +139,7 @@ MsgType peek_type(const std::vector<std::uint8_t>& payload) {
   if (payload.empty()) throw ProtocolError("empty frame");
   const std::uint8_t t = payload.front();
   if (t < static_cast<std::uint8_t>(MsgType::kPredictRequest) ||
-      t > static_cast<std::uint8_t>(MsgType::kStatsResponse)) {
+      t > static_cast<std::uint8_t>(MsgType::kMetricsResponse)) {
     throw ProtocolError("unknown message type " + std::to_string(t));
   }
   return static_cast<MsgType>(t);
@@ -175,6 +175,8 @@ std::vector<std::uint8_t> encode(const PredictRequest& m) {
   w.u64(m.id);
   w.u64(m.routing_key);
   w.f64(m.deadline_ms);
+  w.u64(m.trace_id);
+  w.u64(m.parent_span);
   w.floats(m.features);
   return w.take();
 }
@@ -185,6 +187,8 @@ PredictRequest decode_predict_request(const std::vector<std::uint8_t>& p) {
   m.id = r.u64();
   m.routing_key = r.u64();
   m.deadline_ms = r.f64();
+  m.trace_id = r.u64();
+  m.parent_span = r.u64();
   m.features = r.floats();
   r.expect_end();
   return m;
@@ -200,6 +204,8 @@ std::vector<std::uint8_t> encode(const PredictResponse& m) {
   w.str(m.class_name);
   w.str(m.error);
   w.f64(m.shard_ms);
+  w.f64(m.queue_wait_ms);
+  w.f64(m.compute_ms);
   return w.take();
 }
 
@@ -213,6 +219,8 @@ PredictResponse decode_predict_response(const std::vector<std::uint8_t>& p) {
   m.class_name = r.str();
   m.error = r.str();
   m.shard_ms = r.f64();
+  m.queue_wait_ms = r.f64();
+  m.compute_ms = r.f64();
   r.expect_end();
   return m;
 }
@@ -318,6 +326,183 @@ StatsResponse decode_stats_response(const std::vector<std::uint8_t>& p) {
   FrameReader r = open(p, MsgType::kStatsResponse);
   StatsResponse m;
   m.json = r.str();
+  r.expect_end();
+  return m;
+}
+
+std::vector<std::uint8_t> encode(const TraceExportRequest&) {
+  FrameWriter w;
+  w.u8(static_cast<std::uint8_t>(MsgType::kTraceExportRequest));
+  return w.take();
+}
+
+TraceExportRequest decode_trace_export_request(
+    const std::vector<std::uint8_t>& p) {
+  FrameReader r = open(p, MsgType::kTraceExportRequest);
+  r.expect_end();
+  return TraceExportRequest{};
+}
+
+std::vector<std::uint8_t> encode(const TraceExportResponse& m) {
+  FrameWriter w;
+  w.u8(static_cast<std::uint8_t>(MsgType::kTraceExportResponse));
+  w.u32(static_cast<std::uint32_t>(m.processes.size()));
+  for (const ProcessTrace& proc : m.processes) {
+    w.u32(proc.pid);
+    w.str(proc.name);
+    w.f64(proc.now_us);
+    w.f64(proc.align_offset_us);
+    w.u64(proc.dropped);
+    w.u32(static_cast<std::uint32_t>(proc.spans.size()));
+    for (const WireSpan& span : proc.spans) {
+      w.str(span.name);
+      w.u32(span.tid);
+      w.f64(span.ts_us);
+      w.f64(span.dur_us);
+      w.u32(span.depth);
+      w.u32(static_cast<std::uint32_t>(span.attrs.size()));
+      for (const auto& [key, value] : span.attrs) {
+        w.str(key);
+        w.str(value);
+      }
+    }
+  }
+  return w.take();
+}
+
+TraceExportResponse decode_trace_export_response(
+    const std::vector<std::uint8_t>& p) {
+  FrameReader r = open(p, MsgType::kTraceExportResponse);
+  TraceExportResponse m;
+  // Counts come off the wire, so containers grow via push_back — the
+  // per-read underflow checks bound a hostile count before it can
+  // drive a huge allocation.
+  const std::uint32_t n_procs = r.u32();
+  for (std::uint32_t i = 0; i < n_procs; ++i) {
+    ProcessTrace proc;
+    proc.pid = r.u32();
+    proc.name = r.str();
+    proc.now_us = r.f64();
+    proc.align_offset_us = r.f64();
+    proc.dropped = r.u64();
+    const std::uint32_t n_spans = r.u32();
+    for (std::uint32_t s = 0; s < n_spans; ++s) {
+      WireSpan span;
+      span.name = r.str();
+      span.tid = r.u32();
+      span.ts_us = r.f64();
+      span.dur_us = r.f64();
+      span.depth = r.u32();
+      const std::uint32_t n_attrs = r.u32();
+      for (std::uint32_t a = 0; a < n_attrs; ++a) {
+        std::string key = r.str();
+        std::string value = r.str();
+        span.attrs.emplace_back(std::move(key), std::move(value));
+      }
+      proc.spans.push_back(std::move(span));
+    }
+    m.processes.push_back(std::move(proc));
+  }
+  r.expect_end();
+  return m;
+}
+
+std::vector<std::uint8_t> encode(const MetricsRequest&) {
+  FrameWriter w;
+  w.u8(static_cast<std::uint8_t>(MsgType::kMetricsRequest));
+  return w.take();
+}
+
+MetricsRequest decode_metrics_request(const std::vector<std::uint8_t>& p) {
+  FrameReader r = open(p, MsgType::kMetricsRequest);
+  r.expect_end();
+  return MetricsRequest{};
+}
+
+std::vector<std::uint8_t> encode(const MetricsResponse& m) {
+  FrameWriter w;
+  w.u8(static_cast<std::uint8_t>(MsgType::kMetricsResponse));
+  w.u32(static_cast<std::uint32_t>(m.snapshots.size()));
+  for (const obs::MetricsSnapshot& snap : m.snapshots) {
+    w.str(snap.source);
+    w.u32(static_cast<std::uint32_t>(snap.meta.size()));
+    for (const auto& [key, value] : snap.meta) {
+      w.str(key);
+      w.str(value);
+    }
+    w.u32(static_cast<std::uint32_t>(snap.counters.size()));
+    for (const auto& c : snap.counters) {
+      w.str(c.name);
+      w.u64(c.value);
+    }
+    w.u32(static_cast<std::uint32_t>(snap.gauges.size()));
+    for (const auto& g : snap.gauges) {
+      w.str(g.name);
+      w.f64(g.value);
+    }
+    w.u32(static_cast<std::uint32_t>(snap.histograms.size()));
+    for (const auto& h : snap.histograms) {
+      w.str(h.name);
+      w.u32(static_cast<std::uint32_t>(h.snap.bounds.size()));
+      for (const double b : h.snap.bounds) w.f64(b);
+      w.u32(static_cast<std::uint32_t>(h.snap.counts.size()));
+      for (const std::uint64_t c : h.snap.counts) w.u64(c);
+      w.u64(h.snap.count);
+      w.f64(h.snap.sum);
+    }
+  }
+  return w.take();
+}
+
+MetricsResponse decode_metrics_response(const std::vector<std::uint8_t>& p) {
+  FrameReader r = open(p, MsgType::kMetricsResponse);
+  MetricsResponse m;
+  const std::uint32_t n_snaps = r.u32();
+  for (std::uint32_t i = 0; i < n_snaps; ++i) {
+    obs::MetricsSnapshot snap;
+    snap.source = r.str();
+    const std::uint32_t n_meta = r.u32();
+    for (std::uint32_t k = 0; k < n_meta; ++k) {
+      std::string key = r.str();
+      std::string value = r.str();
+      snap.meta.emplace_back(std::move(key), std::move(value));
+    }
+    const std::uint32_t n_counters = r.u32();
+    for (std::uint32_t k = 0; k < n_counters; ++k) {
+      obs::MetricsSnapshot::CounterEntry e;
+      e.name = r.str();
+      e.value = r.u64();
+      snap.counters.push_back(std::move(e));
+    }
+    const std::uint32_t n_gauges = r.u32();
+    for (std::uint32_t k = 0; k < n_gauges; ++k) {
+      obs::MetricsSnapshot::GaugeEntry e;
+      e.name = r.str();
+      e.value = r.f64();
+      snap.gauges.push_back(std::move(e));
+    }
+    const std::uint32_t n_hists = r.u32();
+    for (std::uint32_t k = 0; k < n_hists; ++k) {
+      obs::MetricsSnapshot::HistogramEntry e;
+      e.name = r.str();
+      const std::uint32_t n_bounds = r.u32();
+      for (std::uint32_t b = 0; b < n_bounds; ++b) {
+        e.snap.bounds.push_back(r.f64());
+      }
+      const std::uint32_t n_counts = r.u32();
+      for (std::uint32_t b = 0; b < n_counts; ++b) {
+        e.snap.counts.push_back(r.u64());
+      }
+      e.snap.count = r.u64();
+      e.snap.sum = r.f64();
+      if (e.snap.counts.size() != e.snap.bounds.size() + 1) {
+        throw ProtocolError("histogram '" + e.name +
+                            "': counts must be bounds + 1");
+      }
+      snap.histograms.push_back(std::move(e));
+    }
+    m.snapshots.push_back(std::move(snap));
+  }
   r.expect_end();
   return m;
 }

@@ -18,7 +18,10 @@
 #include <cstdint>
 #include <stdexcept>
 #include <string>
+#include <utility>
 #include <vector>
+
+#include "obs/metrics.hpp"
 
 namespace taglets::fleet {
 
@@ -44,6 +47,10 @@ enum class MsgType : std::uint8_t {
   kReloadResponse = 6,
   kStatsRequest = 7,
   kStatsResponse = 8,
+  kTraceExportRequest = 9,
+  kTraceExportResponse = 10,
+  kMetricsRequest = 11,
+  kMetricsResponse = 12,
 };
 
 /// Terminal outcome of one fleet request, superset of the shard-local
@@ -67,6 +74,9 @@ struct PredictRequest {
   std::uint64_t id = 0;           // caller-chosen; echoed in the response
   std::uint64_t routing_key = 0;  // consistent-hash key (e.g. user id)
   double deadline_ms = 0.0;       // per-request deadline, <= 0 = none
+  std::uint64_t trace_id = 0;     // distributed trace context; 0 = none
+                                  // (the frontend assigns one if so)
+  std::uint64_t parent_span = 0;  // caller-side span id, 0 = root
   std::vector<float> features;    // rank-1 input of the model's dim
 };
 
@@ -78,6 +88,11 @@ struct PredictResponse {
   std::string class_name;
   std::string error;       // diagnostic for kError
   double shard_ms = 0.0;   // shard-side admission -> response
+  // Latency decomposition of shard_ms, so the frontend can attribute
+  // time to queue vs compute vs network (network = frontend-observed
+  // total minus shard_ms).
+  double queue_wait_ms = 0.0;  // admission -> batch dispatch
+  double compute_ms = 0.0;     // batch dispatch -> response ready
 };
 
 /// Heartbeat probe. `seq` must be echoed in the matching Pong.
@@ -113,6 +128,52 @@ struct StatsRequest {};
 
 struct StatsResponse {
   std::string json;  // shard ServerStats::to_json / frontend aggregate
+};
+
+/// One finished span pulled from a remote process's tracer buffer.
+/// Timestamps are microseconds on the *producer's* tracer epoch; the
+/// collector maps them into its own epoch via ProcessTrace's offset.
+struct WireSpan {
+  std::string name;
+  std::uint32_t tid = 0;
+  double ts_us = 0.0;
+  double dur_us = 0.0;
+  std::uint32_t depth = 0;
+  std::vector<std::pair<std::string, std::string>> attrs;
+};
+
+/// One process's span buffer plus what the collector needs to merge it:
+/// the real pid and process name for per-process trace lanes, the
+/// producer's tracer clock reading (`now_us`, taken while answering the
+/// export) for ping-RTT-midpoint clock alignment, and the dropped count
+/// so truncation is never silent.
+struct ProcessTrace {
+  std::uint32_t pid = 0;
+  std::string name;              // obs::process_name() of the producer
+  double now_us = 0.0;           // producer's tracer clock at export
+  double align_offset_us = 0.0;  // collector-filled: add to every ts_us
+                                 // to land on the collector's epoch
+  std::uint64_t dropped = 0;     // spans lost to buffer cap/frame budget
+  std::vector<WireSpan> spans;
+};
+
+/// Pull the peer's span buffer (frontend -> shard, or client ->
+/// frontend, where the frontend answers with every process's trace).
+struct TraceExportRequest {};
+
+struct TraceExportResponse {
+  std::vector<ProcessTrace> processes;
+};
+
+/// Pull the peer's structured metrics surface. A shard answers with its
+/// own registry snapshot; a frontend answers with its own snapshot plus
+/// one per reachable shard, each labeled and annotated (endpoint,
+/// health, flaps, version) — the metrics-federation counterpart of the
+/// opaque StatsResponse JSON.
+struct MetricsRequest {};
+
+struct MetricsResponse {
+  std::vector<obs::MetricsSnapshot> snapshots;
 };
 
 // ------------------------------------------------- encoding / decoding
@@ -171,6 +232,10 @@ std::vector<std::uint8_t> encode(const ReloadRequest& m);
 std::vector<std::uint8_t> encode(const ReloadResponse& m);
 std::vector<std::uint8_t> encode(const StatsRequest& m);
 std::vector<std::uint8_t> encode(const StatsResponse& m);
+std::vector<std::uint8_t> encode(const TraceExportRequest& m);
+std::vector<std::uint8_t> encode(const TraceExportResponse& m);
+std::vector<std::uint8_t> encode(const MetricsRequest& m);
+std::vector<std::uint8_t> encode(const MetricsResponse& m);
 
 /// Each decode checks the type byte and consumes the payload exactly.
 PredictRequest decode_predict_request(const std::vector<std::uint8_t>& p);
@@ -181,5 +246,11 @@ ReloadRequest decode_reload_request(const std::vector<std::uint8_t>& p);
 ReloadResponse decode_reload_response(const std::vector<std::uint8_t>& p);
 StatsRequest decode_stats_request(const std::vector<std::uint8_t>& p);
 StatsResponse decode_stats_response(const std::vector<std::uint8_t>& p);
+TraceExportRequest decode_trace_export_request(
+    const std::vector<std::uint8_t>& p);
+TraceExportResponse decode_trace_export_response(
+    const std::vector<std::uint8_t>& p);
+MetricsRequest decode_metrics_request(const std::vector<std::uint8_t>& p);
+MetricsResponse decode_metrics_response(const std::vector<std::uint8_t>& p);
 
 }  // namespace taglets::fleet

@@ -1,12 +1,15 @@
 #include "fleet/shard.hpp"
 
+#include <algorithm>
 #include <condition_variable>
 #include <cstring>
 #include <deque>
 #include <stdexcept>
 #include <utility>
 
+#include "fleet/trace_merge.hpp"
 #include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/check.hpp"
 #include "util/rng.hpp"
 
@@ -179,8 +182,8 @@ void ShardServer::ConnectionHandler::dispatch(
         // with respect to a reload's pointer flip, so a request can
         // never land in a queue that is already being drained.
         std::shared_lock<std::shared_mutex> swap(shard->swap_mu_);
-        pending.future =
-            shard->active_->submit(std::move(input), req.deadline_ms);
+        pending.future = shard->active_->submit(std::move(input),
+                                                req.deadline_ms, req.trace_id);
       }
       {
         std::lock_guard<std::mutex> lock(q_mu);
@@ -210,6 +213,26 @@ void ShardServer::ConnectionHandler::dispatch(
       send(encode(resp));
       return;
     }
+    case MsgType::kTraceExportRequest: {
+      // now_us is stamped inside build_local_process_trace(), between
+      // the collector's send and receive — the midpoint assumption the
+      // clock-offset estimate rides on.
+      TraceExportResponse resp;
+      resp.processes.push_back(build_local_process_trace());
+      send(encode(resp));
+      return;
+    }
+    case MsgType::kMetricsRequest: {
+      MetricsResponse resp;
+      obs::MetricsSnapshot snap =
+          obs::MetricsRegistry::global().snapshot(obs::process_name());
+      snap.meta.emplace_back("endpoint", shard->config_.endpoint);
+      snap.meta.emplace_back("model_version",
+                             std::to_string(shard->model_version()));
+      resp.snapshots.push_back(std::move(snap));
+      send(encode(resp));
+      return;
+    }
     default:
       throw ProtocolError("unexpected message type on a shard connection");
   }
@@ -236,6 +259,8 @@ void ShardServer::ConnectionHandler::writer_loop() {
     resp.class_name = r.class_name;
     resp.error = r.error;
     resp.shard_ms = r.total_ms;
+    resp.queue_wait_ms = r.queue_ms;
+    resp.compute_ms = std::max(0.0, r.total_ms - r.queue_ms);
     try {
       send(encode(resp));
     } catch (const SocketError&) {

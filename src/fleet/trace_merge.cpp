@@ -1,0 +1,109 @@
+#include "fleet/trace_merge.hpp"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <sstream>
+#include <utility>
+
+#include "obs/json.hpp"
+#include "obs/trace.hpp"
+
+namespace taglets::fleet {
+
+namespace {
+
+/// Budget for one ProcessTrace's encoded spans, comfortably inside the
+/// 16 MiB frame cap with headroom for the envelope and sibling traces.
+constexpr std::size_t kSpanBytesBudget = 12u << 20;
+
+std::size_t encoded_span_bytes(const WireSpan& span) {
+  // str = u32 + bytes; fixed fields: tid(4) ts(8) dur(8) depth(4)
+  // attr-count(4).
+  std::size_t n = 4 + span.name.size() + 4 + 8 + 8 + 4 + 4;
+  for (const auto& [key, value] : span.attrs) {
+    n += 4 + key.size() + 4 + value.size();
+  }
+  return n;
+}
+
+}  // namespace
+
+ProcessTrace build_local_process_trace() {
+  obs::Tracer& tracer = obs::Tracer::global();
+  ProcessTrace proc;
+  proc.pid = static_cast<std::uint32_t>(::getpid());
+  proc.name = obs::process_name();
+  proc.dropped = tracer.dropped();
+
+  std::vector<obs::TraceEvent> events = tracer.snapshot();
+  std::sort(events.begin(), events.end(),
+            [](const obs::TraceEvent& a, const obs::TraceEvent& b) {
+              return a.ts_us < b.ts_us;
+            });
+  proc.spans.reserve(events.size());
+  for (obs::TraceEvent& e : events) {
+    WireSpan span;
+    span.name = std::move(e.name);
+    span.tid = e.tid;
+    span.ts_us = e.ts_us;
+    span.dur_us = e.dur_us;
+    span.depth = e.depth;
+    span.attrs = std::move(e.attrs);
+    proc.spans.push_back(std::move(span));
+  }
+
+  // Enforce the frame budget by discarding the *oldest* spans first:
+  // under sustained load the recent window is what debugging wants.
+  std::size_t total = 0;
+  for (const WireSpan& span : proc.spans) total += encoded_span_bytes(span);
+  std::size_t cut = 0;
+  while (cut < proc.spans.size() && total > kSpanBytesBudget) {
+    total -= encoded_span_bytes(proc.spans[cut]);
+    ++cut;
+  }
+  if (cut > 0) {
+    proc.dropped += cut;
+    proc.spans.erase(proc.spans.begin(),
+                     proc.spans.begin() + static_cast<std::ptrdiff_t>(cut));
+  }
+
+  // Stamp "now" last so it postdates every span we kept.
+  proc.now_us = tracer.now_us();
+  return proc;
+}
+
+double estimate_clock_offset_us(double t0_us, double t1_us,
+                                double remote_now_us) {
+  return (t0_us + t1_us) / 2.0 - remote_now_us;
+}
+
+std::string render_chrome_trace(const std::vector<ProcessTrace>& processes) {
+  std::ostringstream os;
+  os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  for (const ProcessTrace& proc : processes) {
+    if (!first) os << ",";
+    first = false;
+    os << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" << proc.pid
+       << ",\"tid\":0,\"args\":{\"name\":\"" << obs::json_escape(proc.name)
+       << "\"}}";
+    for (const WireSpan& span : proc.spans) {
+      os << ",{\"name\":\"" << obs::json_escape(span.name)
+         << "\",\"cat\":\"taglets\",\"ph\":\"X\",\"pid\":" << proc.pid
+         << ",\"tid\":" << span.tid
+         << ",\"ts\":" << obs::json_number(span.ts_us + proc.align_offset_us)
+         << ",\"dur\":" << obs::json_number(span.dur_us) << ",\"args\":{";
+      for (std::size_t a = 0; a < span.attrs.size(); ++a) {
+        if (a > 0) os << ",";
+        os << "\"" << obs::json_escape(span.attrs[a].first) << "\":\""
+           << obs::json_escape(span.attrs[a].second) << "\"";
+      }
+      os << "}}";
+    }
+  }
+  os << "]}";
+  return os.str();
+}
+
+}  // namespace taglets::fleet

@@ -1,0 +1,43 @@
+// Cross-process trace collection and merge (docs/OBSERVABILITY.md,
+// "Fleet observability"). Each fleet process answers TraceExportRequest
+// with its tracer buffer as a ProcessTrace; the collector (frontend, or
+// a client via --fleet-trace-dump) estimates each producer's clock
+// offset from the export round-trip itself — ping-RTT-midpoint: the
+// producer stamps its tracer clock while answering, and the collector
+// assumes that instant fell halfway between sending the request and
+// receiving the reply — then renders every process into one Chrome
+// trace-event JSON with per-process lanes, so a single request's
+// enqueue -> route -> shard-compute -> respond spans join end to end.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "fleet/protocol.hpp"
+
+namespace taglets::fleet {
+
+/// This process's tracer buffer as a wire-ready ProcessTrace: real pid,
+/// obs::process_name(), tracer-clock "now", dropped count. Spans are
+/// sorted by start time and the earliest are discarded first if the
+/// encoded frame would exceed the protocol's frame cap (discards are
+/// added to `dropped` — truncation is never silent).
+ProcessTrace build_local_process_trace();
+
+/// Ping-RTT-midpoint clock-offset estimate: the collector sent the
+/// export at local tracer time `t0_us`, received the reply at `t1_us`,
+/// and the producer reported its tracer clock read `remote_now_us`
+/// while answering. Returns the offset to ADD to the producer's
+/// timestamps to land on the collector's epoch; the error is bounded by
+/// half the round-trip time.
+double estimate_clock_offset_us(double t0_us, double t1_us,
+                                double remote_now_us);
+
+/// Merge per-process traces into one Chrome trace-event JSON document
+/// ({"traceEvents":[...]}, loadable in chrome://tracing and Perfetto):
+/// a process_name metadata event per process plus every span as an "X"
+/// complete event under its real pid, timestamps shifted by each
+/// process's align_offset_us onto the collector's epoch.
+std::string render_chrome_trace(const std::vector<ProcessTrace>& processes);
+
+}  // namespace taglets::fleet

@@ -48,6 +48,75 @@ std::vector<double> default_latency_buckets_ms() {
           10.0, 25.0, 50.0, 100.0, 250.0, 500.0, 2500.0};
 }
 
+double histogram_quantile(const Histogram::Snapshot& snap, double q) {
+  if (snap.count == 0 || snap.counts.empty()) return 0.0;
+  q = std::min(1.0, std::max(0.0, q));
+  const double rank = q * static_cast<double>(snap.count);
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < snap.counts.size(); ++i) {
+    const std::uint64_t in_bucket = snap.counts[i];
+    if (in_bucket == 0) continue;
+    if (static_cast<double>(seen + in_bucket) >= rank) {
+      if (i >= snap.bounds.size()) {
+        // +inf overflow bucket: the best finite statement we can make
+        // is "at least the largest finite bound".
+        return snap.bounds.empty() ? 0.0 : snap.bounds.back();
+      }
+      const double lo = i == 0 ? 0.0 : snap.bounds[i - 1];
+      const double hi = snap.bounds[i];
+      const double into =
+          (rank - static_cast<double>(seen)) / static_cast<double>(in_bucket);
+      return lo + (hi - lo) * std::min(1.0, std::max(0.0, into));
+    }
+    seen += in_bucket;
+  }
+  return snap.bounds.empty() ? 0.0 : snap.bounds.back();
+}
+
+std::string MetricsSnapshot::to_json() const {
+  std::ostringstream os;
+  os << "{\"source\":\"" << json_escape(source) << "\",\"meta\":{";
+  for (std::size_t i = 0; i < meta.size(); ++i) {
+    if (i > 0) os << ",";
+    os << "\"" << json_escape(meta[i].first) << "\":\""
+       << json_escape(meta[i].second) << "\"";
+  }
+  os << "},\"counters\":{";
+  for (std::size_t i = 0; i < counters.size(); ++i) {
+    if (i > 0) os << ",";
+    os << "\"" << json_escape(counters[i].name) << "\":" << counters[i].value;
+  }
+  os << "},\"gauges\":{";
+  for (std::size_t i = 0; i < gauges.size(); ++i) {
+    if (i > 0) os << ",";
+    os << "\"" << json_escape(gauges[i].name)
+       << "\":" << json_number(gauges[i].value);
+  }
+  os << "},\"histograms\":{";
+  for (std::size_t i = 0; i < histograms.size(); ++i) {
+    const Histogram::Snapshot& snap = histograms[i].snap;
+    if (i > 0) os << ",";
+    os << "\"" << json_escape(histograms[i].name)
+       << "\":{\"count\":" << snap.count << ",\"sum\":" << json_number(snap.sum)
+       << ",\"mean\":" << json_number(snap.mean())
+       << ",\"p50\":" << json_number(histogram_quantile(snap, 0.50))
+       << ",\"p99\":" << json_number(histogram_quantile(snap, 0.99))
+       << ",\"bounds\":[";
+    for (std::size_t b = 0; b < snap.bounds.size(); ++b) {
+      if (b > 0) os << ",";
+      os << json_number(snap.bounds[b]);
+    }
+    os << "],\"counts\":[";
+    for (std::size_t b = 0; b < snap.counts.size(); ++b) {
+      if (b > 0) os << ",";
+      os << snap.counts[b];
+    }
+    os << "]}";
+  }
+  os << "}}";
+  return os.str();
+}
+
 struct MetricsRegistry::State {
   mutable std::mutex mu;
   // std::map keeps snapshots sorted by name; unique_ptr keeps returned
@@ -113,6 +182,26 @@ Histogram& MetricsRegistry::histogram(const std::string& name,
                          "' re-registered with different buckets");
   }
   return *it->second;
+}
+
+MetricsSnapshot MetricsRegistry::snapshot(std::string source) const {
+  State& s = state();
+  std::lock_guard<std::mutex> lock(s.mu);
+  MetricsSnapshot out;
+  out.source = std::move(source);
+  out.counters.reserve(s.counters.size());
+  for (const auto& [name, c] : s.counters) {
+    out.counters.push_back({name, c->value()});
+  }
+  out.gauges.reserve(s.gauges.size());
+  for (const auto& [name, g] : s.gauges) {
+    out.gauges.push_back({name, g->value()});
+  }
+  out.histograms.reserve(s.histograms.size());
+  for (const auto& [name, h] : s.histograms) {
+    out.histograms.push_back({name, h->snapshot()});
+  }
+  return out;
 }
 
 std::string MetricsRegistry::to_text() const {

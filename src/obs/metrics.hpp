@@ -22,6 +22,7 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace taglets::obs {
@@ -86,6 +87,43 @@ class Histogram {
 /// Default bucket bounds for millisecond latencies, 50us to 2.5s.
 std::vector<double> default_latency_buckets_ms();
 
+/// Quantile estimate (q in [0,1]) from a histogram snapshot by linear
+/// interpolation inside the bucket holding the q-th observation. The
+/// +inf overflow bucket reports its lower bound (the largest finite
+/// bound); an empty histogram reports 0.
+double histogram_quantile(const Histogram::Snapshot& snap, double q);
+
+/// One process's entire metrics surface as plain data: the structured
+/// form the fleet tier serializes over the wire (replacing opaque JSON
+/// blobs) so a frontend can aggregate per-shard counters, gauges, and
+/// full histogram bucket layouts. `source` labels the producing process
+/// ("frontend", "shard:g0"); `meta` carries free-form key/value context
+/// the aggregator attaches (endpoint, health state, version, ...).
+struct MetricsSnapshot {
+  struct CounterEntry {
+    std::string name;
+    std::uint64_t value = 0;
+  };
+  struct GaugeEntry {
+    std::string name;
+    double value = 0.0;
+  };
+  struct HistogramEntry {
+    std::string name;
+    Histogram::Snapshot snap;
+  };
+
+  std::string source;
+  std::vector<std::pair<std::string, std::string>> meta;
+  std::vector<CounterEntry> counters;
+  std::vector<GaugeEntry> gauges;
+  std::vector<HistogramEntry> histograms;
+
+  /// {"source":...,"meta":{...},"counters":{...},"gauges":{...},
+  ///  "histograms":{name:{count,sum,mean,bounds,counts}}}.
+  std::string to_json() const;
+};
+
 /// Named metric registry. counter()/gauge()/histogram() create on
 /// first use and return a reference that stays valid for the life of
 /// the registry; callers on hot paths should call once and cache it.
@@ -101,6 +139,9 @@ class MetricsRegistry {
   Counter& counter(const std::string& name);
   Gauge& gauge(const std::string& name);
   Histogram& histogram(const std::string& name, std::vector<double> bounds);
+
+  /// Structured copy of every registered metric, sorted by name.
+  MetricsSnapshot snapshot(std::string source = "") const;
 
   /// Human-readable snapshot, one metric per line, sorted by name.
   std::string to_text() const;

@@ -1,5 +1,7 @@
 #include "obs/trace.hpp"
 
+#include <unistd.h>
+
 #include <algorithm>
 #include <cstdlib>
 #include <fstream>
@@ -7,6 +9,7 @@
 #include <stdexcept>
 
 #include "obs/json.hpp"
+#include "obs/metrics.hpp"
 
 namespace taglets::obs {
 
@@ -41,7 +44,27 @@ std::uint32_t next_thread_id() {
 
 thread_local std::uint32_t t_depth = 0;
 
+std::mutex& process_name_mu() {
+  static std::mutex mu;
+  return mu;
+}
+
+std::string& process_name_storage() {
+  static std::string name = "taglets";
+  return name;
+}
+
 }  // namespace
+
+void set_process_name(std::string name) {
+  std::lock_guard<std::mutex> lock(process_name_mu());
+  process_name_storage() = std::move(name);
+}
+
+std::string process_name() {
+  std::lock_guard<std::mutex> lock(process_name_mu());
+  return process_name_storage();
+}
 
 bool trace_enabled() {
   return enabled_flag().load(std::memory_order_relaxed);
@@ -91,6 +114,11 @@ void Tracer::record(TraceEvent event) {
   std::lock_guard<std::mutex> lock(buffer.mu);
   if (buffer.events.size() >= kMaxEventsPerThread) {
     dropped_.fetch_add(1, std::memory_order_relaxed);
+    // Silent span loss would make a merged fleet trace lie by omission;
+    // surface it on the metrics side too.
+    static Counter& dropped_total =
+        MetricsRegistry::global().counter("obs.trace.dropped_total");
+    dropped_total.add();
     return;
   }
   buffer.events.push_back(std::move(event));
@@ -121,6 +149,8 @@ std::vector<TraceEvent> Tracer::snapshot() const {
     std::lock_guard<std::mutex> lock(buffer->mu);
     out.insert(out.end(), buffer->events.begin(), buffer->events.end());
   }
+  MetricsRegistry::global().gauge("obs.trace.buffer_spans").set(
+      static_cast<double>(out.size()));
   return out;
 }
 
@@ -147,13 +177,20 @@ std::string Tracer::export_json() const {
             [](const TraceEvent& a, const TraceEvent& b) {
               return a.ts_us < b.ts_us;
             });
+  // Real pid + a process_name metadata event so multiple processes'
+  // exports stay distinguishable when merged into one Perfetto view.
+  const long pid = static_cast<long>(::getpid());
   std::ostringstream os;
-  os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":["
+     << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" << pid
+     << ",\"tid\":0,\"args\":{\"name\":\"" << json_escape(process_name())
+     << "\"}}";
   for (std::size_t i = 0; i < events.size(); ++i) {
     const TraceEvent& e = events[i];
-    if (i > 0) os << ",";
+    os << ",";
     os << "{\"name\":\"" << json_escape(e.name)
-       << "\",\"cat\":\"taglets\",\"ph\":\"X\",\"pid\":1,\"tid\":" << e.tid
+       << "\",\"cat\":\"taglets\",\"ph\":\"X\",\"pid\":" << pid
+       << ",\"tid\":" << e.tid
        << ",\"ts\":" << json_number(e.ts_us)
        << ",\"dur\":" << json_number(e.dur_us) << ",\"args\":{";
     for (std::size_t a = 0; a < e.attrs.size(); ++a) {

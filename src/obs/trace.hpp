@@ -45,6 +45,13 @@ struct TraceEvent {
 bool trace_enabled();
 void set_trace_enabled(bool enabled);
 
+/// Human-readable name for this process's lane in merged multi-process
+/// traces ("frontend", "shard:g0", ...). Exported as a Chrome-trace
+/// `process_name` metadata event alongside the real pid. Defaults to
+/// "taglets".
+void set_process_name(std::string name);
+std::string process_name();
+
 /// Stable small integer id of the calling thread, assigned on first
 /// use. Shared with the structured log sink so logs join traces.
 std::uint32_t current_thread_id();
@@ -65,6 +72,10 @@ class Tracer {
   /// Microseconds since the tracer's epoch for `tp` (the epoch is
   /// captured when the tracer is first touched).
   double to_epoch_us(TraceClock::time_point tp) const;
+  /// Microseconds since the epoch for "now" — the timestamp a span
+  /// recorded this instant would carry. Clock-alignment handshakes in
+  /// the fleet tier exchange this value.
+  double now_us() const { return to_epoch_us(TraceClock::now()); }
 
   /// All events recorded so far, across every thread, in no particular
   /// order. For tests and in-process consumers.

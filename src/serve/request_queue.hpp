@@ -63,6 +63,10 @@ struct Request {
   /// submitted). Echoed in Response::request_id and attached to the
   /// request's "serve.request" trace span.
   std::uint64_t id = 0;
+  /// Distributed-trace id propagated from the caller (fleet frontend);
+  /// 0 = no trace context. Attached to the "serve.request" span so a
+  /// merged cross-process trace joins this request's spans end to end.
+  std::uint64_t trace_id = 0;
   Clock::time_point enqueued_at{};
   Clock::time_point deadline = Clock::time_point::max();
   std::promise<Response> promise;

@@ -115,11 +115,17 @@ std::future<Response> Server::submit(Tensor input) {
 }
 
 std::future<Response> Server::submit(Tensor input, double deadline_ms) {
+  return submit(std::move(input), deadline_ms, 0);
+}
+
+std::future<Response> Server::submit(Tensor input, double deadline_ms,
+                                     std::uint64_t trace_id) {
   TAGLETS_CHECK(!(!input.is_vector() || input.size() != input_dim_),
                 "Server::submit: input must be a rank-1 tensor of length " +
                     std::to_string(input_dim_));
   Request request;
   request.input = std::move(input);
+  request.trace_id = trace_id;
   request.id = next_request_id_.fetch_add(1, std::memory_order_relaxed);
   request.enqueued_at = Clock::now();
   request.deadline = deadline_from(request.enqueued_at, deadline_ms);
@@ -243,10 +249,13 @@ void Server::resolve(Request& request, Response response) {
   // The request's whole enqueue -> batch -> forward -> resolve life as
   // one retroactive span (it crosses threads, so it cannot be RAII).
   if (obs::trace_enabled()) {
-    obs::Tracer::global().record_complete(
-        "serve.request", request.enqueued_at, Clock::now(),
-        {{"id", std::to_string(request.id)},
-         {"status", status_name(response.status)}});
+    obs::TraceAttrs attrs = {{"id", std::to_string(request.id)},
+                             {"status", status_name(response.status)}};
+    if (request.trace_id != 0) {
+      attrs.emplace_back("trace_id", std::to_string(request.trace_id));
+    }
+    obs::Tracer::global().record_complete("serve.request", request.enqueued_at,
+                                          Clock::now(), std::move(attrs));
   }
   // Counters first, promise last, so a future.get() observer always
   // sees the stats for its own request already recorded.

@@ -93,6 +93,11 @@ class Server {
   std::future<Response> submit(tensor::Tensor input);
   /// Same with an explicit deadline; `deadline_ms <= 0` means none.
   std::future<Response> submit(tensor::Tensor input, double deadline_ms);
+  /// Same, carrying the caller's distributed-trace id (0 = none); the
+  /// fleet shard path, so a request's frontend and shard spans share a
+  /// trace_id in merged traces.
+  std::future<Response> submit(tensor::Tensor input, double deadline_ms,
+                               std::uint64_t trace_id);
 
   /// Synchronous convenience wrappers: submit + wait, with the default
   /// or an explicit deadline.

@@ -12,9 +12,14 @@
 #include <chrono>
 #include <csignal>
 #include <cstdio>
+#include <cstdlib>
+#include <fstream>
 #include <future>
+#include <map>
 #include <memory>
 #include <mutex>
+#include <set>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -30,7 +35,10 @@
 #include "fleet/ring.hpp"
 #include "fleet/shard.hpp"
 #include "fleet/socket.hpp"
+#include "fleet/trace_merge.hpp"
 #include "nn/sequential.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/rng.hpp"
 
 namespace {
@@ -111,6 +119,8 @@ TEST(FleetProtocol, PredictRoundTrip) {
   req.id = 42;
   req.routing_key = 0xdeadbeef;
   req.deadline_ms = 12.5;
+  req.trace_id = 0xfeedface12345678ull;
+  req.parent_span = 0x1122334455667788ull;
   req.features = {1.0f, -2.5f, 0.0f};
   const auto wire = encode(req);
   EXPECT_EQ(peek_type(wire), MsgType::kPredictRequest);
@@ -118,6 +128,8 @@ TEST(FleetProtocol, PredictRoundTrip) {
   EXPECT_EQ(back.id, 42u);
   EXPECT_EQ(back.routing_key, 0xdeadbeefu);
   EXPECT_DOUBLE_EQ(back.deadline_ms, 12.5);
+  EXPECT_EQ(back.trace_id, 0xfeedface12345678ull);
+  EXPECT_EQ(back.parent_span, 0x1122334455667788ull);
   EXPECT_EQ(back.features, req.features);
 
   PredictResponse resp;
@@ -127,6 +139,8 @@ TEST(FleetProtocol, PredictRoundTrip) {
   resp.confidence = 0.75f;
   resp.class_name = "cat";
   resp.shard_ms = 1.25;
+  resp.queue_wait_ms = 0.5;
+  resp.compute_ms = 0.75;
   const PredictResponse rback = decode_predict_response(encode(resp));
   EXPECT_EQ(rback.id, 42u);
   EXPECT_EQ(rback.status, Status::kOk);
@@ -134,6 +148,8 @@ TEST(FleetProtocol, PredictRoundTrip) {
   EXPECT_FLOAT_EQ(rback.confidence, 0.75f);
   EXPECT_EQ(rback.class_name, "cat");
   EXPECT_DOUBLE_EQ(rback.shard_ms, 1.25);
+  EXPECT_DOUBLE_EQ(rback.queue_wait_ms, 0.5);
+  EXPECT_DOUBLE_EQ(rback.compute_ms, 0.75);
 }
 
 TEST(FleetProtocol, ControlRoundTrips) {
@@ -171,6 +187,105 @@ TEST(FleetProtocol, ControlRoundTrips) {
   EXPECT_EQ(decode_stats_response(encode(stats)).json, "{\"a\":1}");
 }
 
+TEST(FleetProtocol, TraceExportRoundTrip) {
+  const auto req_wire = encode(TraceExportRequest{});
+  EXPECT_EQ(peek_type(req_wire), MsgType::kTraceExportRequest);
+  decode_trace_export_request(req_wire);  // empty body must round-trip
+
+  TraceExportResponse resp;
+  ProcessTrace proc;
+  proc.pid = 4242;
+  proc.name = "shard unix:/tmp/s0.sock";
+  proc.now_us = 123456.75;
+  proc.align_offset_us = -17.5;
+  proc.dropped = 3;
+  WireSpan span;
+  span.name = "serve.request";
+  span.tid = 7;
+  span.ts_us = 1000.25;
+  span.dur_us = 42.5;
+  span.depth = 2;
+  span.attrs = {{"id", "9"}, {"trace_id", "77"}};
+  proc.spans.push_back(span);
+  proc.spans.push_back(WireSpan{});  // attr-less span is legal
+  resp.processes.push_back(proc);
+  resp.processes.push_back(ProcessTrace{});  // span-less process is legal
+
+  const auto wire = encode(resp);
+  EXPECT_EQ(peek_type(wire), MsgType::kTraceExportResponse);
+  const TraceExportResponse back = decode_trace_export_response(wire);
+  ASSERT_EQ(back.processes.size(), 2u);
+  const ProcessTrace& p = back.processes[0];
+  EXPECT_EQ(p.pid, 4242u);
+  EXPECT_EQ(p.name, proc.name);
+  EXPECT_DOUBLE_EQ(p.now_us, 123456.75);
+  EXPECT_DOUBLE_EQ(p.align_offset_us, -17.5);
+  EXPECT_EQ(p.dropped, 3u);
+  ASSERT_EQ(p.spans.size(), 2u);
+  EXPECT_EQ(p.spans[0].name, "serve.request");
+  EXPECT_EQ(p.spans[0].tid, 7u);
+  EXPECT_DOUBLE_EQ(p.spans[0].ts_us, 1000.25);
+  EXPECT_DOUBLE_EQ(p.spans[0].dur_us, 42.5);
+  EXPECT_EQ(p.spans[0].depth, 2u);
+  EXPECT_EQ(p.spans[0].attrs, span.attrs);
+  EXPECT_TRUE(back.processes[1].spans.empty());
+}
+
+TEST(FleetProtocol, MetricsRoundTrip) {
+  const auto req_wire = encode(MetricsRequest{});
+  EXPECT_EQ(peek_type(req_wire), MsgType::kMetricsRequest);
+  decode_metrics_request(req_wire);
+
+  MetricsResponse resp;
+  obs::MetricsSnapshot snap;
+  snap.source = "shard unix:/tmp/s1.sock";
+  snap.meta = {{"group", "g1"}, {"health", "alive"}};
+  snap.counters = {{"serve.requests_ok_total", 12345},
+                   {"obs.trace.dropped_total", 0}};
+  snap.gauges = {{"serve.queue_depth", 7.0},
+                 {"fleet.shard.model_version", 2.0}};
+  obs::MetricsSnapshot::HistogramEntry hist;
+  hist.name = "serve.latency_ms";
+  hist.snap.bounds = {0.5, 1.0, 5.0};
+  hist.snap.counts = {10, 20, 5, 1};  // bounds + overflow
+  hist.snap.count = 36;
+  hist.snap.sum = 40.25;
+  snap.histograms.push_back(hist);
+  resp.snapshots.push_back(snap);
+  resp.snapshots.push_back(obs::MetricsSnapshot{});  // empty is legal
+
+  const auto wire = encode(resp);
+  EXPECT_EQ(peek_type(wire), MsgType::kMetricsResponse);
+  const MetricsResponse back = decode_metrics_response(wire);
+  ASSERT_EQ(back.snapshots.size(), 2u);
+  const obs::MetricsSnapshot& s = back.snapshots[0];
+  EXPECT_EQ(s.source, snap.source);
+  EXPECT_EQ(s.meta, snap.meta);
+  ASSERT_EQ(s.counters.size(), 2u);
+  EXPECT_EQ(s.counters[0].name, "serve.requests_ok_total");
+  EXPECT_EQ(s.counters[0].value, 12345u);
+  ASSERT_EQ(s.gauges.size(), 2u);
+  EXPECT_DOUBLE_EQ(s.gauges[0].value, 7.0);
+  ASSERT_EQ(s.histograms.size(), 1u);
+  EXPECT_EQ(s.histograms[0].name, "serve.latency_ms");
+  EXPECT_EQ(s.histograms[0].snap.bounds, hist.snap.bounds);
+  EXPECT_EQ(s.histograms[0].snap.counts, hist.snap.counts);
+  EXPECT_EQ(s.histograms[0].snap.count, 36u);
+  EXPECT_DOUBLE_EQ(s.histograms[0].snap.sum, 40.25);
+
+  // A histogram whose counts don't line up with its bounds (+inf
+  // bucket missing) must be rejected at decode, not trusted.
+  MetricsResponse bad;
+  obs::MetricsSnapshot bad_snap;
+  obs::MetricsSnapshot::HistogramEntry bad_hist;
+  bad_hist.name = "x";
+  bad_hist.snap.bounds = {1.0, 2.0};
+  bad_hist.snap.counts = {1, 2};  // should be 3
+  bad_snap.histograms.push_back(bad_hist);
+  bad.snapshots.push_back(bad_snap);
+  EXPECT_THROW(decode_metrics_response(encode(bad)), ProtocolError);
+}
+
 TEST(FleetProtocol, TruncatedAndTrailingFramesThrow) {
   PredictRequest req;
   req.features = {1.0f, 2.0f};
@@ -190,6 +305,8 @@ TEST(FleetProtocol, TruncatedAndTrailingFramesThrow) {
   w.u64(1);
   w.u64(0);
   w.f64(0.0);
+  w.u64(0);     // trace_id
+  w.u64(0);     // parent_span
   w.u32(1000);  // features count, but no feature bytes follow
   EXPECT_THROW(decode_predict_request(w.take()), ProtocolError);
 }
@@ -836,6 +953,264 @@ TEST(FleetFailover, RestartedShardRejoinsFleet) {
   reap(pids[1], SIGTERM);
 }
 
+// ----------------------------------- fleet-wide observability E2E
+
+TEST(FleetObservability, ClockOffsetMidpointEstimate) {
+  // The producer's clock read is assumed to fall halfway between the
+  // collector's send (t0) and receive (t1); the offset maps producer
+  // timestamps onto the collector's epoch.
+  EXPECT_DOUBLE_EQ(estimate_clock_offset_us(1000.0, 1100.0, 1300.0), -250.0);
+  EXPECT_DOUBLE_EQ(estimate_clock_offset_us(1000.0, 1100.0, 1050.0), 0.0);
+  EXPECT_DOUBLE_EQ(estimate_clock_offset_us(500.0, 500.0, 100.0), 400.0);
+}
+
+/// Minimal JSON well-formedness scan: balanced braces/brackets outside
+/// strings, escapes honored, nothing after the top-level value. Not a
+/// parser — enough to catch truncated or mis-escaped render output
+/// without a JSON library (CI runs the real python3 -m json.tool).
+bool json_well_formed(const std::string& text) {
+  std::vector<char> stack;
+  bool in_string = false, escaped = false, seen_value = false, closed = false;
+  for (const char c : text) {
+    if (closed) {  // only whitespace may follow the top-level value
+      if (c == ' ' || c == '\t' || c == '\r' || c == '\n') continue;
+      return false;
+    }
+    if (in_string) {
+      if (escaped) {
+        escaped = false;
+      } else if (c == '\\') {
+        escaped = true;
+      } else if (c == '"') {
+        in_string = false;
+      }
+      continue;
+    }
+    switch (c) {
+      case '"': in_string = true; seen_value = true; break;
+      case '{': case '[': stack.push_back(c); seen_value = true; break;
+      case '}':
+        if (stack.empty() || stack.back() != '{') return false;
+        stack.pop_back();
+        closed = stack.empty();
+        break;
+      case ']':
+        if (stack.empty() || stack.back() != '[') return false;
+        stack.pop_back();
+        closed = stack.empty();
+        break;
+      default: break;
+    }
+  }
+  return !in_string && stack.empty() && seen_value && closed;
+}
+
+const std::string* attr_value(const WireSpan& span, const std::string& key) {
+  for (const auto& kv : span.attrs) {
+    if (kv.first == key) return &kv.second;
+  }
+  return nullptr;
+}
+
+// The headline acceptance test: a frontend (this process) over two
+// real shard processes, traced predicts, then a trace export through
+// the full client -> frontend -> shard chain. The merged result must
+// hold one lane per process (real, distinct pids) and every request's
+// frontend-side "fleet.request" span must join a shard-side
+// "serve.request" span in a DIFFERENT process via the propagated
+// trace_id — with the shard's clock-aligned span nested inside the
+// frontend's, which is what makes the merged timeline readable.
+TEST(FleetObservability, MultiProcessTraceMergeJoinsAcrossPids) {
+  // Children inherit TAGLETS_TRACE=1 through the re-exec; the parent
+  // flips the in-process flag for its frontend spans.
+  setenv("TAGLETS_TRACE", "1", 1);
+  obs::set_trace_enabled(true);
+  obs::set_process_name("frontend");
+
+  const std::string dir = unique_dir();
+  const std::string model_path = dir + "/model.bin";
+  make_identity_servable(kDim).save(model_path);
+
+  std::vector<std::string> eps;
+  std::vector<pid_t> pids;
+  for (int s = 0; s < 2; ++s) {
+    eps.push_back("unix:" + dir + "/s" + std::to_string(s) + ".sock");
+    pids.push_back(spawn_shard_process(eps.back(), model_path));
+    ASSERT_GT(pids.back(), 0);
+  }
+  for (const auto& ep : eps) wait_shard_reachable(ep);
+
+  FrontendConfig config = frontend_config(dir, eps);
+  config.event_log_path = dir + "/events.jsonl";
+  Frontend frontend(config);
+  frontend.start();
+  ASSERT_TRUE(frontend.wait_until_ready(2, std::chrono::seconds(5)));
+
+  constexpr int kRequests = 40;
+  FleetClient client({"unix:" + dir + "/front.sock"});
+  util::Rng rng(500);
+  for (int i = 0; i < kRequests; ++i) {
+    const PredictResponse resp =
+        client.predict(random_features(rng), static_cast<std::uint64_t>(i));
+    ASSERT_EQ(resp.status, Status::kOk) << resp.error;
+    // The latency decomposition rides on every response.
+    EXPECT_GE(resp.queue_wait_ms, 0.0);
+    EXPECT_GE(resp.compute_ms, 0.0);
+    EXPECT_GT(resp.shard_ms, 0.0);
+  }
+
+  const TraceExportResponse traces = client.trace_export();
+  ASSERT_EQ(traces.processes.size(), 3u);  // frontend + 2 shards
+  std::set<std::uint32_t> pids_seen;
+  for (const auto& proc : traces.processes) {
+    pids_seen.insert(proc.pid);
+    EXPECT_FALSE(proc.name.empty());
+  }
+  EXPECT_EQ(pids_seen.size(), 3u) << "pids must be real and distinct";
+  const auto my_pid = static_cast<std::uint32_t>(getpid());
+  EXPECT_TRUE(pids_seen.count(my_pid));
+
+  // Index shard-side serve.request spans by propagated trace_id, with
+  // clock-aligned start/end on the frontend's epoch.
+  struct Aligned { std::uint32_t pid; double start_us; double end_us; };
+  std::map<std::string, std::vector<Aligned>> serve_by_trace;
+  for (const auto& proc : traces.processes) {
+    for (const auto& span : proc.spans) {
+      if (span.name != "serve.request") continue;
+      const std::string* tid = attr_value(span, "trace_id");
+      if (tid == nullptr) continue;
+      serve_by_trace[*tid].push_back(
+          {proc.pid, span.ts_us + proc.align_offset_us,
+           span.ts_us + span.dur_us + proc.align_offset_us});
+    }
+  }
+
+  // Every fleet.request span joins a cross-process serve.request, and
+  // the ping-RTT-midpoint alignment lands the shard's span inside the
+  // frontend's (generous slack: the bound is half the export RTT).
+  constexpr double kSlackUs = 25000.0;
+  std::size_t joins = 0;
+  for (const auto& proc : traces.processes) {
+    if (proc.pid != my_pid) continue;
+    EXPECT_DOUBLE_EQ(proc.align_offset_us, 0.0)
+        << "the collector is its own epoch";
+    for (const auto& span : proc.spans) {
+      if (span.name != "fleet.request") continue;
+      const std::string* tid = attr_value(span, "trace_id");
+      ASSERT_NE(tid, nullptr)
+          << "frontend must originate a trace_id when tracing is on";
+      const auto it = serve_by_trace.find(*tid);
+      if (it == serve_by_trace.end()) continue;
+      for (const Aligned& shard_span : it->second) {
+        if (shard_span.pid == my_pid) continue;
+        ++joins;
+        EXPECT_GE(shard_span.start_us, span.ts_us - kSlackUs);
+        EXPECT_LE(shard_span.end_us, span.ts_us + span.dur_us + kSlackUs);
+        break;
+      }
+    }
+  }
+  EXPECT_EQ(joins, static_cast<std::size_t>(kRequests));
+
+  // The rendered merge is one well-formed Chrome trace document with a
+  // process_name metadata lane per process.
+  const std::string rendered = render_chrome_trace(traces.processes);
+  EXPECT_TRUE(json_well_formed(rendered)) << rendered.substr(0, 400);
+  EXPECT_NE(rendered.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(rendered.find("\"ph\":\"M\""), std::string::npos);
+  EXPECT_NE(rendered.find("\"process_name\""), std::string::npos);
+  EXPECT_NE(rendered.find("frontend"), std::string::npos);
+  EXPECT_NE(rendered.find("shard "), std::string::npos);
+
+  // Metrics federation over the same chain: one snapshot per process,
+  // shard snapshots labeled by the aggregator, the frontend's holding
+  // the per-shard latency decomposition histograms.
+  const MetricsResponse metrics = client.fleet_metrics();
+  ASSERT_EQ(metrics.snapshots.size(), 3u);
+  std::size_t shard_snaps = 0;
+  std::uint64_t federated_ok = 0;
+  for (const auto& snap : metrics.snapshots) {
+    const auto meta = [&snap](const char* key) -> const std::string* {
+      for (const auto& kv : snap.meta) {
+        if (kv.first == key) return &kv.second;
+      }
+      return nullptr;
+    };
+    if (meta("replica_endpoint") != nullptr) {
+      ++shard_snaps;
+      ASSERT_NE(meta("group"), nullptr);
+      ASSERT_NE(meta("health"), nullptr);
+      EXPECT_EQ(*meta("health"), "alive");
+      for (const auto& c : snap.counters) {
+        if (c.name == "serve.requests_ok_total") federated_ok += c.value;
+      }
+      // The tracer's own health metrics cross the wire too: the export
+      // above forced a buffer snapshot on every shard.
+      bool saw_buffer_gauge = false;
+      for (const auto& g : snap.gauges) {
+        if (g.name == "obs.trace.buffer_spans") {
+          saw_buffer_gauge = g.value > 0.0;
+        }
+      }
+      EXPECT_TRUE(saw_buffer_gauge);
+    } else {
+      bool saw_decomposition = false;
+      for (const auto& h : snap.histograms) {
+        if (h.name.rfind("fleet.frontend.compute_ms{shard=", 0) == 0) {
+          saw_decomposition = true;
+          EXPECT_EQ(h.snap.counts.size(), h.snap.bounds.size() + 1);
+        }
+      }
+      EXPECT_TRUE(saw_decomposition);
+    }
+  }
+  EXPECT_EQ(shard_snaps, 2u);
+  EXPECT_EQ(federated_ok, static_cast<std::uint64_t>(kRequests));
+
+  // Health transitions reach the event log at heartbeat granularity,
+  // and this test's whole body can finish inside one interval — give
+  // the heartbeat thread time to observe and log unknown -> alive for
+  // both replicas before stopping.
+  const auto log_deadline = HealthTracker::Clock::now() + std::chrono::seconds(5);
+  std::size_t health_lines = 0;
+  do {
+    health_lines = 0;
+    std::ifstream poll(dir + "/events.jsonl");
+    std::string poll_line;
+    while (std::getline(poll, poll_line)) {
+      if (poll_line.find("\"event\":\"health\"") != std::string::npos) {
+        ++health_lines;
+      }
+    }
+    if (health_lines >= 2) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  } while (HealthTracker::Clock::now() < log_deadline);
+
+  frontend.stop();
+  reap(pids[0], SIGTERM);
+  reap(pids[1], SIGTERM);
+
+  // The operational event log is JSON-lines: every line well-formed,
+  // and the start-up health transitions (unknown -> alive) recorded.
+  std::ifstream events(dir + "/events.jsonl");
+  ASSERT_TRUE(events.is_open());
+  std::string line;
+  std::size_t lines = 0;
+  health_lines = 0;
+  while (std::getline(events, line)) {
+    if (line.empty()) continue;
+    ++lines;
+    EXPECT_TRUE(json_well_formed(line)) << line;
+    EXPECT_EQ(line.find("{\"ts_ms\":"), 0u) << line;
+    if (line.find("\"event\":\"health\"") != std::string::npos) ++health_lines;
+  }
+  EXPECT_GE(lines, 2u);
+  EXPECT_GE(health_lines, 2u) << "both replicas transitioned to alive";
+
+  obs::set_trace_enabled(false);
+  unsetenv("TAGLETS_TRACE");
+}
+
 }  // namespace
 }  // namespace taglets::fleet
 
@@ -846,6 +1221,7 @@ namespace {
 int run_child_shard(const char* endpoint, const char* model_path) {
   using namespace taglets;
   try {
+    obs::set_process_name(std::string("shard ") + endpoint);
     ensemble::ServableModel model = ensemble::ServableModel::load(model_path);
     fleet::ShardConfig config;
     config.endpoint = endpoint;

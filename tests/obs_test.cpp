@@ -16,6 +16,8 @@
 #include <thread>
 #include <vector>
 
+#include <unistd.h>
+
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -267,6 +269,61 @@ TEST(Metrics, GlobalRegistryIsSingleton) {
   EXPECT_EQ(&MetricsRegistry::global(), &MetricsRegistry::global());
 }
 
+TEST(Metrics, HistogramQuantileInterpolatesWithinBuckets) {
+  Histogram::Snapshot snap;
+  snap.bounds = {10.0, 20.0};
+  snap.counts = {4, 4, 0};  // 2 bounds + overflow
+  snap.count = 8;
+  snap.sum = 100.0;
+  // Rank 4 lands exactly at the top of the first bucket.
+  EXPECT_DOUBLE_EQ(histogram_quantile(snap, 0.50), 10.0);
+  // Rank 6 is halfway through the second bucket: 10 + 0.5 * (20 - 10).
+  EXPECT_DOUBLE_EQ(histogram_quantile(snap, 0.75), 15.0);
+  EXPECT_DOUBLE_EQ(histogram_quantile(snap, 1.0), 20.0);
+}
+
+TEST(Metrics, HistogramQuantileClampsOverflowAndEmpty) {
+  Histogram::Snapshot empty;
+  EXPECT_DOUBLE_EQ(histogram_quantile(empty, 0.99), 0.0);
+
+  // All mass in the +inf overflow bucket: the best finite statement is
+  // "at least the largest finite bound".
+  Histogram::Snapshot overflow;
+  overflow.bounds = {10.0, 20.0};
+  overflow.counts = {0, 0, 5};
+  overflow.count = 5;
+  overflow.sum = 500.0;
+  EXPECT_DOUBLE_EQ(histogram_quantile(overflow, 0.5), 20.0);
+  EXPECT_DOUBLE_EQ(histogram_quantile(overflow, 0.99), 20.0);
+}
+
+TEST(Metrics, StructuredSnapshotToJsonIsWellFormed) {
+  MetricsRegistry registry;
+  registry.counter("snap.requests_total").add(12);
+  registry.gauge("snap.depth").set(3.5);
+  registry.histogram("snap.latency_ms", {1.0, 5.0}).observe(2.0);
+  MetricsSnapshot snap = registry.snapshot("shard:g0");
+  snap.meta.push_back({"endpoint", "unix:/tmp/x.sock"});
+  snap.meta.push_back({"health", "alive"});
+
+  EXPECT_EQ(snap.source, "shard:g0");
+  ASSERT_EQ(snap.counters.size(), 1u);
+  EXPECT_EQ(snap.counters[0].name, "snap.requests_total");
+  EXPECT_EQ(snap.counters[0].value, 12u);
+  ASSERT_EQ(snap.histograms.size(), 1u);
+  EXPECT_EQ(snap.histograms[0].snap.counts.size(),
+            snap.histograms[0].snap.bounds.size() + 1);
+
+  const std::string json = snap.to_json();
+  JsonValidator validator(json);
+  EXPECT_TRUE(validator.valid()) << json;
+  EXPECT_NE(json.find("\"source\":\"shard:g0\""), std::string::npos);
+  EXPECT_NE(json.find("\"health\":\"alive\""), std::string::npos);
+  EXPECT_NE(json.find("\"snap.requests_total\":12"), std::string::npos);
+  EXPECT_NE(json.find("\"p50\""), std::string::npos);
+  EXPECT_NE(json.find("\"p99\""), std::string::npos);
+}
+
 // ------------------------------------------------------------- tracing
 
 TEST(Trace, DisabledRecordsNothing) {
@@ -380,6 +437,54 @@ TEST(Trace, ParallelForRangesEmitsTaskBatchSpan) {
   if (util::Parallel::global().threads() > 1) {
     EXPECT_TRUE(found);
   }
+}
+
+TEST(Trace, ExportCarriesRealPidAndProcessNameLane) {
+  TraceSandbox sandbox;
+  const std::string old_name = process_name();
+  set_process_name("obs test proc");
+  set_trace_enabled(true);
+  {
+    TAGLETS_TRACE_SCOPE("lane.span");
+  }
+  const std::string json = trace_export_json();
+  set_process_name(old_name);
+
+  JsonValidator validator(json);
+  EXPECT_TRUE(validator.valid()) << json;
+  // Chrome/Perfetto assign lanes by pid: the export must carry this
+  // process's real pid (not a constant) plus a process_name metadata
+  // event so merged multi-process traces stay readable.
+  const std::string pid_field =
+      "\"pid\":" + std::to_string(static_cast<long>(::getpid()));
+  EXPECT_NE(json.find(pid_field), std::string::npos) << json;
+  EXPECT_EQ(json.find("\"pid\":1,"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"ph\":\"M\""), std::string::npos);
+  EXPECT_NE(json.find("\"process_name\""), std::string::npos);
+  EXPECT_NE(json.find("obs test proc"), std::string::npos);
+}
+
+TEST(Trace, SnapshotPublishesBufferSpansGauge) {
+  TraceSandbox sandbox;
+  set_trace_enabled(true);
+  constexpr std::size_t kSpans = 17;
+  for (std::size_t i = 0; i < kSpans; ++i) {
+    TAGLETS_TRACE_SCOPE("gauge.span");
+  }
+  const std::uint64_t dropped_before =
+      MetricsRegistry::global().counter("obs.trace.dropped_total").value();
+  const std::vector<TraceEvent> events = Tracer::global().snapshot();
+  EXPECT_GE(events.size(), kSpans);
+  // snapshot() publishes the live buffer size so fleet metric scrapes
+  // can watch trace memory pressure per process.
+  EXPECT_GE(MetricsRegistry::global().gauge("obs.trace.buffer_spans").value(),
+            static_cast<double>(kSpans));
+  // Nothing near the per-thread cap here, so the drop counter must not
+  // have moved.
+  EXPECT_EQ(
+      MetricsRegistry::global().counter("obs.trace.dropped_total").value(),
+      dropped_before);
+  EXPECT_EQ(Tracer::global().dropped(), 0u);
 }
 
 // --------------------------------------------- pipeline instrumentation

@@ -10,10 +10,12 @@
 #include "ensemble/distill.hpp"
 #include "eval/reporting.hpp"
 #include "fleet/health.hpp"
+#include "fleet/protocol.hpp"
 #include "fleet/ring.hpp"
 #include "graph/generators.hpp"
 #include "graph/retrofit.hpp"
 #include "nn/grad_check.hpp"
+#include "obs/metrics.hpp"
 #include "nn/loss.hpp"
 #include "nn/scheduler.hpp"
 #include "nn/sequential.hpp"
@@ -526,6 +528,98 @@ TEST_P(HealthMachineSweepTest, RandomEventSequencesOnlyTakeValidEdges) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, HealthMachineSweepTest,
                          ::testing::Values(3, 17, 171, 2026));
+
+// --------------------------------- metrics federation wire round-trip
+
+/// Random printable metric/label names, including characters JSON and
+/// the wire format must not mangle.
+std::string random_name(util::Rng& rng) {
+  static const std::string alphabet =
+      "abcdefghijklmnopqrstuvwxyz0123456789._{}=\"\\-/ ";
+  const std::size_t len = 1 + rng.uniform_index(24);
+  std::string name;
+  for (std::size_t i = 0; i < len; ++i) {
+    name += alphabet[rng.uniform_index(alphabet.size())];
+  }
+  return name;
+}
+
+class MetricsWireSweepTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MetricsWireSweepTest, RandomSnapshotLayoutsRoundTripExactly) {
+  util::Rng rng(GetParam());
+  fleet::MetricsResponse resp;
+  const std::size_t n_snaps = rng.uniform_index(4);
+  for (std::size_t s = 0; s < n_snaps; ++s) {
+    obs::MetricsSnapshot snap;
+    snap.source = random_name(rng);
+    for (std::size_t i = rng.uniform_index(4); i > 0; --i) {
+      snap.meta.emplace_back(random_name(rng), random_name(rng));
+    }
+    for (std::size_t i = rng.uniform_index(6); i > 0; --i) {
+      snap.counters.push_back({random_name(rng), rng.next()});
+    }
+    for (std::size_t i = rng.uniform_index(6); i > 0; --i) {
+      snap.gauges.push_back({random_name(rng), rng.normal() * 1e6});
+    }
+    for (std::size_t i = rng.uniform_index(4); i > 0; --i) {
+      obs::MetricsSnapshot::HistogramEntry hist;
+      hist.name = random_name(rng);
+      const std::size_t n_bounds = rng.uniform_index(20);
+      double bound = 0.0;
+      for (std::size_t b = 0; b < n_bounds; ++b) {
+        bound += 0.25 + static_cast<double>(rng.uniform_index(1000));
+        hist.snap.bounds.push_back(bound);
+      }
+      for (std::size_t b = 0; b <= n_bounds; ++b) {
+        const std::uint64_t c = rng.uniform_index(100000);
+        hist.snap.counts.push_back(c);
+        hist.snap.count += c;
+        hist.snap.sum += static_cast<double>(c) * 0.5;
+      }
+      snap.histograms.push_back(std::move(hist));
+    }
+    resp.snapshots.push_back(std::move(snap));
+  }
+
+  const fleet::MetricsResponse back =
+      fleet::decode_metrics_response(fleet::encode(resp));
+  ASSERT_EQ(back.snapshots.size(), resp.snapshots.size());
+  for (std::size_t s = 0; s < back.snapshots.size(); ++s) {
+    const obs::MetricsSnapshot& a = resp.snapshots[s];
+    const obs::MetricsSnapshot& b = back.snapshots[s];
+    EXPECT_EQ(b.source, a.source);
+    EXPECT_EQ(b.meta, a.meta);
+    ASSERT_EQ(b.counters.size(), a.counters.size());
+    for (std::size_t i = 0; i < a.counters.size(); ++i) {
+      EXPECT_EQ(b.counters[i].name, a.counters[i].name);
+      EXPECT_EQ(b.counters[i].value, a.counters[i].value);
+    }
+    ASSERT_EQ(b.gauges.size(), a.gauges.size());
+    for (std::size_t i = 0; i < a.gauges.size(); ++i) {
+      EXPECT_EQ(b.gauges[i].name, a.gauges[i].name);
+      // Bit-exact: doubles cross the wire as IEEE-754 bit copies.
+      EXPECT_DOUBLE_EQ(b.gauges[i].value, a.gauges[i].value);
+    }
+    ASSERT_EQ(b.histograms.size(), a.histograms.size());
+    for (std::size_t i = 0; i < a.histograms.size(); ++i) {
+      EXPECT_EQ(b.histograms[i].name, a.histograms[i].name);
+      EXPECT_EQ(b.histograms[i].snap.bounds, a.histograms[i].snap.bounds);
+      EXPECT_EQ(b.histograms[i].snap.counts, a.histograms[i].snap.counts);
+      EXPECT_EQ(b.histograms[i].snap.count, a.histograms[i].snap.count);
+      EXPECT_DOUBLE_EQ(b.histograms[i].snap.sum, a.histograms[i].snap.sum);
+    }
+    // And the JSON rendering of what crossed the wire stays parseable
+    // even with hostile metric names (quotes, braces, backslashes).
+    const std::string json = b.to_json();
+    EXPECT_FALSE(json.empty());
+    EXPECT_EQ(json.front(), '{');
+    EXPECT_EQ(json.back(), '}');
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MetricsWireSweepTest,
+                         ::testing::Values(1, 7, 42, 99, 1234, 20260807));
 
 }  // namespace
 }  // namespace taglets

@@ -72,11 +72,45 @@
 //     --fleet-reload PATH    hot-swap the serving model
 //     --fleet-stats          print the peer's stats JSON
 //     --fleet-predict N      send N pipelined predicts, print outcomes
+//
+// Fleet observability (docs/OBSERVABILITY.md, "Fleet observability"):
+//   --fleet-connect EP with one of:
+//     --fleet-trace-dump FILE  pull every fleet process's span buffer
+//                              through the frontend and write ONE merged
+//                              Chrome/Perfetto trace with per-process
+//                              lanes (clock-aligned via ping-RTT midpoint)
+//     --fleet-metrics          print the federated metrics JSON (one
+//                              structured snapshot per fleet process,
+//                              per-shard labeled); --fleet-metrics-out
+//                              FILE writes it atomically instead
+//     --fleet-top              live ops console: per-shard health, model
+//                              version, qps, p50/p99, queue depth, flap/
+//                              rejoin counts, plus the frontend's
+//                              network-vs-queue-vs-compute breakdown.
+//                              --fleet-top-interval-ms (default 1000)
+//                              and --fleet-top-iters N (0 = until ^C)
+//                              bound the refresh loop for CI.
+//   Frontend-side:
+//     --fleet-events-out FILE  append structured JSON-lines operational
+//                              events (health transitions, failover,
+//                              reload, rejoin) to FILE
+//     --fleet-scrape-out FILE  append a federated metrics snapshot line
+//                              every --fleet-scrape-interval-ms
+//                              (default 1000) — a self-contained
+//                              JSON-lines time series
+#include <algorithm>
 #include <array>
+#include <atomic>
+#include <chrono>
 #include <csignal>
+#include <fstream>
 #include <future>
+#include <iomanip>
 #include <iostream>
+#include <sstream>
 #include <thread>
+#include <unistd.h>
+#include <unordered_map>
 
 #include "baselines/finetune.hpp"
 #include "eval/harness.hpp"
@@ -84,6 +118,7 @@
 #include "fleet/client.hpp"
 #include "fleet/frontend.hpp"
 #include "fleet/shard.hpp"
+#include "fleet/trace_merge.hpp"
 #include "tensor/backend.hpp"
 #include "util/env.hpp"
 #include "nn/metrics.hpp"
@@ -280,12 +315,35 @@ serve::ServerConfig serve_config_from(const util::ArgParser& args) {
   return config;
 }
 
+/// Wall-clock milliseconds for event/scrape lines (the tracer clock is
+/// per-process; operational logs want a shared human timeline).
+std::int64_t wall_ms() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}
+
+/// One self-contained JSON line for the whole federation: a timestamp
+/// plus every process's structured snapshot. The scraper appends these,
+/// so the output file is a metrics time series.
+std::string federation_json(const fleet::MetricsResponse& resp) {
+  std::string out =
+      "{\"ts_ms\":" + std::to_string(wall_ms()) + ",\"snapshots\":[";
+  for (std::size_t i = 0; i < resp.snapshots.size(); ++i) {
+    if (i > 0) out += ",";
+    out += resp.snapshots[i].to_json();
+  }
+  out += "]}";
+  return out;
+}
+
 int run_fleet_shard(const util::ArgParser& args) {
   ensemble::ServableModel model =
       ensemble::ServableModel::load(args.get("load", ""));
   fleet::ShardConfig config;
   config.endpoint = args.get("fleet-endpoint", "");
   config.server = serve_config_from(args);
+  obs::set_process_name("shard " + config.endpoint);
   fleet::ShardServer shard(std::move(model), config);
   shard.start();
   // The trailing endl flushes: launchers wait for this line.
@@ -325,14 +383,205 @@ int run_fleet_frontend(const util::ArgParser& args) {
   config.heartbeat_interval_ms = args.get_double("fleet-heartbeat-ms", 50.0);
   config.health.suspect_after_ms = args.get_double("fleet-suspect-ms", 250.0);
   config.health.dead_after_ms = args.get_double("fleet-dead-ms", 1000.0);
+  config.event_log_path = args.get("fleet-events-out", "");
+  obs::set_process_name("frontend");
   fleet::Frontend frontend(config);
   frontend.start();
+
+  // Metrics scraper: a background thread appending one federated
+  // snapshot line per interval, so the run leaves a queryable time
+  // series behind without any external collector.
+  std::atomic<bool> scrape_stop{false};
+  std::thread scraper;
+  if (args.has("fleet-scrape-out")) {
+    const std::string path = args.get("fleet-scrape-out", "");
+    auto out = std::make_shared<std::ofstream>(path, std::ios::app);
+    if (!*out) {
+      frontend.stop();
+      throw std::runtime_error("cannot open --fleet-scrape-out " + path);
+    }
+    const double interval_ms =
+        std::max(10.0, args.get_double("fleet-scrape-interval-ms", 1000.0));
+    scraper = std::thread([&frontend, &scrape_stop, out, interval_ms] {
+      auto next = std::chrono::steady_clock::now();
+      while (!scrape_stop.load(std::memory_order_acquire)) {
+        next += std::chrono::microseconds(
+            static_cast<std::int64_t>(1000.0 * interval_ms));
+        *out << federation_json(frontend.federated_metrics()) << "\n";
+        out->flush();
+        // Chunked sleep so shutdown never waits a full interval.
+        while (!scrape_stop.load(std::memory_order_acquire) &&
+               std::chrono::steady_clock::now() < next) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(10));
+        }
+      }
+    });
+  }
+
   std::cout << "[fleet-frontend] serving on " << config.endpoint << " ("
             << config.groups.size() << " groups)" << std::endl;
   wait_for_stop_signal();
+  scrape_stop.store(true, std::memory_order_release);
+  if (scraper.joinable()) scraper.join();
   frontend.stop();
   write_observability_artifacts(args);
   std::cout << "[fleet-frontend] stopped\n";
+  return 0;
+}
+
+// ------------------------------------------------- fleet ops console
+
+/// Snapshot accessors: the wire form stores sorted vectors, and the
+/// console reads a handful of names per refresh, so linear scans are
+/// fine.
+const std::string* snap_meta(const obs::MetricsSnapshot& s,
+                             const std::string& key) {
+  for (const auto& kv : s.meta) {
+    if (kv.first == key) return &kv.second;
+  }
+  return nullptr;
+}
+
+std::uint64_t snap_counter(const obs::MetricsSnapshot& s,
+                           const std::string& name) {
+  for (const auto& c : s.counters) {
+    if (c.name == name) return c.value;
+  }
+  return 0;
+}
+
+double snap_gauge(const obs::MetricsSnapshot& s, const std::string& name) {
+  for (const auto& g : s.gauges) {
+    if (g.name == name) return g.value;
+  }
+  return 0.0;
+}
+
+const obs::Histogram::Snapshot* snap_hist(const obs::MetricsSnapshot& s,
+                                          const std::string& name) {
+  for (const auto& h : s.histograms) {
+    if (h.name == name) return &h.snap;
+  }
+  return nullptr;
+}
+
+/// "p50/p99" for one histogram, or "-" when it has no observations.
+std::string quantile_cell(const obs::Histogram::Snapshot* snap) {
+  if (snap == nullptr || snap->count == 0) return "-";
+  std::ostringstream out;
+  out << std::fixed << std::setprecision(2)
+      << obs::histogram_quantile(*snap, 0.50) << "/"
+      << obs::histogram_quantile(*snap, 0.99);
+  return out.str();
+}
+
+/// One --fleet-top refresh: the frontend summary with its per-group
+/// network-vs-queue-vs-compute latency decomposition, then a per-shard
+/// table. `prev_ok` carries ok-counter readings between refreshes for
+/// the qps column.
+void render_fleet_top(
+    const fleet::MetricsResponse& resp, double dt_seconds,
+    std::unordered_map<std::string, std::uint64_t>& prev_ok) {
+  std::ostringstream out;
+  out << std::left;
+  for (const auto& snap : resp.snapshots) {
+    if (snap_meta(snap, "replica_endpoint") != nullptr) continue;
+    // The frontend's own snapshot (the only one without shard meta).
+    out << "frontend " << snap.source << ": requests="
+        << snap_counter(snap, "fleet.frontend.requests_total") << " ok="
+        << snap_counter(snap, "fleet.frontend.requests_ok_total")
+        << " failovers="
+        << snap_counter(snap, "fleet.frontend.failovers_total")
+        << " overloaded="
+        << snap_counter(snap, "fleet.frontend.overloaded_total")
+        << " unavailable="
+        << snap_counter(snap, "fleet.frontend.unavailable_total") << " alive="
+        << snap_gauge(snap, "fleet.frontend.alive_replicas") << " ring_groups="
+        << snap_gauge(snap, "fleet.frontend.ring_groups") << "\n";
+    // Per-group latency decomposition, keyed off the labeled totals.
+    const std::string prefix = "fleet.frontend.latency_ms{shard=";
+    for (const auto& h : snap.histograms) {
+      if (h.name.rfind(prefix, 0) != 0 || h.name.back() != '}') continue;
+      const std::string group =
+          h.name.substr(prefix.size(), h.name.size() - prefix.size() - 1);
+      const std::string suffix = "_ms{shard=" + group + "}";
+      out << "  " << std::setw(10) << group << " p50/p99 ms  total "
+          << quantile_cell(&h.snap) << "  network "
+          << quantile_cell(snap_hist(snap, "fleet.frontend.network" + suffix))
+          << "  queue "
+          << quantile_cell(
+                 snap_hist(snap, "fleet.frontend.queue_wait" + suffix))
+          << "  compute "
+          << quantile_cell(snap_hist(snap, "fleet.frontend.compute" + suffix))
+          << "\n";
+    }
+  }
+  out << std::setw(8) << "SHARD" << std::setw(24) << "ENDPOINT" << " "
+      << std::setw(9) << "HEALTH" << std::setw(5) << "VER" << std::setw(9)
+      << "QPS" << std::setw(14) << "P50/P99MS" << std::setw(7) << "QUEUE"
+      << std::setw(7) << "FLAPS" << "REJOINS\n";
+  for (const auto& snap : resp.snapshots) {
+    const std::string* endpoint = snap_meta(snap, "replica_endpoint");
+    if (endpoint == nullptr) continue;
+    const std::string* group = snap_meta(snap, "group");
+    const std::string* health = snap_meta(snap, "health");
+    const std::string* flaps = snap_meta(snap, "flaps");
+    const std::string* rejoins = snap_meta(snap, "rejoins");
+    const std::uint64_t ok = snap_counter(snap, "serve.requests_ok_total");
+    double qps = 0.0;
+    const auto prev = prev_ok.find(*endpoint);
+    if (prev != prev_ok.end() && dt_seconds > 0.0 && ok >= prev->second) {
+      qps = static_cast<double>(ok - prev->second) / dt_seconds;
+    }
+    prev_ok[*endpoint] = ok;
+    out << std::setw(8) << (group != nullptr ? *group : "?") << std::setw(24)
+        << *endpoint << " " << std::setw(9)
+        << (health != nullptr ? *health : "?")
+        << std::setw(5)
+        << static_cast<long>(snap_gauge(snap, "fleet.shard.model_version"))
+        << std::setw(9) << std::fixed << std::setprecision(1) << qps
+        << std::setw(14)
+        << quantile_cell(snap_hist(snap, "serve.latency_ms")) << std::setw(7)
+        << static_cast<long>(snap_gauge(snap, "serve.queue_depth"))
+        << std::setw(7) << (flaps != nullptr ? *flaps : "0")
+        << (rejoins != nullptr ? *rejoins : "0") << "\n";
+  }
+  std::cout << out.str() << std::flush;
+}
+
+int run_fleet_top(fleet::FleetClient& client, const util::ArgParser& args) {
+  const long iters = args.get_long("fleet-top-iters", 0);
+  const double interval_ms =
+      std::max(10.0, args.get_double("fleet-top-interval-ms", 1000.0));
+  std::signal(SIGINT, handle_fleet_stop);
+  std::signal(SIGTERM, handle_fleet_stop);
+  const bool tty = ::isatty(STDOUT_FILENO) != 0;
+  std::unordered_map<std::string, std::uint64_t> prev_ok;
+  auto last = std::chrono::steady_clock::now();
+  for (long round = 0; iters <= 0 || round < iters; ++round) {
+    if (round > 0) {
+      auto until = std::chrono::steady_clock::now() +
+                   std::chrono::microseconds(
+                       static_cast<std::int64_t>(1000.0 * interval_ms));
+      while (!g_fleet_stop.load() &&
+             std::chrono::steady_clock::now() < until) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+      }
+    }
+    if (g_fleet_stop.load()) break;
+    const fleet::MetricsResponse resp = client.fleet_metrics();
+    const auto now = std::chrono::steady_clock::now();
+    const double dt = std::chrono::duration<double>(now - last).count();
+    last = now;
+    if (tty) {
+      std::cout << "\x1b[H\x1b[2J";  // home + clear, like top(1)
+    }
+    std::cout << "[fleet-top] " << resp.snapshots.size()
+              << " processes, refresh " << interval_ms << "ms, round "
+              << (round + 1) << (iters > 0 ? "/" + std::to_string(iters) : "")
+              << "\n";
+    render_fleet_top(resp, round == 0 ? 0.0 : dt, prev_ok);
+  }
   return 0;
 }
 
@@ -366,6 +615,33 @@ int run_fleet_client(const util::ArgParser& args) {
     std::cout << client.stats() << "\n";
     return 0;
   }
+  if (args.has("fleet-trace-dump")) {
+    const std::string path = args.get("fleet-trace-dump", "");
+    const fleet::TraceExportResponse resp = client.trace_export();
+    std::size_t spans = 0;
+    for (const auto& proc : resp.processes) spans += proc.spans.size();
+    util::atomic_write_file(path,
+                            fleet::render_chrome_trace(resp.processes) + "\n",
+                            "fleet.trace.export");
+    std::cout << "[fleet-trace-dump] wrote " << spans << " spans from "
+              << resp.processes.size() << " processes to " << path << "\n";
+    return 0;
+  }
+  if (args.get_flag("fleet-metrics") || args.has("fleet-metrics-out")) {
+    const std::string json = federation_json(client.fleet_metrics());
+    if (args.has("fleet-metrics-out")) {
+      const std::string path = args.get("fleet-metrics-out", "");
+      util::atomic_write_file(path, json + "\n", "fleet.metrics.export");
+      std::cout << "[fleet-metrics] wrote federated snapshot to " << path
+                << "\n";
+    } else {
+      std::cout << json << "\n";
+    }
+    return 0;
+  }
+  if (args.get_flag("fleet-top")) {
+    return run_fleet_top(client, args);
+  }
   if (args.has("fleet-predict")) {
     const std::size_t requests =
         static_cast<std::size_t>(args.get_long("fleet-predict", 100));
@@ -391,7 +667,8 @@ int run_fleet_client(const util::ArgParser& args) {
   }
   throw std::invalid_argument(
       "--fleet-connect needs one of --fleet-ping / --fleet-reload / "
-      "--fleet-stats / --fleet-predict");
+      "--fleet-stats / --fleet-predict / --fleet-trace-dump / "
+      "--fleet-metrics / --fleet-top");
 }
 
 }  // namespace

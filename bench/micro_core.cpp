@@ -6,6 +6,8 @@
 //  * single servable end-model inference vs. serving the whole taglet
 //    ensemble (challenge 3: SLAs need a single compact model),
 //  * core tensor/retrofit kernels.
+#include <mutex>
+
 #include <benchmark/benchmark.h>
 
 #include "ensemble/ensemble.hpp"
@@ -24,6 +26,7 @@
 #include "tensor/quant.hpp"
 #include "util/check.hpp"
 #include "util/parallel.hpp"
+#include "util/sync.hpp"
 #include "util/timer.hpp"
 
 namespace {
@@ -433,6 +436,48 @@ void BM_CheckEnabled(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_CheckEnabled);
+
+// util::Mutex vs the std::mutex it wraps. Benchmarks build with NDEBUG,
+// which compiles the lock-order checker out entirely, so these two must
+// read the same — the evidence behind sync.hpp's zero-release-overhead
+// claim. In a Debug build the gap is the checker's bookkeeping cost.
+void BM_StdMutexLockUnlock(benchmark::State& state) {
+  std::mutex mu;
+  for (auto _ : state) {
+    mu.lock();
+    benchmark::DoNotOptimize(&mu);
+    mu.unlock();
+  }
+}
+BENCHMARK(BM_StdMutexLockUnlock);
+
+void BM_SyncMutexLockUnlock(benchmark::State& state) {
+  util::Mutex mu("bench.sync", util::lockrank::kTest);
+  for (auto _ : state) {
+    mu.lock();
+    benchmark::DoNotOptimize(&mu);
+    mu.unlock();
+  }
+}
+BENCHMARK(BM_SyncMutexLockUnlock);
+
+void BM_StdScopedLock(benchmark::State& state) {
+  std::mutex mu;
+  for (auto _ : state) {
+    std::lock_guard<std::mutex> lock(mu);
+    benchmark::DoNotOptimize(&mu);
+  }
+}
+BENCHMARK(BM_StdScopedLock);
+
+void BM_SyncScopedLock(benchmark::State& state) {
+  util::Mutex mu("bench.sync_scoped", util::lockrank::kTest);
+  for (auto _ : state) {
+    util::MutexLock lock(mu);
+    benchmark::DoNotOptimize(&mu);
+  }
+}
+BENCHMARK(BM_SyncScopedLock);
 
 }  // namespace
 

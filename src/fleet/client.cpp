@@ -43,6 +43,10 @@ FleetClient::~FleetClient() { close(); }
 void FleetClient::close() {
   if (closed_.exchange(true, std::memory_order_acq_rel)) return;
   conn_.shutdown_rw();  // reader wakes, fails anything still pending
+  // The reader takes pending_mu_ to resolve futures; joining while
+  // holding it (or anything below it) would recreate the PR 7 shape.
+  util::check_join_safe(util::lockrank::kFleetClientPending,
+                        "FleetClient::close");
   if (reader_.joinable()) reader_.join();
   conn_.close();
 }
@@ -53,7 +57,7 @@ void FleetClient::send_locked_checked(
       closed_.load(std::memory_order_acquire)) {
     throw SocketError("connection closed");
   }
-  std::lock_guard<std::mutex> lock(write_mu_);
+  util::MutexLock lock(write_mu_);
   conn_.send_frame(frame, ms(config_.io_timeout_ms));
 }
 
@@ -71,7 +75,7 @@ std::future<PredictResponse> FleetClient::submit(std::vector<float> features,
   std::promise<PredictResponse> promise;
   std::future<PredictResponse> future = promise.get_future();
   {
-    std::lock_guard<std::mutex> lock(pending_mu_);
+    util::MutexLock lock(pending_mu_);
     pending_.emplace(request.id, std::move(promise));
   }
   try {
@@ -80,7 +84,7 @@ std::future<PredictResponse> FleetClient::submit(std::vector<float> features,
     std::promise<PredictResponse> orphan;
     bool mine = false;
     {
-      std::lock_guard<std::mutex> lock(pending_mu_);
+      util::MutexLock lock(pending_mu_);
       const auto it = pending_.find(request.id);
       if (it != pending_.end()) {
         orphan = std::move(it->second);
@@ -109,10 +113,10 @@ PredictResponse FleetClient::predict(std::vector<float> features,
 }
 
 Pong FleetClient::ping() {
-  std::lock_guard<std::mutex> control(control_mu_);
+  util::MutexLock control(control_mu_);
   std::future<Pong> future;
   {
-    std::lock_guard<std::mutex> lock(pending_mu_);
+    util::MutexLock lock(pending_mu_);
     if (broken_.load(std::memory_order_acquire)) {
       throw SocketError("connection closed");
     }
@@ -125,13 +129,13 @@ Pong FleetClient::ping() {
   try {
     send_locked_checked(encode(ping));
   } catch (const SocketError&) {
-    std::lock_guard<std::mutex> lock(pending_mu_);
+    util::MutexLock lock(pending_mu_);
     waiters_->pong_armed = false;
     throw;
   }
   if (future.wait_for(ms(config_.io_timeout_ms)) !=
       std::future_status::ready) {
-    std::lock_guard<std::mutex> lock(pending_mu_);
+    util::MutexLock lock(pending_mu_);
     if (waiters_->pong_armed) {
       waiters_->pong_armed = false;
       throw SocketError("ping reply timeout");
@@ -142,10 +146,10 @@ Pong FleetClient::ping() {
 }
 
 ReloadResponse FleetClient::reload(const std::string& path) {
-  std::lock_guard<std::mutex> control(control_mu_);
+  util::MutexLock control(control_mu_);
   std::future<ReloadResponse> future;
   {
-    std::lock_guard<std::mutex> lock(pending_mu_);
+    util::MutexLock lock(pending_mu_);
     if (broken_.load(std::memory_order_acquire)) {
       throw SocketError("connection closed");
     }
@@ -158,12 +162,12 @@ ReloadResponse FleetClient::reload(const std::string& path) {
   try {
     send_locked_checked(encode(request));
   } catch (const SocketError&) {
-    std::lock_guard<std::mutex> lock(pending_mu_);
+    util::MutexLock lock(pending_mu_);
     waiters_->reload_armed = false;
     throw;
   }
   if (future.wait_for(kReloadReplyBudget) != std::future_status::ready) {
-    std::lock_guard<std::mutex> lock(pending_mu_);
+    util::MutexLock lock(pending_mu_);
     if (waiters_->reload_armed) {
       waiters_->reload_armed = false;
       throw SocketError("reload reply timeout");
@@ -173,10 +177,10 @@ ReloadResponse FleetClient::reload(const std::string& path) {
 }
 
 std::string FleetClient::stats() {
-  std::lock_guard<std::mutex> control(control_mu_);
+  util::MutexLock control(control_mu_);
   std::future<StatsResponse> future;
   {
-    std::lock_guard<std::mutex> lock(pending_mu_);
+    util::MutexLock lock(pending_mu_);
     if (broken_.load(std::memory_order_acquire)) {
       throw SocketError("connection closed");
     }
@@ -187,13 +191,13 @@ std::string FleetClient::stats() {
   try {
     send_locked_checked(encode(StatsRequest{}));
   } catch (const SocketError&) {
-    std::lock_guard<std::mutex> lock(pending_mu_);
+    util::MutexLock lock(pending_mu_);
     waiters_->stats_armed = false;
     throw;
   }
   if (future.wait_for(ms(config_.io_timeout_ms)) !=
       std::future_status::ready) {
-    std::lock_guard<std::mutex> lock(pending_mu_);
+    util::MutexLock lock(pending_mu_);
     if (waiters_->stats_armed) {
       waiters_->stats_armed = false;
       throw SocketError("stats reply timeout");
@@ -203,10 +207,10 @@ std::string FleetClient::stats() {
 }
 
 TraceExportResponse FleetClient::trace_export() {
-  std::lock_guard<std::mutex> control(control_mu_);
+  util::MutexLock control(control_mu_);
   std::future<TraceExportResponse> future;
   {
-    std::lock_guard<std::mutex> lock(pending_mu_);
+    util::MutexLock lock(pending_mu_);
     if (broken_.load(std::memory_order_acquire)) {
       throw SocketError("connection closed");
     }
@@ -217,13 +221,13 @@ TraceExportResponse FleetClient::trace_export() {
   try {
     send_locked_checked(encode(TraceExportRequest{}));
   } catch (const SocketError&) {
-    std::lock_guard<std::mutex> lock(pending_mu_);
+    util::MutexLock lock(pending_mu_);
     waiters_->trace_armed = false;
     throw;
   }
   if (future.wait_for(ms(config_.io_timeout_ms)) !=
       std::future_status::ready) {
-    std::lock_guard<std::mutex> lock(pending_mu_);
+    util::MutexLock lock(pending_mu_);
     if (waiters_->trace_armed) {
       waiters_->trace_armed = false;
       throw SocketError("trace export reply timeout");
@@ -233,10 +237,10 @@ TraceExportResponse FleetClient::trace_export() {
 }
 
 MetricsResponse FleetClient::fleet_metrics() {
-  std::lock_guard<std::mutex> control(control_mu_);
+  util::MutexLock control(control_mu_);
   std::future<MetricsResponse> future;
   {
-    std::lock_guard<std::mutex> lock(pending_mu_);
+    util::MutexLock lock(pending_mu_);
     if (broken_.load(std::memory_order_acquire)) {
       throw SocketError("connection closed");
     }
@@ -247,13 +251,13 @@ MetricsResponse FleetClient::fleet_metrics() {
   try {
     send_locked_checked(encode(MetricsRequest{}));
   } catch (const SocketError&) {
-    std::lock_guard<std::mutex> lock(pending_mu_);
+    util::MutexLock lock(pending_mu_);
     waiters_->metrics_armed = false;
     throw;
   }
   if (future.wait_for(ms(config_.io_timeout_ms)) !=
       std::future_status::ready) {
-    std::lock_guard<std::mutex> lock(pending_mu_);
+    util::MutexLock lock(pending_mu_);
     if (waiters_->metrics_armed) {
       waiters_->metrics_armed = false;
       throw SocketError("metrics reply timeout");
@@ -278,7 +282,7 @@ void FleetClient::reader_loop() {
           std::promise<PredictResponse> promise;
           bool found = false;
           {
-            std::lock_guard<std::mutex> lock(pending_mu_);
+            util::MutexLock lock(pending_mu_);
             const auto it = pending_.find(resp.id);
             if (it != pending_.end()) {
               promise = std::move(it->second);
@@ -291,7 +295,7 @@ void FleetClient::reader_loop() {
         }
         case MsgType::kPong: {
           const Pong pong = decode_pong(*frame);
-          std::lock_guard<std::mutex> lock(pending_mu_);
+          util::MutexLock lock(pending_mu_);
           if (waiters_->pong_armed) {
             waiters_->pong_armed = false;
             waiters_->pong.set_value(pong);
@@ -300,7 +304,7 @@ void FleetClient::reader_loop() {
         }
         case MsgType::kReloadResponse: {
           const ReloadResponse resp = decode_reload_response(*frame);
-          std::lock_guard<std::mutex> lock(pending_mu_);
+          util::MutexLock lock(pending_mu_);
           if (waiters_->reload_armed) {
             waiters_->reload_armed = false;
             waiters_->reload.set_value(resp);
@@ -309,7 +313,7 @@ void FleetClient::reader_loop() {
         }
         case MsgType::kStatsResponse: {
           const StatsResponse resp = decode_stats_response(*frame);
-          std::lock_guard<std::mutex> lock(pending_mu_);
+          util::MutexLock lock(pending_mu_);
           if (waiters_->stats_armed) {
             waiters_->stats_armed = false;
             waiters_->stats.set_value(resp);
@@ -318,7 +322,7 @@ void FleetClient::reader_loop() {
         }
         case MsgType::kTraceExportResponse: {
           TraceExportResponse resp = decode_trace_export_response(*frame);
-          std::lock_guard<std::mutex> lock(pending_mu_);
+          util::MutexLock lock(pending_mu_);
           if (waiters_->trace_armed) {
             waiters_->trace_armed = false;
             waiters_->trace.set_value(std::move(resp));
@@ -327,7 +331,7 @@ void FleetClient::reader_loop() {
         }
         case MsgType::kMetricsResponse: {
           MetricsResponse resp = decode_metrics_response(*frame);
-          std::lock_guard<std::mutex> lock(pending_mu_);
+          util::MutexLock lock(pending_mu_);
           if (waiters_->metrics_armed) {
             waiters_->metrics_armed = false;
             waiters_->metrics.set_value(std::move(resp));
@@ -348,7 +352,7 @@ void FleetClient::reader_loop() {
 void FleetClient::fail_all_pending() {
   std::unordered_map<std::uint64_t, std::promise<PredictResponse>> orphans;
   {
-    std::lock_guard<std::mutex> lock(pending_mu_);
+    util::MutexLock lock(pending_mu_);
     orphans.swap(pending_);
     const auto gone =
         std::make_exception_ptr(SocketError("connection lost"));

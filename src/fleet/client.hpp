@@ -17,7 +17,6 @@
 #include <cstdint>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <unordered_map>
@@ -25,6 +24,7 @@
 
 #include "fleet/protocol.hpp"
 #include "fleet/socket.hpp"
+#include "util/sync.hpp"
 
 namespace taglets::fleet {
 
@@ -85,13 +85,18 @@ class FleetClient {
 
   FleetClientConfig config_;
   Connection conn_;
-  std::mutex write_mu_;
+  util::Mutex write_mu_{"fleet.client.write", util::lockrank::kFleetWrite};
 
-  std::mutex pending_mu_;  // guards pending_ and the control waiters
-  std::unordered_map<std::uint64_t, std::promise<PredictResponse>> pending_;
-  std::unique_ptr<Waiters> waiters_;
+  /// Guards pending_ and the control waiters.
+  util::Mutex pending_mu_{"fleet.client.pending",
+                          util::lockrank::kFleetClientPending};
+  std::unordered_map<std::uint64_t, std::promise<PredictResponse>> pending_
+      TAGLETS_GUARDED_BY(pending_mu_);
+  std::unique_ptr<Waiters> waiters_ TAGLETS_PT_GUARDED_BY(pending_mu_);
 
-  std::mutex control_mu_;  // one control round-trip at a time
+  /// One control round-trip at a time.
+  util::Mutex control_mu_{"fleet.client.control",
+                          util::lockrank::kFleetClientControl};
   std::atomic<std::uint64_t> next_id_{1};
   std::atomic<std::uint64_t> next_seq_{1};
   std::atomic<bool> broken_{false};

@@ -86,19 +86,23 @@ struct Frontend::Replica {
   Endpoint parsed;
   HealthTracker tracker;
 
-  std::mutex conn_mu;  // guards conn/connected/reader lifecycle + sends
+  /// Guards conn/connected/reader lifecycle + sends.
+  util::Mutex conn_mu{"fleet.frontend.conn",
+                      util::lockrank::kFleetFrontendConn};
   Connection conn;
-  bool connected = false;
+  bool connected TAGLETS_GUARDED_BY(conn_mu) = false;
   std::atomic<bool> broken{false};  // reader drained pending; reset under conn_mu
   std::thread reader;
   std::shared_ptr<std::atomic<bool>> reader_done;  // set as the thread's last act
 
-  std::mutex pending_mu;
+  util::Mutex pending_mu{"fleet.frontend.pending",
+                         util::lockrank::kFleetFrontendPending};
   /// Admission gate for `pending`: true while the current reader is
   /// live. The exiting reader turns it off before draining, so a
   /// racing send_to can never register a predict nobody will drain.
-  bool accepting = false;
-  std::unordered_map<std::uint64_t, std::shared_ptr<RouteTask>> pending;
+  bool accepting TAGLETS_GUARDED_BY(pending_mu) = false;
+  std::unordered_map<std::uint64_t, std::shared_ptr<RouteTask>> pending
+      TAGLETS_GUARDED_BY(pending_mu);
 
   /// Heartbeat-thread-only: last Dead-endpoint reconnect probe.
   HealthTracker::Clock::time_point last_dead_probe{};
@@ -141,7 +145,8 @@ struct Frontend::RouteTask {
 
 struct Frontend::ClientConn {
   Connection conn;
-  std::mutex write_mu;
+  util::Mutex write_mu{"fleet.frontend.client_write",
+                       util::lockrank::kFleetWrite};
   std::thread reader;
   std::atomic<bool> finished{false};
 };
@@ -203,7 +208,7 @@ Frontend::Frontend(FrontendConfig config)
 Frontend::~Frontend() { stop(); }
 
 void Frontend::start() {
-  std::lock_guard<std::mutex> lifecycle(lifecycle_mu_);
+  util::MutexLock lifecycle(lifecycle_mu_);
   if (running_.load(std::memory_order_acquire)) return;
   if (stopping_.load(std::memory_order_acquire)) {
     throw std::runtime_error("Frontend::start: already stopped");
@@ -215,11 +220,26 @@ void Frontend::start() {
 }
 
 void Frontend::stop() {
-  std::lock_guard<std::mutex> lifecycle(lifecycle_mu_);
+  util::MutexLock lifecycle(lifecycle_mu_);
   if (stopping_.exchange(true, std::memory_order_acq_rel)) return;
   running_.store(false, std::memory_order_release);
+  {
+    // Empty critical section before the notify: without it a heartbeat
+    // thread that already evaluated its predicate (stopping_ still
+    // false) but has not yet blocked would miss this wakeup entirely
+    // and sleep a full extra interval. Holding the wait lock across
+    // the stopping_ publication pins the waiter on either side of the
+    // race: it re-checks the predicate under the lock, or it is
+    // already blocked and the notify reaches it.
+    util::MutexLock pin(heartbeat_mu_);
+  }
   heartbeat_cv_.notify_all();
   if (listener_) listener_->shutdown();
+  // The accept and heartbeat threads take the heartbeat, conn, ring,
+  // retired, and clients locks — all ranked above the lifecycle lock
+  // held here.
+  util::check_join_safe(util::lockrank::kFleetFrontendHeartbeat,
+                        "Frontend::stop");
   if (accept_thread_.joinable()) accept_thread_.join();
   if (heartbeat_thread_.joinable()) heartbeat_thread_.join();
   // Wake and join replica readers. Join OUTSIDE conn_mu: a reader's
@@ -229,7 +249,7 @@ void Frontend::stop() {
   for (auto& replica : replicas_) {
     std::thread reader;
     {
-      std::lock_guard<std::mutex> lock(replica->conn_mu);
+      util::MutexLock lock(replica->conn_mu);
       if (replica->connected) replica->conn.shutdown_rw();
       reader = std::move(replica->reader);
     }
@@ -243,7 +263,7 @@ void Frontend::stop() {
   // flight past this point.
   std::vector<std::shared_ptr<ClientConn>> clients;
   {
-    std::lock_guard<std::mutex> lock(clients_mu_);
+    util::MutexLock lock(clients_mu_);
     clients.swap(clients_);
   }
   for (auto& client : clients) client->conn.shutdown_rw();
@@ -289,7 +309,7 @@ void Frontend::route(PredictRequest request, Completion done) {
 std::vector<Frontend::Replica*> Frontend::candidates_for(std::uint64_t key) {
   std::vector<std::string> order;
   {
-    std::lock_guard<std::mutex> lock(ring_mu_);
+    util::MutexLock lock(ring_mu_);
     if (ring_.node_count() > 0) order = ring_.successors(key);
   }
   // Evicted groups are gone from `order` already; within each group
@@ -352,10 +372,10 @@ bool Frontend::send_to(Replica& replica,
       next_wire_id_.fetch_add(1, std::memory_order_relaxed);
   PredictRequest wire = task->request;
   wire.id = wire_id;
-  std::lock_guard<std::mutex> conn_lock(replica.conn_mu);
+  util::MutexLock conn_lock(replica.conn_mu);
   if (!ensure_connected_locked(replica)) return false;
   {
-    std::lock_guard<std::mutex> lock(replica.pending_mu);
+    util::MutexLock lock(replica.pending_mu);
     // The reader may have exited (and drained pending) between the
     // connect check and here; registering now would orphan the task —
     // nobody would ever redispatch it. Fail over instead.
@@ -366,7 +386,7 @@ bool Frontend::send_to(Replica& replica,
     replica.conn.send_frame(encode(wire), ms(config_.io_timeout_ms));
   } catch (const SocketError&) {
     {
-      std::lock_guard<std::mutex> lock(replica.pending_mu);
+      util::MutexLock lock(replica.pending_mu);
       replica.pending.erase(wire_id);
     }
     replica.conn.shutdown_rw();  // reader exits, redispatches the rest
@@ -400,7 +420,7 @@ bool Frontend::ensure_connected_locked(Replica& replica) {
   }
   replica.connected = true;
   {
-    std::lock_guard<std::mutex> lock(replica.pending_mu);
+    util::MutexLock lock(replica.pending_mu);
     replica.accepting = true;
   }
   auto done = std::make_shared<std::atomic<bool>>(false);
@@ -415,7 +435,7 @@ bool Frontend::ensure_connected_locked(Replica& replica) {
 
 void Frontend::retire_reader_locked(Replica& replica) {
   if (!replica.reader.joinable()) return;
-  std::lock_guard<std::mutex> lock(retired_mu_);
+  util::MutexLock lock(retired_mu_);
   retired_readers_.emplace_back(std::move(replica.reader),
                                 std::move(replica.reader_done));
 }
@@ -423,7 +443,7 @@ void Frontend::retire_reader_locked(Replica& replica) {
 void Frontend::reap_retired_readers(bool wait) {
   std::vector<std::thread> joinable;
   {
-    std::lock_guard<std::mutex> lock(retired_mu_);
+    util::MutexLock lock(retired_mu_);
     for (auto it = retired_readers_.begin(); it != retired_readers_.end();) {
       if (wait ||
           (it->second && it->second->load(std::memory_order_acquire))) {
@@ -434,6 +454,10 @@ void Frontend::reap_retired_readers(bool wait) {
       }
     }
   }
+  // Exiting readers redispatch their pending sets, which takes other
+  // replicas' conn_mu — never join while holding one.
+  util::check_join_safe(util::lockrank::kFleetFrontendConn,
+                        "Frontend::reap_retired_readers");
   for (std::thread& thread : joinable) {
     if (thread.joinable()) thread.join();
   }
@@ -455,7 +479,7 @@ void Frontend::replica_reader(Replica* replica) {
           PredictResponse resp = decode_predict_response(*frame);
           std::shared_ptr<RouteTask> task;
           {
-            std::lock_guard<std::mutex> lock(replica->pending_mu);
+            util::MutexLock lock(replica->pending_mu);
             const auto it = replica->pending.find(resp.id);
             if (it != replica->pending.end()) {
               task = it->second;
@@ -506,7 +530,7 @@ void Frontend::replica_reader(Replica* replica) {
   // and rebuilds the channel.
   std::vector<std::shared_ptr<RouteTask>> stranded;
   {
-    std::lock_guard<std::mutex> lock(replica->pending_mu);
+    util::MutexLock lock(replica->pending_mu);
     replica->accepting = false;
     stranded.reserve(replica->pending.size());
     for (auto& [id, task] : replica->pending) {
@@ -558,7 +582,7 @@ void Frontend::complete(const std::shared_ptr<RouteTask>& task,
 // ------------------------------------------------------------ heartbeat
 
 void Frontend::heartbeat_loop() {
-  std::unique_lock<std::mutex> lock(heartbeat_mu_);
+  util::MutexLock lock(heartbeat_mu_);
   while (!stopping_.load(std::memory_order_acquire)) {
     lock.unlock();
     heartbeat_round();
@@ -581,7 +605,7 @@ void Frontend::heartbeat_round() {
     if (replica.tracker.state() != HealthState::kDead) {
       Ping ping;
       ping.seq = next_ping_seq_.fetch_add(1, std::memory_order_relaxed);
-      std::lock_guard<std::mutex> conn_lock(replica.conn_mu);
+      util::MutexLock conn_lock(replica.conn_mu);
       if (ensure_connected_locked(replica)) {
         try {
           replica.conn.send_frame(encode(ping), ms(config_.io_timeout_ms));
@@ -614,7 +638,7 @@ void Frontend::heartbeat_round() {
   // Evict groups whose every replica is Dead — the ring must never map
   // a key to a shard nobody can reach — and re-add a group as soon as
   // a probed-back replica revives it.
-  std::lock_guard<std::mutex> ring_lock(ring_mu_);
+  util::MutexLock ring_lock(ring_mu_);
   for (const auto& [group, members] : group_members_) {
     const bool all_dead =
         std::all_of(members.begin(), members.end(), [](Replica* r) {
@@ -716,7 +740,7 @@ void Frontend::log_event(const std::string& type, const std::string& fields) {
   const auto wall_ms = std::chrono::duration_cast<std::chrono::milliseconds>(
                            std::chrono::system_clock::now().time_since_epoch())
                            .count();
-  std::lock_guard<std::mutex> lock(event_mu_);
+  util::MutexLock lock(event_mu_);
   *event_log_ << "{\"ts_ms\":" << wall_ms << ",\"event\":\""
               << obs::json_escape(type) << "\"";
   if (!fields.empty()) *event_log_ << "," << fields;
@@ -828,7 +852,7 @@ std::string Frontend::stats_json() const {
     first_group = false;
     os << "{\"name\":\"" << group.name << "\",\"on_ring\":"
        << (([this, &group] {
-            std::lock_guard<std::mutex> lock(ring_mu_);
+            util::MutexLock lock(ring_mu_);
             return ring_.contains(group.name);
           }())
                ? "true"
@@ -867,7 +891,7 @@ HealthState Frontend::replica_state(const std::string& endpoint) const {
 }
 
 std::vector<std::string> Frontend::ring_groups() const {
-  std::lock_guard<std::mutex> lock(ring_mu_);
+  util::MutexLock lock(ring_mu_);
   return ring_.nodes();
 }
 
@@ -890,7 +914,7 @@ void Frontend::accept_loop() {
     client->reader =
         std::thread([this, client] { client_reader(client); });
     {
-      std::lock_guard<std::mutex> lock(clients_mu_);
+      util::MutexLock lock(clients_mu_);
       clients_.push_back(std::move(client));
     }
     reap_finished_clients();
@@ -898,14 +922,27 @@ void Frontend::accept_loop() {
 }
 
 void Frontend::reap_finished_clients() {
-  std::lock_guard<std::mutex> lock(clients_mu_);
-  for (auto it = clients_.begin(); it != clients_.end();) {
-    if ((*it)->finished.load(std::memory_order_acquire)) {
-      if ((*it)->reader.joinable()) (*it)->reader.join();
-      it = clients_.erase(it);
-    } else {
-      ++it;
+  // Move finished clients out first so the joins run without
+  // clients_mu_ held: a client reader routes into replica conn_mu
+  // (ranked below clients_mu_), so joining under the lock would be the
+  // join-under-lock shape the order checker rejects — even though the
+  // finished flag means these readers have already exited.
+  std::vector<std::shared_ptr<ClientConn>> finished;
+  {
+    util::MutexLock lock(clients_mu_);
+    for (auto it = clients_.begin(); it != clients_.end();) {
+      if ((*it)->finished.load(std::memory_order_acquire)) {
+        finished.push_back(std::move(*it));
+        it = clients_.erase(it);
+      } else {
+        ++it;
+      }
     }
+  }
+  util::check_join_safe(util::lockrank::kFleetFrontendConn,
+                        "Frontend::reap_finished_clients");
+  for (auto& client : finished) {
+    if (client->reader.joinable()) client->reader.join();
   }
 }
 
@@ -923,7 +960,7 @@ void Frontend::client_reader(std::shared_ptr<ClientConn> client) {
         case MsgType::kPredictRequest: {
           PredictRequest request = decode_predict_request(*frame);
           route(std::move(request), [this, client](PredictResponse resp) {
-            std::lock_guard<std::mutex> lock(client->write_mu);
+            util::MutexLock lock(client->write_mu);
             try {
               client->conn.send_frame(encode(resp),
                                       ms(config_.io_timeout_ms));
@@ -937,7 +974,7 @@ void Frontend::client_reader(std::shared_ptr<ClientConn> client) {
           const Ping ping = decode_ping(*frame);
           const std::vector<std::uint8_t> reply =
               encode(make_aggregate_pong(ping.seq));
-          std::lock_guard<std::mutex> lock(client->write_mu);
+          util::MutexLock lock(client->write_mu);
           client->conn.send_frame(reply, ms(config_.io_timeout_ms));
           break;
         }
@@ -949,7 +986,7 @@ void Frontend::client_reader(std::shared_ptr<ClientConn> client) {
           resp.model_version = outcome.model_version;
           resp.message = outcome.message;
           const std::vector<std::uint8_t> reply = encode(resp);
-          std::lock_guard<std::mutex> lock(client->write_mu);
+          util::MutexLock lock(client->write_mu);
           client->conn.send_frame(reply, ms(config_.io_timeout_ms));
           break;
         }
@@ -957,21 +994,21 @@ void Frontend::client_reader(std::shared_ptr<ClientConn> client) {
           StatsResponse resp;
           resp.json = stats_json();
           const std::vector<std::uint8_t> reply = encode(resp);
-          std::lock_guard<std::mutex> lock(client->write_mu);
+          util::MutexLock lock(client->write_mu);
           client->conn.send_frame(reply, ms(config_.io_timeout_ms));
           break;
         }
         case MsgType::kTraceExportRequest: {
           (void)decode_trace_export_request(*frame);
           const std::vector<std::uint8_t> reply = encode(collect_traces());
-          std::lock_guard<std::mutex> lock(client->write_mu);
+          util::MutexLock lock(client->write_mu);
           client->conn.send_frame(reply, ms(config_.io_timeout_ms));
           break;
         }
         case MsgType::kMetricsRequest: {
           (void)decode_metrics_request(*frame);
           const std::vector<std::uint8_t> reply = encode(federated_metrics());
-          std::lock_guard<std::mutex> lock(client->write_mu);
+          util::MutexLock lock(client->write_mu);
           client->conn.send_frame(reply, ms(config_.io_timeout_ms));
           break;
         }

@@ -27,12 +27,10 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <fstream>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <unordered_map>
@@ -43,6 +41,7 @@
 #include "fleet/ring.hpp"
 #include "fleet/shard.hpp"  // ReloadOutcome
 #include "fleet/socket.hpp"
+#include "util/sync.hpp"
 
 namespace taglets::fleet {
 
@@ -180,24 +179,29 @@ class Frontend {
   std::unordered_map<std::string, Replica*> by_endpoint_;
   std::unordered_map<std::string, std::vector<Replica*>> group_members_;
 
-  mutable std::mutex ring_mu_;
-  HashRing ring_;
+  mutable util::Mutex ring_mu_{"fleet.frontend.ring",
+                               util::lockrank::kFleetFrontendRing};
+  HashRing ring_ TAGLETS_GUARDED_BY(ring_mu_);
 
   std::atomic<std::uint64_t> next_wire_id_{1};
   std::atomic<std::uint64_t> next_ping_seq_{1};
   std::atomic<std::uint64_t> next_trace_seq_{1};
 
-  std::mutex event_mu_;
+  util::Mutex event_mu_{"fleet.frontend.events",
+                        util::lockrank::kFleetFrontendEvents};
   std::unique_ptr<std::ofstream> event_log_;  // null when disabled
 
   std::unique_ptr<Listener> listener_;
   std::thread accept_thread_;
   std::thread heartbeat_thread_;
-  std::mutex heartbeat_mu_;
-  std::condition_variable heartbeat_cv_;
+  util::Mutex heartbeat_mu_{"fleet.frontend.heartbeat",
+                            util::lockrank::kFleetFrontendHeartbeat};
+  util::CondVar heartbeat_cv_;
 
-  std::mutex clients_mu_;
-  std::vector<std::shared_ptr<ClientConn>> clients_;
+  util::Mutex clients_mu_{"fleet.frontend.clients",
+                          util::lockrank::kFleetFrontendClients};
+  std::vector<std::shared_ptr<ClientConn>> clients_
+      TAGLETS_GUARDED_BY(clients_mu_);
 
   /// Reader threads of broken channels, parked until a single owner
   /// (heartbeat thread, or stop()) joins them outside every conn_mu.
@@ -206,13 +210,15 @@ class Frontend {
   /// exit path (two replicas failing over into each other) or under a
   /// conn_mu the exiting reader needs would deadlock — see
   /// ensure_connected_locked.
-  std::mutex retired_mu_;
+  util::Mutex retired_mu_{"fleet.frontend.retired",
+                          util::lockrank::kFleetFrontendRetired};
   std::vector<std::pair<std::thread, std::shared_ptr<std::atomic<bool>>>>
-      retired_readers_;
+      retired_readers_ TAGLETS_GUARDED_BY(retired_mu_);
 
   std::atomic<bool> running_{false};
   std::atomic<bool> stopping_{false};
-  std::mutex lifecycle_mu_;
+  util::Mutex lifecycle_mu_{"fleet.frontend.lifecycle",
+                            util::lockrank::kFleetFrontendLifecycle};
 
   // Cached registry references (fleet.frontend.* namespace).
   obs::Counter* requests_total_ = nullptr;

@@ -61,7 +61,7 @@ void HealthTracker::move_to(HealthState next, Clock::time_point now) {
 }
 
 void HealthTracker::record_success(Clock::time_point now) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   if (state_ == HealthState::kDead) return;  // terminal
   last_success_ = now;
   ever_succeeded_ = true;
@@ -70,7 +70,7 @@ void HealthTracker::record_success(Clock::time_point now) {
 }
 
 void HealthTracker::record_failure(Clock::time_point now) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   if (state_ == HealthState::kDead) return;
   ++consecutive_failures_;
   if (state_ == HealthState::kAlive &&
@@ -80,7 +80,7 @@ void HealthTracker::record_failure(Clock::time_point now) {
 }
 
 void HealthTracker::tick(Clock::time_point now) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   if (state_ == HealthState::kDead || !ever_succeeded_) {
     // Unknown never times out into Suspect/Dead: a node that was never
     // reachable is simply not yet a member (see header diagram).
@@ -99,7 +99,7 @@ void HealthTracker::tick(Clock::time_point now) {
 }
 
 void HealthTracker::reset() {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   state_ = HealthState::kUnknown;
   last_success_ = {};
   ever_succeeded_ = false;
@@ -108,22 +108,22 @@ void HealthTracker::reset() {
 }
 
 HealthState HealthTracker::state() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   return state_;
 }
 
 bool HealthTracker::routable() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   return state_ == HealthState::kAlive || state_ == HealthState::kSuspect;
 }
 
 std::uint32_t HealthTracker::consecutive_failures() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   return consecutive_failures_;
 }
 
 std::vector<HealthTracker::Transition> HealthTracker::transitions() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   return transitions_;
 }
 

@@ -21,8 +21,9 @@
 
 #include <chrono>
 #include <cstdint>
-#include <mutex>
 #include <vector>
+
+#include "util/sync.hpp"
 
 namespace taglets::fleet {
 
@@ -87,15 +88,16 @@ class HealthTracker {
   std::vector<Transition> transitions() const;
 
  private:
-  void move_to(HealthState next, Clock::time_point now);  // mu_ held
+  void move_to(HealthState next, Clock::time_point now)
+      TAGLETS_REQUIRES(mu_);
 
   HealthPolicy policy_;
-  mutable std::mutex mu_;
-  HealthState state_ = HealthState::kUnknown;
-  Clock::time_point last_success_{};
-  bool ever_succeeded_ = false;
-  std::uint32_t consecutive_failures_ = 0;
-  std::vector<Transition> transitions_;
+  mutable util::Mutex mu_{"fleet.health", util::lockrank::kFleetHealth};
+  HealthState state_ TAGLETS_GUARDED_BY(mu_) = HealthState::kUnknown;
+  Clock::time_point last_success_ TAGLETS_GUARDED_BY(mu_){};
+  bool ever_succeeded_ TAGLETS_GUARDED_BY(mu_) = false;
+  std::uint32_t consecutive_failures_ TAGLETS_GUARDED_BY(mu_) = 0;
+  std::vector<Transition> transitions_ TAGLETS_GUARDED_BY(mu_);
 };
 
 }  // namespace taglets::fleet

@@ -24,8 +24,6 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
-#include <shared_mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -33,6 +31,7 @@
 #include "fleet/protocol.hpp"
 #include "fleet/socket.hpp"
 #include "serve/server.hpp"
+#include "util/sync.hpp"
 
 namespace taglets::fleet {
 
@@ -107,19 +106,25 @@ class ShardServer {
   /// it shared, reload holds it unique for the flip — so a submission
   /// that grabbed the old server completes its enqueue before the old
   /// queue closes (no kShutdown window during a swap).
-  mutable std::shared_mutex swap_mu_;
-  std::shared_ptr<serve::Server> active_;
-  std::mutex reload_mu_;  // serializes reload()
+  mutable util::SharedMutex swap_mu_{"fleet.shard.swap",
+                                     util::lockrank::kFleetShardSwap};
+  std::shared_ptr<serve::Server> active_ TAGLETS_GUARDED_BY(swap_mu_);
+  /// Serializes reload().
+  util::Mutex reload_mu_{"fleet.shard.reload",
+                         util::lockrank::kFleetShardReload};
   std::atomic<std::uint64_t> model_version_{1};
   std::atomic<bool> draining_{false};  // mid-swap, reported in pongs
 
   std::unique_ptr<Listener> listener_;
   std::thread accept_thread_;
-  std::mutex handlers_mu_;
-  std::vector<std::unique_ptr<ConnectionHandler>> handlers_;
+  util::Mutex handlers_mu_{"fleet.shard.handlers",
+                           util::lockrank::kFleetShardHandlers};
+  std::vector<std::unique_ptr<ConnectionHandler>> handlers_
+      TAGLETS_GUARDED_BY(handlers_mu_);
   std::atomic<bool> running_{false};
   std::atomic<bool> stopping_{false};
-  std::mutex lifecycle_mu_;
+  util::Mutex lifecycle_mu_{"fleet.shard.lifecycle",
+                            util::lockrank::kFleetShardLifecycle};
 
   // Cached registry references (fleet.shard.* namespace).
   obs::Counter* predicts_total_ = nullptr;

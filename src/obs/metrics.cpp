@@ -3,12 +3,12 @@
 #include <algorithm>
 #include <fstream>
 #include <map>
-#include <mutex>
 #include <sstream>
 #include <stdexcept>
 
 #include "obs/json.hpp"
 #include "util/check.hpp"
+#include "util/sync.hpp"
 
 namespace taglets::obs {
 
@@ -118,14 +118,16 @@ std::string MetricsSnapshot::to_json() const {
 }
 
 struct MetricsRegistry::State {
-  mutable std::mutex mu;
+  mutable util::Mutex mu{"obs.metrics", util::lockrank::kObsMetrics};
   // std::map keeps snapshots sorted by name; unique_ptr keeps returned
   // references stable across rehash-free inserts.
-  std::map<std::string, std::unique_ptr<Counter>> counters;
-  std::map<std::string, std::unique_ptr<Gauge>> gauges;
-  std::map<std::string, std::unique_ptr<Histogram>> histograms;
+  std::map<std::string, std::unique_ptr<Counter>> counters
+      TAGLETS_GUARDED_BY(mu);
+  std::map<std::string, std::unique_ptr<Gauge>> gauges TAGLETS_GUARDED_BY(mu);
+  std::map<std::string, std::unique_ptr<Histogram>> histograms
+      TAGLETS_GUARDED_BY(mu);
 
-  bool name_taken(const std::string& name) const {
+  bool name_taken(const std::string& name) const TAGLETS_REQUIRES(mu) {
     return counters.count(name) + gauges.count(name) +
                histograms.count(name) >
            0;
@@ -138,7 +140,7 @@ MetricsRegistry::~MetricsRegistry() = default;
 
 Counter& MetricsRegistry::counter(const std::string& name) {
   State& s = state();
-  std::lock_guard<std::mutex> lock(s.mu);
+  util::MutexLock lock(s.mu);
   auto it = s.counters.find(name);
   if (it == s.counters.end()) {
     TAGLETS_CHECK(!(s.name_taken(name)),
@@ -152,7 +154,7 @@ Counter& MetricsRegistry::counter(const std::string& name) {
 
 Gauge& MetricsRegistry::gauge(const std::string& name) {
   State& s = state();
-  std::lock_guard<std::mutex> lock(s.mu);
+  util::MutexLock lock(s.mu);
   auto it = s.gauges.find(name);
   if (it == s.gauges.end()) {
     TAGLETS_CHECK(!(s.name_taken(name)),
@@ -166,7 +168,7 @@ Gauge& MetricsRegistry::gauge(const std::string& name) {
 Histogram& MetricsRegistry::histogram(const std::string& name,
                                       std::vector<double> bounds) {
   State& s = state();
-  std::lock_guard<std::mutex> lock(s.mu);
+  util::MutexLock lock(s.mu);
   auto it = s.histograms.find(name);
   if (it == s.histograms.end()) {
     TAGLETS_CHECK(!(s.name_taken(name)),
@@ -186,7 +188,7 @@ Histogram& MetricsRegistry::histogram(const std::string& name,
 
 MetricsSnapshot MetricsRegistry::snapshot(std::string source) const {
   State& s = state();
-  std::lock_guard<std::mutex> lock(s.mu);
+  util::MutexLock lock(s.mu);
   MetricsSnapshot out;
   out.source = std::move(source);
   out.counters.reserve(s.counters.size());
@@ -206,7 +208,7 @@ MetricsSnapshot MetricsRegistry::snapshot(std::string source) const {
 
 std::string MetricsRegistry::to_text() const {
   State& s = state();
-  std::lock_guard<std::mutex> lock(s.mu);
+  util::MutexLock lock(s.mu);
   std::ostringstream os;
   for (const auto& [name, c] : s.counters) {
     os << name << " " << c->value() << "\n";
@@ -224,7 +226,7 @@ std::string MetricsRegistry::to_text() const {
 
 std::string MetricsRegistry::to_json() const {
   State& s = state();
-  std::lock_guard<std::mutex> lock(s.mu);
+  util::MutexLock lock(s.mu);
   std::ostringstream os;
   os << "{\"counters\":{";
   bool first = true;
@@ -277,7 +279,7 @@ void MetricsRegistry::write_json(const std::string& path) const {
 
 void MetricsRegistry::reset_for_testing() {
   State& s = state();
-  std::lock_guard<std::mutex> lock(s.mu);
+  util::MutexLock lock(s.mu);
   for (auto& [name, c] : s.counters) {
     c->value_.store(0, std::memory_order_relaxed);
   }

@@ -44,8 +44,9 @@ std::uint32_t next_thread_id() {
 
 thread_local std::uint32_t t_depth = 0;
 
-std::mutex& process_name_mu() {
-  static std::mutex mu;
+util::Mutex& process_name_mu() {
+  static util::Mutex mu{"obs.process_name",
+                        util::lockrank::kObsProcessName};
   return mu;
 }
 
@@ -57,12 +58,12 @@ std::string& process_name_storage() {
 }  // namespace
 
 void set_process_name(std::string name) {
-  std::lock_guard<std::mutex> lock(process_name_mu());
+  util::MutexLock lock(process_name_mu());
   process_name_storage() = std::move(name);
 }
 
 std::string process_name() {
-  std::lock_guard<std::mutex> lock(process_name_mu());
+  util::MutexLock lock(process_name_mu());
   return process_name_storage();
 }
 
@@ -84,9 +85,10 @@ std::uint32_t current_thread_id() {
 }
 
 struct Tracer::ThreadBuffer {
-  std::mutex mu;  // owner thread appends; snapshot/clear read/drop
+  // Owner thread appends; snapshot/clear read/drop.
+  util::Mutex mu{"obs.trace.buffer", util::lockrank::kObsTraceBuffer};
   std::uint32_t tid = 0;
-  std::vector<TraceEvent> events;
+  std::vector<TraceEvent> events TAGLETS_GUARDED_BY(mu);
 };
 
 Tracer::Tracer() : epoch_(TraceClock::now()) {}
@@ -101,7 +103,7 @@ Tracer::ThreadBuffer& Tracer::local_buffer() {
   thread_local std::shared_ptr<ThreadBuffer> buffer = [this] {
     auto fresh = std::make_shared<ThreadBuffer>();
     fresh->tid = current_thread_id();
-    std::lock_guard<std::mutex> lock(registry_mu_);
+    util::MutexLock lock(registry_mu_);
     buffers_.push_back(fresh);
     return fresh;
   }();
@@ -111,7 +113,7 @@ Tracer::ThreadBuffer& Tracer::local_buffer() {
 void Tracer::record(TraceEvent event) {
   ThreadBuffer& buffer = local_buffer();
   event.tid = buffer.tid;
-  std::lock_guard<std::mutex> lock(buffer.mu);
+  util::MutexLock lock(buffer.mu);
   if (buffer.events.size() >= kMaxEventsPerThread) {
     dropped_.fetch_add(1, std::memory_order_relaxed);
     // Silent span loss would make a merged fleet trace lie by omission;
@@ -141,12 +143,12 @@ double Tracer::to_epoch_us(TraceClock::time_point tp) const {
 std::vector<TraceEvent> Tracer::snapshot() const {
   std::vector<std::shared_ptr<ThreadBuffer>> buffers;
   {
-    std::lock_guard<std::mutex> lock(registry_mu_);
+    util::MutexLock lock(registry_mu_);
     buffers = buffers_;
   }
   std::vector<TraceEvent> out;
   for (const auto& buffer : buffers) {
-    std::lock_guard<std::mutex> lock(buffer->mu);
+    util::MutexLock lock(buffer->mu);
     out.insert(out.end(), buffer->events.begin(), buffer->events.end());
   }
   MetricsRegistry::global().gauge("obs.trace.buffer_spans").set(
@@ -157,11 +159,11 @@ std::vector<TraceEvent> Tracer::snapshot() const {
 void Tracer::clear() {
   std::vector<std::shared_ptr<ThreadBuffer>> buffers;
   {
-    std::lock_guard<std::mutex> lock(registry_mu_);
+    util::MutexLock lock(registry_mu_);
     buffers = buffers_;
   }
   for (const auto& buffer : buffers) {
-    std::lock_guard<std::mutex> lock(buffer->mu);
+    util::MutexLock lock(buffer->mu);
     buffer->events.clear();
   }
   dropped_.store(0, std::memory_order_relaxed);

@@ -17,10 +17,11 @@
 #include <chrono>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
+
+#include "util/sync.hpp"
 
 namespace taglets::obs {
 
@@ -96,8 +97,10 @@ class Tracer {
   ThreadBuffer& local_buffer();
 
   TraceClock::time_point epoch_;
-  mutable std::mutex registry_mu_;  // guards buffers_ membership
-  std::vector<std::shared_ptr<ThreadBuffer>> buffers_;
+  mutable util::Mutex registry_mu_{"obs.trace.registry",
+                                   util::lockrank::kObsTraceRegistry};
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers_
+      TAGLETS_GUARDED_BY(registry_mu_);
   std::atomic<std::uint64_t> dropped_{0};
 };
 

@@ -22,7 +22,7 @@ RequestQueue::RequestQueue(std::size_t capacity) : capacity_(capacity) {
 
 RequestQueue::Push RequestQueue::try_push(Request& request) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(mu_);
     if (closed_) return Push::kClosed;
     if (items_.size() >= capacity_) return Push::kFull;
     items_.push_back(std::move(request));
@@ -33,7 +33,7 @@ RequestQueue::Push RequestQueue::try_push(Request& request) {
 
 RequestQueue::Push RequestQueue::force_push(Request& request) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(mu_);
     if (closed_) return Push::kClosed;
     items_.push_back(std::move(request));
   }
@@ -46,8 +46,8 @@ std::vector<Request> RequestQueue::pop_batch(
   std::vector<Request> batch;
   if (max_batch == 0) return batch;
 
-  std::unique_lock<std::mutex> lock(mu_);
-  cv_.wait(lock, [this] { return closed_ || !items_.empty(); });
+  util::MutexLock lock(mu_);
+  cv_.wait(lock, [this] { return pop_ready(); });
   if (closed_) return batch;  // leftovers belong to drain()
 
   // First request claimed; the flush clock starts now, not at enqueue
@@ -61,9 +61,8 @@ std::vector<Request> RequestQueue::pop_batch(
     }
     if (batch.size() >= max_batch || closed_) break;
     if (max_delay <= std::chrono::nanoseconds::zero()) break;
-    const bool woke = cv_.wait_until(lock, flush_at, [this] {
-      return closed_ || !items_.empty();
-    });
+    const bool woke =
+        cv_.wait_until(lock, flush_at, [this] { return pop_ready(); });
     if (!woke) break;  // max_delay elapsed: flush what we have
   }
   return batch;
@@ -71,19 +70,19 @@ std::vector<Request> RequestQueue::pop_batch(
 
 void RequestQueue::close() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(mu_);
     closed_ = true;
   }
   cv_.notify_all();
 }
 
 bool RequestQueue::closed() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   return closed_;
 }
 
 std::vector<Request> RequestQueue::drain() {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   std::vector<Request> pending;
   pending.reserve(items_.size());
   while (!items_.empty()) {
@@ -94,7 +93,7 @@ std::vector<Request> RequestQueue::drain() {
 }
 
 std::size_t RequestQueue::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   return items_.size();
 }
 

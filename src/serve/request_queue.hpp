@@ -8,16 +8,15 @@
 #pragma once
 
 #include <chrono>
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <deque>
 #include <future>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "tensor/tensor.hpp"
+#include "util/sync.hpp"
 
 namespace taglets::serve {
 
@@ -121,11 +120,17 @@ class RequestQueue {
   std::size_t capacity() const { return capacity_; }
 
  private:
+  /// Wait predicate; runs with mu_ held by the CondVar machinery,
+  /// which the static analysis cannot see.
+  bool pop_ready() const TAGLETS_NO_THREAD_SAFETY_ANALYSIS {
+    return closed_ || !items_.empty();
+  }
+
   const std::size_t capacity_;
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<Request> items_;
-  bool closed_ = false;
+  mutable util::Mutex mu_{"serve.queue", util::lockrank::kServeQueue};
+  util::CondVar cv_;
+  std::deque<Request> items_ TAGLETS_GUARDED_BY(mu_);
+  bool closed_ TAGLETS_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace taglets::serve

@@ -46,7 +46,7 @@ Server::Server(const ensemble::ServableModel& model, ServerConfig config)
 Server::~Server() { stop(); }
 
 void Server::start() {
-  std::lock_guard<std::mutex> lifecycle(lifecycle_mu_);
+  util::MutexLock lifecycle(lifecycle_mu_);
   if (stopped_.load(std::memory_order_acquire)) {
     throw std::runtime_error("Server::start: server already stopped");
   }
@@ -59,7 +59,7 @@ void Server::start() {
 }
 
 std::vector<Request> Server::close_and_drain() {
-  std::lock_guard<std::mutex> lifecycle(lifecycle_mu_);
+  util::MutexLock lifecycle(lifecycle_mu_);
   if (stopped_.exchange(true, std::memory_order_acq_rel)) return {};
   running_.store(false, std::memory_order_release);
   // Closing the queue lets each worker finish the batch it already
@@ -69,6 +69,11 @@ std::vector<Request> Server::close_and_drain() {
   // drained set below — or observes kClosed and resolves its own
   // future with kShutdown. Either way no future is left dangling.
   queue_.close();
+  // Workers touch the queue and stats locks (ranks above lifecycle),
+  // never the lifecycle lock itself, so joining under lifecycle_mu_ is
+  // safe — and the guard proves no lower-ranked lock leaks in here.
+  util::check_join_safe(util::lockrank::kServeQueue,
+                        "Server::close_and_drain");
   for (auto& worker : workers_) worker.join();
   workers_.clear();
   return queue_.drain();

@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "ensemble/servable.hpp"
+#include "util/sync.hpp"
 #include "obs/metrics.hpp"
 #include "serve/batching_policy.hpp"
 #include "serve/request_queue.hpp"
@@ -126,7 +127,8 @@ class Server {
   std::vector<std::thread> workers_;
   std::atomic<bool> running_{false};
   std::atomic<bool> stopped_{false};
-  std::mutex lifecycle_mu_;  // serializes start()/stop()
+  util::Mutex lifecycle_mu_{"serve.lifecycle",
+                            util::lockrank::kServeLifecycle};
 };
 
 }  // namespace taglets::serve

@@ -45,7 +45,7 @@ void ServerStats::set_workers(std::size_t workers) {
 void ServerStats::record_submitted(std::size_t queue_depth) {
   submitted_.fetch_add(1, std::memory_order_relaxed);
   reg_submitted_->add();
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   if (queue_depth > peak_queue_depth_) peak_queue_depth_ = queue_depth;
 }
 
@@ -63,7 +63,7 @@ void ServerStats::record_batch(std::size_t batch_size) {
   batches_.fetch_add(1, std::memory_order_relaxed);
   reg_batches_->add();
   reg_batch_size_->observe(static_cast<double>(batch_size));
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   if (batch_size >= batch_size_counts_.size()) {
     batch_size_counts_.resize(batch_size + 1, 0);
   }
@@ -107,7 +107,7 @@ ServerStats::Snapshot ServerStats::snapshot() const {
   s.failed_error = failed_error_.load(std::memory_order_relaxed);
   s.batches = batches_.load(std::memory_order_relaxed);
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(mu_);
     s.peak_queue_depth = peak_queue_depth_;
     s.batch_size_counts = batch_size_counts_;
   }

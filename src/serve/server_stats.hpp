@@ -15,12 +15,12 @@
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "obs/metrics.hpp"
 #include "serve/request_queue.hpp"
+#include "util/sync.hpp"
 #include "util/timer.hpp"
 
 namespace taglets::serve {
@@ -96,9 +96,9 @@ class ServerStats {
   std::atomic<std::uint64_t> failed_error_{0};
   std::atomic<std::uint64_t> batches_{0};
 
-  mutable std::mutex mu_;           // guards the two fields below
-  std::size_t peak_queue_depth_ = 0;
-  std::vector<std::uint64_t> batch_size_counts_;
+  mutable util::Mutex mu_{"serve.stats", util::lockrank::kServeStats};
+  std::size_t peak_queue_depth_ TAGLETS_GUARDED_BY(mu_) = 0;
+  std::vector<std::uint64_t> batch_size_counts_ TAGLETS_GUARDED_BY(mu_);
 
   util::LatencyRecorder queue_wait_;    // admission -> dispatch (resolved only)
   util::LatencyRecorder total_latency_; // admission -> response, kOk only

@@ -2,9 +2,9 @@
 
 #include <atomic>
 #include <map>
-#include <mutex>
 
 #include "util/env.hpp"
+#include "util/sync.hpp"
 #include "util/string_util.hpp"
 
 namespace taglets::util::fault {
@@ -12,9 +12,11 @@ namespace taglets::util::fault {
 namespace {
 
 struct State {
-  std::mutex mu;
-  std::map<std::string, long> target;  // site -> 1-based failing call
-  std::map<std::string, long> count;   // site -> calls observed so far
+  Mutex mu{"util.fault", lockrank::kUtilFault};
+  std::map<std::string, long> target
+      TAGLETS_GUARDED_BY(mu);  // site -> 1-based failing call
+  std::map<std::string, long> count
+      TAGLETS_GUARDED_BY(mu);  // site -> calls observed so far
 };
 
 State& state() {
@@ -61,7 +63,7 @@ std::map<std::string, long> parse_spec(const std::string& spec) {
 void install_spec(const std::string& spec) {
   auto target = parse_spec(spec);
   State& s = state();
-  std::lock_guard<std::mutex> lock(s.mu);
+  MutexLock lock(s.mu);
   s.target = std::move(target);
   s.count.clear();
   armed_flag().store(!s.target.empty(), std::memory_order_release);
@@ -82,7 +84,7 @@ void maybe_fail(const std::string& site) {
   ensure_env_loaded();
   if (!armed_flag().load(std::memory_order_acquire)) return;
   State& s = state();
-  std::lock_guard<std::mutex> lock(s.mu);
+  MutexLock lock(s.mu);
   const auto it = s.target.find(site);
   if (it == s.target.end()) return;
   const long seen = ++s.count[site];
@@ -105,7 +107,7 @@ void set_spec_for_testing(const std::string& spec) {
 void reset_counters_for_testing() {
   ensure_env_loaded();
   State& s = state();
-  std::lock_guard<std::mutex> lock(s.mu);
+  MutexLock lock(s.mu);
   s.count.clear();
 }
 

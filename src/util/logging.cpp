@@ -5,11 +5,11 @@
 #include <cstdlib>
 #include <iostream>
 #include <memory>
-#include <mutex>
 
 #include "obs/json.hpp"
 #include "obs/trace.hpp"
 #include "util/env.hpp"
+#include "util/sync.hpp"
 
 namespace taglets::util {
 
@@ -37,8 +37,8 @@ std::atomic<bool>& json_flag() {
 
 // Sink storage: a shared_ptr swap keeps a sink alive while a
 // concurrent log statement is mid-call through it.
-std::mutex& sink_mu() {
-  static std::mutex mu;
+Mutex& sink_mu() {
+  static Mutex mu{"util.log.sink", lockrank::kUtilLogSink};
   return mu;
 }
 
@@ -67,7 +67,7 @@ void set_log_threshold(LogLevel level) {
 }
 
 void set_log_sink(LogSink sink) {
-  std::lock_guard<std::mutex> lock(sink_mu());
+  MutexLock lock(sink_mu());
   sink_storage() =
       sink ? std::make_shared<LogSink>(std::move(sink)) : nullptr;
 }
@@ -100,7 +100,7 @@ namespace detail {
 void log_emit(LogLevel level, const std::string& message) {
   std::shared_ptr<LogSink> sink;
   {
-    std::lock_guard<std::mutex> lock(sink_mu());
+    MutexLock lock(sink_mu());
     sink = sink_storage();
   }
   const bool json = log_json_enabled();
@@ -117,8 +117,8 @@ void log_emit(LogLevel level, const std::string& message) {
     (*sink)(record);
     return;
   }
-  static std::mutex mu;
-  std::lock_guard<std::mutex> lock(mu);
+  static Mutex mu{"util.log.emit", lockrank::kUtilLogEmit};
+  MutexLock lock(mu);
   if (json) {
     std::cerr << format_json_log(record) << "\n";
   } else {

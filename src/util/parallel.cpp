@@ -32,9 +32,15 @@ struct Parallel::Loop {
   std::atomic<std::size_t> next{0};
   std::atomic<std::size_t> remaining{0};
   std::atomic<bool> cancelled{false};
-  std::mutex err_mu;
-  std::exception_ptr error;
+  Mutex err_mu{"util.parallel.err", lockrank::kUtilParallelErr};
+  std::exception_ptr error TAGLETS_GUARDED_BY(err_mu);
 };
+
+bool Parallel::join_wake_ready(const Loop& loop) const
+    TAGLETS_NO_THREAD_SAFETY_ANALYSIS {
+  return loop.remaining.load(std::memory_order_acquire) == 0 ||
+         !queue_.empty();
+}
 
 Parallel::Parallel(std::size_t threads) {
   if (threads == 0) {
@@ -56,10 +62,13 @@ Parallel::Parallel(std::size_t threads) {
 
 Parallel::~Parallel() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     stopping_ = true;
   }
   cv_.notify_all();
+  // Workers run arbitrary loop bodies, so the destructor must not hold
+  // any tracked lock while joining.
+  check_join_safe(0, "Parallel::~Parallel");
   for (auto& w : workers_) w.join();
 }
 
@@ -67,8 +76,8 @@ void Parallel::worker_loop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      MutexLock lock(mu_);
+      cv_.wait(lock, [this] { return wake_ready(); });
       if (queue_.empty()) {
         if (stopping_) return;
         continue;
@@ -91,7 +100,7 @@ void Parallel::run_chunks(const std::shared_ptr<Loop>& loop) {
         (*loop->fn)(begin, end);
       } catch (...) {
         {
-          std::lock_guard<std::mutex> g(loop->err_mu);
+          MutexLock g(loop->err_mu);
           if (!loop->error) loop->error = std::current_exception();
         }
         loop->cancelled.store(true, std::memory_order_release);
@@ -99,7 +108,7 @@ void Parallel::run_chunks(const std::shared_ptr<Loop>& loop) {
     }
     if (loop->remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
       // Last chunk overall: wake the owner (and any waiters helping).
-      std::lock_guard<std::mutex> g(mu_);
+      MutexLock g(mu_);
       cv_.notify_all();
     }
   }
@@ -131,7 +140,7 @@ void Parallel::for_ranges(
   // after the loop drained exit immediately.
   const std::size_t helpers = std::min(loop->chunks - 1, threads_ - 1);
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (stopping_) throw std::runtime_error("Parallel: enqueue after stop");
     for (std::size_t h = 0; h < helpers; ++h) {
       queue_.emplace([this, loop] { run_chunks(loop); });
@@ -147,24 +156,27 @@ void Parallel::for_ranges(
   // threads finish our chunks, help drain the shared queue — this is
   // what makes nested parallel_for deadlock-free: a blocked owner keeps
   // executing other loops' work instead of holding a worker hostage.
-  std::unique_lock<std::mutex> lock(mu_);
-  while (loop->remaining.load(std::memory_order_acquire) != 0) {
-    if (!queue_.empty()) {
-      std::function<void()> task = std::move(queue_.front());
-      queue_.pop();
-      lock.unlock();
-      task();
-      lock.lock();
-      continue;
+  {
+    MutexLock lock(mu_);
+    while (loop->remaining.load(std::memory_order_acquire) != 0) {
+      if (!queue_.empty()) {
+        std::function<void()> task = std::move(queue_.front());
+        queue_.pop();
+        lock.unlock();
+        task();
+        lock.lock();
+        continue;
+      }
+      cv_.wait(lock, [this, &loop] { return join_wake_ready(*loop); });
     }
-    cv_.wait(lock, [this, &loop] {
-      return loop->remaining.load(std::memory_order_acquire) == 0 ||
-             !queue_.empty();
-    });
   }
-  lock.unlock();
 
-  if (loop->error) std::rethrow_exception(loop->error);
+  std::exception_ptr error;
+  {
+    MutexLock g(loop->err_mu);
+    error = loop->error;
+  }
+  if (error) std::rethrow_exception(error);
 }
 
 void Parallel::for_each(std::size_t n,

@@ -20,14 +20,14 @@
 //    thread count.
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <queue>
 #include <thread>
 #include <vector>
+
+#include "util/sync.hpp"
 
 namespace taglets::util {
 
@@ -68,12 +68,19 @@ class Parallel {
   void worker_loop();
   void run_chunks(const std::shared_ptr<Loop>& loop);
 
+  /// Wait predicates; they run with mu_ held by the CondVar machinery,
+  /// which the static analysis cannot see.
+  bool wake_ready() const TAGLETS_NO_THREAD_SAFETY_ANALYSIS {
+    return stopping_ || !queue_.empty();
+  }
+  bool join_wake_ready(const Loop& loop) const;
+
   std::size_t threads_ = 1;
   std::vector<std::thread> workers_;
-  std::queue<std::function<void()>> queue_;
-  std::mutex mu_;
-  std::condition_variable cv_;
-  bool stopping_ = false;
+  Mutex mu_{"util.parallel", lockrank::kUtilPool};
+  std::queue<std::function<void()>> queue_ TAGLETS_GUARDED_BY(mu_);
+  CondVar cv_;
+  bool stopping_ TAGLETS_GUARDED_BY(mu_) = false;
 };
 
 /// Convenience wrappers over Parallel::global().

@@ -16,10 +16,13 @@ ThreadPool::ThreadPool(std::size_t threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     stopping_ = true;
   }
   cv_.notify_all();
+  // Workers run arbitrary submitted tasks, so the destructor must not
+  // hold any tracked lock while joining.
+  check_join_safe(0, "ThreadPool::~ThreadPool");
   for (auto& w : workers_) w.join();
 }
 
@@ -27,8 +30,8 @@ void ThreadPool::worker_loop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      MutexLock lock(mu_);
+      cv_.wait(lock, [this] { return wake_ready(); });
       if (queue_.empty()) {
         if (stopping_) return;
         continue;

@@ -4,14 +4,14 @@
 // future-returning task submission.
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <functional>
 #include <future>
-#include <mutex>
 #include <queue>
 #include <thread>
 #include <vector>
+
+#include "util/sync.hpp"
 
 namespace taglets::util {
 
@@ -33,7 +33,7 @@ class ThreadPool {
     auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(f));
     std::future<R> fut = task->get_future();
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       if (stopping_) throw std::runtime_error("ThreadPool: submit after stop");
       queue_.emplace([task] { (*task)(); });
     }
@@ -47,11 +47,17 @@ class ThreadPool {
  private:
   void worker_loop();
 
+  /// Wait predicate; runs with mu_ held by the CondVar machinery,
+  /// which the static analysis cannot see.
+  bool wake_ready() const TAGLETS_NO_THREAD_SAFETY_ANALYSIS {
+    return stopping_ || !queue_.empty();
+  }
+
   std::vector<std::thread> workers_;
-  std::queue<std::function<void()>> queue_;
-  std::mutex mu_;
-  std::condition_variable cv_;
-  bool stopping_ = false;
+  Mutex mu_{"util.pool", lockrank::kUtilPool};
+  std::queue<std::function<void()>> queue_ TAGLETS_GUARDED_BY(mu_);
+  CondVar cv_;
+  bool stopping_ TAGLETS_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace taglets::util

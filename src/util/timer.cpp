@@ -14,14 +14,14 @@ LatencyRecorder::LatencyRecorder(const LatencyRecorder& other)
 LatencyRecorder& LatencyRecorder::operator=(const LatencyRecorder& other) {
   if (this == &other) return *this;
   std::vector<double> copied = other.samples();
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   samples_ = std::move(copied);
   sorted_valid_ = false;
   return *this;
 }
 
 LatencyRecorder::LatencyRecorder(LatencyRecorder&& other) noexcept {
-  std::lock_guard<std::mutex> lock(other.mu_);
+  MutexLock lock(other.mu_);
   samples_ = std::move(other.samples_);
   other.samples_.clear();
   other.sorted_valid_ = false;
@@ -31,35 +31,35 @@ LatencyRecorder& LatencyRecorder::operator=(LatencyRecorder&& other) noexcept {
   if (this == &other) return *this;
   std::vector<double> taken;
   {
-    std::lock_guard<std::mutex> lock(other.mu_);
+    MutexLock lock(other.mu_);
     taken = std::move(other.samples_);
     other.samples_.clear();
     other.sorted_valid_ = false;
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   samples_ = std::move(taken);
   sorted_valid_ = false;
   return *this;
 }
 
 void LatencyRecorder::record_ms(double ms) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   samples_.push_back(ms);
   sorted_valid_ = false;
 }
 
 std::size_t LatencyRecorder::count() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return samples_.size();
 }
 
 std::vector<double> LatencyRecorder::samples() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return samples_;
 }
 
 double LatencyRecorder::mean_ms() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return mean(samples_);
 }
 
@@ -81,14 +81,14 @@ double LatencyRecorder::percentile_sorted(const std::vector<double>& sorted,
 }
 
 double LatencyRecorder::percentile_ms(double p) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   ensure_sorted_locked();
   return percentile_sorted(sorted_, p);
 }
 
 std::vector<double> LatencyRecorder::percentiles_ms(
     std::span<const double> ps) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   ensure_sorted_locked();
   std::vector<double> out;
   out.reserve(ps.size());
@@ -104,7 +104,7 @@ std::string LatencyRecorder::summary() const {
   double p50 = 0.0;
   double p99 = 0.0;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     ensure_sorted_locked();
     n = samples_.size();
     mean_value = mean(samples_);

@@ -4,10 +4,11 @@
 
 #include <chrono>
 #include <cstddef>
-#include <mutex>
 #include <span>
 #include <string>
 #include <vector>
+
+#include "util/sync.hpp"
 
 namespace taglets::util {
 
@@ -30,7 +31,9 @@ class Timer {
 /// Thread-safe: record_ms and all readers may be called concurrently
 /// (serving paths record from multiple worker threads at once). Copies
 /// and moves snapshot the samples under the source's lock and give the
-/// destination a fresh mutex.
+/// destination a fresh mutex; source and destination locks are never
+/// held together, so two recorders sharing one lock rank cannot
+/// deadlock.
 class LatencyRecorder {
  public:
   LatencyRecorder() = default;
@@ -52,16 +55,16 @@ class LatencyRecorder {
 
  private:
   /// Rebuild the sorted cache if stale; call with mu_ held.
-  void ensure_sorted_locked() const;
+  void ensure_sorted_locked() const TAGLETS_REQUIRES(mu_);
   static double percentile_sorted(const std::vector<double>& sorted, double p);
 
-  mutable std::mutex mu_;
-  std::vector<double> samples_;
+  mutable Mutex mu_{"util.latency", lockrank::kUtilLatency};
+  std::vector<double> samples_ TAGLETS_GUARDED_BY(mu_);
   /// Sorted copy of samples_, rebuilt lazily: percentile readers used
   /// to re-sort the full vector on every call, which made a stats
   /// snapshot O(k · n log n) for k percentiles.
-  mutable std::vector<double> sorted_;
-  mutable bool sorted_valid_ = false;
+  mutable std::vector<double> sorted_ TAGLETS_GUARDED_BY(mu_);
+  mutable bool sorted_valid_ TAGLETS_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace taglets::util

@@ -140,6 +140,75 @@ TEST_F(LintTest, NakedThreadRuleAllowsUtilAndIgnoresComments) {
   EXPECT_TRUE(run({"naked-thread"}).empty());
 }
 
+TEST_F(LintTest, NakedMutexRuleFiresOutsideSyncHeader) {
+  write_base_modules();
+  write("serve/serve.cpp",
+        "#include \"serve/serve.hpp\"\n#include <mutex>\n"
+        "std::mutex g_mu;\n"
+        "std::condition_variable g_cv;\n"
+        "std::shared_mutex g_rw;\n");
+  const auto vs = run({"naked-mutex"});
+  ASSERT_EQ(vs.size(), 3u);
+  // The scan is per-token, so order by line is not guaranteed.
+  std::set<std::size_t> lines;
+  for (const auto& v : vs) {
+    EXPECT_EQ(v.rule, "naked-mutex");
+    EXPECT_FALSE(v.suggestion.empty());
+    lines.insert(v.line);
+  }
+  EXPECT_EQ(lines, (std::set<std::size_t>{3u, 4u, 5u}));
+}
+
+TEST_F(LintTest, NakedMutexRuleAllowsSyncHeaderAndIgnoresProse) {
+  write_base_modules();
+  // util/sync.hpp is the allowlisted wrapper layer; prose and longer
+  // type names (condition_variable_any fires once, not twice) stay
+  // out of the raw-token scan.
+  write("util/sync.hpp",
+        "#pragma once\n#include <mutex>\n"
+        "class Mutex { std::mutex mu_; };\n");
+  write("serve/serve.cpp",
+        "#include \"serve/serve.hpp\"\n"
+        "// std::mutex here is prose\n"
+        "const char* kDoc = \"std::condition_variable\";\n"
+        "std::condition_variable_any g_cva;\n");
+  const auto vs = run({"naked-mutex"});
+  ASSERT_EQ(vs.size(), 1u);
+  EXPECT_NE(vs[0].message.find("condition_variable_any"),
+            std::string::npos);
+}
+
+TEST_F(LintTest, CvWaitPredicateRuleFiresOnBareWaits) {
+  write_base_modules();
+  write("serve/serve.cpp",
+        "#include \"serve/serve.hpp\"\n"
+        "void f(L& lk) {\n"
+        "  cv_.wait(lk);\n"
+        "  q_cv.wait_for(lk, t);\n"
+        "  hb_cv_->wait_until(lk, d);\n"
+        "}\n");
+  const auto vs = run({"cv-wait-predicate"});
+  ASSERT_EQ(vs.size(), 3u);
+  EXPECT_EQ(vs[0].rule, "cv-wait-predicate");
+  EXPECT_TRUE(has(vs, "cv-wait-predicate", "serve/serve.cpp"));
+}
+
+TEST_F(LintTest, CvWaitPredicateRuleAllowsPredicatesAndOtherReceivers) {
+  write_base_modules();
+  // Predicate-carrying waits pass, lambdas with internal commas are
+  // one argument, and non-cv receivers (futures) are out of scope.
+  write("serve/serve.cpp",
+        "#include \"serve/serve.hpp\"\n"
+        "void f(L& lk) {\n"
+        "  cv_.wait(lk, [this] { return g(a, b); });\n"
+        "  q_cv.wait_for(lk, t, [] { return ready; });\n"
+        "  cv_.wait_until(lk, d, pred);\n"
+        "  future.wait(lk);\n"
+        "  cv_.notify_all();\n"
+        "}\n");
+  EXPECT_TRUE(run({"cv-wait-predicate"}).empty());
+}
+
 TEST_F(LintTest, RandTimeRuleFiresOutsideUtilRng) {
   write_base_modules();
   write("serve/serve.cpp",
@@ -224,7 +293,7 @@ TEST(LintStripTest, RemovesCommentsAndStringsKeepingNewlines) {
 
 TEST(LintRuleTableTest, EveryRuleHasIdAndDescription) {
   const auto& rules = taglets::lint::rules();
-  ASSERT_EQ(rules.size(), 5u);
+  ASSERT_EQ(rules.size(), 7u);
   std::set<std::string> ids;
   for (const auto& rule : rules) {
     EXPECT_FALSE(rule.id.empty());

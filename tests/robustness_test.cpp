@@ -399,6 +399,17 @@ TEST(TrainerGuards, NonFiniteGradNormSkipsScaling) {
 }
 
 TEST(TrainerGuards, FitSkipsNonFiniteUpdatesAndCountsThem) {
+  // NaN targets flow through matmuls on purpose here; the debug-build
+  // finite-operand guard in tensor ops would (correctly) reject them
+  // before the trainer's own skip logic — the thing under test — ever
+  // runs. Pin the guard off and restore it on exit.
+  const bool finite_checks_were_on = tensor::finite_checks_enabled();
+  tensor::set_finite_checks(false);
+  struct RestoreFiniteChecks {
+    bool prev;
+    ~RestoreFiniteChecks() { tensor::set_finite_checks(prev); }
+  } restore{finite_checks_were_on};
+
   util::Rng rng(41);
   nn::Sequential encoder = nn::make_mlp({4, 6, 4}, rng);
   nn::Classifier model(encoder, 4, 3, rng);

@@ -1,0 +1,255 @@
+// Tests for util/sync.hpp: the runtime lock-order checker (rank
+// inversions, cross-thread acquisition cycles, recursive
+// self-acquisition, the join-under-lock guard) and its warn/off modes.
+//
+// The abort paths use gtest death tests in "threadsafe" style: the
+// child process re-executes from main(), so the checker's globals
+// (mode slot, order graph, held stacks) start fresh in every child —
+// no violation state leaks between tests.
+#include <chrono>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "util/sync.hpp"
+
+namespace {
+
+using taglets::util::CondVar;
+using taglets::util::LockOrderMode;
+using taglets::util::Mutex;
+using taglets::util::MutexLock;
+using taglets::util::ReaderMutexLock;
+using taglets::util::SharedMutex;
+using taglets::util::WriterMutexLock;
+namespace lockrank = taglets::util::lockrank;
+
+class SyncLockOrderTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    if (!taglets::util::lock_order_checks_enabled()) {
+      GTEST_SKIP() << "lock-order checks compiled out (NDEBUG build)";
+    }
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  }
+};
+
+TEST_F(SyncLockOrderTest, AscendingRanksAreQuiet) {
+  const std::uint64_t before = taglets::util::lock_order_violation_count();
+  Mutex outer("test.outer", lockrank::kFleetFrontendLifecycle);
+  Mutex inner("test.inner", lockrank::kObsMetrics);
+  {
+    MutexLock a(outer);
+    MutexLock b(inner);
+  }
+  EXPECT_EQ(taglets::util::lock_order_violation_count(), before);
+}
+
+TEST_F(SyncLockOrderTest, EqualRankConsistentOrderIsQuiet) {
+  // Two instances sharing one rank (e.g. two replicas' conn_mu) may
+  // nest, as long as every thread agrees on the instance order.
+  const std::uint64_t before = taglets::util::lock_order_violation_count();
+  Mutex a("test.peer_a", lockrank::kTest);
+  Mutex b("test.peer_b", lockrank::kTest);
+  for (int i = 0; i < 3; ++i) {
+    MutexLock la(a);
+    MutexLock lb(b);
+  }
+  EXPECT_EQ(taglets::util::lock_order_violation_count(), before);
+}
+
+TEST_F(SyncLockOrderTest, RankInversionAborts) {
+  EXPECT_DEATH(
+      {
+        Mutex high("test.high", lockrank::kTest);
+        Mutex low("test.low", lockrank::kFleetFrontendLifecycle);
+        MutexLock lh(high);
+        MutexLock ll(low);  // lower rank under higher: inversion
+      },
+      "lock-order violation");
+}
+
+TEST_F(SyncLockOrderTest, RecursiveAcquisitionAborts) {
+  EXPECT_DEATH(
+      {
+        Mutex mu("test.recursive", lockrank::kTest);
+        mu.lock();
+        mu.lock();  // self-deadlock on a non-recursive mutex
+      },
+      "lock-order violation");
+}
+
+TEST_F(SyncLockOrderTest, CrossThreadCycleAborts) {
+  // The PR 7 failover deadlock shape, distilled: two same-rank locks
+  // taken a->b by one thread and b->a by another. The first thread
+  // records the a->b edge in the order graph; the second thread's
+  // reverse nesting closes the cycle and must die — sequentially here,
+  // so the test itself can never actually deadlock.
+  EXPECT_DEATH(
+      {
+        Mutex a("test.conn_a", lockrank::kFleetFrontendConn);
+        Mutex b("test.conn_b", lockrank::kFleetFrontendConn);
+        std::thread forward([&] {
+          MutexLock la(a);
+          MutexLock lb(b);
+        });
+        forward.join();
+        MutexLock lb(b);
+        MutexLock la(a);  // reverse order: cycle
+      },
+      "lock-order violation");
+}
+
+TEST_F(SyncLockOrderTest, CycleReportPrintsBothStacks) {
+  // The report must carry both sides of the cycle: the current
+  // thread's held stack and the recorded stack of the thread that
+  // created the opposing edge.
+  EXPECT_DEATH(
+      {
+        Mutex a("test.first_hand", lockrank::kTest);
+        Mutex b("test.other_hand", lockrank::kTest);
+        std::thread forward([&] {
+          MutexLock la(a);
+          MutexLock lb(b);
+        });
+        forward.join();
+        MutexLock lb(b);
+        MutexLock la(a);
+      },
+      "test.first_hand.* -> .*test.other_hand");
+}
+
+TEST_F(SyncLockOrderTest, JoinUnderLockAborts) {
+  // Regression for the PR 7 frontend bug: stop() joining a replica
+  // reader while holding a conn_mu the reader's failover path needed.
+  EXPECT_DEATH(
+      {
+        Mutex conn("test.conn", lockrank::kFleetFrontendConn);
+        MutexLock lock(conn);
+        taglets::util::check_join_safe(lockrank::kFleetFrontendConn,
+                                       "sync_test.join_under_lock");
+      },
+      "join while holding");
+}
+
+TEST_F(SyncLockOrderTest, JoinBelowFloorIsQuiet) {
+  const std::uint64_t before = taglets::util::lock_order_violation_count();
+  Mutex lifecycle("test.lifecycle", lockrank::kFleetFrontendLifecycle);
+  MutexLock lock(lifecycle);
+  // Holding rank 100 while the joinee only ever takes >= 106 is the
+  // sanctioned pattern (Frontend::stop).
+  taglets::util::check_join_safe(lockrank::kFleetFrontendHeartbeat,
+                                 "sync_test.join_below_floor");
+  EXPECT_EQ(taglets::util::lock_order_violation_count(), before);
+}
+
+TEST_F(SyncLockOrderTest, WarnModeLogsWithoutAborting) {
+  taglets::util::set_lock_order_mode_for_testing(LockOrderMode::kWarn);
+  const std::uint64_t before = taglets::util::lock_order_violation_count();
+  {
+    Mutex high("test.warn_high", lockrank::kTest);
+    Mutex low("test.warn_low", lockrank::kFleetFrontendLifecycle);
+    MutexLock lh(high);
+    MutexLock ll(low);  // inversion: counted and logged, not fatal
+  }
+  taglets::util::set_lock_order_mode_for_testing(LockOrderMode::kEnforce);
+  EXPECT_EQ(taglets::util::lock_order_violation_count(), before + 1);
+  const std::string report = taglets::util::last_lock_order_report();
+  EXPECT_NE(report.find("test.warn_high"), std::string::npos);
+  EXPECT_NE(report.find("test.warn_low"), std::string::npos);
+}
+
+TEST_F(SyncLockOrderTest, OffModeDisablesChecks) {
+  taglets::util::set_lock_order_mode_for_testing(LockOrderMode::kOff);
+  const std::uint64_t before = taglets::util::lock_order_violation_count();
+  {
+    Mutex high("test.off_high", lockrank::kTest);
+    Mutex low("test.off_low", lockrank::kFleetFrontendLifecycle);
+    MutexLock lh(high);
+    MutexLock ll(low);
+  }
+  taglets::util::set_lock_order_mode_for_testing(LockOrderMode::kEnforce);
+  EXPECT_EQ(taglets::util::lock_order_violation_count(), before);
+}
+
+TEST_F(SyncLockOrderTest, TryLockSkipsRankCheckButJoinsStack) {
+  // try_lock cannot block, so acquiring "out of order" via try_lock is
+  // legal; but a lock it does take must still be visible to later
+  // ordinary acquisitions.
+  const std::uint64_t before = taglets::util::lock_order_violation_count();
+  Mutex high("test.try_high", lockrank::kTest);
+  Mutex low("test.try_low", lockrank::kFleetFrontendLifecycle);
+  {
+    MutexLock lh(high);
+    ASSERT_TRUE(low.try_lock());
+    low.unlock();
+  }
+  EXPECT_EQ(taglets::util::lock_order_violation_count(), before);
+  EXPECT_DEATH(
+      {
+        Mutex h2("test.try_high2", lockrank::kTest);
+        Mutex l2("test.try_low2", lockrank::kFleetFrontendLifecycle);
+        ASSERT_TRUE(h2.try_lock());
+        MutexLock ll(l2);  // ordinary acquisition under the tried lock
+      },
+      "lock-order violation");
+}
+
+TEST(SyncSharedMutexTest, SharedAcquisitionsParticipate) {
+  if (!taglets::util::lock_order_checks_enabled()) {
+    GTEST_SKIP() << "lock-order checks compiled out (NDEBUG build)";
+  }
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  // A reader under a higher-ranked writer lock is just as much an
+  // inversion as writer-under-writer.
+  EXPECT_DEATH(
+      {
+        Mutex high("test.sw_high", lockrank::kTest);
+        SharedMutex low("test.sw_low", lockrank::kFleetShardSwap);
+        MutexLock lh(high);
+        ReaderMutexLock rl(low);
+      },
+      "lock-order violation");
+}
+
+TEST(SyncCondVarTest, PredicateWaitRoundTrips) {
+  Mutex mu("test.cv", lockrank::kTest);
+  CondVar cv;
+  bool ready = false;
+  std::thread producer([&] {
+    {
+      MutexLock lock(mu);
+      ready = true;
+    }
+    cv.notify_one();
+  });
+  {
+    MutexLock lock(mu);
+    cv.wait(lock, [&] { return ready; });
+    EXPECT_TRUE(ready);
+    EXPECT_TRUE(lock.owns_lock());
+  }
+  producer.join();
+}
+
+TEST(SyncCondVarTest, WaitForTimesOutWhenPredicateStaysFalse) {
+  Mutex mu("test.cv_timeout", lockrank::kTest);
+  CondVar cv;
+  MutexLock lock(mu);
+  const bool satisfied =
+      cv.wait_for(lock, std::chrono::milliseconds(10), [] { return false; });
+  EXPECT_FALSE(satisfied);
+  EXPECT_TRUE(lock.owns_lock());
+}
+
+TEST(SyncModeTest, ModeReflectsCompileTimeState) {
+  if (taglets::util::lock_order_checks_enabled()) {
+    EXPECT_NE(taglets::util::lock_order_mode(), LockOrderMode::kOff);
+  } else {
+    EXPECT_EQ(taglets::util::lock_order_mode(), LockOrderMode::kOff);
+    EXPECT_EQ(taglets::util::lock_order_violation_count(), 0u);
+    EXPECT_TRUE(taglets::util::last_lock_order_report().empty());
+  }
+}
+
+}  // namespace

@@ -15,7 +15,21 @@ const std::vector<Rule>& rules() {
        "a module may only #include modules its CMake library links "
        "(transitively); keeps obs < util < tensor < everything acyclic",
        {{"util/check.hpp",
-         "contracts header is std-only and sits below every layer"}}},
+         "contracts header is std-only and sits below every layer"},
+        {"util/sync.hpp",
+         "annotated sync primitives are header-only and std-only, so "
+         "obs (below util) may use them without linking taglets_util"}}},
+      {"naked-mutex",
+       "no raw std::mutex/std::shared_mutex/std::condition_variable "
+       "outside util/sync.hpp — locking goes through the annotated, "
+       "rank-checked util::Mutex family",
+       {{"util/sync.hpp",
+         "the annotated wrapper layer is the single place raw "
+         "primitives may live; everything else builds on it"}}},
+      {"cv-wait-predicate",
+       "every condition-variable wait must carry a predicate — a bare "
+       "wait hangs on a spurious wakeup or a lost notify",
+       {}},
       {"naked-thread",
        "no std::thread/std::jthread outside util/ — concurrency goes "
        "through util::Parallel / util::ThreadPool",
@@ -333,6 +347,98 @@ void Linter::check_naked_thread(const SourceFile& f,
   }
 }
 
+void Linter::check_naked_mutex(const SourceFile& f,
+                               std::vector<Violation>& out) const {
+  if (allowlisted("naked-mutex", f.rel)) return;
+  for (const std::string token :
+       {"std::mutex", "std::shared_mutex", "std::recursive_mutex",
+        "std::timed_mutex", "std::condition_variable_any",
+        "std::condition_variable"}) {
+    for (std::size_t off : find_token(f.code, token, /*call_only=*/false)) {
+      // find_token checks only the leading boundary; reject trailing
+      // identifier continuation so std::condition_variable does not
+      // also fire inside std::condition_variable_any.
+      const std::size_t end = off + token.size();
+      if (end < f.code.size() && ident_char(f.code[end])) continue;
+      out.push_back({f.rel, line_of_offset(f.code, off), "naked-mutex",
+                     "uses " + token + " outside util/sync.hpp",
+                     "use util::Mutex / util::SharedMutex / util::CondVar "
+                     "(util/sync.hpp) so the lock carries a name, a rank, "
+                     "and thread-safety annotations, or allowlist this "
+                     "file in tools/lint/lint.cpp with a justification"});
+    }
+  }
+}
+
+void Linter::check_cv_wait_predicate(const SourceFile& f,
+                                     std::vector<Violation>& out) const {
+  if (allowlisted("cv-wait-predicate", f.rel)) return;
+  // A predicate-bearing call has 2 args for wait and 3 for
+  // wait_for/wait_until (lock [, time], predicate). Receivers are
+  // matched by naming convention: an identifier ending in "cv" after
+  // trailing underscores (cv_, q_cv, heartbeat_cv_, ...).
+  static constexpr struct {
+    const char* method;
+    std::size_t min_args;
+  } kWaits[] = {{"wait_until", 3}, {"wait_for", 3}, {"wait", 2}};
+  for (const auto& w : kWaits) {
+    const std::string method = w.method;
+    std::size_t pos = 0;
+    while ((pos = f.code.find(method, pos)) != std::string::npos) {
+      const std::size_t off = pos;
+      pos += method.size();
+      // Method call: preceded by '.' or '->', followed by '('.
+      if (off == 0) continue;
+      std::size_t recv_end = off;
+      if (f.code[off - 1] == '.') {
+        recv_end = off - 1;
+      } else if (off >= 2 && f.code[off - 2] == '-' &&
+                 f.code[off - 1] == '>') {
+        recv_end = off - 2;
+      } else {
+        continue;
+      }
+      std::size_t open = off + method.size();
+      if (open >= f.code.size() || f.code[open] != '(') continue;
+      // Receiver identifier must look like a condition variable.
+      std::size_t recv_begin = recv_end;
+      while (recv_begin > 0 && ident_char(f.code[recv_begin - 1])) {
+        --recv_begin;
+      }
+      std::string recv = f.code.substr(recv_begin, recv_end - recv_begin);
+      while (!recv.empty() && recv.back() == '_') recv.pop_back();
+      if (recv.size() < 2 || recv.compare(recv.size() - 2, 2, "cv") != 0) {
+        continue;
+      }
+      // Count top-level arguments of the balanced call.
+      int paren = 1;
+      int brace = 0;
+      int brack = 0;
+      bool any = false;
+      std::size_t args = 1;
+      for (std::size_t i = open + 1; i < f.code.size() && paren > 0; ++i) {
+        const char c = f.code[i];
+        if (c == '(') ++paren;
+        else if (c == ')') --paren;
+        else if (c == '{') ++brace;
+        else if (c == '}') --brace;
+        else if (c == '[') ++brack;
+        else if (c == ']') --brack;
+        else if (c == ',' && paren == 1 && brace == 0 && brack == 0) ++args;
+        if (paren > 0 && c != ' ' && c != '\t' && c != '\n') any = true;
+      }
+      if (!any) args = 0;
+      if (args >= w.min_args) continue;
+      out.push_back(
+          {f.rel, line_of_offset(f.code, off), "cv-wait-predicate",
+           recv + "." + method + " without a predicate",
+           "pass the wakeup condition as the final argument so spurious "
+           "wakeups and lost notifies cannot hang the wait "
+           "(util::CondVar only offers predicate waits)"});
+    }
+  }
+}
+
 void Linter::check_rand_time(const SourceFile& f,
                              std::vector<Violation>& out) const {
   if (f.module == "util" &&
@@ -411,6 +517,8 @@ std::vector<Violation> Linter::run(const std::set<std::string>& only) const {
   };
   for (const SourceFile& f : load_sources()) {
     if (enabled("layering")) check_layering(f, out);
+    if (enabled("naked-mutex")) check_naked_mutex(f, out);
+    if (enabled("cv-wait-predicate")) check_cv_wait_predicate(f, out);
     if (enabled("naked-thread")) check_naked_thread(f, out);
     if (enabled("rand-time")) check_rand_time(f, out);
     if (enabled("own-header-first")) check_own_header_first(f, out);

@@ -3,9 +3,10 @@
 // Enforces rules the compiler can't (see docs/CORRECTNESS.md for the
 // catalog): CMake layering (a module may only include modules its
 // library links, so obs < util < tensor < everything stays acyclic),
-// no naked std::thread outside util/, no C randomness/clock outside
-// util/rng, own-header-first includes, and no using-namespace in
-// headers. Std-only on purpose: the linter must build before (and
+// no raw sync primitives outside util/sync.hpp, predicate-carrying
+// condition-variable waits, no naked std::thread outside util/, no C
+// randomness/clock outside util/rng, own-header-first includes, and no
+// using-namespace in headers. Std-only on purpose: the linter must build before (and
 // independently of) everything it checks.
 #pragma once
 
@@ -69,6 +70,10 @@ class Linter {
   std::vector<SourceFile> load_sources() const;
 
   void check_layering(const SourceFile& f, std::vector<Violation>& out) const;
+  void check_naked_mutex(const SourceFile& f,
+                         std::vector<Violation>& out) const;
+  void check_cv_wait_predicate(const SourceFile& f,
+                               std::vector<Violation>& out) const;
   void check_naked_thread(const SourceFile& f,
                           std::vector<Violation>& out) const;
   void check_rand_time(const SourceFile& f, std::vector<Violation>& out) const;

@@ -1,0 +1,178 @@
+// Pipeline scheduling bench: wall-clock of the serial stage sequence
+// vs the task-graph plan on the same task, verifying along the way
+// that the two plans produce a bitwise-identical end model (the
+// scheduler's core guarantee — see src/taglets/task_graph.hpp).
+//
+// The graph plan's headline overlap: the backbone fetch runs alongside
+// SCADS selection, and the zero-shot module (which reads only the
+// engine and the graph embeddings) trains while selection is still in
+// flight; the SCADS-consuming modules then fan out concurrently. On a
+// machine with >= 4 hardware threads the graph plan must not be slower
+// than serial (small tolerance for scheduler overhead); on smaller
+// machines the ratio is reported but not enforced.
+//
+// Knobs (environment, like every other bench):
+//   TAGLETS_PIPELINE_REPEATS   runs per plan, best kept   (default 2)
+//   TAGLETS_PIPELINE_SHOTS     shots per class            (default 2)
+//   TAGLETS_PIPELINE_SCALE     epoch_scale                (default 0.5)
+//   TAGLETS_PIPELINE_JSON_OUT  write the JSON snapshot here
+//
+// Emits one JSON object ({"bench":"pipeline_bench", "serial_seconds":...,
+// "graph_seconds":..., "speedup":..., "bitwise_identical":...}) tracked
+// across PRs as BENCH_pipeline.json. Exits non-zero if the plans
+// diverge bitwise, or if the graph plan loses on >= 4 threads.
+#include <algorithm>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <thread>
+
+#include "modules/zsl_kg.hpp"
+#include "synth/tasks.hpp"
+#include "taglets/controller.hpp"
+#include "util/env.hpp"
+#include "util/parallel.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+using namespace taglets;
+using tensor::Tensor;
+
+// Miniature world mirroring tests/test_support.hpp: the same structure
+// as the paper's world at a size where a pipeline run takes seconds.
+synth::WorldConfig bench_world_config() {
+  synth::WorldConfig config = synth::default_world_config(7);
+  config.concept_count = 300;
+  config.cross_edges = 600;
+  config.render_regions = 8;
+  return config;
+}
+
+backbone::PretrainConfig bench_pretrain_config() {
+  backbone::PretrainConfig config;
+  config.hidden_dim = 64;
+  config.feature_dim = 24;
+  config.images_per_class = 8;
+  config.epochs = 25;
+  return config;
+}
+
+bool bitwise_equal(const Tensor& a, const Tensor& b) {
+  if (a.rows() != b.rows() || a.cols() != b.cols()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a.data()[i] != b.data()[i]) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main() {
+  const long repeats = std::max(1L, util::env_long("TAGLETS_PIPELINE_REPEATS", 2));
+  const long shots = std::max(1L, util::env_long("TAGLETS_PIPELINE_SHOTS", 2));
+  const std::string scale_raw =
+      util::env_string("TAGLETS_PIPELINE_SCALE", "0.5");
+  const double scale = std::strtod(scale_raw.c_str(), nullptr);
+  const std::size_t threads = util::Parallel::global().threads();
+
+  std::cout << "##### pipeline_bench #####\n"
+            << "repeats=" << repeats << " shots=" << shots
+            << " epoch_scale=" << scale << " threads=" << threads << "\n"
+            << std::flush;
+
+  synth::World world(bench_world_config());
+  backbone::Zoo zoo(&world, bench_pretrain_config(), std::string{});
+  scads::Scads scads(world.graph(), world.taxonomy(),
+                     world.scads_embeddings());
+  {
+    util::Rng rng(1234);
+    scads.install_dataset(
+        world.make_auxiliary_corpus(world.auxiliary_concepts(), 10, rng));
+  }
+  modules::ZslKgEngine::Config zsl_config;
+  zsl_config.epochs = 20;
+  zsl_config.val_classes = 10;
+  modules::ZslKgEngine engine(zoo, zsl_config);
+
+  synth::TaskSpec spec = synth::fmd_spec();
+  spec.images_per_class = 30;
+  synth::Dataset pool = synth::build_task_pool(world, spec, 11);
+  const synth::FewShotTask task = synth::make_few_shot_task(
+      pool, static_cast<std::size_t>(shots), spec.test_per_class, 101);
+
+  Controller controller(&scads, &zoo, &engine);
+  SystemConfig config;
+  config.train_seed = 17;
+  config.epoch_scale = scale;
+
+  // Warm the zoo outside the timed region: pretraining cost is shared
+  // by both plans and would otherwise be charged to whichever runs
+  // first.
+  zoo.get(config.backbone);
+  zoo.zsl_reference();
+
+  auto time_plan = [&](PipelineMode mode, std::optional<SystemResult>* out) {
+    double best = 1e300;
+    for (long r = 0; r < repeats; ++r) {
+      SystemConfig run_config = config;
+      run_config.pipeline = mode;
+      util::Timer timer;
+      SystemResult result = controller.run(task, run_config);
+      best = std::min(best, timer.elapsed_seconds());
+      if (!out->has_value()) *out = std::move(result);
+    }
+    return best;
+  };
+
+  std::optional<SystemResult> serial_result, graph_result;
+  const double serial_seconds = time_plan(PipelineMode::kSerial,
+                                          &serial_result);
+  const double graph_seconds = time_plan(PipelineMode::kGraph, &graph_result);
+
+  const Tensor serial_logits =
+      serial_result->end_model.model().logits(task.test_inputs, false);
+  const Tensor graph_logits =
+      graph_result->end_model.model().logits(task.test_inputs, false);
+  const bool identical =
+      bitwise_equal(serial_logits, graph_logits) &&
+      bitwise_equal(serial_result->pseudo_labels, graph_result->pseudo_labels);
+
+  const double speedup =
+      graph_seconds > 0.0 ? serial_seconds / graph_seconds : 0.0;
+  std::cout << "serial " << serial_seconds << "s, graph " << graph_seconds
+            << "s (speedup " << speedup << "x), bitwise "
+            << (identical ? "identical" : "DIVERGED") << "\n";
+
+  std::ostringstream json;
+  json << "{\"bench\":\"pipeline_bench\",\"shots\":" << shots
+       << ",\"epoch_scale\":" << scale << ",\"repeats\":" << repeats
+       << ",\"modules\":" << config.module_names.size()
+       << ",\"serial_seconds\":" << serial_seconds
+       << ",\"graph_seconds\":" << graph_seconds << ",\"speedup\":" << speedup
+       << ",\"bitwise_identical\":" << (identical ? "true" : "false") << "}";
+  const std::string json_out =
+      util::env_string("TAGLETS_PIPELINE_JSON_OUT", "");
+  if (!json_out.empty()) {
+    std::ofstream out(json_out);
+    out << json.str() << "\n";
+    std::cout << "[pipeline_bench] wrote " << json_out << "\n";
+  }
+  std::cout << json.str() << "\n";
+
+  if (!identical) {
+    std::cerr << "[pipeline_bench] FAIL: plans are not bitwise identical\n";
+    return 1;
+  }
+  // Scheduler-overhead gate: on a parallel machine the graph plan must
+  // win (or tie within 5%). Reported but unenforced on < 4 threads,
+  // where the DAG can only time-slice.
+  if (threads >= 4 && graph_seconds > serial_seconds * 1.05) {
+    std::cerr << "[pipeline_bench] FAIL: graph plan slower than serial ("
+              << graph_seconds << "s vs " << serial_seconds << "s on "
+              << threads << " threads)\n";
+    return 1;
+  }
+  return 0;
+}

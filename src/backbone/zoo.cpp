@@ -1,13 +1,35 @@
 #include "backbone/zoo.hpp"
 
+#include <cmath>
 #include <filesystem>
 #include <fstream>
+#include <limits>
 
+#include "obs/metrics.hpp"
+#include "util/atomic_io.hpp"
 #include "util/check.hpp"
 #include "util/env.hpp"
+#include "util/fault.hpp"
 #include "util/logging.hpp"
 
 namespace taglets::backbone {
+
+std::uint64_t quantize_knob(double value, double scale) {
+  const double scaled = value * scale;
+  if (std::isnan(scaled)) return 0x7FF8000000000000ULL;
+  // Largest double exactly representable below 2^63; beyond it,
+  // llround's behavior is undefined, so saturate first.
+  constexpr double kLimit = 9223372036854774784.0;
+  std::int64_t quantized;
+  if (scaled >= kLimit) {
+    quantized = std::numeric_limits<std::int64_t>::max();
+  } else if (scaled <= -kLimit) {
+    quantized = std::numeric_limits<std::int64_t>::min();
+  } else {
+    quantized = std::llround(scaled);
+  }
+  return static_cast<std::uint64_t>(quantized);
+}
 
 namespace {
 
@@ -17,15 +39,15 @@ std::uint64_t config_fingerprint(const synth::WorldConfig& wc,
   return util::combine_seeds({
       wc.seed, wc.concept_count, wc.latent_dim, wc.pixel_dim, wc.word_dim,
       wc.render_hidden_dim, wc.render_regions, wc.style_dim,
-      static_cast<std::uint64_t>(wc.style_scale * 1e6),
-      static_cast<std::uint64_t>(wc.render_gain * 1e6),
-      static_cast<std::uint64_t>(wc.intra_class_noise * 1e6),
-      static_cast<std::uint64_t>(wc.pixel_noise * 1e6),
-      static_cast<std::uint64_t>(wc.tree_step * 1e6),
-      static_cast<std::uint64_t>(wc.domain_shift * 1e6),
+      quantize_knob(wc.style_scale, 1e6),
+      quantize_knob(wc.render_gain, 1e6),
+      quantize_knob(wc.intra_class_noise, 1e6),
+      quantize_knob(wc.pixel_noise, 1e6),
+      quantize_knob(wc.tree_step, 1e6),
+      quantize_knob(wc.domain_shift, 1e6),
       pc.hidden_dim, pc.feature_dim, pc.images_per_class, pc.epochs,
-      pc.batch_size, static_cast<std::uint64_t>(pc.lr * 1e9),
-      static_cast<std::uint64_t>(pc.rn50_fraction * 1e6),
+      pc.batch_size, quantize_knob(pc.lr, 1e9),
+      quantize_knob(pc.rn50_fraction, 1e6),
       static_cast<std::uint64_t>(kind),
   });
 }
@@ -80,37 +102,111 @@ void Zoo::store_cached(Kind kind, const Pretrained& backbone) const {
   if (path.empty()) return;
   std::error_code ec;
   std::filesystem::create_directories(cache_dir_, ec);
-  std::ofstream out(path, std::ios::binary);
-  if (!out) return;
-  backbone.encoder.save(out);
-  const std::uint64_t n = backbone.pretrain_concepts.size();
-  out.write(reinterpret_cast<const char*>(&n), sizeof(n));
-  for (graph::NodeId c : backbone.pretrain_concepts) {
-    const std::uint64_t v = c;
-    out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+  // The cache is a pure optimization: a failed write (full disk,
+  // injected fault) is logged and swallowed — training already
+  // succeeded. The write-temp-then-rename protocol guarantees the
+  // previous cache file (or none) survives a crash or a concurrent
+  // writer; the rename winner is whole either way.
+  try {
+    util::fault::retry_with_backoff(
+        "backbone cache " + std::string(kind_name(kind)),
+        util::fault::RetryPolicy::from_env(), [&] {
+          util::atomic_write_stream(path, "zoo.cache", [&](std::ostream& out) {
+            backbone.encoder.save(out);
+            const std::uint64_t n = backbone.pretrain_concepts.size();
+            out.write(reinterpret_cast<const char*>(&n), sizeof(n));
+            for (graph::NodeId c : backbone.pretrain_concepts) {
+              const std::uint64_t v = c;
+              out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+            }
+            out.write(
+                reinterpret_cast<const char*>(&backbone.final_train_accuracy),
+                sizeof(backbone.final_train_accuracy));
+          });
+        });
+  } catch (const std::runtime_error& e) {
+    TAGLETS_LOG(kWarn) << "backbone cache write failed for "
+                       << kind_name(kind) << ": " << e.what();
   }
-  out.write(reinterpret_cast<const char*>(&backbone.final_train_accuracy),
-            sizeof(backbone.final_train_accuracy));
 }
 
 Pretrained& Zoo::get(Kind kind) {
-  auto it = backbones_.find(kind);
-  if (it != backbones_.end()) return it->second;
-  if (auto cached = load_cached(kind)) {
-    return backbones_.emplace(kind, std::move(*cached)).first->second;
+  util::MutexLock lock(mu_);
+  for (;;) {
+    auto it = backbones_.find(kind);
+    if (it != backbones_.end()) return it->second;
+    if (building_.insert(kind).second) break;  // this thread builds
+    // Another thread is pretraining this Kind: wait for it to either
+    // publish the backbone or give up (exception), then re-check.
+    cv_.wait(lock, [this, kind] { return backbone_settled(kind); });
   }
-  Pretrained fresh = pretrain_backbone(*world_, kind, config_);
-  store_cached(kind, fresh);
-  return backbones_.emplace(kind, std::move(fresh)).first->second;
+
+  // Build with the lock dropped — pretraining is minutes of compute
+  // and may itself use the parallel pool; holding mu_ across it would
+  // serialize unrelated Kinds and invert the lock order.
+  lock.unlock();
+  std::optional<Pretrained> built;
+  try {
+    built = load_cached(kind);
+    if (!built) {
+      built = pretrain_backbone(*world_, kind, config_);
+      obs::MetricsRegistry::global().counter("backbone.pretrained_total").add();
+      store_cached(kind, *built);
+    }
+  } catch (...) {
+    lock.lock();
+    building_.erase(kind);
+    lock.unlock();
+    cv_.notify_all();
+    throw;
+  }
+
+  lock.lock();
+  Pretrained& published =
+      backbones_.emplace(kind, std::move(*built)).first->second;
+  building_.erase(kind);
+  lock.unlock();
+  cv_.notify_all();
+  // Safe after unlock: map nodes are stable and entries are never
+  // erased, so the reference outlives any future get() traffic.
+  return published;
 }
 
 const ReferenceHead& Zoo::zsl_reference() {
-  if (!zsl_reference_) {
-    Pretrained& rn50 = get(Kind::kRn50S);
-    zsl_reference_ = train_reference_head(*world_, rn50,
-                                          rn50.pretrain_concepts, config_);
+  // Resolve the backbone before taking mu_: get() acquires the same
+  // mutex, and the rank checker (rightly) rejects recursion.
+  Pretrained& rn50 = get(Kind::kRn50S);
+
+  util::MutexLock lock(mu_);
+  for (;;) {
+    if (zsl_reference_) return *zsl_reference_;
+    if (!zsl_building_) {
+      zsl_building_ = true;
+      break;
+    }
+    cv_.wait(lock, [this] { return zsl_settled(); });
   }
-  return *zsl_reference_;
+
+  lock.unlock();
+  std::optional<ReferenceHead> head;
+  try {
+    head = train_reference_head(*world_, rn50, rn50.pretrain_concepts,
+                                config_);
+  } catch (...) {
+    lock.lock();
+    zsl_building_ = false;
+    lock.unlock();
+    cv_.notify_all();
+    throw;
+  }
+
+  lock.lock();
+  zsl_reference_ = std::move(*head);
+  zsl_building_ = false;
+  const ReferenceHead& published = *zsl_reference_;
+  lock.unlock();
+  cv_.notify_all();
+  return published;
 }
 
 }  // namespace taglets::backbone

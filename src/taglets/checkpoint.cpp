@@ -5,6 +5,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "tensor/serialize.hpp"
 #include "util/atomic_io.hpp"
 #include "util/fault.hpp"
 #include "util/logging.hpp"
@@ -51,71 +52,101 @@ Checkpoint::Checkpoint(std::string dir, bool resume,
 
 std::string Checkpoint::manifest_path() const { return dir_ + "/MANIFEST"; }
 
+std::string Checkpoint::node_path(const std::string& key) const {
+  return dir_ + "/" + key + ".bin";
+}
+
+bool Checkpoint::has_node(const std::string& key) const {
+  return enabled() && resume_ && fs::exists(node_path(key));
+}
+
+void Checkpoint::save_node(
+    const std::string& key, const std::string& site,
+    const std::function<void(std::ostream&)>& writer) const {
+  if (!enabled()) return;
+  util::fault::retry_with_backoff(
+      "checkpoint node " + key, util::fault::RetryPolicy::from_env(), [&] {
+        util::atomic_write_stream(node_path(key), site, writer);
+      });
+  TAGLETS_LOG(kDebug) << "checkpointed node " << key << " to "
+                      << node_path(key);
+}
+
+void Checkpoint::load_node(
+    const std::string& key,
+    const std::function<void(std::istream&)>& reader) const {
+  const std::string path = node_path(key);
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("Checkpoint: cannot open " + path);
+  try {
+    reader(in);
+  } catch (const std::exception& e) {
+    throw std::runtime_error("Checkpoint: " + path + ": " + e.what());
+  }
+}
+
 std::string Checkpoint::selection_path() const {
-  return dir_ + "/selection.bin";
+  return node_path("selection");
+}
+
+std::string Checkpoint::taglet_key(std::size_t index,
+                                   const std::string& name) {
+  std::ostringstream key;
+  key << "taglet_" << (index < 10 ? "0" : "") << index << "_" << name;
+  return key.str();
 }
 
 std::string Checkpoint::taglet_path(std::size_t index,
                                     const std::string& name) const {
-  std::ostringstream path;
-  path << dir_ << "/taglet_" << (index < 10 ? "0" : "") << index << "_" << name
-       << ".bin";
-  return path.str();
+  return node_path(taglet_key(index, name));
 }
 
-bool Checkpoint::has_selection() const {
-  return enabled() && resume_ && fs::exists(selection_path());
-}
+std::string Checkpoint::pseudo_path() const { return node_path("pseudo"); }
+
+bool Checkpoint::has_selection() const { return has_node("selection"); }
 
 scads::Selection Checkpoint::load_selection() const {
-  const std::string path = selection_path();
-  std::ifstream in(path, std::ios::binary);
-  if (!in) throw std::runtime_error("Checkpoint: cannot open " + path);
-  try {
-    return scads::read_selection(in);
-  } catch (const std::exception& e) {
-    throw std::runtime_error("Checkpoint: " + path + ": " + e.what());
-  }
+  scads::Selection selection;
+  load_node("selection",
+            [&](std::istream& in) { selection = scads::read_selection(in); });
+  return selection;
 }
 
 void Checkpoint::save_selection(const scads::Selection& selection) const {
-  if (!enabled()) return;
-  util::fault::retry_with_backoff(
-      "checkpoint selection", util::fault::RetryPolicy::from_env(), [&] {
-        util::atomic_write_stream(
-            selection_path(), "checkpoint.selection",
+  save_node("selection", "checkpoint.selection",
             [&](std::ostream& out) { scads::write_selection(out, selection); });
-      });
-  TAGLETS_LOG(kDebug) << "checkpointed selection to " << selection_path();
 }
 
 bool Checkpoint::has_taglet(std::size_t index, const std::string& name) const {
-  return enabled() && resume_ && fs::exists(taglet_path(index, name));
+  return has_node(taglet_key(index, name));
 }
 
 modules::Taglet Checkpoint::load_taglet(std::size_t index,
                                         const std::string& name) const {
-  const std::string path = taglet_path(index, name);
-  std::ifstream in(path, std::ios::binary);
-  if (!in) throw std::runtime_error("Checkpoint: cannot open " + path);
-  try {
-    return modules::Taglet::load(in);
-  } catch (const std::exception& e) {
-    throw std::runtime_error("Checkpoint: " + path + ": " + e.what());
-  }
+  std::optional<modules::Taglet> taglet;
+  load_node(taglet_key(index, name),
+            [&](std::istream& in) { taglet = modules::Taglet::load(in); });
+  return std::move(*taglet);
 }
 
 void Checkpoint::save_taglet(std::size_t index, const std::string& name,
                              const modules::Taglet& taglet) const {
-  if (!enabled()) return;
-  util::fault::retry_with_backoff(
-      "checkpoint taglet " + name, util::fault::RetryPolicy::from_env(), [&] {
-        util::atomic_write_stream(
-            taglet_path(index, name), "checkpoint.taglet",
+  save_node(taglet_key(index, name), "checkpoint.taglet",
             [&](std::ostream& out) { taglet.save(out); });
-      });
-  TAGLETS_LOG(kDebug) << "checkpointed taglet " << name << " to "
-                      << taglet_path(index, name);
+}
+
+bool Checkpoint::has_pseudo() const { return has_node("pseudo"); }
+
+tensor::Tensor Checkpoint::load_pseudo() const {
+  tensor::Tensor pseudo;
+  load_node("pseudo",
+            [&](std::istream& in) { pseudo = tensor::read_tensor(in); });
+  return pseudo;
+}
+
+void Checkpoint::save_pseudo(const tensor::Tensor& pseudo) const {
+  save_node("pseudo", "checkpoint.pseudo",
+            [&](std::ostream& out) { tensor::write_tensor(out, pseudo); });
 }
 
 }  // namespace taglets

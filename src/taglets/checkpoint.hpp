@@ -1,24 +1,33 @@
-// Stage-level checkpointing for Controller::run (docs/ROBUSTNESS.md).
-// A checkpoint directory holds one crash-safe artifact per completed
-// pipeline stage:
+// Node-level checkpointing for the pipeline task graph
+// (docs/ROBUSTNESS.md). A checkpoint directory holds one crash-safe
+// artifact per completed pipeline node, keyed by the node's stable
+// checkpoint key:
 //
 //   <dir>/MANIFEST                     run-config fingerprint (text)
-//   <dir>/selection.bin                the SCADS Selection (stage 1)
-//   <dir>/taglet_<ii>_<module>.bin     one per trained taglet (stage 2)
+//   <dir>/selection.bin                the SCADS Selection
+//   <dir>/taglet_<ii>_<module>.bin     one per trained taglet
+//   <dir>/pseudo.bin                   ensemble pseudo labels (Eq. 6)
 //
 // Every file is written through util::atomic_io, so an interrupted run
-// leaves only whole artifacts. Because each stage re-derives its RNG
+// leaves only whole artifacts. Because each node re-derives its RNG
 // from the config seed, a resumed run that loads these artifacts
 // produces a bitwise-identical end model to an uninterrupted one.
 // The MANIFEST guards against resuming with a different configuration:
 // load paths are only consulted when `resume` is set AND the stored
 // fingerprint matches the current config.
+//
+// The generic has_node/load_node/save_node trio is the uniform
+// substrate; the typed selection/taglet/pseudo accessors are thin
+// wrappers that fix the key and the fault-injection site.
 #pragma once
 
+#include <functional>
+#include <iosfwd>
 #include <string>
 
 #include "modules/module.hpp"
 #include "scads/selection.hpp"
+#include "tensor/tensor.hpp"
 
 namespace taglets {
 
@@ -35,22 +44,41 @@ class Checkpoint {
   bool enabled() const { return !dir_.empty(); }
   bool resuming() const { return resume_; }
 
-  /// Stage 1: the SCADS selection.
+  /// Node-keyed artifacts. `key` is the node's stable checkpoint key
+  /// ("selection", "taglet_00_transfer", "pseudo", ...); `site` names
+  /// the fault-injection site the write is armed under (TAGLETS_FAULT).
+  bool has_node(const std::string& key) const;
+  std::string node_path(const std::string& key) const;
+  void save_node(const std::string& key, const std::string& site,
+                 const std::function<void(std::ostream&)>& writer) const;
+  void load_node(const std::string& key,
+                 const std::function<void(std::istream&)>& reader) const;
+
+  /// SCADS selection node.
   bool has_selection() const;
   scads::Selection load_selection() const;
   void save_selection(const scads::Selection& selection) const;
 
-  /// Stage 2: one artifact per module slot. `index` keeps duplicate
-  /// module names in the line-up from sharing a file.
+  /// Module nodes: one artifact per module slot. `index` keeps
+  /// duplicate module names in the line-up from sharing a file.
   bool has_taglet(std::size_t index, const std::string& name) const;
   modules::Taglet load_taglet(std::size_t index,
                               const std::string& name) const;
   void save_taglet(std::size_t index, const std::string& name,
                    const modules::Taglet& taglet) const;
 
+  /// Ensemble node: the soft pseudo labels for the unlabeled pool.
+  bool has_pseudo() const;
+  tensor::Tensor load_pseudo() const;
+  void save_pseudo(const tensor::Tensor& pseudo) const;
+
   std::string manifest_path() const;
   std::string selection_path() const;
   std::string taglet_path(std::size_t index, const std::string& name) const;
+  std::string pseudo_path() const;
+
+  /// Checkpoint key of module slot `index` running module `name`.
+  static std::string taglet_key(std::size_t index, const std::string& name);
 
  private:
   std::string dir_;

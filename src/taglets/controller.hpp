@@ -4,6 +4,15 @@
 // taglets, (3) ensembles the taglets into soft pseudo labels for the
 // unlabeled data (Eq. 6), and (4) distills everything into one servable
 // end model (Eq. 7).
+//
+// Two execution plans produce bitwise-identical results: the legacy
+// serial stage sequence, and a task-graph schedule (task_graph.hpp)
+// that overlaps independent work — backbone fetch runs alongside SCADS
+// selection, the zero-shot module needs only the engine and graph
+// embeddings so it trains while selection is still running, and the
+// SCADS-consuming modules fan out as soon as selection resolves. Every
+// node re-derives its RNG from config.train_seed, which is what makes
+// the two plans (and any thread count) bit-for-bit interchangeable.
 #pragma once
 
 #include <memory>
@@ -19,6 +28,12 @@
 
 namespace taglets {
 
+/// How Controller::run schedules the pipeline. kAuto reads the
+/// TAGLETS_PIPELINE environment variable ("serial" | "graph"; default
+/// graph) — the serial plan is the escape hatch that makes serial/graph
+/// A/B verification a test instead of a leap of faith.
+enum class PipelineMode { kAuto, kSerial, kGraph };
+
 struct SystemConfig {
   /// Modules to train, resolved through the registry. Defaults to the
   /// paper's four-module line-up.
@@ -32,20 +47,28 @@ struct SystemConfig {
   std::uint64_t train_seed = 0;
   /// Scales every module's epoch counts (tests use < 1).
   double epoch_scale = 1.0;
-  /// Train modules on a thread pool (results identical to serial).
+  /// Serial plan only: train modules on a thread pool (results
+  /// identical). The graph plan overlaps modules by construction.
   bool parallel_modules = false;
-  /// When non-empty, Controller::run checkpoints each completed stage
-  /// into this directory (crash-safe writes; see docs/ROBUSTNESS.md).
+  /// When non-empty, Controller::run checkpoints each completed
+  /// pipeline node into this directory (crash-safe writes; see
+  /// docs/ROBUSTNESS.md).
   std::string checkpoint_dir;
-  /// Skip stages whose checkpoint artifacts already exist. Because
-  /// every stage re-derives its RNG from train_seed, a resumed run is
+  /// Skip nodes whose checkpoint artifacts already exist. Because
+  /// every node re-derives its RNG from train_seed, a resumed run is
   /// bitwise identical to an uninterrupted one.
   bool resume = false;
+  /// Execution plan; deliberately not part of config_fingerprint()
+  /// because both plans produce identical artifacts, so a checkpoint
+  /// directory may be resumed under either.
+  PipelineMode pipeline = PipelineMode::kAuto;
 };
 
 /// One-line fingerprint of everything that determines a run's output;
 /// stored in the checkpoint MANIFEST so --resume refuses a directory
-/// produced under a different configuration.
+/// produced under a different configuration. Records *effective*
+/// values: a selection seed of 0 means "use train_seed", so the two
+/// spellings of the same behavior fingerprint identically.
 std::string config_fingerprint(const SystemConfig& config);
 
 class Checkpoint;
@@ -80,10 +103,25 @@ class Controller {
                                              const SystemConfig& config);
 
  private:
+  SystemResult run_serial(const synth::FewShotTask& task,
+                          const SystemConfig& config,
+                          const Checkpoint& checkpoint);
+  SystemResult run_graph(const synth::FewShotTask& task,
+                         const SystemConfig& config,
+                         const Checkpoint& checkpoint);
+
   std::vector<modules::Taglet> train_taglets(const synth::FewShotTask& task,
                                              const scads::Selection& selection,
                                              const SystemConfig& config,
                                              const Checkpoint& checkpoint);
+
+  /// Checkpoint-aware training of one module slot: loads the slot's
+  /// artifact when resuming, otherwise trains and checkpoints it.
+  /// Shared by the serial stage and the graph's module nodes.
+  modules::Taglet train_module(std::size_t index,
+                               const modules::ModuleContext& context,
+                               const SystemConfig& config,
+                               const Checkpoint& checkpoint);
 
   scads::Scads* scads_;
   backbone::Zoo* zoo_;

@@ -1,0 +1,188 @@
+#include "taglets/task_graph.hpp"
+
+#include <chrono>
+#include <stdexcept>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "util/check.hpp"
+
+namespace taglets {
+
+TaskGraph::NodeId TaskGraph::add_node(std::string name,
+                                      std::function<void()> fn,
+                                      const std::vector<NodeId>& deps) {
+  TAGLETS_CHECK(!ran_, "TaskGraph: add_node after run");
+  TAGLETS_CHECK(static_cast<bool>(fn), "TaskGraph: null node body");
+  const NodeId id = nodes_.size();
+  nodes_.push_back(Node{std::move(name), std::move(fn), {}, 0, 0, false,
+                        NodeState::kPending});
+  for (const NodeId dep : deps) add_edge(dep, id);
+  return id;
+}
+
+void TaskGraph::add_edge(NodeId parent, NodeId child) {
+  TAGLETS_CHECK(!ran_, "TaskGraph: add_edge after run");
+  if (parent >= nodes_.size() || child >= nodes_.size()) {
+    throw std::invalid_argument("TaskGraph: edge references unknown node");
+  }
+  if (parent == child) {
+    throw std::invalid_argument("TaskGraph: self-edge on node '" +
+                                nodes_[parent].name + "'");
+  }
+  for (const NodeId existing : nodes_[parent].children) {
+    if (existing == child) return;  // duplicate edges collapse
+  }
+  nodes_[parent].children.push_back(child);
+  nodes_[child].parents++;
+}
+
+const std::string& TaskGraph::name(NodeId id) const {
+  TAGLETS_CHECK_LT(id, nodes_.size(), "TaskGraph: unknown node id");
+  return nodes_[id].name;
+}
+
+TaskGraph::NodeState TaskGraph::state(NodeId id) const {
+  TAGLETS_CHECK_LT(id, nodes_.size(), "TaskGraph: unknown node id");
+  return nodes_[id].state;
+}
+
+void TaskGraph::validate() const {
+  // Kahn's algorithm over a scratch copy of the in-degrees: if the
+  // peel-off stalls before consuming every node, the leftovers are
+  // exactly the nodes on (or downstream of) a cycle.
+  std::vector<std::size_t> pending(nodes_.size());
+  std::deque<NodeId> frontier;
+  for (NodeId id = 0; id < nodes_.size(); ++id) {
+    pending[id] = nodes_[id].parents;
+    if (pending[id] == 0) frontier.push_back(id);
+  }
+  std::size_t seen = 0;
+  while (!frontier.empty()) {
+    const NodeId id = frontier.front();
+    frontier.pop_front();
+    ++seen;
+    for (const NodeId child : nodes_[id].children) {
+      if (--pending[child] == 0) frontier.push_back(child);
+    }
+  }
+  if (seen == nodes_.size()) return;
+  for (NodeId id = 0; id < nodes_.size(); ++id) {
+    if (pending[id] != 0) {
+      throw std::invalid_argument("TaskGraph: cycle through node '" +
+                                  nodes_[id].name + "'");
+    }
+  }
+}
+
+TaskGraph::NodeId TaskGraph::acquire_ready(util::Parallel& pool) {
+  util::MutexLock lock(mu_);
+  for (;;) {
+    if (!ready_.empty()) {
+      const NodeId id = ready_.front();
+      ready_.pop_front();
+      return id;
+    }
+    // No node is ready, but this lane's node is still owed (each lane
+    // consumes exactly one of n, and every node enters ready_ exactly
+    // once) — some node is in flight. Help the pool instead of
+    // sleeping: the in-flight node's own nested chunks may be queued
+    // behind this lane, and blocking here would starve them.
+    lock.unlock();
+    const bool helped = pool.help_one();
+    lock.lock();
+    if (helped || !ready_.empty()) continue;
+    cv_.wait_for(lock, std::chrono::microseconds(200),
+                 [this] { return ready_available(); });
+  }
+}
+
+void TaskGraph::resolve(NodeId id) {
+  bool notify = false;
+  {
+    util::MutexLock lock(mu_);
+    Node& node = nodes_[id];
+    const bool poison = node.state != NodeState::kDone;
+    for (const NodeId child_id : node.children) {
+      Node& child = nodes_[child_id];
+      if (poison) child.cancelled = true;
+      if (--child.pending == 0) {
+        ready_.push_back(child_id);
+        notify = true;
+      }
+    }
+  }
+  if (notify) cv_.notify_all();
+}
+
+void TaskGraph::run_lane(util::Parallel& pool) {
+  const NodeId id = acquire_ready(pool);
+  Node& node = nodes_[id];
+  bool execute;
+  {
+    util::MutexLock lock(mu_);
+    execute = !node.cancelled;
+    if (!execute) node.state = NodeState::kCancelled;
+  }
+  auto& metrics = obs::MetricsRegistry::global();
+  if (execute) {
+    TAGLETS_TRACE_SCOPE("pipeline.node", {{"node", node.name}});
+    try {
+      node.fn();
+      util::MutexLock lock(mu_);
+      node.state = NodeState::kDone;
+    } catch (...) {
+      util::MutexLock lock(mu_);
+      node.state = NodeState::kFailed;
+      if (!first_error_) first_error_ = std::current_exception();
+    }
+  }
+  switch (node.state) {
+    case NodeState::kDone:
+      metrics.counter("pipeline.node.completed_total").add();
+      break;
+    case NodeState::kFailed:
+      metrics.counter("pipeline.node.failed_total").add();
+      break;
+    default:
+      metrics.counter("pipeline.node.cancelled_total").add();
+      break;
+  }
+  resolve(id);
+}
+
+TaskGraph::RunStats TaskGraph::run(util::Parallel& pool) {
+  if (ran_) throw std::logic_error("TaskGraph: run() is single-shot");
+  validate();
+  ran_ = true;
+  {
+    util::MutexLock lock(mu_);
+    for (NodeId id = 0; id < nodes_.size(); ++id) {
+      nodes_[id].pending = nodes_[id].parents;
+      if (nodes_[id].pending == 0) ready_.push_back(id);
+    }
+  }
+  // One lane per node: the pool chunks the lanes across its workers
+  // (and the calling thread), and each lane claims whichever node is
+  // ready when it starts — topological order falls out of resolve().
+  pool.for_each(nodes_.size(), [this, &pool](std::size_t) { run_lane(pool); });
+
+  std::exception_ptr error;
+  RunStats stats;
+  {
+    util::MutexLock lock(mu_);
+    error = first_error_;
+  }
+  for (const Node& node : nodes_) {
+    switch (node.state) {
+      case NodeState::kDone: stats.completed++; break;
+      case NodeState::kFailed: stats.failed++; break;
+      case NodeState::kCancelled: stats.cancelled++; break;
+      case NodeState::kPending: break;
+    }
+  }
+  if (error) std::rethrow_exception(error);
+  return stats;
+}
+
+}  // namespace taglets

@@ -1,0 +1,119 @@
+// Dependency-graph executor over util::Parallel — the substrate the
+// pipeline stages (and, later, the streaming/continual-learning arc)
+// are scheduled onto. Nodes are callables with declared edges; a node
+// becomes runnable the moment all of its parents have resolved, so
+// independent branches overlap (e.g. the zero-shot module trains while
+// SCADS selection is still running) instead of meeting at stage-wide
+// barriers.
+//
+// Semantics:
+//  * Topological dispatch: every node runs exactly once, after all of
+//    its parents; roots start immediately. Cycles are rejected before
+//    any node runs (validate(), also called by run()).
+//  * First exception wins: a throwing node marks every descendant
+//    cancelled (they never execute), independent branches still run to
+//    completion, and the first exception is rethrown after quiescence —
+//    exactly the util::Parallel contract, lifted to DAGs.
+//  * Deterministic: the executor imposes no ordering beyond the edges,
+//    so nodes that derive their randomness from their own seeds (as
+//    every pipeline stage does) produce bitwise-identical results at
+//    any thread count and any schedule.
+//  * Pool-safe: lanes waiting for a node to become ready drain the
+//    shared pool queue (Parallel::help_one) instead of blocking, so a
+//    node body may itself call parallel_for without deadlocking the
+//    executor even when every worker is occupied by a lane.
+//
+// Observability: each executed node gets a "pipeline.node" trace span
+// (attr `node`) and the pipeline.node.{completed,failed,cancelled}_total
+// counters move per outcome.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "util/parallel.hpp"
+#include "util/sync.hpp"
+
+namespace taglets {
+
+class TaskGraph {
+ public:
+  using NodeId = std::size_t;
+
+  enum class NodeState { kPending, kDone, kFailed, kCancelled };
+
+  struct RunStats {
+    std::size_t completed = 0;
+    std::size_t failed = 0;
+    std::size_t cancelled = 0;
+  };
+
+  TaskGraph() = default;
+  TaskGraph(const TaskGraph&) = delete;
+  TaskGraph& operator=(const TaskGraph&) = delete;
+
+  /// Adds a node whose body is `fn`. `deps` are parents that must
+  /// resolve first; each must be an id previously returned by
+  /// add_node. Returns the new node's id.
+  NodeId add_node(std::string name, std::function<void()> fn,
+                  const std::vector<NodeId>& deps = {});
+
+  /// Adds an edge parent -> child between existing nodes. Duplicate
+  /// edges are ignored; self-edges throw std::invalid_argument.
+  void add_edge(NodeId parent, NodeId child);
+
+  std::size_t node_count() const { return nodes_.size(); }
+  const std::string& name(NodeId id) const;
+  /// Post-run outcome of a node (kPending before run()).
+  NodeState state(NodeId id) const;
+
+  /// Build-time structural check: throws std::invalid_argument naming
+  /// a node on a cycle when the edges do not form a DAG.
+  void validate() const;
+
+  /// Executes the graph on `pool` (every lane may run node bodies,
+  /// including the calling thread). Single-shot: a second run() throws
+  /// std::logic_error. Rethrows the first node exception after all
+  /// non-descendant nodes have finished.
+  RunStats run(util::Parallel& pool);
+
+ private:
+  struct Node {
+    std::string name;
+    std::function<void()> fn;
+    std::vector<NodeId> children;
+    std::size_t parents = 0;
+    // Scheduler state below; guarded by mu_ during run().
+    std::size_t pending = 0;
+    bool cancelled = false;
+    NodeState state = NodeState::kPending;
+  };
+
+  /// Blocks (helping the pool) until a ready node is available and
+  /// claims it. Each of the n lanes consumes exactly one node, so a
+  /// ready entry is guaranteed to appear for every call.
+  NodeId acquire_ready(util::Parallel& pool);
+  /// Runs one lane: claim, execute (unless cancelled), resolve.
+  void run_lane(util::Parallel& pool);
+  /// Marks `id` resolved: decrements children, propagates cancellation
+  /// from failed/cancelled parents, and enqueues newly-ready children.
+  void resolve(NodeId id);
+
+  bool ready_available() const TAGLETS_NO_THREAD_SAFETY_ANALYSIS {
+    return !ready_.empty();
+  }
+
+  std::vector<Node> nodes_;
+  bool ran_ = false;
+
+  util::Mutex mu_{"taglets.task_graph", util::lockrank::kPipelineGraph};
+  util::CondVar cv_;
+  std::deque<NodeId> ready_ TAGLETS_GUARDED_BY(mu_);
+  std::exception_ptr first_error_ TAGLETS_GUARDED_BY(mu_);
+};
+
+}  // namespace taglets

@@ -179,6 +179,18 @@ void Parallel::for_ranges(
   if (error) std::rethrow_exception(error);
 }
 
+bool Parallel::help_one() {
+  std::function<void()> task;
+  {
+    MutexLock lock(mu_);
+    if (queue_.empty()) return false;
+    task = std::move(queue_.front());
+    queue_.pop();
+  }
+  task();
+  return true;
+}
+
 void Parallel::for_each(std::size_t n,
                         const std::function<void(std::size_t)>& fn) {
   for_ranges(n, [&fn](std::size_t begin, std::size_t end) {

@@ -53,6 +53,13 @@ class Parallel {
   /// Run `fn(i)` for every i in [0, n); chunked via for_ranges.
   void for_each(std::size_t n, const std::function<void(std::size_t)>& fn);
 
+  /// Pops and runs one queued helper task inline; returns false when
+  /// the queue was empty. Blocking coordination layered on top of the
+  /// pool (the task-graph executor's wait-for-ready loop) calls this
+  /// instead of sleeping, so a lane stuck waiting keeps the pool
+  /// making progress — a nested loop's chunks may be queued behind it.
+  bool help_one();
+
   /// The process-wide pool, created on first use.
   static Parallel& global();
 

@@ -124,6 +124,12 @@ inline constexpr int kFleetShardSwap = 200;
 inline constexpr int kServeLifecycle = 210;
 inline constexpr int kServeQueue = 220;
 inline constexpr int kServeStats = 230;
+// Pipeline tier: the task-graph scheduler state and the backbone zoo.
+// Both are leaf-like (their critical sections acquire nothing — node
+// bodies and pretraining run with the lock dropped), but they are
+// acquired from inside pool chunks, so they sit below the util leaves.
+inline constexpr int kPipelineGraph = 232;
+inline constexpr int kBackboneZoo = 236;
 // Util leaves.
 inline constexpr int kUtilLatency = 240;
 inline constexpr int kUtilPool = 250;

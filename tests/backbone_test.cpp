@@ -3,10 +3,14 @@
 #include <cmath>
 #include <cstdio>
 #include <filesystem>
+#include <limits>
+#include <thread>
+#include <vector>
 
 #include "backbone/backbone.hpp"
 #include "backbone/zoo.hpp"
 #include "nn/trainer.hpp"
+#include "obs/metrics.hpp"
 #include "test_support.hpp"
 
 namespace taglets::backbone {
@@ -121,6 +125,79 @@ TEST(Zoo, DiskCacheRoundTrips) {
 TEST(Zoo, RejectsNullWorld) {
   EXPECT_THROW(Zoo(nullptr, PretrainConfig{}, std::string{}),
                std::invalid_argument);
+}
+
+TEST(Zoo, ConcurrentColdGetPretrainsOnceAndReturnsStableReferences) {
+  // TSan regression for the unsynchronized map in Zoo::get: N threads
+  // hammer a cold zoo; pretraining for each Kind must run exactly once
+  // and every caller must receive the same (stable) object.
+  auto& world = taglets::testing::small_world();
+  PretrainConfig pc = taglets::testing::small_pretrain_config();
+  pc.epochs = 2;  // keep the hammer fast
+  Zoo zoo(&world, pc, std::string{});  // no disk cache
+
+  const auto pretrained_before = obs::MetricsRegistry::global()
+                                     .counter("backbone.pretrained_total")
+                                     .value();
+  constexpr int kThreads = 8;
+  std::vector<const Pretrained*> rn50(kThreads, nullptr);
+  std::vector<const Pretrained*> bit(kThreads, nullptr);
+  std::vector<const ReferenceHead*> heads(kThreads, nullptr);
+  {
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&, t] {
+        // Alternate the first touch so both Kinds race from cold.
+        if (t % 2 == 0) {
+          rn50[t] = &zoo.get(Kind::kRn50S);
+          bit[t] = &zoo.get(Kind::kBitS);
+        } else {
+          bit[t] = &zoo.get(Kind::kBitS);
+          rn50[t] = &zoo.get(Kind::kRn50S);
+        }
+        heads[t] = &zoo.zsl_reference();
+      });
+    }
+    for (auto& th : threads) th.join();
+  }
+  for (int t = 1; t < kThreads; ++t) {
+    EXPECT_EQ(rn50[t], rn50[0]) << "thread " << t;
+    EXPECT_EQ(bit[t], bit[0]) << "thread " << t;
+    EXPECT_EQ(heads[t], heads[0]) << "thread " << t;
+  }
+  // Exactly one pretraining per Kind despite 8 concurrent callers.
+  EXPECT_EQ(obs::MetricsRegistry::global()
+                .counter("backbone.pretrained_total")
+                .value(),
+            pretrained_before + 2);
+}
+
+TEST(Zoo, QuantizeKnobHandlesNegativeHugeAndNan) {
+  // Regression for the fingerprint UB: static_cast<uint64_t> of a
+  // negative double is undefined; quantize_knob rounds through a
+  // checked signed intermediate instead.
+  EXPECT_EQ(quantize_knob(0.0, 1e6), 0u);
+  EXPECT_EQ(quantize_knob(1.5, 1e6), 1500000u);
+  EXPECT_EQ(quantize_knob(-1.5, 1e6),
+            static_cast<std::uint64_t>(std::int64_t{-1500000}));
+  // Rounding, not truncation, so nearby knobs stay distinct.
+  EXPECT_NE(quantize_knob(1.0000004, 1e6), quantize_knob(1.0000016, 1e6));
+  // Saturation at the int64 range ends instead of llround UB.
+  EXPECT_EQ(quantize_knob(1e300, 1e6),
+            static_cast<std::uint64_t>(
+                std::numeric_limits<std::int64_t>::max()));
+  EXPECT_EQ(quantize_knob(-1e300, 1e6),
+            static_cast<std::uint64_t>(
+                std::numeric_limits<std::int64_t>::min()));
+  // NaN maps to a fixed sentinel — deterministic, and distinct from 0.
+  const double nan = std::nan("");
+  EXPECT_EQ(quantize_knob(nan, 1e6), 0x7FF8000000000000ULL);
+  EXPECT_EQ(quantize_knob(1.0, nan), 0x7FF8000000000000ULL);
+
+  // Negative knobs produce distinct fingerprint components (the old
+  // cast collapsed them unpredictably).
+  EXPECT_NE(quantize_knob(-0.25, 1e6), quantize_knob(-0.5, 1e6));
+  EXPECT_NE(quantize_knob(-0.25, 1e6), quantize_knob(0.25, 1e6));
 }
 
 }  // namespace

@@ -3,6 +3,8 @@
 // system-level properties the paper's evaluation rests on.
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+
 #include "ensemble/ensemble.hpp"
 #include "eval/harness.hpp"
 #include "eval/lab.hpp"
@@ -89,6 +91,62 @@ TEST(Controller, ParallelModulesMatchSerial) {
       ASSERT_EQ(la.data()[i], lb.data()[i]) << "taglet " << t;
     }
   }
+}
+
+TEST(Controller, GraphPlanMatchesSerialBitwise) {
+  // The headline guarantee of the task-graph scheduler: both execution
+  // plans produce the same bits — same end model, same taglets, same
+  // pseudo labels — because every node re-derives its RNG from the
+  // config seed rather than from scheduling order.
+  auto task = taglets::testing::small_task(/*shots=*/1);
+  Controller controller(&taglets::testing::small_scads(),
+                        &taglets::testing::small_zoo(), &engine());
+  SystemConfig serial = fast_config(17);
+  serial.epoch_scale = 0.15;
+  serial.pipeline = PipelineMode::kSerial;
+  SystemConfig graph = serial;
+  graph.pipeline = PipelineMode::kGraph;
+
+  SystemResult a = controller.run(task, serial);
+  SystemResult b = controller.run(task, graph);
+
+  ASSERT_EQ(a.taglets.size(), b.taglets.size());
+  for (std::size_t t = 0; t < a.taglets.size(); ++t) {
+    EXPECT_EQ(a.taglets[t].name(), b.taglets[t].name());
+    Tensor la = a.taglets[t].model().logits(task.test_inputs, false);
+    Tensor lb = b.taglets[t].model().logits(task.test_inputs, false);
+    ASSERT_EQ(la.size(), lb.size());
+    for (std::size_t i = 0; i < la.size(); ++i) {
+      ASSERT_EQ(la.data()[i], lb.data()[i]) << "taglet " << t;
+    }
+  }
+  ASSERT_EQ(a.pseudo_labels.size(), b.pseudo_labels.size());
+  for (std::size_t i = 0; i < a.pseudo_labels.size(); ++i) {
+    ASSERT_EQ(a.pseudo_labels.data()[i], b.pseudo_labels.data()[i]);
+  }
+  Tensor ea = a.end_model.model().logits(task.test_inputs, false);
+  Tensor eb = b.end_model.model().logits(task.test_inputs, false);
+  ASSERT_EQ(ea.size(), eb.size());
+  for (std::size_t i = 0; i < ea.size(); ++i) {
+    ASSERT_EQ(ea.data()[i], eb.data()[i]);
+  }
+}
+
+TEST(Controller, PipelineEnvSelectsPlanAndRejectsGarbage) {
+  auto task = taglets::testing::small_task(/*shots=*/1);
+  Controller controller(&taglets::testing::small_scads(),
+                        &taglets::testing::small_zoo());
+  SystemConfig config = fast_config(19);
+  config.epoch_scale = 0.1;
+  config.module_names = {"transfer"};
+  ASSERT_EQ(setenv("TAGLETS_PIPELINE", "bogus", 1), 0);
+  EXPECT_THROW(controller.run(task, config), std::invalid_argument);
+  ASSERT_EQ(setenv("TAGLETS_PIPELINE", "serial", 1), 0);
+  EXPECT_EQ(controller.run(task, config).taglets.size(), 1u);
+  ASSERT_EQ(unsetenv("TAGLETS_PIPELINE"), 0);
+  // An explicit config mode wins over the environment.
+  config.pipeline = PipelineMode::kGraph;
+  EXPECT_EQ(controller.run(task, config).taglets.size(), 1u);
 }
 
 TEST(Controller, RequiresScadsAndZoo) {

@@ -499,6 +499,10 @@ TEST(Trace, ControllerRunEmitsStageAndModuleSpans) {
   config.train_seed = 5;
   config.epoch_scale = 0.25;
   config.module_names = {"transfer", "prototype"};  // no zsl engine needed
+  // This test pins the serial plan: the stage-barrier span
+  // "pipeline.module_training" only exists there (the graph plan has
+  // per-node spans instead, covered below).
+  config.pipeline = PipelineMode::kSerial;
   const SystemResult result = controller.run(task, config);
   EXPECT_EQ(result.taglets.size(), 2u);
 
@@ -537,6 +541,54 @@ TEST(Trace, ControllerRunEmitsStageAndModuleSpans) {
   // The exported trace of a real pipeline run parses.
   JsonValidator validator(trace_export_json());
   EXPECT_TRUE(validator.valid());
+}
+
+TEST(Trace, ControllerGraphRunEmitsPerNodeSpans) {
+  TraceSandbox sandbox;
+  set_trace_enabled(true);
+  auto task = taglets::testing::small_task(/*shots=*/1);
+  Controller controller(&taglets::testing::small_scads(),
+                        &taglets::testing::small_zoo());
+  SystemConfig config;
+  config.train_seed = 5;
+  config.epoch_scale = 0.25;
+  config.module_names = {"transfer", "prototype"};
+  config.pipeline = PipelineMode::kGraph;
+  auto& registry = MetricsRegistry::global();
+  const std::uint64_t completed_before =
+      registry.counter("pipeline.node.completed_total").value();
+  const SystemResult result = controller.run(task, config);
+  EXPECT_EQ(result.taglets.size(), 2u);
+
+  const std::vector<TraceEvent> events = Tracer::global().snapshot();
+  auto count = [&](const std::string& name) {
+    return std::count_if(events.begin(), events.end(),
+                         [&](const TraceEvent& e) { return e.name == name; });
+  };
+  EXPECT_EQ(count("pipeline.run"), 1);
+  // One "pipeline.node" span per DAG node: backbone, selection, two
+  // modules, ensemble, distill.
+  EXPECT_EQ(count("pipeline.node"), 6);
+  EXPECT_EQ(count("pipeline.scads_selection"), 1);
+  EXPECT_EQ(count("pipeline.ensemble_vote"), 1);
+  EXPECT_EQ(count("pipeline.distillation"), 1);
+  EXPECT_EQ(count("module.train"), 2);
+
+  // Each node span carries its name attribute.
+  std::vector<std::string> nodes;
+  for (const TraceEvent& e : events) {
+    if (e.name != "pipeline.node") continue;
+    for (const auto& [key, value] : e.attrs) {
+      if (key == "node") nodes.push_back(value);
+    }
+  }
+  std::sort(nodes.begin(), nodes.end());
+  EXPECT_EQ(nodes, (std::vector<std::string>{
+                       "backbone", "distill", "ensemble", "module:prototype",
+                       "module:transfer", "selection"}));
+
+  EXPECT_EQ(registry.counter("pipeline.node.completed_total").value(),
+            completed_before + 6);
 }
 
 }  // namespace

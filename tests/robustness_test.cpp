@@ -331,6 +331,135 @@ TEST(Resume, InjectedCrashThenResumeIsBitwiseIdentical) {
             resumed_before + 2);
 }
 
+TEST(Resume, KillAtMidDagNodeBoundaryResumesBitwise) {
+  // Crash inside the DAG's module fan-out (the 2nd taglet write, so
+  // one module has already been checkpointed) and resume under the
+  // graph plan. The resumed model must match a clean serial run bit
+  // for bit — the strongest cross-plan resume statement we can make.
+  const auto task = taglets::testing::small_task(/*shots=*/2);
+  Controller controller(&taglets::testing::small_scads(),
+                        &taglets::testing::small_zoo());
+  const fs::path dir = scratch_dir("resume_middag");
+
+  SystemConfig plain = resume_config("");
+  plain.pipeline = PipelineMode::kSerial;
+  const fs::path reference = dir / "reference.bin";
+  controller.run(task, plain).end_model.save(reference.string());
+
+  SystemConfig config = resume_config((dir / "ckpt").string());
+  config.pipeline = PipelineMode::kGraph;
+  {
+    FaultSpec spec("checkpoint.taglet:2");
+    EXPECT_THROW(controller.run(task, config), FaultInjected);
+  }
+  // One whole taglet artifact exists (whichever module won the race to
+  // the first write), the other is absent — never partial, no temp.
+  std::size_t taglet_files = 0;
+  for (const auto& entry : fs::directory_iterator(dir / "ckpt")) {
+    EXPECT_FALSE(entry.path().string().ends_with(".tmp")) << entry.path();
+    if (entry.path().filename().string().starts_with("taglet_")) {
+      ++taglet_files;
+    }
+  }
+  EXPECT_EQ(taglet_files, 1u);
+  EXPECT_TRUE(fs::exists(dir / "ckpt" / "selection.bin"));
+
+  config.resume = true;
+  SystemResult resumed = controller.run(task, config);
+  const fs::path resumed_model = dir / "resumed.bin";
+  resumed.end_model.save(resumed_model.string());
+  EXPECT_EQ(read_bytes(resumed_model), read_bytes(reference))
+      << "graph-plan resume diverged from the clean serial run";
+}
+
+TEST(Resume, EffectiveSelectionSeedFingerprintsIdentically) {
+  // Regression: config_fingerprint recorded the raw selection seed, but
+  // Controller::select substitutes train_seed when it is 0 — so a run
+  // checkpointed with selection.seed=0 refused to resume under the
+  // explicit spelling of the same behavior (and vice versa).
+  const auto task = taglets::testing::small_task(/*shots=*/1);
+  Controller controller(&taglets::testing::small_scads(),
+                        &taglets::testing::small_zoo());
+  const fs::path dir = scratch_dir("resume_seed0");
+
+  SystemConfig implicit = resume_config((dir / "ckpt").string());
+  implicit.module_names = {"transfer"};
+  implicit.selection.seed = 0;  // "use train_seed"
+
+  SystemConfig explicit_seed = implicit;
+  explicit_seed.selection.seed = implicit.train_seed;
+
+  EXPECT_EQ(config_fingerprint(implicit), config_fingerprint(explicit_seed));
+
+  controller.run(task, implicit);
+  // Resuming the same directory under the explicit spelling must be
+  // accepted by the MANIFEST guard and short-circuit training.
+  explicit_seed.resume = true;
+  const auto resumed_before = obs::MetricsRegistry::global()
+                                  .counter("pipeline.modules_resumed_total")
+                                  .value();
+  EXPECT_NO_THROW(controller.run(task, explicit_seed));
+  EXPECT_EQ(obs::MetricsRegistry::global()
+                .counter("pipeline.modules_resumed_total")
+                .value(),
+            resumed_before + 1);
+
+  // A genuinely different selection seed still refuses.
+  SystemConfig different = explicit_seed;
+  different.selection.seed = implicit.train_seed + 1;
+  EXPECT_THROW(controller.run(task, different), std::runtime_error);
+}
+
+TEST(ZooCache, InjectedCacheWriteFailureLeavesOldFileOrNone) {
+  // The backbone cache write goes through the atomic protocol under
+  // the "zoo.cache" site: a killed write leaves the previous file or
+  // none (never a torn one), and never kills training — the cache is
+  // an optimization.
+  const fs::path dir = scratch_dir("zoo_cache");
+  auto& world = taglets::testing::small_world();
+  const auto pretrain = taglets::testing::small_pretrain_config();
+
+  // Fault at call 1: open/write failure — no cache file at all.
+  {
+    FaultSpec spec("zoo.cache:1");
+    backbone::Zoo zoo(&world, pretrain, dir.string());
+    EXPECT_NO_THROW(zoo.get(backbone::Kind::kRn50S));
+    EXPECT_TRUE(fs::is_empty(dir));
+  }
+  // Clean write from a fresh zoo (same fingerprint, so same path).
+  backbone::Zoo warm(&world, pretrain, dir.string());
+  warm.get(backbone::Kind::kRn50S);
+  std::string cache_file;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    ASSERT_TRUE(entry.path().filename().string().starts_with("backbone_"))
+        << entry.path();
+    cache_file = entry.path().string();
+  }
+  ASSERT_FALSE(cache_file.empty());
+  const std::string good_bytes = read_bytes(cache_file);
+
+  // Fault at call 2: temp fully written, killed before the rename —
+  // the old file survives byte for byte and the temp is cleaned up.
+  {
+    FaultSpec spec("zoo.cache:2");
+    backbone::Zoo zoo(&world, pretrain, dir.string());
+    EXPECT_NO_THROW(zoo.get(backbone::Kind::kRn50S));
+  }
+  EXPECT_EQ(read_bytes(cache_file), good_bytes);
+  EXPECT_FALSE(fs::exists(util::atomic_temp_path(cache_file)));
+
+  // A fresh zoo loads the surviving cache without pretraining.
+  const auto pretrained_before = obs::MetricsRegistry::global()
+                                     .counter("backbone.pretrained_total")
+                                     .value();
+  backbone::Zoo cold(&world, pretrain, dir.string());
+  EXPECT_NO_THROW(cold.get(backbone::Kind::kRn50S));
+  EXPECT_EQ(obs::MetricsRegistry::global()
+                .counter("backbone.pretrained_total")
+                .value(),
+            pretrained_before);
+}
+
 TEST(Resume, CheckpointSaveRetriesAbsorbTransientFaults) {
   const auto task = taglets::testing::small_task(/*shots=*/1);
   Controller controller(&taglets::testing::small_scads(),
